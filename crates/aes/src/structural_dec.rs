@@ -1,0 +1,438 @@
+//! Structural AES-128 **decryption**: the inverse cipher as a LUT6-mapped
+//! netlist, completing the crypto substrate (the paper only needs the
+//! encryptor; a production AES library ships both).
+//!
+//! Architecture mirrors [`structural`](crate::structural): one inverse
+//! round per clock, a 128-bit state register, a 128-bit round-key register
+//! walking the key schedule *backwards* from the final round key, and a
+//! down-counting round counter with registered controls.
+//!
+//! Per cycle (undoing round `r`, counter counts 10 → 1):
+//!
+//! ```text
+//! u      = state ⊕ rk_r                  (AddRoundKey first)
+//! v      = r == 10 ? u : InvMixColumns(u)
+//! state' = InvSubBytes(InvShiftRows(v))
+//! rk'    = reverse-key-schedule(rk_r)    (rk_{r-1})
+//! ```
+//!
+//! After ten cycles the state holds `s₀ = pt ⊕ rk₀` and the round-key
+//! register holds `rk₀`; the plaintext outputs are the XOR of the two.
+//!
+//! The interface takes the **final round key** `rk₁₀` (as iterative
+//! decryptor cores do); [`AesDecryptNetlist::final_round_key`] derives it
+//! from a cipher key.
+
+use htd_netlist::{LutMask, NetId, Netlist, NetlistError, Simulator};
+
+use crate::sbox::{gf_mul, INV_SBOX, RCON};
+use crate::soft::Aes128;
+use crate::structural::{table_sbox_bits, BLOCK_BITS};
+
+/// The structural AES-128 inverse cipher plus its pin map.
+#[derive(Debug, Clone)]
+pub struct AesDecryptNetlist {
+    netlist: Netlist,
+    ciphertext: Vec<NetId>,
+    round_key10: Vec<NetId>,
+    load: NetId,
+    plaintext: Vec<NetId>,
+    state_q: Vec<NetId>,
+    counter_q: Vec<NetId>,
+    done: NetId,
+}
+
+impl AesDecryptNetlist {
+    /// Elaborates the inverse cipher.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from construction (an internal bug if it
+    /// ever fires — the generator is fixed).
+    pub fn generate() -> Result<Self, NetlistError> {
+        let mut nl = Netlist::new("aes128_dec");
+
+        // ---- Ports ------------------------------------------------------
+        let ciphertext: Vec<NetId> =
+            (0..BLOCK_BITS).map(|i| nl.add_input(format!("ct[{i}]"))).collect();
+        let round_key10: Vec<NetId> =
+            (0..BLOCK_BITS).map(|i| nl.add_input(format!("rk10[{i}]"))).collect();
+        let load = nl.add_input("load");
+
+        // ---- Registers ----------------------------------------------------
+        let mut state_cells = Vec::with_capacity(BLOCK_BITS);
+        let mut state_q = Vec::with_capacity(BLOCK_BITS);
+        for i in 0..BLOCK_BITS {
+            let (c, q) = nl.add_dff_uninit(format!("dstate[{i}]"));
+            state_cells.push(c);
+            state_q.push(q);
+        }
+        let mut rk_cells = Vec::with_capacity(BLOCK_BITS);
+        let mut rk_q = Vec::with_capacity(BLOCK_BITS);
+        for i in 0..BLOCK_BITS {
+            let (c, q) = nl.add_dff_uninit(format!("drk[{i}]"));
+            rk_cells.push(c);
+            rk_q.push(q);
+        }
+        let mut ctr_cells = Vec::with_capacity(4);
+        let mut counter_q = Vec::with_capacity(4);
+        for i in 0..4 {
+            let (c, q) = nl.add_dff_uninit(format!("dround[{i}]"));
+            ctr_cells.push(c);
+            counter_q.push(q);
+        }
+
+        // ---- Control (registered decodes, as in the encryptor) -----------
+        let (is_first_ff, is_first) = nl.add_dff_uninit("inv_first"); // undoing round 10
+        let (hold_ff, hold) = nl.add_dff_uninit("dec_hold");
+        let dec = nl.decrementer(&counter_q);
+        let mut counter_d = Vec::with_capacity(4);
+        for i in 0..4 {
+            let target = (10 >> i) & 1 == 1; // load value 10 = 0b1010
+            let mask = LutMask::from_fn(4, move |r| {
+                let dec_b = r & 1 == 1;
+                let q_b = r & 2 == 2;
+                let load_b = r & 4 == 4;
+                let hold_b = r & 8 == 8;
+                if load_b {
+                    target
+                } else if hold_b {
+                    q_b
+                } else {
+                    dec_b
+                }
+            });
+            let d = nl.add_lut_named(
+                &[dec[i], counter_q[i], load, hold],
+                mask,
+                format!("dround_d[{i}]"),
+            )?;
+            nl.connect_dff_d(ctr_cells[i], d)?;
+            counter_d.push(d);
+        }
+        let is_first_d = nl.eq_const(&counter_d, 10);
+        nl.connect_dff_d(is_first_ff, is_first_d)?;
+        let hold_d = nl.eq_const(&counter_d, 0);
+        nl.connect_dff_d(hold_ff, hold_d)?;
+
+        // RCON decode of the *current* counter (we undo round `counter`).
+        let rcon_bits: Vec<NetId> = (0..8)
+            .map(|j| {
+                let mask = LutMask::from_fn(4, move |r| {
+                    let r = r as usize;
+                    (1..=10).contains(&r) && (RCON[r] >> j) & 1 == 1
+                });
+                nl.add_lut_named(&counter_q, mask, format!("drcon[{j}]"))
+            })
+            .collect::<Result<_, _>>()?;
+
+        // ---- Inverse round datapath ---------------------------------------
+        // u = state ⊕ rk (AddRoundKey with the *current* round key).
+        let mut u: Vec<NetId> = Vec::with_capacity(BLOCK_BITS);
+        for i in 0..BLOCK_BITS {
+            u.push(nl.xor2(state_q[i], rk_q[i]));
+        }
+        // v = is_first ? u : InvMixColumns(u): fold the bypass into the
+        // XOR LUTs by computing imc and muxing per bit.
+        let u_bytes: Vec<[NetId; 8]> =
+            (0..16).map(|b| core::array::from_fn(|i| u[b * 8 + i])).collect();
+        let mut v: Vec<[NetId; 8]> = Vec::with_capacity(16);
+        for col in 0..4 {
+            let bytes: [[NetId; 8]; 4] = core::array::from_fn(|r| u_bytes[4 * col + r]);
+            for out_row in 0..4 {
+                let mut out_bits = [u[0]; 8];
+                for (bit, out_bit) in out_bits.iter_mut().enumerate() {
+                    let mut sources: Vec<NetId> = Vec::new();
+                    for (k, byte) in bytes.iter().enumerate() {
+                        let coeff = [14u8, 11, 13, 9][(k + 4 - out_row) % 4];
+                        for src in coeff_sources(coeff, bit) {
+                            sources.push(byte[src]);
+                        }
+                    }
+                    let imc = nl.xor_many(&sources);
+                    // Bypass mux: is_first ? u : imc.
+                    *out_bit = nl.mux2(is_first, imc, bytes[out_row][bit]);
+                }
+                v.push(out_bits);
+            }
+        }
+        // InvShiftRows: out[r + 4c] = in[r + 4((c - r) mod 4)]
+        // (the inverse of the encryptor's permutation).
+        let mut sr: Vec<[NetId; 8]> = vec![[u[0]; 8]; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                sr[r + 4 * c] = v[r + 4 * ((c + 4 - r) % 4)];
+            }
+        }
+        // InvSubBytes.
+        let mut next_state: Vec<NetId> = Vec::with_capacity(BLOCK_BITS);
+        for (byte, bits) in sr.iter().enumerate() {
+            let s = table_sbox_bits(&mut nl, bits, &INV_SBOX, &format!("isbox{byte}"))?;
+            next_state.extend_from_slice(&s);
+        }
+
+        // ---- Reverse key schedule: rk_{r-1} from rk_r --------------------
+        // w3 = w3' ⊕ w2'; w2 = w2' ⊕ w1'; w1 = w1' ⊕ w0';
+        // w0 = w0' ⊕ SubWord(RotWord(w3)) ⊕ rcon_r.
+        let mut w3_prev = Vec::with_capacity(32); // rk_{r-1} word 3
+        for i in 0..32 {
+            w3_prev.push(nl.xor2(rk_q[96 + i], rk_q[64 + i]));
+        }
+        // SubWord(RotWord(w3_prev)): rotated byte order 1,2,3,0 of w3_prev.
+        let mut sub_rot = Vec::with_capacity(32);
+        for t in 0..4usize {
+            let src = (t + 1) % 4; // RotWord
+            let in_bits: [NetId; 8] = core::array::from_fn(|b| w3_prev[src * 8 + b]);
+            let s = table_sbox_bits(&mut nl, &in_bits, &crate::sbox::SBOX, &format!("iks{t}"))?;
+            sub_rot.extend_from_slice(&s);
+        }
+        let mut rk_prev: Vec<NetId> = Vec::with_capacity(BLOCK_BITS);
+        for i in 0..32 {
+            // w0 = w0' ⊕ temp, temp = sub_rot ⊕ rcon (first byte only).
+            let mut sources = vec![rk_q[i], sub_rot[i]];
+            if i < 8 {
+                sources.push(rcon_bits[i]);
+            }
+            rk_prev.push(nl.xor_many(&sources));
+        }
+        for w in 1..3 {
+            for i in 0..32 {
+                rk_prev.push(nl.xor2(rk_q[w * 32 + i], rk_q[(w - 1) * 32 + i]));
+            }
+        }
+        rk_prev.extend_from_slice(&w3_prev);
+
+        // ---- Register muxes ----------------------------------------------
+        for i in 0..BLOCK_BITS {
+            let mask = LutMask::from_fn(5, |r| {
+                let next_b = r & 1 == 1;
+                let init_b = r & 2 == 2;
+                let q_b = r & 4 == 4;
+                let load_b = r & 8 == 8;
+                let hold_b = r & 16 == 16;
+                if load_b {
+                    init_b
+                } else if hold_b {
+                    q_b
+                } else {
+                    next_b
+                }
+            });
+            let sd = nl.add_lut_named(
+                &[next_state[i], ciphertext[i], state_q[i], load, hold],
+                mask,
+                format!("dstate_d[{i}]"),
+            )?;
+            nl.connect_dff_d(state_cells[i], sd)?;
+            let rd = nl.add_lut_named(
+                &[rk_prev[i], round_key10[i], rk_q[i], load, hold],
+                mask,
+                format!("drk_d[{i}]"),
+            )?;
+            nl.connect_dff_d(rk_cells[i], rd)?;
+        }
+
+        // ---- Plaintext output: pt = state ⊕ rk₀ (valid once done) --------
+        let mut plaintext = Vec::with_capacity(BLOCK_BITS);
+        for i in 0..BLOCK_BITS {
+            let p = nl.xor2(state_q[i], rk_q[i]);
+            nl.add_output(format!("pt[{i}]"), p)?;
+            plaintext.push(p);
+        }
+        nl.add_output("done", hold)?;
+
+        nl.validate()?;
+        Ok(AesDecryptNetlist {
+            netlist: nl,
+            ciphertext,
+            round_key10,
+            load,
+            plaintext,
+            state_q,
+            counter_q,
+            done: hold,
+        })
+    }
+
+    /// Derives the final round key `rk₁₀` from a cipher key — the value
+    /// this core's key port expects.
+    pub fn final_round_key(key: &[u8; 16]) -> [u8; 16] {
+        Aes128::new(key).round_keys()[10]
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Ciphertext input nets.
+    pub fn ciphertext(&self) -> &[NetId] {
+        &self.ciphertext
+    }
+
+    /// Final-round-key input nets.
+    pub fn round_key10(&self) -> &[NetId] {
+        &self.round_key10
+    }
+
+    /// The `load` control input.
+    pub fn load(&self) -> NetId {
+        self.load
+    }
+
+    /// Plaintext output nets (valid once [`AesDecryptNetlist::done`]).
+    pub fn plaintext(&self) -> &[NetId] {
+        &self.plaintext
+    }
+
+    /// State-register outputs.
+    pub fn state_q(&self) -> &[NetId] {
+        &self.state_q
+    }
+
+    /// The 4-bit down-counter outputs (LSB first).
+    pub fn round_counter(&self) -> &[NetId] {
+        &self.counter_q
+    }
+
+    /// The done/hold net.
+    pub fn done(&self) -> NetId {
+        self.done
+    }
+}
+
+/// Source bit indices of output bit `i` of `coeff × a` in GF(2⁸): GF
+/// multiplication by a constant is GF(2)-linear, so bit `i` of the product
+/// is the XOR of input bits `j` where `gf_mul(coeff, 2^j)` has bit `i`.
+fn coeff_sources(coeff: u8, i: usize) -> Vec<usize> {
+    (0..8)
+        .filter(|&j| (gf_mul(coeff, 1 << j) >> i) & 1 == 1)
+        .collect()
+}
+
+/// Simulation harness for the decryptor's interface protocol.
+#[derive(Debug)]
+pub struct AesDecSim<'a> {
+    dec: &'a AesDecryptNetlist,
+    sim: Simulator<'a>,
+}
+
+impl<'a> AesDecSim<'a> {
+    /// Creates a simulator over the decryptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors.
+    pub fn new(dec: &'a AesDecryptNetlist) -> Result<Self, NetlistError> {
+        let sim = dec.netlist.simulator()?;
+        Ok(AesDecSim { dec, sim })
+    }
+
+    /// Runs a full decryption (load + 10 inverse rounds) and returns the
+    /// plaintext. Takes the **cipher key** and derives `rk₁₀` internally.
+    pub fn decrypt(&mut self, ciphertext: &[u8; 16], key: &[u8; 16]) -> [u8; 16] {
+        let rk10 = AesDecryptNetlist::final_round_key(key);
+        self.decrypt_with_rk10(ciphertext, &rk10)
+    }
+
+    /// Runs a full decryption given the final round key directly.
+    pub fn decrypt_with_rk10(&mut self, ciphertext: &[u8; 16], rk10: &[u8; 16]) -> [u8; 16] {
+        self.sim.set_bus_bytes(&self.dec.ciphertext, ciphertext);
+        self.sim.set_bus_bytes(&self.dec.round_key10, rk10);
+        self.sim.set(self.dec.load, true);
+        self.sim.settle();
+        self.sim.clock();
+        self.sim.set(self.dec.load, false);
+        self.sim.settle();
+        for _ in 0..10 {
+            self.sim.clock();
+        }
+        self.sim
+            .get_bus_bytes(&self.dec.plaintext)
+            .try_into()
+            .expect("128-bit plaintext")
+    }
+
+    /// Whether the core has finished (counter reached zero).
+    pub fn is_done(&self) -> bool {
+        self.sim.get(self.dec.done)
+    }
+
+    /// The current down-counter value.
+    pub fn round(&self) -> u8 {
+        self.sim.get_bus(&self.dec.counter_q) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn coeff_sources_match_gf_mul() {
+        // Reconstruct gf_mul from the source sets on random bytes.
+        for coeff in [9u8, 11, 13, 14, 1, 2, 3] {
+            for a in [0x00u8, 0x01, 0x53, 0xCA, 0xFF, 0x80] {
+                let mut out = 0u8;
+                for i in 0..8 {
+                    let bit = coeff_sources(coeff, i)
+                        .iter()
+                        .fold(0u8, |acc, &j| acc ^ ((a >> j) & 1));
+                    out |= bit << i;
+                }
+                assert_eq!(out, gf_mul(coeff, a), "coeff {coeff} a {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn decryptor_validates_and_is_sized_like_the_encryptor() {
+        let dec = AesDecryptNetlist::generate().unwrap();
+        let stats = dec.netlist().stats();
+        assert_eq!(stats.dffs, 262);
+        assert!((1200..2600).contains(&stats.luts), "{} LUTs", stats.luts);
+    }
+
+    #[test]
+    fn decrypts_fips_vector() {
+        let dec = AesDecryptNetlist::generate().unwrap();
+        let mut sim = AesDecSim::new(&dec).unwrap();
+        let pt = sim.decrypt(
+            &hex16("3925841d02dc09fbdc118597196a0b32"),
+            &hex16("2b7e151628aed2a6abf7158809cf4f3c"),
+        );
+        assert_eq!(pt, hex16("3243f6a8885a308d313198a2e0370734"));
+        assert!(sim.is_done());
+    }
+
+    #[test]
+    fn roundtrips_with_the_structural_encryptor() {
+        let enc = crate::structural::AesNetlist::generate().unwrap();
+        let dec = AesDecryptNetlist::generate().unwrap();
+        let mut esim = crate::structural::AesSim::new(&enc).unwrap();
+        let mut dsim = AesDecSim::new(&dec).unwrap();
+        for n in 0..4u8 {
+            let pt = [n.wrapping_mul(37).wrapping_add(1); 16];
+            let key = [n.wrapping_mul(91).wrapping_add(3); 16];
+            let ct = esim.encrypt(&pt, &key);
+            assert_eq!(dsim.decrypt(&ct, &key), pt, "trial {n}");
+        }
+    }
+
+    #[test]
+    fn final_round_key_matches_soft_schedule() {
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        assert_eq!(
+            AesDecryptNetlist::final_round_key(&key),
+            hex16("d014f9a8c9ee2589e13f0cc8b6630ca6")
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Ablation (extension): a *stealth* load-only trojan — constant-LUT taps
+//! with zero switching activity. The EM method (which sees switching)
+//! should struggle; the delay method (which sees loading) should not.
+//! This showcases why the paper presents the two methods as complementary.
+
+use htd_bench::{banner, lab, KEY, PT};
+use htd_core::delay_detect::{characterize_golden, DelayCampaign, DelayDetector};
+use htd_core::em_detect::direct_compare;
+use htd_core::report::{ps, Table};
+use htd_core::{Design, ProgrammedDevice};
+use htd_trojan::TrojanSpec;
+
+fn main() {
+    banner(
+        "Ablation — stealth (load-only) trojan vs both methods",
+        "extension: the paper's methods are complementary — delay sees loads, EM sees switching",
+    );
+    let lab = lab();
+    let golden = Design::golden(&lab).expect("golden design builds");
+    let die = lab.fabricate_die(0);
+    let gdev = ProgrammedDevice::new(&lab, &golden, &die);
+
+    let specs = [TrojanSpec::ht_comb(), TrojanSpec::stealth()];
+    let campaign = DelayCampaign::random(10, 10, 0x57EA);
+    let detector = DelayDetector::new(characterize_golden(&gdev, campaign));
+
+    let mut table = Table::new(&[
+        "trojan",
+        "delay: max |ΔD|",
+        "delay verdict",
+        "EM: deviation / floor",
+        "EM verdict",
+    ]);
+    for (i, spec) in specs.iter().enumerate() {
+        let infected = Design::infected(&lab, spec).expect("insertion succeeds");
+        let tdev = ProgrammedDevice::new(&lab, &infected, &die);
+        // Delay method.
+        let evidence = detector.examine(&tdev, 77 + i as u64);
+        // EM method (same-die direct comparison).
+        let g1 = gdev.acquire_em_trace(&PT, &KEY, 500 + i as u64);
+        let g2 = gdev.acquire_em_trace(&PT, &KEY, 600 + i as u64);
+        let t = tdev.acquire_em_trace(&PT, &KEY, 700 + i as u64);
+        let cmp = direct_compare(&g1, &g2, &t);
+        table.push_row(&[
+            spec.to_string(),
+            ps(evidence.max_diff_ps),
+            if evidence.infected { "HT!" } else { "clean" }.to_string(),
+            format!("{:.1}x", cmp.max_abs_diff / cmp.noise_floor.max(1e-9)),
+            if cmp.infected { "HT!" } else { "not visible" }.to_string(),
+        ]);
+    }
+    println!("\n{table}");
+    println!("same-die EM still sees the stealth probe: its route-spur loading");
+    println!("shifts the *timing* of the AES's own switching, and averaged traces");
+    println!("resolve that. The stealth advantage shows where timing noise is");
+    println!("already large — across dies:");
+
+    // Inter-die comparison (Section V conditions): PV timing warp masks
+    // the stealth probe's timing-only signature much more than the active
+    // trigger's added switching.
+    use htd_core::em_detect::{fn_rate_experiment, SideChannel};
+    use htd_core::report::pct;
+    let n = 48;
+    let report = fn_rate_experiment(
+        &lab,
+        &[
+            TrojanSpec::ht_comb(),
+            TrojanSpec::stealth(),
+            TrojanSpec::ht_seq(),
+        ],
+        SideChannel::Em,
+        n,
+        &PT,
+        &KEY,
+        1717,
+    )
+    .expect("experiment runs");
+    let mut interdie = Table::new(&[
+        "trojan",
+        "switching?",
+        "inter-die EM µ/σ",
+        "inter-die EM FN (Eq.5)",
+    ]);
+    for row in &report.rows {
+        let switching = match row.name.as_str() {
+            "HT-seq" => "yes (counter ticks)",
+            "HT-comb" => "almost none (dormant AND tree)",
+            _ => "none by construction",
+        };
+        interdie.push_row(&[
+            row.name.clone(),
+            switching.to_string(),
+            format!("{:.2}", row.mu / row.sigma),
+            pct(row.analytic_fn_rate),
+        ]);
+    }
+    println!("\n{interdie}");
+    println!("finding: a dormant all-ones trigger is itself nearly switching-");
+    println!("silent (its AND tree toggles only on near-trigger patterns), so its");
+    println!("EM signature — like the stealth probe's — is dominated by passive");
+    println!("loading, and the two are equally (in)visible. A trojan that truly");
+    println!("switches (HT-seq's counter) stands out much further. The delay");
+    println!("method flags all three regardless, because it senses the load");
+    println!("directly — the complementarity behind the paper's two methods.");
+}

@@ -1,0 +1,293 @@
+//! Delay-based HT detection (paper Section III).
+//!
+//! Protocol, as in the paper:
+//!
+//! 1. Pick a set of random (plaintext, key) pairs. For each pair, run the
+//!    encryption up to round 10 and sweep the glitched clock period down in
+//!    35 ps steps, 51 steps total, repeating each sweep (default 10×) to
+//!    average the measurement noise `dM`.
+//! 2. The mean fault-onset step of each ciphertext bit is its delay
+//!    estimate (Fig. 2).
+//! 3. Characterise the Golden Model once; compare any device under test
+//!    bit-by-bit and pair-by-pair via Eq. (4):
+//!    `∆D(Na) = |∆D̄₁₀(Na) − D_HT(Na)|`. Bits whose difference exceeds the
+//!    decision threshold are evidence of an HT; more pairs sample more
+//!    bits and accumulate more evidence (Section III-B).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use htd_timing::{GlitchParams, GlitchSweep};
+
+use crate::ProgrammedDevice;
+
+/// A delay-measurement campaign: the (plaintext, key) pairs, the per-pair
+/// sweep repetitions and the base seed for measurement noise.
+#[derive(Debug, Clone)]
+pub struct DelayCampaign {
+    /// The (plaintext, key) pairs exercised (the paper uses 50 for Fig. 3).
+    pub pairs: Vec<([u8; 16], [u8; 16])>,
+    /// Sweep repetitions per pair (the paper repeats 10×).
+    pub repetitions: usize,
+    /// Base seed for the measurement-noise draws.
+    pub seed: u64,
+}
+
+impl DelayCampaign {
+    /// A campaign over `n_pairs` uniformly random pairs.
+    pub fn random(n_pairs: usize, repetitions: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00D3_1A7C_0A31_9B2D);
+        let pairs = (0..n_pairs)
+            .map(|_| {
+                let mut pt = [0u8; 16];
+                let mut key = [0u8; 16];
+                rng.fill(&mut pt);
+                rng.fill(&mut key);
+                (pt, key)
+            })
+            .collect();
+        DelayCampaign {
+            pairs,
+            repetitions,
+            seed,
+        }
+    }
+
+    /// The paper's Fig. 3 campaign: 50 pairs × 10 repetitions.
+    pub fn paper(seed: u64) -> Self {
+        Self::random(50, 10, seed)
+    }
+}
+
+/// Mean fault-onset steps: `mean_onset_steps[pair][bit]`, saturated at the
+/// sweep length for bits that never faulted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayMatrix {
+    /// Mean onset step per pair per ciphertext bit.
+    pub mean_onset_steps: Vec<Vec<f64>>,
+}
+
+impl DelayMatrix {
+    /// Number of pairs measured.
+    pub fn pair_count(&self) -> usize {
+        self.mean_onset_steps.len()
+    }
+}
+
+/// The characterised golden reference: sweep parameters (shared with every
+/// later measurement, like the physical glitch bench) and the golden delay
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct GoldenDelayModel {
+    /// Sweep parameters established on the golden device.
+    pub params: GlitchParams,
+    /// The golden mean-onset matrix.
+    pub matrix: DelayMatrix,
+    /// The campaign the matrix was measured with (a DUT must be measured
+    /// with the same pairs for Eq. (4) to compare like with like).
+    pub campaign: DelayCampaign,
+}
+
+/// Measures the mean-onset matrix of `device` under `campaign` using
+/// `params`. `noise_salt` decorrelates the `dM` draws of independent
+/// characterisations (golden vs DUT runs — `r1` vs `r2` in Eqns. 2–3).
+pub fn measure_matrix(
+    device: &ProgrammedDevice<'_>,
+    campaign: &DelayCampaign,
+    params: &GlitchParams,
+    noise_salt: u64,
+) -> DelayMatrix {
+    let sweep = GlitchSweep::new(*params);
+    let saturation = (params.steps - 1) as f64;
+    let mean_onset_steps = campaign
+        .pairs
+        .iter()
+        .enumerate()
+        .map(|(pair_idx, (pt, key))| {
+            let settles = device
+                .round10_settle_times(pt, key)
+                .expect("validated design simulates");
+            let mut rng = StdRng::seed_from_u64(
+                campaign
+                    .seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(pair_idx as u64)
+                    .wrapping_add(noise_salt.wrapping_mul(0x51ED_270F)),
+            );
+            let mut acc = vec![0.0f64; settles.len()];
+            for _ in 0..campaign.repetitions.max(1) {
+                for (bit, onset) in sweep.fault_onsets(&settles, &mut rng).iter().enumerate() {
+                    acc[bit] += onset.step().map(f64::from).unwrap_or(saturation);
+                }
+            }
+            acc.iter()
+                .map(|a| a / campaign.repetitions.max(1) as f64)
+                .collect()
+        })
+        .collect();
+    DelayMatrix { mean_onset_steps }
+}
+
+/// Characterises a golden device: establishes the sweep aim from the
+/// measured settling times (the physical procedure — widen until nothing
+/// faults, then step down) and records the golden matrix.
+pub fn characterize_golden(
+    device: &ProgrammedDevice<'_>,
+    campaign: DelayCampaign,
+) -> GoldenDelayModel {
+    // Aim the sweep at the slowest observed path over all pairs.
+    let mut max_required: f64 = 0.0;
+    for (pt, key) in &campaign.pairs {
+        let settles = device
+            .round10_settle_times(pt, key)
+            .expect("validated design simulates");
+        for s in settles.into_iter().flatten() {
+            max_required = max_required.max(s);
+        }
+    }
+    let tech_setup = device.annotation().setup_ps();
+    let noise = device.annotation().measurement_noise_ps();
+    let params = GlitchParams::paper_sweep(max_required + tech_setup, tech_setup, noise);
+    let matrix = measure_matrix(device, &campaign, &params, 0);
+    GoldenDelayModel {
+        params,
+        matrix,
+        campaign,
+    }
+}
+
+/// Per-device examination result.
+#[derive(Debug, Clone)]
+pub struct DelayEvidence {
+    /// `diff_ps[pair][bit]`: Eq. (4) delay difference in ps.
+    pub diff_ps: Vec<Vec<f64>>,
+    /// Largest difference observed anywhere.
+    pub max_diff_ps: f64,
+    /// Distinct bits exceeding the threshold in at least one pair.
+    pub flagged_bits: usize,
+    /// Decision threshold used, ps.
+    pub threshold_ps: f64,
+    /// The verdict: `true` = hardware trojan suspected.
+    pub infected: bool,
+}
+
+impl DelayEvidence {
+    /// The per-bit maximum difference over all pairs (the y-values of the
+    /// paper's Fig. 3, taking the worst pair per bit).
+    pub fn per_bit_max(&self) -> Vec<f64> {
+        if self.diff_ps.is_empty() {
+            return Vec::new();
+        }
+        let bits = self.diff_ps[0].len();
+        (0..bits)
+            .map(|b| self.diff_ps.iter().map(|p| p[b]).fold(0.0, f64::max))
+            .collect()
+    }
+}
+
+/// The delay-based detector: a golden model plus a decision threshold.
+#[derive(Debug, Clone)]
+pub struct DelayDetector {
+    golden: GoldenDelayModel,
+    threshold_ps: f64,
+}
+
+impl DelayDetector {
+    /// Default decision threshold: two glitch steps (70 ps). Clean-vs-clean
+    /// residue is bounded by the measurement noise over √repetitions,
+    /// comfortably below it; HT-induced shifts (Fig. 3) are far above it.
+    pub const DEFAULT_THRESHOLD_PS: f64 = 70.0;
+
+    /// Builds a detector from a characterised golden model.
+    pub fn new(golden: GoldenDelayModel) -> Self {
+        DelayDetector {
+            golden,
+            threshold_ps: Self::DEFAULT_THRESHOLD_PS,
+        }
+    }
+
+    /// Overrides the decision threshold.
+    pub fn with_threshold_ps(mut self, threshold_ps: f64) -> Self {
+        self.threshold_ps = threshold_ps;
+        self
+    }
+
+    /// The golden model.
+    pub fn golden(&self) -> &GoldenDelayModel {
+        &self.golden
+    }
+
+    /// Measures `device` with the golden campaign/sweep and evaluates
+    /// Eq. (4) on every pair and bit.
+    pub fn examine(&self, device: &ProgrammedDevice<'_>, noise_salt: u64) -> DelayEvidence {
+        self.examine_pairs(device, noise_salt, self.golden.campaign.pairs.len())
+    }
+
+    /// Like [`DelayDetector::examine`] but using only the first
+    /// `n_pairs` pairs — the evidence-vs-pairs ablation of Section III-B.
+    pub fn examine_pairs(
+        &self,
+        device: &ProgrammedDevice<'_>,
+        noise_salt: u64,
+        n_pairs: usize,
+    ) -> DelayEvidence {
+        let mut campaign = self.golden.campaign.clone();
+        campaign.pairs.truncate(n_pairs);
+        let dut = measure_matrix(device, &campaign, &self.golden.params, noise_salt);
+        let step = self.golden.params.step_ps;
+        let mut max_diff = 0.0f64;
+        let bits = self
+            .golden
+            .matrix
+            .mean_onset_steps
+            .first()
+            .map(Vec::len)
+            .unwrap_or(0);
+        let mut bit_flagged = vec![false; bits];
+        let diff_ps: Vec<Vec<f64>> = dut
+            .mean_onset_steps
+            .iter()
+            .enumerate()
+            .map(|(p, dut_row)| {
+                let gm_row = &self.golden.matrix.mean_onset_steps[p];
+                dut_row
+                    .iter()
+                    .zip(gm_row)
+                    .enumerate()
+                    .map(|(b, (d, g))| {
+                        let diff = (d - g).abs() * step;
+                        if diff > self.threshold_ps {
+                            bit_flagged[b] = true;
+                        }
+                        max_diff = max_diff.max(diff);
+                        diff
+                    })
+                    .collect()
+            })
+            .collect();
+        let flagged_bits = bit_flagged.iter().filter(|&&f| f).count();
+        DelayEvidence {
+            diff_ps,
+            max_diff_ps: max_diff,
+            flagged_bits,
+            threshold_ps: self.threshold_ps,
+            infected: flagged_bits > 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_reproducible_and_distinct_by_seed() {
+        let a = DelayCampaign::random(5, 10, 1);
+        let b = DelayCampaign::random(5, 10, 1);
+        let c = DelayCampaign::random(5, 10, 2);
+        assert_eq!(a.pairs, b.pairs);
+        assert_ne!(a.pairs, c.pairs);
+        assert_eq!(DelayCampaign::paper(0).pairs.len(), 50);
+        assert_eq!(DelayCampaign::paper(0).repetitions, 10);
+    }
+}

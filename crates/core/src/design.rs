@@ -1,0 +1,349 @@
+//! Designs (golden / infected) and devices programmed with them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use htd_aes::structural::AesSim;
+use htd_aes::AesNetlist;
+use htd_em::{collect_activity, CurrentEvent, Trace};
+use htd_fabric::{DieVariation, Placement};
+use htd_netlist::NetlistError;
+use htd_timing::{DelayAnnotation, EventSimulator, Sta};
+use htd_trojan::{apply_coupling, insert, InsertedTrojan, TrojanError, TrojanSpec};
+
+use crate::Lab;
+
+/// A placed AES-128 bitstream: either the golden design or a
+/// trojan-infected variant that shares its placement and routing
+/// (Section II-A).
+#[derive(Debug, Clone)]
+pub struct Design {
+    aes: AesNetlist,
+    placement: Placement,
+    trojan: Option<InsertedTrojan>,
+}
+
+impl Design {
+    /// Synthesizes and places the golden AES-128.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist generation or placement failures.
+    pub fn golden(lab: &Lab) -> Result<Self, Box<dyn std::error::Error>> {
+        let aes = AesNetlist::generate()?;
+        let placement = Placement::place(aes.netlist(), &lab.device)?;
+        Ok(Design {
+            aes,
+            placement,
+            trojan: None,
+        })
+    }
+
+    /// Builds the infected variant: the golden design plus `spec`, inserted
+    /// into unused sites without touching the original placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, placement or insertion failures.
+    pub fn infected(lab: &Lab, spec: &TrojanSpec) -> Result<Self, Box<dyn std::error::Error>> {
+        let mut aes = AesNetlist::generate()?;
+        let mut placement = Placement::place(aes.netlist(), &lab.device)?;
+        let trojan = insert(&mut aes, &mut placement, spec).map_err(Box::<TrojanError>::from)?;
+        Ok(Design {
+            aes,
+            placement,
+            trojan: Some(trojan),
+        })
+    }
+
+    /// The AES design (netlist + pin map).
+    pub fn aes(&self) -> &AesNetlist {
+        &self.aes
+    }
+
+    /// The placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The inserted trojan, if this is an infected design.
+    pub fn trojan(&self) -> Option<&InsertedTrojan> {
+        self.trojan.as_ref()
+    }
+
+    /// Slices used by the design (trojan included if present).
+    pub fn used_slices(&self) -> usize {
+        self.placement.used_slices()
+    }
+}
+
+/// A [`Design`] programmed onto one fabricated die: delays annotated with
+/// that die's process variation and the trojan's parasitic coupling
+/// applied. This is the unit every measurement runs against.
+#[derive(Debug)]
+pub struct ProgrammedDevice<'a> {
+    lab: &'a Lab,
+    design: &'a Design,
+    die: &'a DieVariation,
+    annotation: DelayAnnotation,
+}
+
+impl<'a> ProgrammedDevice<'a> {
+    /// Programs `design` onto `die`.
+    pub fn new(lab: &'a Lab, design: &'a Design, die: &'a DieVariation) -> Self {
+        let mut annotation =
+            DelayAnnotation::annotate(design.aes.netlist(), &design.placement, &lab.tech, die);
+        if let Some(trojan) = &design.trojan {
+            apply_coupling(
+                &mut annotation,
+                design.aes.netlist(),
+                &design.placement,
+                &lab.tech,
+                &lab.power_grid,
+                trojan,
+            );
+        }
+        ProgrammedDevice {
+            lab,
+            design,
+            die,
+            annotation,
+        }
+    }
+
+    /// The design loaded on this device.
+    pub fn design(&self) -> &Design {
+        self.design
+    }
+
+    /// The die this device was fabricated as.
+    pub fn die(&self) -> &DieVariation {
+        self.die
+    }
+
+    /// The annotated delays (including any trojan coupling).
+    pub fn annotation(&self) -> &DelayAnnotation {
+        &self.annotation
+    }
+
+    /// Functional encryption (sanity check; both golden and dormant
+    /// infected devices must agree with the reference cipher).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn encrypt(&self, pt: &[u8; 16], key: &[u8; 16]) -> Result<[u8; 16], NetlistError> {
+        let mut sim = AesSim::new(&self.design.aes)?;
+        Ok(sim.encrypt(pt, key))
+    }
+
+    /// Data-dependent settling time of each ciphertext bit's register `D`
+    /// pin during the round-10 evaluation for the given pair — the
+    /// quantity the clock-glitch sweep reads out (Section III-B).
+    ///
+    /// `None` entries are bits that did not toggle (they can never violate
+    /// setup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn round10_settle_times(
+        &self,
+        pt: &[u8; 16],
+        key: &[u8; 16],
+    ) -> Result<Vec<Option<f64>>, NetlistError> {
+        let aes = &self.design.aes;
+        let mut sim = AesSim::new(aes)?;
+        sim.start(pt, key);
+        for _ in 0..8 {
+            sim.step_round();
+        }
+        // The next edge launches round 9's result; during that cycle the
+        // round-10 logic settles at the state D pins (see the timing-crate
+        // integration tests for the cycle accounting).
+        let mut esim = EventSimulator::from_snapshot(aes.netlist(), sim.simulator().snapshot());
+        let run = esim.clock_cycle(&self.annotation);
+        Ok(aes
+            .state_d()
+            .iter()
+            .map(|&d| run.arrival_at_sinks_ps(d, &self.annotation))
+            .collect())
+    }
+
+    /// Static-timing upper bound of the round path (used to aim sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates levelization failures.
+    pub fn sta_min_period_ps(&self) -> Result<f64, NetlistError> {
+        let sta = Sta::analyze(self.design.aes.netlist(), &self.annotation)?;
+        Ok(sta.min_period_ps(
+            self.design.aes.netlist(),
+            self.design.aes.state_d(),
+            &self.annotation,
+        ))
+    }
+
+    /// Runs one full timed encryption and returns the current events of
+    /// every cycle (the EM/power chains integrate these).
+    pub fn timed_encryption_activity(&self, pt: &[u8; 16], key: &[u8; 16]) -> Vec<CurrentEvent> {
+        let aes = &self.design.aes;
+        let netlist = aes.netlist();
+        let mut fsim = netlist.simulator().expect("validated design");
+        fsim.set_bus_bytes(aes.plaintext(), pt);
+        fsim.set_bus_bytes(aes.key(), key);
+        fsim.set(aes.load(), true);
+        fsim.settle();
+        let mut esim = EventSimulator::from_snapshot(netlist, fsim.snapshot());
+        // The load strobe drops during cycle 0, so edge 1 already captures
+        // round 1 (synchronous testbench behaviour).
+        esim.set_input(aes.load(), false);
+        let period = self.lab.acquisition.clock_period_ps;
+        let mut events = Vec::new();
+        for cycle in 0..self.lab.acquisition.n_cycles {
+            let run = esim.clock_cycle(&self.annotation);
+            events.extend(collect_activity(
+                &run,
+                cycle as f64 * period,
+                netlist,
+                &self.design.placement,
+                self.die,
+                &self.lab.tech,
+            ));
+        }
+        events
+    }
+
+    /// Acquires one averaged EM trace of one encryption (Section IV).
+    ///
+    /// `measure_seed` drives the acquisition noise (scope + installation);
+    /// reusing a seed reproduces the exact trace.
+    pub fn acquire_em_trace(&self, pt: &[u8; 16], key: &[u8; 16], measure_seed: u64) -> Trace {
+        let events = self.timed_encryption_activity(pt, key);
+        let mut rng = StdRng::seed_from_u64(measure_seed ^ 0xE37A_11CE_55AA_0001);
+        self.lab.em.acquire(&events, &self.lab.acquisition, &mut rng)
+    }
+
+    /// Acquires one averaged global power trace (the baseline chain).
+    pub fn acquire_power_trace(&self, pt: &[u8; 16], key: &[u8; 16], measure_seed: u64) -> Trace {
+        let events = self.timed_encryption_activity(pt, key);
+        let mut rng = StdRng::seed_from_u64(measure_seed ^ 0x0F0F_5A5A_3C3C_0002);
+        self.lab
+            .power
+            .acquire(&events, &self.lab.acquisition, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_aes::soft::Aes128;
+
+    fn lab() -> Lab {
+        Lab::paper()
+    }
+
+    #[test]
+    fn golden_device_encrypts_correctly() {
+        let lab = lab();
+        let golden = Design::golden(&lab).unwrap();
+        let die = lab.fabricate_die(0);
+        let dev = ProgrammedDevice::new(&lab, &golden, &die);
+        let pt = [0x11u8; 16];
+        let key = [0x22u8; 16];
+        assert_eq!(
+            dev.encrypt(&pt, &key).unwrap(),
+            Aes128::new(&key).encrypt_block(&pt)
+        );
+    }
+
+    #[test]
+    fn dormant_infected_device_is_functionally_identical() {
+        let lab = lab();
+        let infected = Design::infected(&lab, &TrojanSpec::ht_comb()).unwrap();
+        let die = lab.fabricate_die(0);
+        let dev = ProgrammedDevice::new(&lab, &infected, &die);
+        let pt = [0x33u8; 16];
+        let key = [0x44u8; 16];
+        assert_eq!(
+            dev.encrypt(&pt, &key).unwrap(),
+            Aes128::new(&key).encrypt_block(&pt)
+        );
+        assert!(infected.trojan().is_some());
+    }
+
+    #[test]
+    fn infected_settle_times_shift_on_tapped_bits() {
+        let lab = lab();
+        let golden = Design::golden(&lab).unwrap();
+        let infected = Design::infected(&lab, &TrojanSpec::ht_comb()).unwrap();
+        let die = lab.fabricate_die(0);
+        let pt = [0x01u8; 16];
+        let key = [0xFEu8; 16];
+        let g = ProgrammedDevice::new(&lab, &golden, &die)
+            .round10_settle_times(&pt, &key)
+            .unwrap();
+        let t = ProgrammedDevice::new(&lab, &infected, &die)
+            .round10_settle_times(&pt, &key)
+            .unwrap();
+        let mut shifted = 0usize;
+        let mut max_shift = 0.0f64;
+        for (a, b) in g.iter().zip(&t) {
+            if let (Some(a), Some(b)) = (a, b) {
+                let d = (b - a).abs();
+                if d > 30.0 {
+                    shifted += 1;
+                }
+                max_shift = max_shift.max(d);
+            }
+        }
+        assert!(shifted > 8, "only {shifted} bits shifted");
+        assert!(
+            max_shift > 100.0 && max_shift < 3_000.0,
+            "max shift {max_shift}"
+        );
+    }
+
+    #[test]
+    fn em_traces_show_round_structure() {
+        let lab = lab();
+        let golden = Design::golden(&lab).unwrap();
+        let die = lab.fabricate_die(0);
+        let dev = ProgrammedDevice::new(&lab, &golden, &die);
+        let trace = dev.acquire_em_trace(&[0x55u8; 16], &[0xAAu8; 16], 1);
+        // ~208 samples per cycle; cycles 0..=10 carry activity.
+        let per_cycle = (lab.acquisition.clock_period_ps / trace.dt_ps()) as usize;
+        let cycle_rms = |c: usize| trace.window(c * per_cycle, (c + 1) * per_cycle).rms();
+        // Every computing cycle is loud; the tail idle cycle is quiet.
+        for c in 0..10 {
+            assert!(cycle_rms(c) > 5.0 * cycle_rms(12).max(1.0), "cycle {c}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_trace_exactly() {
+        let lab = lab();
+        let golden = Design::golden(&lab).unwrap();
+        let die = lab.fabricate_die(2);
+        let dev = ProgrammedDevice::new(&lab, &golden, &die);
+        let a = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 9);
+        let b = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 9);
+        assert_eq!(a, b);
+        let c = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn different_dies_emit_differently() {
+        let lab = lab();
+        let golden = Design::golden(&lab).unwrap();
+        let d1 = lab.fabricate_die(1);
+        let d2 = lab.fabricate_die(2);
+        let pt = [0x77u8; 16];
+        let key = [0x88u8; 16];
+        let t1 = ProgrammedDevice::new(&lab, &golden, &d1).acquire_em_trace(&pt, &key, 5);
+        let t2 = ProgrammedDevice::new(&lab, &golden, &d2).acquire_em_trace(&pt, &key, 5);
+        let diff = t1.abs_diff(&t2);
+        assert!(diff.peak() > 10.0, "inter-die difference {}", diff.peak());
+    }
+}

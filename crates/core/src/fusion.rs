@@ -1,0 +1,347 @@
+//! Multi-channel detection under inter-die process variations — the
+//! paper's stated perspective (Section VI): *"a more precise evaluation of
+//! impact of process variations on detection probability using **both**
+//! delay and EM measurements."*
+//!
+//! Three detectors run over the same die population:
+//!
+//! * **EM channel** — the Section V sum-of-local-maxima metric.
+//! * **Delay channel** — an inter-die generalisation of Section III: the
+//!   golden *population mean* onset matrix replaces the same-die golden
+//!   model, and the per-die statistic is the mean absolute onset deviation
+//!   (in ps) over all pairs and bits.
+//! * **Fused channel** — the sum of the two channels' golden-normalised
+//!   z-scores; independent evidence adds, so the fused separation µ/σ is
+//!   at best the quadrature sum of the channels'.
+
+use htd_fabric::DieVariation;
+use htd_stats::detection::{empirical_rates, equal_error_rate};
+use htd_stats::Gaussian;
+use htd_trojan::TrojanSpec;
+
+use crate::delay_detect::{measure_matrix, DelayCampaign, DelayMatrix};
+use crate::em_detect::TraceMetric;
+use crate::{Design, Lab, ProgrammedDevice};
+use htd_em::Trace;
+use htd_timing::GlitchParams;
+
+/// Per-channel population statistics for one trojan.
+#[derive(Debug, Clone)]
+pub struct ChannelResult {
+    /// Channel label (`"EM"`, `"delay"`, `"fused"`).
+    pub channel: &'static str,
+    /// Metric offset µ between infected and golden populations.
+    pub mu: f64,
+    /// Pooled metric standard deviation.
+    pub sigma: f64,
+    /// Eq. (5) analytic equal error rate.
+    pub analytic_fn_rate: f64,
+    /// Empirical false-negative rate at the midpoint threshold.
+    pub empirical_fn_rate: f64,
+}
+
+impl ChannelResult {
+    fn from_populations(channel: &'static str, golden: &[f64], infected: &[f64]) -> Self {
+        let g = Gaussian::fit(golden).expect("golden population has spread");
+        let t = Gaussian::fit(infected).expect("infected population has spread");
+        let mu = t.mean() - g.mean();
+        let sigma = ((g.std() * g.std() + t.std() * t.std()) / 2.0).sqrt();
+        let analytic = if mu > 0.0 {
+            equal_error_rate(mu, sigma)
+        } else {
+            0.5
+        };
+        let midpoint = g.mean() + mu / 2.0;
+        let (_, fnr) = empirical_rates(golden, infected, midpoint);
+        ChannelResult {
+            channel,
+            mu,
+            sigma,
+            analytic_fn_rate: analytic,
+            empirical_fn_rate: fnr,
+        }
+    }
+}
+
+/// Results of the multi-channel experiment for one trojan.
+#[derive(Debug, Clone)]
+pub struct FusionRow {
+    /// Trojan name.
+    pub name: String,
+    /// EM-only channel.
+    pub em: ChannelResult,
+    /// Delay-only channel.
+    pub delay: ChannelResult,
+    /// Fused (z-score sum) channel.
+    pub fused: ChannelResult,
+}
+
+/// The full multi-channel report.
+#[derive(Debug, Clone)]
+pub struct FusionReport {
+    /// One row per trojan.
+    pub rows: Vec<FusionRow>,
+    /// Population size.
+    pub n_dies: usize,
+}
+
+/// The per-die raw measurements of one design across the population.
+struct PopulationMeasurement {
+    em_metrics: Vec<f64>,
+    delay_metrics: Vec<f64>,
+}
+
+/// Mean absolute onset deviation (ps) of a matrix against a reference.
+fn delay_metric(matrix: &DelayMatrix, reference: &DelayMatrix, step_ps: f64) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (row, ref_row) in matrix
+        .mean_onset_steps
+        .iter()
+        .zip(&reference.mean_onset_steps)
+    {
+        for (a, b) in row.iter().zip(ref_row) {
+            sum += (a - b).abs() * step_ps;
+            n += 1;
+        }
+    }
+    sum / n.max(1) as f64
+}
+
+/// Element-wise mean of a set of onset matrices.
+fn mean_matrix(matrices: &[DelayMatrix]) -> DelayMatrix {
+    let pairs = matrices[0].mean_onset_steps.len();
+    let bits = matrices[0].mean_onset_steps[0].len();
+    let mut mean = vec![vec![0.0f64; bits]; pairs];
+    for m in matrices {
+        for (p, row) in m.mean_onset_steps.iter().enumerate() {
+            for (b, v) in row.iter().enumerate() {
+                mean[p][b] += v;
+            }
+        }
+    }
+    let n = matrices.len() as f64;
+    for row in &mut mean {
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
+    DelayMatrix {
+        mean_onset_steps: mean,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_population(
+    lab: &Lab,
+    design: &Design,
+    dies: &[DieVariation],
+    params: &GlitchParams,
+    campaign: &DelayCampaign,
+    em_reference: &Trace,
+    delay_reference: &DelayMatrix,
+    pt: &[u8; 16],
+    key: &[u8; 16],
+    seed: u64,
+) -> PopulationMeasurement {
+    let mut em_metrics = Vec::with_capacity(dies.len());
+    let mut delay_metrics = Vec::with_capacity(dies.len());
+    for (j, die) in dies.iter().enumerate() {
+        let dev = ProgrammedDevice::new(lab, design, die);
+        let trace = dev.acquire_em_trace(pt, key, seed.wrapping_add(j as u64));
+        em_metrics.push(
+            TraceMetric::SumOfLocalMaxima.evaluate(trace.abs_diff(em_reference).samples()),
+        );
+        let matrix = measure_matrix(&dev, campaign, params, seed.wrapping_add(j as u64));
+        delay_metrics.push(delay_metric(&matrix, delay_reference, params.step_ps));
+    }
+    PopulationMeasurement {
+        em_metrics,
+        delay_metrics,
+    }
+}
+
+/// Runs the fused delay+EM experiment over `n_dies` dies.
+///
+/// The delay campaign is intentionally small (a handful of pairs) — the
+/// point is channel comparison, not full fingerprinting.
+///
+/// # Errors
+///
+/// Propagates design construction and fitting failures.
+#[allow(clippy::too_many_arguments)]
+pub fn fusion_experiment(
+    lab: &Lab,
+    specs: &[TrojanSpec],
+    n_dies: usize,
+    campaign_pairs: usize,
+    pt: &[u8; 16],
+    key: &[u8; 16],
+    seed: u64,
+) -> Result<FusionReport, Box<dyn std::error::Error>> {
+    let golden = Design::golden(lab)?;
+    let dies = lab.fabricate_batch(n_dies);
+    let campaign = DelayCampaign::random(campaign_pairs, 3, seed);
+
+    // Aim the glitch sweep so even the slowest die's slowest path faults.
+    let mut max_required: f64 = 0.0;
+    let mut setup = 0.0;
+    let mut noise = 0.0;
+    for die in &dies {
+        let dev = ProgrammedDevice::new(lab, &golden, die);
+        setup = dev.annotation().setup_ps();
+        noise = dev.annotation().measurement_noise_ps();
+        for (pt_i, key_i) in &campaign.pairs {
+            let settles = dev.round10_settle_times(pt_i, key_i)?;
+            for s in settles.into_iter().flatten() {
+                max_required = max_required.max(s + setup);
+            }
+        }
+    }
+    let params = GlitchParams::paper_sweep(max_required, setup, noise);
+
+    // Golden population references: EM mean trace + mean onset matrix.
+    let golden_traces: Vec<Trace> = dies
+        .iter()
+        .enumerate()
+        .map(|(j, die)| {
+            ProgrammedDevice::new(lab, &golden, die).acquire_em_trace(
+                pt,
+                key,
+                seed.wrapping_add(j as u64),
+            )
+        })
+        .collect();
+    let em_reference = Trace::mean_of(&golden_traces);
+    let golden_matrices: Vec<DelayMatrix> = dies
+        .iter()
+        .enumerate()
+        .map(|(j, die)| {
+            let dev = ProgrammedDevice::new(lab, &golden, die);
+            measure_matrix(&dev, &campaign, &params, seed.wrapping_add(j as u64))
+        })
+        .collect();
+    let delay_reference = mean_matrix(&golden_matrices);
+
+    let golden_pop = measure_population(
+        lab,
+        &golden,
+        &dies,
+        &params,
+        &campaign,
+        &em_reference,
+        &delay_reference,
+        pt,
+        key,
+        seed,
+    );
+
+    let fuse = |em: &[f64], delay: &[f64], g_em: &Gaussian, g_dl: &Gaussian| -> Vec<f64> {
+        em.iter()
+            .zip(delay)
+            .map(|(e, d)| (e - g_em.mean()) / g_em.std() + (d - g_dl.mean()) / g_dl.std())
+            .collect()
+    };
+    let g_em = Gaussian::fit(&golden_pop.em_metrics)?;
+    let g_dl = Gaussian::fit(&golden_pop.delay_metrics)?;
+    let golden_fused = fuse(&golden_pop.em_metrics, &golden_pop.delay_metrics, &g_em, &g_dl);
+
+    let mut rows = Vec::with_capacity(specs.len());
+    for (s, spec) in specs.iter().enumerate() {
+        let infected = Design::infected(lab, spec)?;
+        let pop = measure_population(
+            lab,
+            &infected,
+            &dies,
+            &params,
+            &campaign,
+            &em_reference,
+            &delay_reference,
+            pt,
+            key,
+            seed.wrapping_add(0x2000 * (s as u64 + 1)),
+        );
+        let infected_fused = fuse(&pop.em_metrics, &pop.delay_metrics, &g_em, &g_dl);
+        rows.push(FusionRow {
+            name: spec.name.clone(),
+            em: ChannelResult::from_populations("EM", &golden_pop.em_metrics, &pop.em_metrics),
+            delay: ChannelResult::from_populations(
+                "delay",
+                &golden_pop.delay_metrics,
+                &pop.delay_metrics,
+            ),
+            fused: ChannelResult::from_populations("fused", &golden_fused, &infected_fused),
+        });
+    }
+    Ok(FusionReport { rows, n_dies })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_result_computes_separation() {
+        let golden = vec![1.0, 2.0, 3.0, 2.0, 1.5, 2.5];
+        let infected: Vec<f64> = golden.iter().map(|x| x + 5.0).collect();
+        let r = ChannelResult::from_populations("EM", &golden, &infected);
+        assert!((r.mu - 5.0).abs() < 1e-12);
+        assert!(r.analytic_fn_rate < 0.01);
+        assert_eq!(r.empirical_fn_rate, 0.0);
+    }
+
+    #[test]
+    fn delay_metric_is_mean_absolute_deviation() {
+        let a = DelayMatrix {
+            mean_onset_steps: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        };
+        let b = DelayMatrix {
+            mean_onset_steps: vec![vec![2.0, 2.0], vec![3.0, 0.0]],
+        };
+        // |Δ| = [1, 0, 0, 4], mean = 1.25 steps × 35 ps.
+        assert!((delay_metric(&a, &b, 35.0) - 1.25 * 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_matrix_averages_elementwise() {
+        let a = DelayMatrix {
+            mean_onset_steps: vec![vec![0.0, 4.0]],
+        };
+        let b = DelayMatrix {
+            mean_onset_steps: vec![vec![2.0, 0.0]],
+        };
+        let m = mean_matrix(&[a, b]);
+        assert_eq!(m.mean_onset_steps, vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn small_fusion_experiment_runs() {
+        let lab = Lab::paper();
+        let report = fusion_experiment(
+            &lab,
+            &[TrojanSpec::ht2()],
+            6,
+            2,
+            &[0x11u8; 16],
+            &[0x22u8; 16],
+            42,
+        )
+        .unwrap();
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert!(row.em.mu > 0.0, "EM channel must separate");
+        // The fused channel should never be *worse* than the best single
+        // channel by much (z-score fusion of a useless channel costs at
+        // most √2 in σ).
+        let best = row
+            .em
+            .analytic_fn_rate
+            .min(row.delay.analytic_fn_rate);
+        assert!(
+            row.fused.analytic_fn_rate < best + 0.2,
+            "fused {} vs best {}",
+            row.fused.analytic_fn_rate,
+            best
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! The acquisition chain: amplifier, oscilloscope, averaging.
+
+use rand::RngCore;
+
+use htd_fabric::variation::standard_normal;
+
+use crate::{CurrentEvent, Probe, Trace};
+
+/// Oscilloscope front-end parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scope {
+    /// Sample period, ps (5 GS/s → 200 ps).
+    pub sample_period_ps: f64,
+    /// Additive noise standard deviation of a *single* acquisition, in
+    /// output units (after amplification).
+    pub noise_std: f64,
+    /// ADC quantisation step in output units.
+    pub quantization_step: f64,
+}
+
+impl Scope {
+    /// The paper's Agilent 54853A at 5 GS/s.
+    pub fn agilent_54853a() -> Self {
+        Scope {
+            sample_period_ps: 200.0,
+            noise_std: 2_000.0,
+            quantization_step: 1.0,
+        }
+    }
+}
+
+/// Timing/averaging parameters of one acquisition campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcquisitionParams {
+    /// Device clock period, ps (24 MHz → 41 667 ps).
+    pub clock_period_ps: f64,
+    /// Number of clock cycles covered by the trace.
+    pub n_cycles: usize,
+    /// Number of on-scope trace averages (the paper uses 1 000).
+    pub averages: usize,
+}
+
+impl AcquisitionParams {
+    /// The paper's bench: 24 MHz clock, ×1000 averaging, enough cycles for
+    /// load + 10 rounds + margin (≈ 2 750 samples at 5 GS/s — the ~3 000
+    /// sample window of Fig. 4).
+    pub fn paper_bench() -> Self {
+        AcquisitionParams {
+            clock_period_ps: 41_666.7,
+            n_cycles: 13,
+            averages: 1_000,
+        }
+    }
+}
+
+/// The complete EM measurement chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmSetup {
+    /// The near-field probe.
+    pub probe: Probe,
+    /// The digitiser.
+    pub scope: Scope,
+    /// Linear amplifier gain (30 dB ≈ ×31.6).
+    pub gain: f64,
+    /// Relative gain error drawn once per acquisition — the probe/bench
+    /// re-installation noise the paper examines in Fig. 5.
+    pub setup_gain_jitter: f64,
+}
+
+impl EmSetup {
+    /// The paper's bench: RFU-5-2-class probe over the die centre, 30 dB
+    /// amplifier, Agilent scope.
+    pub fn bench(die_center: (f64, f64)) -> Self {
+        EmSetup {
+            probe: Probe::rfu5_like(die_center),
+            scope: Scope::agilent_54853a(),
+            gain: 31.6,
+            setup_gain_jitter: 0.004,
+        }
+    }
+
+    /// Acquires one (averaged) EM trace of the given current events.
+    ///
+    /// Averaging is applied analytically: the additive scope noise scales
+    /// as `1/√averages` (exact for the Gaussian noise model; see
+    /// DESIGN.md §5), while the per-installation gain error does *not*
+    /// average out — exactly why the paper's Fig. 5 check matters.
+    pub fn acquire<R: RngCore + ?Sized>(
+        &self,
+        events: &[CurrentEvent],
+        params: &AcquisitionParams,
+        rng: &mut R,
+    ) -> Trace {
+        let kernel = self.probe.impulse_response(self.scope.sample_period_ps);
+        let weight = |e: &CurrentEvent| self.probe.coupling(e.position);
+        acquire_with(
+            events,
+            params,
+            &self.scope,
+            self.gain,
+            self.setup_gain_jitter,
+            &kernel,
+            weight,
+            rng,
+        )
+    }
+}
+
+/// Shared digitiser back-end: bin events, convolve, amplify, add noise,
+/// quantise. Used by both the EM chain and the power baseline.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn acquire_with<R: RngCore + ?Sized>(
+    events: &[CurrentEvent],
+    params: &AcquisitionParams,
+    scope: &Scope,
+    gain: f64,
+    setup_gain_jitter: f64,
+    kernel: &[f64],
+    weight: impl Fn(&CurrentEvent) -> f64,
+    rng: &mut R,
+) -> Trace {
+    let dt = scope.sample_period_ps;
+    let n = ((params.clock_period_ps * params.n_cycles as f64) / dt).ceil() as usize;
+    // Bin the charge impulses.
+    let mut impulses = vec![0.0f64; n];
+    for e in events {
+        let bin = (e.time_ps / dt).floor() as usize;
+        if bin < n {
+            impulses[bin] += e.charge * weight(e);
+        }
+    }
+    // Convolve with the front-end impulse response.
+    let mut signal = vec![0.0f64; n];
+    for (i, &imp) in impulses.iter().enumerate() {
+        if imp == 0.0 {
+            continue;
+        }
+        for (k, &h) in kernel.iter().enumerate() {
+            if let Some(s) = signal.get_mut(i + k) {
+                *s += imp * h;
+            }
+        }
+    }
+    // Amplify with a per-acquisition installation gain error.
+    let install_gain = gain * (1.0 + setup_gain_jitter * standard_normal(rng));
+    let noise_std = scope.noise_std / (params.averages.max(1) as f64).sqrt();
+    let q = scope.quantization_step;
+    let samples = signal
+        .into_iter()
+        .map(|s| {
+            let v = s * install_gain + noise_std * standard_normal(rng);
+            (v / q).round() * q
+        })
+        .collect();
+    Trace::new(samples, dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn burst(t0: f64, n: usize, charge: f64) -> Vec<CurrentEvent> {
+        (0..n)
+            .map(|i| CurrentEvent {
+                time_ps: t0 + i as f64 * 37.0,
+                charge,
+                position: (10.0, 10.0),
+            })
+            .collect()
+    }
+
+    fn params() -> AcquisitionParams {
+        AcquisitionParams {
+            clock_period_ps: 10_000.0,
+            n_cycles: 4,
+            averages: 1_000,
+        }
+    }
+
+    #[test]
+    fn trace_has_expected_length_and_timebase() {
+        let setup = EmSetup::bench((10.0, 10.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = setup.acquire(&burst(0.0, 10, 1.0), &params(), &mut rng);
+        assert_eq!(t.len(), 200); // 40 000 ps / 200 ps
+        assert_eq!(t.dt_ps(), 200.0);
+    }
+
+    #[test]
+    fn bursts_appear_at_their_cycle_positions() {
+        let setup = EmSetup::bench((10.0, 10.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut events = burst(0.0, 50, 10.0);
+        events.extend(burst(15_000.0, 50, 10.0));
+        let t = setup.acquire(&events, &params(), &mut rng);
+        // Energy near the bursts dwarfs energy after the second burst's
+        // ring has fully decayed (last event ≈ 16.9 ns + 11.5 ns horizon
+        // ≈ sample 142).
+        let e0: f64 = t.samples()[0..50].iter().map(|s| s * s).sum();
+        let e2: f64 = t.samples()[160..200].iter().map(|s| s * s).sum();
+        assert!(e0 > 100.0 * e2.max(1.0), "e0 {e0} e2 {e2}");
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let setup = EmSetup::bench((10.0, 10.0));
+        let single = AcquisitionParams {
+            averages: 1,
+            ..params()
+        };
+        let averaged = AcquisitionParams {
+            averages: 1_000,
+            ..params()
+        };
+        // No events: traces are pure noise.
+        let noise_rms = |p: &AcquisitionParams, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            setup.acquire(&[], p, &mut rng).rms()
+        };
+        let r1 = noise_rms(&single, 2);
+        let r1000 = noise_rms(&averaged, 2);
+        assert!(
+            r1 > 20.0 * r1000,
+            "averaging must shrink noise: {r1} vs {r1000}"
+        );
+    }
+
+    #[test]
+    fn closer_events_couple_more() {
+        let setup = EmSetup::bench((10.0, 10.0));
+        let p = params();
+        let near = CurrentEvent {
+            time_ps: 100.0,
+            charge: 100.0,
+            position: (10.0, 10.0),
+        };
+        let far = CurrentEvent {
+            time_ps: 100.0,
+            charge: 100.0,
+            position: (80.0, 80.0),
+        };
+        let quiet = AcquisitionParams { averages: 1_000_000, ..p };
+        let mut rng = StdRng::seed_from_u64(3);
+        let tn = setup.acquire(&[near], &quiet, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tf = setup.acquire(&[far], &quiet, &mut rng);
+        assert!(tn.peak() > 2.0 * tf.peak());
+    }
+
+    #[test]
+    fn quantisation_rounds_to_steps() {
+        let mut setup = EmSetup::bench((10.0, 10.0));
+        setup.scope.quantization_step = 8.0;
+        setup.scope.noise_std = 0.0;
+        setup.setup_gain_jitter = 0.0;
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = setup.acquire(&burst(0.0, 50, 1.0), &params(), &mut rng);
+        for &s in t.samples() {
+            assert_eq!(s % 8.0, 0.0, "sample {s} not on the ADC grid");
+        }
+    }
+
+    #[test]
+    fn paper_bench_window_matches_fig4_scale() {
+        let p = AcquisitionParams::paper_bench();
+        let n = (p.clock_period_ps * p.n_cycles as f64 / 200.0).ceil() as usize;
+        assert!((2_500..3_200).contains(&n), "window {n} samples");
+    }
+}

@@ -1,0 +1,155 @@
+//! EM cartography: scanning the probe over the die.
+//!
+//! The paper notes that the HT's visibility "depends on the HT size,
+//! placement and position relative to the probe". This module provides the
+//! scanning primitive a lab uses to pick the probe position: acquire the
+//! same activity from a grid of probe positions and map a figure of merit
+//! over the die.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{AcquisitionParams, CurrentEvent, EmSetup, Trace};
+
+/// A rectangular grid of probe positions over the die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanGrid {
+    /// Scan origin (slice-pitch units).
+    pub origin: (f64, f64),
+    /// Grid extent from the origin.
+    pub extent: (f64, f64),
+    /// Number of positions per axis.
+    pub points: (usize, usize),
+}
+
+impl ScanGrid {
+    /// A grid covering a whole device of `cols × rows` slices.
+    pub fn over_device(cols: u16, rows: u16, points_per_axis: usize) -> Self {
+        ScanGrid {
+            origin: (0.0, 0.0),
+            extent: (cols as f64, rows as f64),
+            points: (points_per_axis, points_per_axis),
+        }
+    }
+
+    /// All probe positions, row-major.
+    pub fn positions(&self) -> Vec<(f64, f64)> {
+        let (nx, ny) = self.points;
+        let mut out = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let fx = if nx > 1 { i as f64 / (nx - 1) as f64 } else { 0.5 };
+                let fy = if ny > 1 { j as f64 / (ny - 1) as f64 } else { 0.5 };
+                out.push((
+                    self.origin.0 + fx * self.extent.0,
+                    self.origin.1 + fy * self.extent.1,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// One scan sample: the probe position and the acquired trace's figure of
+/// merit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanPoint {
+    /// Probe position, slice-pitch units.
+    pub position: (f64, f64),
+    /// RMS of the trace acquired at that position.
+    pub rms: f64,
+    /// Peak |sample| of the trace.
+    pub peak: f64,
+}
+
+/// Acquires the same current events from every position of `grid`,
+/// returning one [`ScanPoint`] per position (row-major). The measurement
+/// seed is fixed across positions so position is the only variable.
+pub fn scan(
+    events: &[CurrentEvent],
+    base: &EmSetup,
+    params: &AcquisitionParams,
+    grid: &ScanGrid,
+    seed: u64,
+) -> Vec<ScanPoint> {
+    grid.positions()
+        .into_iter()
+        .map(|position| {
+            let mut setup = *base;
+            setup.probe.position = position;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trace: Trace = setup.acquire(events, params, &mut rng);
+            ScanPoint {
+                position,
+                rms: trace.rms(),
+                peak: trace.peak(),
+            }
+        })
+        .collect()
+}
+
+/// The scan point with the largest RMS — the "point of interest" a lab
+/// would park the probe on.
+pub fn hottest(points: &[ScanPoint]) -> Option<ScanPoint> {
+    points
+        .iter()
+        .copied()
+        .max_by(|a, b| a.rms.partial_cmp(&b.rms).expect("finite rms"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_positions_cover_the_extent() {
+        let g = ScanGrid::over_device(20, 10, 3);
+        let p = g.positions();
+        assert_eq!(p.len(), 9);
+        assert_eq!(p[0], (0.0, 0.0));
+        assert_eq!(p[8], (20.0, 10.0));
+        assert_eq!(p[4], (10.0, 5.0));
+    }
+
+    #[test]
+    fn single_point_grid_centres() {
+        let g = ScanGrid::over_device(20, 10, 1);
+        assert_eq!(g.positions(), vec![(10.0, 5.0)]);
+    }
+
+    #[test]
+    fn scan_finds_the_activity_hotspot() {
+        // A burst of charge at one corner of the die.
+        let events: Vec<CurrentEvent> = (0..50)
+            .map(|i| CurrentEvent {
+                time_ps: 100.0 * i as f64,
+                charge: 50.0,
+                position: (2.0, 2.0),
+            })
+            .collect();
+        let mut setup = EmSetup::bench((10.0, 10.0));
+        setup.probe.aperture = 5.0; // sharpen so position matters
+        setup.scope.noise_std = 0.0;
+        setup.setup_gain_jitter = 0.0;
+        let params = AcquisitionParams {
+            clock_period_ps: 10_000.0,
+            n_cycles: 2,
+            averages: 1,
+        };
+        let grid = ScanGrid::over_device(20, 20, 5);
+        let points = scan(&events, &setup, &params, &grid, 1);
+        let hot = hottest(&points).unwrap();
+        // The hottest scan position is the grid point nearest the burst.
+        assert_eq!(hot.position, (0.0, 0.0));
+        let far = points
+            .iter()
+            .find(|p| p.position == (20.0, 20.0))
+            .unwrap();
+        assert!(hot.rms > 2.0 * far.rms);
+    }
+
+    #[test]
+    fn hottest_of_empty_is_none() {
+        assert!(hottest(&[]).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the EM measurement chain.
+
+use htd_em::{AcquisitionParams, CurrentEvent, EmSetup, PowerSetup, Trace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn events_strategy() -> impl Strategy<Value = Vec<CurrentEvent>> {
+    proptest::collection::vec(
+        (0.0f64..30_000.0, 0.1f64..50.0, 0.0f64..20.0, 0.0f64..20.0).prop_map(
+            |(t, q, x, y)| CurrentEvent {
+                time_ps: t,
+                charge: q,
+                position: (x, y),
+            },
+        ),
+        0..40,
+    )
+}
+
+fn quiet_setup() -> EmSetup {
+    let mut s = EmSetup::bench((10.0, 10.0));
+    s.scope.noise_std = 0.0;
+    s.setup_gain_jitter = 0.0;
+    s.scope.quantization_step = 1e-9; // effectively unquantised
+    s
+}
+
+fn params() -> AcquisitionParams {
+    AcquisitionParams {
+        clock_period_ps: 20_000.0,
+        n_cycles: 3,
+        averages: 1,
+    }
+}
+
+proptest! {
+    /// With noise off, acquisition is linear in charge: doubling every
+    /// event's charge doubles every sample.
+    #[test]
+    fn acquisition_is_linear_in_charge(events in events_strategy()) {
+        let setup = quiet_setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t1 = setup.acquire(&events, &params(), &mut rng);
+        let doubled: Vec<CurrentEvent> = events
+            .iter()
+            .map(|e| CurrentEvent { charge: e.charge * 2.0, ..*e })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t2 = setup.acquire(&doubled, &params(), &mut rng);
+        for (a, b) in t1.samples().iter().zip(t2.samples()) {
+            prop_assert!((b - 2.0 * a).abs() < 1e-6, "a {a} b {b}");
+        }
+    }
+
+    /// Acquisition is additive: acquiring the union of two event sets
+    /// equals the sample-wise sum (noise off).
+    #[test]
+    fn acquisition_is_additive(a in events_strategy(), b in events_strategy()) {
+        let setup = quiet_setup();
+        let acquire = |ev: &[CurrentEvent]| {
+            let mut rng = StdRng::seed_from_u64(2);
+            setup.acquire(ev, &params(), &mut rng)
+        };
+        let ta = acquire(&a);
+        let tb = acquire(&b);
+        let mut union = a.clone();
+        union.extend(b.iter().cloned());
+        let tu = acquire(&union);
+        for i in 0..tu.len() {
+            prop_assert!((tu[i] - (ta[i] + tb[i])).abs() < 1e-6);
+        }
+    }
+
+    /// Events outside the acquisition window never contribute.
+    #[test]
+    fn late_events_are_ignored(q in 1.0f64..100.0) {
+        let setup = quiet_setup();
+        let late = CurrentEvent {
+            time_ps: 120_000.0, // beyond 3 × 20 ns
+            charge: q,
+            position: (10.0, 10.0),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = setup.acquire(&[late], &params(), &mut rng);
+        prop_assert!(t.peak() == 0.0);
+    }
+
+    /// Trace arithmetic: |a − b| is symmetric and zero iff equal.
+    #[test]
+    fn abs_diff_properties(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let a = Trace::new(xs.clone(), 200.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        let b = Trace::new(shifted, 200.0);
+        let ab = a.abs_diff(&b);
+        let ba = b.abs_diff(&a);
+        prop_assert_eq!(ab.samples(), ba.samples());
+        prop_assert!(a.abs_diff(&a).peak() == 0.0);
+        prop_assert!((a.abs_diff(&b).peak() - 1.0).abs() < 1e-12);
+    }
+
+    /// The mean of N copies of a trace is the trace itself.
+    #[test]
+    fn mean_of_copies_is_identity(xs in proptest::collection::vec(-50.0f64..50.0, 1..30), n in 1usize..5) {
+        let t = Trace::new(xs, 200.0);
+        let copies: Vec<Trace> = (0..n).map(|_| t.clone()).collect();
+        let m = Trace::mean_of(&copies);
+        for (a, b) in m.samples().iter().zip(t.samples()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// The power chain is position-blind: translating every event leaves
+    /// the trace unchanged.
+    #[test]
+    fn power_is_translation_invariant(events in events_strategy(), dx in -5.0f64..5.0) {
+        let mut setup = PowerSetup::bench();
+        setup.scope.noise_std = 0.0;
+        setup.setup_gain_jitter = 0.0;
+        let acquire = |ev: &[CurrentEvent], seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            setup.acquire(ev, &params(), &mut rng)
+        };
+        let t1 = acquire(&events, 7);
+        let moved: Vec<CurrentEvent> = events
+            .iter()
+            .map(|e| CurrentEvent {
+                position: (e.position.0 + dx, e.position.1 - dx),
+                ..*e
+            })
+            .collect();
+        let t2 = acquire(&moved, 7);
+        prop_assert_eq!(t1.samples(), t2.samples());
+    }
+}
+
+/// Cartography scan invariants on arbitrary event sets.
+mod scan_props {
+    use super::*;
+    use htd_em::scan::{hottest, scan, ScanGrid};
+
+    proptest! {
+        /// Every scan point is on the grid and metrics are non-negative;
+        /// the hottest point's rms is the maximum.
+        #[test]
+        fn scan_points_are_consistent(events in events_strategy(), n in 2usize..5) {
+            let setup = quiet_setup();
+            let grid = ScanGrid::over_device(20, 20, n);
+            let points = scan(&events, &setup, &params(), &grid, 5);
+            prop_assert_eq!(points.len(), n * n);
+            for p in &points {
+                prop_assert!(p.rms >= 0.0 && p.peak >= 0.0);
+                prop_assert!(p.position.0 >= 0.0 && p.position.0 <= 20.0);
+                prop_assert!(p.position.1 >= 0.0 && p.position.1 <= 20.0);
+            }
+            if let Some(hot) = hottest(&points) {
+                for p in &points {
+                    prop_assert!(hot.rms >= p.rms);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The device grid: slices, sites and coordinates.
+
+use std::fmt;
+
+/// LUT sites per slice (Virtex-5: four 6-input LUTs).
+pub const LUTS_PER_SLICE: usize = 4;
+
+/// Flip-flop sites per slice (Virtex-5: four).
+pub const FFS_PER_SLICE: usize = 4;
+
+/// Dimensions of a [`Device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceConfig {
+    cols: u16,
+    rows: u16,
+}
+
+impl DeviceConfig {
+    /// A device with `cols × rows` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u16, rows: u16) -> Self {
+        assert!(cols > 0 && rows > 0, "device must have at least one slice");
+        DeviceConfig { cols, rows }
+    }
+
+    /// A scaled-down stand-in for the paper's Virtex-5 LX30: 1 040 slices
+    /// (26 × 40), sized so the suite's AES-128 occupies ≈ 38 % of the
+    /// slices like the authors' implementation did (Section II-B).
+    pub fn virtex5_lx30_scaled() -> Self {
+        DeviceConfig::new(26, 40)
+    }
+
+    /// Columns of slices.
+    pub fn cols(self) -> u16 {
+        self.cols
+    }
+
+    /// Rows of slices.
+    pub fn rows(self) -> u16 {
+        self.rows
+    }
+}
+
+/// Slice coordinates: `x` is the column, `y` the row, both zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SliceCoord {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+}
+
+impl SliceCoord {
+    /// Creates a coordinate.
+    pub fn new(x: u16, y: u16) -> Self {
+        SliceCoord { x, y }
+    }
+
+    /// Manhattan distance to `other`, in slice pitches.
+    pub fn manhattan(self, other: SliceCoord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// Euclidean distance to `other`, in slice pitches.
+    pub fn euclidean(self, other: SliceCoord) -> f64 {
+        let dx = self.x as f64 - other.x as f64;
+        let dy = self.y as f64 - other.y as f64;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Slice centre in slice-pitch units (for probe/field geometry).
+    pub fn center(self) -> (f64, f64) {
+        (self.x as f64 + 0.5, self.y as f64 + 0.5)
+    }
+}
+
+impl fmt::Display for SliceCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SLICE_X{}Y{}", self.x, self.y)
+    }
+}
+
+/// Whether a site holds a LUT or a flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A 6-input LUT site.
+    Lut,
+    /// A flip-flop site.
+    Ff,
+}
+
+/// One placeable site: a LUT or FF position inside a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// The slice holding the site.
+    pub slice: SliceCoord,
+    /// LUT or FF.
+    pub kind: SiteKind,
+    /// Position within the slice (`0..4`).
+    pub index: u8,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            SiteKind::Lut => "LUT",
+            SiteKind::Ff => "FF",
+        };
+        write!(f, "{}.{}{}", self.slice, k, self.index)
+    }
+}
+
+/// A rectangular FPGA fabric of slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    config: DeviceConfig,
+}
+
+impl Device {
+    /// Creates a device of the given dimensions.
+    pub fn new(config: DeviceConfig) -> Self {
+        Device { config }
+    }
+
+    /// The device dimensions.
+    pub fn config(&self) -> DeviceConfig {
+        self.config
+    }
+
+    /// Total slices on the device.
+    pub fn slice_count(&self) -> usize {
+        self.config.cols as usize * self.config.rows as usize
+    }
+
+    /// Total LUT sites.
+    pub fn lut_site_count(&self) -> usize {
+        self.slice_count() * LUTS_PER_SLICE
+    }
+
+    /// Total flip-flop sites.
+    pub fn ff_site_count(&self) -> usize {
+        self.slice_count() * FFS_PER_SLICE
+    }
+
+    /// Whether `coord` lies on the device.
+    pub fn contains(&self, coord: SliceCoord) -> bool {
+        coord.x < self.config.cols && coord.y < self.config.rows
+    }
+
+    /// Dense index of a slice (row-major), for per-slice side tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the device.
+    pub fn slice_index(&self, coord: SliceCoord) -> usize {
+        assert!(self.contains(coord), "slice {coord} outside device");
+        coord.y as usize * self.config.cols as usize + coord.x as usize
+    }
+
+    /// The slice at dense index `i` (inverse of [`Device::slice_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= slice_count()`.
+    pub fn slice_at(&self, i: usize) -> SliceCoord {
+        assert!(i < self.slice_count());
+        SliceCoord::new(
+            (i % self.config.cols as usize) as u16,
+            (i / self.config.cols as usize) as u16,
+        )
+    }
+
+    /// Iterates over every slice coordinate, row-major.
+    pub fn slices(&self) -> impl Iterator<Item = SliceCoord> + '_ {
+        (0..self.slice_count()).map(|i| self.slice_at(i))
+    }
+
+    /// Geometric centre of the die, in slice-pitch units.
+    pub fn center(&self) -> (f64, f64) {
+        (self.config.cols as f64 / 2.0, self.config.rows as f64 / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_indexing_roundtrip() {
+        let d = Device::new(DeviceConfig::new(3, 5));
+        assert_eq!(d.slice_count(), 15);
+        assert_eq!(d.lut_site_count(), 60);
+        assert_eq!(d.ff_site_count(), 60);
+        for i in 0..d.slice_count() {
+            assert_eq!(d.slice_index(d.slice_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let d = Device::new(DeviceConfig::new(3, 5));
+        assert!(d.contains(SliceCoord::new(2, 4)));
+        assert!(!d.contains(SliceCoord::new(3, 0)));
+        assert!(!d.contains(SliceCoord::new(0, 5)));
+    }
+
+    #[test]
+    fn distances() {
+        let a = SliceCoord::new(1, 1);
+        let b = SliceCoord::new(4, 5);
+        assert_eq!(a.manhattan(b), 7);
+        assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.center(), (1.5, 1.5));
+    }
+
+    #[test]
+    fn display_names_look_like_xilinx() {
+        assert_eq!(SliceCoord::new(2, 7).to_string(), "SLICE_X2Y7");
+        let s = Site {
+            slice: SliceCoord::new(0, 0),
+            kind: SiteKind::Lut,
+            index: 3,
+        };
+        assert_eq!(s.to_string(), "SLICE_X0Y0.LUT3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_dimension_is_rejected() {
+        DeviceConfig::new(0, 4);
+    }
+
+    #[test]
+    fn scaled_lx30_has_about_a_thousand_slices() {
+        let d = Device::new(DeviceConfig::virtex5_lx30_scaled());
+        assert_eq!(d.slice_count(), 1040);
+    }
+}

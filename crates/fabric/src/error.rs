@@ -1,0 +1,93 @@
+//! Error type for fabric operations.
+
+use std::error::Error;
+use std::fmt;
+
+use htd_netlist::CellId;
+
+use crate::Site;
+
+/// Errors returned by placement and fabric modelling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// The design needs more LUT or FF sites than the device provides.
+    CapacityExceeded {
+        /// Sites required.
+        needed: usize,
+        /// Sites available.
+        available: usize,
+        /// Human-readable resource name (`"LUT"` / `"FF"`).
+        resource: &'static str,
+    },
+    /// An explicit placement targeted a site that is already occupied.
+    SiteOccupied {
+        /// The contested site.
+        site: Site,
+        /// The cell already there.
+        occupant: CellId,
+    },
+    /// An explicit placement targeted a site outside the device.
+    SiteOutOfBounds {
+        /// The offending site.
+        site: Site,
+    },
+    /// A cell kind was placed on an incompatible site (LUT on FF site or
+    /// vice versa), or a non-placeable cell (port/constant) was placed.
+    IncompatibleSite {
+        /// The cell being placed.
+        cell: CellId,
+        /// The target site.
+        site: Site,
+    },
+    /// A query referenced a cell with no recorded placement.
+    Unplaced {
+        /// The unplaced cell.
+        cell: CellId,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::CapacityExceeded {
+                needed,
+                available,
+                resource,
+            } => write!(
+                f,
+                "design needs {needed} {resource} sites but the device has {available}"
+            ),
+            FabricError::SiteOccupied { site, occupant } => {
+                write!(f, "site {site} already holds cell {occupant}")
+            }
+            FabricError::SiteOutOfBounds { site } => {
+                write!(f, "site {site} lies outside the device")
+            }
+            FabricError::IncompatibleSite { cell, site } => {
+                write!(f, "cell {cell} cannot occupy site {site}")
+            }
+            FabricError::Unplaced { cell } => write!(f, "cell {cell} has no placement"),
+        }
+    }
+}
+
+impl Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FabricError>();
+        let e = FabricError::CapacityExceeded {
+            needed: 10,
+            available: 4,
+            resource: "LUT",
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("LUT"));
+    }
+}

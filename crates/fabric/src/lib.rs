@@ -1,0 +1,56 @@
+//! A Virtex-5-like FPGA fabric model: device grid, placement, routing-delay
+//! parameters, process variations and power-grid coupling.
+//!
+//! The DATE 2015 paper performs its experiments on Xilinx Virtex-5 LX30
+//! parts (65 nm). This crate is the simulation stand-in for that silicon:
+//!
+//! * [`Device`] — a rectangular grid of slices, each holding four 6-input
+//!   LUT sites and four flip-flop sites (the Virtex-5 slice organisation).
+//! * [`Placement`] — a deterministic greedy packer plus the site bookkeeping
+//!   needed by the paper's layout-level trojan insertion (find *unused*
+//!   sites near a victim net, place extra cells there without disturbing
+//!   the original placement).
+//! * [`Technology`] — delay and switching-energy parameters of the virtual
+//!   65 nm process.
+//! * [`VariationModel`] / [`DieVariation`] — Gaussian inter-die (global) and
+//!   spatially-correlated intra-die (per-slice) process variations, seeded
+//!   per virtual die so that the paper's 8-FPGA study is reproducible.
+//! * [`PowerGrid`] — the shared power-distribution-network coupling through
+//!   which a dormant trojan disturbs its neighbours ("both share the same
+//!   power grid inside the FPGA", Section III-B).
+//!
+//! # Example
+//!
+//! ```
+//! use htd_fabric::{Device, DeviceConfig, Placement};
+//! use htd_netlist::Netlist;
+//!
+//! let mut nl = Netlist::new("blink");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let x = nl.xor2(a, b);
+//! let q = nl.add_dff(x, "r")?;
+//! nl.add_output("q", q)?;
+//!
+//! let device = Device::new(DeviceConfig::new(8, 8));
+//! let placement = Placement::place(&nl, &device)?;
+//! assert_eq!(placement.used_slices(), 1); // 1 LUT + 1 FF share a slice
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod placement;
+mod power_grid;
+mod tech;
+pub mod variation;
+
+pub use device::{Device, DeviceConfig, Site, SiteKind, SliceCoord, FFS_PER_SLICE, LUTS_PER_SLICE};
+pub use error::FabricError;
+pub use placement::Placement;
+pub use power_grid::PowerGrid;
+pub use tech::Technology;
+pub use variation::{DieVariation, VariationModel};

@@ -1,0 +1,368 @@
+//! Deterministic placement and the site bookkeeping used for layout-level
+//! trojan insertion.
+
+use htd_netlist::{CellId, CellKind, Netlist};
+
+use crate::device::{Device, Site, SiteKind, SliceCoord, FFS_PER_SLICE, LUTS_PER_SLICE};
+use crate::FabricError;
+
+/// A placement of a netlist's LUTs and flip-flops onto device sites.
+///
+/// The initial placement ([`Placement::place`]) is a deterministic greedy
+/// row-major packer — the stand-in for the vendor place & route of the
+/// golden design. Trojan insertion then adds cells to *free* sites with
+/// [`Placement::place_cell_at`] / [`Placement::nearest_free_sites`],
+/// leaving every original cell untouched, exactly like the paper's FPGA
+/// Editor flow (Section II-A).
+#[derive(Debug, Clone)]
+pub struct Placement {
+    device: Device,
+    /// Site of each cell, indexed by `CellId`.
+    sites: Vec<Option<Site>>,
+    /// Occupant of each LUT site: `slice_index * 4 + site_index`.
+    lut_occ: Vec<Option<CellId>>,
+    /// Occupant of each FF site.
+    ff_occ: Vec<Option<CellId>>,
+}
+
+impl Placement {
+    /// Packs `netlist` onto `device` greedily: LUTs and flip-flops fill
+    /// slices row-major from the origin. Deterministic for a given netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::CapacityExceeded`] if the design does not fit.
+    pub fn place(netlist: &Netlist, device: &Device) -> Result<Self, FabricError> {
+        let stats = netlist.stats();
+        if stats.luts > device.lut_site_count() {
+            return Err(FabricError::CapacityExceeded {
+                needed: stats.luts,
+                available: device.lut_site_count(),
+                resource: "LUT",
+            });
+        }
+        if stats.dffs > device.ff_site_count() {
+            return Err(FabricError::CapacityExceeded {
+                needed: stats.dffs,
+                available: device.ff_site_count(),
+                resource: "FF",
+            });
+        }
+        let mut placement = Placement {
+            device: *device,
+            sites: vec![None; netlist.cell_count()],
+            lut_occ: vec![None; device.lut_site_count()],
+            ff_occ: vec![None; device.ff_site_count()],
+        };
+        let mut next_lut = 0usize;
+        let mut next_ff = 0usize;
+        for (id, cell) in netlist.cells() {
+            match cell.kind() {
+                CellKind::Lut(_) => {
+                    let site = placement.site_from_flat(SiteKind::Lut, next_lut);
+                    placement.occupy(id, site)?;
+                    next_lut += 1;
+                }
+                CellKind::Dff => {
+                    let site = placement.site_from_flat(SiteKind::Ff, next_ff);
+                    placement.occupy(id, site)?;
+                    next_ff += 1;
+                }
+                _ => {}
+            }
+        }
+        Ok(placement)
+    }
+
+    fn site_from_flat(&self, kind: SiteKind, flat: usize) -> Site {
+        let per = match kind {
+            SiteKind::Lut => LUTS_PER_SLICE,
+            SiteKind::Ff => FFS_PER_SLICE,
+        };
+        Site {
+            slice: self.device.slice_at(flat / per),
+            kind,
+            index: (flat % per) as u8,
+        }
+    }
+
+    fn flat_of(&self, site: Site) -> usize {
+        let per = match site.kind {
+            SiteKind::Lut => LUTS_PER_SLICE,
+            SiteKind::Ff => FFS_PER_SLICE,
+        };
+        self.device.slice_index(site.slice) * per + site.index as usize
+    }
+
+    fn occupy(&mut self, cell: CellId, site: Site) -> Result<(), FabricError> {
+        if !self.device.contains(site.slice) || site.index as usize >= LUTS_PER_SLICE {
+            return Err(FabricError::SiteOutOfBounds { site });
+        }
+        let flat = self.flat_of(site);
+        let occ = match site.kind {
+            SiteKind::Lut => &mut self.lut_occ[flat],
+            SiteKind::Ff => &mut self.ff_occ[flat],
+        };
+        if let Some(occupant) = *occ {
+            return Err(FabricError::SiteOccupied { site, occupant });
+        }
+        *occ = Some(cell);
+        if cell.index() >= self.sites.len() {
+            self.sites.resize(cell.index() + 1, None);
+        }
+        self.sites[cell.index()] = Some(site);
+        Ok(())
+    }
+
+    /// The device this placement targets.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Site of `cell`, if it is placed.
+    pub fn site_of(&self, cell: CellId) -> Option<Site> {
+        self.sites.get(cell.index()).copied().flatten()
+    }
+
+    /// Physical position of `cell` (slice centre), if it is placed.
+    pub fn position_of(&self, cell: CellId) -> Option<(f64, f64)> {
+        self.site_of(cell).map(|s| s.slice.center())
+    }
+
+    /// Places an *additional* cell (e.g. a trojan gate) at an explicit free
+    /// site. Existing cells are never moved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::IncompatibleSite`] for kind mismatches,
+    /// [`FabricError::SiteOccupied`] / [`FabricError::SiteOutOfBounds`] for
+    /// bad targets.
+    pub fn place_cell_at(
+        &mut self,
+        netlist: &Netlist,
+        cell: CellId,
+        site: Site,
+    ) -> Result<(), FabricError> {
+        let kind = netlist.cell(cell).kind();
+        let ok = matches!(
+            (kind, site.kind),
+            (CellKind::Lut(_), SiteKind::Lut) | (CellKind::Dff, SiteKind::Ff)
+        );
+        if !ok {
+            return Err(FabricError::IncompatibleSite { cell, site });
+        }
+        self.occupy(cell, site)
+    }
+
+    /// Free sites of `kind`, sorted by Euclidean distance from `from`
+    /// (ties broken by slice order, deterministic).
+    pub fn nearest_free_sites(&self, kind: SiteKind, from: SliceCoord) -> Vec<Site> {
+        let (occ, per) = match kind {
+            SiteKind::Lut => (&self.lut_occ, LUTS_PER_SLICE),
+            SiteKind::Ff => (&self.ff_occ, FFS_PER_SLICE),
+        };
+        let mut free: Vec<Site> = occ
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_none())
+            .map(|(flat, _)| Site {
+                slice: self.device.slice_at(flat / per),
+                kind,
+                index: (flat % per) as u8,
+            })
+            .collect();
+        free.sort_by(|a, b| {
+            let da = from.euclidean(a.slice);
+            let db = from.euclidean(b.slice);
+            da.partial_cmp(&db)
+                .expect("finite distances")
+                .then(a.slice.cmp(&b.slice))
+                .then(a.index.cmp(&b.index))
+        });
+        free
+    }
+
+    /// Number of slices with at least one occupied site — the paper's
+    /// resource-usage denominator unit (Section II-B quotes HT and AES
+    /// sizes in % of slices).
+    pub fn used_slices(&self) -> usize {
+        let mut used = vec![false; self.device.slice_count()];
+        for (flat, occ) in self.lut_occ.iter().enumerate() {
+            if occ.is_some() {
+                used[flat / LUTS_PER_SLICE] = true;
+            }
+        }
+        for (flat, occ) in self.ff_occ.iter().enumerate() {
+            if occ.is_some() {
+                used[flat / FFS_PER_SLICE] = true;
+            }
+        }
+        used.iter().filter(|&&u| u).count()
+    }
+
+    /// Slices used by a specific set of cells.
+    pub fn slices_of(&self, cells: &[CellId]) -> usize {
+        let mut used = vec![false; self.device.slice_count()];
+        for &c in cells {
+            if let Some(site) = self.site_of(c) {
+                used[self.device.slice_index(site.slice)] = true;
+            }
+        }
+        used.iter().filter(|&&u| u).count()
+    }
+
+    /// Fraction of device slices in use.
+    pub fn utilization(&self) -> f64 {
+        self.used_slices() as f64 / self.device.slice_count() as f64
+    }
+
+    /// Centroid of the placed cells driving/using the given cells — used to
+    /// aim trojan placement at its tap points.
+    pub fn centroid(&self, cells: &[CellId]) -> Option<SliceCoord> {
+        let mut n = 0usize;
+        let (mut sx, mut sy) = (0f64, 0f64);
+        for &c in cells {
+            if let Some((x, y)) = self.position_of(c) {
+                sx += x;
+                sy += y;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let cols = self.device.config().cols();
+        let rows = self.device.config().rows();
+        Some(SliceCoord::new(
+            ((sx / n as f64).floor() as u16).min(cols - 1),
+            ((sy / n as f64).floor() as u16).min(rows - 1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+    use htd_netlist::Netlist;
+
+    fn xor_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let mut x = nl.xor2(a, b);
+        for _ in 1..n {
+            x = nl.xor2(x, b);
+        }
+        nl.add_output("x", x).unwrap();
+        nl
+    }
+
+    #[test]
+    fn greedy_packing_fills_slices_in_order() {
+        let nl = xor_chain(6);
+        let device = Device::new(DeviceConfig::new(4, 4));
+        let p = Placement::place(&nl, &device).unwrap();
+        // 6 LUTs → slices (0,0) and (1,0).
+        assert_eq!(p.used_slices(), 2);
+        let first_lut = nl.cells().find(|(_, c)| c.kind().occupies_lut_site()).unwrap().0;
+        assert_eq!(
+            p.site_of(first_lut).unwrap().slice,
+            SliceCoord::new(0, 0)
+        );
+    }
+
+    #[test]
+    fn capacity_is_checked() {
+        let nl = xor_chain(20);
+        let device = Device::new(DeviceConfig::new(2, 2)); // 16 LUT sites
+        assert!(matches!(
+            Placement::place(&nl, &device),
+            Err(FabricError::CapacityExceeded { resource: "LUT", .. })
+        ));
+    }
+
+    #[test]
+    fn place_cell_at_rejects_conflicts_and_mismatches() {
+        let mut nl = xor_chain(2);
+        let device = Device::new(DeviceConfig::new(4, 4));
+        let mut p = Placement::place(&nl, &device).unwrap();
+        // Add a new LUT (simulating trojan insertion).
+        let a = nl.add_input("extra");
+        let t = nl.not_gate(a);
+        let t_cell = nl.net(t).driver().unwrap();
+        // Occupied site.
+        let occupied = Site {
+            slice: SliceCoord::new(0, 0),
+            kind: SiteKind::Lut,
+            index: 0,
+        };
+        assert!(matches!(
+            p.place_cell_at(&nl, t_cell, occupied),
+            Err(FabricError::SiteOccupied { .. })
+        ));
+        // Kind mismatch.
+        let ff_site = Site {
+            slice: SliceCoord::new(1, 1),
+            kind: SiteKind::Ff,
+            index: 0,
+        };
+        assert!(matches!(
+            p.place_cell_at(&nl, t_cell, ff_site),
+            Err(FabricError::IncompatibleSite { .. })
+        ));
+        // Free compatible site works and marks the slice used.
+        let free = Site {
+            slice: SliceCoord::new(3, 3),
+            kind: SiteKind::Lut,
+            index: 2,
+        };
+        p.place_cell_at(&nl, t_cell, free).unwrap();
+        assert_eq!(p.site_of(t_cell), Some(free));
+        assert_eq!(p.used_slices(), 2);
+    }
+
+    #[test]
+    fn nearest_free_sites_sorted_by_distance() {
+        let nl = xor_chain(4); // fills slice (0,0)
+        let device = Device::new(DeviceConfig::new(3, 3));
+        let p = Placement::place(&nl, &device).unwrap();
+        let free = p.nearest_free_sites(SiteKind::Lut, SliceCoord::new(0, 0));
+        assert_eq!(free.len(), device.lut_site_count() - 4);
+        // Closest free slices first.
+        let d0 = SliceCoord::new(0, 0).euclidean(free[0].slice);
+        let dl = SliceCoord::new(0, 0).euclidean(free.last().unwrap().slice);
+        assert!(d0 <= dl);
+        assert!(free[0].slice == SliceCoord::new(1, 0) || free[0].slice == SliceCoord::new(0, 1));
+    }
+
+    #[test]
+    fn centroid_tracks_cluster() {
+        let nl = xor_chain(8);
+        let device = Device::new(DeviceConfig::new(4, 4));
+        let p = Placement::place(&nl, &device).unwrap();
+        let luts: Vec<_> = nl
+            .cells()
+            .filter(|(_, c)| c.kind().occupies_lut_site())
+            .map(|(id, _)| id)
+            .collect();
+        let c = p.centroid(&luts).unwrap();
+        assert!(c.x <= 1 && c.y == 0);
+        assert_eq!(p.centroid(&[]), None);
+    }
+
+    #[test]
+    fn utilization_and_slices_of() {
+        let nl = xor_chain(5);
+        let device = Device::new(DeviceConfig::new(4, 4));
+        let p = Placement::place(&nl, &device).unwrap();
+        assert!((p.utilization() - 2.0 / 16.0).abs() < 1e-12);
+        let luts: Vec<_> = nl
+            .cells()
+            .filter(|(_, c)| c.kind().occupies_lut_site())
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(p.slices_of(&luts), 2);
+        assert_eq!(p.slices_of(&luts[..4]), 1);
+    }
+}

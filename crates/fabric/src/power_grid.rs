@@ -1,0 +1,106 @@
+//! The shared power-distribution-network coupling model.
+//!
+//! Section III-B of the paper explains why a dormant trojan is visible at
+//! all: *"Even if no logical connection exists between the design and the
+//! HT, both share the same power grid inside the FPGA. These electric
+//! connections make the HT detection easier."* This module models that
+//! medium: additional load connected to the grid at one slice perturbs the
+//! supply seen by nearby slices, with a magnitude decaying with distance.
+
+use crate::device::SliceCoord;
+
+/// Distance-decaying coupling through the shared power grid.
+///
+/// The kernel is a Lorentzian `1 / (1 + (d/λ)²)` in Euclidean slice
+/// distance `d`, which captures the qualitative behaviour of IR drop
+/// spreading through a resistive mesh: strong locally, with a long
+/// power-law tail (every wire "sees" the trojan a little — the effect the
+/// paper exploits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerGrid {
+    /// Coupling length λ, in slice pitches.
+    pub lambda: f64,
+    /// Delay added to a victim cell per unit of trojan load at distance 0,
+    /// ps (calibrated so the paper's Fig. 3 shifts of 0.1–1.4 ns arise from
+    /// trojans of tens of LUTs).
+    pub delay_ps_per_load: f64,
+}
+
+impl PowerGrid {
+    /// Default grid model for the virtual Virtex-5 fabric.
+    pub fn virtex5() -> Self {
+        PowerGrid {
+            lambda: 6.0,
+            delay_ps_per_load: 16.0,
+        }
+    }
+
+    /// The dimensionless coupling factor between two slices (1.0 at zero
+    /// distance, decaying with separation).
+    pub fn coupling(&self, a: SliceCoord, b: SliceCoord) -> f64 {
+        let d = a.euclidean(b);
+        1.0 / (1.0 + (d / self.lambda).powi(2))
+    }
+
+    /// Delay increment (ps) experienced by a cell at `victim` due to a set
+    /// of trojan cells at the given slices, each contributing one unit of
+    /// static load.
+    pub fn delay_shift_ps(&self, victim: SliceCoord, trojan_slices: &[SliceCoord]) -> f64 {
+        trojan_slices
+            .iter()
+            .map(|&t| self.coupling(victim, t) * self.delay_ps_per_load)
+            .sum()
+    }
+}
+
+impl Default for PowerGrid {
+    fn default() -> Self {
+        PowerGrid::virtex5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupling_is_one_at_zero_distance() {
+        let g = PowerGrid::virtex5();
+        let a = SliceCoord::new(3, 3);
+        assert_eq!(g.coupling(a, a), 1.0);
+    }
+
+    #[test]
+    fn coupling_decays_monotonically() {
+        let g = PowerGrid::virtex5();
+        let a = SliceCoord::new(0, 0);
+        let mut prev = f64::INFINITY;
+        for x in 0..20u16 {
+            let c = g.coupling(a, SliceCoord::new(x, 0));
+            assert!(c <= prev);
+            prev = c;
+        }
+        // Half coupling at d = λ.
+        let at_lambda = g.coupling(a, SliceCoord::new(6, 0));
+        assert!((at_lambda - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_shift_accumulates_over_trojan_cells() {
+        let g = PowerGrid::virtex5();
+        let victim = SliceCoord::new(5, 5);
+        let one = g.delay_shift_ps(victim, &[SliceCoord::new(6, 5)]);
+        let two = g.delay_shift_ps(victim, &[SliceCoord::new(6, 5), SliceCoord::new(6, 5)]);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+        assert!(one > 0.0);
+    }
+
+    #[test]
+    fn bigger_trojans_shift_more() {
+        let g = PowerGrid::virtex5();
+        let victim = SliceCoord::new(0, 0);
+        let small: Vec<SliceCoord> = (0..5).map(|i| SliceCoord::new(10 + i, 10)).collect();
+        let large: Vec<SliceCoord> = (0..15).map(|i| SliceCoord::new(10 + i % 5, 10 + i / 5)).collect();
+        assert!(g.delay_shift_ps(victim, &large) > g.delay_shift_ps(victim, &small));
+    }
+}

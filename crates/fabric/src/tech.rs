@@ -1,0 +1,84 @@
+//! Technology parameters of the virtual 65 nm process.
+
+/// Delay and switching-activity parameters used to annotate a placed
+/// netlist.
+///
+/// Values are loosely calibrated to a 65 nm FPGA fabric (Virtex-5 class) so
+/// that the AES round delay, the 35 ps glitch step and the HT-induced
+/// shifts land in the same relative ranges as the paper's measurements.
+/// Absolute picosecond values are *not* claimed to match the authors'
+/// silicon — see DESIGN.md §2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Intrinsic LUT6 propagation delay, ps.
+    pub lut_delay_ps: f64,
+    /// Base routed-net delay (driver + first switch box), ps.
+    pub net_delay_base_ps: f64,
+    /// Incremental net delay per slice pitch of Manhattan distance, ps.
+    pub net_delay_per_slice_ps: f64,
+    /// Incremental net delay per electrical fan-out beyond the first, ps.
+    pub fanout_delay_ps: f64,
+    /// Flip-flop clock-to-Q delay, ps.
+    pub dff_clk2q_ps: f64,
+    /// Flip-flop setup time, ps.
+    pub dff_setup_ps: f64,
+    /// Clock-network skew standard deviation across the die, ps.
+    pub clock_skew_ps: f64,
+    /// Per-measurement jitter / metastability noise standard deviation
+    /// (the paper's `dM` term), ps.
+    pub measurement_noise_ps: f64,
+    /// Relative switching charge injected into the power grid per LUT
+    /// output toggle (arbitrary EM units).
+    pub lut_toggle_charge: f64,
+    /// Relative switching charge per flip-flop toggle (clock tree + output).
+    pub dff_toggle_charge: f64,
+    /// Delay added to a net per foreign tap spliced onto it, ps. A trojan
+    /// tapping an already-routed net forces a route spur plus extra input
+    /// capacitance; the paper's Fig. 3 shows tapped bits shifting by
+    /// hundreds of ps up to ~1.4 ns.
+    pub tap_load_ps: f64,
+}
+
+impl Technology {
+    /// Parameters for the scaled Virtex-5 stand-in used throughout the
+    /// suite.
+    pub fn virtex5() -> Self {
+        Technology {
+            lut_delay_ps: 220.0,
+            net_delay_base_ps: 300.0,
+            net_delay_per_slice_ps: 28.0,
+            fanout_delay_ps: 14.0,
+            dff_clk2q_ps: 320.0,
+            dff_setup_ps: 180.0,
+            clock_skew_ps: 25.0,
+            measurement_noise_ps: 12.0,
+            lut_toggle_charge: 1.0,
+            dff_toggle_charge: 1.6,
+            tap_load_ps: 280.0,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::virtex5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_ordered() {
+        let t = Technology::default();
+        assert!(t.lut_delay_ps > 0.0);
+        assert!(t.net_delay_base_ps > 0.0);
+        assert!(t.dff_setup_ps > 0.0);
+        // Measurement noise must be smaller than the glitch step (35 ps)
+        // for the paper's staircase readout to resolve single steps.
+        assert!(t.measurement_noise_ps < 35.0);
+        // FF toggles draw more charge than LUT toggles (clock tree).
+        assert!(t.dff_toggle_charge > t.lut_toggle_charge);
+    }
+}

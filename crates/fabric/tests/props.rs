@@ -1,0 +1,108 @@
+//! Property-based tests for the fabric model.
+
+use htd_fabric::{
+    Device, DeviceConfig, DieVariation, Placement, PowerGrid, SliceCoord, VariationModel,
+};
+use htd_netlist::Netlist;
+use proptest::prelude::*;
+
+/// A random combinational netlist with `n` XOR stages.
+fn chain(n: usize) -> Netlist {
+    let mut nl = Netlist::new("chain");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let mut x = nl.xor2(a, b);
+    for _ in 1..n.max(1) {
+        x = nl.xor2(x, b);
+    }
+    let q = nl.add_dff(x, "r").unwrap();
+    nl.add_output("q", q).unwrap();
+    nl
+}
+
+proptest! {
+    /// Placement puts every LUT/FF at a distinct in-bounds site.
+    #[test]
+    fn placement_sites_are_distinct_and_in_bounds(
+        n_luts in 1usize..60,
+        cols in 4u16..12,
+        rows in 4u16..12,
+    ) {
+        let nl = chain(n_luts);
+        let device = Device::new(DeviceConfig::new(cols, rows));
+        prop_assume!(nl.stats().luts <= device.lut_site_count());
+        let p = Placement::place(&nl, &device).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for (id, cell) in nl.cells() {
+            if let Some(site) = p.site_of(id) {
+                prop_assert!(device.contains(site.slice));
+                prop_assert!(seen.insert((site.slice, site.kind, site.index)),
+                    "cell {:?} shares a site", cell.name());
+            }
+        }
+        prop_assert!(p.used_slices() >= nl.stats().luts.div_ceil(4));
+        prop_assert!(p.utilization() <= 1.0);
+    }
+
+    /// Capacity failures are reported, never panics.
+    #[test]
+    fn overflow_is_an_error(n_luts in 65usize..200) {
+        let nl = chain(n_luts);
+        let device = Device::new(DeviceConfig::new(4, 4)); // 64 LUT sites
+        prop_assert!(Placement::place(&nl, &device).is_err());
+    }
+
+    /// Die variation factors are positive, bounded, and deterministic in
+    /// the seed.
+    #[test]
+    fn variation_factors_bounded(seed in any::<u64>(), x in 0u16..10, y in 0u16..10) {
+        let device = Device::new(DeviceConfig::new(10, 10));
+        let m = VariationModel::nm65();
+        let v = DieVariation::generate(&m, &device, seed);
+        let s = SliceCoord::new(x, y);
+        let d = v.delay_factor(s);
+        let c = v.current_factor(s);
+        prop_assert!(d > 0.3 && d < 3.0, "delay factor {d}");
+        prop_assert!(c > 0.3 && c < 3.0, "current factor {c}");
+        let v2 = DieVariation::generate(&m, &device, seed);
+        prop_assert_eq!(d, v2.delay_factor(s));
+    }
+
+    /// Power-grid coupling is symmetric, unit at zero distance and
+    /// monotonically decaying.
+    #[test]
+    fn coupling_properties(
+        ax in 0u16..30, ay in 0u16..30,
+        bx in 0u16..30, by in 0u16..30,
+    ) {
+        let g = PowerGrid::virtex5();
+        let a = SliceCoord::new(ax, ay);
+        let b = SliceCoord::new(bx, by);
+        let c = g.coupling(a, b);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert_eq!(c, g.coupling(b, a));
+        if a == b {
+            prop_assert_eq!(c, 1.0);
+        }
+        // Moving further away never increases coupling.
+        let further = SliceCoord::new(bx.saturating_add(5), by.saturating_add(5));
+        if a.euclidean(further) >= a.euclidean(b) {
+            prop_assert!(g.coupling(a, further) <= c + 1e-12);
+        }
+    }
+
+    /// Delay shifts accumulate linearly in the trojan cell list.
+    #[test]
+    fn shifts_are_additive(
+        vx in 0u16..20, vy in 0u16..20,
+        cells in proptest::collection::vec((0u16..20, 0u16..20), 1..10),
+    ) {
+        let g = PowerGrid::virtex5();
+        let victim = SliceCoord::new(vx, vy);
+        let slices: Vec<SliceCoord> = cells.iter().map(|&(x, y)| SliceCoord::new(x, y)).collect();
+        let total = g.delay_shift_ps(victim, &slices);
+        let sum: f64 = slices.iter().map(|&s| g.delay_shift_ps(victim, &[s])).sum();
+        prop_assert!((total - sum).abs() < 1e-9);
+        prop_assert!(total > 0.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Technology-mapper-style convenience constructors.
+//!
+//! These helpers emit small logic functions as LUTs and pack wide
+//! XOR/AND/OR networks into balanced trees of 6-input LUTs, mimicking what
+//! `xst`/`map` would produce for the same RTL. They are inherent methods on
+//! [`Netlist`] so call sites read naturally:
+//!
+//! ```
+//! use htd_netlist::Netlist;
+//!
+//! let mut nl = Netlist::new("demo");
+//! let bits: Vec<_> = (0..32).map(|i| nl.add_input(format!("x{i}"))).collect();
+//! // 32-input AND: packed into a two-level LUT6 tree (6 + 1 LUTs).
+//! let trigger = nl.and_many(&bits);
+//! nl.add_output("trig", trigger).unwrap();
+//! assert_eq!(nl.stats().luts, 7);
+//! ```
+
+use crate::cell::LutMask;
+use crate::{NetId, Netlist};
+
+impl Netlist {
+    /// Emits an inverter.
+    pub fn not_gate(&mut self, a: NetId) -> NetId {
+        self.add_lut(&[a], LutMask::from_fn(1, |r| r & 1 == 0))
+            .expect("1-input lut is always valid")
+    }
+
+    /// Emits a buffer LUT (used to model added electrical load explicitly).
+    pub fn buf_gate(&mut self, a: NetId) -> NetId {
+        self.add_lut(&[a], LutMask::from_fn(1, |r| r & 1 == 1))
+            .expect("1-input lut is always valid")
+    }
+
+    /// Emits a 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_lut(&[a, b], LutMask::from_fn(2, |r| r == 0b11))
+            .expect("2-input lut is always valid")
+    }
+
+    /// Emits a 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_lut(&[a, b], LutMask::from_fn(2, |r| r != 0))
+            .expect("2-input lut is always valid")
+    }
+
+    /// Emits a 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_lut(&[a, b], LutMask::from_fn(2, |r| (r.count_ones() & 1) == 1))
+            .expect("2-input lut is always valid")
+    }
+
+    /// Emits a 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_lut(&[a, b], LutMask::from_fn(2, |r| (r.count_ones() & 1) == 0))
+            .expect("2-input lut is always valid")
+    }
+
+    /// Emits a 2:1 multiplexer: `sel ? hi : lo`.
+    pub fn mux2(&mut self, sel: NetId, lo: NetId, hi: NetId) -> NetId {
+        // Pins: 0 = lo, 1 = hi, 2 = sel.
+        let mask = LutMask::from_fn(3, |r| {
+            let lo = r & 1 == 1;
+            let hi = r & 2 == 2;
+            let sel = r & 4 == 4;
+            if sel {
+                hi
+            } else {
+                lo
+            }
+        });
+        self.add_lut(&[lo, hi, sel], mask)
+            .expect("3-input lut is always valid")
+    }
+
+    /// Emits a 4:1 multiplexer in a single LUT6:
+    /// `data[(s1,s0)]` with pins `d0..d3, s0, s1`.
+    pub fn mux4(&mut self, sel: [NetId; 2], data: [NetId; 4]) -> NetId {
+        let mask = LutMask::from_fn(6, |r| {
+            let idx = ((r >> 4) & 0b11) as usize;
+            (r >> idx) & 1 == 1
+        });
+        self.add_lut(&[data[0], data[1], data[2], data[3], sel[0], sel[1]], mask)
+            .expect("6-input lut is always valid")
+    }
+
+    /// Emits a 3-input majority gate (full-adder carry).
+    pub fn majority3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.add_lut(&[a, b, c], LutMask::from_fn(3, |r| r.count_ones() >= 2))
+            .expect("3-input lut is always valid")
+    }
+
+    /// Reduces `bits` with XOR, packed into a balanced LUT6 tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn xor_many(&mut self, bits: &[NetId]) -> NetId {
+        self.reduce_tree_with(bits, |_, r| (r.count_ones() & 1) == 1)
+    }
+
+    /// Reduces `bits` with AND, packed into a balanced LUT6 tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn and_many(&mut self, bits: &[NetId]) -> NetId {
+        self.reduce_tree_with(bits, |width, r| {
+            let full = (1u64 << width) - 1;
+            r & full == full
+        })
+    }
+
+    /// Reduces `bits` with OR, packed into a balanced LUT6 tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn or_many(&mut self, bits: &[NetId]) -> NetId {
+        self.reduce_tree_with(bits, |width, r| {
+            let full = (1u64 << width) - 1;
+            r & full != 0
+        })
+    }
+
+    fn reduce_tree_with(&mut self, bits: &[NetId], f: impl Fn(usize, u64) -> bool) -> NetId {
+        assert!(!bits.is_empty(), "cannot reduce an empty bit list");
+        let mut layer: Vec<NetId> = bits.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(6));
+            for group in layer.chunks(6) {
+                if group.len() == 1 {
+                    next.push(group[0]);
+                } else {
+                    let w = group.len();
+                    let mask = LutMask::from_fn(w, |r| f(w, r));
+                    next.push(self.add_lut(group, mask).expect("≤6-input lut"));
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Emits logic computing `bits == value` (little-endian bit order),
+    /// as per-bit XNOR/identity folded into an AND tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn eq_const(&mut self, bits: &[NetId], value: u64) -> NetId {
+        assert!(!bits.is_empty(), "cannot compare an empty bit list");
+        // Pack up to 6 bits per LUT: each LUT checks its slice against the
+        // corresponding slice of `value`.
+        let mut terms = Vec::with_capacity(bits.len().div_ceil(6));
+        for (chunk_idx, group) in bits.chunks(6).enumerate() {
+            let expect = (value >> (chunk_idx * 6)) & ((1u64 << group.len()) - 1);
+            let mask = LutMask::from_fn(group.len(), move |r| r == expect);
+            terms.push(self.add_lut(group, mask).expect("≤6-input lut"));
+        }
+        self.and_many(&terms)
+    }
+
+    /// Emits a ripple-carry incrementer over `bits` (little-endian),
+    /// returning the incremented value's nets (same width, wrap-around).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn incrementer(&mut self, bits: &[NetId]) -> Vec<NetId> {
+        assert!(!bits.is_empty(), "cannot increment an empty bit list");
+        let mut out = Vec::with_capacity(bits.len());
+        let mut carry = self.const_net(true);
+        for &b in bits {
+            out.push(self.xor2(b, carry));
+            carry = self.and2(b, carry);
+        }
+        out
+    }
+
+    /// Emits a ripple-borrow decrementer over `bits` (little-endian),
+    /// returning the decremented value's nets (same width, wrap-around).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn decrementer(&mut self, bits: &[NetId]) -> Vec<NetId> {
+        assert!(!bits.is_empty(), "cannot decrement an empty bit list");
+        let mut out = Vec::with_capacity(bits.len());
+        let mut borrow = self.const_net(true);
+        for &b in bits {
+            out.push(self.xor2(b, borrow));
+            // Borrow propagates through zero bits.
+            let nb = self.not_gate(b);
+            borrow = self.and2(nb, borrow);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Netlist;
+
+    fn eval1(nl: &Netlist, inputs: &[(crate::NetId, bool)], out: crate::NetId) -> bool {
+        let mut sim = nl.simulator().expect("valid netlist");
+        for &(n, v) in inputs {
+            sim.set(n, v);
+        }
+        sim.settle();
+        sim.get(out)
+    }
+
+    #[test]
+    fn basic_gates_truth_tables() {
+        let mut nl = Netlist::new("g");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and = nl.and2(a, b);
+        let or = nl.or2(a, b);
+        let xor = nl.xor2(a, b);
+        let xnor = nl.xnor2(a, b);
+        let na = nl.not_gate(a);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let ins = [(a, va), (b, vb)];
+            assert_eq!(eval1(&nl, &ins, and), va && vb);
+            assert_eq!(eval1(&nl, &ins, or), va || vb);
+            assert_eq!(eval1(&nl, &ins, xor), va ^ vb);
+            assert_eq!(eval1(&nl, &ins, xnor), !(va ^ vb));
+            assert_eq!(eval1(&nl, &ins, na), !va);
+        }
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let mut nl = Netlist::new("m");
+        let s = nl.add_input("s");
+        let lo = nl.add_input("lo");
+        let hi = nl.add_input("hi");
+        let y = nl.mux2(s, lo, hi);
+        assert!(eval1(&nl, &[(s, false), (lo, true), (hi, false)], y));
+        assert!(eval1(&nl, &[(s, true), (lo, false), (hi, true)], y));
+        assert!(!eval1(&nl, &[(s, true), (lo, true), (hi, false)], y));
+    }
+
+    #[test]
+    fn mux4_selects_all_lanes() {
+        let mut nl = Netlist::new("m4");
+        let s0 = nl.add_input("s0");
+        let s1 = nl.add_input("s1");
+        let d: Vec<_> = (0..4).map(|i| nl.add_input(format!("d{i}"))).collect();
+        let y = nl.mux4([s0, s1], [d[0], d[1], d[2], d[3]]);
+        for lane in 0..4usize {
+            for val in [false, true] {
+                let mut ins = vec![
+                    (s0, lane & 1 == 1),
+                    (s1, lane & 2 == 2),
+                ];
+                for (i, &di) in d.iter().enumerate() {
+                    ins.push((di, if i == lane { val } else { !val }));
+                }
+                assert_eq!(eval1(&nl, &ins, y), val, "lane {lane} val {val}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_reductions_match_reference() {
+        for width in [1usize, 2, 5, 6, 7, 12, 32, 36, 37] {
+            let mut nl = Netlist::new("w");
+            let bits: Vec<_> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+            let xs = nl.xor_many(&bits);
+            let ands = nl.and_many(&bits);
+            let ors = nl.or_many(&bits);
+            // A couple of pseudo-random patterns per width.
+            for pat in [0u64, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 0x5555_5555_5555_5555] {
+                let ins: Vec<_> = bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| (b, (pat >> (i % 64)) & 1 == 1))
+                    .collect();
+                let vals: Vec<bool> = ins.iter().map(|&(_, v)| v).collect();
+                assert_eq!(
+                    eval1(&nl, &ins, xs),
+                    vals.iter().filter(|&&v| v).count() % 2 == 1,
+                    "xor width {width} pat {pat:x}"
+                );
+                assert_eq!(eval1(&nl, &ins, ands), vals.iter().all(|&v| v));
+                assert_eq!(eval1(&nl, &ins, ors), vals.iter().any(|&v| v));
+            }
+        }
+    }
+
+    #[test]
+    fn eq_const_detects_exact_value() {
+        let mut nl = Netlist::new("eq");
+        let bits: Vec<_> = (0..10).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let target = 0b1011010011u64;
+        let hit = nl.eq_const(&bits, target);
+        let ins_hit: Vec<_> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, (target >> i) & 1 == 1))
+            .collect();
+        assert!(eval1(&nl, &ins_hit, hit));
+        let ins_miss: Vec<_> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, (target >> i) & 1 == (if i == 3 { 0 } else { 1 })))
+            .collect();
+        assert!(!eval1(&nl, &ins_miss, hit));
+    }
+
+    #[test]
+    fn incrementer_wraps() {
+        let mut nl = Netlist::new("inc");
+        let bits: Vec<_> = (0..4).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let next = nl.incrementer(&bits);
+        for v in 0..16u64 {
+            let ins: Vec<_> = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b, (v >> i) & 1 == 1))
+                .collect();
+            let mut got = 0u64;
+            let mut sim = nl.simulator().unwrap();
+            for &(n, val) in &ins {
+                sim.set(n, val);
+            }
+            sim.settle();
+            for (i, &o) in next.iter().enumerate() {
+                got |= (sim.get(o) as u64) << i;
+            }
+            assert_eq!(got, (v + 1) % 16, "v={v}");
+        }
+    }
+
+    #[test]
+    fn decrementer_wraps() {
+        let mut nl = Netlist::new("dec");
+        let bits: Vec<_> = (0..4).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let prev = nl.decrementer(&bits);
+        for v in 0..16u64 {
+            let mut sim = nl.simulator().unwrap();
+            sim.set_bus(&bits, v as u128);
+            sim.settle();
+            let mut got = 0u64;
+            for (i, &o) in prev.iter().enumerate() {
+                got |= (sim.get(o) as u64) << i;
+            }
+            assert_eq!(got, v.wrapping_sub(1) % 16, "v={v}");
+        }
+    }
+
+    #[test]
+    fn and_32_uses_two_level_tree() {
+        let mut nl = Netlist::new("t");
+        let bits: Vec<_> = (0..32).map(|i| nl.add_input(format!("x{i}"))).collect();
+        nl.and_many(&bits);
+        // 32 -> ceil(32/6)=6 LUTs -> 6 -> 1 LUT = 7 total.
+        assert_eq!(nl.stats().luts, 7);
+    }
+}

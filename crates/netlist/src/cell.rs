@@ -1,0 +1,249 @@
+//! Cell types: LUTs, flip-flops, constants and ports.
+
+use std::fmt;
+
+use crate::{NetId, NetlistError};
+
+/// Truth table of a *k*-input LUT, `k ≤ 6`.
+///
+/// Bit `i` of the mask is the output value for the input combination whose
+/// binary encoding is `i`, with input pin 0 as the least-significant bit —
+/// the same convention as a Xilinx `INIT` attribute.
+///
+/// ```
+/// use htd_netlist::LutMask;
+///
+/// let xor2 = LutMask::from_fn(2, |bits| (bits.count_ones() & 1) == 1);
+/// assert_eq!(xor2.raw(), 0b0110);
+/// assert!(xor2.eval(&[true, false]));
+/// assert!(!xor2.eval(&[true, true]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LutMask(u64);
+
+impl LutMask {
+    /// Maximum number of LUT inputs supported (Virtex-5 LUT6).
+    pub const MAX_INPUTS: usize = 6;
+
+    /// Creates a mask from a raw `INIT`-style integer for a LUT with
+    /// `inputs` pins. Bits above `2^inputs` are truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::LutTooWide`] if `inputs > 6`.
+    pub fn new(inputs: usize, raw: u64) -> Result<Self, NetlistError> {
+        if inputs > Self::MAX_INPUTS {
+            return Err(NetlistError::LutTooWide { inputs });
+        }
+        let mask = if inputs == Self::MAX_INPUTS {
+            raw
+        } else {
+            raw & ((1u64 << (1usize << inputs)) - 1)
+        };
+        Ok(LutMask(mask))
+    }
+
+    /// Builds a mask by evaluating `f` on every input combination.
+    ///
+    /// `f` receives the input row encoded as an integer: bit `i` is pin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > 6`; use [`LutMask::new`] for fallible
+    /// construction from untrusted widths.
+    pub fn from_fn(inputs: usize, f: impl Fn(u64) -> bool) -> Self {
+        assert!(inputs <= Self::MAX_INPUTS, "LUT wider than 6 inputs");
+        let rows = 1u64 << inputs;
+        let mut mask = 0u64;
+        for row in 0..rows {
+            if f(row) {
+                mask |= 1 << row;
+            }
+        }
+        LutMask(mask)
+    }
+
+    /// Returns the raw truth-table bits.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Evaluates the LUT for the given pin values (`pins[0]` = pin 0).
+    #[inline]
+    pub fn eval(self, pins: &[bool]) -> bool {
+        debug_assert!(pins.len() <= Self::MAX_INPUTS);
+        let mut row = 0u64;
+        for (i, &p) in pins.iter().enumerate() {
+            row |= (p as u64) << i;
+        }
+        (self.0 >> row) & 1 == 1
+    }
+
+    /// Evaluates the LUT with the input row pre-encoded as an integer.
+    #[inline]
+    pub fn eval_row(self, row: u64) -> bool {
+        (self.0 >> row) & 1 == 1
+    }
+
+    /// Returns `true` if pin `pin` can ever change the output of a LUT with
+    /// `inputs` pins — i.e. the function actually depends on that pin.
+    pub fn depends_on(self, inputs: usize, pin: usize) -> bool {
+        debug_assert!(pin < inputs && inputs <= Self::MAX_INPUTS);
+        let rows = 1u64 << inputs;
+        let bit = 1u64 << pin;
+        for row in 0..rows {
+            if row & bit == 0 && self.eval_row(row) != self.eval_row(row | bit) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for LutMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+/// The behaviour of a [`Cell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Top-level input port. No input pins; drives its output net from the
+    /// environment.
+    Input,
+    /// Top-level output port. One input pin, no output net.
+    Output,
+    /// Constant driver (`false` = GND, `true` = VCC).
+    Const(bool),
+    /// *k*-input look-up table, `k` given by the number of connected input
+    /// nets (1–6).
+    Lut(LutMask),
+    /// Rising-edge D flip-flop on the single implicit clock domain.
+    /// Pin 0 is `D`; the output net is `Q`. Reset state is `false`.
+    Dff,
+}
+
+impl CellKind {
+    /// Returns `true` for purely combinational cells (LUTs and constants).
+    #[inline]
+    pub fn is_combinational(self) -> bool {
+        matches!(self, CellKind::Lut(_) | CellKind::Const(_))
+    }
+
+    /// Returns `true` if the cell is a D flip-flop.
+    #[inline]
+    pub fn is_dff(self) -> bool {
+        matches!(self, CellKind::Dff)
+    }
+
+    /// Returns `true` if the cell occupies a fabric LUT site when placed
+    /// (only LUTs do; FFs occupy FF sites and ports/constants are free).
+    #[inline]
+    pub fn occupies_lut_site(self) -> bool {
+        matches!(self, CellKind::Lut(_))
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::Input => write!(f, "input"),
+            CellKind::Output => write!(f, "output"),
+            CellKind::Const(v) => write!(f, "const({})", if *v { 1 } else { 0 }),
+            CellKind::Lut(m) => write!(f, "lut[{m}]"),
+            CellKind::Dff => write!(f, "dff"),
+        }
+    }
+}
+
+/// One instantiated cell of a [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub(crate) kind: CellKind,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: Option<NetId>,
+    pub(crate) name: String,
+}
+
+impl Cell {
+    /// The cell's behaviour.
+    #[inline]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input nets in pin order (pin 0 first).
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The net driven by this cell, if any (`Output` ports drive nothing).
+    #[inline]
+    pub fn output(&self) -> Option<NetId> {
+        self.output
+    }
+
+    /// Instance name (unique within the netlist is *not* enforced; names
+    /// are debugging aids).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_mask_from_fn_matches_eval() {
+        let and3 = LutMask::from_fn(3, |r| r == 0b111);
+        assert_eq!(and3.raw(), 0x80);
+        assert!(and3.eval(&[true, true, true]));
+        assert!(!and3.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn lut_mask_truncates_high_bits() {
+        let m = LutMask::new(2, 0xFFFF_FFFF).unwrap();
+        assert_eq!(m.raw(), 0xF);
+    }
+
+    #[test]
+    fn lut_mask_rejects_wide_luts() {
+        assert!(matches!(
+            LutMask::new(7, 0),
+            Err(NetlistError::LutTooWide { inputs: 7 })
+        ));
+    }
+
+    #[test]
+    fn lut_depends_on_detects_dead_pins() {
+        // f(a, b) = a  (pin 1 is dead).
+        let m = LutMask::from_fn(2, |r| r & 1 == 1);
+        assert!(m.depends_on(2, 0));
+        assert!(!m.depends_on(2, 1));
+    }
+
+    #[test]
+    fn six_input_mask_uses_full_width() {
+        let all_ones = LutMask::from_fn(6, |_| true);
+        assert_eq!(all_ones.raw(), u64::MAX);
+        let and6 = LutMask::from_fn(6, |r| r == 63);
+        assert!(and6.eval_row(63));
+        assert!(!and6.eval_row(62));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(CellKind::Lut(LutMask::from_fn(1, |r| r == 0)).is_combinational());
+        assert!(CellKind::Const(true).is_combinational());
+        assert!(!CellKind::Dff.is_combinational());
+        assert!(CellKind::Dff.is_dff());
+        assert!(CellKind::Lut(LutMask::from_fn(1, |r| r == 0)).occupies_lut_site());
+        assert!(!CellKind::Input.occupies_lut_site());
+    }
+}

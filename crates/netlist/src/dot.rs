@@ -1,0 +1,58 @@
+//! Graphviz DOT export for debugging small netlists.
+
+use std::fmt::Write as _;
+
+use crate::{CellKind, Netlist};
+
+impl Netlist {
+    /// Renders the netlist as a Graphviz `digraph` (cells as nodes, nets as
+    /// edges labelled with the net name). Intended for debugging small
+    /// circuits; the AES netlist renders but is not human-readable.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (id, cell) in self.cells() {
+            let shape = match cell.kind() {
+                CellKind::Input => "invtriangle",
+                CellKind::Output => "triangle",
+                CellKind::Dff => "box",
+                CellKind::Const(_) => "circle",
+                CellKind::Lut(_) => "ellipse",
+            };
+            let _ = writeln!(
+                out,
+                "  {id} [label=\"{} ({})\", shape={shape}];",
+                cell.name(),
+                cell.kind()
+            );
+        }
+        for (_, net) in self.nets() {
+            if let Some(driver) = net.driver() {
+                for &sink in net.sinks() {
+                    let _ = writeln!(out, "  {driver} -> {sink} [label=\"{}\"];", net.name());
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Netlist;
+
+    #[test]
+    fn dot_output_contains_cells_and_edges() {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let x = nl.not_gate(a);
+        nl.add_output("x", x).unwrap();
+        let dot = nl.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("invtriangle"));
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for netlist construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CellId, NetId};
+
+/// Errors returned by netlist construction, validation and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A LUT was requested with more than six inputs.
+    LutTooWide {
+        /// The offending input count.
+        inputs: usize,
+    },
+    /// A LUT was requested with zero inputs (use a constant instead).
+    EmptyLut,
+    /// Two cells attempt to drive the same net.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: NetId,
+        /// The already-registered driver.
+        first: CellId,
+        /// The cell that attempted to drive it as well.
+        second: CellId,
+    },
+    /// A net id referenced a net that does not exist in this netlist.
+    UnknownNet {
+        /// The out-of-range id.
+        net: NetId,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle {
+        /// A net on the cycle, for diagnostics.
+        net: NetId,
+    },
+    /// A net has no driver but is read by the simulator or analyses.
+    FloatingNet {
+        /// The undriven net.
+        net: NetId,
+    },
+    /// A flip-flop created with
+    /// [`Netlist::add_dff_uninit`](crate::Netlist::add_dff_uninit) never had
+    /// its `D` pin connected.
+    UnconnectedDff {
+        /// The incomplete flip-flop.
+        cell: CellId,
+    },
+    /// [`Netlist::connect_dff_d`](crate::Netlist::connect_dff_d) was called
+    /// on a cell that is not an unconnected flip-flop.
+    NotAnOpenDff {
+        /// The offending cell.
+        cell: CellId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::LutTooWide { inputs } => {
+                write!(f, "lut with {inputs} inputs exceeds the 6-input fabric limit")
+            }
+            NetlistError::EmptyLut => write!(f, "lut with zero inputs is not representable"),
+            NetlistError::MultipleDrivers { net, first, second } => {
+                write!(f, "net {net} driven by both {first} and {second}")
+            }
+            NetlistError::UnknownNet { net } => write!(f, "net {net} does not exist"),
+            NetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net {net}")
+            }
+            NetlistError::FloatingNet { net } => write!(f, "net {net} has no driver"),
+            NetlistError::UnconnectedDff { cell } => {
+                write!(f, "flip-flop {cell} has no D connection")
+            }
+            NetlistError::NotAnOpenDff { cell } => {
+                write!(f, "cell {cell} is not a flip-flop awaiting its D connection")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::LutTooWide { inputs: 9 };
+        let msg = e.to_string();
+        assert!(msg.contains("9"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,89 @@
+//! Typed indices for netlist entities.
+
+use std::fmt;
+
+/// Index of a [`Cell`](crate::Cell) within a [`Netlist`](crate::Netlist).
+///
+/// Ids are dense (`0..netlist.cell_count()`) and stable for the lifetime of
+/// the netlist: cells are never removed, only added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+/// Index of a [`Net`](crate::Net) within a [`Netlist`](crate::Netlist).
+///
+/// Ids are dense (`0..netlist.net_count()`) and stable for the lifetime of
+/// the netlist: nets are never removed, only added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl CellId {
+    /// Returns the id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `CellId` from a dense index.
+    ///
+    /// Intended for sibling crates that keep per-cell side tables
+    /// (placements, delays). The index is not validated against any
+    /// particular netlist.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        CellId(index as u32)
+    }
+}
+
+impl NetId {
+    /// Returns the id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a dense index.
+    ///
+    /// Intended for sibling crates that keep per-net side tables. The index
+    /// is not validated against any particular netlist.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        let c = CellId::from_index(42);
+        assert_eq!(c.index(), 42);
+        let n = NetId::from_index(7);
+        assert_eq!(n.index(), 7);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(CellId::from_index(3).to_string(), "c3");
+        assert_eq!(NetId::from_index(9).to_string(), "n9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId::from_index(1) < CellId::from_index(2));
+        assert!(NetId::from_index(0) < NetId::from_index(10));
+    }
+}

@@ -1,0 +1,42 @@
+//! Nets: the wires connecting cells.
+
+use crate::CellId;
+
+/// A single wire of the netlist.
+///
+/// Every net has at most one driver (enforced by
+/// [`Netlist`](crate::Netlist) construction) and an ordered list of sink
+/// cells. A cell appears once in `sinks` per connected input pin, so the
+/// sink list length equals the net's electrical fan-out.
+#[derive(Debug, Clone)]
+pub struct Net {
+    pub(crate) driver: Option<CellId>,
+    pub(crate) sinks: Vec<CellId>,
+    pub(crate) name: String,
+}
+
+impl Net {
+    /// The cell driving this net, or `None` for a floating net.
+    #[inline]
+    pub fn driver(&self) -> Option<CellId> {
+        self.driver
+    }
+
+    /// Sink cells, one entry per connected input pin (fan-out order).
+    #[inline]
+    pub fn sinks(&self) -> &[CellId] {
+        &self.sinks
+    }
+
+    /// Electrical fan-out: the number of input pins this net drives.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Net name (a debugging aid; uniqueness is not enforced).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}

@@ -1,0 +1,520 @@
+//! Netlist optimization passes: constant folding, dead-cell elimination
+//! and buffer sweeping.
+//!
+//! Because [`Netlist`] ids are stable-by-construction (cells are never
+//! removed in place), optimization builds a *new* netlist and returns the
+//! old→new mapping, like a real EDA flow emitting a fresh database after
+//! each pass.
+//!
+//! The passes are used by the suite's tests as an equivalence-checking
+//! exercise bed, and are available to downstream users who build their own
+//! target circuits with the builder API (hand-built logic often contains
+//! constants and dead cones).
+
+use crate::cell::{CellKind, LutMask};
+use crate::{CellId, NetId, Netlist, NetlistError};
+
+/// Result of an optimization pass: the new netlist plus id mappings.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The rebuilt netlist.
+    pub netlist: Netlist,
+    /// For each old cell: its new id, or `None` if it was removed.
+    pub cell_map: Vec<Option<CellId>>,
+    /// For each old net: the new net carrying the same logical signal, or
+    /// `None` if the signal vanished (dead logic).
+    pub net_map: Vec<Option<NetId>>,
+}
+
+impl Optimized {
+    /// Translates an old net id, if it survived.
+    pub fn net(&self, old: NetId) -> Option<NetId> {
+        self.net_map.get(old.index()).copied().flatten()
+    }
+
+    /// Translates an old cell id, if it survived.
+    pub fn cell(&self, old: CellId) -> Option<CellId> {
+        self.cell_map.get(old.index()).copied().flatten()
+    }
+}
+
+impl Netlist {
+    /// Runs constant folding + buffer sweeping + dead-cell elimination
+    /// **until fixpoint** and returns the rebuilt netlist.
+    ///
+    /// Guarantees:
+    /// * ports and flip-flops are always preserved (sequential state and
+    ///   the external interface are never optimized away);
+    /// * the new netlist is functionally equivalent on every input/state;
+    /// * a second `optimize` of the result changes nothing (idempotence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from reconstruction (which indicates an
+    /// internal bug, not a user error).
+    pub fn optimize(&self) -> Result<Optimized, NetlistError> {
+        let mut acc = self.optimize_once()?;
+        // Constants discovered *during* a rebuild only reach their readers
+        // on the next pass; iterate until the size stabilises.
+        for _ in 0..32 {
+            let before = acc.netlist.stats();
+            let next = acc.netlist.optimize_once()?;
+            let after = next.netlist.stats();
+            acc = Optimized {
+                cell_map: acc
+                    .cell_map
+                    .iter()
+                    .map(|m| m.and_then(|c| next.cell(c)))
+                    .collect(),
+                net_map: acc
+                    .net_map
+                    .iter()
+                    .map(|m| m.and_then(|n| next.net(n)))
+                    .collect(),
+                netlist: next.netlist,
+            };
+            if after.luts == before.luts && after.nets == before.nets {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// One optimization pass (see [`Netlist::optimize`], which iterates
+    /// this to fixpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from reconstruction.
+    pub fn optimize_once(&self) -> Result<Optimized, NetlistError> {
+        // --- Analysis on the original ids -------------------------------
+        // 1. Constant analysis: a net is Known(v) if driven by a constant
+        //    or by a LUT whose inputs are all known / whose mask ignores
+        //    the unknown ones.
+        let known = self.constant_analysis();
+        // 2. Liveness: walk back from ports and flip-flop D pins.
+        let live = self.liveness(&known);
+
+        // --- Rebuild -----------------------------------------------------
+        let mut out = Netlist::new(self.name().to_string());
+        let mut cell_map: Vec<Option<CellId>> = vec![None; self.cell_count()];
+        let mut net_map: Vec<Option<NetId>> = vec![None; self.net_count()];
+
+        // Pass 1: ports, constants (on demand), flip-flops (uninit).
+        for (id, cell) in self.cells() {
+            match cell.kind() {
+                CellKind::Input => {
+                    let new_net = out.add_input(cell.name().to_string());
+                    let old_net = cell.output().expect("input drives a net");
+                    net_map[old_net.index()] = Some(new_net);
+                    cell_map[id.index()] =
+                        Some(out.net(new_net).driver().expect("input just created"));
+                }
+                CellKind::Dff => {
+                    let (new_cell, new_q) = out.add_dff_uninit(cell.name().to_string());
+                    let old_q = cell.output().expect("dff drives q");
+                    net_map[old_q.index()] = Some(new_q);
+                    cell_map[id.index()] = Some(new_cell);
+                }
+                _ => {}
+            }
+        }
+
+        // Helper to materialise a (possibly constant) old net in `out`.
+        // LUTs are emitted in topological order, so non-constant inputs
+        // are already mapped when requested.
+        // Common-subexpression table: canonicalised (mask, inputs) → net.
+        let mut cse: std::collections::HashMap<(u64, Vec<NetId>), NetId> =
+            std::collections::HashMap::new();
+        let levels = self.levelize()?;
+        for &cell_id in levels.order() {
+            let cell = self.cell(cell_id);
+            let CellKind::Lut(mask) = cell.kind() else {
+                continue;
+            };
+            let out_net = cell.output().expect("lut drives a net");
+            if let Some(v) = known[out_net.index()] {
+                // Constant-folded away: route users to the constant net
+                // (even if the cone is otherwise dead — ports may observe
+                // the constant).
+                net_map[out_net.index()] = Some(out.const_net(v));
+                continue;
+            }
+            if !live[cell_id.index()] {
+                continue; // dead logic
+            }
+            // Restrict the function to the known input values, then drop
+            // the unknown pins the *restricted* function ignores (a pin
+            // can look live in the full mask only through rows the known
+            // constants rule out — judging on the restriction makes one
+            // pass a fixpoint).
+            let mut base_row = 0u64;
+            for (pin, &inp) in cell.inputs().iter().enumerate() {
+                if let Some(v) = known[inp.index()] {
+                    base_row |= (v as u64) << pin;
+                }
+            }
+            // Group the unknown pins by their *mapped* source net: pins
+            // tied to the same signal (directly, or through swept buffers)
+            // always carry equal values, so the function is analysed over
+            // distinct signals, not raw pins.
+            let mut groups: Vec<(NetId, Vec<usize>)> = Vec::new();
+            for (pin, &inp) in cell.inputs().iter().enumerate() {
+                if known[inp.index()].is_some() {
+                    continue;
+                }
+                // An unmapped input means its driver was proven dead,
+                // which liveness only allows when this pin cannot affect
+                // the output in any row — safe to treat as constant 0.
+                let Some(mapped) = net_map[inp.index()] else {
+                    continue;
+                };
+                match groups.iter_mut().find(|(n, _)| *n == mapped) {
+                    Some((_, pins)) => pins.push(pin),
+                    None => groups.push((mapped, vec![pin])),
+                }
+            }
+            let restricted = LutMask::from_fn(groups.len(), |row| {
+                let mut full_row = base_row;
+                for (g, (_, pins)) in groups.iter().enumerate() {
+                    if (row >> g) & 1 == 1 {
+                        for &pin in pins {
+                            full_row |= 1 << pin;
+                        }
+                    }
+                }
+                mask.eval_row(full_row)
+            });
+            let kept: Vec<usize> = (0..groups.len())
+                .filter(|&i| restricted.depends_on(groups.len(), i))
+                .collect();
+            if kept.is_empty() {
+                // Constant over the reachable input space (constant
+                // analysis should have caught this, but stay defensive).
+                let v = restricted.eval_row(0);
+                net_map[out_net.index()] = Some(out.const_net(v));
+                continue;
+            }
+            let folded_mask = LutMask::from_fn(kept.len(), |row| {
+                restricted.eval_row(spread(row, &kept))
+            });
+            // `groups` already carries new-netlist ids.
+            let new_inputs: Vec<NetId> = kept.iter().map(|&i| groups[i].0).collect();
+            // Buffer sweep: a 1-input identity LUT forwards its input.
+            if new_inputs.len() == 1 && folded_mask.raw() == 0b10 {
+                net_map[out_net.index()] = Some(new_inputs[0]);
+                continue;
+            }
+            // Canonicalise: sort inputs by net id, permuting the mask
+            // rows to match, so commutative duplicates collide in CSE.
+            let mut order: Vec<usize> = (0..new_inputs.len()).collect();
+            order.sort_by_key(|&i| new_inputs[i]);
+            let sorted_inputs: Vec<NetId> = order.iter().map(|&i| new_inputs[i]).collect();
+            let canon_mask = LutMask::from_fn(sorted_inputs.len(), |row| {
+                // row indexes the sorted pins; rebuild the original row.
+                let mut orig = 0u64;
+                for (new_pin, &old_pin) in order.iter().enumerate() {
+                    orig |= ((row >> new_pin) & 1) << old_pin;
+                }
+                folded_mask.eval_row(orig)
+            });
+            // Common-subexpression elimination: an identical function of
+            // identical signals already exists → reuse its net.
+            let key = (canon_mask.raw(), sorted_inputs.clone());
+            if let Some(&existing) = cse.get(&key) {
+                net_map[out_net.index()] = Some(existing);
+                continue;
+            }
+            let new_net =
+                out.add_lut_named(&sorted_inputs, canon_mask, cell.name().to_string())?;
+            cse.insert(key, new_net);
+            net_map[out_net.index()] = Some(new_net);
+            cell_map[cell_id.index()] = out.net(new_net).driver();
+        }
+
+        // Map constant-driver nets that anything might still reference.
+        for (id, cell) in self.cells() {
+            if let CellKind::Const(v) = cell.kind() {
+                let old_net = cell.output().expect("const drives a net");
+                if net_map[old_net.index()].is_none() {
+                    net_map[old_net.index()] = Some(out.const_net(v));
+                }
+                cell_map[id.index()] = out.net(net_map[old_net.index()].unwrap()).driver();
+            }
+        }
+
+        // Pass 2: connect flip-flop D pins and output ports.
+        for (id, cell) in self.cells() {
+            match cell.kind() {
+                CellKind::Dff => {
+                    let d_old = cell.inputs()[0];
+                    let d_new = match net_map[d_old.index()] {
+                        Some(n) => n,
+                        None => {
+                            // D was driven by dead-but-known logic.
+                            let v = known[d_old.index()].unwrap_or(false);
+                            out.const_net(v)
+                        }
+                    };
+                    let new_cell = cell_map[id.index()].expect("dff preserved");
+                    out.connect_dff_d(new_cell, d_new)?;
+                }
+                CellKind::Output => {
+                    let src_old = cell.inputs()[0];
+                    let src_new = match net_map[src_old.index()] {
+                        Some(n) => n,
+                        None => {
+                            let v = known[src_old.index()].unwrap_or(false);
+                            out.const_net(v)
+                        }
+                    };
+                    let new_cell = out.add_output(cell.name().to_string(), src_new)?;
+                    cell_map[id.index()] = Some(new_cell);
+                }
+                _ => {}
+            }
+        }
+
+        Ok(Optimized {
+            netlist: out,
+            cell_map,
+            net_map,
+        })
+    }
+
+    /// Per-net constant analysis: `Some(v)` if the net provably always
+    /// carries `v` regardless of inputs and state.
+    fn constant_analysis(&self) -> Vec<Option<bool>> {
+        let mut known: Vec<Option<bool>> = vec![None; self.net_count()];
+        for (_, cell) in self.cells() {
+            if let CellKind::Const(v) = cell.kind() {
+                known[cell.output().expect("const drives a net").index()] = Some(v);
+            }
+        }
+        let Ok(levels) = self.levelize() else {
+            return known;
+        };
+        for &cell_id in levels.order() {
+            let cell = self.cell(cell_id);
+            let CellKind::Lut(mask) = cell.kind() else {
+                continue;
+            };
+            let width = cell.inputs().len();
+            // Enumerate the mask restricted to unknown pins; constant iff
+            // the output is identical for every assignment.
+            let unknown_pins: Vec<usize> = cell
+                .inputs()
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| known[n.index()].is_none())
+                .map(|(p, _)| p)
+                .collect();
+            let mut base_row = 0u64;
+            for (pin, &inp) in cell.inputs().iter().enumerate() {
+                if let Some(v) = known[inp.index()] {
+                    base_row |= (v as u64) << pin;
+                }
+            }
+            let _ = width;
+            let n_assign = 1u64 << unknown_pins.len();
+            let first = mask.eval_row(base_row | spread(0, &unknown_pins));
+            let constant = (1..n_assign).all(|a| mask.eval_row(base_row | spread(a, &unknown_pins)) == first);
+            if constant {
+                known[cell.output().expect("lut drives a net").index()] = Some(first);
+            }
+        }
+        known
+    }
+
+    /// Liveness: a LUT is live if its output transitively reaches an
+    /// output port or a flip-flop `D` pin through non-constant logic.
+    fn liveness(&self, known: &[Option<bool>]) -> Vec<bool> {
+        let mut live = vec![false; self.cell_count()];
+        let mut stack: Vec<NetId> = Vec::new();
+        for (_, cell) in self.cells() {
+            match cell.kind() {
+                CellKind::Output | CellKind::Dff => {
+                    if let Some(&d) = cell.inputs().first() {
+                        stack.push(d);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut seen_net = vec![false; self.net_count()];
+        while let Some(net) = stack.pop() {
+            if seen_net[net.index()] {
+                continue;
+            }
+            seen_net[net.index()] = true;
+            if known[net.index()].is_some() {
+                continue; // constant nets need no driver logic
+            }
+            let Some(driver) = self.net(net).driver() else {
+                continue;
+            };
+            let cell = self.cell(driver);
+            if let CellKind::Lut(mask) = cell.kind() {
+                live[driver.index()] = true;
+                let width = cell.inputs().len();
+                for (pin, &inp) in cell.inputs().iter().enumerate() {
+                    if mask.depends_on(width, pin) {
+                        stack.push(inp);
+                    }
+                }
+            }
+        }
+        live
+    }
+}
+
+/// Spreads the low bits of `value` onto the given pin positions.
+fn spread(value: u64, pins: &[usize]) -> u64 {
+    let mut row = 0u64;
+    for (i, &pin) in pins.iter().enumerate() {
+        row |= ((value >> i) & 1) << pin;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_fold_through_logic() {
+        let mut nl = Netlist::new("fold");
+        let a = nl.add_input("a");
+        let t = nl.const_net(true);
+        let f = nl.const_net(false);
+        let x = nl.and2(a, f); // always 0
+        let y = nl.or2(x, t); // always 1
+        let z = nl.xor2(y, a); // = !a
+        nl.add_output("z", z).unwrap();
+        let opt = nl.optimize().unwrap();
+        // Everything folds to a single inverter.
+        assert_eq!(opt.netlist.stats().luts, 1);
+        // Equivalence.
+        for va in [false, true] {
+            let mut s0 = nl.simulator().unwrap();
+            s0.set(a, va);
+            s0.settle();
+            let want = s0.get(z);
+            let mut s1 = opt.netlist.simulator().unwrap();
+            let a_new = opt.netlist.input_nets()[0];
+            s1.set(a_new, va);
+            s1.settle();
+            let z_new = opt.netlist.output_nets()[0];
+            assert_eq!(s1.get(z_new), want, "a = {va}");
+        }
+    }
+
+    #[test]
+    fn dead_cones_are_removed() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let keep = nl.xor2(a, b);
+        // Dead cone: drives nothing.
+        let d1 = nl.and2(a, b);
+        let _d2 = nl.or2(d1, a);
+        nl.add_output("k", keep).unwrap();
+        let opt = nl.optimize().unwrap();
+        assert_eq!(opt.netlist.stats().luts, 1);
+        assert!(opt.net(keep).is_some());
+        assert!(opt.net(d1).is_none());
+    }
+
+    #[test]
+    fn buffers_are_swept() {
+        let mut nl = Netlist::new("buf");
+        let a = nl.add_input("a");
+        let b1 = nl.buf_gate(a);
+        let b2 = nl.buf_gate(b1);
+        let y = nl.not_gate(b2);
+        nl.add_output("y", y).unwrap();
+        let opt = nl.optimize().unwrap();
+        assert_eq!(opt.netlist.stats().luts, 1);
+        // The buffers' signals alias the input net.
+        assert_eq!(opt.net(b1), opt.net(a));
+        assert_eq!(opt.net(b2), opt.net(a));
+    }
+
+    #[test]
+    fn dff_with_constant_d_is_preserved() {
+        // Sequential elements are never removed, even if fed a constant.
+        let mut nl = Netlist::new("seq");
+        let t = nl.const_net(true);
+        let q = nl.add_dff(t, "r").unwrap();
+        nl.add_output("q", q).unwrap();
+        let opt = nl.optimize().unwrap();
+        assert_eq!(opt.netlist.stats().dffs, 1);
+        let mut sim = opt.netlist.simulator().unwrap();
+        sim.settle();
+        sim.clock();
+        assert!(sim.get(opt.net(q).unwrap()));
+    }
+
+    #[test]
+    fn dead_pins_are_dropped() {
+        let mut nl = Netlist::new("pins");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        // f(a, b) = a — pin b is dead.
+        let mask = LutMask::from_fn(2, |r| r & 1 == 1);
+        let y = nl.add_lut(&[a, b], mask).unwrap();
+        nl.add_output("y", y).unwrap();
+        let opt = nl.optimize().unwrap();
+        // The identity LUT then sweeps as a buffer: zero LUTs remain.
+        assert_eq!(opt.netlist.stats().luts, 0);
+        assert_eq!(opt.net(y), opt.net(a));
+    }
+
+    #[test]
+    fn common_subexpressions_are_merged() {
+        let mut nl = Netlist::new("cse");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        // Same function twice, with commuted inputs the second time.
+        let x1 = nl.xor2(a, b);
+        let x2 = nl.xor2(b, a);
+        let y = nl.and2(x1, x2); // == x1 since x1 == x2
+        nl.add_output("y", y).unwrap();
+        let opt = nl.optimize().unwrap();
+        // x1/x2 merge; the AND of a net with itself sweeps to a buffer.
+        assert_eq!(opt.netlist.stats().luts, 1);
+        assert_eq!(opt.net(x1), opt.net(x2));
+        assert_eq!(opt.net(y), opt.net(x1));
+        // Behaviour preserved.
+        for (va, vb) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut s = opt.netlist.simulator().unwrap();
+            let ins = opt.netlist.input_nets();
+            s.set(ins[0], va);
+            s.set(ins[1], vb);
+            s.settle();
+            assert_eq!(s.get(opt.net(y).unwrap()), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn feedback_loops_optimize_correctly() {
+        // Toggle flop with a redundant buffer in the feedback path.
+        let mut nl = Netlist::new("tff");
+        let (dff, q) = nl.add_dff_uninit("r");
+        let nq = nl.not_gate(q);
+        let buffered = nl.buf_gate(nq);
+        nl.connect_dff_d(dff, buffered).unwrap();
+        nl.add_output("q", q).unwrap();
+        let opt = nl.optimize().unwrap();
+        assert_eq!(opt.netlist.stats().luts, 1); // buffer swept, inverter kept
+        let mut sim = opt.netlist.simulator().unwrap();
+        sim.settle();
+        let q_new = opt.net(q).unwrap();
+        let mut seq = Vec::new();
+        for _ in 0..4 {
+            seq.push(sim.get(q_new));
+            sim.clock();
+        }
+        assert_eq!(seq, vec![false, true, false, true]);
+    }
+}

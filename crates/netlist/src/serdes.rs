@@ -1,0 +1,400 @@
+//! Text serialization of netlists — the suite's equivalent of the paper's
+//! NCD file exchange (Section II-A steps 2–4 extract and re-emit the
+//! circuit description).
+//!
+//! The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! htdnet 1 "aes128"
+//! net n0 "pt[0]"
+//! input c0 "pt[0]" -> n0
+//! lut c5 "xor" 0x6 (n0 n1) -> n2
+//! dff c6 "state[0]" (n2) -> n3
+//! const c7 1 -> n4
+//! output c8 "ct[0]" (n3)
+//! ```
+//!
+//! Nets are declared before use; cells reference nets by id. Ids must be
+//! dense and in creation order, which [`Netlist::to_text`] guarantees and
+//! [`Netlist::from_text`] verifies — so a parsed netlist is structurally
+//! identical (same ids) to the one that was serialized.
+
+use crate::cell::{CellKind, LutMask};
+use crate::{NetId, Netlist};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Netlist::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The header line is missing or malformed.
+    BadHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Ids were not dense / in creation order.
+    NonCanonicalIds {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or malformed `htdnet` header"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::NonCanonicalIds { line } => {
+                write!(f, "line {line}: ids must appear densely in creation order")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a quoted string starting at `s`; returns (content, rest).
+fn unquote(s: &str) -> Option<(String, &str)> {
+    let s = s.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, e)) => out.push(e),
+                None => return None,
+            },
+            '"' => return Some((out, &s[i + 1..])),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+impl Netlist {
+    /// Serializes the netlist to the `htdnet` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("htdnet 1 {}\n", quote(self.name())));
+        for (id, net) in self.nets() {
+            out.push_str(&format!("net {id} {}\n", quote(net.name())));
+        }
+        for (id, cell) in self.cells() {
+            let name = quote(cell.name());
+            let ins = cell
+                .inputs()
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            match cell.kind() {
+                CellKind::Input => {
+                    let o = cell.output().expect("input drives a net");
+                    out.push_str(&format!("input {id} {name} -> {o}\n"));
+                }
+                CellKind::Output => {
+                    out.push_str(&format!("output {id} {name} ({ins})\n"));
+                }
+                CellKind::Const(v) => {
+                    let o = cell.output().expect("const drives a net");
+                    out.push_str(&format!("const {id} {} -> {o}\n", v as u8));
+                }
+                CellKind::Lut(mask) => {
+                    let o = cell.output().expect("lut drives a net");
+                    out.push_str(&format!(
+                        "lut {id} {name} {:#x} ({ins}) -> {o}\n",
+                        mask.raw()
+                    ));
+                }
+                CellKind::Dff => {
+                    let o = cell.output().expect("dff drives a net");
+                    out.push_str(&format!("dff {id} {name} ({ins}) -> {o}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a netlist from the `htdnet` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first offending line.
+    pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(ParseError::BadHeader)?;
+        let rest = header.strip_prefix("htdnet 1 ").ok_or(ParseError::BadHeader)?;
+        let (name, _) = unquote(rest.trim()).ok_or(ParseError::BadHeader)?;
+        let mut nl = Netlist::new(name);
+
+        let bad = |line: usize, reason: &str| ParseError::BadLine {
+            line: line + 1,
+            reason: reason.to_string(),
+        };
+        let parse_net_id = |tok: &str, line: usize| -> Result<NetId, ParseError> {
+            tok.strip_prefix('n')
+                .and_then(|t| t.parse::<usize>().ok())
+                .map(NetId::from_index)
+                .ok_or_else(|| bad(line, "expected net id"))
+        };
+
+        // Deferred D connections: (cell-in-new-netlist, d net).
+        let mut pending_dffs: Vec<(crate::CellId, NetId)> = Vec::new();
+
+        for (lineno, raw) in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (kw, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| bad(lineno, "missing keyword"))?;
+            match kw {
+                "net" => {
+                    let (id_tok, rest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| bad(lineno, "net needs id and name"))?;
+                    let id = parse_net_id(id_tok, lineno)?;
+                    let (name, _) =
+                        unquote(rest.trim()).ok_or_else(|| bad(lineno, "bad net name"))?;
+                    let actual = nl.add_net(name);
+                    if actual != id {
+                        return Err(ParseError::NonCanonicalIds { line: lineno + 1 });
+                    }
+                }
+                "input" => {
+                    let (_id, rest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| bad(lineno, "input needs id"))?;
+                    let (name, rest) =
+                        unquote(rest.trim()).ok_or_else(|| bad(lineno, "bad name"))?;
+                    let out_tok = rest
+                        .trim()
+                        .strip_prefix("->")
+                        .ok_or_else(|| bad(lineno, "input needs -> net"))?;
+                    let out = parse_net_id(out_tok.trim(), lineno)?;
+                    // add_input creates a fresh net; we need it to drive an
+                    // existing one. Recreate via raw plumbing: inputs in
+                    // the canonical format always drive the net declared
+                    // with the same name, which must be the next free
+                    // driver. We reuse add_input-like behaviour through a
+                    // dedicated hook.
+                    let cell = nl
+                        .add_port_input_to(out, name)
+                        .map_err(|e| bad(lineno, &e.to_string()))?;
+                    let _ = cell;
+                }
+                "output" => {
+                    let (_id, rest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| bad(lineno, "output needs id"))?;
+                    let (name, rest) =
+                        unquote(rest.trim()).ok_or_else(|| bad(lineno, "bad name"))?;
+                    let ins = rest.trim();
+                    let ins = ins
+                        .strip_prefix('(')
+                        .and_then(|s| s.strip_suffix(')'))
+                        .ok_or_else(|| bad(lineno, "output needs (net)"))?;
+                    let net = parse_net_id(ins.trim(), lineno)?;
+                    nl.add_output(name, net)
+                        .map_err(|e| bad(lineno, &e.to_string()))?;
+                }
+                "const" => {
+                    let (_id, rest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| bad(lineno, "const needs id"))?;
+                    let (v_tok, rest) = rest
+                        .trim()
+                        .split_once(' ')
+                        .ok_or_else(|| bad(lineno, "const needs value"))?;
+                    let value = match v_tok {
+                        "0" => false,
+                        "1" => true,
+                        _ => return Err(bad(lineno, "const value must be 0 or 1")),
+                    };
+                    let out_tok = rest
+                        .trim()
+                        .strip_prefix("->")
+                        .ok_or_else(|| bad(lineno, "const needs -> net"))?;
+                    let out = parse_net_id(out_tok.trim(), lineno)?;
+                    nl.add_const_to(out, value)
+                        .map_err(|e| bad(lineno, &e.to_string()))?;
+                }
+                "lut" => {
+                    let (_id, rest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| bad(lineno, "lut needs id"))?;
+                    let (name, rest) =
+                        unquote(rest.trim()).ok_or_else(|| bad(lineno, "bad name"))?;
+                    let rest = rest.trim();
+                    let (mask_tok, rest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| bad(lineno, "lut needs mask"))?;
+                    let raw = u64::from_str_radix(
+                        mask_tok.trim_start_matches("0x"),
+                        16,
+                    )
+                    .map_err(|_| bad(lineno, "bad lut mask"))?;
+                    let (ins_part, out_part) = rest
+                        .split_once("->")
+                        .ok_or_else(|| bad(lineno, "lut needs -> net"))?;
+                    let ins_str = ins_part
+                        .trim()
+                        .strip_prefix('(')
+                        .and_then(|s| s.strip_suffix(')'))
+                        .ok_or_else(|| bad(lineno, "lut needs (inputs)"))?;
+                    let inputs: Vec<NetId> = ins_str
+                        .split_whitespace()
+                        .map(|t| parse_net_id(t, lineno))
+                        .collect::<Result<_, _>>()?;
+                    let out = parse_net_id(out_part.trim(), lineno)?;
+                    let mask = LutMask::new(inputs.len(), raw)
+                        .map_err(|e| bad(lineno, &e.to_string()))?;
+                    nl.add_lut_to(out, &inputs, mask, name)
+                        .map_err(|e| bad(lineno, &e.to_string()))?;
+                }
+                "dff" => {
+                    let (_id, rest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| bad(lineno, "dff needs id"))?;
+                    let (name, rest) =
+                        unquote(rest.trim()).ok_or_else(|| bad(lineno, "bad name"))?;
+                    let rest = rest.trim();
+                    let (ins_part, out_part) = rest
+                        .split_once("->")
+                        .ok_or_else(|| bad(lineno, "dff needs -> net"))?;
+                    let ins_str = ins_part
+                        .trim()
+                        .strip_prefix('(')
+                        .and_then(|s| s.strip_suffix(')'))
+                        .ok_or_else(|| bad(lineno, "dff needs (d)"))?;
+                    let d = parse_net_id(ins_str.trim(), lineno)?;
+                    let out = parse_net_id(out_part.trim(), lineno)?;
+                    let cell = nl
+                        .add_dff_to(out, name)
+                        .map_err(|e| bad(lineno, &e.to_string()))?;
+                    pending_dffs.push((cell, d));
+                }
+                _ => return Err(bad(lineno, "unknown keyword")),
+            }
+        }
+        for (cell, d) in pending_dffs {
+            nl.connect_dff_d(cell, d)
+                .map_err(|e| ParseError::BadLine {
+                    line: 0,
+                    reason: format!("dff connection: {e}"),
+                })?;
+        }
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    fn toy() -> Netlist {
+        let mut nl = Netlist::new("toy \"quoted\"");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.const_net(true);
+        let x = nl.xor2(a, b);
+        let y = nl.and2(x, t);
+        let q = nl.add_dff(y, "r0").unwrap();
+        // Feedback to exercise deferred D connections.
+        let (f, fq) = nl.add_dff_uninit("loop");
+        let nfq = nl.not_gate(fq);
+        nl.connect_dff_d(f, nfq).unwrap();
+        nl.add_output("q", q).unwrap();
+        nl.add_output("fq", fq).unwrap();
+        nl
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let nl = toy();
+        let text = nl.to_text();
+        let back = Netlist::from_text(&text).unwrap();
+        assert_eq!(back.name(), nl.name());
+        assert_eq!(back.cell_count(), nl.cell_count());
+        assert_eq!(back.net_count(), nl.net_count());
+        for (id, cell) in nl.cells() {
+            let b = back.cell(id);
+            assert_eq!(b.kind(), cell.kind(), "cell {id}");
+            assert_eq!(b.inputs(), cell.inputs());
+            assert_eq!(b.output(), cell.output());
+            assert_eq!(b.name(), cell.name());
+        }
+        // And the round-tripped text is identical (canonical form).
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let nl = toy();
+        let back = Netlist::from_text(&nl.to_text()).unwrap();
+        let mut s0 = nl.simulator().unwrap();
+        let mut s1 = back.simulator().unwrap();
+        let ins = nl.input_nets();
+        for pattern in 0..4u128 {
+            s0.set_bus(&ins, pattern);
+            s1.set_bus(&ins, pattern);
+            s0.settle();
+            s1.settle();
+            s0.clock();
+            s1.clock();
+            for (id, _) in nl.nets() {
+                assert_eq!(s0.get(id), s1.get(id), "net {id} pattern {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        assert!(matches!(
+            Netlist::from_text("nonsense"),
+            Err(ParseError::BadHeader)
+        ));
+        let bad = "htdnet 1 \"x\"\nnet n0 \"a\"\nfoo bar\n";
+        match Netlist::from_text(bad) {
+            Err(ParseError::BadLine { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+        let non_canonical = "htdnet 1 \"x\"\nnet n5 \"a\"\n";
+        assert!(matches!(
+            Netlist::from_text(non_canonical),
+            Err(ParseError::NonCanonicalIds { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "htdnet 1 \"c\"\n\n# a comment\nnet n0 \"a\"\ninput c0 \"a\" -> n0\n";
+        let nl = Netlist::from_text(text).unwrap();
+        assert_eq!(nl.net_count(), 1);
+        assert_eq!(nl.cell_count(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Functional (zero-delay) simulation.
+
+use crate::topo::Levelization;
+use crate::{CellId, CellKind, NetId, Netlist, NetlistError};
+
+/// A two-valued, zero-delay simulator for a [`Netlist`].
+///
+/// The simulator owns a value per net plus the flip-flop state. Typical use:
+/// set the input nets with [`Simulator::set`], call [`Simulator::settle`] to
+/// propagate through the combinational logic, then [`Simulator::clock`] to
+/// advance one cycle (capture `D`, publish `Q`, settle again).
+///
+/// All state starts at `false` (flip-flops reset to 0), matching an FPGA
+/// global reset.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    levels: Levelization,
+    values: Vec<bool>,
+    regs: Vec<bool>,
+    dffs: Vec<CellId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist fails
+    /// [`Netlist::validate`](crate::Netlist::validate).
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let levels = netlist.levelize()?;
+        let dffs: Vec<CellId> = netlist.dff_cells().map(|(id, _)| id).collect();
+        let mut sim = Simulator {
+            netlist,
+            levels,
+            values: vec![false; netlist.net_count()],
+            regs: vec![false; dffs.len()],
+            dffs,
+        };
+        sim.publish_state();
+        Ok(sim)
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Sets the value of a net (normally a top-level input).
+    ///
+    /// The change is not propagated until [`Simulator::settle`] is called.
+    #[inline]
+    pub fn set(&mut self, net: NetId, value: bool) {
+        self.values[net.index()] = value;
+    }
+
+    /// Sets a little-endian bus of nets from the low bits of `value`.
+    pub fn set_bus(&mut self, nets: &[NetId], value: u128) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.set(n, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Sets a bus of nets from bytes (net `8*i + j` = bit `j` of `bytes[i]`,
+    /// little-endian within each byte).
+    pub fn set_bus_bytes(&mut self, nets: &[NetId], bytes: &[u8]) {
+        for (i, &n) in nets.iter().enumerate() {
+            let byte = bytes[i / 8];
+            self.set(n, (byte >> (i % 8)) & 1 == 1);
+        }
+    }
+
+    /// Reads the current value of a net.
+    #[inline]
+    pub fn get(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Reads a little-endian bus of nets into an integer.
+    pub fn get_bus(&self, nets: &[NetId]) -> u128 {
+        let mut v = 0u128;
+        for (i, &n) in nets.iter().enumerate() {
+            v |= (self.get(n) as u128) << i;
+        }
+        v
+    }
+
+    /// Reads a bus of nets into bytes (inverse of
+    /// [`Simulator::set_bus_bytes`]).
+    pub fn get_bus_bytes(&self, nets: &[NetId]) -> Vec<u8> {
+        let mut out = vec![0u8; nets.len().div_ceil(8)];
+        for (i, &n) in nets.iter().enumerate() {
+            if self.get(n) {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Propagates current input/register values through the combinational
+    /// logic, in topological order.
+    pub fn settle(&mut self) {
+        for &cell_id in self.levels.order() {
+            let cell = self.netlist.cell(cell_id);
+            if let CellKind::Lut(mask) = cell.kind() {
+                let mut row = 0u64;
+                for (pin, &net) in cell.inputs().iter().enumerate() {
+                    row |= (self.values[net.index()] as u64) << pin;
+                }
+                let out = cell.output().expect("lut drives a net");
+                self.values[out.index()] = mask.eval_row(row);
+            }
+        }
+    }
+
+    /// Advances one clock cycle: captures every flip-flop's `D`, publishes
+    /// the new `Q` values and settles the combinational logic.
+    pub fn clock(&mut self) {
+        for (i, &dff) in self.dffs.iter().enumerate() {
+            let d = self.netlist.cell(dff).inputs()[0];
+            self.regs[i] = self.values[d.index()];
+        }
+        self.publish_state();
+        self.settle();
+    }
+
+    /// Resets every flip-flop to `false` and re-settles.
+    pub fn reset(&mut self) {
+        self.regs.iter_mut().for_each(|r| *r = false);
+        self.publish_state();
+        self.settle();
+    }
+
+    /// Current register state, one entry per flip-flop in netlist order.
+    pub fn registers(&self) -> &[bool] {
+        &self.regs
+    }
+
+    /// A copy of every net's current value, indexed by `NetId` — the
+    /// hand-off point to the timed event simulator, which resumes from a
+    /// functional-simulation state.
+    pub fn snapshot(&self) -> Vec<bool> {
+        self.values.clone()
+    }
+
+    /// Overwrites the register state (entry `i` = flip-flop `i` in netlist
+    /// order) and re-settles. Useful for loading a known round state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the number of flip-flops.
+    pub fn load_registers(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.regs.len(), "register count mismatch");
+        self.regs.copy_from_slice(state);
+        self.publish_state();
+        self.settle();
+    }
+
+    fn publish_state(&mut self) {
+        for (i, &dff) in self.dffs.iter().enumerate() {
+            let q = self
+                .netlist
+                .cell(dff)
+                .output()
+                .expect("dff drives its q net");
+            self.values[q.index()] = self.regs[i];
+        }
+        for (_, cell) in self.netlist.cells() {
+            if let CellKind::Const(v) = cell.kind() {
+                let out = cell.output().expect("const drives a net");
+                self.values[out.index()] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Netlist;
+
+    #[test]
+    fn toggle_flop_divides_by_two() {
+        let mut nl = Netlist::new("t");
+        let (dff, q) = nl.add_dff_uninit("r");
+        let nq = nl.not_gate(q);
+        nl.connect_dff_d(dff, nq).unwrap();
+        nl.add_output("q", q).unwrap();
+        let mut sim = nl.simulator().unwrap();
+        sim.settle();
+        let mut seq = Vec::new();
+        for _ in 0..6 {
+            seq.push(sim.get(q));
+            sim.clock();
+        }
+        assert_eq!(seq, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut nl = Netlist::new("ctr");
+        let mut qs = Vec::new();
+        let mut cells = Vec::new();
+        for i in 0..4 {
+            let (c, q) = nl.add_dff_uninit(format!("c{i}"));
+            cells.push(c);
+            qs.push(q);
+        }
+        let next = nl.incrementer(&qs.clone());
+        for (c, d) in cells.iter().zip(next.iter()) {
+            nl.connect_dff_d(*c, *d).unwrap();
+        }
+        nl.add_output("q0", qs[0]).unwrap();
+        let mut sim = nl.simulator().unwrap();
+        sim.settle();
+        for expect in 0..20u128 {
+            assert_eq!(sim.get_bus(&qs), expect % 16);
+            sim.clock();
+        }
+    }
+
+    #[test]
+    fn bus_roundtrip() {
+        let mut nl = Netlist::new("bus");
+        let nets: Vec<_> = (0..16).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let mut sim = nl.simulator().unwrap();
+        sim.set_bus(&nets, 0xBEEF);
+        assert_eq!(sim.get_bus(&nets), 0xBEEF);
+        sim.set_bus_bytes(&nets, &[0x12, 0x34]);
+        assert_eq!(sim.get_bus_bytes(&nets), vec![0x12, 0x34]);
+        assert_eq!(sim.get_bus(&nets), 0x3412);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut nl = Netlist::new("t");
+        let (dff, q) = nl.add_dff_uninit("r");
+        let nq = nl.not_gate(q);
+        nl.connect_dff_d(dff, nq).unwrap();
+        let mut sim = nl.simulator().unwrap();
+        sim.settle();
+        sim.clock();
+        assert!(sim.get(q));
+        sim.reset();
+        assert!(!sim.get(q));
+    }
+
+    #[test]
+    fn load_registers_sets_round_state() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d");
+        let q = nl.add_dff(d, "r").unwrap();
+        nl.add_output("q", q).unwrap();
+        let mut sim = nl.simulator().unwrap();
+        sim.load_registers(&[true]);
+        assert!(sim.get(q));
+        assert_eq!(sim.registers(), &[true]);
+    }
+}

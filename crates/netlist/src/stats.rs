@@ -1,0 +1,98 @@
+//! Aggregate netlist statistics.
+
+use std::fmt;
+
+use crate::{CellKind, Netlist};
+
+/// Cell/net counts and shape metrics for a [`Netlist`].
+///
+/// Produced by [`Netlist::stats`]; used by the fabric placer for capacity
+/// checks and by the trojan-size accounting of the paper's Section II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Number of LUT cells (these occupy fabric LUT sites).
+    pub luts: usize,
+    /// Number of D flip-flops (these occupy fabric FF sites).
+    pub dffs: usize,
+    /// Number of top-level input ports.
+    pub inputs: usize,
+    /// Number of top-level output ports.
+    pub outputs: usize,
+    /// Number of constant drivers.
+    pub consts: usize,
+    /// Total nets.
+    pub nets: usize,
+    /// Largest electrical fan-out over all nets.
+    pub max_fanout: usize,
+    /// Histogram of LUT input widths; index `k` counts `k`-input LUTs
+    /// (index 0 is unused).
+    pub lut_width_histogram: [usize; 7],
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut s = NetlistStats {
+            nets: netlist.net_count(),
+            ..Default::default()
+        };
+        for (_, cell) in netlist.cells() {
+            match cell.kind() {
+                CellKind::Lut(_) => {
+                    s.luts += 1;
+                    s.lut_width_histogram[cell.inputs().len()] += 1;
+                }
+                CellKind::Dff => s.dffs += 1,
+                CellKind::Input => s.inputs += 1,
+                CellKind::Output => s.outputs += 1,
+                CellKind::Const(_) => s.consts += 1,
+            }
+        }
+        for (_, net) in netlist.nets() {
+            s.max_fanout = s.max_fanout.max(net.fanout());
+        }
+        s
+    }
+
+    /// LUTs plus flip-flops: the resource footprint used for the paper's
+    /// area percentages.
+    pub fn logic_cells(&self) -> usize {
+        self.luts + self.dffs
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} nets, {} inputs, {} outputs, max fanout {}",
+            self.luts, self.dffs, self.nets, self.inputs, self.outputs, self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Netlist;
+
+    #[test]
+    fn stats_count_all_kinds() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.xor2(a, b);
+        let q = nl.add_dff(x, "r").unwrap();
+        let k = nl.const_net(true);
+        let y = nl.and2(q, k);
+        nl.add_output("y", y).unwrap();
+        let s = nl.stats();
+        assert_eq!(s.luts, 2);
+        assert_eq!(s.dffs, 1);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.consts, 1);
+        assert_eq!(s.logic_cells(), 3);
+        assert_eq!(s.lut_width_histogram[2], 2);
+        assert!(s.to_string().contains("2 LUTs"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Combinational levelization, cycle detection and cone extraction.
+
+use std::collections::VecDeque;
+
+use crate::{CellId, NetId, Netlist, NetlistError};
+
+/// Marker describing a detected combinational cycle (see
+/// [`NetlistError::CombinationalCycle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombCycle {
+    /// A net known to lie on the cycle.
+    pub net: NetId,
+}
+
+/// A topological ordering of the combinational cells of a netlist.
+///
+/// Sequential elements (flip-flops) and ports break the graph: their output
+/// nets are *sources* of the combinational timing graph, and flip-flop `D`
+/// pins / output ports are *sinks*.
+#[derive(Debug, Clone)]
+pub struct Levelization {
+    order: Vec<CellId>,
+    level: Vec<u32>,
+}
+
+impl Levelization {
+    /// Computes the levelization of `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the LUT network has a
+    /// cycle not broken by a flip-flop.
+    pub fn of(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let n_cells = netlist.cell_count();
+        let mut level = vec![0u32; n_cells];
+        let mut pending = vec![0u32; n_cells];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        let mut n_luts = 0usize;
+
+        // A LUT waits for each input whose driver is another LUT;
+        // ports/FFs/consts are timing-graph sources.
+        for (id, cell) in netlist.cells() {
+            if let crate::CellKind::Lut(_) = cell.kind() {
+                n_luts += 1;
+                let mut deps = 0u32;
+                for &input in cell.inputs() {
+                    if let Some(drv) = netlist.net(input).driver() {
+                        if matches!(netlist.cell(drv).kind(), crate::CellKind::Lut(_)) {
+                            deps += 1;
+                        }
+                    }
+                }
+                pending[id.index()] = deps;
+                if deps == 0 {
+                    queue.push_back(id);
+                }
+            }
+        }
+
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            let out = netlist
+                .cell(id)
+                .output()
+                .expect("lut always drives a net");
+            let lvl = level[id.index()];
+            for &sink in netlist.net(out).sinks() {
+                if matches!(netlist.cell(sink).kind(), crate::CellKind::Lut(_)) {
+                    level[sink.index()] = level[sink.index()].max(lvl + 1);
+                    pending[sink.index()] -= 1;
+                    if pending[sink.index()] == 0 {
+                        queue.push_back(sink);
+                    }
+                }
+            }
+        }
+
+        if order.len() != n_luts {
+            // Some LUT never became ready: it is on (or behind) a cycle.
+            let stuck = netlist
+                .cells()
+                .find(|(id, c)| {
+                    matches!(c.kind(), crate::CellKind::Lut(_)) && pending[id.index()] > 0
+                })
+                .and_then(|(id, c)| c.output().map(|n| (id, n)));
+            let net = stuck.map(|(_, n)| n).unwrap_or(NetId::from_index(0));
+            return Err(NetlistError::CombinationalCycle { net });
+        }
+
+        Ok(Levelization { order, level })
+    }
+
+    /// Combinational cells in a valid evaluation order.
+    pub fn order(&self) -> &[CellId] {
+        &self.order
+    }
+
+    /// Logic depth (level) of a combinational cell; 0 for sources.
+    pub fn level(&self, cell: CellId) -> u32 {
+        self.level[cell.index()]
+    }
+
+    /// Maximum logic depth over all combinational cells.
+    pub fn max_level(&self) -> u32 {
+        self.order
+            .iter()
+            .map(|&c| self.level[c.index()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Netlist {
+    /// Collects the combinational fan-in cone of `net`: every LUT that can
+    /// influence it without crossing a flip-flop, plus the source nets
+    /// (port/FF/const outputs) feeding the cone.
+    pub fn fanin_cone(&self, net: NetId) -> FaninCone {
+        let mut seen_cells = vec![false; self.cell_count()];
+        let mut seen_nets = vec![false; self.net_count()];
+        let mut luts = Vec::new();
+        let mut sources = Vec::new();
+        let mut stack = vec![net];
+        seen_nets[net.index()] = true;
+        while let Some(n) = stack.pop() {
+            match self.net(n).driver() {
+                Some(drv) if matches!(self.cell(drv).kind(), crate::CellKind::Lut(_)) => {
+                    if !seen_cells[drv.index()] {
+                        seen_cells[drv.index()] = true;
+                        luts.push(drv);
+                        for &input in self.cell(drv).inputs() {
+                            if !seen_nets[input.index()] {
+                                seen_nets[input.index()] = true;
+                                stack.push(input);
+                            }
+                        }
+                    }
+                }
+                _ => sources.push(n),
+            }
+        }
+        FaninCone { luts, sources }
+    }
+
+    /// Collects the combinational fan-out cone of `net`: every LUT it can
+    /// influence without crossing a flip-flop.
+    pub fn fanout_cone(&self, net: NetId) -> Vec<CellId> {
+        let mut seen = vec![false; self.cell_count()];
+        let mut cone = Vec::new();
+        let mut stack: Vec<NetId> = vec![net];
+        while let Some(n) = stack.pop() {
+            for &sink in self.net(n).sinks() {
+                if matches!(self.cell(sink).kind(), crate::CellKind::Lut(_))
+                    && !seen[sink.index()]
+                {
+                    seen[sink.index()] = true;
+                    cone.push(sink);
+                    if let Some(out) = self.cell(sink).output() {
+                        stack.push(out);
+                    }
+                }
+            }
+        }
+        cone
+    }
+}
+
+/// Result of [`Netlist::fanin_cone`].
+#[derive(Debug, Clone)]
+pub struct FaninCone {
+    /// LUT cells inside the cone.
+    pub luts: Vec<CellId>,
+    /// Source nets feeding the cone (port / flip-flop / constant outputs,
+    /// or floating nets).
+    pub sources: Vec<NetId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LutMask, Netlist, NetlistError};
+
+    #[test]
+    fn levels_follow_depth() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.xor2(a, b); // level 0
+        let y = nl.xor2(x, b); // level 1
+        let z = nl.xor2(y, x); // level 2
+        nl.add_output("z", z).unwrap();
+        let lv = nl.levelize().unwrap();
+        assert_eq!(lv.order().len(), 3);
+        assert_eq!(lv.max_level(), 2);
+        // The first element of the order must be the level-0 LUT.
+        assert_eq!(lv.level(lv.order()[0]), 0);
+    }
+
+    #[test]
+    fn dff_feedback_loop_is_not_a_comb_cycle() {
+        // Toggle flip-flop: q -> inverter -> d of the same DFF.
+        let mut nl = Netlist::new("ring");
+        let (dff, q) = nl.add_dff_uninit("r");
+        let nq = nl.not_gate(q);
+        nl.connect_dff_d(dff, nq).unwrap();
+        nl.add_output("q", q).unwrap();
+        assert!(nl.validate().is_ok());
+        let lv = nl.levelize().unwrap();
+        assert_eq!(lv.order().len(), 1);
+    }
+
+    #[test]
+    fn unconnected_dff_fails_validation() {
+        let mut nl = Netlist::new("open");
+        let (_dff, q) = nl.add_dff_uninit("r");
+        nl.add_output("q", q).unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::UnconnectedDff { .. })
+        ));
+    }
+
+    #[test]
+    fn floating_input_is_detected() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let loop_net = nl.add_net("loop");
+        let and_mask = LutMask::from_fn(2, |r| r == 0b11);
+        let _mid = nl.add_lut(&[a, loop_net], and_mask).unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::FloatingNet { .. })
+        ));
+    }
+
+    #[test]
+    fn fanin_cone_collects_sources_and_luts() {
+        let mut nl = Netlist::new("cone");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x = nl.and2(a, b);
+        let y = nl.xor2(x, c);
+        let cone = nl.fanin_cone(y);
+        assert_eq!(cone.luts.len(), 2);
+        let mut sources = cone.sources.clone();
+        sources.sort();
+        assert_eq!(sources, vec![a, b, c]);
+    }
+
+    #[test]
+    fn fanout_cone_stops_at_dffs() {
+        let mut nl = Netlist::new("cone");
+        let a = nl.add_input("a");
+        let x = nl.not_gate(a);
+        let q = nl.add_dff(x, "r").unwrap();
+        let y = nl.not_gate(q);
+        nl.add_output("y", y).unwrap();
+        let cone = nl.fanout_cone(a);
+        // Only the first inverter: the DFF blocks propagation.
+        assert_eq!(cone.len(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Two-Gaussian detection theory (the paper's Section V-B / Fig. 7).
+//!
+//! The HT detection problem is modelled as deciding between
+//!
+//! * `H₀` (genuine): the decision metric is `N(µ_g, σ_g²)`, and
+//! * `H₁` (infected): the metric is `N(µ_t, σ_t²)` with `µ_t > µ_g`
+//!   (the HT adds a deterministic offset to the side channel),
+//!
+//! where the spread comes from inter-die process variations. With
+//! `σ_g ≈ σ_t = σ` and a threshold midway between the means, the paper's
+//! Eq. (5) gives the equal false-positive/false-negative rate
+//! `P = 1/2 − ½·erf(µ / (2σ√2))`, `µ = µ_t − µ_g`.
+
+use crate::{erf, Gaussian, StatsError};
+
+/// Eq. (5) of the paper: the equal error rate (false-negative =
+/// false-positive) for two equal-σ Gaussians separated by `mu`, using the
+/// midpoint threshold.
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0`.
+///
+/// ```
+/// use htd_stats::detection::equal_error_rate;
+/// // Zero separation: coin flip.
+/// assert!((equal_error_rate(0.0, 1.0) - 0.5).abs() < 1e-15);
+/// ```
+pub fn equal_error_rate(mu: f64, sigma: f64) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive");
+    0.5 - 0.5 * erf(mu / (2.0 * sigma * std::f64::consts::SQRT_2))
+}
+
+/// Inverse of [`equal_error_rate`] in `mu`: the separation (in units of the
+/// common σ) needed to reach a target equal error rate.
+///
+/// # Errors
+///
+/// Returns [`StatsError::ProbabilityOutOfRange`] unless `0 < rate < 0.5`.
+pub fn separation_for_rate(rate: f64) -> Result<f64, StatsError> {
+    if !(rate > 0.0 && rate < 0.5) {
+        return Err(StatsError::ProbabilityOutOfRange { value: rate });
+    }
+    Ok(2.0 * std::f64::consts::SQRT_2 * crate::erf_inv(1.0 - 2.0 * rate))
+}
+
+/// A calibrated binary detector for a scalar decision metric, assuming
+/// Gaussian populations for genuine and infected devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoGaussianDetector {
+    genuine: Gaussian,
+    infected: Gaussian,
+    threshold: f64,
+}
+
+impl TwoGaussianDetector {
+    /// Builds a detector from the two population models, placing the
+    /// threshold at the midpoint of the means (the paper's choice, optimal
+    /// for equal σ and equal priors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonPositiveScale`] if the infected mean does
+    /// not exceed the genuine mean (no signal to detect).
+    pub fn from_midpoint(genuine: Gaussian, infected: Gaussian) -> Result<Self, StatsError> {
+        let mu = infected.mean() - genuine.mean();
+        // `!(mu > 0.0)` deliberately also rejects NaN separations.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(mu > 0.0) {
+            return Err(StatsError::NonPositiveScale { value: mu });
+        }
+        Ok(TwoGaussianDetector {
+            genuine,
+            infected,
+            threshold: genuine.mean() + mu / 2.0,
+        })
+    }
+
+    /// Builds a detector with the threshold set for a target false-positive
+    /// rate on the genuine population (Neyman–Pearson style calibration,
+    /// which only requires golden devices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ProbabilityOutOfRange`] unless
+    /// `0 < false_positive_rate < 1`.
+    pub fn with_false_positive_rate(
+        genuine: Gaussian,
+        infected: Gaussian,
+        false_positive_rate: f64,
+    ) -> Result<Self, StatsError> {
+        let threshold = genuine.quantile(1.0 - false_positive_rate)?;
+        Ok(TwoGaussianDetector {
+            genuine,
+            infected,
+            threshold,
+        })
+    }
+
+    /// Fits both populations from labelled samples and uses the midpoint
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors; see [`Gaussian::fit`] and
+    /// [`TwoGaussianDetector::from_midpoint`].
+    pub fn fit(genuine: &[f64], infected: &[f64]) -> Result<Self, StatsError> {
+        Self::from_midpoint(Gaussian::fit(genuine)?, Gaussian::fit(infected)?)
+    }
+
+    /// The decision threshold: metrics above it are classified *infected*.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The genuine-population model.
+    pub fn genuine(&self) -> Gaussian {
+        self.genuine
+    }
+
+    /// The infected-population model.
+    pub fn infected(&self) -> Gaussian {
+        self.infected
+    }
+
+    /// Classifies a metric value (`true` = infected).
+    pub fn is_infected(&self, metric: f64) -> bool {
+        metric > self.threshold
+    }
+
+    /// Model false-positive rate: genuine devices classified infected.
+    pub fn false_positive_rate(&self) -> f64 {
+        self.genuine.sf(self.threshold)
+    }
+
+    /// Model false-negative rate: infected devices classified genuine.
+    pub fn false_negative_rate(&self) -> f64 {
+        self.infected.cdf(self.threshold)
+    }
+
+    /// Model detection probability (`1 − P_fn`).
+    pub fn detection_probability(&self) -> f64 {
+        1.0 - self.false_negative_rate()
+    }
+
+    /// Samples the ROC curve at `points` thresholds spanning both
+    /// populations (±4σ), returning `(P_fp, P_detect)` pairs ordered by
+    /// increasing false-positive rate.
+    pub fn roc(&self, points: usize) -> Vec<(f64, f64)> {
+        let lo =
+            (self.genuine.mean() - 4.0 * self.genuine.std()).min(self.infected.mean() - 4.0 * self.infected.std());
+        let hi =
+            (self.genuine.mean() + 4.0 * self.genuine.std()).max(self.infected.mean() + 4.0 * self.infected.std());
+        let mut roc: Vec<(f64, f64)> = (0..points)
+            .map(|i| {
+                let t = lo + (hi - lo) * i as f64 / (points.max(2) - 1) as f64;
+                (self.genuine.sf(t), self.infected.sf(t))
+            })
+            .collect();
+        roc.sort_by(|a, b| a.partial_cmp(b).expect("finite ROC points"));
+        roc
+    }
+}
+
+/// Empirical classification rates for a labelled sample set and a fixed
+/// threshold: returns `(false_positive_rate, false_negative_rate)`.
+///
+/// Returns `NaN` entries for empty populations.
+pub fn empirical_rates(genuine: &[f64], infected: &[f64], threshold: f64) -> (f64, f64) {
+    let fp = if genuine.is_empty() {
+        f64::NAN
+    } else {
+        genuine.iter().filter(|&&m| m > threshold).count() as f64 / genuine.len() as f64
+    };
+    let fnr = if infected.is_empty() {
+        f64::NAN
+    } else {
+        infected.iter().filter(|&&m| m <= threshold).count() as f64 / infected.len() as f64
+    };
+    (fp, fnr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq5_known_values() {
+        // µ = 3.2897σ ⇒ 5% (Φ(1.6449) = 0.95).
+        assert!((equal_error_rate(3.2897, 1.0) - 0.05).abs() < 1e-4);
+        // µ = 2σ ⇒ 1 − Φ(1) ≈ 15.87%.
+        assert!((equal_error_rate(2.0, 1.0) - 0.158_655).abs() < 1e-5);
+        // Scale invariance.
+        assert!(
+            (equal_error_rate(6.0, 2.0) - equal_error_rate(3.0, 1.0)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn separation_inverts_rate() {
+        for rate in [0.26, 0.17, 0.05, 0.01] {
+            let mu = separation_for_rate(rate).unwrap();
+            assert!((equal_error_rate(mu, 1.0) - rate).abs() < 1e-12);
+        }
+        assert!(separation_for_rate(0.5).is_err());
+        assert!(separation_for_rate(0.0).is_err());
+    }
+
+    #[test]
+    fn midpoint_detector_matches_eq5() {
+        let g = Gaussian::new(10.0, 2.0).unwrap();
+        let t = Gaussian::new(16.0, 2.0).unwrap();
+        let det = TwoGaussianDetector::from_midpoint(g, t).unwrap();
+        assert_eq!(det.threshold(), 13.0);
+        let eq5 = equal_error_rate(6.0, 2.0);
+        assert!((det.false_positive_rate() - eq5).abs() < 1e-14);
+        assert!((det.false_negative_rate() - eq5).abs() < 1e-14);
+        assert!((det.detection_probability() + eq5 - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn midpoint_requires_positive_separation() {
+        let g = Gaussian::new(10.0, 2.0).unwrap();
+        assert!(TwoGaussianDetector::from_midpoint(g, g).is_err());
+    }
+
+    #[test]
+    fn np_calibration_hits_fp_target() {
+        let g = Gaussian::new(0.0, 1.0).unwrap();
+        let t = Gaussian::new(4.0, 1.0).unwrap();
+        let det = TwoGaussianDetector::with_false_positive_rate(g, t, 0.05).unwrap();
+        assert!((det.false_positive_rate() - 0.05).abs() < 1e-12);
+        assert!(det.detection_probability() > 0.95);
+    }
+
+    #[test]
+    fn classification_uses_threshold() {
+        let g = Gaussian::new(0.0, 1.0).unwrap();
+        let t = Gaussian::new(2.0, 1.0).unwrap();
+        let det = TwoGaussianDetector::from_midpoint(g, t).unwrap();
+        assert!(det.is_infected(1.5));
+        assert!(!det.is_infected(0.5));
+    }
+
+    #[test]
+    fn fit_recovers_population_split() {
+        let genuine: Vec<f64> = (0..100).map(|i| (i % 10) as f64 * 0.1).collect();
+        let infected: Vec<f64> = genuine.iter().map(|x| x + 5.0).collect();
+        let det = TwoGaussianDetector::fit(&genuine, &infected).unwrap();
+        let (fp, fnr) = empirical_rates(&genuine, &infected, det.threshold());
+        assert_eq!(fp, 0.0);
+        assert_eq!(fnr, 0.0);
+    }
+
+    #[test]
+    fn roc_is_monotone_and_spans() {
+        let g = Gaussian::new(0.0, 1.0).unwrap();
+        let t = Gaussian::new(2.0, 1.5).unwrap();
+        let det = TwoGaussianDetector::from_midpoint(g, t).unwrap();
+        let roc = det.roc(64);
+        assert_eq!(roc.len(), 64);
+        for w in roc.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        assert!(roc.first().unwrap().0 < 0.01);
+        assert!(roc.last().unwrap().0 > 0.99);
+    }
+
+    #[test]
+    fn empirical_rates_count_correctly() {
+        let (fp, fnr) = empirical_rates(&[0.0, 1.0, 3.0], &[1.0, 3.0, 4.0, 5.0], 2.0);
+        assert!((fp - 1.0 / 3.0).abs() < 1e-15);
+        assert!((fnr - 0.25).abs() < 1e-15);
+        let (fp, fnr) = empirical_rates(&[], &[], 0.0);
+        assert!(fp.is_nan() && fnr.is_nan());
+    }
+}

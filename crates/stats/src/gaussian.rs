@@ -1,0 +1,191 @@
+//! The normal distribution.
+
+use std::f64::consts::PI;
+
+use crate::{erf, erf_inv, StatsError};
+
+/// A normal (Gaussian) distribution `N(mean, std²)`.
+///
+/// The paper models both inter-die process variation (Section V, ref. \[6\])
+/// and measurement noise as Gaussian; this type carries those models through
+/// the detection math.
+///
+/// ```
+/// use htd_stats::Gaussian;
+///
+/// let g = Gaussian::new(0.0, 1.0)?;
+/// assert!((g.cdf(1.96) - 0.975).abs() < 1e-3);
+/// assert!((g.quantile(0.975)? - 1.96).abs() < 1e-2);
+/// # Ok::<(), htd_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    std: f64,
+}
+
+impl Gaussian {
+    /// Creates `N(mean, std²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonPositiveScale`] if `std <= 0` or non-finite.
+    pub fn new(mean: f64, std: f64) -> Result<Self, StatsError> {
+        // `!(std > 0.0)` deliberately also rejects NaN scales.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(std > 0.0) || !std.is_finite() || !mean.is_finite() {
+            return Err(StatsError::NonPositiveScale { value: std });
+        }
+        Ok(Gaussian { mean, std })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        }
+    }
+
+    /// Fits a Gaussian to `samples` by the method of moments
+    /// (sample mean, sample standard deviation with Bessel's correction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughSamples`] for fewer than two samples
+    /// and [`StatsError::NonPositiveScale`] for degenerate (zero-variance)
+    /// data.
+    pub fn fit(samples: &[f64]) -> Result<Self, StatsError> {
+        if samples.len() < 2 {
+            return Err(StatsError::NotEnoughSamples {
+                got: samples.len(),
+                need: 2,
+            });
+        }
+        let mean = crate::descriptive::mean(samples);
+        let std = crate::descriptive::std_dev(samples);
+        Gaussian::new(mean, std)
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Distribution standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        (-0.5 * z * z).exp() / (self.std * (2.0 * PI).sqrt())
+    }
+
+    /// Cumulative distribution `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Upper tail `P(X > x)`, computed without cancellation.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std * std::f64::consts::SQRT_2);
+        0.5 * crate::erfc(z)
+    }
+
+    /// Quantile (inverse CDF): the `x` with `P(X ≤ x) = p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ProbabilityOutOfRange`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::ProbabilityOutOfRange { value: p });
+        }
+        Ok(self.mean + self.std * std::f64::consts::SQRT_2 * erf_inv(2.0 * p - 1.0))
+    }
+
+    /// Maps a standard-normal draw `z` into this distribution.
+    pub fn from_standard(&self, z: f64) -> f64 {
+        self.mean + self.std * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        let g = Gaussian::new(3.0, 2.0).unwrap();
+        assert!(g.pdf(3.0) > g.pdf(2.0));
+        assert!(g.pdf(3.0) > g.pdf(4.0));
+        assert!((g.pdf(3.0) - 1.0 / (2.0 * (2.0 * PI).sqrt())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_known_points() {
+        let g = Gaussian::standard();
+        assert!((g.cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((g.cdf(1.0) - 0.841_344_746_068_543).abs() < 1e-12);
+        assert!((g.cdf(-1.0) - 0.158_655_253_931_457).abs() < 1e-12);
+        assert!((g.cdf(2.326_347_874_040_841) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let g = Gaussian::new(-1.0, 0.5).unwrap();
+        for x in [-3.0, -1.0, 0.0, 2.0] {
+            assert!((g.cdf(x) + g.sf(x) - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = Gaussian::new(10.0, 3.0).unwrap();
+        for p in [0.001, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999] {
+            let x = g.quantile(p).unwrap();
+            assert!((g.cdf(x) - p).abs() < 1e-12, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn quantile_rejects_bad_probability() {
+        let g = Gaussian::standard();
+        assert!(g.quantile(0.0).is_err());
+        assert!(g.quantile(1.0).is_err());
+        assert!(g.quantile(-0.5).is_err());
+    }
+
+    #[test]
+    fn new_rejects_bad_scale() {
+        assert!(Gaussian::new(0.0, 0.0).is_err());
+        assert!(Gaussian::new(0.0, -1.0).is_err());
+        assert!(Gaussian::new(0.0, f64::NAN).is_err());
+        assert!(Gaussian::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_moments() {
+        let samples: Vec<f64> = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let g = Gaussian::fit(&samples).unwrap();
+        assert!((g.mean() - 5.0).abs() < 1e-12);
+        // Sample std with Bessel: sqrt(32/7).
+        assert!((g.std() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(Gaussian::fit(&[1.0]).is_err());
+        assert!(Gaussian::fit(&[2.0, 2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_standard_affine() {
+        let g = Gaussian::new(5.0, 2.0).unwrap();
+        assert_eq!(g.from_standard(0.0), 5.0);
+        assert_eq!(g.from_standard(1.5), 8.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-bin histograms for report rendering.
+
+use crate::StatsError;
+
+/// A histogram with uniform bins over `[lo, hi)`.
+///
+/// Out-of-range samples are counted in saturating edge bins so no data is
+/// silently lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonPositiveScale`] if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        // `!(hi > lo)` deliberately also rejects NaN bounds.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(hi > lo) || bins == 0 {
+            return Err(StatsError::NonPositiveScale { value: hi - lo });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Builds a histogram spanning the data range of `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughSamples`] for an empty slice and
+    /// [`StatsError::NonPositiveScale`] for constant data.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::NotEnoughSamples { got: 0, need: 1 });
+        }
+        let lo = crate::descriptive::min(samples);
+        let hi = crate::descriptive::max(samples);
+        // Widen slightly so the maximum lands inside the top bin.
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let mut h = Histogram::new(lo, hi + span * 1e-9, bins)?;
+        h.extend(samples.iter().copied());
+        Ok(h)
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = if t < 0.0 {
+            0
+        } else if t >= 1.0 {
+            bins - 1
+        } else {
+            ((t * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len());
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width / max as usize).min(width));
+            out.push_str(&format!("[{lo:>12.4e}, {hi:>12.4e}) {c:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        let h = h.as_mut().unwrap();
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn from_samples_covers_all_data() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples(&xs, 10).unwrap();
+        assert_eq!(h.total(), 100);
+        assert!(h.counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::from_samples(&[], 4).is_err());
+    }
+
+    #[test]
+    fn edges_are_uniform() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 0.6, 1.5]);
+        let s = h.render(10);
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

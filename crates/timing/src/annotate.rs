@@ -1,0 +1,246 @@
+//! Delay annotation of a placed netlist.
+
+use htd_fabric::{DieVariation, Placement, Technology};
+use htd_netlist::{CellId, CellKind, NetId, Netlist};
+
+/// Per-cell and per-net delays of one placed design on one (virtual) die —
+/// the paper's `dS + dPV` terms of Eq. (2), with a slot for the trojan's
+/// `dHT` increments of Eq. (3).
+///
+/// Net delays are lumped (one value per net, covering the driver-to-sink
+/// route and fan-out loading); this matches the granularity at which the
+/// paper reasons about "the delay of a net".
+#[derive(Debug, Clone)]
+pub struct DelayAnnotation {
+    cell_delay_ps: Vec<f64>,
+    net_delay_ps: Vec<f64>,
+    extra_net_delay_ps: Vec<f64>,
+    clk2q_ps: f64,
+    setup_ps: f64,
+    measurement_noise_ps: f64,
+}
+
+impl DelayAnnotation {
+    /// Computes delays for `netlist` as placed by `placement`, using the
+    /// `tech` parameters perturbed by the die's process variation.
+    ///
+    /// Unplaced combinational cells (possible only for designs built
+    /// outside the placement flow) get nominal delays.
+    pub fn annotate(
+        netlist: &Netlist,
+        placement: &Placement,
+        tech: &Technology,
+        die: &DieVariation,
+    ) -> Self {
+        let mut cell_delay_ps = vec![0.0; netlist.cell_count()];
+        for (id, cell) in netlist.cells() {
+            if let CellKind::Lut(_) = cell.kind() {
+                let pv = placement
+                    .site_of(id)
+                    .map(|s| die.delay_factor(s.slice))
+                    .unwrap_or(1.0);
+                cell_delay_ps[id.index()] = tech.lut_delay_ps * pv;
+            }
+        }
+        let mut net_delay_ps = vec![0.0; netlist.net_count()];
+        for (id, net) in netlist.nets() {
+            let Some(driver) = net.driver() else { continue };
+            if net.sinks().is_empty() {
+                continue;
+            }
+            // Only nets driven by placed logic have routed delay; port and
+            // constant drivers model top-level wiring with the base delay.
+            let from = placement.site_of(driver);
+            let mut dist_max = 0.0f64;
+            if let Some(from) = from {
+                for &sink in net.sinks() {
+                    if let Some(to) = placement.site_of(sink) {
+                        dist_max = dist_max.max(from.slice.euclidean(to.slice));
+                    }
+                }
+            }
+            let pv = from.map(|s| die.delay_factor(s.slice)).unwrap_or(1.0);
+            // Sub-linear fan-out loading: routers buffer high-fan-out nets,
+            // so the penalty grows like √fanout rather than linearly.
+            let fanout_extra =
+                ((net.fanout().saturating_sub(1)) as f64).sqrt() * tech.fanout_delay_ps;
+            net_delay_ps[id.index()] =
+                (tech.net_delay_base_ps + tech.net_delay_per_slice_ps * dist_max + fanout_extra)
+                    * pv;
+        }
+        DelayAnnotation {
+            cell_delay_ps,
+            net_delay_ps,
+            extra_net_delay_ps: vec![0.0; netlist.net_count()],
+            clk2q_ps: tech.dff_clk2q_ps * die.global_delay_factor(),
+            setup_ps: tech.dff_setup_ps * die.global_delay_factor(),
+            measurement_noise_ps: tech.measurement_noise_ps,
+        }
+    }
+
+    /// A nominal annotation with uniform delays — useful in unit tests that
+    /// exercise the simulators without a placement.
+    pub fn uniform(netlist: &Netlist, lut_ps: f64, net_ps: f64, clk2q_ps: f64, setup_ps: f64) -> Self {
+        let mut cell_delay_ps = vec![0.0; netlist.cell_count()];
+        for (id, cell) in netlist.cells() {
+            if matches!(cell.kind(), CellKind::Lut(_)) {
+                cell_delay_ps[id.index()] = lut_ps;
+            }
+        }
+        DelayAnnotation {
+            cell_delay_ps,
+            net_delay_ps: vec![net_ps; netlist.net_count()],
+            extra_net_delay_ps: vec![0.0; netlist.net_count()],
+            clk2q_ps,
+            setup_ps,
+            measurement_noise_ps: 0.0,
+        }
+    }
+
+    /// Intrinsic delay of a cell (LUTs only; everything else is 0).
+    #[inline]
+    pub fn cell_delay_ps(&self, cell: CellId) -> f64 {
+        self.cell_delay_ps[cell.index()]
+    }
+
+    /// Total delay of a net, including trojan-induced increments.
+    #[inline]
+    pub fn net_delay_ps(&self, net: NetId) -> f64 {
+        self.net_delay_ps[net.index()] + self.extra_net_delay_ps[net.index()]
+    }
+
+    /// Registers an additional delay on a net — the trojan coupling term
+    /// `dHT` of the paper's Eq. (3).
+    pub fn add_net_delay_ps(&mut self, net: NetId, ps: f64) {
+        if net.index() >= self.extra_net_delay_ps.len() {
+            self.extra_net_delay_ps.resize(net.index() + 1, 0.0);
+            // Nets added after annotation (trojan nets) start nominal.
+        }
+        self.extra_net_delay_ps[net.index()] += ps;
+    }
+
+    /// The trojan-induced part of a net's delay.
+    #[inline]
+    pub fn extra_net_delay_ps(&self, net: NetId) -> f64 {
+        self.extra_net_delay_ps
+            .get(net.index())
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Grows the tables to cover a netlist that gained cells/nets after
+    /// annotation (trojan insertion); new entries get `default_net_ps` /
+    /// `default_lut_ps`.
+    pub fn extend_for(&mut self, netlist: &Netlist, default_lut_ps: f64, default_net_ps: f64) {
+        while self.cell_delay_ps.len() < netlist.cell_count() {
+            let id = CellId::from_index(self.cell_delay_ps.len());
+            let is_lut = matches!(netlist.cell(id).kind(), CellKind::Lut(_));
+            self.cell_delay_ps.push(if is_lut { default_lut_ps } else { 0.0 });
+        }
+        if self.net_delay_ps.len() < netlist.net_count() {
+            self.net_delay_ps.resize(netlist.net_count(), default_net_ps);
+            self.extra_net_delay_ps.resize(netlist.net_count(), 0.0);
+        }
+    }
+
+    /// Flip-flop clock-to-Q delay on this die.
+    pub fn clk2q_ps(&self) -> f64 {
+        self.clk2q_ps
+    }
+
+    /// Flip-flop setup time on this die.
+    pub fn setup_ps(&self) -> f64 {
+        self.setup_ps
+    }
+
+    /// Standard deviation of the per-measurement noise `dM`.
+    pub fn measurement_noise_ps(&self) -> f64 {
+        self.measurement_noise_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_fabric::{Device, DeviceConfig, VariationModel};
+    use htd_netlist::Netlist;
+
+    fn toy() -> Netlist {
+        let mut nl = Netlist::new("toy");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.xor2(a, b);
+        let y = nl.not_gate(x);
+        nl.add_output("y", y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn annotation_scales_with_process_variation() {
+        let nl = toy();
+        let device = Device::new(DeviceConfig::new(8, 8));
+        let placement = Placement::place(&nl, &device).unwrap();
+        let tech = Technology::virtex5();
+        let fast = DieVariation::generate(&VariationModel::none(), &device, 0);
+        let ann = DelayAnnotation::annotate(&nl, &placement, &tech, &fast);
+        let lut = nl.cells().find(|(_, c)| c.kind().occupies_lut_site()).unwrap().0;
+        assert_eq!(ann.cell_delay_ps(lut), tech.lut_delay_ps);
+
+        // A die with variation gives different (but bounded) delays.
+        let varied = DieVariation::generate(&VariationModel::nm65(), &device, 9);
+        let ann2 = DelayAnnotation::annotate(&nl, &placement, &tech, &varied);
+        let d = ann2.cell_delay_ps(lut);
+        assert!(d > tech.lut_delay_ps * 0.7 && d < tech.lut_delay_ps * 1.3);
+        assert_ne!(d, tech.lut_delay_ps);
+    }
+
+    #[test]
+    fn net_delay_includes_fanout_and_distance() {
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        let x = nl.not_gate(a);
+        // x drives 3 sinks.
+        let _s1 = nl.not_gate(x);
+        let _s2 = nl.not_gate(x);
+        let _s3 = nl.not_gate(x);
+        let device = Device::new(DeviceConfig::new(8, 8));
+        let placement = Placement::place(&nl, &device).unwrap();
+        let tech = Technology::virtex5();
+        let die = DieVariation::generate(&VariationModel::none(), &device, 0);
+        let ann = DelayAnnotation::annotate(&nl, &placement, &tech, &die);
+        let d = ann.net_delay_ps(x);
+        assert!(d >= tech.net_delay_base_ps + (2.0f64).sqrt() * tech.fanout_delay_ps);
+    }
+
+    #[test]
+    fn extra_delay_accumulates_and_reads_back() {
+        let nl = toy();
+        let device = Device::new(DeviceConfig::new(8, 8));
+        let placement = Placement::place(&nl, &device).unwrap();
+        let die = DieVariation::generate(&VariationModel::none(), &device, 0);
+        let mut ann =
+            DelayAnnotation::annotate(&nl, &placement, &Technology::virtex5(), &die);
+        let net = nl.input_nets()[0];
+        let base = ann.net_delay_ps(net);
+        ann.add_net_delay_ps(net, 100.0);
+        ann.add_net_delay_ps(net, 50.0);
+        assert_eq!(ann.net_delay_ps(net), base + 150.0);
+        assert_eq!(ann.extra_net_delay_ps(net), 150.0);
+    }
+
+    #[test]
+    fn extend_for_covers_new_cells() {
+        let mut nl = toy();
+        let device = Device::new(DeviceConfig::new(8, 8));
+        let placement = Placement::place(&nl, &device).unwrap();
+        let die = DieVariation::generate(&VariationModel::none(), &device, 0);
+        let mut ann =
+            DelayAnnotation::annotate(&nl, &placement, &Technology::virtex5(), &die);
+        let a = nl.input_nets()[0];
+        let t = nl.not_gate(a); // trojan-style addition
+        ann.extend_for(&nl, 200.0, 350.0);
+        let t_cell = nl.net(t).driver().unwrap();
+        assert_eq!(ann.cell_delay_ps(t_cell), 200.0);
+        assert_eq!(ann.net_delay_ps(t), 350.0);
+    }
+}

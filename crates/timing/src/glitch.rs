@@ -1,0 +1,236 @@
+//! The clock-glitch delay measurement (paper Section III, Fig. 2).
+//!
+//! The physical setup shortens the clock period feeding one round in 35 ps
+//! steps; a bit whose data path has not settled `setup` before the early
+//! edge samples a stale/meta-stable value and shows up as a fault in the
+//! ciphertext. The **step index at which each bit first faults** is the
+//! measurement: it encodes that bit's data-dependent path delay to within
+//! one step plus the per-measurement noise `dM` of Eq. (2).
+//!
+//! This module reproduces exactly that readout from simulated settling
+//! times. It is deliberately independent of AES — any set of observed
+//! endpoints works.
+
+use rand::RngCore;
+
+use htd_fabric::variation::standard_normal;
+
+/// Sweep parameters. The paper used 51 steps of 35 ps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlitchParams {
+    /// Clock period at step 0 (the widest/safest glitch), ps.
+    pub start_period_ps: f64,
+    /// Period decrement per step, ps.
+    pub step_ps: f64,
+    /// Number of decrement steps performed.
+    pub steps: u16,
+    /// Flip-flop setup time, ps.
+    pub setup_ps: f64,
+    /// Standard deviation of the per-measurement noise `dM`, ps.
+    pub noise_ps: f64,
+}
+
+impl GlitchParams {
+    /// The paper's sweep (51 × 35 ps) aimed so that the slowest observed
+    /// path (`max_required_ps` = settle + setup) faults a few steps into
+    /// the sweep and the sweep floor still reaches ~1.7 ns below it.
+    pub fn paper_sweep(max_required_ps: f64, setup_ps: f64, noise_ps: f64) -> Self {
+        let step_ps = 35.0;
+        GlitchParams {
+            start_period_ps: max_required_ps + 3.0 * step_ps,
+            step_ps,
+            steps: 51,
+            setup_ps,
+            noise_ps,
+        }
+    }
+
+    /// The glitch period applied at `step`.
+    pub fn period_at(&self, step: u16) -> f64 {
+        self.start_period_ps - self.step_ps * step as f64
+    }
+
+    /// Converts a fault-onset step back into a delay estimate, ps: the
+    /// first violating period (the true requirement lies within one step
+    /// above it).
+    pub fn delay_estimate_ps(&self, onset: u16) -> f64 {
+        self.period_at(onset)
+    }
+}
+
+/// Fault onset of one observed bit in one sweep repetition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOnset {
+    /// The bit first faulted at this step index (0-based).
+    Step(u16),
+    /// The bit never faulted within the sweep (its path is faster than the
+    /// sweep floor, or it did not toggle this cycle).
+    Never,
+}
+
+impl FaultOnset {
+    /// The step index, if the bit faulted.
+    pub fn step(self) -> Option<u16> {
+        match self {
+            FaultOnset::Step(s) => Some(s),
+            FaultOnset::Never => None,
+        }
+    }
+}
+
+/// One glitch sweep: maps settling times to fault onsets.
+#[derive(Debug, Clone, Copy)]
+pub struct GlitchSweep {
+    params: GlitchParams,
+}
+
+impl GlitchSweep {
+    /// Creates a sweep with the given parameters.
+    pub fn new(params: GlitchParams) -> Self {
+        GlitchSweep { params }
+    }
+
+    /// The sweep parameters.
+    pub fn params(&self) -> &GlitchParams {
+        &self.params
+    }
+
+    /// Runs one repetition of the full sweep over the observed bits.
+    ///
+    /// `settle_at_sink_ps[i]` is bit `i`'s settling time at its register's
+    /// `D` pin (`None` if the bit did not toggle — such a bit can never
+    /// violate setup and thus never faults). Each bit receives an
+    /// independent `dM` noise draw per repetition, as in the paper's 10
+    /// repeated experiments.
+    pub fn fault_onsets<R: RngCore + ?Sized>(
+        &self,
+        settle_at_sink_ps: &[Option<f64>],
+        rng: &mut R,
+    ) -> Vec<FaultOnset> {
+        settle_at_sink_ps
+            .iter()
+            .map(|&settle| {
+                let Some(settle) = settle else {
+                    return FaultOnset::Never;
+                };
+                let required =
+                    settle + self.params.setup_ps + self.params.noise_ps * standard_normal(rng);
+                self.onset_for_required(required)
+            })
+            .collect()
+    }
+
+    /// The onset step for a given required period (no noise) — the
+    /// smallest step whose period undercuts the requirement.
+    pub fn onset_for_required(&self, required_ps: f64) -> FaultOnset {
+        if self.params.period_at(0) < required_ps {
+            return FaultOnset::Step(0);
+        }
+        let floor = self.params.period_at(self.params.steps - 1);
+        if floor >= required_ps {
+            return FaultOnset::Never;
+        }
+        // period_at(k) < required  ⇔  k > (start - required) / step.
+        let k = ((self.params.start_period_ps - required_ps) / self.params.step_ps).floor() as u16 + 1;
+        FaultOnset::Step(k.min(self.params.steps - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> GlitchParams {
+        GlitchParams {
+            start_period_ps: 10_000.0,
+            step_ps: 35.0,
+            steps: 51,
+            setup_ps: 180.0,
+            noise_ps: 0.0,
+        }
+    }
+
+    #[test]
+    fn period_decreases_linearly() {
+        let p = params();
+        assert_eq!(p.period_at(0), 10_000.0);
+        assert_eq!(p.period_at(1), 9_965.0);
+        assert_eq!(p.period_at(50), 10_000.0 - 50.0 * 35.0);
+    }
+
+    #[test]
+    fn onset_matches_linear_search() {
+        let sweep = GlitchSweep::new(params());
+        for required in [9_990.0, 9_965.1, 9_930.0, 8_260.0, 10_100.0, 8_100.0] {
+            // Reference: first k with period < required.
+            let mut want = FaultOnset::Never;
+            for k in 0..51 {
+                if sweep.params().period_at(k) < required {
+                    want = FaultOnset::Step(k);
+                    break;
+                }
+            }
+            assert_eq!(sweep.onset_for_required(required), want, "required {required}");
+        }
+    }
+
+    #[test]
+    fn slower_paths_fault_earlier() {
+        let sweep = GlitchSweep::new(params());
+        let mut rng = StdRng::seed_from_u64(1);
+        let onsets = sweep.fault_onsets(
+            &[Some(9_500.0), Some(9_000.0), Some(8_500.0), None],
+            &mut rng,
+        );
+        let s: Vec<Option<u16>> = onsets.iter().map(|o| o.step()).collect();
+        assert!(s[0].unwrap() < s[1].unwrap());
+        assert!(s[1].unwrap() < s[2].unwrap());
+        assert_eq!(s[3], None);
+    }
+
+    #[test]
+    fn delay_estimate_inverts_onset_within_one_step() {
+        let sweep = GlitchSweep::new(params());
+        let required = 9_471.0;
+        let FaultOnset::Step(k) = sweep.onset_for_required(required) else {
+            panic!("must fault");
+        };
+        let est = sweep.params().delay_estimate_ps(k);
+        assert!(est < required && est > required - 35.0 - 1e-9, "est {est}");
+    }
+
+    #[test]
+    fn noise_jitters_the_onset_by_about_one_step() {
+        let p = GlitchParams {
+            noise_ps: 20.0,
+            ..params()
+        };
+        let sweep = GlitchSweep::new(p);
+        let mut rng = StdRng::seed_from_u64(7);
+        // Requirement placed exactly between two steps.
+        let settle = vec![Some(9_482.5 - p.setup_ps)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            if let Some(s) = sweep.fault_onsets(&settle, &mut rng)[0].step() {
+                seen.insert(s);
+            }
+        }
+        assert!(seen.len() >= 2, "noise should straddle steps: {seen:?}");
+        assert!(seen.len() <= 4, "noise too violent: {seen:?}");
+    }
+
+    #[test]
+    fn paper_sweep_covers_the_slowest_path() {
+        let p = GlitchParams::paper_sweep(9_000.0, 180.0, 12.0);
+        assert_eq!(p.steps, 51);
+        assert_eq!(p.step_ps, 35.0);
+        let sweep = GlitchSweep::new(p);
+        // The slowest path faults a few steps in.
+        let FaultOnset::Step(k) = sweep.onset_for_required(9_000.0) else {
+            panic!("must fault within sweep");
+        };
+        assert!((2..=5).contains(&k), "k = {k}");
+    }
+}

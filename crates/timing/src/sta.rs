@@ -1,0 +1,272 @@
+//! Static timing analysis: worst-case arrival times and critical paths.
+
+use htd_netlist::{CellKind, NetId, Netlist, NetlistError};
+
+use crate::DelayAnnotation;
+
+/// A critical path: the worst-case timing arc from a launching source to an
+/// endpoint net, as a net sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Nets along the path, source first.
+    pub nets: Vec<NetId>,
+    /// Arrival time at the endpoint, ps (including clock-to-Q).
+    pub arrival_ps: f64,
+}
+
+/// Worst-case and best-case (data-independent) arrival times of every net.
+///
+/// Arrival of a flip-flop/port/constant output is `clk2q` (0 for consts);
+/// max arrival of a LUT output is the max over inputs of
+/// `arrival(in) + net_delay(in) + cell_delay`, and reading a net at a sink
+/// adds its own net delay (the classical longest-path recurrence). Min
+/// arrivals use the dual shortest-path recurrence and feed the hold-time
+/// check.
+#[derive(Debug, Clone)]
+pub struct Sta {
+    arrival_ps: Vec<f64>,
+    min_arrival_ps: Vec<f64>,
+}
+
+impl Sta {
+    /// Runs STA over the netlist with the given delays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates levelization errors (combinational cycles).
+    pub fn analyze(netlist: &Netlist, delays: &DelayAnnotation) -> Result<Self, NetlistError> {
+        let levels = netlist.levelize()?;
+        let mut arrival = vec![0.0f64; netlist.net_count()];
+        let mut min_arrival = vec![0.0f64; netlist.net_count()];
+        for (_, cell) in netlist.cells() {
+            if let (CellKind::Dff, Some(q)) = (cell.kind(), cell.output()) {
+                arrival[q.index()] = delays.clk2q_ps();
+                min_arrival[q.index()] = delays.clk2q_ps();
+            }
+        }
+        for &cell_id in levels.order() {
+            let cell = netlist.cell(cell_id);
+            let out = cell.output().expect("lut drives a net");
+            let mut worst: f64 = 0.0;
+            let mut best = f64::INFINITY;
+            for &input in cell.inputs() {
+                let net_d = delays.net_delay_ps(input);
+                worst = worst.max(arrival[input.index()] + net_d);
+                best = best.min(min_arrival[input.index()] + net_d);
+            }
+            if !best.is_finite() {
+                best = 0.0; // zero-input LUTs cannot exist, defensive
+            }
+            arrival[out.index()] = worst + delays.cell_delay_ps(cell_id);
+            min_arrival[out.index()] = best + delays.cell_delay_ps(cell_id);
+        }
+        Ok(Sta {
+            arrival_ps: arrival,
+            min_arrival_ps: min_arrival,
+        })
+    }
+
+    /// Worst-case arrival time of `net`, ps.
+    #[inline]
+    pub fn arrival_ps(&self, net: NetId) -> f64 {
+        self.arrival_ps[net.index()]
+    }
+
+    /// Best-case (earliest possible) arrival time of `net`, ps.
+    #[inline]
+    pub fn min_arrival_ps(&self, net: NetId) -> f64 {
+        self.min_arrival_ps[net.index()]
+    }
+
+    /// Hold slack at the given endpoint nets (flip-flop `D` pins): the
+    /// earliest data arrival minus the required hold window after the
+    /// capturing edge. Negative slack means a hold violation — data races
+    /// through in the same cycle it was launched.
+    pub fn hold_slack_ps(
+        &self,
+        endpoints: &[NetId],
+        delays: &DelayAnnotation,
+        hold_ps: f64,
+    ) -> f64 {
+        endpoints
+            .iter()
+            .map(|&n| self.min_arrival_ps(n) + delays.net_delay_ps(n) - hold_ps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Worst-case arrival over a set of endpoint nets — e.g. the 128
+    /// state-register `D` pins. Includes the endpoints' own net delay.
+    pub fn max_arrival_ps(&self, netlist: &Netlist, endpoints: &[NetId], delays: &DelayAnnotation) -> f64 {
+        let _ = netlist;
+        endpoints
+            .iter()
+            .map(|&n| self.arrival_ps(n) + delays.net_delay_ps(n))
+            .fold(0.0, f64::max)
+    }
+
+    /// Minimum clock period meeting setup at the given endpoints, ps.
+    pub fn min_period_ps(
+        &self,
+        netlist: &Netlist,
+        endpoints: &[NetId],
+        delays: &DelayAnnotation,
+    ) -> f64 {
+        self.max_arrival_ps(netlist, endpoints, delays) + delays.setup_ps()
+    }
+
+    /// Traces the critical path ending at `endpoint` by walking the
+    /// worst-arrival predecessor chain backwards.
+    pub fn critical_path(
+        &self,
+        netlist: &Netlist,
+        delays: &DelayAnnotation,
+        endpoint: NetId,
+    ) -> CriticalPath {
+        let mut nets = vec![endpoint];
+        let mut current = endpoint;
+        while let Some(driver) = netlist.net(current).driver() {
+            let cell = netlist.cell(driver);
+            if !matches!(cell.kind(), CellKind::Lut(_)) {
+                break;
+            }
+            // Worst input arc.
+            let worst = cell
+                .inputs()
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let ta = self.arrival_ps(a) + delays.net_delay_ps(a);
+                    let tb = self.arrival_ps(b) + delays.net_delay_ps(b);
+                    ta.partial_cmp(&tb).expect("finite arrivals")
+                })
+                .expect("lut has inputs");
+            nets.push(worst);
+            current = worst;
+        }
+        nets.reverse();
+        CriticalPath {
+            nets,
+            arrival_ps: self.arrival_ps(endpoint),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_netlist::Netlist;
+
+    /// Chain of n inverters between an input and an output.
+    fn chain(n: usize) -> (Netlist, Vec<NetId>) {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let mut nets = vec![a];
+        let mut x = a;
+        for _ in 0..n {
+            x = nl.not_gate(x);
+            nets.push(x);
+        }
+        nl.add_output("x", x).unwrap();
+        (nl, nets)
+    }
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let (nl, nets) = chain(4);
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 0.0, 80.0);
+        let sta = Sta::analyze(&nl, &ann).unwrap();
+        // Each stage adds 50 (input net) + 100 (LUT).
+        for (i, &n) in nets.iter().enumerate() {
+            assert_eq!(sta.arrival_ps(n), i as f64 * 150.0);
+        }
+        let end = *nets.last().unwrap();
+        assert_eq!(
+            sta.min_period_ps(&nl, &[end], &ann),
+            4.0 * 150.0 + 50.0 + 80.0
+        );
+    }
+
+    #[test]
+    fn dff_sources_start_at_clk2q() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d");
+        let q = nl.add_dff(d, "r").unwrap();
+        let y = nl.not_gate(q);
+        nl.add_output("y", y).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 300.0, 80.0);
+        let sta = Sta::analyze(&nl, &ann).unwrap();
+        assert_eq!(sta.arrival_ps(q), 300.0);
+        assert_eq!(sta.arrival_ps(y), 300.0 + 50.0 + 100.0);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_branch() {
+        let mut nl = Netlist::new("y");
+        let a = nl.add_input("a");
+        // Short branch: 1 LUT; long branch: 3 LUTs; then joined by an AND.
+        let short = nl.not_gate(a);
+        let l1 = nl.not_gate(a);
+        let l2 = nl.not_gate(l1);
+        let l3 = nl.not_gate(l2);
+        let out = nl.and2(short, l3);
+        nl.add_output("o", out).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 0.0, 80.0);
+        let sta = Sta::analyze(&nl, &ann).unwrap();
+        let cp = sta.critical_path(&nl, &ann, out);
+        assert_eq!(cp.nets.first(), Some(&a));
+        assert!(cp.nets.contains(&l3));
+        assert!(!cp.nets.contains(&short));
+        assert_eq!(cp.arrival_ps, 4.0 * 150.0);
+    }
+
+    #[test]
+    fn min_arrival_tracks_the_shortest_branch() {
+        let mut nl = Netlist::new("y");
+        let a = nl.add_input("a");
+        let short = nl.not_gate(a);
+        let l1 = nl.not_gate(a);
+        let l2 = nl.not_gate(l1);
+        let out = nl.and2(short, l2);
+        nl.add_output("o", out).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 0.0, 80.0);
+        let sta = Sta::analyze(&nl, &ann).unwrap();
+        // Short branch: 1 stage (150); long: 2 stages (300); AND adds 150.
+        assert_eq!(sta.min_arrival_ps(out), 150.0 + 150.0);
+        assert_eq!(sta.arrival_ps(out), 300.0 + 150.0);
+        assert!(sta.min_arrival_ps(out) <= sta.arrival_ps(out));
+    }
+
+    #[test]
+    fn hold_slack_detects_fast_paths() {
+        let mut nl = Netlist::new("hold");
+        let d = nl.add_input("d");
+        let q = nl.add_dff(d, "r").unwrap();
+        let fast = nl.buf_gate(q);
+        let q2 = nl.add_dff(fast, "r2").unwrap();
+        nl.add_output("q2", q2).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 10.0, 5.0, 20.0, 80.0);
+        let sta = Sta::analyze(&nl, &ann).unwrap();
+        // D of r2 = fast net. Min arrival: clk2q(20) + 5 + 10 = 35; plus
+        // its own net delay 5 = 40 at the pin.
+        let endpoint = fast;
+        assert!((sta.hold_slack_ps(&[endpoint], &ann, 30.0) - 10.0).abs() < 1e-9);
+        // A 50 ps hold requirement is violated.
+        assert!(sta.hold_slack_ps(&[endpoint], &ann, 50.0) < 0.0);
+    }
+
+    #[test]
+    fn extra_net_delay_moves_the_critical_path() {
+        let mut nl = Netlist::new("y");
+        let a = nl.add_input("a");
+        let p = nl.not_gate(a);
+        let q = nl.not_gate(a);
+        let out = nl.and2(p, q);
+        nl.add_output("o", out).unwrap();
+        let mut ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 0.0, 80.0);
+        // Symmetric until q gets trojan-loaded.
+        ann.add_net_delay_ps(q, 500.0);
+        let sta = Sta::analyze(&nl, &ann).unwrap();
+        let cp = sta.critical_path(&nl, &ann, out);
+        assert!(cp.nets.contains(&q));
+    }
+}

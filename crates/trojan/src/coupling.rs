@@ -1,0 +1,164 @@
+//! The trojan's passive delay signature through the shared power grid —
+//! the `dHT` term of the paper's Eq. (3).
+//!
+//! Section III-B: *"Each implemented wire can be considered as a HT sensor.
+//! Even if no logical connection exists between the design and the HT, both
+//! share the same power grid inside the FPGA."* Every trojan cell loads the
+//! power distribution network at its slice; every victim net sees a delay
+//! increment that decays with distance to those slices.
+
+use htd_fabric::{Placement, PowerGrid, Technology};
+use htd_netlist::Netlist;
+use htd_timing::DelayAnnotation;
+
+use crate::InsertedTrojan;
+
+/// Adds the passive delay signature of `trojan` to `annotation`:
+///
+/// 1. **Tap loading** — every net the trigger taps gains
+///    [`Technology::tap_load_ps`]: splicing a route spur onto an existing
+///    net adds real capacitance and wirelength. This is the dominant
+///    effect, matching the large (up to ~1.4 ns) per-bit shifts of Fig. 3.
+/// 2. **Power-grid coupling** — every net driven by a placed cell gains the
+///    [`PowerGrid`] kernel summed over all trojan cells, so bigger trojans
+///    shift more and near nets shift most (the paper's "every wire is a HT
+///    sensor").
+///
+/// Call this on the *infected* device's annotation after
+/// [`insert`](crate::insert); the golden device, having no trojan, gets no
+/// shift.
+pub fn apply_coupling(
+    annotation: &mut DelayAnnotation,
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &Technology,
+    grid: &PowerGrid,
+    trojan: &InsertedTrojan,
+) {
+    for &tap in &trojan.tapped_nets {
+        annotation.add_net_delay_ps(tap, tech.tap_load_ps);
+    }
+    if trojan.slices.is_empty() {
+        return;
+    }
+    for (net_id, net) in netlist.nets() {
+        let Some(driver) = net.driver() else { continue };
+        let Some(site) = placement.site_of(driver) else {
+            continue;
+        };
+        let shift = grid.delay_shift_ps(site.slice, &trojan.slices);
+        if shift > 0.0 {
+            annotation.add_net_delay_ps(net_id, shift);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{insert, TrojanSpec};
+    use htd_aes::AesNetlist;
+    use htd_fabric::{Device, DeviceConfig, DieVariation, Technology, VariationModel};
+
+    fn setup(spec: &TrojanSpec) -> (AesNetlist, Placement, InsertedTrojan) {
+        let mut aes = AesNetlist::generate().unwrap();
+        let device = Device::new(DeviceConfig::virtex5_lx30_scaled());
+        let mut placement = Placement::place(aes.netlist(), &device).unwrap();
+        let trojan = insert(&mut aes, &mut placement, spec).unwrap();
+        (aes, placement, trojan)
+    }
+
+    #[test]
+    fn coupling_shifts_every_placed_net() {
+        let (aes, placement, trojan) = setup(&TrojanSpec::ht1());
+        let device = *placement.device();
+        let die = DieVariation::generate(&VariationModel::none(), &device, 0);
+        let tech = Technology::virtex5();
+        let mut ann = DelayAnnotation::annotate(aes.netlist(), &placement, &tech, &die);
+        ann.extend_for(aes.netlist(), tech.lut_delay_ps, tech.net_delay_base_ps);
+        apply_coupling(&mut ann, aes.netlist(), &placement, &tech, &PowerGrid::virtex5(), &trojan);
+        // Every state-register Q net got some positive shift.
+        for &q in aes.subbytes_inputs() {
+            assert!(ann.extra_net_delay_ps(q) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bigger_trojans_shift_more() {
+        let tech = Technology::virtex5();
+        let grid = PowerGrid::virtex5();
+        let mut shifts = Vec::new();
+        for spec in TrojanSpec::size_sweep() {
+            let (aes, placement, trojan) = setup(&spec);
+            let device = *placement.device();
+            let die = DieVariation::generate(&VariationModel::none(), &device, 0);
+            let mut ann = DelayAnnotation::annotate(aes.netlist(), &placement, &tech, &die);
+            ann.extend_for(aes.netlist(), tech.lut_delay_ps, tech.net_delay_base_ps);
+            apply_coupling(&mut ann, aes.netlist(), &placement, &tech, &grid, &trojan);
+            let total: f64 = aes
+                .subbytes_inputs()
+                .iter()
+                .map(|&q| ann.extra_net_delay_ps(q))
+                .sum();
+            shifts.push(total);
+        }
+        assert!(shifts[0] < shifts[1] && shifts[1] < shifts[2], "{shifts:?}");
+    }
+
+    #[test]
+    fn nets_near_the_trojan_shift_most() {
+        let (aes, placement, trojan) = setup(&TrojanSpec::ht1());
+        let device = *placement.device();
+        let die = DieVariation::generate(&VariationModel::none(), &device, 0);
+        let tech = Technology::virtex5();
+        let grid = PowerGrid::virtex5();
+        let mut ann = DelayAnnotation::annotate(aes.netlist(), &placement, &tech, &die);
+        ann.extend_for(aes.netlist(), tech.lut_delay_ps, tech.net_delay_base_ps);
+        apply_coupling(&mut ann, aes.netlist(), &placement, &tech, &grid, &trojan);
+        // Pair up nets by distance of their drivers to the trojan centroid.
+        let t0 = trojan.slices[0];
+        let mut near = (f64::INFINITY, 0.0);
+        let mut far = (0.0f64, 0.0);
+        for (id, net) in aes.netlist().nets() {
+            let Some(driver) = net.driver() else { continue };
+            let Some(site) = placement.site_of(driver) else { continue };
+            let d = t0.euclidean(site.slice);
+            let shift = ann.extra_net_delay_ps(id);
+            if d < near.0 {
+                near = (d, shift);
+            }
+            if d > far.0 {
+                far = (d, shift);
+            }
+        }
+        assert!(
+            near.1 > far.1,
+            "near shift {} should exceed far shift {}",
+            near.1,
+            far.1
+        );
+    }
+
+    #[test]
+    fn shifts_land_in_the_papers_range() {
+        // Fig. 3 shows per-bit delay differences from tens of ps up to
+        // ~1.4 ns for trojans of this size class.
+        let (aes, placement, trojan) = setup(&TrojanSpec::ht_comb());
+        let device = *placement.device();
+        let die = DieVariation::generate(&VariationModel::none(), &device, 0);
+        let tech = Technology::virtex5();
+        let mut ann = DelayAnnotation::annotate(aes.netlist(), &placement, &tech, &die);
+        ann.extend_for(aes.netlist(), tech.lut_delay_ps, tech.net_delay_base_ps);
+        apply_coupling(&mut ann, aes.netlist(), &placement, &tech, &PowerGrid::virtex5(), &trojan);
+        let shifts: Vec<f64> = aes
+            .subbytes_inputs()
+            .iter()
+            .map(|&q| ann.extra_net_delay_ps(q))
+            .collect();
+        let max = shifts.iter().cloned().fold(0.0, f64::max);
+        let min = shifts.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 30.0, "max shift {max} too small to observe");
+        assert!(max < 1_500.0, "max shift {max} unrealistically large");
+        assert!(min > 0.0);
+    }
+}

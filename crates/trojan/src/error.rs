@@ -1,0 +1,80 @@
+//! Error type for trojan construction and insertion.
+
+use std::error::Error;
+use std::fmt;
+
+use htd_fabric::FabricError;
+use htd_netlist::NetlistError;
+
+/// Errors reported by trojan insertion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrojanError {
+    /// The trigger wants to tap more signals than the design exposes.
+    NotEnoughTaps {
+        /// Taps requested.
+        requested: usize,
+        /// Signals available.
+        available: usize,
+    },
+    /// An invalid trigger parameter (zero taps, zero/oversized counter).
+    InvalidTrigger {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The device has no free sites left for the trojan's cells.
+    NoFreeSites,
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+    /// An underlying placement operation failed.
+    Fabric(FabricError),
+}
+
+impl fmt::Display for TrojanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrojanError::NotEnoughTaps { requested, available } => {
+                write!(f, "trigger taps {requested} signals but only {available} exist")
+            }
+            TrojanError::InvalidTrigger { reason } => write!(f, "invalid trigger: {reason}"),
+            TrojanError::NoFreeSites => write!(f, "no free sites available for trojan cells"),
+            TrojanError::Netlist(e) => write!(f, "netlist error during insertion: {e}"),
+            TrojanError::Fabric(e) => write!(f, "placement error during insertion: {e}"),
+        }
+    }
+}
+
+impl Error for TrojanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrojanError::Netlist(e) => Some(e),
+            TrojanError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for TrojanError {
+    fn from(e: NetlistError) -> Self {
+        TrojanError::Netlist(e)
+    }
+}
+
+impl From<FabricError> for TrojanError {
+    fn from(e: FabricError) -> Self {
+        TrojanError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: TrojanError = NetlistError::EmptyLut.into();
+        assert!(e.to_string().contains("netlist"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrojanError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! Hardware trojan models, layout-level insertion, and the parasitic
+//! signatures a dormant trojan leaves behind.
+//!
+//! The crate reproduces Section II of the paper:
+//!
+//! * [`TrojanSpec`] describes a trojan: a [`Trigger`] (the paper's
+//!   combinational all-ones detector over `k` SubBytes input signals, or a
+//!   per-encryption counter with comparator) and a [`Payload`]
+//!   (denial-of-service). Presets for the paper's five instances —
+//!   HT-comb, HT-seq, HT 1/2/3 — are provided.
+//! * [`insert`] performs the paper's FPGA-Editor-style insertion: trojan
+//!   gates go into *unused* LUT/FF sites as close as possible to the nets
+//!   they tap, and **no original cell or route is touched** (the golden and
+//!   infected designs differ only by the added logic).
+//! * [`apply_coupling`] adds the trojan's passive delay signature to a
+//!   [`htd_timing::DelayAnnotation`]: the power-grid coupling term `dHT` of
+//!   the paper's Eq. (3). (The *electrical load* signature on tapped nets
+//!   needs no special handling — re-annotating the infected netlist sees
+//!   the increased fan-out automatically, and the trigger's switching
+//!   activity reaches the EM simulation through the ordinary event-driven
+//!   toggle stream.)
+//!
+//! # Example
+//!
+//! ```
+//! use htd_aes::AesNetlist;
+//! use htd_fabric::{Device, DeviceConfig, Placement};
+//! use htd_trojan::{insert, TrojanSpec};
+//!
+//! let mut aes = AesNetlist::generate()?;
+//! let device = Device::new(DeviceConfig::virtex5_lx30_scaled());
+//! let mut placement = Placement::place(aes.netlist(), &device)?;
+//! let trojan = insert(&mut aes, &mut placement, &TrojanSpec::ht1())?;
+//! assert_eq!(trojan.tapped_nets.len(), 32);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coupling;
+mod error;
+mod insert;
+mod model;
+
+pub use coupling::apply_coupling;
+pub use error::TrojanError;
+pub use insert::{insert, InsertedTrojan};
+pub use model::{Payload, Trigger, TrojanSpec};

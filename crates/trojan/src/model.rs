@@ -1,0 +1,182 @@
+//! Trojan descriptors and the paper's five instances.
+
+use std::fmt;
+
+/// How the trojan decides to fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fires when `taps` SubBytes input signals are simultaneously '1'
+    /// (the paper's combinational trigger; `taps` ∈ {32, 64, 128} for
+    /// HT 1/2/3).
+    CombinationalAllOnes {
+        /// Number of SubBytes input bits monitored.
+        taps: usize,
+    },
+    /// Fires when an internal counter of `width` bits — incremented once
+    /// per AES encryption — reaches `target` (the paper's sequential
+    /// trigger, 32 bits).
+    SequentialCounter {
+        /// Counter width in bits (1..=64).
+        width: usize,
+        /// Comparator constant.
+        target: u64,
+    },
+    /// A *stealth probe* (extension beyond the paper): `taps` SubBytes
+    /// inputs are wired to constant-zero LUTs whose outputs never toggle.
+    /// The trojan has **no switching activity at all** — it only loads the
+    /// tapped routes and the power grid — modelling a passive implant that
+    /// records externally (e.g. an analog tap). Used by the
+    /// `ablation_stealth` bench to show that the delay method still
+    /// catches what the EM method cannot.
+    StealthProbe {
+        /// Number of SubBytes input bits tapped.
+        taps: usize,
+    },
+}
+
+/// What the trojan does when triggered. The paper's trojans deny service;
+/// none is ever activated during the detection experiments. The key-leak
+/// variant models the other classic payload class (the paper's ref. \[11\]:
+/// trojans that "leak secret key via RS232 channels").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Payload {
+    /// Denial of service: the payload signal would disrupt operation when
+    /// asserted. It is brought out on a `ht_payload` port so tests can
+    /// observe (and deliberately provoke) it.
+    #[default]
+    DenialOfService,
+    /// Covert key exfiltration: once the trigger has fired, the payload
+    /// port serialises the round-key register one bit per clock through a
+    /// rotating selector (a compact model of a serial leak channel).
+    /// Armed-state and selector flip-flops add to the trojan's footprint.
+    LeakKey,
+}
+
+/// A full trojan description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrojanSpec {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Trigger definition.
+    pub trigger: Trigger,
+    /// Payload definition.
+    pub payload: Payload,
+}
+
+impl TrojanSpec {
+    /// The paper's combinational trojan (Section II-B): trigger on 32
+    /// SubBytes input bits, DoS payload, 0.19 % of FPGA slices.
+    pub fn ht_comb() -> Self {
+        TrojanSpec {
+            name: "HT-comb".into(),
+            trigger: Trigger::CombinationalAllOnes { taps: 32 },
+            payload: Payload::DenialOfService,
+        }
+    }
+
+    /// The paper's sequential trojan (Section II-B): a 32-bit counter
+    /// incremented per encryption with a comparator, 0.36 % of FPGA slices.
+    pub fn ht_seq() -> Self {
+        TrojanSpec {
+            name: "HT-seq".into(),
+            trigger: Trigger::SequentialCounter {
+                width: 32,
+                // Arbitrary distant activation count; never reached in any
+                // experiment (the paper never activates its trojans).
+                target: 0xDEAD_BEEF,
+            },
+            payload: Payload::DenialOfService,
+        }
+    }
+
+    /// HT 1 (Section V-A): 2⁵ = 32 SubBytes inputs, ≈ 0.5 % of the AES.
+    pub fn ht1() -> Self {
+        TrojanSpec {
+            name: "HT 1".into(),
+            trigger: Trigger::CombinationalAllOnes { taps: 32 },
+            payload: Payload::DenialOfService,
+        }
+    }
+
+    /// HT 2 (Section V-A): 2⁶ = 64 SubBytes inputs, ≈ 1.0 % of the AES.
+    pub fn ht2() -> Self {
+        TrojanSpec {
+            name: "HT 2".into(),
+            trigger: Trigger::CombinationalAllOnes { taps: 64 },
+            payload: Payload::DenialOfService,
+        }
+    }
+
+    /// HT 3 (Section V-A): 2⁷ = 128 SubBytes inputs, ≈ 1.7 % of the AES.
+    pub fn ht3() -> Self {
+        TrojanSpec {
+            name: "HT 3".into(),
+            trigger: Trigger::CombinationalAllOnes { taps: 128 },
+            payload: Payload::DenialOfService,
+        }
+    }
+
+    /// The three size-sweep trojans of Section V (HT 1, HT 2, HT 3) in
+    /// increasing-size order.
+    pub fn size_sweep() -> Vec<TrojanSpec> {
+        vec![Self::ht1(), Self::ht2(), Self::ht3()]
+    }
+
+    /// A stealth load-only probe on 32 SubBytes inputs (extension; see
+    /// [`Trigger::StealthProbe`]).
+    pub fn stealth() -> Self {
+        TrojanSpec {
+            name: "HT-stealth".into(),
+            trigger: Trigger::StealthProbe { taps: 32 },
+            payload: Payload::DenialOfService,
+        }
+    }
+}
+
+impl fmt::Display for TrojanSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.trigger {
+            Trigger::CombinationalAllOnes { taps } => {
+                write!(f, "{} (combinational, {taps} taps)", self.name)
+            }
+            Trigger::SequentialCounter { width, .. } => {
+                write!(f, "{} (sequential, {width}-bit counter)", self.name)
+            }
+            Trigger::StealthProbe { taps } => {
+                write!(f, "{} (stealth probe, {taps} taps, no switching)", self.name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        assert_eq!(
+            TrojanSpec::ht1().trigger,
+            Trigger::CombinationalAllOnes { taps: 32 }
+        );
+        assert_eq!(
+            TrojanSpec::ht2().trigger,
+            Trigger::CombinationalAllOnes { taps: 64 }
+        );
+        assert_eq!(
+            TrojanSpec::ht3().trigger,
+            Trigger::CombinationalAllOnes { taps: 128 }
+        );
+        match TrojanSpec::ht_seq().trigger {
+            Trigger::SequentialCounter { width, .. } => assert_eq!(width, 32),
+            _ => panic!("HT-seq must be sequential"),
+        }
+        assert_eq!(TrojanSpec::size_sweep().len(), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TrojanSpec::ht2().to_string().contains("64 taps"));
+        assert!(TrojanSpec::ht_seq().to_string().contains("32-bit counter"));
+    }
+}

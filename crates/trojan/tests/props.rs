@@ -1,0 +1,113 @@
+//! Property-based tests for trojan insertion.
+
+use std::sync::OnceLock;
+
+use htd_aes::structural::AesSim;
+use htd_aes::AesNetlist;
+use htd_fabric::{Device, DeviceConfig, Placement};
+use htd_trojan::{insert, Payload, Trigger, TrojanSpec};
+use proptest::prelude::*;
+
+fn template() -> &'static (AesNetlist, Placement) {
+    static T: OnceLock<(AesNetlist, Placement)> = OnceLock::new();
+    T.get_or_init(|| {
+        let aes = AesNetlist::generate().expect("generates");
+        let device = Device::new(DeviceConfig::virtex5_lx30_scaled());
+        let placement = Placement::place(aes.netlist(), &device).expect("fits");
+        (aes, placement)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Combinational trojans of any tap count insert successfully, tap
+    /// exactly the requested SubBytes inputs, and leave the cipher
+    /// function untouched.
+    #[test]
+    fn any_tap_count_inserts_and_stays_dormant(taps in 1usize..=128) {
+        let (aes0, placement0) = template();
+        let mut aes = aes0.clone();
+        let mut placement = placement0.clone();
+        let spec = TrojanSpec {
+            name: format!("ht-{taps}"),
+            trigger: Trigger::CombinationalAllOnes { taps },
+            payload: Payload::DenialOfService,
+        };
+        let trojan = insert(&mut aes, &mut placement, &spec).unwrap();
+        prop_assert_eq!(trojan.tapped_nets.len(), taps);
+        prop_assert!(!trojan.cells.is_empty());
+        prop_assert!(trojan.distinct_slices() >= 1);
+        // Function preserved on one vector (heavier equivalence is done in
+        // the dedicated integration tests).
+        let mut sim = AesSim::new(&aes).unwrap();
+        let ct = sim.encrypt(&[0x42; 16], &[0x24; 16]);
+        let mut ref_sim = AesSim::new(aes0).unwrap();
+        prop_assert_eq!(ct, ref_sim.encrypt(&[0x42; 16], &[0x24; 16]));
+    }
+
+    /// The trigger fires exactly on the all-ones tap pattern, for any
+    /// width.
+    #[test]
+    fn trigger_fires_only_on_all_ones(taps in 1usize..=64, flip in 0usize..64) {
+        let (aes0, placement0) = template();
+        let mut aes = aes0.clone();
+        let mut placement = placement0.clone();
+        let spec = TrojanSpec {
+            name: "t".into(),
+            trigger: Trigger::CombinationalAllOnes { taps },
+            payload: Payload::DenialOfService,
+        };
+        let trojan = insert(&mut aes, &mut placement, &spec).unwrap();
+        let mut sim = aes.netlist().simulator().unwrap();
+        let n_dffs = aes.netlist().dff_cells().count();
+        let mut regs = vec![false; n_dffs];
+        for r in regs.iter_mut().take(taps) {
+            *r = true;
+        }
+        sim.load_registers(&regs);
+        prop_assert!(sim.get(trojan.trigger_net));
+        // Clearing any single tapped bit disarms it.
+        let victim = flip % taps;
+        regs[victim] = false;
+        sim.load_registers(&regs);
+        prop_assert!(!sim.get(trojan.trigger_net));
+    }
+
+    /// Trojan area grows monotonically (weakly) with tap count.
+    #[test]
+    fn area_is_weakly_monotone(a in 1usize..=127) {
+        let b = a + 1;
+        let area_of = |taps: usize| {
+            let (aes0, placement0) = template();
+            let mut aes = aes0.clone();
+            let mut placement = placement0.clone();
+            let spec = TrojanSpec {
+                name: "t".into(),
+                trigger: Trigger::CombinationalAllOnes { taps },
+                payload: Payload::DenialOfService,
+            };
+            insert(&mut aes, &mut placement, &spec).unwrap().cells.len()
+        };
+        prop_assert!(area_of(b) >= area_of(a));
+    }
+
+    /// Stealth probes of any size add zero-switching logic: after an
+    /// encryption, the trigger net has never gone high.
+    #[test]
+    fn stealth_probe_never_asserts(taps in 1usize..=128) {
+        let (aes0, placement0) = template();
+        let mut aes = aes0.clone();
+        let mut placement = placement0.clone();
+        let spec = TrojanSpec {
+            name: "s".into(),
+            trigger: Trigger::StealthProbe { taps },
+            payload: Payload::DenialOfService,
+        };
+        let trojan = insert(&mut aes, &mut placement, &spec).unwrap();
+        let mut sim = AesSim::new(&aes).unwrap();
+        sim.encrypt(&[0xFF; 16], &[0xFF; 16]);
+        prop_assert!(!sim.simulator().get(trojan.trigger_net));
+        prop_assert!(!sim.simulator().get(trojan.payload_net));
+    }
+}

@@ -1,0 +1,95 @@
+//! A tour of the EDA substrate itself: elaborate the AES-128 target,
+//! analyse its timing, optimize it, serialize it to the `htdnet` text
+//! format, parse it back, and prove the whole flow preserved the cipher —
+//! the tooling a golden-model owner uses to archive and exchange the
+//! reference design (the paper's Section II-A NCD workflow).
+//!
+//! ```sh
+//! cargo run --release --example eda_flow
+//! ```
+
+use htd_aes::soft::Aes128;
+use htd_aes::AesNetlist;
+use htd_core::prelude::*;
+use htd_core::ProgrammedDevice;
+use htd_fabric::Placement;
+use htd_netlist::Netlist;
+use htd_timing::Sta;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Elaborate.
+    let aes = AesNetlist::generate()?;
+    let stats = aes.netlist().stats();
+    println!("elaborated AES-128: {stats}");
+
+    // 2. Place onto the device and run static timing.
+    let lab = Lab::paper();
+    let placement = Placement::place(aes.netlist(), &lab.device)?;
+    println!(
+        "placed: {} slices used of {} ({:.1}%)",
+        placement.used_slices(),
+        lab.device.slice_count(),
+        placement.utilization() * 100.0
+    );
+    let golden = Design::golden(&lab)?;
+    let die = lab.fabricate_die(0);
+    let dev = ProgrammedDevice::new(&lab, &golden, &die);
+    let sta = Sta::analyze(golden.aes().netlist(), dev.annotation())?;
+    let min_period =
+        sta.min_period_ps(golden.aes().netlist(), golden.aes().state_d(), dev.annotation());
+    println!(
+        "static timing: min clock period {:.2} ns (fmax ≈ {:.1} MHz), hold slack {:.0} ps",
+        min_period / 1_000.0,
+        1e6 / min_period,
+        sta.hold_slack_ps(golden.aes().state_d(), dev.annotation(), 60.0),
+    );
+
+    // 3. Optimize (constant folding, DCE, buffer sweep, CSE to fixpoint).
+    let opt = aes.netlist().optimize()?;
+    println!(
+        "optimize: {} → {} LUTs ({} removed; the generator emits tight logic)",
+        stats.luts,
+        opt.netlist.stats().luts,
+        stats.luts - opt.netlist.stats().luts
+    );
+
+    // 4. Serialize to the htdnet text format and parse it back.
+    let text = opt.netlist.to_text();
+    println!(
+        "serialized: {} lines / {} KiB of htdnet text",
+        text.lines().count(),
+        text.len() / 1024
+    );
+    let parsed = Netlist::from_text(&text)?;
+    assert_eq!(parsed.to_text(), text, "canonical round-trip");
+    println!("parsed back: canonical round-trip ✓");
+
+    // 5. Prove the flow end to end: encrypt through the parsed, optimized
+    //    netlist and compare with the behavioural reference.
+    let pt = [0xC0u8; 16];
+    let key = [0xDEu8; 16];
+    let want = Aes128::new(&key).encrypt_block(&pt);
+    let mut sim = parsed.simulator()?;
+    let map = |nets: &[htd_netlist::NetId]| -> Vec<htd_netlist::NetId> {
+        nets.iter()
+            .map(|&n| opt.net(n).expect("interface nets survive"))
+            .collect()
+    };
+    sim.set_bus_bytes(&map(aes.plaintext()), &pt);
+    sim.set_bus_bytes(&map(aes.key()), &key);
+    sim.set(opt.net(aes.load()).expect("load survives"), true);
+    sim.settle();
+    sim.clock();
+    sim.set(opt.net(aes.load()).expect("load survives"), false);
+    sim.settle();
+    for _ in 0..10 {
+        sim.clock();
+    }
+    let got: [u8; 16] = sim
+        .get_bus_bytes(&map(aes.ciphertext()))
+        .try_into()
+        .expect("128 bits");
+    assert_eq!(got, want);
+    println!("elaborate → place → time → optimize → serialize → parse → encrypt ✓");
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! A tour of the trojan bestiary: build every paper trojan (plus some
+//! custom variants), inspect their structure, area and parasitic
+//! signatures, and deliberately provoke one payload in simulation.
+//!
+//! ```sh
+//! cargo run --release --example trojan_zoo
+//! ```
+
+use htd_core::prelude::*;
+use htd_core::report::{pct, ps, Table};
+use htd_core::ProgrammedDevice;
+use htd_trojan::{Payload, Trigger};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab)?;
+    let aes_slices = golden.used_slices();
+    let die = lab.fabricate_die(0);
+
+    let zoo = vec![
+        TrojanSpec::ht_comb(),
+        TrojanSpec::ht_seq(),
+        TrojanSpec::ht1(),
+        TrojanSpec::ht2(),
+        TrojanSpec::ht3(),
+        // A custom miniature: 8 taps — below the paper's smallest.
+        TrojanSpec {
+            name: "HT-nano".into(),
+            trigger: Trigger::CombinationalAllOnes { taps: 8 },
+            payload: Payload::DenialOfService,
+        },
+        // A short counter for the live-payload demo below.
+        TrojanSpec {
+            name: "HT-ticking".into(),
+            trigger: Trigger::SequentialCounter { width: 8, target: 4 },
+            payload: Payload::DenialOfService,
+        },
+        // A stealth load-only probe (no switching at all).
+        TrojanSpec::stealth(),
+        // A key-exfiltration payload (the ref. [11] attack class).
+        TrojanSpec {
+            name: "HT-exfil".into(),
+            trigger: Trigger::SequentialCounter { width: 8, target: 3 },
+            payload: Payload::LeakKey,
+        },
+    ];
+
+    let mut table = Table::new(&[
+        "trojan",
+        "cells",
+        "slices",
+        "% of AES",
+        "taps",
+        "max delay shift on SubBytes nets",
+    ]);
+    for spec in &zoo {
+        let infected = Design::infected(&lab, spec)?;
+        let trojan = infected.trojan().unwrap();
+        let dev = ProgrammedDevice::new(&lab, &infected, &die);
+        let max_shift = infected
+            .aes()
+            .subbytes_inputs()
+            .iter()
+            .map(|&n| dev.annotation().extra_net_delay_ps(n))
+            .fold(0.0f64, f64::max);
+        table.push_row(&[
+            spec.to_string(),
+            trojan.cells.len().to_string(),
+            trojan.distinct_slices().to_string(),
+            pct(trojan.fraction_of_design(aes_slices)),
+            trojan.tapped_nets.len().to_string(),
+            ps(max_shift),
+        ]);
+    }
+    println!("{table}");
+
+    // Provoke the ticking trojan: it fires after its 4th encryption.
+    println!("arming HT-ticking (counter target = 4 encryptions):");
+    let ticking_spec = zoo
+        .iter()
+        .find(|s| s.name == "HT-ticking")
+        .expect("ticking spec in the zoo");
+    let ticking = Design::infected(&lab, ticking_spec)?;
+    let trojan = ticking.trojan().unwrap();
+    let mut sim = htd_aes::structural::AesSim::new(ticking.aes())?;
+    for n in 1..=6 {
+        sim.encrypt(&[n as u8; 16], &[0x77u8; 16]);
+        let fired = sim.simulator().get(trojan.payload_net);
+        println!(
+            "  encryption #{n}: payload {}",
+            if fired { "FIRED — denial of service!" } else { "dormant" }
+        );
+    }
+    // Provoke the key-exfiltration trojan: after its 3rd encryption it
+    // arms and starts serialising the round-key register, one bit per
+    // clock, on its covert channel.
+    println!("\narming HT-exfil (leaks the round key after 3 encryptions):");
+    let exfil_spec = zoo
+        .iter()
+        .find(|s| s.name == "HT-exfil")
+        .expect("exfil spec in the zoo");
+    let exfil = Design::infected(&lab, exfil_spec)?;
+    let trojan = exfil.trojan().unwrap();
+    let mut sim = htd_aes::structural::AesSim::new(exfil.aes())?;
+    let key = [0xA5u8; 16];
+    for _ in 0..3 {
+        sim.encrypt(&[0x11u8; 16], &key);
+    }
+    let mut bits = String::new();
+    for _ in 0..32 {
+        sim.step_round();
+        bits.push(if sim.simulator().get(trojan.payload_net) { '1' } else { '0' });
+    }
+    println!("  first 32 leaked key-register bits: {bits}");
+
+    println!("\nevery paper trojan in the zoo stays dormant for its entire life —");
+    println!("which is precisely why side-channel detection is needed.");
+    Ok(())
+}

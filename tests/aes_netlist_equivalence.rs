@@ -1,0 +1,82 @@
+//! Cross-crate check: the structural AES netlist is functionally
+//! equivalent to the behavioural reference, both clean and infected, on
+//! any die.
+
+use htd_aes::soft::Aes128;
+use htd_core::prelude::*;
+use htd_core::ProgrammedDevice;
+
+fn pseudo_random_blocks(n: usize, seed: u64) -> Vec<([u8; 16], [u8; 16])> {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n)
+        .map(|_| {
+            let mut pt = [0u8; 16];
+            let mut key = [0u8; 16];
+            for i in 0..16 {
+                pt[i] = (next() & 0xff) as u8;
+                key[i] = (next() & 0xff) as u8;
+            }
+            (pt, key)
+        })
+        .collect()
+}
+
+#[test]
+fn golden_design_matches_reference_cipher() {
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let die = lab.fabricate_die(42);
+    let dev = ProgrammedDevice::new(&lab, &golden, &die);
+    for (pt, key) in pseudo_random_blocks(8, 0xA5A5) {
+        assert_eq!(
+            dev.encrypt(&pt, &key).unwrap(),
+            Aes128::new(&key).encrypt_block(&pt)
+        );
+    }
+}
+
+#[test]
+fn every_paper_trojan_preserves_function_while_dormant() {
+    let lab = Lab::paper();
+    let specs = [
+        TrojanSpec::ht_comb(),
+        TrojanSpec::ht_seq(),
+        TrojanSpec::ht1(),
+        TrojanSpec::ht2(),
+        TrojanSpec::ht3(),
+    ];
+    let die = lab.fabricate_die(7);
+    let vectors = pseudo_random_blocks(3, 0x1234);
+    for spec in specs {
+        let infected = Design::infected(&lab, &spec).unwrap();
+        let dev = ProgrammedDevice::new(&lab, &infected, &die);
+        for (pt, key) in &vectors {
+            assert_eq!(
+                dev.encrypt(pt, key).unwrap(),
+                Aes128::new(key).encrypt_block(pt),
+                "{} altered the dormant function",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn process_variation_never_changes_function() {
+    // Delays vary per die; logic values must not.
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let (pt, key) = pseudo_random_blocks(1, 9)[0];
+    let want = Aes128::new(&key).encrypt_block(&pt);
+    for seed in 0..5 {
+        let die = lab.fabricate_die(seed);
+        let dev = ProgrammedDevice::new(&lab, &golden, &die);
+        assert_eq!(dev.encrypt(&pt, &key).unwrap(), want, "die {seed}");
+    }
+}

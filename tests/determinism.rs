@@ -1,0 +1,66 @@
+//! Reproducibility: every stochastic element is seed-driven, so complete
+//! experiments replay bit-for-bit.
+
+use htd_core::delay_detect::{characterize_golden, DelayCampaign, DelayDetector};
+use htd_core::em_detect::{fn_rate_experiment, SideChannel};
+use htd_core::prelude::*;
+use htd_core::ProgrammedDevice;
+
+#[test]
+fn delay_evidence_replays_exactly() {
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let infected = Design::infected(&lab, &TrojanSpec::ht_comb()).unwrap();
+    let die = lab.fabricate_die(0);
+    let gdev = ProgrammedDevice::new(&lab, &golden, &die);
+    let dut = ProgrammedDevice::new(&lab, &infected, &die);
+    let run = || {
+        let campaign = DelayCampaign::random(4, 5, 0xDEAD);
+        let det = DelayDetector::new(characterize_golden(&gdev, campaign));
+        det.examine(&dut, 11).diff_ps
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn fn_rate_experiment_replays_exactly() {
+    let lab = Lab::paper();
+    let pt = [1u8; 16];
+    let key = [2u8; 16];
+    let run = || {
+        fn_rate_experiment(
+            &lab,
+            &[TrojanSpec::ht2()],
+            SideChannel::Em,
+            4,
+            &pt,
+            &key,
+            77,
+        )
+        .unwrap()
+        .rows[0]
+            .mu
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_noise() {
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let die = lab.fabricate_die(0);
+    let dev = ProgrammedDevice::new(&lab, &golden, &die);
+    let a = dev.acquire_em_trace(&[3u8; 16], &[4u8; 16], 1);
+    let b = dev.acquire_em_trace(&[3u8; 16], &[4u8; 16], 2);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn dies_are_deterministic_functions_of_their_seed() {
+    let lab = Lab::paper();
+    let a = lab.fabricate_die(123);
+    let b = lab.fabricate_die(123);
+    let c = lab.fabricate_die(124);
+    assert_eq!(a.global_delay_factor(), b.global_delay_factor());
+    assert_ne!(a.global_delay_factor(), c.global_delay_factor());
+}

@@ -1,0 +1,137 @@
+//! End-to-end EM-based detection (paper Sections IV–V): same-die direct
+//! comparison, inter-die golden modelling, and classification with the
+//! sum-of-local-maxima metric.
+
+use htd_core::em_detect::{
+    characterize_em_golden, direct_compare, EmDetector, SideChannel,
+};
+use htd_core::prelude::*;
+use htd_core::ProgrammedDevice;
+
+const PT: [u8; 16] = [0x42u8; 16];
+const KEY: [u8; 16] = [0x13u8; 16];
+
+#[test]
+fn same_die_direct_comparison_flags_the_trojan() {
+    // The paper's Fig. 5: two genuine captures bound the setup noise; the
+    // infected capture deviates well above it.
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let infected = Design::infected(&lab, &TrojanSpec::ht_comb()).unwrap();
+    let die = lab.fabricate_die(3);
+    let gdev = ProgrammedDevice::new(&lab, &golden, &die);
+    let tdev = ProgrammedDevice::new(&lab, &infected, &die);
+    let g1 = gdev.acquire_em_trace(&PT, &KEY, 100);
+    let g2 = gdev.acquire_em_trace(&PT, &KEY, 200); // re-installed setup
+    let t = tdev.acquire_em_trace(&PT, &KEY, 300);
+    let cmp = direct_compare(&g1, &g2, &t);
+    assert!(
+        cmp.infected,
+        "HT not visible: diff {} vs floor {}",
+        cmp.max_abs_diff, cmp.noise_floor
+    );
+    // And a third genuine capture is NOT flagged.
+    let g3 = gdev.acquire_em_trace(&PT, &KEY, 400);
+    let cmp_clean = direct_compare(&g1, &g2, &g3);
+    assert!(
+        !cmp_clean.infected,
+        "clean capture flagged: diff {} vs floor {}",
+        cmp_clean.max_abs_diff, cmp_clean.noise_floor
+    );
+}
+
+#[test]
+fn interdie_detector_classifies_large_trojan_reliably() {
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let infected = Design::infected(&lab, &TrojanSpec::ht3()).unwrap();
+    let dies = lab.fabricate_batch(8); // the paper's batch size
+    let model =
+        characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 500);
+    let det = EmDetector::with_false_positive_rate(model, 0.05);
+    // Fresh dies the model never saw.
+    let mut detected = 0;
+    let mut false_pos = 0;
+    for seed in 100..108u64 {
+        let die = lab.fabricate_die(seed);
+        let t_inf =
+            ProgrammedDevice::new(&lab, &infected, &die).acquire_em_trace(&PT, &KEY, seed);
+        if det.is_infected(&t_inf) {
+            detected += 1;
+        }
+        let t_gold =
+            ProgrammedDevice::new(&lab, &golden, &die).acquire_em_trace(&PT, &KEY, seed + 50);
+        if det.is_infected(&t_gold) {
+            false_pos += 1;
+        }
+    }
+    assert!(detected >= 7, "only {detected}/8 infected dies detected");
+    assert!(false_pos <= 2, "{false_pos}/8 golden dies misclassified");
+}
+
+#[test]
+fn metric_grows_with_trojan_size() {
+    // Fig. 6's message: bigger trojans push the deviation statistic
+    // further above the golden fluctuation band.
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let dies = lab.fabricate_batch(6);
+    let model =
+        characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 900);
+    let det = EmDetector::with_false_positive_rate(model, 0.05);
+    let probe_die = lab.fabricate_die(77);
+    let mut metrics = Vec::new();
+    for spec in TrojanSpec::size_sweep() {
+        let infected = Design::infected(&lab, &spec).unwrap();
+        let t = ProgrammedDevice::new(&lab, &infected, &probe_die)
+            .acquire_em_trace(&PT, &KEY, 901);
+        metrics.push(det.metric(&t));
+    }
+    assert!(
+        metrics[0] < metrics[1] && metrics[1] < metrics[2],
+        "metrics not monotone in size: {metrics:?}"
+    );
+}
+
+#[test]
+fn tvla_ttest_flags_the_trojan_on_raw_traces() {
+    // The TVLA alternative to the paper's averaged-trace comparison: two
+    // populations of lightly averaged traces, pointwise Welch t-test.
+    // Populations of 30 keep the t-distribution's tails close enough to
+    // normal for the classical 4.5 threshold to control the false-positive
+    // rate across ~2700 samples.
+    let mut lab = Lab::paper();
+    lab.acquisition.averages = 50; // raw-ish traces, real noise present
+    let golden = Design::golden(&lab).unwrap();
+    let infected = Design::infected(&lab, &TrojanSpec::ht_comb()).unwrap();
+    let die = lab.fabricate_die(2);
+    let gdev = ProgrammedDevice::new(&lab, &golden, &die);
+    let tdev = ProgrammedDevice::new(&lab, &infected, &die);
+    // Standard TVLA preprocessing: normalise each trace by its RMS so the
+    // per-installation gain error (a fixed multiplicative effect) does not
+    // masquerade as leakage.
+    let normalize = |t: Trace| {
+        let r = t.rms().max(1e-12);
+        Trace::new(t.samples().iter().map(|s| s / r).collect(), t.dt_ps())
+    };
+    let g_pop: Vec<_> = (0..30)
+        .map(|i| normalize(gdev.acquire_em_trace(&PT, &KEY, 10_000 + i)))
+        .collect();
+    let t_pop: Vec<_> = (0..30)
+        .map(|i| normalize(tdev.acquire_em_trace(&PT, &KEY, 20_000 + i)))
+        .collect();
+    let cmp = htd_core::em_detect::ttest_compare(&g_pop, &t_pop);
+    assert!(cmp.infected, "max |t| = {}", cmp.max_t);
+    assert!(cmp.leaking_samples > 0);
+
+    // Control: two genuine populations do not leak.
+    let g_pop2: Vec<_> = (0..30)
+        .map(|i| normalize(gdev.acquire_em_trace(&PT, &KEY, 30_000 + i)))
+        .collect();
+    let clean = htd_core::em_detect::ttest_compare(&g_pop, &g_pop2);
+    assert!(
+        !clean.infected,
+        "clean populations leaked: max |t| = {}",
+        clean.max_t
+    );
+}

@@ -1,0 +1,70 @@
+//! The paper's headline result, as a regression test: detection
+//! probability greater than 95 % (false-negative rate ≤ 5 %) for a trojan
+//! of ≥ 1.7 % of the AES area, under inter-die process variations, with
+//! the false-negative rate decreasing monotonically in trojan size.
+//!
+//! Run with a moderate Monte-Carlo population (32 dies) to keep test time
+//! reasonable; the `table_fn_rates` bench reproduces the full table.
+
+use htd_core::em_detect::{fn_rate_experiment, SideChannel};
+use htd_core::prelude::*;
+
+#[test]
+fn fn_rate_decreases_with_size_and_ht3_clears_95_percent() {
+    let lab = Lab::paper();
+    let report = fn_rate_experiment(
+        &lab,
+        &TrojanSpec::size_sweep(),
+        SideChannel::Em,
+        32,
+        &[0x42u8; 16],
+        &[0x13u8; 16],
+        2015, // the year of the paper, why not
+    )
+    .unwrap();
+    assert_eq!(report.rows.len(), 3);
+
+    let fn_rates: Vec<f64> = report.rows.iter().map(|r| r.analytic_fn_rate).collect();
+    // Monotone decrease with size.
+    assert!(
+        fn_rates[0] > fn_rates[1] && fn_rates[1] > fn_rates[2],
+        "FN rates not monotone: {fn_rates:?}"
+    );
+    // HT 1 (0.5 %) is genuinely hard under PV (paper: 26 %).
+    assert!(
+        fn_rates[0] > 0.10,
+        "HT 1 unrealistically easy: {}",
+        fn_rates[0]
+    );
+    // HT 3 (1.7 %) clears the paper's 95 % detection bar.
+    assert!(
+        report.rows[2].detection_probability() > 0.95,
+        "HT 3 detection {}",
+        report.rows[2].detection_probability()
+    );
+    // Sizes match Section V-A.
+    let sizes: Vec<f64> = report.rows.iter().map(|r| r.size_fraction).collect();
+    assert!((sizes[0] - 0.005).abs() < 0.002, "{sizes:?}");
+    assert!((sizes[1] - 0.010).abs() < 0.003, "{sizes:?}");
+    assert!((sizes[2] - 0.017).abs() < 0.005, "{sizes:?}");
+}
+
+#[test]
+fn metric_separation_mu_is_positive_for_every_size() {
+    let lab = Lab::paper();
+    let report = fn_rate_experiment(
+        &lab,
+        &TrojanSpec::size_sweep(),
+        SideChannel::Em,
+        12,
+        &[0x42u8; 16],
+        &[0x13u8; 16],
+        7,
+    )
+    .unwrap();
+    for row in &report.rows {
+        assert!(row.mu > 0.0, "{} has non-positive offset", row.name);
+        assert!(row.sigma > 0.0);
+        assert!(row.empirical_fp_rate <= 0.5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Layout-level insertion invariants across the whole suite (paper
+//! Section II): placement preservation, resource accounting against the
+//! paper's reported numbers, and dormancy.
+
+use htd_core::prelude::*;
+use htd_netlist::CellId;
+
+#[test]
+fn aes_utilization_matches_the_paper() {
+    // "AES implementation covers 38.26% of the FPGA slices".
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let util = golden.placement().utilization();
+    assert!(
+        (0.34..0.43).contains(&util),
+        "AES utilisation {util} far from the paper's 38.26 %"
+    );
+}
+
+#[test]
+fn trojan_sizes_match_the_papers_percentages() {
+    // HT1/2/3 occupy ~0.5 / 1.0 / 1.7 % of the AES slices.
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let aes_slices = golden.used_slices();
+    let expected = [0.005, 0.010, 0.017];
+    for (spec, want) in TrojanSpec::size_sweep().into_iter().zip(expected) {
+        let infected = Design::infected(&lab, &spec).unwrap();
+        let frac = infected
+            .trojan()
+            .unwrap()
+            .fraction_of_design(aes_slices);
+        assert!(
+            (frac - want).abs() < want * 0.5,
+            "{}: {frac:.4} vs paper {want}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn combinational_trojan_is_under_a_percent_of_the_device() {
+    // "This HT uses 0.19% of slices in the FPGA".
+    let lab = Lab::paper();
+    let infected = Design::infected(&lab, &TrojanSpec::ht_comb()).unwrap();
+    let frac = infected
+        .trojan()
+        .unwrap()
+        .fraction_of_device(infected.placement());
+    assert!(frac < 0.01, "HT-comb occupies {frac} of the device");
+    assert!(frac > 0.0005);
+}
+
+#[test]
+fn insertion_preserves_original_sites_and_netlist_prefix() {
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let infected = Design::infected(&lab, &TrojanSpec::ht3()).unwrap();
+    // Every golden cell exists unchanged in the infected design, at the
+    // same site.
+    let g_nl = golden.aes().netlist();
+    let i_nl = infected.aes().netlist();
+    assert!(i_nl.cell_count() > g_nl.cell_count());
+    for (id, g_cell) in g_nl.cells() {
+        let i_cell = i_nl.cell(id);
+        assert_eq!(g_cell.kind(), i_cell.kind(), "cell {id} changed kind");
+        assert_eq!(
+            golden.placement().site_of(id),
+            infected.placement().site_of(id),
+            "cell {id} moved"
+        );
+    }
+}
+
+#[test]
+fn trojan_cells_sit_in_previously_free_sites() {
+    let lab = Lab::paper();
+    let golden = Design::golden(&lab).unwrap();
+    let infected = Design::infected(&lab, &TrojanSpec::ht1()).unwrap();
+    let trojan = infected.trojan().unwrap();
+    for &cell in &trojan.cells {
+        let site = infected
+            .placement()
+            .site_of(cell)
+            .expect("trojan cell placed");
+        // That site must have been free in the golden placement: no golden
+        // cell occupies it.
+        for (gid, _) in golden.aes().netlist().cells() {
+            assert_ne!(
+                golden.placement().site_of(gid),
+                Some(site),
+                "trojan cell {cell} stole an occupied site"
+            );
+        }
+    }
+}
+
+#[test]
+fn trojan_taps_are_subbytes_inputs() {
+    // Section II-B: the combinational trigger scans SubBytes inputs.
+    let lab = Lab::paper();
+    let infected = Design::infected(&lab, &TrojanSpec::ht2()).unwrap();
+    let trojan = infected.trojan().unwrap();
+    let subbytes = infected.aes().subbytes_inputs();
+    assert_eq!(trojan.tapped_nets.len(), 64);
+    for tap in &trojan.tapped_nets {
+        assert!(subbytes.contains(tap));
+    }
+    // Tapped nets gained the trigger's LUTs as sinks.
+    let nl = infected.aes().netlist();
+    let trojan_cells: std::collections::HashSet<CellId> =
+        trojan.cells.iter().copied().collect();
+    for &tap in &trojan.tapped_nets {
+        assert!(
+            nl.net(tap)
+                .sinks()
+                .iter()
+                .any(|s| trojan_cells.contains(s)),
+            "tap not actually connected"
+        );
+    }
+}
