@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 gate for the workspace, runnable locally and in CI:
+#   1. release build of every target,
+#   2. the full test suite,
+#   3. clippy with warnings denied.
+# The build is fully offline: the three external dependencies (rand,
+# proptest, criterion) are vendored API shims under vendor/.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release --all-targets
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -26,6 +26,7 @@ fn main() {
     let mut table = Table::new(&["metric", "HT 1: µ/σ", "HT 1: FN", "HT 2: µ/σ", "HT 2: FN"]);
     for (metric, label) in metrics {
         let report = fn_rate_experiment_with_metric(
+            &htd_core::Engine::default(),
             &lab,
             &[TrojanSpec::ht1(), TrojanSpec::ht2()],
             SideChannel::Em,

@@ -33,8 +33,10 @@ fn main() {
         "clean verdict",
     ]);
     for n in [1usize, 2, 5, 10, 20, 35, 50] {
-        let e = detector.examine_pairs(&dut, 9, n);
-        let c = detector.examine_pairs(&clean, 10, n);
+        let e = detector.examine_pairs(&dut, 9, n).expect("n within campaign");
+        let c = detector
+            .examine_pairs(&clean, 10, n)
+            .expect("n within campaign");
         table.push_row(&[
             n.to_string(),
             e.flagged_bits.to_string(),

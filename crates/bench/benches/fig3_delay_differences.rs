@@ -6,9 +6,9 @@
 //! ~1.4 ns, although neither sits on the critical path.
 
 use htd_bench::{banner, lab, sparkline};
-use htd_core::delay_detect::{characterize_golden, DelayCampaign, DelayDetector};
+use htd_core::delay_detect::{characterize_golden_with, DelayCampaign, DelayDetector};
 use htd_core::report::{ps, write_csv, Table};
-use htd_core::{Design, ProgrammedDevice};
+use htd_core::{Design, Engine, ProgrammedDevice};
 use htd_trojan::TrojanSpec;
 
 fn main() {
@@ -21,10 +21,16 @@ fn main() {
     let die = lab.fabricate_die(0);
     let gdev = ProgrammedDevice::new(&lab, &golden, &die);
 
-    // The paper's campaign: 50 pairs, 10 repetitions.
+    // The paper's campaign: 50 pairs, 10 repetitions, fanned across the
+    // measurement engine (see the ablation_threads bench for the
+    // worker-count study; the figure is bit-identical at any count).
+    let engine = Engine::auto();
     let campaign = DelayCampaign::paper(0xF1633);
-    println!("\ncharacterising the golden model (50 pairs × 10 sweeps)...");
-    let detector = DelayDetector::new(characterize_golden(&gdev, campaign));
+    println!(
+        "\ncharacterising the golden model (50 pairs × 10 sweeps, {} workers)...",
+        engine.workers()
+    );
+    let detector = DelayDetector::new(characterize_golden_with(&engine, &gdev, campaign));
 
     let designs: Vec<(String, Design, u64)> = vec![
         ("Clean1".into(), golden.clone(), 101),
@@ -46,7 +52,7 @@ fn main() {
     let mut csv_headers: Vec<String> = vec!["bit".into()];
     for (name, design, salt) in &designs {
         let dev = ProgrammedDevice::new(&lab, design, &die);
-        let evidence = detector.examine(&dev, *salt);
+        let evidence = detector.examine_with(&engine, &dev, *salt);
         for pair in [13usize, 47] {
             let series = &evidence.diff_ps[pair];
             println!(

@@ -13,13 +13,52 @@
 //!    `∆D(Na) = |∆D̄₁₀(Na) − D_HT(Na)|`. Bits whose difference exceeds the
 //!    decision threshold are evidence of an HT; more pairs sample more
 //!    bits and accumulate more evidence (Section III-B).
+//!
+//! Every measurement entry point has an [`Engine`]-taking `*_with`
+//! variant that fans the campaign (settle simulation per pair, then one
+//! task per pair × repetition cell) across the engine's worker pool.
+//! Noise streams are derived from cell indices, never from scheduling
+//! order, so the results are bit-identical for every worker count.
+
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use htd_timing::{GlitchParams, GlitchSweep};
 
-use crate::ProgrammedDevice;
+use crate::{Engine, ProgrammedDevice};
+
+/// Errors from the delay-detection entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayDetectError {
+    /// More pairs were requested than the golden campaign holds. Eq. (4)
+    /// compares a DUT row against the golden row measured with the *same*
+    /// pair, so an examination cannot exceed the characterised campaign.
+    PairCountExceedsCampaign {
+        /// Pairs requested for the examination.
+        requested: usize,
+        /// Pairs available in the golden campaign.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DelayDetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayDetectError::PairCountExceedsCampaign {
+                requested,
+                available,
+            } => write!(
+                f,
+                "examination requested {requested} pairs but the golden campaign \
+                 only characterised {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DelayDetectError {}
 
 /// A delay-measurement campaign: the (plaintext, key) pairs, the per-pair
 /// sweep repetitions and the base seed for measurement noise.
@@ -59,8 +98,10 @@ impl DelayCampaign {
     }
 }
 
-/// Mean fault-onset steps: `mean_onset_steps[pair][bit]`, saturated at the
-/// sweep length for bits that never faulted.
+/// Mean fault-onset steps: `mean_onset_steps[pair][bit]`. Bits that never
+/// faulted carry the [`GlitchParams::never_onset_steps`] sentinel — one
+/// step past the end of the sweep, distinct from a genuine last-step
+/// onset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DelayMatrix {
     /// Mean onset step per pair per ciphertext bit.
@@ -88,41 +129,77 @@ pub struct GoldenDelayModel {
     pub campaign: DelayCampaign,
 }
 
+/// The measurement-noise RNG stream of one (pair, repetition) cell. A
+/// pure function of (campaign seed, noise salt, pair index, repetition
+/// index): fanned sweeps draw identical noise no matter which worker
+/// runs which cell. Repetition 0 reproduces the historical per-pair
+/// stream head.
+fn rep_noise_seed(campaign_seed: u64, noise_salt: u64, pair_idx: usize, rep: usize) -> u64 {
+    campaign_seed
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(pair_idx as u64)
+        .wrapping_add(noise_salt.wrapping_mul(0x51ED_270F))
+        ^ (rep as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+}
+
 /// Measures the mean-onset matrix of `device` under `campaign` using
 /// `params`. `noise_salt` decorrelates the `dM` draws of independent
 /// characterisations (golden vs DUT runs — `r1` vs `r2` in Eqns. 2–3).
+///
+/// Uses the default (auto-sized) [`Engine`]; results do not depend on the
+/// worker count.
 pub fn measure_matrix(
     device: &ProgrammedDevice<'_>,
     campaign: &DelayCampaign,
     params: &GlitchParams,
     noise_salt: u64,
 ) -> DelayMatrix {
+    measure_matrix_with(&Engine::default(), device, campaign, params, noise_salt)
+}
+
+/// [`measure_matrix`] on an explicit [`Engine`].
+///
+/// The campaign fans in two stages: settle-time simulation per pair
+/// (through the device's settle cache), then one task per
+/// pair × repetition cell. Repetitions are reduced to means in
+/// repetition order for every pair, so floating-point accumulation is
+/// scheduling-independent and the matrix is bit-identical for every
+/// worker count.
+pub fn measure_matrix_with(
+    engine: &Engine,
+    device: &ProgrammedDevice<'_>,
+    campaign: &DelayCampaign,
+    params: &GlitchParams,
+    noise_salt: u64,
+) -> DelayMatrix {
     let sweep = GlitchSweep::new(*params);
-    let saturation = (params.steps - 1) as f64;
-    let mean_onset_steps = campaign
-        .pairs
-        .iter()
-        .enumerate()
-        .map(|(pair_idx, (pt, key))| {
-            let settles = device
-                .round10_settle_times(pt, key)
-                .expect("validated design simulates");
-            let mut rng = StdRng::seed_from_u64(
-                campaign
-                    .seed
-                    .wrapping_mul(0x9E37_79B9)
-                    .wrapping_add(pair_idx as u64)
-                    .wrapping_add(noise_salt.wrapping_mul(0x51ED_270F)),
-            );
-            let mut acc = vec![0.0f64; settles.len()];
-            for _ in 0..campaign.repetitions.max(1) {
-                for (bit, onset) in sweep.fault_onsets(&settles, &mut rng).iter().enumerate() {
-                    acc[bit] += onset.step().map(f64::from).unwrap_or(saturation);
+    let saturation = params.never_onset_steps();
+    let settles = engine.map(&campaign.pairs, |_, (pt, key)| {
+        device
+            .round10_settle_times_cached(pt, key)
+            .expect("validated design simulates")
+    });
+    let reps = campaign.repetitions.max(1);
+    let cells = engine.map_indexed(campaign.pairs.len() * reps, |cell| {
+        let pair_idx = cell / reps;
+        let rep = cell % reps;
+        let mut rng =
+            StdRng::seed_from_u64(rep_noise_seed(campaign.seed, noise_salt, pair_idx, rep));
+        sweep
+            .fault_onsets(&settles[pair_idx], &mut rng)
+            .iter()
+            .map(|o| o.step().map(f64::from).unwrap_or(saturation))
+            .collect::<Vec<f64>>()
+    });
+    let mean_onset_steps = (0..campaign.pairs.len())
+        .map(|pair_idx| {
+            let mut acc = vec![0.0f64; cells[pair_idx * reps].len()];
+            for rep_row in &cells[pair_idx * reps..(pair_idx + 1) * reps] {
+                for (bit, v) in rep_row.iter().enumerate() {
+                    acc[bit] += v;
                 }
             }
-            acc.iter()
-                .map(|a| a / campaign.repetitions.max(1) as f64)
-                .collect()
+            acc.iter().map(|a| a / reps as f64).collect()
         })
         .collect();
     DelayMatrix { mean_onset_steps }
@@ -131,24 +208,41 @@ pub fn measure_matrix(
 /// Characterises a golden device: establishes the sweep aim from the
 /// measured settling times (the physical procedure — widen until nothing
 /// faults, then step down) and records the golden matrix.
+///
+/// Uses the default (auto-sized) [`Engine`].
 pub fn characterize_golden(
     device: &ProgrammedDevice<'_>,
     campaign: DelayCampaign,
 ) -> GoldenDelayModel {
+    characterize_golden_with(&Engine::default(), device, campaign)
+}
+
+/// [`characterize_golden`] on an explicit [`Engine`].
+///
+/// The aiming pass runs through the device's settle cache, so the matrix
+/// measurement that follows re-uses every simulated settle instead of
+/// simulating the whole campaign a second time.
+pub fn characterize_golden_with(
+    engine: &Engine,
+    device: &ProgrammedDevice<'_>,
+    campaign: DelayCampaign,
+) -> GoldenDelayModel {
     // Aim the sweep at the slowest observed path over all pairs.
+    let settles = engine.map(&campaign.pairs, |_, (pt, key)| {
+        device
+            .round10_settle_times_cached(pt, key)
+            .expect("validated design simulates")
+    });
     let mut max_required: f64 = 0.0;
-    for (pt, key) in &campaign.pairs {
-        let settles = device
-            .round10_settle_times(pt, key)
-            .expect("validated design simulates");
-        for s in settles.into_iter().flatten() {
-            max_required = max_required.max(s);
+    for per_pair in &settles {
+        for s in per_pair.iter().flatten() {
+            max_required = max_required.max(*s);
         }
     }
     let tech_setup = device.annotation().setup_ps();
     let noise = device.annotation().measurement_noise_ps();
     let params = GlitchParams::paper_sweep(max_required + tech_setup, tech_setup, noise);
-    let matrix = measure_matrix(device, &campaign, &params, 0);
+    let matrix = measure_matrix_with(engine, device, &campaign, &params, 0);
     GoldenDelayModel {
         params,
         matrix,
@@ -218,22 +312,63 @@ impl DelayDetector {
     }
 
     /// Measures `device` with the golden campaign/sweep and evaluates
-    /// Eq. (4) on every pair and bit.
+    /// Eq. (4) on every pair and bit. Uses the default (auto-sized)
+    /// [`Engine`].
     pub fn examine(&self, device: &ProgrammedDevice<'_>, noise_salt: u64) -> DelayEvidence {
-        self.examine_pairs(device, noise_salt, self.golden.campaign.pairs.len())
+        self.examine_with(&Engine::default(), device, noise_salt)
+    }
+
+    /// [`DelayDetector::examine`] on an explicit [`Engine`].
+    pub fn examine_with(
+        &self,
+        engine: &Engine,
+        device: &ProgrammedDevice<'_>,
+        noise_salt: u64,
+    ) -> DelayEvidence {
+        self.examine_pairs_with(engine, device, noise_salt, self.golden.campaign.pairs.len())
+            .expect("the full golden campaign always fits itself")
     }
 
     /// Like [`DelayDetector::examine`] but using only the first
     /// `n_pairs` pairs — the evidence-vs-pairs ablation of Section III-B.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayDetectError::PairCountExceedsCampaign`] if `n_pairs` exceeds
+    /// the golden campaign (the extra pairs would have no golden rows to
+    /// compare against).
     pub fn examine_pairs(
         &self,
         device: &ProgrammedDevice<'_>,
         noise_salt: u64,
         n_pairs: usize,
-    ) -> DelayEvidence {
+    ) -> Result<DelayEvidence, DelayDetectError> {
+        self.examine_pairs_with(&Engine::default(), device, noise_salt, n_pairs)
+    }
+
+    /// [`DelayDetector::examine_pairs`] on an explicit [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// [`DelayDetectError::PairCountExceedsCampaign`] if `n_pairs` exceeds
+    /// the golden campaign.
+    pub fn examine_pairs_with(
+        &self,
+        engine: &Engine,
+        device: &ProgrammedDevice<'_>,
+        noise_salt: u64,
+        n_pairs: usize,
+    ) -> Result<DelayEvidence, DelayDetectError> {
+        let available = self.golden.campaign.pairs.len();
+        if n_pairs > available {
+            return Err(DelayDetectError::PairCountExceedsCampaign {
+                requested: n_pairs,
+                available,
+            });
+        }
         let mut campaign = self.golden.campaign.clone();
         campaign.pairs.truncate(n_pairs);
-        let dut = measure_matrix(device, &campaign, &self.golden.params, noise_salt);
+        let dut = measure_matrix_with(engine, device, &campaign, &self.golden.params, noise_salt);
         let step = self.golden.params.step_ps;
         let mut max_diff = 0.0f64;
         let bits = self
@@ -266,13 +401,13 @@ impl DelayDetector {
             })
             .collect();
         let flagged_bits = bit_flagged.iter().filter(|&&f| f).count();
-        DelayEvidence {
+        Ok(DelayEvidence {
             diff_ps,
             max_diff_ps: max_diff,
             flagged_bits,
             threshold_ps: self.threshold_ps,
             infected: flagged_bits > 0,
-        }
+        })
     }
 }
 
@@ -289,5 +424,36 @@ mod tests {
         assert_ne!(a.pairs, c.pairs);
         assert_eq!(DelayCampaign::paper(0).pairs.len(), 50);
         assert_eq!(DelayCampaign::paper(0).repetitions, 10);
+    }
+
+    #[test]
+    fn rep_streams_are_distinct_and_anchored() {
+        // Repetition 0 is the historical per-pair stream head; later
+        // repetitions branch off without colliding across pairs.
+        let base = rep_noise_seed(17, 3, 4, 0);
+        assert_eq!(
+            base,
+            17u64
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(4)
+                .wrapping_add(3u64.wrapping_mul(0x51ED_270F))
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for pair in 0..8 {
+            for rep in 0..10 {
+                seen.insert(rep_noise_seed(17, 3, pair, rep));
+            }
+        }
+        assert_eq!(seen.len(), 80);
+    }
+
+    #[test]
+    fn pair_count_error_displays_both_counts() {
+        let err = DelayDetectError::PairCountExceedsCampaign {
+            requested: 12,
+            available: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("12") && msg.contains('4'), "{msg}");
     }
 }

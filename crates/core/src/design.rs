@@ -1,5 +1,9 @@
 //! Designs (golden / infected) and devices programmed with them.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,15 +81,48 @@ impl Design {
     }
 }
 
+/// Cache key for per-stimulus simulation results: the (plaintext, key)
+/// pair. The device itself pins the remaining key dimensions — a device
+/// *is* one (design, die) combination — so caching on the device realises
+/// the design × die × pair keying.
+type PairKey = ([u8; 16], [u8; 16]);
+
+/// Occupancy and hit counters of a device's simulation caches (see
+/// [`ProgrammedDevice::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Distinct (plaintext, key) pairs with cached settle times.
+    pub settle_entries: usize,
+    /// Settle-time lookups answered from cache.
+    pub settle_hits: u64,
+    /// Distinct (plaintext, key) pairs with cached switching activity.
+    pub activity_entries: usize,
+    /// Activity lookups answered from cache.
+    pub activity_hits: u64,
+}
+
 /// A [`Design`] programmed onto one fabricated die: delays annotated with
 /// that die's process variation and the trojan's parasitic coupling
 /// applied. This is the unit every measurement runs against.
+///
+/// The device memoises its two pure, expensive simulations — round-10
+/// settle times and full-encryption switching activity — per
+/// (plaintext, key) pair. Both are deterministic functions of
+/// (design, die, pair) with no noise involved, so caching cannot change
+/// any measured value; it only removes duplicate event-driven simulation
+/// (e.g. between sweep aiming and matrix measurement, or across the
+/// repeated acquisitions of an averaging study). The caches are
+/// internally locked, so one device can be shared across worker threads.
 #[derive(Debug)]
 pub struct ProgrammedDevice<'a> {
     lab: &'a Lab,
     design: &'a Design,
     die: &'a DieVariation,
     annotation: DelayAnnotation,
+    settle_cache: Mutex<HashMap<PairKey, Arc<Vec<Option<f64>>>>>,
+    activity_cache: Mutex<HashMap<PairKey, Arc<Vec<CurrentEvent>>>>,
+    settle_hits: AtomicU64,
+    activity_hits: AtomicU64,
 }
 
 impl<'a> ProgrammedDevice<'a> {
@@ -108,6 +145,10 @@ impl<'a> ProgrammedDevice<'a> {
             design,
             die,
             annotation,
+            settle_cache: Mutex::new(HashMap::new()),
+            activity_cache: Mutex::new(HashMap::new()),
+            settle_hits: AtomicU64::new(0),
+            activity_hits: AtomicU64::new(0),
         }
     }
 
@@ -170,6 +211,36 @@ impl<'a> ProgrammedDevice<'a> {
             .collect())
     }
 
+    /// [`Self::round10_settle_times`] through the device's settle-time
+    /// cache: the first request for a pair simulates and stores the
+    /// result; later requests (from any thread) return the stored
+    /// `Arc` without re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures (never cached).
+    pub fn round10_settle_times_cached(
+        &self,
+        pt: &[u8; 16],
+        key: &[u8; 16],
+    ) -> Result<Arc<Vec<Option<f64>>>, NetlistError> {
+        let key_pair: PairKey = (*pt, *key);
+        if let Some(hit) = self.settle_cache.lock().unwrap().get(&key_pair) {
+            self.settle_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Simulate outside the lock; a concurrent duplicate computation of
+        // the same pure function is benign and both arrive at the same
+        // value.
+        let settles = Arc::new(self.round10_settle_times(pt, key)?);
+        self.settle_cache
+            .lock()
+            .unwrap()
+            .entry(key_pair)
+            .or_insert_with(|| Arc::clone(&settles));
+        Ok(settles)
+    }
+
     /// Static-timing upper bound of the round path (used to aim sweeps).
     ///
     /// # Errors
@@ -214,19 +285,52 @@ impl<'a> ProgrammedDevice<'a> {
         events
     }
 
+    /// [`Self::timed_encryption_activity`] through the device's activity
+    /// cache (see [`Self::round10_settle_times_cached`] for the policy).
+    pub fn timed_encryption_activity_cached(
+        &self,
+        pt: &[u8; 16],
+        key: &[u8; 16],
+    ) -> Arc<Vec<CurrentEvent>> {
+        let key_pair: PairKey = (*pt, *key);
+        if let Some(hit) = self.activity_cache.lock().unwrap().get(&key_pair) {
+            self.activity_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let events = Arc::new(self.timed_encryption_activity(pt, key));
+        self.activity_cache
+            .lock()
+            .unwrap()
+            .entry(key_pair)
+            .or_insert_with(|| Arc::clone(&events));
+        events
+    }
+
+    /// Current occupancy and hit counts of the simulation caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            settle_entries: self.settle_cache.lock().unwrap().len(),
+            settle_hits: self.settle_hits.load(Ordering::Relaxed),
+            activity_entries: self.activity_cache.lock().unwrap().len(),
+            activity_hits: self.activity_hits.load(Ordering::Relaxed),
+        }
+    }
+
     /// Acquires one averaged EM trace of one encryption (Section IV).
     ///
     /// `measure_seed` drives the acquisition noise (scope + installation);
-    /// reusing a seed reproduces the exact trace.
+    /// reusing a seed reproduces the exact trace. The (noise-free)
+    /// switching activity comes through the activity cache, so repeated
+    /// acquisitions of the same pair only pay for the acquisition chain.
     pub fn acquire_em_trace(&self, pt: &[u8; 16], key: &[u8; 16], measure_seed: u64) -> Trace {
-        let events = self.timed_encryption_activity(pt, key);
+        let events = self.timed_encryption_activity_cached(pt, key);
         let mut rng = StdRng::seed_from_u64(measure_seed ^ 0xE37A_11CE_55AA_0001);
         self.lab.em.acquire(&events, &self.lab.acquisition, &mut rng)
     }
 
     /// Acquires one averaged global power trace (the baseline chain).
     pub fn acquire_power_trace(&self, pt: &[u8; 16], key: &[u8; 16], measure_seed: u64) -> Trace {
-        let events = self.timed_encryption_activity(pt, key);
+        let events = self.timed_encryption_activity_cached(pt, key);
         let mut rng = StdRng::seed_from_u64(measure_seed ^ 0x0F0F_5A5A_3C3C_0002);
         self.lab
             .power
@@ -331,6 +435,38 @@ mod tests {
         assert_eq!(a, b);
         let c = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 10);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn caches_return_cold_results_and_count_hits() {
+        let lab = lab();
+        let golden = Design::golden(&lab).unwrap();
+        let die = lab.fabricate_die(3);
+        let dev = ProgrammedDevice::new(&lab, &golden, &die);
+        let pt = [0x5Au8; 16];
+        let key = [0xC3u8; 16];
+
+        let cold = dev.round10_settle_times(&pt, &key).unwrap();
+        let first = dev.round10_settle_times_cached(&pt, &key).unwrap();
+        let second = dev.round10_settle_times_cached(&pt, &key).unwrap();
+        assert_eq!(*first, cold);
+        assert!(Arc::ptr_eq(&first, &second));
+
+        let cold_events = dev.timed_encryption_activity(&pt, &key);
+        let cached_events = dev.timed_encryption_activity_cached(&pt, &key);
+        assert_eq!(*cached_events, cold_events);
+
+        let stats = dev.cache_stats();
+        assert_eq!(stats.settle_entries, 1);
+        assert_eq!(stats.settle_hits, 1);
+        assert_eq!(stats.activity_entries, 1);
+        assert_eq!(stats.activity_hits, 0);
+
+        // A trace acquisition goes through the activity cache.
+        let a = dev.acquire_em_trace(&pt, &key, 7);
+        let b = dev.acquire_em_trace(&pt, &key, 7);
+        assert_eq!(a, b);
+        assert_eq!(dev.cache_stats().activity_hits, 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use htd_stats::peaks::sum_of_local_maxima;
 use htd_stats::Gaussian;
 use htd_trojan::TrojanSpec;
 
-use crate::{Design, Lab, ProgrammedDevice};
+use crate::{Design, Engine, Lab, ProgrammedDevice};
 
 /// Which measurement chain an experiment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +141,7 @@ pub fn characterize_em_golden(
     seed: u64,
 ) -> EmGoldenModel {
     characterize_em_golden_with(
+        &Engine::default(),
         lab,
         golden,
         dies,
@@ -152,13 +153,17 @@ pub fn characterize_em_golden(
     )
 }
 
-/// [`characterize_em_golden`] with an explicit [`TraceMetric`].
+/// [`characterize_em_golden`] with an explicit [`TraceMetric`] and
+/// [`Engine`]. The per-die acquisitions fan across the engine's workers;
+/// each die keeps its index-derived seed, so the model is bit-identical
+/// for every worker count.
 ///
 /// # Panics
 ///
 /// Panics if `dies` has fewer than two entries.
 #[allow(clippy::too_many_arguments)]
 pub fn characterize_em_golden_with(
+    engine: &Engine,
     lab: &Lab,
     golden: &Design,
     dies: &[DieVariation],
@@ -169,14 +174,10 @@ pub fn characterize_em_golden_with(
     seed: u64,
 ) -> EmGoldenModel {
     assert!(dies.len() >= 2, "need at least two golden dies");
-    let traces: Vec<Trace> = dies
-        .iter()
-        .enumerate()
-        .map(|(j, die)| {
-            let dev = ProgrammedDevice::new(lab, golden, die);
-            acquire(&dev, chain, pt, key, seed.wrapping_add(j as u64))
-        })
-        .collect();
+    let traces: Vec<Trace> = engine.map(dies, |j, die| {
+        let dev = ProgrammedDevice::new(lab, golden, die);
+        acquire(&dev, chain, pt, key, seed.wrapping_add(j as u64))
+    });
     let mean_trace = Trace::mean_of(&traces);
     let golden_metrics: Vec<f64> = traces
         .iter()
@@ -292,6 +293,7 @@ pub fn fn_rate_experiment(
     seed: u64,
 ) -> Result<FnRateReport, Box<dyn std::error::Error>> {
     fn_rate_experiment_with_metric(
+        &Engine::default(),
         lab,
         specs,
         chain,
@@ -304,13 +306,17 @@ pub fn fn_rate_experiment(
 }
 
 /// [`fn_rate_experiment`] with an explicit [`TraceMetric`] (used by the
-/// metric ablation).
+/// metric ablation) and [`Engine`]. The per-die trials — each die's
+/// acquisition and metric evaluation — fan across the engine's workers
+/// with per-die seeds, so the report is bit-identical for every worker
+/// count.
 ///
 /// # Errors
 ///
 /// Propagates design construction and fitting failures.
 #[allow(clippy::too_many_arguments)]
 pub fn fn_rate_experiment_with_metric(
+    engine: &Engine,
     lab: &Lab,
     specs: &[TrojanSpec],
     chain: SideChannel,
@@ -323,26 +329,24 @@ pub fn fn_rate_experiment_with_metric(
     let golden = Design::golden(lab)?;
     let golden_slices = golden.used_slices();
     let dies = lab.fabricate_batch(n_dies);
-    let model = characterize_em_golden_with(lab, &golden, &dies, chain, metric, pt, key, seed);
+    let model =
+        characterize_em_golden_with(engine, lab, &golden, &dies, chain, metric, pt, key, seed);
 
     let mut rows = Vec::with_capacity(specs.len());
     for (s, spec) in specs.iter().enumerate() {
         let infected = Design::infected(lab, spec)?;
-        let infected_metrics: Vec<f64> = dies
-            .iter()
-            .enumerate()
-            .map(|(j, die)| {
-                let dev = ProgrammedDevice::new(lab, &infected, die);
-                let t = acquire(
-                    &dev,
-                    chain,
-                    pt,
-                    key,
-                    seed.wrapping_add(0x1000 * (s as u64 + 1)).wrapping_add(j as u64),
-                );
-                metric.evaluate(t.abs_diff(&model.mean_trace).samples())
-            })
-            .collect();
+        let infected_metrics: Vec<f64> = engine.map(&dies, |j, die| {
+            let dev = ProgrammedDevice::new(lab, &infected, die);
+            let t = acquire(
+                &dev,
+                chain,
+                pt,
+                key,
+                seed.wrapping_add(0x1000 * (s as u64 + 1))
+                    .wrapping_add(j as u64),
+            );
+            metric.evaluate(t.abs_diff(&model.mean_trace).samples())
+        });
         let g = &model.gaussian;
         let t_fit = Gaussian::fit(&infected_metrics)?;
         let mu = t_fit.mean() - g.mean();

@@ -1,0 +1,108 @@
+//! The measurement engine: a deterministic worker pool that fans
+//! campaign work — (plaintext, key) pairs, sweep repetitions, per-die
+//! trace acquisitions, false-negative-rate trials — across threads.
+//!
+//! # Determinism guarantee
+//!
+//! Every fanned computation derives its randomness from a seed that is a
+//! pure function of the item's **index** (pair number, repetition
+//! number, die number), never of scheduling order. Combined with
+//! [`htd_par::parallel_map`]'s order-preserving merge, this makes every
+//! campaign result **bit-identical for every worker count, including
+//! 1** — the serial and parallel paths are the same computation, only
+//! interleaved differently in time.
+//!
+//! # Choosing a worker count
+//!
+//! [`Engine::default`] auto-sizes (the `HTD_WORKERS` environment
+//! variable if set, else the machine's available parallelism).
+//! [`Engine::serial`] pins one worker — used internally when a fanned
+//! outer loop calls a fanned inner one, so pools never nest.
+
+use htd_par::{parallel_map, parallel_map_indexed, resolve_workers};
+
+/// A worker-pool handle passed into the `*_with` measurement entry
+/// points. Cheap to copy; holds no threads (threads are scoped per
+/// call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Engine {
+    /// An engine that runs everything on the calling thread.
+    pub fn serial() -> Self {
+        Engine { workers: 1 }
+    }
+
+    /// An engine that auto-sizes its pool (see [`htd_par::resolve_workers`]).
+    pub fn auto() -> Self {
+        Engine { workers: 0 }
+    }
+
+    /// An engine with an explicit worker count (`0` = auto).
+    pub fn with_workers(workers: usize) -> Self {
+        Engine { workers }
+    }
+
+    /// The resolved worker count this engine will use.
+    pub fn workers(&self) -> usize {
+        resolve_workers(self.workers)
+    }
+
+    /// Order-preserving map over `items`; `f` gets `(index, &item)`. The
+    /// item reference carries the slice's lifetime, so results may borrow
+    /// from the input.
+    pub fn map<'s, T, U, F>(&self, items: &'s [T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &'s T) -> U + Sync,
+    {
+        parallel_map(self.workers, items, f)
+    }
+
+    /// Order-preserving map over `0..n`; `f` gets the index.
+    pub fn map_indexed<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        parallel_map_indexed(self.workers, n, f)
+    }
+}
+
+impl Default for Engine {
+    /// Auto-sized, same as [`Engine::auto`].
+    fn default() -> Self {
+        Engine::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u32> = (0..100).collect();
+        let want = Engine::serial().map(&items, |i, &x| x as u64 * i as u64);
+        for workers in [2, 3, 8] {
+            let got = Engine::with_workers(workers).map(&items, |i, &x| x as u64 * i as u64);
+            assert_eq!(got, want, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn indexed_map_is_ordered() {
+        let got = Engine::with_workers(4).map_indexed(37, |i| i * 2);
+        assert_eq!(got, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_resolution() {
+        assert_eq!(Engine::serial().workers(), 1);
+        assert_eq!(Engine::with_workers(6).workers(), 6);
+        assert!(Engine::auto().workers() >= 1);
+    }
+}

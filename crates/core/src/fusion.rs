@@ -14,14 +14,13 @@
 //!   z-scores; independent evidence adds, so the fused separation µ/σ is
 //!   at best the quadrature sum of the channels'.
 
-use htd_fabric::DieVariation;
 use htd_stats::detection::{empirical_rates, equal_error_rate};
 use htd_stats::Gaussian;
 use htd_trojan::TrojanSpec;
 
-use crate::delay_detect::{measure_matrix, DelayCampaign, DelayMatrix};
+use crate::delay_detect::{measure_matrix_with, DelayCampaign, DelayMatrix};
 use crate::em_detect::TraceMetric;
-use crate::{Design, Lab, ProgrammedDevice};
+use crate::{Design, Engine, Lab, ProgrammedDevice};
 use htd_em::Trace;
 use htd_timing::GlitchParams;
 
@@ -131,11 +130,16 @@ fn mean_matrix(matrices: &[DelayMatrix]) -> DelayMatrix {
     }
 }
 
+/// Measures one design's population over prebuilt devices — one EM metric
+/// and one delay metric per die. The fan is per die on `engine`; the
+/// per-die matrix measurement runs on [`Engine::serial`] so pools never
+/// nest (the matrix is bit-identical either way). The devices' simulation
+/// caches make the second and later populations over the same devices
+/// cheap.
 #[allow(clippy::too_many_arguments)]
 fn measure_population(
-    lab: &Lab,
-    design: &Design,
-    dies: &[DieVariation],
+    engine: &Engine,
+    devs: &[ProgrammedDevice<'_>],
     params: &GlitchParams,
     campaign: &DelayCampaign,
     em_reference: &Trace,
@@ -144,17 +148,19 @@ fn measure_population(
     key: &[u8; 16],
     seed: u64,
 ) -> PopulationMeasurement {
-    let mut em_metrics = Vec::with_capacity(dies.len());
-    let mut delay_metrics = Vec::with_capacity(dies.len());
-    for (j, die) in dies.iter().enumerate() {
-        let dev = ProgrammedDevice::new(lab, design, die);
+    let per_die = engine.map(devs, |j, dev| {
         let trace = dev.acquire_em_trace(pt, key, seed.wrapping_add(j as u64));
-        em_metrics.push(
-            TraceMetric::SumOfLocalMaxima.evaluate(trace.abs_diff(em_reference).samples()),
+        let em = TraceMetric::SumOfLocalMaxima.evaluate(trace.abs_diff(em_reference).samples());
+        let matrix = measure_matrix_with(
+            &Engine::serial(),
+            dev,
+            campaign,
+            params,
+            seed.wrapping_add(j as u64),
         );
-        let matrix = measure_matrix(&dev, campaign, params, seed.wrapping_add(j as u64));
-        delay_metrics.push(delay_metric(&matrix, delay_reference, params.step_ps));
-    }
+        (em, delay_metric(&matrix, delay_reference, params.step_ps))
+    });
+    let (em_metrics, delay_metrics) = per_die.into_iter().unzip();
     PopulationMeasurement {
         em_metrics,
         delay_metrics,
@@ -179,54 +185,91 @@ pub fn fusion_experiment(
     key: &[u8; 16],
     seed: u64,
 ) -> Result<FusionReport, Box<dyn std::error::Error>> {
+    fusion_experiment_with(
+        &Engine::default(),
+        lab,
+        specs,
+        n_dies,
+        campaign_pairs,
+        pt,
+        key,
+        seed,
+    )
+}
+
+/// [`fusion_experiment`] on an explicit [`Engine`].
+///
+/// Each (design, die) device is programmed **once** and reused — with its
+/// simulation caches warm — across sweep aiming, the golden references
+/// and the population measurement, instead of being rebuilt (and
+/// re-simulated) at every stage. All per-die fans use index-derived
+/// seeds, so the report is bit-identical for every worker count.
+///
+/// # Errors
+///
+/// Propagates design construction and fitting failures.
+#[allow(clippy::too_many_arguments)]
+pub fn fusion_experiment_with(
+    engine: &Engine,
+    lab: &Lab,
+    specs: &[TrojanSpec],
+    n_dies: usize,
+    campaign_pairs: usize,
+    pt: &[u8; 16],
+    key: &[u8; 16],
+    seed: u64,
+) -> Result<FusionReport, Box<dyn std::error::Error>> {
     let golden = Design::golden(lab)?;
     let dies = lab.fabricate_batch(n_dies);
     let campaign = DelayCampaign::random(campaign_pairs, 3, seed);
 
+    // Program the golden design once per die; every later stage shares
+    // these devices and their caches.
+    let golden_devs: Vec<ProgrammedDevice<'_>> =
+        engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &golden, die));
+
     // Aim the glitch sweep so even the slowest die's slowest path faults.
-    let mut max_required: f64 = 0.0;
-    let mut setup = 0.0;
-    let mut noise = 0.0;
-    for die in &dies {
-        let dev = ProgrammedDevice::new(lab, &golden, die);
-        setup = dev.annotation().setup_ps();
-        noise = dev.annotation().measurement_noise_ps();
+    // Setup and measurement noise are technology constants, identical on
+    // every die. The settles land in the device caches and are reused by
+    // every matrix measurement below.
+    let first_dev = golden_devs.first().ok_or("need at least one die")?;
+    let setup = first_dev.annotation().setup_ps();
+    let noise = first_dev.annotation().measurement_noise_ps();
+    let per_die_max = engine.map(&golden_devs, |_, dev| {
+        let mut max_required: f64 = 0.0;
         for (pt_i, key_i) in &campaign.pairs {
-            let settles = dev.round10_settle_times(pt_i, key_i)?;
-            for s in settles.into_iter().flatten() {
+            let settles = dev.round10_settle_times_cached(pt_i, key_i)?;
+            for s in settles.iter().flatten() {
                 max_required = max_required.max(s + setup);
             }
         }
+        Ok::<f64, htd_netlist::NetlistError>(max_required)
+    });
+    let mut max_required: f64 = 0.0;
+    for m in per_die_max {
+        max_required = max_required.max(m?);
     }
     let params = GlitchParams::paper_sweep(max_required, setup, noise);
 
     // Golden population references: EM mean trace + mean onset matrix.
-    let golden_traces: Vec<Trace> = dies
-        .iter()
-        .enumerate()
-        .map(|(j, die)| {
-            ProgrammedDevice::new(lab, &golden, die).acquire_em_trace(
-                pt,
-                key,
-                seed.wrapping_add(j as u64),
-            )
-        })
-        .collect();
+    let golden_traces: Vec<Trace> = engine.map(&golden_devs, |j, dev| {
+        dev.acquire_em_trace(pt, key, seed.wrapping_add(j as u64))
+    });
     let em_reference = Trace::mean_of(&golden_traces);
-    let golden_matrices: Vec<DelayMatrix> = dies
-        .iter()
-        .enumerate()
-        .map(|(j, die)| {
-            let dev = ProgrammedDevice::new(lab, &golden, die);
-            measure_matrix(&dev, &campaign, &params, seed.wrapping_add(j as u64))
-        })
-        .collect();
+    let golden_matrices: Vec<DelayMatrix> = engine.map(&golden_devs, |j, dev| {
+        measure_matrix_with(
+            &Engine::serial(),
+            dev,
+            &campaign,
+            &params,
+            seed.wrapping_add(j as u64),
+        )
+    });
     let delay_reference = mean_matrix(&golden_matrices);
 
     let golden_pop = measure_population(
-        lab,
-        &golden,
-        &dies,
+        engine,
+        &golden_devs,
         &params,
         &campaign,
         &em_reference,
@@ -249,10 +292,11 @@ pub fn fusion_experiment(
     let mut rows = Vec::with_capacity(specs.len());
     for (s, spec) in specs.iter().enumerate() {
         let infected = Design::infected(lab, spec)?;
+        let infected_devs: Vec<ProgrammedDevice<'_>> =
+            engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &infected, die));
         let pop = measure_population(
-            lab,
-            &infected,
-            &dies,
+            engine,
+            &infected_devs,
             &params,
             &campaign,
             &em_reference,

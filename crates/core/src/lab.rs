@@ -51,8 +51,12 @@ impl Lab {
     }
 
     /// Fabricates the paper's 8-FPGA batch (seeds `0..8`).
+    ///
+    /// Dies are generated in parallel (each is a pure function of its
+    /// seed, so the batch is identical for every worker count) — the
+    /// large-`n` extension studies fabricate hundreds.
     pub fn fabricate_batch(&self, n: usize) -> Vec<DieVariation> {
-        (0..n as u64).map(|s| self.fabricate_die(s)).collect()
+        htd_par::parallel_map_indexed(0, n, |s| self.fabricate_die(s as u64))
     }
 }
 

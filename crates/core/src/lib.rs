@@ -20,6 +20,13 @@
 //!   `D = |trace − E_n(G)|` (Fig. 6), the sum-of-local-maxima metric, and
 //!   false-negative-rate estimation (Eq. 5, the headline 26 %/17 %/5 %
 //!   table).
+//! * [`engine`] — the deterministic measurement engine: every campaign
+//!   entry point has a `*_with(&Engine, …)` variant that fans pairs,
+//!   repetitions and dies across a worker pool. Results are
+//!   **bit-identical for every worker count** (noise streams derive from
+//!   item indices, never from scheduling), and each
+//!   [`ProgrammedDevice`]'s settle-time/activity caches remove duplicate
+//!   simulation between characterisation and measurement.
 //! * [`report`] — plain-text table rendering shared by the benches.
 //!
 //! # Quickstart
@@ -50,15 +57,20 @@ mod lab;
 
 pub mod delay_detect;
 pub mod em_detect;
+pub mod engine;
 pub mod fusion;
 pub mod report;
 
-pub use design::{Design, ProgrammedDevice};
+pub use design::{CacheStats, Design, ProgrammedDevice};
+pub use engine::Engine;
 pub use lab::Lab;
 
 /// Convenient re-exports of the whole suite's primary types.
 pub mod prelude {
-    pub use crate::delay_detect::{DelayDetector, DelayEvidence, GoldenDelayModel};
+    pub use crate::delay_detect::{
+        DelayDetectError, DelayDetector, DelayEvidence, GoldenDelayModel,
+    };
+    pub use crate::Engine;
     pub use crate::em_detect::{EmDetector, EmGoldenModel, FnRateReport};
     pub use crate::{Design, Lab, ProgrammedDevice};
     pub use htd_aes::AesNetlist;

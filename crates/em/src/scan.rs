@@ -72,20 +72,32 @@ pub fn scan(
     grid: &ScanGrid,
     seed: u64,
 ) -> Vec<ScanPoint> {
-    grid.positions()
-        .into_iter()
-        .map(|position| {
-            let mut setup = *base;
-            setup.probe.position = position;
-            let mut rng = StdRng::seed_from_u64(seed);
-            let trace: Trace = setup.acquire(events, params, &mut rng);
-            ScanPoint {
-                position,
-                rms: trace.rms(),
-                peak: trace.peak(),
-            }
-        })
-        .collect()
+    scan_with_workers(events, base, params, grid, seed, 0)
+}
+
+/// [`scan`] with an explicit worker count (`0` = auto): positions are
+/// acquired in parallel. Every position uses the same fixed seed (as in
+/// [`scan`]), so the map is bit-identical for every worker count.
+pub fn scan_with_workers(
+    events: &[CurrentEvent],
+    base: &EmSetup,
+    params: &AcquisitionParams,
+    grid: &ScanGrid,
+    seed: u64,
+    workers: usize,
+) -> Vec<ScanPoint> {
+    let positions = grid.positions();
+    htd_par::parallel_map(workers, &positions, |_, &position| {
+        let mut setup = *base;
+        setup.probe.position = position;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace: Trace = setup.acquire(events, params, &mut rng);
+        ScanPoint {
+            position,
+            rms: trace.rms(),
+            peak: trace.peak(),
+        }
+    })
 }
 
 /// The scan point with the largest RMS — the "point of interest" a lab

@@ -1,0 +1,184 @@
+//! Deterministic scoped worker pool for embarrassingly parallel
+//! measurement campaigns.
+//!
+//! The paper's protocol fans naturally: 50 (plaintext, key) pairs × 10
+//! sweep repetitions for the delay fingerprint, ×1000 averaged EM traces
+//! per acquisition, and whole die populations for the inter-die studies.
+//! This crate provides the one primitive the measurement engine needs —
+//! an order-preserving `parallel_map` built on [`std::thread::scope`] —
+//! with a hard guarantee: **the output is a pure function of the input**,
+//! bit-identical for every worker count (including 1). Parallelism only
+//! changes *when* each item runs, never *what* it computes or where its
+//! result lands, so campaign results cannot drift with core count.
+//!
+//! Scheduling is a shared [`AtomicUsize`] index dispenser: workers pull
+//! the next unclaimed item, compute `f(index, item)`, and stash the
+//! result at `index` in their local batch. After the scope joins, batches
+//! are merged by index into a single `Vec` in input order. A worker panic
+//! propagates out of [`parallel_map`] after the scope unwinds, like the
+//! panic of a plain serial loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested worker count to an actual one.
+///
+/// `0` means "auto": the `HTD_WORKERS` environment variable if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+/// Any explicit positive request is honoured as-is (it may exceed the
+/// core count; determinism makes oversubscription harmless).
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("HTD_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items`, returning results in input
+/// order, using up to `workers` threads (`0` = auto, see
+/// [`resolve_workers`]).
+///
+/// `f` receives `(index, &item)` so callers can derive per-item seeds
+/// from the stable index. Output is bit-identical for every worker
+/// count.
+pub fn parallel_map<'s, T, U, F>(workers: usize, items: &'s [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &'s T) -> U + Sync,
+{
+    parallel_map_indexed(workers, items.len(), |i| f(i, &items[i]))
+}
+
+/// Applies `f` to every index in `0..n`, returning results in index
+/// order, using up to `workers` threads (`0` = auto).
+///
+/// The index-only form of [`parallel_map`], for callers that fan over a
+/// cartesian product (e.g. pair × repetition) without materialising it.
+pub fn parallel_map_indexed<U, F>(workers: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = resolve_workers(workers).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut batches: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(batch) => batch,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Merge the batches back into input order. Every index appears
+    // exactly once across all batches.
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for batch in &mut batches {
+        for (i, value) in batch.drain(..) {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(value);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(7, &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let reference = parallel_map(1, &items, |i, &x| x.wrapping_mul(i as u64 + 1));
+        for workers in [2, 3, 4, 8, 16] {
+            let got = parallel_map(workers, &items, |i, &x| x.wrapping_mul(i as u64 + 1));
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[42u32], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn indexed_form_covers_all_indices() {
+        let out = parallel_map_indexed(5, 100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = parallel_map_indexed(64, 3, |i| i + 10);
+        assert_eq!(out, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn explicit_worker_request_is_honoured() {
+        assert_eq!(resolve_workers(3), 3);
+        assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_indexed(4, 16, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! The [`Strategy`] trait and the combinators / primitive strategies the
+//! workspace uses: ranges, tuples, `Just`, `prop_map`, `prop_flat_map`,
+//! and a character-class string strategy for `&str` patterns.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `sample`
+/// draws a finished value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value — the proptest
+    /// idiom for dependent generation.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(hi >= lo, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                assert!(hi >= lo, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                (lo + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategies!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.end > self.start, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(hi >= lo, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.end > self.start, "empty range strategy");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String patterns: a `&str` is a strategy for `String`.
+///
+/// Supports the regex subset the workspace uses — a sequence of atoms,
+/// each a literal character or a character class `[...]` (with ranges and
+/// `\`-escapes), optionally repeated `{n}` or `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min_reps + rng.below((atom.max_reps - atom.min_reps) as u64 + 1) as u32;
+            for _ in 0..n {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min_reps: u32,
+    max_reps: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<PatternAtom>, String> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let Some(c) = it.next() else {
+                        return Err("unterminated character class".into());
+                    };
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let Some(esc) = it.next() else {
+                                return Err("dangling escape".into());
+                            };
+                            set.push(esc);
+                        }
+                        lo => {
+                            if it.peek() == Some(&'-') {
+                                it.next();
+                                let Some(hi) = it.next() else {
+                                    return Err("unterminated range".into());
+                                };
+                                if hi == ']' {
+                                    set.push(lo);
+                                    set.push('-');
+                                    break;
+                                }
+                                if (hi as u32) < (lo as u32) {
+                                    return Err(format!("inverted range {lo}-{hi}"));
+                                }
+                                for cp in (lo as u32)..=(hi as u32) {
+                                    set.extend(char::from_u32(cp));
+                                }
+                            } else {
+                                set.push(lo);
+                            }
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                set
+            }
+            '\\' => {
+                let Some(esc) = it.next() else {
+                    return Err("dangling escape".into());
+                };
+                vec![esc]
+            }
+            lit => vec![lit],
+        };
+        // Optional repetition suffix.
+        let (min_reps, max_reps) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            loop {
+                let Some(c) = it.next() else {
+                    return Err("unterminated repetition".into());
+                };
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parse = |s: &str| s.trim().parse::<u32>().map_err(|e| e.to_string());
+            match spec.split_once(',') {
+                Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                None => {
+                    let n = parse(&spec)?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if max_reps < min_reps {
+            return Err(format!("inverted repetition {min_reps},{max_reps}"));
+        }
+        atoms.push(PatternAtom {
+            chars,
+            min_reps,
+            max_reps,
+        });
+    }
+    Ok(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_pattern_is_itself() {
+        let mut rng = TestRng::deterministic("lit", 0);
+        assert_eq!(Strategy::sample(&"abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn class_with_escapes_parses() {
+        // The serdes test pattern: alnum, space, underscore, backslash,
+        // quote, square brackets.
+        let atoms = parse_pattern("[a-zA-Z0-9 _\\\\\"\\[\\]]{0,12}").unwrap();
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].min_reps, 0);
+        assert_eq!(atoms[0].max_reps, 12);
+        for needed in ['a', 'z', 'A', 'Z', '0', '9', ' ', '_', '\\', '"', '[', ']'] {
+            assert!(atoms[0].chars.contains(&needed), "missing {needed:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut rng = TestRng::deterministic("rep", 0);
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[01]{8}", &mut rng);
+            assert_eq!(s.len(), 8);
+            assert!(s.bytes().all(|b| b == b'0' || b == b'1'));
+        }
+    }
+
+    #[test]
+    fn just_and_tuples_compose() {
+        let mut rng = TestRng::deterministic("tup", 0);
+        let strat = (Just(7usize), 0u8..3).prop_map(|(a, b)| a + b as usize);
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!((7..10).contains(&v));
+        }
+    }
+}
