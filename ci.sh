@@ -2,7 +2,9 @@
 # Tier-1 gate for the workspace, runnable locally and in CI:
 #   1. release build of every target,
 #   2. the full test suite,
-#   3. clippy with warnings denied.
+#   3. clippy with warnings denied,
+#   4. rustfmt check,
+#   5. rustdoc with warnings denied.
 # The build is fully offline: the three external dependencies (rand,
 # proptest, criterion) are vendored API shims under vendor/.
 set -eu
@@ -15,5 +17,11 @@ cargo test -q
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "==> ci.sh: all green"

@@ -49,7 +49,10 @@ impl Aes128 {
 
     /// Encrypts one block.
     pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
-        *self.encrypt_trace(plaintext).last().expect("trace non-empty")
+        *self
+            .encrypt_trace(plaintext)
+            .last()
+            .expect("trace non-empty")
     }
 
     /// Encrypts one block, returning the state after the initial
@@ -212,8 +215,14 @@ mod tests {
     fn key_schedule_matches_fips_appendix_a() {
         let aes = Aes128::new(&hex16("2b7e151628aed2a6abf7158809cf4f3c"));
         // w4..w7 (round key 1) and w40..w43 (round key 10) from FIPS-197 A.1.
-        assert_eq!(aes.round_keys()[1], hex16("a0fafe1788542cb123a339392a6c7605"));
-        assert_eq!(aes.round_keys()[10], hex16("d014f9a8c9ee2589e13f0cc8b6630ca6"));
+        assert_eq!(
+            aes.round_keys()[1],
+            hex16("a0fafe1788542cb123a339392a6c7605")
+        );
+        assert_eq!(
+            aes.round_keys()[10],
+            hex16("d014f9a8c9ee2589e13f0cc8b6630ca6")
+        );
     }
 
     #[test]
@@ -222,7 +231,10 @@ mod tests {
         let mut pt = [0u8; 16];
         for trial in 0..50u8 {
             for (i, b) in pt.iter_mut().enumerate() {
-                *b = b.wrapping_mul(31).wrapping_add(trial ^ i as u8).wrapping_add(7);
+                *b = b
+                    .wrapping_mul(31)
+                    .wrapping_add(trial ^ i as u8)
+                    .wrapping_add(7);
             }
             let ct = aes.encrypt_block(&pt);
             assert_eq!(aes.decrypt_block(&ct), pt);

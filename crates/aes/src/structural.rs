@@ -59,8 +59,12 @@ impl AesNetlist {
         let mut nl = Netlist::new("aes128");
 
         // ---- Ports -----------------------------------------------------
-        let plaintext: Vec<NetId> = (0..BLOCK_BITS).map(|i| nl.add_input(format!("pt[{i}]"))).collect();
-        let key: Vec<NetId> = (0..BLOCK_BITS).map(|i| nl.add_input(format!("key[{i}]"))).collect();
+        let plaintext: Vec<NetId> = (0..BLOCK_BITS)
+            .map(|i| nl.add_input(format!("pt[{i}]")))
+            .collect();
+        let key: Vec<NetId> = (0..BLOCK_BITS)
+            .map(|i| nl.add_input(format!("key[{i}]")))
+            .collect();
         let load = nl.add_input("load");
 
         // ---- Registers (created first so feedback can reference Q) -----
@@ -181,8 +185,7 @@ impl AesNetlist {
         // [2, 3, 1, 1].
         let mut mc: Vec<[NetId; 8]> = Vec::with_capacity(16);
         for col in 0..4 {
-            let bytes: [[NetId; 8]; 4] =
-                core::array::from_fn(|r| sr[4 * col + r]);
+            let bytes: [[NetId; 8]; 4] = core::array::from_fn(|r| sr[4 * col + r]);
             for out_row in 0..4 {
                 let mut out_bits = [sb[0][0]; 8];
                 for (bit, out_bit) in out_bits.iter_mut().enumerate() {
@@ -372,9 +375,8 @@ pub(crate) fn table_sbox_bits(
     for (j, out_bit) in out.iter_mut().enumerate() {
         let mut lanes = [input[0]; 4];
         for (lane, lane_net) in lanes.iter_mut().enumerate() {
-            let mask = LutMask::from_fn(6, move |r| {
-                (table[(lane << 6) | r as usize] >> j) & 1 == 1
-            });
+            let mask =
+                LutMask::from_fn(6, move |r| (table[(lane << 6) | r as usize] >> j) & 1 == 1);
             *lane_net = nl.add_lut_named(&low, mask, format!("{name}.q{lane}b{j}"))?;
         }
         *out_bit = nl.mux4([input[6], input[7]], lanes);
@@ -383,11 +385,7 @@ pub(crate) fn table_sbox_bits(
 }
 
 /// The forward S-box in LUTs (see [`table_sbox_bits`]).
-fn sbox_bits(
-    nl: &mut Netlist,
-    input: &[NetId; 8],
-    name: &str,
-) -> Result<[NetId; 8], NetlistError> {
+fn sbox_bits(nl: &mut Netlist, input: &[NetId; 8], name: &str) -> Result<[NetId; 8], NetlistError> {
     table_sbox_bits(nl, input, &SBOX, name)
 }
 

@@ -53,10 +53,12 @@ impl AesDecryptNetlist {
         let mut nl = Netlist::new("aes128_dec");
 
         // ---- Ports ------------------------------------------------------
-        let ciphertext: Vec<NetId> =
-            (0..BLOCK_BITS).map(|i| nl.add_input(format!("ct[{i}]"))).collect();
-        let round_key10: Vec<NetId> =
-            (0..BLOCK_BITS).map(|i| nl.add_input(format!("rk10[{i}]"))).collect();
+        let ciphertext: Vec<NetId> = (0..BLOCK_BITS)
+            .map(|i| nl.add_input(format!("ct[{i}]")))
+            .collect();
+        let round_key10: Vec<NetId> = (0..BLOCK_BITS)
+            .map(|i| nl.add_input(format!("rk10[{i}]")))
+            .collect();
         let load = nl.add_input("load");
 
         // ---- Registers ----------------------------------------------------
@@ -134,8 +136,9 @@ impl AesDecryptNetlist {
         }
         // v = is_first ? u : InvMixColumns(u): fold the bypass into the
         // XOR LUTs by computing imc and muxing per bit.
-        let u_bytes: Vec<[NetId; 8]> =
-            (0..16).map(|b| core::array::from_fn(|i| u[b * 8 + i])).collect();
+        let u_bytes: Vec<[NetId; 8]> = (0..16)
+            .map(|b| core::array::from_fn(|i| u[b * 8 + i]))
+            .collect();
         let mut v: Vec<[NetId; 8]> = Vec::with_capacity(16);
         for col in 0..4 {
             let bytes: [[NetId; 8]; 4] = core::array::from_fn(|r| u_bytes[4 * col + r]);

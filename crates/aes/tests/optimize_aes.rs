@@ -13,7 +13,12 @@ fn optimized_aes_still_encrypts_correctly() {
     let before = original.stats();
     let after = opt.netlist.stats();
     // Optimization must not grow the design and must keep all state.
-    assert!(after.luts <= before.luts, "{} -> {}", before.luts, after.luts);
+    assert!(
+        after.luts <= before.luts,
+        "{} -> {}",
+        before.luts,
+        after.luts
+    );
     assert_eq!(after.dffs, before.dffs);
     assert_eq!(after.inputs, before.inputs);
     assert_eq!(after.outputs, before.outputs);

@@ -10,7 +10,11 @@ fn aes_netlist_roundtrips_through_text() {
     let aes = AesNetlist::generate().expect("generates");
     let text = aes.netlist().to_text();
     // Sanity on the serialized size: thousands of cells and nets.
-    assert!(text.lines().count() > 4_000, "{} lines", text.lines().count());
+    assert!(
+        text.lines().count() > 4_000,
+        "{} lines",
+        text.lines().count()
+    );
     let back = Netlist::from_text(&text).expect("parses");
     assert_eq!(back.to_text(), text, "canonical round-trip");
     assert!(back.validate().is_ok());

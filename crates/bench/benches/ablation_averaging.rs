@@ -30,16 +30,27 @@ fn main() {
         lab.acquisition.averages = averages;
         let gdev = ProgrammedDevice::new(&lab, &golden, &die);
         let tdev = ProgrammedDevice::new(&lab, &infected, &die);
-        let g1 = gdev.acquire_em_trace(&PT, &KEY, 1_000 + averages as u64);
-        let g2 = gdev.acquire_em_trace(&PT, &KEY, 2_000 + averages as u64);
-        let t = tdev.acquire_em_trace(&PT, &KEY, 3_000 + averages as u64);
+        let g1 = gdev
+            .acquire_em_trace(&PT, &KEY, 1_000 + averages as u64)
+            .expect("EM trace acquires");
+        let g2 = gdev
+            .acquire_em_trace(&PT, &KEY, 2_000 + averages as u64)
+            .expect("EM trace acquires");
+        let t = tdev
+            .acquire_em_trace(&PT, &KEY, 3_000 + averages as u64)
+            .expect("EM trace acquires");
         let cmp = direct_compare(&g1, &g2, &t);
         table.push_row(&[
             averages.to_string(),
             format!("{:.0}", cmp.noise_floor),
             format!("{:.0}", cmp.max_abs_diff),
             format!("{:.1}x", cmp.max_abs_diff / cmp.noise_floor.max(1e-9)),
-            if cmp.infected { "HT!" } else { "not distinguishable" }.to_string(),
+            if cmp.infected {
+                "HT!"
+            } else {
+                "not distinguishable"
+            }
+            .to_string(),
         ]);
     }
     println!("\n{table}");

@@ -20,7 +20,9 @@ fn main() {
     let die = lab.fabricate_die(0);
     let gdev = ProgrammedDevice::new(&lab, &golden, &die);
     let campaign = DelayCampaign::random(20, 10, 0xAB1A);
-    let detector = DelayDetector::new(characterize_golden(&gdev, campaign));
+    let detector = DelayDetector::new(
+        characterize_golden(&gdev, campaign).expect("golden characterisation succeeds"),
+    );
 
     // The "critical bit" per pair = the bit with the earliest golden fault
     // onset (slowest path).
@@ -48,7 +50,7 @@ fn main() {
     for spec in [TrojanSpec::ht_comb(), TrojanSpec::ht_seq()] {
         let infected = Design::infected(&lab, &spec).expect("insertion succeeds");
         let dut = ProgrammedDevice::new(&lab, &infected, &die);
-        let evidence = detector.examine(&dut, 42);
+        let evidence = detector.examine(&dut, 42).expect("examination succeeds");
         // Restrict to the per-pair critical bit.
         let crit_diffs: Vec<f64> = evidence
             .diff_ps

@@ -22,7 +22,9 @@ fn main() {
     let clean = ProgrammedDevice::new(&lab, &golden, &die);
 
     let campaign = DelayCampaign::paper(0x0A12);
-    let detector = DelayDetector::new(characterize_golden(&gdev, campaign));
+    let detector = DelayDetector::new(
+        characterize_golden(&gdev, campaign).expect("golden characterisation succeeds"),
+    );
 
     let mut table = Table::new(&[
         "pairs",
@@ -33,7 +35,9 @@ fn main() {
         "clean verdict",
     ]);
     for n in [1usize, 2, 5, 10, 20, 35, 50] {
-        let e = detector.examine_pairs(&dut, 9, n).expect("n within campaign");
+        let e = detector
+            .examine_pairs(&dut, 9, n)
+            .expect("n within campaign");
         let c = detector
             .examine_pairs(&clean, 10, n)
             .expect("n within campaign");

@@ -22,12 +22,10 @@ fn main() {
     let golden = Design::golden(&lab).expect("golden design builds");
     let die = lab.fabricate_die(0);
     let dev = ProgrammedDevice::new(&lab, &golden, &die);
-    let events = dev.timed_encryption_activity(&PT, &KEY);
-    let grid = ScanGrid::over_device(
-        lab.device.config().cols(),
-        lab.device.config().rows(),
-        5,
-    );
+    let events = dev
+        .timed_encryption_activity(&PT, &KEY)
+        .expect("timed simulation succeeds");
+    let grid = ScanGrid::over_device(lab.device.config().cols(), lab.device.config().rows(), 5);
     let map = scan(&events, &lab.em, &lab.acquisition, &grid, 3);
     let hot = hottest(&map).expect("scan non-empty");
     println!(

@@ -22,7 +22,9 @@ fn main() {
 
     let specs = [TrojanSpec::ht_comb(), TrojanSpec::stealth()];
     let campaign = DelayCampaign::random(10, 10, 0x57EA);
-    let detector = DelayDetector::new(characterize_golden(&gdev, campaign));
+    let detector = DelayDetector::new(
+        characterize_golden(&gdev, campaign).expect("golden characterisation succeeds"),
+    );
 
     let mut table = Table::new(&[
         "trojan",
@@ -35,11 +37,19 @@ fn main() {
         let infected = Design::infected(&lab, spec).expect("insertion succeeds");
         let tdev = ProgrammedDevice::new(&lab, &infected, &die);
         // Delay method.
-        let evidence = detector.examine(&tdev, 77 + i as u64);
+        let evidence = detector
+            .examine(&tdev, 77 + i as u64)
+            .expect("examination succeeds");
         // EM method (same-die direct comparison).
-        let g1 = gdev.acquire_em_trace(&PT, &KEY, 500 + i as u64);
-        let g2 = gdev.acquire_em_trace(&PT, &KEY, 600 + i as u64);
-        let t = tdev.acquire_em_trace(&PT, &KEY, 700 + i as u64);
+        let g1 = gdev
+            .acquire_em_trace(&PT, &KEY, 500 + i as u64)
+            .expect("EM trace acquires");
+        let g2 = gdev
+            .acquire_em_trace(&PT, &KEY, 600 + i as u64)
+            .expect("EM trace acquires");
+        let t = tdev
+            .acquire_em_trace(&PT, &KEY, 700 + i as u64)
+            .expect("EM trace acquires");
         let cmp = direct_compare(&g1, &g2, &t);
         table.push_row(&[
             spec.to_string(),

@@ -25,7 +25,8 @@ fn main() {
     // below shares.
     println!("\ncharacterising the golden model (serial)...");
     let gdev = ProgrammedDevice::new(&lab, &golden, &die);
-    let model = characterize_golden_with(&Engine::serial(), &gdev, campaign.clone());
+    let model = characterize_golden_with(&Engine::serial(), &gdev, campaign.clone())
+        .expect("golden characterisation succeeds");
 
     let auto = Engine::auto().workers();
     let mut counts = vec![1usize, 2, 4];
@@ -42,7 +43,8 @@ fn main() {
         let dev = ProgrammedDevice::new(&lab, &golden, &die);
         let t0 = Instant::now();
         let matrix =
-            measure_matrix_with(&Engine::with_workers(w), &dev, &campaign, &model.params, 1);
+            measure_matrix_with(&Engine::with_workers(w), &dev, &campaign, &model.params, 1)
+                .expect("matrix measurement succeeds");
         let dt = t0.elapsed().as_secs_f64();
         let (identical, speedup) = match &reference {
             None => {

@@ -22,8 +22,16 @@ fn main() {
         "Power: FN (Eq.5)",
     ]);
     println!("\nrunning both chains over {n} dies...");
-    let em = fn_rate_experiment(&lab, &TrojanSpec::size_sweep(), SideChannel::Em, n, &PT, &KEY, 31)
-        .expect("EM experiment runs");
+    let em = fn_rate_experiment(
+        &lab,
+        &TrojanSpec::size_sweep(),
+        SideChannel::Em,
+        n,
+        &PT,
+        &KEY,
+        31,
+    )
+    .expect("EM experiment runs");
     let pw = fn_rate_experiment(
         &lab,
         &TrojanSpec::size_sweep(),

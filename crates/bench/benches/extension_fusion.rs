@@ -3,8 +3,11 @@
 //! each channel alone, then fused.
 
 use htd_bench::{banner, lab, KEY, PT};
-use htd_core::fusion::fusion_experiment;
-use htd_core::report::{pct, Table};
+use htd_core::channel::{DelayChannel, EmChannel, PowerChannel};
+use htd_core::em_detect::TraceMetric;
+use htd_core::fusion::{fusion_experiment, multi_channel_experiment};
+use htd_core::report::{multi_channel_table, pct, Table};
+use htd_core::CampaignPlan;
 use htd_trojan::TrojanSpec;
 
 fn main() {
@@ -47,6 +50,26 @@ fn main() {
         ]);
     }
     println!("{table}");
+
+    // The same campaign through the generic channel runner, with the power
+    // chain added as a third detector: per-channel and fused FN rates for
+    // every trojan land in one report.
+    let n3 = 24;
+    println!("adding the power chain: EM + delay + power over {n3} dies...");
+    let plan = CampaignPlan::with_random_pairs(n3, 3, 3, PT, KEY, 4242);
+    let report3 = multi_channel_experiment(
+        &lab,
+        &plan,
+        &TrojanSpec::size_sweep(),
+        &[
+            &EmChannel::paper(),
+            &DelayChannel,
+            &PowerChannel::new(TraceMetric::SumOfLocalMaxima),
+        ],
+    )
+    .expect("three-channel experiment runs");
+    println!("{}", multi_channel_table(&report3));
+
     println!("finding: both channels sense the same die personality (a fast die");
     println!("is fast in delay AND shifts its EM trace), so their golden noise is");
     println!("correlated and the naive z-sum lands between the two channels");

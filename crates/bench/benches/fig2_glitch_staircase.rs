@@ -24,7 +24,8 @@ fn main() {
         .expect("simulation succeeds");
     let setup = dev.annotation().setup_ps();
     let max_required = settles.iter().flatten().fold(0.0f64, |a, &b| a.max(b)) + setup;
-    let params = GlitchParams::paper_sweep(max_required, setup, dev.annotation().measurement_noise_ps());
+    let params =
+        GlitchParams::paper_sweep(max_required, setup, dev.annotation().measurement_noise_ps());
     let sweep = GlitchSweep::new(params);
     let mut rng = StdRng::seed_from_u64(2015);
     let onsets = sweep.fault_onsets(&settles, &mut rng);
@@ -40,11 +41,7 @@ fn main() {
     }
     let mut table = Table::new(&["step", "period", "faulted bits"]);
     for (k, &n) in cumulative.iter().enumerate().step_by(5) {
-        table.push_row(&[
-            k.to_string(),
-            ps(params.period_at(k as u16)),
-            n.to_string(),
-        ]);
+        table.push_row(&[k.to_string(), ps(params.period_at(k as u16)), n.to_string()]);
     }
     println!("\n{table}");
 

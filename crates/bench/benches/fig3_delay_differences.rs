@@ -30,7 +30,10 @@ fn main() {
         "\ncharacterising the golden model (50 pairs × 10 sweeps, {} workers)...",
         engine.workers()
     );
-    let detector = DelayDetector::new(characterize_golden_with(&engine, &gdev, campaign));
+    let detector = DelayDetector::new(
+        characterize_golden_with(&engine, &gdev, campaign)
+            .expect("golden characterisation succeeds"),
+    );
 
     let designs: Vec<(String, Design, u64)> = vec![
         ("Clean1".into(), golden.clone(), 101),
@@ -52,7 +55,9 @@ fn main() {
     let mut csv_headers: Vec<String> = vec!["bit".into()];
     for (name, design, salt) in &designs {
         let dev = ProgrammedDevice::new(&lab, design, &die);
-        let evidence = detector.examine_with(&engine, &dev, *salt);
+        let evidence = detector
+            .examine_with(&engine, &dev, *salt)
+            .expect("examination succeeds");
         for pair in [13usize, 47] {
             let series = &evidence.diff_ps[pair];
             println!(

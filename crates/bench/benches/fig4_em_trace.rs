@@ -14,7 +14,9 @@ fn main() {
     let golden = Design::golden(&lab).expect("golden design builds");
     let die = lab.fabricate_die(0);
     let dev = ProgrammedDevice::new(&lab, &golden, &die);
-    let trace = dev.acquire_em_trace(&PT, &KEY, 4);
+    let trace = dev
+        .acquire_em_trace(&PT, &KEY, 4)
+        .expect("EM trace acquires");
 
     println!(
         "\ntrace: {} samples, dt = {} ps, peak = {:.0}, rms = {:.0}",
@@ -37,10 +39,18 @@ fn main() {
             10 => "ciphertext capture",
             _ => "idle (done)",
         };
-        table.push_row(&[c.to_string(), format!("{:.0}", window.rms()), content.into()]);
+        table.push_row(&[
+            c.to_string(),
+            format!("{:.0}", window.rms()),
+            content.into(),
+        ]);
     }
     println!("\n{table}");
-    print_series("fig4_em_trace (downsampled)", &downsample_peaks(trace.samples(), 60), 60);
+    print_series(
+        "fig4_em_trace (downsampled)",
+        &downsample_peaks(trace.samples(), 60),
+        60,
+    );
 
     let rows: Vec<Vec<String>> = trace
         .samples()

@@ -23,9 +23,15 @@ fn main() {
     // Two genuine captures with the bench torn down and re-installed in
     // between (fresh measurement seed = fresh installation gain), then the
     // infected capture with the same plaintext.
-    let g1 = gdev.acquire_em_trace(&PT, &KEY, 1001);
-    let g2 = gdev.acquire_em_trace(&PT, &KEY, 2002);
-    let t = tdev.acquire_em_trace(&PT, &KEY, 3003);
+    let g1 = gdev
+        .acquire_em_trace(&PT, &KEY, 1001)
+        .expect("EM trace acquires");
+    let g2 = gdev
+        .acquire_em_trace(&PT, &KEY, 2002)
+        .expect("EM trace acquires");
+    let t = tdev
+        .acquire_em_trace(&PT, &KEY, 3003)
+        .expect("EM trace acquires");
 
     let cmp = direct_compare(&g1, &g2, &t);
     let mut table = Table::new(&["comparison", "max |Δ|", "interpretation"]);

@@ -22,7 +22,8 @@ fn main() {
     let golden = Design::golden(&lab).expect("golden design builds");
     let infected = Design::infected(&lab, &TrojanSpec::ht2()).expect("insertion succeeds");
     let dies = lab.fabricate_batch(8);
-    let model = characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 6000);
+    let model = characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 6000)
+        .expect("golden characterisation succeeds");
 
     let mut table = Table::new(&[
         "die",
@@ -34,9 +35,12 @@ fn main() {
     let mut g_metrics = Vec::new();
     let mut t_metrics = Vec::new();
     for (j, die) in dies.iter().enumerate() {
-        let g = ProgrammedDevice::new(&lab, &golden, die).acquire_em_trace(&PT, &KEY, 6000 + j as u64);
+        let g = ProgrammedDevice::new(&lab, &golden, die)
+            .acquire_em_trace(&PT, &KEY, 6000 + j as u64)
+            .expect("EM trace acquires");
         let t = ProgrammedDevice::new(&lab, &infected, die)
-            .acquire_em_trace(&PT, &KEY, 7000 + j as u64);
+            .acquire_em_trace(&PT, &KEY, 7000 + j as u64)
+            .expect("EM trace acquires");
         let dg: Trace = g.abs_diff(&model.mean_trace);
         let dt: Trace = t.abs_diff(&model.mean_trace);
         let (mg, mt) = (

@@ -29,13 +29,15 @@ fn main() {
     let golden = Design::golden(&lab).expect("golden design builds");
     let infected = Design::infected(&lab, &TrojanSpec::ht2()).expect("insertion succeeds");
     let dies = lab.fabricate_batch(n_dies);
-    let model = characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 777);
+    let model = characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 777)
+        .expect("golden characterisation succeeds");
     let infected_metrics: Vec<f64> = dies
         .iter()
         .enumerate()
         .map(|(j, die)| {
             let t = ProgrammedDevice::new(&lab, &infected, die)
-                .acquire_em_trace(&PT, &KEY, 0x1777 + j as u64);
+                .acquire_em_trace(&PT, &KEY, 0x1777 + j as u64)
+                .expect("EM trace acquires");
             sum_of_local_maxima(t.abs_diff(&model.mean_trace).samples())
         })
         .collect();
@@ -111,7 +113,11 @@ fn main() {
         .map(|(j, (g, t))| vec![j.to_string(), format!("{g:.1}"), format!("{t:.1}")])
         .collect();
     let path = "target/paper_figures/fig7_metric_populations.csv";
-    match write_csv(path, &["die", "genuine_metric", "infected_ht2_metric"], &rows) {
+    match write_csv(
+        path,
+        &["die", "genuine_metric", "infected_ht2_metric"],
+        &rows,
+    ) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => println!("could not write {path}: {e}"),
     }

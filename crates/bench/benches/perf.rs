@@ -61,12 +61,7 @@ fn bench_annotation(c: &mut Criterion) {
     let die = lab.fabricate_die(0);
     c.bench_function("delay_annotation", |b| {
         b.iter(|| {
-            DelayAnnotation::annotate(
-                golden.aes().netlist(),
-                golden.placement(),
-                &lab.tech,
-                &die,
-            )
+            DelayAnnotation::annotate(golden.aes().netlist(), golden.placement(), &lab.tech, &die)
         })
     });
 }

@@ -10,14 +10,12 @@ use htd_core::Lab;
 /// The fixed plaintext used by the EM experiments ("the plaintext is fixed
 /// but unknown", Section IV).
 pub const PT: [u8; 16] = [
-    0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07,
-    0x34,
+    0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
 ];
 
 /// The fixed key used by the EM experiments.
 pub const KEY: [u8; 16] = [
-    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-    0x3c,
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
 ];
 
 /// The common experimental bench.
@@ -28,7 +26,10 @@ pub fn lab() -> Lab {
 /// Prints a numeric series as aligned columns of `(index, value)` pairs,
 /// downsampled to at most `max_points` evenly spaced points.
 pub fn print_series(name: &str, values: &[f64], max_points: usize) {
-    println!("# series: {name} ({} points, showing ≤ {max_points})", values.len());
+    println!(
+        "# series: {name} ({} points, showing ≤ {max_points})",
+        values.len()
+    );
     if values.is_empty() {
         return;
     }

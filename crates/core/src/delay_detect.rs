@@ -20,45 +20,13 @@
 //! Noise streams are derived from cell indices, never from scheduling
 //! order, so the results are bit-identical for every worker count.
 
-use std::fmt;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use htd_timing::{GlitchParams, GlitchSweep};
 
+use crate::error::Error;
 use crate::{Engine, ProgrammedDevice};
-
-/// Errors from the delay-detection entry points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DelayDetectError {
-    /// More pairs were requested than the golden campaign holds. Eq. (4)
-    /// compares a DUT row against the golden row measured with the *same*
-    /// pair, so an examination cannot exceed the characterised campaign.
-    PairCountExceedsCampaign {
-        /// Pairs requested for the examination.
-        requested: usize,
-        /// Pairs available in the golden campaign.
-        available: usize,
-    },
-}
-
-impl fmt::Display for DelayDetectError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DelayDetectError::PairCountExceedsCampaign {
-                requested,
-                available,
-            } => write!(
-                f,
-                "examination requested {requested} pairs but the golden campaign \
-                 only characterised {available}"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for DelayDetectError {}
 
 /// A delay-measurement campaign: the (plaintext, key) pairs, the per-pair
 /// sweep repetitions and the base seed for measurement noise.
@@ -148,12 +116,16 @@ fn rep_noise_seed(campaign_seed: u64, noise_salt: u64, pair_idx: usize, rep: usi
 ///
 /// Uses the default (auto-sized) [`Engine`]; results do not depend on the
 /// worker count.
+///
+/// # Errors
+///
+/// Propagates settle-time simulation failures.
 pub fn measure_matrix(
     device: &ProgrammedDevice<'_>,
     campaign: &DelayCampaign,
     params: &GlitchParams,
     noise_salt: u64,
-) -> DelayMatrix {
+) -> Result<DelayMatrix, Error> {
     measure_matrix_with(&Engine::default(), device, campaign, params, noise_salt)
 }
 
@@ -165,20 +137,25 @@ pub fn measure_matrix(
 /// repetition order for every pair, so floating-point accumulation is
 /// scheduling-independent and the matrix is bit-identical for every
 /// worker count.
+///
+/// # Errors
+///
+/// Propagates settle-time simulation failures.
 pub fn measure_matrix_with(
     engine: &Engine,
     device: &ProgrammedDevice<'_>,
     campaign: &DelayCampaign,
     params: &GlitchParams,
     noise_salt: u64,
-) -> DelayMatrix {
+) -> Result<DelayMatrix, Error> {
     let sweep = GlitchSweep::new(*params);
     let saturation = params.never_onset_steps();
-    let settles = engine.map(&campaign.pairs, |_, (pt, key)| {
-        device
-            .round10_settle_times_cached(pt, key)
-            .expect("validated design simulates")
-    });
+    let settles = engine
+        .map(&campaign.pairs, |_, (pt, key)| {
+            device.round10_settle_times_cached(pt, key)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     let reps = campaign.repetitions.max(1);
     let cells = engine.map_indexed(campaign.pairs.len() * reps, |cell| {
         let pair_idx = cell / reps;
@@ -202,7 +179,7 @@ pub fn measure_matrix_with(
             acc.iter().map(|a| a / reps as f64).collect()
         })
         .collect();
-    DelayMatrix { mean_onset_steps }
+    Ok(DelayMatrix { mean_onset_steps })
 }
 
 /// Characterises a golden device: establishes the sweep aim from the
@@ -210,10 +187,14 @@ pub fn measure_matrix_with(
 /// faults, then step down) and records the golden matrix.
 ///
 /// Uses the default (auto-sized) [`Engine`].
+///
+/// # Errors
+///
+/// Propagates settle-time simulation failures.
 pub fn characterize_golden(
     device: &ProgrammedDevice<'_>,
     campaign: DelayCampaign,
-) -> GoldenDelayModel {
+) -> Result<GoldenDelayModel, Error> {
     characterize_golden_with(&Engine::default(), device, campaign)
 }
 
@@ -222,17 +203,22 @@ pub fn characterize_golden(
 /// The aiming pass runs through the device's settle cache, so the matrix
 /// measurement that follows re-uses every simulated settle instead of
 /// simulating the whole campaign a second time.
+///
+/// # Errors
+///
+/// Propagates settle-time simulation failures.
 pub fn characterize_golden_with(
     engine: &Engine,
     device: &ProgrammedDevice<'_>,
     campaign: DelayCampaign,
-) -> GoldenDelayModel {
+) -> Result<GoldenDelayModel, Error> {
     // Aim the sweep at the slowest observed path over all pairs.
-    let settles = engine.map(&campaign.pairs, |_, (pt, key)| {
-        device
-            .round10_settle_times_cached(pt, key)
-            .expect("validated design simulates")
-    });
+    let settles = engine
+        .map(&campaign.pairs, |_, (pt, key)| {
+            device.round10_settle_times_cached(pt, key)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     let mut max_required: f64 = 0.0;
     for per_pair in &settles {
         for s in per_pair.iter().flatten() {
@@ -242,12 +228,12 @@ pub fn characterize_golden_with(
     let tech_setup = device.annotation().setup_ps();
     let noise = device.annotation().measurement_noise_ps();
     let params = GlitchParams::paper_sweep(max_required + tech_setup, tech_setup, noise);
-    let matrix = measure_matrix_with(engine, device, &campaign, &params, 0);
-    GoldenDelayModel {
+    let matrix = measure_matrix_with(engine, device, &campaign, &params, 0)?;
+    Ok(GoldenDelayModel {
         params,
         matrix,
         campaign,
-    }
+    })
 }
 
 /// Per-device examination result.
@@ -314,19 +300,30 @@ impl DelayDetector {
     /// Measures `device` with the golden campaign/sweep and evaluates
     /// Eq. (4) on every pair and bit. Uses the default (auto-sized)
     /// [`Engine`].
-    pub fn examine(&self, device: &ProgrammedDevice<'_>, noise_salt: u64) -> DelayEvidence {
+    ///
+    /// # Errors
+    ///
+    /// Propagates settle-time simulation failures.
+    pub fn examine(
+        &self,
+        device: &ProgrammedDevice<'_>,
+        noise_salt: u64,
+    ) -> Result<DelayEvidence, Error> {
         self.examine_with(&Engine::default(), device, noise_salt)
     }
 
     /// [`DelayDetector::examine`] on an explicit [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates settle-time simulation failures.
     pub fn examine_with(
         &self,
         engine: &Engine,
         device: &ProgrammedDevice<'_>,
         noise_salt: u64,
-    ) -> DelayEvidence {
+    ) -> Result<DelayEvidence, Error> {
         self.examine_pairs_with(engine, device, noise_salt, self.golden.campaign.pairs.len())
-            .expect("the full golden campaign always fits itself")
     }
 
     /// Like [`DelayDetector::examine`] but using only the first
@@ -334,15 +331,15 @@ impl DelayDetector {
     ///
     /// # Errors
     ///
-    /// [`DelayDetectError::PairCountExceedsCampaign`] if `n_pairs` exceeds
-    /// the golden campaign (the extra pairs would have no golden rows to
-    /// compare against).
+    /// [`Error::PairCountExceedsCampaign`] if `n_pairs` exceeds the golden
+    /// campaign (the extra pairs would have no golden rows to compare
+    /// against).
     pub fn examine_pairs(
         &self,
         device: &ProgrammedDevice<'_>,
         noise_salt: u64,
         n_pairs: usize,
-    ) -> Result<DelayEvidence, DelayDetectError> {
+    ) -> Result<DelayEvidence, Error> {
         self.examine_pairs_with(&Engine::default(), device, noise_salt, n_pairs)
     }
 
@@ -350,25 +347,25 @@ impl DelayDetector {
     ///
     /// # Errors
     ///
-    /// [`DelayDetectError::PairCountExceedsCampaign`] if `n_pairs` exceeds
-    /// the golden campaign.
+    /// [`Error::PairCountExceedsCampaign`] if `n_pairs` exceeds the golden
+    /// campaign.
     pub fn examine_pairs_with(
         &self,
         engine: &Engine,
         device: &ProgrammedDevice<'_>,
         noise_salt: u64,
         n_pairs: usize,
-    ) -> Result<DelayEvidence, DelayDetectError> {
+    ) -> Result<DelayEvidence, Error> {
         let available = self.golden.campaign.pairs.len();
         if n_pairs > available {
-            return Err(DelayDetectError::PairCountExceedsCampaign {
+            return Err(Error::PairCountExceedsCampaign {
                 requested: n_pairs,
                 available,
             });
         }
         let mut campaign = self.golden.campaign.clone();
         campaign.pairs.truncate(n_pairs);
-        let dut = measure_matrix_with(engine, device, &campaign, &self.golden.params, noise_salt);
+        let dut = measure_matrix_with(engine, device, &campaign, &self.golden.params, noise_salt)?;
         let step = self.golden.params.step_ps;
         let mut max_diff = 0.0f64;
         let bits = self
@@ -445,15 +442,5 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 80);
-    }
-
-    #[test]
-    fn pair_count_error_displays_both_counts() {
-        let err = DelayDetectError::PairCountExceedsCampaign {
-            requested: 12,
-            available: 4,
-        };
-        let msg = err.to_string();
-        assert!(msg.contains("12") && msg.contains('4'), "{msg}");
     }
 }

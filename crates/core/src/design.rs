@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,11 +11,19 @@ use htd_aes::structural::AesSim;
 use htd_aes::AesNetlist;
 use htd_em::{collect_activity, CurrentEvent, Trace};
 use htd_fabric::{DieVariation, Placement};
-use htd_netlist::NetlistError;
 use htd_timing::{DelayAnnotation, EventSimulator, Sta};
-use htd_trojan::{apply_coupling, insert, InsertedTrojan, TrojanError, TrojanSpec};
+use htd_trojan::{apply_coupling, insert, InsertedTrojan, TrojanSpec};
 
+use crate::error::Error;
 use crate::Lab;
+
+/// Locks a cache mutex, recovering from poisoning. The caches hold pure
+/// memoised simulation results — a panicking holder can at worst leave a
+/// fully-written entry or none at all, never a torn value — so the data
+/// behind a poisoned lock is still valid and the campaign can continue.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A placed AES-128 bitstream: either the golden design or a
 /// trojan-infected variant that shares its placement and routing
@@ -33,7 +41,7 @@ impl Design {
     /// # Errors
     ///
     /// Propagates netlist generation or placement failures.
-    pub fn golden(lab: &Lab) -> Result<Self, Box<dyn std::error::Error>> {
+    pub fn golden(lab: &Lab) -> Result<Self, Error> {
         let aes = AesNetlist::generate()?;
         let placement = Placement::place(aes.netlist(), &lab.device)?;
         Ok(Design {
@@ -49,10 +57,10 @@ impl Design {
     /// # Errors
     ///
     /// Propagates generation, placement or insertion failures.
-    pub fn infected(lab: &Lab, spec: &TrojanSpec) -> Result<Self, Box<dyn std::error::Error>> {
+    pub fn infected(lab: &Lab, spec: &TrojanSpec) -> Result<Self, Error> {
         let mut aes = AesNetlist::generate()?;
         let mut placement = Placement::place(aes.netlist(), &lab.device)?;
-        let trojan = insert(&mut aes, &mut placement, spec).map_err(Box::<TrojanError>::from)?;
+        let trojan = insert(&mut aes, &mut placement, spec)?;
         Ok(Design {
             aes,
             placement,
@@ -173,7 +181,7 @@ impl<'a> ProgrammedDevice<'a> {
     /// # Errors
     ///
     /// Propagates netlist validation failures.
-    pub fn encrypt(&self, pt: &[u8; 16], key: &[u8; 16]) -> Result<[u8; 16], NetlistError> {
+    pub fn encrypt(&self, pt: &[u8; 16], key: &[u8; 16]) -> Result<[u8; 16], Error> {
         let mut sim = AesSim::new(&self.design.aes)?;
         Ok(sim.encrypt(pt, key))
     }
@@ -192,7 +200,7 @@ impl<'a> ProgrammedDevice<'a> {
         &self,
         pt: &[u8; 16],
         key: &[u8; 16],
-    ) -> Result<Vec<Option<f64>>, NetlistError> {
+    ) -> Result<Vec<Option<f64>>, Error> {
         let aes = &self.design.aes;
         let mut sim = AesSim::new(aes)?;
         sim.start(pt, key);
@@ -223,9 +231,9 @@ impl<'a> ProgrammedDevice<'a> {
         &self,
         pt: &[u8; 16],
         key: &[u8; 16],
-    ) -> Result<Arc<Vec<Option<f64>>>, NetlistError> {
+    ) -> Result<Arc<Vec<Option<f64>>>, Error> {
         let key_pair: PairKey = (*pt, *key);
-        if let Some(hit) = self.settle_cache.lock().unwrap().get(&key_pair) {
+        if let Some(hit) = lock_unpoisoned(&self.settle_cache).get(&key_pair) {
             self.settle_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
@@ -233,9 +241,7 @@ impl<'a> ProgrammedDevice<'a> {
         // the same pure function is benign and both arrive at the same
         // value.
         let settles = Arc::new(self.round10_settle_times(pt, key)?);
-        self.settle_cache
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.settle_cache)
             .entry(key_pair)
             .or_insert_with(|| Arc::clone(&settles));
         Ok(settles)
@@ -246,7 +252,7 @@ impl<'a> ProgrammedDevice<'a> {
     /// # Errors
     ///
     /// Propagates levelization failures.
-    pub fn sta_min_period_ps(&self) -> Result<f64, NetlistError> {
+    pub fn sta_min_period_ps(&self) -> Result<f64, Error> {
         let sta = Sta::analyze(self.design.aes.netlist(), &self.annotation)?;
         Ok(sta.min_period_ps(
             self.design.aes.netlist(),
@@ -257,10 +263,18 @@ impl<'a> ProgrammedDevice<'a> {
 
     /// Runs one full timed encryption and returns the current events of
     /// every cycle (the EM/power chains integrate these).
-    pub fn timed_encryption_activity(&self, pt: &[u8; 16], key: &[u8; 16]) -> Vec<CurrentEvent> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn timed_encryption_activity(
+        &self,
+        pt: &[u8; 16],
+        key: &[u8; 16],
+    ) -> Result<Vec<CurrentEvent>, Error> {
         let aes = &self.design.aes;
         let netlist = aes.netlist();
-        let mut fsim = netlist.simulator().expect("validated design");
+        let mut fsim = netlist.simulator()?;
         fsim.set_bus_bytes(aes.plaintext(), pt);
         fsim.set_bus_bytes(aes.key(), key);
         fsim.set(aes.load(), true);
@@ -282,36 +296,38 @@ impl<'a> ProgrammedDevice<'a> {
                 &self.lab.tech,
             ));
         }
-        events
+        Ok(events)
     }
 
     /// [`Self::timed_encryption_activity`] through the device's activity
     /// cache (see [`Self::round10_settle_times_cached`] for the policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures (never cached).
     pub fn timed_encryption_activity_cached(
         &self,
         pt: &[u8; 16],
         key: &[u8; 16],
-    ) -> Arc<Vec<CurrentEvent>> {
+    ) -> Result<Arc<Vec<CurrentEvent>>, Error> {
         let key_pair: PairKey = (*pt, *key);
-        if let Some(hit) = self.activity_cache.lock().unwrap().get(&key_pair) {
+        if let Some(hit) = lock_unpoisoned(&self.activity_cache).get(&key_pair) {
             self.activity_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return Ok(Arc::clone(hit));
         }
-        let events = Arc::new(self.timed_encryption_activity(pt, key));
-        self.activity_cache
-            .lock()
-            .unwrap()
+        let events = Arc::new(self.timed_encryption_activity(pt, key)?);
+        lock_unpoisoned(&self.activity_cache)
             .entry(key_pair)
             .or_insert_with(|| Arc::clone(&events));
-        events
+        Ok(events)
     }
 
     /// Current occupancy and hit counts of the simulation caches.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            settle_entries: self.settle_cache.lock().unwrap().len(),
+            settle_entries: lock_unpoisoned(&self.settle_cache).len(),
             settle_hits: self.settle_hits.load(Ordering::Relaxed),
-            activity_entries: self.activity_cache.lock().unwrap().len(),
+            activity_entries: lock_unpoisoned(&self.activity_cache).len(),
             activity_hits: self.activity_hits.load(Ordering::Relaxed),
         }
     }
@@ -322,19 +338,41 @@ impl<'a> ProgrammedDevice<'a> {
     /// reusing a seed reproduces the exact trace. The (noise-free)
     /// switching activity comes through the activity cache, so repeated
     /// acquisitions of the same pair only pay for the acquisition chain.
-    pub fn acquire_em_trace(&self, pt: &[u8; 16], key: &[u8; 16], measure_seed: u64) -> Trace {
-        let events = self.timed_encryption_activity_cached(pt, key);
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn acquire_em_trace(
+        &self,
+        pt: &[u8; 16],
+        key: &[u8; 16],
+        measure_seed: u64,
+    ) -> Result<Trace, Error> {
+        let events = self.timed_encryption_activity_cached(pt, key)?;
         let mut rng = StdRng::seed_from_u64(measure_seed ^ 0xE37A_11CE_55AA_0001);
-        self.lab.em.acquire(&events, &self.lab.acquisition, &mut rng)
+        Ok(self
+            .lab
+            .em
+            .acquire(&events, &self.lab.acquisition, &mut rng))
     }
 
     /// Acquires one averaged global power trace (the baseline chain).
-    pub fn acquire_power_trace(&self, pt: &[u8; 16], key: &[u8; 16], measure_seed: u64) -> Trace {
-        let events = self.timed_encryption_activity_cached(pt, key);
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn acquire_power_trace(
+        &self,
+        pt: &[u8; 16],
+        key: &[u8; 16],
+        measure_seed: u64,
+    ) -> Result<Trace, Error> {
+        let events = self.timed_encryption_activity_cached(pt, key)?;
         let mut rng = StdRng::seed_from_u64(measure_seed ^ 0x0F0F_5A5A_3C3C_0002);
-        self.lab
+        Ok(self
+            .lab
             .power
-            .acquire(&events, &self.lab.acquisition, &mut rng)
+            .acquire(&events, &self.lab.acquisition, &mut rng))
     }
 }
 
@@ -414,7 +452,9 @@ mod tests {
         let golden = Design::golden(&lab).unwrap();
         let die = lab.fabricate_die(0);
         let dev = ProgrammedDevice::new(&lab, &golden, &die);
-        let trace = dev.acquire_em_trace(&[0x55u8; 16], &[0xAAu8; 16], 1);
+        let trace = dev
+            .acquire_em_trace(&[0x55u8; 16], &[0xAAu8; 16], 1)
+            .unwrap();
         // ~208 samples per cycle; cycles 0..=10 carry activity.
         let per_cycle = (lab.acquisition.clock_period_ps / trace.dt_ps()) as usize;
         let cycle_rms = |c: usize| trace.window(c * per_cycle, (c + 1) * per_cycle).rms();
@@ -430,10 +470,10 @@ mod tests {
         let golden = Design::golden(&lab).unwrap();
         let die = lab.fabricate_die(2);
         let dev = ProgrammedDevice::new(&lab, &golden, &die);
-        let a = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 9);
-        let b = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 9);
+        let a = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 9).unwrap();
+        let b = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 9).unwrap();
         assert_eq!(a, b);
-        let c = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 10);
+        let c = dev.acquire_em_trace(&[1u8; 16], &[2u8; 16], 10).unwrap();
         assert_ne!(a, c);
     }
 
@@ -452,8 +492,8 @@ mod tests {
         assert_eq!(*first, cold);
         assert!(Arc::ptr_eq(&first, &second));
 
-        let cold_events = dev.timed_encryption_activity(&pt, &key);
-        let cached_events = dev.timed_encryption_activity_cached(&pt, &key);
+        let cold_events = dev.timed_encryption_activity(&pt, &key).unwrap();
+        let cached_events = dev.timed_encryption_activity_cached(&pt, &key).unwrap();
         assert_eq!(*cached_events, cold_events);
 
         let stats = dev.cache_stats();
@@ -463,10 +503,25 @@ mod tests {
         assert_eq!(stats.activity_hits, 0);
 
         // A trace acquisition goes through the activity cache.
-        let a = dev.acquire_em_trace(&pt, &key, 7);
-        let b = dev.acquire_em_trace(&pt, &key, 7);
+        let a = dev.acquire_em_trace(&pt, &key, 7).unwrap();
+        let b = dev.acquire_em_trace(&pt, &key, 7).unwrap();
         assert_eq!(a, b);
         assert_eq!(dev.cache_stats().activity_hits, 2);
+    }
+
+    #[test]
+    fn poisoned_cache_locks_recover() {
+        // A panicking lock holder must not wedge the device caches: the
+        // memoised values are pure, so the guard recovers the data.
+        let cache: Mutex<HashMap<u32, u32>> = Mutex::new(HashMap::from([(1, 10)]));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock_unpoisoned(&cache);
+            panic!("poison the lock");
+        }));
+        assert!(cache.is_poisoned());
+        assert_eq!(lock_unpoisoned(&cache).get(&1), Some(&10));
+        lock_unpoisoned(&cache).insert(2, 20);
+        assert_eq!(lock_unpoisoned(&cache).len(), 2);
     }
 
     #[test]
@@ -477,8 +532,12 @@ mod tests {
         let d2 = lab.fabricate_die(2);
         let pt = [0x77u8; 16];
         let key = [0x88u8; 16];
-        let t1 = ProgrammedDevice::new(&lab, &golden, &d1).acquire_em_trace(&pt, &key, 5);
-        let t2 = ProgrammedDevice::new(&lab, &golden, &d2).acquire_em_trace(&pt, &key, 5);
+        let t1 = ProgrammedDevice::new(&lab, &golden, &d1)
+            .acquire_em_trace(&pt, &key, 5)
+            .unwrap();
+        let t2 = ProgrammedDevice::new(&lab, &golden, &d2)
+            .acquire_em_trace(&pt, &key, 5)
+            .unwrap();
         let diff = t1.abs_diff(&t2);
         assert!(diff.peak() > 10.0, "inter-die difference {}", diff.peak());
     }

@@ -13,11 +13,14 @@
 
 use htd_em::Trace;
 use htd_fabric::DieVariation;
-use htd_stats::detection::{empirical_rates, equal_error_rate};
 use htd_stats::peaks::sum_of_local_maxima;
 use htd_stats::Gaussian;
 use htd_trojan::TrojanSpec;
 
+use crate::campaign::CampaignPlan;
+use crate::channel::{trace_channel, Calibration, GoldenReference};
+use crate::error::Error;
+use crate::fusion::multi_channel_experiment_with;
 use crate::{Design, Engine, Lab, ProgrammedDevice};
 
 /// Which measurement chain an experiment uses.
@@ -77,17 +80,20 @@ pub struct DirectComparison {
 pub fn direct_compare(golden1: &Trace, golden2: &Trace, suspect: &Trace) -> DirectComparison {
     let noise_floor = golden1.abs_diff(golden2).peak();
     let d = golden1.abs_diff(suspect);
-    let (argmax, max_abs_diff) = d
-        .samples()
-        .iter()
-        .enumerate()
-        .fold((0usize, 0.0f64), |(ai, am), (i, &v)| {
-            if v > am {
-                (i, v)
-            } else {
-                (ai, am)
-            }
-        });
+    let (argmax, max_abs_diff) =
+        d.samples()
+            .iter()
+            .enumerate()
+            .fold(
+                (0usize, 0.0f64),
+                |(ai, am), (i, &v)| {
+                    if v > am {
+                        (i, v)
+                    } else {
+                        (ai, am)
+                    }
+                },
+            );
     DirectComparison {
         max_abs_diff,
         noise_floor,
@@ -109,28 +115,15 @@ pub struct EmGoldenModel {
     pub gaussian: Gaussian,
 }
 
-/// Acquires a trace through the chosen chain.
-fn acquire(
-    dev: &ProgrammedDevice<'_>,
-    chain: SideChannel,
-    pt: &[u8; 16],
-    key: &[u8; 16],
-    seed: u64,
-) -> Trace {
-    match chain {
-        SideChannel::Em => dev.acquire_em_trace(pt, key, seed),
-        SideChannel::Power => dev.acquire_power_trace(pt, key, seed),
-    }
-}
-
 /// Characterises the golden population over a batch of dies: one averaged
 /// acquisition per die with a fixed (but arbitrary) plaintext, as in
 /// Section V-A.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `dies` has fewer than two entries (the population spread is
-/// undefined).
+/// [`Error::NotEnoughDies`] for fewer than two dies (the population
+/// spread is undefined); [`Error::DegeneratePopulation`] if the golden
+/// metrics have no spread; simulation failures otherwise.
 pub fn characterize_em_golden(
     lab: &Lab,
     golden: &Design,
@@ -139,7 +132,7 @@ pub fn characterize_em_golden(
     pt: &[u8; 16],
     key: &[u8; 16],
     seed: u64,
-) -> EmGoldenModel {
+) -> Result<EmGoldenModel, Error> {
     characterize_em_golden_with(
         &Engine::default(),
         lab,
@@ -154,13 +147,14 @@ pub fn characterize_em_golden(
 }
 
 /// [`characterize_em_golden`] with an explicit [`TraceMetric`] and
-/// [`Engine`]. The per-die acquisitions fan across the engine's workers;
-/// each die keeps its index-derived seed, so the model is bit-identical
-/// for every worker count.
+/// [`Engine`]. Runs the [`Channel`](crate::channel::Channel) stages of
+/// the chain's trace channel: acquisitions fan across the engine's
+/// workers with index-derived seeds, so the model is bit-identical for
+/// every worker count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `dies` has fewer than two entries.
+/// See [`characterize_em_golden`].
 #[allow(clippy::too_many_arguments)]
 pub fn characterize_em_golden_with(
     engine: &Engine,
@@ -172,23 +166,54 @@ pub fn characterize_em_golden_with(
     pt: &[u8; 16],
     key: &[u8; 16],
     seed: u64,
-) -> EmGoldenModel {
-    assert!(dies.len() >= 2, "need at least two golden dies");
-    let traces: Vec<Trace> = engine.map(dies, |j, die| {
-        let dev = ProgrammedDevice::new(lab, golden, die);
-        acquire(&dev, chain, pt, key, seed.wrapping_add(j as u64))
-    });
-    let mean_trace = Trace::mean_of(&traces);
-    let golden_metrics: Vec<f64> = traces
+) -> Result<EmGoldenModel, Error> {
+    if dies.len() < 2 {
+        return Err(Error::NotEnoughDies {
+            got: dies.len(),
+            need: 2,
+        });
+    }
+    let plan = CampaignPlan::traces(dies.len(), *pt, *key, seed);
+    let channel = trace_channel(chain, metric);
+    let calibration = Calibration::None;
+    let acquisitions = engine
+        .map(dies, |j, die| {
+            let dev = ProgrammedDevice::new(lab, golden, die);
+            channel.acquire(
+                &Engine::serial(),
+                &dev,
+                &plan,
+                &calibration,
+                plan.die_seed(j),
+            )
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    let reference = channel.characterize_golden(&acquisitions, &calibration)?;
+    let golden_metrics = acquisitions
         .iter()
-        .map(|t| metric.evaluate(t.abs_diff(&mean_trace).samples()))
-        .collect();
-    let gaussian = Gaussian::fit(&golden_metrics).expect("golden population has spread");
-    EmGoldenModel {
+        .map(|a| channel.score(a, &reference, &calibration))
+        .collect::<Result<Vec<f64>, _>>()?;
+    let gaussian =
+        Gaussian::fit(&golden_metrics).map_err(|source| Error::DegeneratePopulation {
+            channel: channel.name().to_string(),
+            samples: golden_metrics.len(),
+            source,
+        })?;
+    let mean_trace = match reference {
+        GoldenReference::MeanTrace(t) => t,
+        GoldenReference::MeanMatrix(_) => {
+            return Err(Error::ChannelShapeMismatch {
+                channel: channel.name().to_string(),
+                expected: "mean-trace reference",
+            })
+        }
+    };
+    Ok(EmGoldenModel {
         mean_trace,
         golden_metrics,
         gaussian,
-    }
+    })
 }
 
 /// The inter-die EM detector: golden model plus decision threshold on the
@@ -204,15 +229,21 @@ impl EmDetector {
     /// golden population (only golden devices are needed — the realistic
     /// deployment).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `false_positive_rate` is outside `(0, 1)`.
-    pub fn with_false_positive_rate(model: EmGoldenModel, false_positive_rate: f64) -> Self {
-        let threshold = model
-            .gaussian
-            .quantile(1.0 - false_positive_rate)
-            .expect("rate in (0,1)");
-        EmDetector { model, threshold }
+    /// [`Error::ProbabilityOutOfRange`] if `false_positive_rate` is
+    /// outside `(0, 1)`.
+    pub fn with_false_positive_rate(
+        model: EmGoldenModel,
+        false_positive_rate: f64,
+    ) -> Result<Self, Error> {
+        if !(false_positive_rate > 0.0 && false_positive_rate < 1.0) {
+            return Err(Error::ProbabilityOutOfRange {
+                value: false_positive_rate,
+            });
+        }
+        let threshold = model.gaussian.quantile(1.0 - false_positive_rate)?;
+        Ok(EmDetector { model, threshold })
     }
 
     /// The golden model.
@@ -291,7 +322,7 @@ pub fn fn_rate_experiment(
     pt: &[u8; 16],
     key: &[u8; 16],
     seed: u64,
-) -> Result<FnRateReport, Box<dyn std::error::Error>> {
+) -> Result<FnRateReport, Error> {
     fn_rate_experiment_with_metric(
         &Engine::default(),
         lab,
@@ -306,14 +337,14 @@ pub fn fn_rate_experiment(
 }
 
 /// [`fn_rate_experiment`] with an explicit [`TraceMetric`] (used by the
-/// metric ablation) and [`Engine`]. The per-die trials — each die's
-/// acquisition and metric evaluation — fan across the engine's workers
-/// with per-die seeds, so the report is bit-identical for every worker
+/// metric ablation) and [`Engine`]. A thin wrapper over the generic
+/// multi-channel runner with a single trace channel: each die keeps its
+/// plan-derived seed, so the report is bit-identical for every worker
 /// count.
 ///
 /// # Errors
 ///
-/// Propagates design construction and fitting failures.
+/// Propagates design construction, simulation and fitting failures.
 #[allow(clippy::too_many_arguments)]
 pub fn fn_rate_experiment_with_metric(
     engine: &Engine,
@@ -325,48 +356,27 @@ pub fn fn_rate_experiment_with_metric(
     pt: &[u8; 16],
     key: &[u8; 16],
     seed: u64,
-) -> Result<FnRateReport, Box<dyn std::error::Error>> {
-    let golden = Design::golden(lab)?;
-    let golden_slices = golden.used_slices();
-    let dies = lab.fabricate_batch(n_dies);
-    let model =
-        characterize_em_golden_with(engine, lab, &golden, &dies, chain, metric, pt, key, seed);
-
-    let mut rows = Vec::with_capacity(specs.len());
-    for (s, spec) in specs.iter().enumerate() {
-        let infected = Design::infected(lab, spec)?;
-        let infected_metrics: Vec<f64> = engine.map(&dies, |j, die| {
-            let dev = ProgrammedDevice::new(lab, &infected, die);
-            let t = acquire(
-                &dev,
-                chain,
-                pt,
-                key,
-                seed.wrapping_add(0x1000 * (s as u64 + 1))
-                    .wrapping_add(j as u64),
-            );
-            metric.evaluate(t.abs_diff(&model.mean_trace).samples())
-        });
-        let g = &model.gaussian;
-        let t_fit = Gaussian::fit(&infected_metrics)?;
-        let mu = t_fit.mean() - g.mean();
-        let sigma = ((g.std() * g.std() + t_fit.std() * t_fit.std()) / 2.0).sqrt();
-        let analytic = if mu > 0.0 {
-            equal_error_rate(mu, sigma)
-        } else {
-            0.5
-        };
-        let midpoint = g.mean() + mu / 2.0;
-        let (fp, fnr) = empirical_rates(&model.golden_metrics, &infected_metrics, midpoint);
-        let trojan = infected.trojan().expect("infected design has a trojan");
+) -> Result<FnRateReport, Error> {
+    let plan = CampaignPlan::traces(n_dies, *pt, *key, seed);
+    let channel = trace_channel(chain, metric);
+    let report = multi_channel_experiment_with(engine, lab, &plan, specs, &[&*channel])?;
+    let mut rows = Vec::with_capacity(report.rows.len());
+    for row in report.rows {
+        let result = row
+            .channels
+            .into_iter()
+            .next()
+            .ok_or(Error::EmptyPopulation {
+                what: "per-channel results",
+            })?;
         rows.push(FnRateRow {
-            name: spec.name.clone(),
-            size_fraction: trojan.fraction_of_design(golden_slices),
-            mu,
-            sigma,
-            analytic_fn_rate: analytic,
-            empirical_fn_rate: fnr,
-            empirical_fp_rate: fp,
+            name: row.name,
+            size_fraction: row.size_fraction,
+            mu: result.mu,
+            sigma: result.sigma,
+            analytic_fn_rate: result.analytic_fn_rate,
+            empirical_fn_rate: result.empirical_fn_rate,
+            empirical_fp_rate: result.empirical_fp_rate,
         });
     }
     Ok(FnRateReport { rows, n_dies })
@@ -397,15 +407,29 @@ pub const TVLA_THRESHOLD: f64 = 4.5;
 /// comparison of ×1000-averaged traces. Samples with degenerate statistics
 /// (zero variance in both populations) are skipped.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either population is empty or trace shapes differ.
-pub fn ttest_compare(genuine: &[Trace], suspect: &[Trace]) -> TtestComparison {
-    assert!(
-        !genuine.is_empty() && !suspect.is_empty(),
-        "empty trace population"
-    );
-    let n = genuine[0].len();
+/// [`Error::EmptyPopulation`] if either population is empty;
+/// [`Error::TraceLengthMismatch`] if any trace's length differs from the
+/// first genuine trace's.
+pub fn ttest_compare(genuine: &[Trace], suspect: &[Trace]) -> Result<TtestComparison, Error> {
+    let first = genuine.first().ok_or(Error::EmptyPopulation {
+        what: "genuine trace population",
+    })?;
+    if suspect.is_empty() {
+        return Err(Error::EmptyPopulation {
+            what: "suspect trace population",
+        });
+    }
+    let n = first.len();
+    for t in genuine.iter().chain(suspect) {
+        if t.len() != n {
+            return Err(Error::TraceLengthMismatch {
+                expected: n,
+                got: t.len(),
+            });
+        }
+    }
     let mut t_abs = vec![0.0f64; n];
     let mut max_t = 0.0f64;
     let mut argmax = 0usize;
@@ -429,13 +453,13 @@ pub fn ttest_compare(genuine: &[Trace], suspect: &[Trace]) -> TtestComparison {
             }
         }
     }
-    TtestComparison {
+    Ok(TtestComparison {
         t_abs,
         max_t,
         argmax,
         leaking_samples: leaking,
         infected: max_t > TVLA_THRESHOLD,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -453,5 +477,55 @@ mod tests {
         assert!((cmp.max_abs_diff - 4.0).abs() < 1e-12);
         let ok = direct_compare(&g1, &g2, &g2);
         assert!(!ok.infected);
+    }
+
+    #[test]
+    fn trace_metrics_reduce_hand_built_deviations() {
+        // D = [1, 3, 2, 5, 0]: interior local maxima at 3 and 5.
+        let d = [1.0, 3.0, 2.0, 5.0, 0.0];
+        assert_eq!(TraceMetric::SumOfLocalMaxima.evaluate(&d), 8.0);
+        assert_eq!(TraceMetric::MaxPoint.evaluate(&d), 5.0);
+        assert_eq!(TraceMetric::SumAll.evaluate(&d), 11.0);
+        let l2 = TraceMetric::L2Norm.evaluate(&d);
+        assert!((l2 - 39.0f64.sqrt()).abs() < 1e-12, "{l2}");
+    }
+
+    #[test]
+    fn trace_metrics_degenerate_inputs() {
+        // A monotone ramp has no interior local maximum.
+        let ramp = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(TraceMetric::SumOfLocalMaxima.evaluate(&ramp), 0.0);
+        assert_eq!(TraceMetric::MaxPoint.evaluate(&ramp), 4.0);
+        // All-zero deviation reduces to zero under every metric.
+        let zero = [0.0; 4];
+        for metric in [
+            TraceMetric::SumOfLocalMaxima,
+            TraceMetric::MaxPoint,
+            TraceMetric::SumAll,
+            TraceMetric::L2Norm,
+        ] {
+            assert_eq!(metric.evaluate(&zero), 0.0, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn ttest_compare_rejects_bad_populations() {
+        let t = Trace::new(vec![1.0, 2.0], 200.0);
+        let short = Trace::new(vec![1.0], 200.0);
+        assert!(matches!(
+            ttest_compare(&[], std::slice::from_ref(&t)),
+            Err(Error::EmptyPopulation { .. })
+        ));
+        assert!(matches!(
+            ttest_compare(std::slice::from_ref(&t), &[]),
+            Err(Error::EmptyPopulation { .. })
+        ));
+        assert!(matches!(
+            ttest_compare(&[t.clone(), t.clone()], &[short]),
+            Err(Error::TraceLengthMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
     }
 }

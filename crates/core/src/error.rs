@@ -1,0 +1,205 @@
+//! The unified error type of the detection methodology.
+//!
+//! Every fallible public API in `htd-core` returns [`Error`]. Substrate
+//! failures (netlist validation, placement, trojan insertion, statistics)
+//! convert losslessly via `From`, so `?` threads them through campaign
+//! code without boxing; methodology-level failures (degenerate
+//! populations, undersized campaigns) get their own typed variants that
+//! callers can match on.
+
+use std::fmt;
+
+use htd_fabric::FabricError;
+use htd_netlist::NetlistError;
+use htd_stats::StatsError;
+use htd_trojan::TrojanError;
+
+/// Errors reported by the detection pipelines.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A metric population had no spread (or too few samples) to fit the
+    /// Gaussian model of Eq. (5) — e.g. constant metrics from a campaign
+    /// with zero measurement noise.
+    DegeneratePopulation {
+        /// Channel whose population failed to fit (`"EM"`, `"delay"`, …).
+        channel: String,
+        /// Samples in the degenerate population.
+        samples: usize,
+        /// The underlying fit failure.
+        source: StatsError,
+    },
+    /// A population-level stage needs more dies than the plan provides.
+    NotEnoughDies {
+        /// Dies supplied.
+        got: usize,
+        /// Dies required.
+        need: usize,
+    },
+    /// More pairs were requested than the golden campaign holds. Eq. (4)
+    /// compares a DUT row against the golden row measured with the *same*
+    /// pair, so an examination cannot exceed the characterised campaign.
+    PairCountExceedsCampaign {
+        /// Pairs requested for the examination.
+        requested: usize,
+        /// Pairs available in the golden campaign.
+        available: usize,
+    },
+    /// A stage received an empty input it cannot reduce (e.g. a t-test
+    /// over zero traces, a golden reference over zero acquisitions).
+    EmptyPopulation {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// A channel stage was fed an acquisition or reference of another
+    /// channel's shape (a trace where a matrix was expected, or vice
+    /// versa).
+    ChannelShapeMismatch {
+        /// Channel reporting the mismatch.
+        channel: String,
+        /// What the stage expected.
+        expected: &'static str,
+    },
+    /// Two traces that must be compared sample-by-sample have different
+    /// lengths.
+    TraceLengthMismatch {
+        /// Samples in the reference trace.
+        expected: usize,
+        /// Samples in the offending trace.
+        got: usize,
+    },
+    /// A probability parameter fell outside `(0, 1)`.
+    ProbabilityOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// An underlying statistics operation failed.
+    Stats(StatsError),
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+    /// An underlying placement/fabric operation failed.
+    Fabric(FabricError),
+    /// An underlying trojan insertion failed.
+    Trojan(TrojanError),
+    /// An I/O failure (CSV export).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DegeneratePopulation {
+                channel,
+                samples,
+                source,
+            } => write!(
+                f,
+                "{channel} channel population of {samples} samples is degenerate: {source}"
+            ),
+            Error::NotEnoughDies { got, need } => {
+                write!(f, "campaign needs at least {need} dies but got {got}")
+            }
+            Error::PairCountExceedsCampaign {
+                requested,
+                available,
+            } => write!(
+                f,
+                "examination requested {requested} pairs but the golden campaign \
+                 only characterised {available}"
+            ),
+            Error::EmptyPopulation { what } => write!(f, "empty population: {what}"),
+            Error::ChannelShapeMismatch { channel, expected } => write!(
+                f,
+                "{channel} channel received data of another channel's shape \
+                 (expected {expected})"
+            ),
+            Error::TraceLengthMismatch { expected, got } => write!(
+                f,
+                "trace of {got} samples cannot be compared against {expected}"
+            ),
+            Error::ProbabilityOutOfRange { value } => {
+                write!(f, "probability {value} outside (0, 1)")
+            }
+            Error::Stats(e) => write!(f, "statistics error: {e}"),
+            Error::Netlist(e) => write!(f, "netlist error: {e}"),
+            Error::Fabric(e) => write!(f, "fabric error: {e}"),
+            Error::Trojan(e) => write!(f, "trojan error: {e}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::DegeneratePopulation { source, .. } => Some(source),
+            Error::Stats(e) => Some(e),
+            Error::Netlist(e) => Some(e),
+            Error::Fabric(e) => Some(e),
+            Error::Trojan(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for Error {
+    fn from(e: StatsError) -> Self {
+        Error::Stats(e)
+    }
+}
+
+impl From<NetlistError> for Error {
+    fn from(e: NetlistError) -> Self {
+        Error::Netlist(e)
+    }
+}
+
+impl From<FabricError> for Error {
+    fn from(e: FabricError) -> Self {
+        Error::Fabric(e)
+    }
+}
+
+impl From<TrojanError> for Error {
+    fn from(e: TrojanError) -> Self {
+        Error::Trojan(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_both_counts() {
+        let err = Error::PairCountExceedsCampaign {
+            requested: 12,
+            available: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("12") && msg.contains('4'), "{msg}");
+        let err = Error::NotEnoughDies { got: 1, need: 2 };
+        assert!(err.to_string().contains("at least 2"), "{err}");
+    }
+
+    #[test]
+    fn substrate_errors_convert_and_chain() {
+        let e: Error = StatsError::NotEnoughSamples { got: 1, need: 2 }.into();
+        assert!(matches!(e, Error::Stats(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::DegeneratePopulation {
+            channel: "EM".into(),
+            samples: 3,
+            source: StatsError::NonPositiveScale { value: 0.0 },
+        };
+        assert!(e.to_string().contains("EM"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -3,14 +3,18 @@
 //! impact of process variations on detection probability using **both**
 //! delay and EM measurements."*
 //!
-//! Three detectors run over the same die population:
+//! The generic runner, [`multi_channel_experiment`], drives any set of
+//! [`Channel`]s through their acquire → characterize_golden → score
+//! stages over one shared die population:
 //!
 //! * **EM channel** — the Section V sum-of-local-maxima metric.
 //! * **Delay channel** — an inter-die generalisation of Section III: the
 //!   golden *population mean* onset matrix replaces the same-die golden
 //!   model, and the per-die statistic is the mean absolute onset deviation
 //!   (in ps) over all pairs and bits.
-//! * **Fused channel** — the sum of the two channels' golden-normalised
+//! * **Power channel** — the paper's A4 global-supply baseline, run
+//!   through the identical pipeline for a like-for-like comparison.
+//! * **Fused channel** — the sum of the channels' golden-normalised
 //!   z-scores; independent evidence adds, so the fused separation µ/σ is
 //!   at best the quadrature sum of the channels'.
 
@@ -18,16 +22,15 @@ use htd_stats::detection::{empirical_rates, equal_error_rate};
 use htd_stats::Gaussian;
 use htd_trojan::TrojanSpec;
 
-use crate::delay_detect::{measure_matrix_with, DelayCampaign, DelayMatrix};
-use crate::em_detect::TraceMetric;
+use crate::campaign::CampaignPlan;
+use crate::channel::{Acquisition, Calibration, Channel, DelayChannel, EmChannel, GoldenReference};
+use crate::error::Error;
 use crate::{Design, Engine, Lab, ProgrammedDevice};
-use htd_em::Trace;
-use htd_timing::GlitchParams;
 
 /// Per-channel population statistics for one trojan.
 #[derive(Debug, Clone)]
 pub struct ChannelResult {
-    /// Channel label (`"EM"`, `"delay"`, `"fused"`).
+    /// Channel label (`"EM"`, `"delay"`, `"power"`, `"fused"`).
     pub channel: &'static str,
     /// Metric offset µ between infected and golden populations.
     pub mu: f64,
@@ -37,12 +40,29 @@ pub struct ChannelResult {
     pub analytic_fn_rate: f64,
     /// Empirical false-negative rate at the midpoint threshold.
     pub empirical_fn_rate: f64,
+    /// Empirical false-positive rate at the midpoint threshold.
+    pub empirical_fp_rate: f64,
 }
 
 impl ChannelResult {
-    fn from_populations(channel: &'static str, golden: &[f64], infected: &[f64]) -> Self {
-        let g = Gaussian::fit(golden).expect("golden population has spread");
-        let t = Gaussian::fit(infected).expect("infected population has spread");
+    /// Fits Eq. (5) Gaussians to the two metric populations and evaluates
+    /// the analytic and empirical (midpoint-threshold) error rates.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DegeneratePopulation`] if either population has no spread
+    /// (or too few samples) — e.g. constant metrics from a campaign with
+    /// zero measurement noise.
+    pub fn fit(channel: &'static str, golden: &[f64], infected: &[f64]) -> Result<Self, Error> {
+        let degenerate = |samples: usize| {
+            move |source| Error::DegeneratePopulation {
+                channel: channel.to_string(),
+                samples,
+                source,
+            }
+        };
+        let g = Gaussian::fit(golden).map_err(degenerate(golden.len()))?;
+        let t = Gaussian::fit(infected).map_err(degenerate(infected.len()))?;
         let mu = t.mean() - g.mean();
         let sigma = ((g.std() * g.std() + t.std() * t.std()) / 2.0).sqrt();
         let analytic = if mu > 0.0 {
@@ -51,18 +71,44 @@ impl ChannelResult {
             0.5
         };
         let midpoint = g.mean() + mu / 2.0;
-        let (_, fnr) = empirical_rates(golden, infected, midpoint);
-        ChannelResult {
+        let (fp, fnr) = empirical_rates(golden, infected, midpoint);
+        Ok(ChannelResult {
             channel,
             mu,
             sigma,
             analytic_fn_rate: analytic,
             empirical_fn_rate: fnr,
-        }
+            empirical_fp_rate: fp,
+        })
     }
 }
 
-/// Results of the multi-channel experiment for one trojan.
+/// One trojan's results across every channel of a multi-channel campaign.
+#[derive(Debug, Clone)]
+pub struct MultiChannelRow {
+    /// Trojan name.
+    pub name: String,
+    /// Trojan area as a fraction of the AES design.
+    pub size_fraction: f64,
+    /// One result per channel, in the order the channels were supplied.
+    pub channels: Vec<ChannelResult>,
+    /// The fused (z-score sum) channel; present when at least two
+    /// channels ran.
+    pub fused: Option<ChannelResult>,
+}
+
+/// The result of a [`multi_channel_experiment`] campaign.
+#[derive(Debug, Clone)]
+pub struct MultiChannelReport {
+    /// One row per trojan, in the order supplied.
+    pub rows: Vec<MultiChannelRow>,
+    /// Population size.
+    pub n_dies: usize,
+    /// The channel labels, in execution order.
+    pub channel_names: Vec<&'static str>,
+}
+
+/// Results of the historical two-channel experiment for one trojan.
 #[derive(Debug, Clone)]
 pub struct FusionRow {
     /// Trojan name.
@@ -75,7 +121,8 @@ pub struct FusionRow {
     pub fused: ChannelResult,
 }
 
-/// The full multi-channel report.
+/// The full two-channel report (a [`MultiChannelReport`] view kept for
+/// the paper's delay+EM experiment).
 #[derive(Debug, Clone)]
 pub struct FusionReport {
     /// One row per trojan.
@@ -84,87 +131,200 @@ pub struct FusionReport {
     pub n_dies: usize,
 }
 
-/// The per-die raw measurements of one design across the population.
-struct PopulationMeasurement {
-    em_metrics: Vec<f64>,
-    delay_metrics: Vec<f64>,
+/// One channel's golden-population state inside the runner.
+struct GoldenChannelState {
+    calibration: Calibration,
+    reference: GoldenReference,
+    scores: Vec<f64>,
 }
 
-/// Mean absolute onset deviation (ps) of a matrix against a reference.
-fn delay_metric(matrix: &DelayMatrix, reference: &DelayMatrix, step_ps: f64) -> f64 {
-    let mut sum = 0.0;
-    let mut n = 0usize;
-    for (row, ref_row) in matrix
-        .mean_onset_steps
-        .iter()
-        .zip(&reference.mean_onset_steps)
-    {
-        for (a, b) in row.iter().zip(ref_row) {
-            sum += (a - b).abs() * step_ps;
-            n += 1;
-        }
-    }
-    sum / n.max(1) as f64
-}
-
-/// Element-wise mean of a set of onset matrices.
-fn mean_matrix(matrices: &[DelayMatrix]) -> DelayMatrix {
-    let pairs = matrices[0].mean_onset_steps.len();
-    let bits = matrices[0].mean_onset_steps[0].len();
-    let mut mean = vec![vec![0.0f64; bits]; pairs];
-    for m in matrices {
-        for (p, row) in m.mean_onset_steps.iter().enumerate() {
-            for (b, v) in row.iter().enumerate() {
-                mean[p][b] += v;
-            }
-        }
-    }
-    let n = matrices.len() as f64;
-    for row in &mut mean {
-        for v in row.iter_mut() {
-            *v /= n;
-        }
-    }
-    DelayMatrix {
-        mean_onset_steps: mean,
-    }
-}
-
-/// Measures one design's population over prebuilt devices — one EM metric
-/// and one delay metric per die. The fan is per die on `engine`; the
-/// per-die matrix measurement runs on [`Engine::serial`] so pools never
-/// nest (the matrix is bit-identical either way). The devices' simulation
-/// caches make the second and later populations over the same devices
-/// cheap.
-#[allow(clippy::too_many_arguments)]
-fn measure_population(
+/// Acquires and scores one design population for one channel. The fan is
+/// per die on `engine`; the per-die acquisition runs on
+/// [`Engine::serial`] so pools never nest (the values are bit-identical
+/// either way), and every seed comes from the plan's seed tree.
+fn score_population(
     engine: &Engine,
+    channel: &dyn Channel,
     devs: &[ProgrammedDevice<'_>],
-    params: &GlitchParams,
-    campaign: &DelayCampaign,
-    em_reference: &Trace,
-    delay_reference: &DelayMatrix,
-    pt: &[u8; 16],
-    key: &[u8; 16],
-    seed: u64,
-) -> PopulationMeasurement {
-    let per_die = engine.map(devs, |j, dev| {
-        let trace = dev.acquire_em_trace(pt, key, seed.wrapping_add(j as u64));
-        let em = TraceMetric::SumOfLocalMaxima.evaluate(trace.abs_diff(em_reference).samples());
-        let matrix = measure_matrix_with(
-            &Engine::serial(),
-            dev,
-            campaign,
-            params,
-            seed.wrapping_add(j as u64),
-        );
-        (em, delay_metric(&matrix, delay_reference, params.step_ps))
-    });
-    let (em_metrics, delay_metrics) = per_die.into_iter().unzip();
-    PopulationMeasurement {
-        em_metrics,
-        delay_metrics,
+    plan: &CampaignPlan,
+    calibration: &Calibration,
+    reference: &GoldenReference,
+    seed_of: impl Fn(usize) -> u64 + Sync,
+) -> Result<Vec<f64>, Error> {
+    let acquisitions = engine
+        .map(devs, |j, dev| {
+            channel.acquire(&Engine::serial(), dev, plan, calibration, seed_of(j))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    acquisitions
+        .iter()
+        .map(|a| channel.score(a, reference, calibration))
+        .collect()
+}
+
+/// The fused statistic: per die, the sum over channels of the
+/// golden-normalised z-score. Channel order fixes the summation order.
+fn fuse(golden_fits: &[Gaussian], per_channel_scores: &[Vec<f64>], n_dies: usize) -> Vec<f64> {
+    (0..n_dies)
+        .map(|j| {
+            golden_fits
+                .iter()
+                .zip(per_channel_scores)
+                .map(|(g, scores)| (scores[j] - g.mean()) / g.std())
+                .sum()
+        })
+        .collect()
+}
+
+/// Runs a [`CampaignPlan`] through every supplied [`Channel`] over one
+/// shared die population, with the default (auto-sized) [`Engine`].
+///
+/// # Errors
+///
+/// [`Error::EmptyPopulation`] with no channels, [`Error::NotEnoughDies`]
+/// below two dies, [`Error::DegeneratePopulation`] when a metric
+/// population has no spread; design and simulation failures otherwise.
+pub fn multi_channel_experiment(
+    lab: &Lab,
+    plan: &CampaignPlan,
+    specs: &[TrojanSpec],
+    channels: &[&dyn Channel],
+) -> Result<MultiChannelReport, Error> {
+    multi_channel_experiment_with(&Engine::default(), lab, plan, specs, channels)
+}
+
+/// [`multi_channel_experiment`] on an explicit [`Engine`].
+///
+/// Each (design, die) device is programmed **once** and reused — with its
+/// simulation caches warm — across calibration, the golden references and
+/// every population scoring pass. All per-die fans use seeds from the
+/// plan's seed tree, so the report is bit-identical for every worker
+/// count and any channel subset reproduces the same per-channel numbers.
+///
+/// # Errors
+///
+/// See [`multi_channel_experiment`].
+pub fn multi_channel_experiment_with(
+    engine: &Engine,
+    lab: &Lab,
+    plan: &CampaignPlan,
+    specs: &[TrojanSpec],
+    channels: &[&dyn Channel],
+) -> Result<MultiChannelReport, Error> {
+    if channels.is_empty() {
+        return Err(Error::EmptyPopulation {
+            what: "channel list",
+        });
     }
+    if plan.n_dies < 2 {
+        return Err(Error::NotEnoughDies {
+            got: plan.n_dies,
+            need: 2,
+        });
+    }
+    let golden = Design::golden(lab)?;
+    let golden_slices = golden.used_slices();
+    let dies = lab.fabricate_batch(plan.n_dies);
+
+    // Program the golden design once per die; every later stage shares
+    // these devices and their caches.
+    let golden_devs: Vec<ProgrammedDevice<'_>> =
+        engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &golden, die));
+
+    // Golden pass, per channel: calibrate, acquire the population,
+    // characterize the reference, score the golden dies against it.
+    let mut golden_states: Vec<GoldenChannelState> = Vec::with_capacity(channels.len());
+    for channel in channels {
+        let calibration = channel.calibrate(engine, plan, &golden_devs)?;
+        let acquisitions = engine
+            .map(&golden_devs, |j, dev| {
+                channel.acquire(&Engine::serial(), dev, plan, &calibration, plan.die_seed(j))
+            })
+            .into_iter()
+            .collect::<Result<Vec<Acquisition>, _>>()?;
+        let reference = channel.characterize_golden(&acquisitions, &calibration)?;
+        let scores = acquisitions
+            .iter()
+            .map(|a| channel.score(a, &reference, &calibration))
+            .collect::<Result<Vec<f64>, _>>()?;
+        golden_states.push(GoldenChannelState {
+            calibration,
+            reference,
+            scores,
+        });
+    }
+
+    // Fusion normalisation: the golden fit of each channel. Only needed
+    // (and only required to be non-degenerate) when there is something to
+    // fuse.
+    let (golden_fits, golden_fused) = if channels.len() >= 2 {
+        let fits = channels
+            .iter()
+            .zip(&golden_states)
+            .map(|(channel, state)| {
+                Gaussian::fit(&state.scores).map_err(|source| Error::DegeneratePopulation {
+                    channel: channel.name().to_string(),
+                    samples: state.scores.len(),
+                    source,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let per_channel: Vec<Vec<f64>> = golden_states.iter().map(|s| s.scores.clone()).collect();
+        let fused = fuse(&fits, &per_channel, plan.n_dies);
+        (fits, Some(fused))
+    } else {
+        (Vec::new(), None)
+    };
+
+    let mut rows = Vec::with_capacity(specs.len());
+    for (s, spec) in specs.iter().enumerate() {
+        let infected = Design::infected(lab, spec)?;
+        let infected_devs: Vec<ProgrammedDevice<'_>> =
+            engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &infected, die));
+        let mut per_channel: Vec<Vec<f64>> = Vec::with_capacity(channels.len());
+        for (channel, state) in channels.iter().zip(&golden_states) {
+            per_channel.push(score_population(
+                engine,
+                *channel,
+                &infected_devs,
+                plan,
+                &state.calibration,
+                &state.reference,
+                |j| plan.spec_die_seed(s, j),
+            )?);
+        }
+        let channel_results = channels
+            .iter()
+            .zip(&golden_states)
+            .zip(&per_channel)
+            .map(|((channel, state), scores)| {
+                ChannelResult::fit(channel.name(), &state.scores, scores)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let fused = match &golden_fused {
+            Some(golden_fused) => {
+                let infected_fused = fuse(&golden_fits, &per_channel, plan.n_dies);
+                Some(ChannelResult::fit("fused", golden_fused, &infected_fused)?)
+            }
+            None => None,
+        };
+        let size_fraction = infected
+            .trojan()
+            .map(|t| t.fraction_of_design(golden_slices))
+            .unwrap_or(0.0);
+        rows.push(MultiChannelRow {
+            name: spec.name.clone(),
+            size_fraction,
+            channels: channel_results,
+            fused,
+        });
+    }
+    Ok(MultiChannelReport {
+        rows,
+        n_dies: plan.n_dies,
+        channel_names: channels.iter().map(|c| c.name()).collect(),
+    })
 }
 
 /// Runs the fused delay+EM experiment over `n_dies` dies.
@@ -174,7 +334,7 @@ fn measure_population(
 ///
 /// # Errors
 ///
-/// Propagates design construction and fitting failures.
+/// Propagates design construction, simulation and fitting failures.
 #[allow(clippy::too_many_arguments)]
 pub fn fusion_experiment(
     lab: &Lab,
@@ -184,7 +344,7 @@ pub fn fusion_experiment(
     pt: &[u8; 16],
     key: &[u8; 16],
     seed: u64,
-) -> Result<FusionReport, Box<dyn std::error::Error>> {
+) -> Result<FusionReport, Error> {
     fusion_experiment_with(
         &Engine::default(),
         lab,
@@ -197,17 +357,12 @@ pub fn fusion_experiment(
     )
 }
 
-/// [`fusion_experiment`] on an explicit [`Engine`].
-///
-/// Each (design, die) device is programmed **once** and reused — with its
-/// simulation caches warm — across sweep aiming, the golden references
-/// and the population measurement, instead of being rebuilt (and
-/// re-simulated) at every stage. All per-die fans use index-derived
-/// seeds, so the report is bit-identical for every worker count.
+/// [`fusion_experiment`] on an explicit [`Engine`]: the historical
+/// two-channel (EM + delay) view over [`multi_channel_experiment_with`].
 ///
 /// # Errors
 ///
-/// Propagates design construction and fitting failures.
+/// Propagates design construction, simulation and fitting failures.
 #[allow(clippy::too_many_arguments)]
 pub fn fusion_experiment_with(
     engine: &Engine,
@@ -218,103 +373,25 @@ pub fn fusion_experiment_with(
     pt: &[u8; 16],
     key: &[u8; 16],
     seed: u64,
-) -> Result<FusionReport, Box<dyn std::error::Error>> {
-    let golden = Design::golden(lab)?;
-    let dies = lab.fabricate_batch(n_dies);
-    let campaign = DelayCampaign::random(campaign_pairs, 3, seed);
-
-    // Program the golden design once per die; every later stage shares
-    // these devices and their caches.
-    let golden_devs: Vec<ProgrammedDevice<'_>> =
-        engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &golden, die));
-
-    // Aim the glitch sweep so even the slowest die's slowest path faults.
-    // Setup and measurement noise are technology constants, identical on
-    // every die. The settles land in the device caches and are reused by
-    // every matrix measurement below.
-    let first_dev = golden_devs.first().ok_or("need at least one die")?;
-    let setup = first_dev.annotation().setup_ps();
-    let noise = first_dev.annotation().measurement_noise_ps();
-    let per_die_max = engine.map(&golden_devs, |_, dev| {
-        let mut max_required: f64 = 0.0;
-        for (pt_i, key_i) in &campaign.pairs {
-            let settles = dev.round10_settle_times_cached(pt_i, key_i)?;
-            for s in settles.iter().flatten() {
-                max_required = max_required.max(s + setup);
-            }
-        }
-        Ok::<f64, htd_netlist::NetlistError>(max_required)
-    });
-    let mut max_required: f64 = 0.0;
-    for m in per_die_max {
-        max_required = max_required.max(m?);
-    }
-    let params = GlitchParams::paper_sweep(max_required, setup, noise);
-
-    // Golden population references: EM mean trace + mean onset matrix.
-    let golden_traces: Vec<Trace> = engine.map(&golden_devs, |j, dev| {
-        dev.acquire_em_trace(pt, key, seed.wrapping_add(j as u64))
-    });
-    let em_reference = Trace::mean_of(&golden_traces);
-    let golden_matrices: Vec<DelayMatrix> = engine.map(&golden_devs, |j, dev| {
-        measure_matrix_with(
-            &Engine::serial(),
-            dev,
-            &campaign,
-            &params,
-            seed.wrapping_add(j as u64),
-        )
-    });
-    let delay_reference = mean_matrix(&golden_matrices);
-
-    let golden_pop = measure_population(
-        engine,
-        &golden_devs,
-        &params,
-        &campaign,
-        &em_reference,
-        &delay_reference,
-        pt,
-        key,
-        seed,
-    );
-
-    let fuse = |em: &[f64], delay: &[f64], g_em: &Gaussian, g_dl: &Gaussian| -> Vec<f64> {
-        em.iter()
-            .zip(delay)
-            .map(|(e, d)| (e - g_em.mean()) / g_em.std() + (d - g_dl.mean()) / g_dl.std())
-            .collect()
-    };
-    let g_em = Gaussian::fit(&golden_pop.em_metrics)?;
-    let g_dl = Gaussian::fit(&golden_pop.delay_metrics)?;
-    let golden_fused = fuse(&golden_pop.em_metrics, &golden_pop.delay_metrics, &g_em, &g_dl);
-
-    let mut rows = Vec::with_capacity(specs.len());
-    for (s, spec) in specs.iter().enumerate() {
-        let infected = Design::infected(lab, spec)?;
-        let infected_devs: Vec<ProgrammedDevice<'_>> =
-            engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &infected, die));
-        let pop = measure_population(
-            engine,
-            &infected_devs,
-            &params,
-            &campaign,
-            &em_reference,
-            &delay_reference,
-            pt,
-            key,
-            seed.wrapping_add(0x2000 * (s as u64 + 1)),
-        );
-        let infected_fused = fuse(&pop.em_metrics, &pop.delay_metrics, &g_em, &g_dl);
+) -> Result<FusionReport, Error> {
+    let plan = CampaignPlan::with_random_pairs(n_dies, campaign_pairs, 3, *pt, *key, seed);
+    let em = EmChannel::paper();
+    let delay = DelayChannel;
+    let report = multi_channel_experiment_with(engine, lab, &plan, specs, &[&em, &delay])?;
+    let mut rows = Vec::with_capacity(report.rows.len());
+    for row in report.rows {
+        let mut channels = row.channels.into_iter();
+        let (Some(em), Some(delay), Some(fused)) = (channels.next(), channels.next(), row.fused)
+        else {
+            return Err(Error::EmptyPopulation {
+                what: "per-channel results",
+            });
+        };
         rows.push(FusionRow {
-            name: spec.name.clone(),
-            em: ChannelResult::from_populations("EM", &golden_pop.em_metrics, &pop.em_metrics),
-            delay: ChannelResult::from_populations(
-                "delay",
-                &golden_pop.delay_metrics,
-                &pop.delay_metrics,
-            ),
-            fused: ChannelResult::from_populations("fused", &golden_fused, &infected_fused),
+            name: row.name,
+            em,
+            delay,
+            fused,
         });
     }
     Ok(FusionReport { rows, n_dies })
@@ -323,39 +400,39 @@ pub fn fusion_experiment_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::channel::PowerChannel;
+    use crate::em_detect::TraceMetric;
 
     #[test]
     fn channel_result_computes_separation() {
         let golden = vec![1.0, 2.0, 3.0, 2.0, 1.5, 2.5];
         let infected: Vec<f64> = golden.iter().map(|x| x + 5.0).collect();
-        let r = ChannelResult::from_populations("EM", &golden, &infected);
+        let r = ChannelResult::fit("EM", &golden, &infected).unwrap();
         assert!((r.mu - 5.0).abs() < 1e-12);
         assert!(r.analytic_fn_rate < 0.01);
         assert_eq!(r.empirical_fn_rate, 0.0);
+        assert_eq!(r.empirical_fp_rate, 0.0);
     }
 
     #[test]
-    fn delay_metric_is_mean_absolute_deviation() {
-        let a = DelayMatrix {
-            mean_onset_steps: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
-        };
-        let b = DelayMatrix {
-            mean_onset_steps: vec![vec![2.0, 2.0], vec![3.0, 0.0]],
-        };
-        // |Δ| = [1, 0, 0, 4], mean = 1.25 steps × 35 ps.
-        assert!((delay_metric(&a, &b, 35.0) - 1.25 * 35.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn mean_matrix_averages_elementwise() {
-        let a = DelayMatrix {
-            mean_onset_steps: vec![vec![0.0, 4.0]],
-        };
-        let b = DelayMatrix {
-            mean_onset_steps: vec![vec![2.0, 0.0]],
-        };
-        let m = mean_matrix(&[a, b]);
-        assert_eq!(m.mean_onset_steps, vec![vec![1.0, 2.0]]);
+    fn constant_population_is_a_degenerate_error() {
+        let constant = vec![3.25; 6];
+        let spread = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let err = ChannelResult::fit("EM", &constant, &spread).unwrap_err();
+        match err {
+            Error::DegeneratePopulation {
+                channel, samples, ..
+            } => {
+                assert_eq!(channel, "EM");
+                assert_eq!(samples, 6);
+            }
+            other => panic!("expected DegeneratePopulation, got {other:?}"),
+        }
+        // The infected side degenerating reports the same channel.
+        assert!(matches!(
+            ChannelResult::fit("delay", &spread, &constant),
+            Err(Error::DegeneratePopulation { .. })
+        ));
     }
 
     #[test]
@@ -377,15 +454,63 @@ mod tests {
         // The fused channel should never be *worse* than the best single
         // channel by much (z-score fusion of a useless channel costs at
         // most √2 in σ).
-        let best = row
-            .em
-            .analytic_fn_rate
-            .min(row.delay.analytic_fn_rate);
+        let best = row.em.analytic_fn_rate.min(row.delay.analytic_fn_rate);
         assert!(
             row.fused.analytic_fn_rate < best + 0.2,
             "fused {} vs best {}",
             row.fused.analytic_fn_rate,
             best
         );
+    }
+
+    #[test]
+    fn three_channel_experiment_reports_every_channel_and_fusion() {
+        let lab = Lab::paper();
+        let plan = CampaignPlan::with_random_pairs(6, 2, 3, [0x11u8; 16], [0x22u8; 16], 42);
+        let em = EmChannel::paper();
+        let delay = DelayChannel;
+        let power = PowerChannel::new(TraceMetric::SumOfLocalMaxima);
+        let report =
+            multi_channel_experiment(&lab, &plan, &[TrojanSpec::ht2()], &[&em, &delay, &power])
+                .unwrap();
+        assert_eq!(report.channel_names, vec!["EM", "delay", "power"]);
+        let row = &report.rows[0];
+        assert_eq!(row.channels.len(), 3);
+        assert!(row.size_fraction > 0.0);
+        let fused = row.fused.as_ref().expect("three channels fuse");
+        assert_eq!(fused.channel, "fused");
+        for c in &row.channels {
+            assert!(c.sigma > 0.0, "{} sigma", c.channel);
+        }
+        // The two-channel EM/delay numbers are unchanged by the extra
+        // power channel riding along in the same campaign.
+        let two = fusion_experiment(
+            &lab,
+            &[TrojanSpec::ht2()],
+            6,
+            2,
+            &[0x11u8; 16],
+            &[0x22u8; 16],
+            42,
+        )
+        .unwrap();
+        assert_eq!(row.channels[0].mu, two.rows[0].em.mu);
+        assert_eq!(row.channels[1].mu, two.rows[0].delay.mu);
+    }
+
+    #[test]
+    fn runner_rejects_empty_and_undersized_campaigns() {
+        let lab = Lab::paper();
+        let plan = CampaignPlan::traces(4, [0u8; 16], [0u8; 16], 1);
+        assert!(matches!(
+            multi_channel_experiment(&lab, &plan, &[], &[]),
+            Err(Error::EmptyPopulation { .. })
+        ));
+        let em = EmChannel::paper();
+        let tiny = CampaignPlan::traces(1, [0u8; 16], [0u8; 16], 1);
+        assert!(matches!(
+            multi_channel_experiment(&lab, &tiny, &[], &[&em]),
+            Err(Error::NotEnoughDies { got: 1, need: 2 })
+        ));
     }
 }

@@ -20,6 +20,13 @@
 //!   `D = |trace − E_n(G)|` (Fig. 6), the sum-of-local-maxima metric, and
 //!   false-negative-rate estimation (Eq. 5, the headline 26 %/17 %/5 %
 //!   table).
+//! * [`channel`] — the pluggable channel architecture: every detection
+//!   channel ([`EmChannel`](channel::EmChannel),
+//!   [`DelayChannel`](channel::DelayChannel),
+//!   [`PowerChannel`](channel::PowerChannel)) implements the same
+//!   acquire → characterize_golden → score stages, and
+//!   [`fusion::multi_channel_experiment`] drives any set of them over one
+//!   shared die population described by a [`CampaignPlan`].
 //! * [`engine`] — the deterministic measurement engine: every campaign
 //!   entry point has a `*_with(&Engine, …)` variant that fans pairs,
 //!   repetitions and dies across a worker pool. Results are
@@ -28,6 +35,9 @@
 //!   [`ProgrammedDevice`]'s settle-time/activity caches remove duplicate
 //!   simulation between characterisation and measurement.
 //! * [`report`] — plain-text table rendering shared by the benches.
+//!
+//! Every fallible API returns the unified [`Error`]; library code never
+//! panics on fallible paths.
 //!
 //! # Quickstart
 //!
@@ -42,11 +52,11 @@
 //! let die = lab.fabricate_die(1);
 //! let pt = [0x42u8; 16];
 //! let key = [0x0Fu8; 16];
-//! let g = ProgrammedDevice::new(&lab, &golden, &die).acquire_em_trace(&pt, &key, 7);
-//! let t = ProgrammedDevice::new(&lab, &infected, &die).acquire_em_trace(&pt, &key, 8);
+//! let g = ProgrammedDevice::new(&lab, &golden, &die).acquire_em_trace(&pt, &key, 7)?;
+//! let t = ProgrammedDevice::new(&lab, &infected, &die).acquire_em_trace(&pt, &key, 8)?;
 //! let diff = g.abs_diff(&t);
 //! assert!(diff.peak() > 0.0);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), htd_core::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,24 +65,29 @@
 mod design;
 mod lab;
 
+pub mod campaign;
+pub mod channel;
 pub mod delay_detect;
 pub mod em_detect;
 pub mod engine;
+pub mod error;
 pub mod fusion;
 pub mod report;
 
+pub use campaign::CampaignPlan;
 pub use design::{CacheStats, Design, ProgrammedDevice};
 pub use engine::Engine;
+pub use error::Error;
 pub use lab::Lab;
 
 /// Convenient re-exports of the whole suite's primary types.
 pub mod prelude {
-    pub use crate::delay_detect::{
-        DelayDetectError, DelayDetector, DelayEvidence, GoldenDelayModel,
-    };
-    pub use crate::Engine;
+    pub use crate::channel::{Channel, DelayChannel, EmChannel, PowerChannel};
+    pub use crate::delay_detect::{DelayDetector, DelayEvidence, GoldenDelayModel};
     pub use crate::em_detect::{EmDetector, EmGoldenModel, FnRateReport};
-    pub use crate::{Design, Lab, ProgrammedDevice};
+    pub use crate::fusion::{ChannelResult, MultiChannelReport, MultiChannelRow};
+    pub use crate::Engine;
+    pub use crate::{CampaignPlan, Design, Error, Lab, ProgrammedDevice};
     pub use htd_aes::AesNetlist;
     pub use htd_em::Trace;
     pub use htd_fabric::{Device, DeviceConfig, Technology, VariationModel};

@@ -2,6 +2,10 @@
 
 use std::fmt;
 
+use crate::em_detect::FnRateReport;
+use crate::error::Error;
+use crate::fusion::MultiChannelReport;
+
 /// A simple fixed-width text table.
 ///
 /// ```
@@ -48,13 +52,14 @@ impl fmt::Display for Table {
             .chain([self.headers.len()])
             .max()
             .unwrap_or(0);
+        // Widths count characters, not bytes, so the µ/σ headers align.
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
-            widths[i] = widths[i].max(h.len());
+            widths[i] = widths[i].max(h.chars().count());
         }
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
+                widths[i] = widths[i].max(c.chars().count());
             }
         }
         let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
@@ -89,7 +94,7 @@ pub fn write_csv(
     path: impl AsRef<std::path::Path>,
     headers: &[&str],
     rows: &[Vec<String>],
-) -> std::io::Result<()> {
+) -> Result<(), Error> {
     use std::io::Write as _;
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
@@ -101,6 +106,44 @@ pub fn write_csv(
         writeln!(f, "{}", row.join(","))?;
     }
     Ok(())
+}
+
+/// Renders a [`FnRateReport`] as the paper's headline table: one row per
+/// trojan with its size and analytic/empirical FN rates.
+pub fn fn_rate_table(report: &FnRateReport) -> Table {
+    let mut t = Table::new(&["HT", "size", "µ", "σ", "FN rate", "FN emp", "FP emp"]);
+    for row in &report.rows {
+        t.push_row(&[
+            row.name.clone(),
+            pct(row.size_fraction),
+            format!("{:.1}", row.mu),
+            format!("{:.1}", row.sigma),
+            pct(row.analytic_fn_rate),
+            pct(row.empirical_fn_rate),
+            pct(row.empirical_fp_rate),
+        ]);
+    }
+    t
+}
+
+/// Renders a [`MultiChannelReport`] with one row per (trojan, channel)
+/// and a trailing `fused` row per trojan when fusion ran.
+pub fn multi_channel_table(report: &MultiChannelReport) -> Table {
+    let mut t = Table::new(&["HT", "channel", "µ", "σ", "FN rate", "FN emp"]);
+    for row in &report.rows {
+        let results = row.channels.iter().chain(&row.fused);
+        for c in results {
+            t.push_row(&[
+                row.name.clone(),
+                c.channel.to_string(),
+                format!("{:.3}", c.mu),
+                format!("{:.3}", c.sigma),
+                pct(c.analytic_fn_rate),
+                pct(c.empirical_fn_rate),
+            ]);
+        }
+    }
+    t
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -154,5 +197,74 @@ mod tests {
         assert_eq!(pct(0.05), "5.0%");
         assert_eq!(ps(123.4), "123 ps");
         assert_eq!(ps(1_234.0), "1.23 ns");
+    }
+
+    fn channel_result(channel: &'static str, mu: f64) -> crate::fusion::ChannelResult {
+        crate::fusion::ChannelResult {
+            channel,
+            mu,
+            sigma: 1.5,
+            analytic_fn_rate: 0.26,
+            empirical_fn_rate: 0.25,
+            empirical_fp_rate: 0.125,
+        }
+    }
+
+    #[test]
+    fn fn_rate_table_reports_every_rate_column() {
+        let report = FnRateReport {
+            rows: vec![crate::em_detect::FnRateRow {
+                name: "HT 1".into(),
+                size_fraction: 0.005,
+                mu: 100.0,
+                sigma: 40.0,
+                analytic_fn_rate: 0.26,
+                empirical_fn_rate: 0.25,
+                empirical_fp_rate: 0.0,
+            }],
+            n_dies: 8,
+        };
+        let t = fn_rate_table(&report);
+        let s = t.to_string();
+        assert_eq!(t.row_count(), 1);
+        assert!(s.contains("HT 1"), "{s}");
+        assert!(s.contains("0.5%"), "size column: {s}");
+        assert!(s.contains("26.0%") && s.contains("25.0%"), "{s}");
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "misaligned table:\n{s}"
+        );
+    }
+
+    #[test]
+    fn multi_channel_table_appends_the_fusion_row() {
+        let report = MultiChannelReport {
+            rows: vec![crate::fusion::MultiChannelRow {
+                name: "HT 2".into(),
+                size_fraction: 0.01,
+                channels: vec![channel_result("EM", 2.0), channel_result("delay", 3.0)],
+                fused: Some(channel_result("fused", 4.0)),
+            }],
+            n_dies: 6,
+            channel_names: vec!["EM", "delay"],
+        };
+        let t = multi_channel_table(&report);
+        // Two channel rows + one fused row.
+        assert_eq!(t.row_count(), 3);
+        let s = t.to_string();
+        for label in ["EM", "delay", "fused"] {
+            assert!(s.contains(label), "missing {label} row:\n{s}");
+        }
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "misaligned table:\n{s}"
+        );
+
+        // Without fusion, only the channel rows render.
+        let mut no_fused = report.clone();
+        no_fused.rows[0].fused = None;
+        assert_eq!(multi_channel_table(&no_fused).row_count(), 2);
     }
 }

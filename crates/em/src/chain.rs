@@ -241,7 +241,10 @@ mod tests {
             charge: 100.0,
             position: (80.0, 80.0),
         };
-        let quiet = AcquisitionParams { averages: 1_000_000, ..p };
+        let quiet = AcquisitionParams {
+            averages: 1_000_000,
+            ..p
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let tn = setup.acquire(&[near], &quiet, &mut rng);
         let mut rng = StdRng::seed_from_u64(3);

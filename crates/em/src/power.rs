@@ -120,13 +120,21 @@ mod tests {
         // of the power trace never comes back down.
         let between = 1_000.0 / 200.0;
         let (a, b) = (between as usize + 2, (6_000.0 / 200.0) as usize);
-        let p_min: f64 = tp.samples()[a..b].iter().fold(f64::INFINITY, |m, &s| m.min(s.abs()));
+        let p_min: f64 = tp.samples()[a..b]
+            .iter()
+            .fold(f64::INFINITY, |m, &s| m.min(s.abs()));
         let p_peak = tp.peak();
         // Power trace stays above 40 % of its peak between the spikes.
         assert!(p_min > 0.4 * p_peak, "p_min {p_min} p_peak {p_peak}");
         // EM trace rings down substantially within the same window.
-        let e_min: f64 = te.samples()[a..b].iter().fold(f64::INFINITY, |m, &s| m.min(s.abs()));
-        assert!(e_min < 0.2 * te.peak(), "e_min {e_min} e_peak {}", te.peak());
+        let e_min: f64 = te.samples()[a..b]
+            .iter()
+            .fold(f64::INFINITY, |m, &s| m.min(s.abs()));
+        assert!(
+            e_min < 0.2 * te.peak(),
+            "e_min {e_min} e_peak {}",
+            te.peak()
+        );
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod tests {
         let h = p.impulse_response(200.0);
         assert!(h.len() > 20);
         assert_eq!(h[0], 0.0); // sin(0)
-        // It must change sign (ringing)...
+                               // It must change sign (ringing)...
         assert!(h.iter().any(|&v| v > 0.01));
         assert!(h.iter().any(|&v| v < -0.01));
         // ...and decay towards the end.

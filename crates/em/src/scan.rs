@@ -38,8 +38,16 @@ impl ScanGrid {
         let mut out = Vec::with_capacity(nx * ny);
         for j in 0..ny {
             for i in 0..nx {
-                let fx = if nx > 1 { i as f64 / (nx - 1) as f64 } else { 0.5 };
-                let fy = if ny > 1 { j as f64 / (ny - 1) as f64 } else { 0.5 };
+                let fx = if nx > 1 {
+                    i as f64 / (nx - 1) as f64
+                } else {
+                    0.5
+                };
+                let fy = if ny > 1 {
+                    j as f64 / (ny - 1) as f64
+                } else {
+                    0.5
+                };
                 out.push((
                     self.origin.0 + fx * self.extent.0,
                     self.origin.1 + fy * self.extent.1,
@@ -153,10 +161,7 @@ mod tests {
         let hot = hottest(&points).unwrap();
         // The hottest scan position is the grid point nearest the burst.
         assert_eq!(hot.position, (0.0, 0.0));
-        let far = points
-            .iter()
-            .find(|p| p.position == (20.0, 20.0))
-            .unwrap();
+        let far = points.iter().find(|p| p.position == (20.0, 20.0)).unwrap();
         assert!(hot.rms > 2.0 * far.rms);
     }
 

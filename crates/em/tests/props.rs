@@ -7,13 +7,13 @@ use rand::SeedableRng;
 
 fn events_strategy() -> impl Strategy<Value = Vec<CurrentEvent>> {
     proptest::collection::vec(
-        (0.0f64..30_000.0, 0.1f64..50.0, 0.0f64..20.0, 0.0f64..20.0).prop_map(
-            |(t, q, x, y)| CurrentEvent {
+        (0.0f64..30_000.0, 0.1f64..50.0, 0.0f64..20.0, 0.0f64..20.0).prop_map(|(t, q, x, y)| {
+            CurrentEvent {
                 time_ps: t,
                 charge: q,
                 position: (x, y),
-            },
-        ),
+            }
+        }),
         0..40,
     )
 }

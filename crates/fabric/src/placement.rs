@@ -265,11 +265,12 @@ mod tests {
         let p = Placement::place(&nl, &device).unwrap();
         // 6 LUTs → slices (0,0) and (1,0).
         assert_eq!(p.used_slices(), 2);
-        let first_lut = nl.cells().find(|(_, c)| c.kind().occupies_lut_site()).unwrap().0;
-        assert_eq!(
-            p.site_of(first_lut).unwrap().slice,
-            SliceCoord::new(0, 0)
-        );
+        let first_lut = nl
+            .cells()
+            .find(|(_, c)| c.kind().occupies_lut_site())
+            .unwrap()
+            .0;
+        assert_eq!(p.site_of(first_lut).unwrap().slice, SliceCoord::new(0, 0));
     }
 
     #[test]
@@ -278,7 +279,10 @@ mod tests {
         let device = Device::new(DeviceConfig::new(2, 2)); // 16 LUT sites
         assert!(matches!(
             Placement::place(&nl, &device),
-            Err(FabricError::CapacityExceeded { resource: "LUT", .. })
+            Err(FabricError::CapacityExceeded {
+                resource: "LUT",
+                ..
+            })
         ));
     }
 

@@ -100,7 +100,9 @@ mod tests {
         let g = PowerGrid::virtex5();
         let victim = SliceCoord::new(0, 0);
         let small: Vec<SliceCoord> = (0..5).map(|i| SliceCoord::new(10 + i, 10)).collect();
-        let large: Vec<SliceCoord> = (0..15).map(|i| SliceCoord::new(10 + i % 5, 10 + i / 5)).collect();
+        let large: Vec<SliceCoord> = (0..15)
+            .map(|i| SliceCoord::new(10 + i % 5, 10 + i / 5))
+            .collect();
         assert!(g.delay_shift_ps(victim, &large) > g.delay_shift_ps(victim, &small));
     }
 }

@@ -283,7 +283,12 @@ mod tests {
             let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
             pearson_like(&xs, &ys)
         };
-        assert!(corr(&near) > corr(&far) + 0.1, "near {} far {}", corr(&near), corr(&far));
+        assert!(
+            corr(&near) > corr(&far) + 0.1,
+            "near {} far {}",
+            corr(&near),
+            corr(&far)
+        );
     }
 
     #[test]

@@ -252,10 +252,7 @@ mod tests {
         let y = nl.mux4([s0, s1], [d[0], d[1], d[2], d[3]]);
         for lane in 0..4usize {
             for val in [false, true] {
-                let mut ins = vec![
-                    (s0, lane & 1 == 1),
-                    (s1, lane & 2 == 2),
-                ];
+                let mut ins = vec![(s0, lane & 1 == 1), (s1, lane & 2 == 2)];
                 for (i, &di) in d.iter().enumerate() {
                     ins.push((di, if i == lane { val } else { !val }));
                 }

@@ -59,7 +59,10 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::LutTooWide { inputs } => {
-                write!(f, "lut with {inputs} inputs exceeds the 6-input fabric limit")
+                write!(
+                    f,
+                    "lut with {inputs} inputs exceeds the 6-input fabric limit"
+                )
             }
             NetlistError::EmptyLut => write!(f, "lut with zero inputs is not representable"),
             NetlistError::MultipleDrivers { net, first, second } => {
@@ -74,7 +77,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "flip-flop {cell} has no D connection")
             }
             NetlistError::NotAnOpenDff { cell } => {
-                write!(f, "cell {cell} is not a flip-flop awaiting its D connection")
+                write!(
+                    f,
+                    "cell {cell} is not a flip-flop awaiting its D connection"
+                )
             }
         }
     }

@@ -128,8 +128,13 @@ impl Netlist {
         }
         let name = if value { "vcc" } else { "gnd" };
         let net = self.add_net(name);
-        self.push_cell(CellKind::Const(value), Vec::new(), Some(net), name.to_string())
-            .expect("fresh net cannot be doubly driven");
+        self.push_cell(
+            CellKind::Const(value),
+            Vec::new(),
+            Some(net),
+            name.to_string(),
+        )
+        .expect("fresh net cannot be doubly driven");
         self.consts[value as usize] = Some(net);
         net
     }
@@ -239,11 +244,7 @@ impl Netlist {
         Ok(cell)
     }
 
-    pub(crate) fn add_const_to(
-        &mut self,
-        net: NetId,
-        value: bool,
-    ) -> Result<CellId, NetlistError> {
+    pub(crate) fn add_const_to(&mut self, net: NetId, value: bool) -> Result<CellId, NetlistError> {
         let name = if value { "vcc" } else { "gnd" };
         let cell = self.push_cell(CellKind::Const(value), Vec::new(), Some(net), name.into())?;
         if self.consts[value as usize].is_none() {
@@ -470,7 +471,10 @@ mod tests {
         let d = nl.add_input("d");
         let q = nl.add_dff(d, "r0").unwrap();
         assert_ne!(d, q);
-        assert_eq!(nl.net(q).driver().map(|c| nl.cell(c).kind()), Some(CellKind::Dff));
+        assert_eq!(
+            nl.net(q).driver().map(|c| nl.cell(c).kind()),
+            Some(CellKind::Dff)
+        );
     }
 
     #[test]

@@ -195,9 +195,8 @@ impl Netlist {
                 net_map[out_net.index()] = Some(out.const_net(v));
                 continue;
             }
-            let folded_mask = LutMask::from_fn(kept.len(), |row| {
-                restricted.eval_row(spread(row, &kept))
-            });
+            let folded_mask =
+                LutMask::from_fn(kept.len(), |row| restricted.eval_row(spread(row, &kept)));
             // `groups` already carries new-netlist ids.
             let new_inputs: Vec<NetId> = kept.iter().map(|&i| groups[i].0).collect();
             // Buffer sweep: a 1-input identity LUT forwards its input.
@@ -225,8 +224,7 @@ impl Netlist {
                 net_map[out_net.index()] = Some(existing);
                 continue;
             }
-            let new_net =
-                out.add_lut_named(&sorted_inputs, canon_mask, cell.name().to_string())?;
+            let new_net = out.add_lut_named(&sorted_inputs, canon_mask, cell.name().to_string())?;
             cse.insert(key, new_net);
             net_map[out_net.index()] = Some(new_net);
             cell_map[cell_id.index()] = out.net(new_net).driver();
@@ -318,7 +316,8 @@ impl Netlist {
             let _ = width;
             let n_assign = 1u64 << unknown_pins.len();
             let first = mask.eval_row(base_row | spread(0, &unknown_pins));
-            let constant = (1..n_assign).all(|a| mask.eval_row(base_row | spread(a, &unknown_pins)) == first);
+            let constant =
+                (1..n_assign).all(|a| mask.eval_row(base_row | spread(a, &unknown_pins)) == first);
             if constant {
                 known[cell.output().expect("lut drives a net").index()] = Some(first);
             }

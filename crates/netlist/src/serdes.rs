@@ -145,7 +145,9 @@ impl Netlist {
     pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
         let mut lines = text.lines().enumerate();
         let (_, header) = lines.next().ok_or(ParseError::BadHeader)?;
-        let rest = header.strip_prefix("htdnet 1 ").ok_or(ParseError::BadHeader)?;
+        let rest = header
+            .strip_prefix("htdnet 1 ")
+            .ok_or(ParseError::BadHeader)?;
         let (name, _) = unquote(rest.trim()).ok_or(ParseError::BadHeader)?;
         let mut nl = Netlist::new(name);
 
@@ -252,11 +254,8 @@ impl Netlist {
                     let (mask_tok, rest) = rest
                         .split_once(' ')
                         .ok_or_else(|| bad(lineno, "lut needs mask"))?;
-                    let raw = u64::from_str_radix(
-                        mask_tok.trim_start_matches("0x"),
-                        16,
-                    )
-                    .map_err(|_| bad(lineno, "bad lut mask"))?;
+                    let raw = u64::from_str_radix(mask_tok.trim_start_matches("0x"), 16)
+                        .map_err(|_| bad(lineno, "bad lut mask"))?;
                     let (ins_part, out_part) = rest
                         .split_once("->")
                         .ok_or_else(|| bad(lineno, "lut needs -> net"))?;
@@ -270,8 +269,8 @@ impl Netlist {
                         .map(|t| parse_net_id(t, lineno))
                         .collect::<Result<_, _>>()?;
                     let out = parse_net_id(out_part.trim(), lineno)?;
-                    let mask = LutMask::new(inputs.len(), raw)
-                        .map_err(|e| bad(lineno, &e.to_string()))?;
+                    let mask =
+                        LutMask::new(inputs.len(), raw).map_err(|e| bad(lineno, &e.to_string()))?;
                     nl.add_lut_to(out, &inputs, mask, name)
                         .map_err(|e| bad(lineno, &e.to_string()))?;
                 }
@@ -301,11 +300,10 @@ impl Netlist {
             }
         }
         for (cell, d) in pending_dffs {
-            nl.connect_dff_d(cell, d)
-                .map_err(|e| ParseError::BadLine {
-                    line: 0,
-                    reason: format!("dff connection: {e}"),
-                })?;
+            nl.connect_dff_d(cell, d).map_err(|e| ParseError::BadLine {
+                line: 0,
+                reason: format!("dff connection: {e}"),
+            })?;
         }
         Ok(nl)
     }

@@ -60,10 +60,7 @@ impl Levelization {
 
         while let Some(id) = queue.pop_front() {
             order.push(id);
-            let out = netlist
-                .cell(id)
-                .output()
-                .expect("lut always drives a net");
+            let out = netlist.cell(id).output().expect("lut always drives a net");
             let lvl = level[id.index()];
             for &sink in netlist.net(out).sinks() {
                 if matches!(netlist.cell(sink).kind(), crate::CellKind::Lut(_)) {
@@ -150,8 +147,7 @@ impl Netlist {
         let mut stack: Vec<NetId> = vec![net];
         while let Some(n) = stack.pop() {
             for &sink in self.net(n).sinks() {
-                if matches!(self.cell(sink).kind(), crate::CellKind::Lut(_))
-                    && !seen[sink.index()]
+                if matches!(self.cell(sink).kind(), crate::CellKind::Lut(_)) && !seen[sink.index()]
                 {
                     seen[sink.index()] = true;
                     cone.push(sink);

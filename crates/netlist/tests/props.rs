@@ -150,22 +150,24 @@ mod opt_props {
                 dff_d,
                 stim,
             )
-                .prop_map(|(n_inputs, n_dffs, with_consts, luts, dff_d_picks, stimulus)| {
-                    Recipe {
+                .prop_map(
+                    |(n_inputs, n_dffs, with_consts, luts, dff_d_picks, stimulus)| Recipe {
                         n_inputs,
                         n_dffs,
                         with_consts,
                         luts,
                         dff_d_picks,
                         stimulus,
-                    }
-                })
+                    },
+                )
         })
     }
 
     fn build(r: &Recipe) -> (Netlist, Vec<NetId>, Vec<NetId>) {
         let mut nl = Netlist::new("rand");
-        let inputs: Vec<NetId> = (0..r.n_inputs).map(|i| nl.add_input(format!("in{i}"))).collect();
+        let inputs: Vec<NetId> = (0..r.n_inputs)
+            .map(|i| nl.add_input(format!("in{i}")))
+            .collect();
         let mut nets = inputs.clone();
         if r.with_consts {
             nets.push(nl.const_net(false));

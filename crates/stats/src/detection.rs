@@ -147,10 +147,10 @@ impl TwoGaussianDetector {
     /// populations (±4σ), returning `(P_fp, P_detect)` pairs ordered by
     /// increasing false-positive rate.
     pub fn roc(&self, points: usize) -> Vec<(f64, f64)> {
-        let lo =
-            (self.genuine.mean() - 4.0 * self.genuine.std()).min(self.infected.mean() - 4.0 * self.infected.std());
-        let hi =
-            (self.genuine.mean() + 4.0 * self.genuine.std()).max(self.infected.mean() + 4.0 * self.infected.std());
+        let lo = (self.genuine.mean() - 4.0 * self.genuine.std())
+            .min(self.infected.mean() - 4.0 * self.infected.std());
+        let hi = (self.genuine.mean() + 4.0 * self.genuine.std())
+            .max(self.infected.mean() + 4.0 * self.infected.std());
         let mut roc: Vec<(f64, f64)> = (0..points)
             .map(|i| {
                 let t = lo + (hi - lo) * i as f64 / (points.max(2) - 1) as f64;
@@ -191,9 +191,7 @@ mod tests {
         // µ = 2σ ⇒ 1 − Φ(1) ≈ 15.87%.
         assert!((equal_error_rate(2.0, 1.0) - 0.158_655).abs() < 1e-5);
         // Scale invariance.
-        assert!(
-            (equal_error_rate(6.0, 2.0) - equal_error_rate(3.0, 1.0)).abs() < 1e-15
-        );
+        assert!((equal_error_rate(6.0, 2.0) - equal_error_rate(3.0, 1.0)).abs() < 1e-15);
     }
 
     #[test]

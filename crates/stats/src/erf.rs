@@ -173,10 +173,7 @@ mod tests {
     fn erf_matches_reference_to_14_digits() {
         for &(x, want) in REFERENCE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() <= 1e-14,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() <= 1e-14, "erf({x}) = {got}, want {want}");
         }
     }
 

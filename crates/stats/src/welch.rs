@@ -27,10 +27,16 @@ pub struct WelchTest {
 /// variance (the statistic is undefined).
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<WelchTest, StatsError> {
     if a.len() < 2 {
-        return Err(StatsError::NotEnoughSamples { got: a.len(), need: 2 });
+        return Err(StatsError::NotEnoughSamples {
+            got: a.len(),
+            need: 2,
+        });
     }
     if b.len() < 2 {
-        return Err(StatsError::NotEnoughSamples { got: b.len(), need: 2 });
+        return Err(StatsError::NotEnoughSamples {
+            got: b.len(),
+            need: 2,
+        });
     }
     let (ma, mb) = (crate::descriptive::mean(a), crate::descriptive::mean(b));
     let (va, vb) = (
@@ -73,8 +79,7 @@ pub fn incomplete_beta_reg(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a

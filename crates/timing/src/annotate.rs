@@ -80,7 +80,13 @@ impl DelayAnnotation {
 
     /// A nominal annotation with uniform delays — useful in unit tests that
     /// exercise the simulators without a placement.
-    pub fn uniform(netlist: &Netlist, lut_ps: f64, net_ps: f64, clk2q_ps: f64, setup_ps: f64) -> Self {
+    pub fn uniform(
+        netlist: &Netlist,
+        lut_ps: f64,
+        net_ps: f64,
+        clk2q_ps: f64,
+        setup_ps: f64,
+    ) -> Self {
         let mut cell_delay_ps = vec![0.0; netlist.cell_count()];
         for (id, cell) in netlist.cells() {
             if matches!(cell.kind(), CellKind::Lut(_)) {
@@ -135,10 +141,12 @@ impl DelayAnnotation {
         while self.cell_delay_ps.len() < netlist.cell_count() {
             let id = CellId::from_index(self.cell_delay_ps.len());
             let is_lut = matches!(netlist.cell(id).kind(), CellKind::Lut(_));
-            self.cell_delay_ps.push(if is_lut { default_lut_ps } else { 0.0 });
+            self.cell_delay_ps
+                .push(if is_lut { default_lut_ps } else { 0.0 });
         }
         if self.net_delay_ps.len() < netlist.net_count() {
-            self.net_delay_ps.resize(netlist.net_count(), default_net_ps);
+            self.net_delay_ps
+                .resize(netlist.net_count(), default_net_ps);
             self.extra_net_delay_ps.resize(netlist.net_count(), 0.0);
         }
     }
@@ -183,7 +191,11 @@ mod tests {
         let tech = Technology::virtex5();
         let fast = DieVariation::generate(&VariationModel::none(), &device, 0);
         let ann = DelayAnnotation::annotate(&nl, &placement, &tech, &fast);
-        let lut = nl.cells().find(|(_, c)| c.kind().occupies_lut_site()).unwrap().0;
+        let lut = nl
+            .cells()
+            .find(|(_, c)| c.kind().occupies_lut_site())
+            .unwrap()
+            .0;
         assert_eq!(ann.cell_delay_ps(lut), tech.lut_delay_ps);
 
         // A die with variation gives different (but bounded) delays.
@@ -218,8 +230,7 @@ mod tests {
         let device = Device::new(DeviceConfig::new(8, 8));
         let placement = Placement::place(&nl, &device).unwrap();
         let die = DieVariation::generate(&VariationModel::none(), &device, 0);
-        let mut ann =
-            DelayAnnotation::annotate(&nl, &placement, &Technology::virtex5(), &die);
+        let mut ann = DelayAnnotation::annotate(&nl, &placement, &Technology::virtex5(), &die);
         let net = nl.input_nets()[0];
         let base = ann.net_delay_ps(net);
         ann.add_net_delay_ps(net, 100.0);
@@ -234,8 +245,7 @@ mod tests {
         let device = Device::new(DeviceConfig::new(8, 8));
         let placement = Placement::place(&nl, &device).unwrap();
         let die = DieVariation::generate(&VariationModel::none(), &device, 0);
-        let mut ann =
-            DelayAnnotation::annotate(&nl, &placement, &Technology::virtex5(), &die);
+        let mut ann = DelayAnnotation::annotate(&nl, &placement, &Technology::virtex5(), &die);
         let a = nl.input_nets()[0];
         let t = nl.not_gate(a); // trojan-style addition
         ann.extend_for(&nl, 200.0, 350.0);

@@ -205,9 +205,7 @@ impl<'a> EventSimulator<'a> {
                     // keeps deliveries causal, so the last event wins with
                     // the correct final value.
                     heap.push(std::cmp::Reverse(Event {
-                        time_ps: ev.time_ps
-                            + delays.cell_delay_ps(sink)
-                            + delays.net_delay_ps(out),
+                        time_ps: ev.time_ps + delays.cell_delay_ps(sink) + delays.net_delay_ps(out),
                         seq,
                         net: out,
                         value: out_val,

@@ -143,7 +143,8 @@ impl GlitchSweep {
             return FaultOnset::Never;
         }
         // period_at(k) < required  ⇔  k > (start - required) / step.
-        let k = ((self.params.start_period_ps - required_ps) / self.params.step_ps).floor() as u16 + 1;
+        let k =
+            ((self.params.start_period_ps - required_ps) / self.params.step_ps).floor() as u16 + 1;
         FaultOnset::Step(k.min(self.params.steps - 1))
     }
 }
@@ -184,7 +185,11 @@ mod tests {
                     break;
                 }
             }
-            assert_eq!(sweep.onset_for_required(required), want, "required {required}");
+            assert_eq!(
+                sweep.onset_for_required(required),
+                want,
+                "required {required}"
+            );
         }
     }
 

@@ -96,7 +96,12 @@ impl Sta {
 
     /// Worst-case arrival over a set of endpoint nets — e.g. the 128
     /// state-register `D` pins. Includes the endpoints' own net delay.
-    pub fn max_arrival_ps(&self, netlist: &Netlist, endpoints: &[NetId], delays: &DelayAnnotation) -> f64 {
+    pub fn max_arrival_ps(
+        &self,
+        netlist: &Netlist,
+        endpoints: &[NetId],
+        delays: &DelayAnnotation,
+    ) -> f64 {
         let _ = netlist;
         endpoints
             .iter()

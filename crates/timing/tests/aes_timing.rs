@@ -36,7 +36,7 @@ fn timed_round10_matches_functional_ciphertext() {
     let mut esim = EventSimulator::from_snapshot(aes.netlist(), sim.simulator().snapshot());
     let _round9_launch = esim.clock_cycle(&ann); // edge E9: round-10 logic settles
     let run = esim.clock_cycle(&ann); // edge E10: ciphertext captured
-    // Timed final state equals the functional ciphertext.
+                                      // Timed final state equals the functional ciphertext.
     sim.step_round();
     sim.step_round();
     let want = sim.state();
@@ -151,12 +151,12 @@ fn glitch_sweep_faults_slow_bits_first_on_aes() {
         .iter()
         .map(|&d| run.arrival_at_sinks_ps(d, &ann))
         .collect();
-    let max_required = settles
-        .iter()
-        .flatten()
-        .fold(0.0f64, |a, &b| a.max(b))
-        + tech.dff_setup_ps;
-    let sweep = GlitchSweep::new(GlitchParams::paper_sweep(max_required, tech.dff_setup_ps, 0.0));
+    let max_required = settles.iter().flatten().fold(0.0f64, |a, &b| a.max(b)) + tech.dff_setup_ps;
+    let sweep = GlitchSweep::new(GlitchParams::paper_sweep(
+        max_required,
+        tech.dff_setup_ps,
+        0.0,
+    ));
     let mut rng = rand::rngs::mock::StepRng::new(0, 0);
     let onsets = sweep.fault_onsets(&settles, &mut rng);
     // The slowest bit faults earliest; every toggling bit slower than the

@@ -19,10 +19,7 @@ struct Recipe {
 fn recipe() -> impl Strategy<Value = Recipe> {
     (1usize..=4, 0usize..=3).prop_flat_map(|(n_inputs, n_dffs)| {
         let luts = proptest::collection::vec(
-            (
-                any::<u64>(),
-                proptest::collection::vec(0usize..64, 1..=4),
-            ),
+            (any::<u64>(), proptest::collection::vec(0usize..64, 1..=4)),
             1..=14,
         );
         let dff_d = proptest::collection::vec(0usize..64, n_dffs);
@@ -62,7 +59,8 @@ fn build(recipe: &Recipe) -> (Netlist, Vec<NetId>, Vec<NetId>) {
         observable.push(out);
     }
     for (cell, pick) in dff_cells.iter().zip(&recipe.dff_d_picks) {
-        nl.connect_dff_d(*cell, nets[pick % nets.len()]).expect("connects");
+        nl.connect_dff_d(*cell, nets[pick % nets.len()])
+            .expect("connects");
     }
     // Observe everything so nothing is trivially dead.
     for (i, &net) in observable.iter().enumerate() {

@@ -76,7 +76,14 @@ mod tests {
         let tech = Technology::virtex5();
         let mut ann = DelayAnnotation::annotate(aes.netlist(), &placement, &tech, &die);
         ann.extend_for(aes.netlist(), tech.lut_delay_ps, tech.net_delay_base_ps);
-        apply_coupling(&mut ann, aes.netlist(), &placement, &tech, &PowerGrid::virtex5(), &trojan);
+        apply_coupling(
+            &mut ann,
+            aes.netlist(),
+            &placement,
+            &tech,
+            &PowerGrid::virtex5(),
+            &trojan,
+        );
         // Every state-register Q net got some positive shift.
         for &q in aes.subbytes_inputs() {
             assert!(ann.extra_net_delay_ps(q) > 0.0);
@@ -121,7 +128,9 @@ mod tests {
         let mut far = (0.0f64, 0.0);
         for (id, net) in aes.netlist().nets() {
             let Some(driver) = net.driver() else { continue };
-            let Some(site) = placement.site_of(driver) else { continue };
+            let Some(site) = placement.site_of(driver) else {
+                continue;
+            };
             let d = t0.euclidean(site.slice);
             let shift = ann.extra_net_delay_ps(id);
             if d < near.0 {
@@ -149,7 +158,14 @@ mod tests {
         let tech = Technology::virtex5();
         let mut ann = DelayAnnotation::annotate(aes.netlist(), &placement, &tech, &die);
         ann.extend_for(aes.netlist(), tech.lut_delay_ps, tech.net_delay_base_ps);
-        apply_coupling(&mut ann, aes.netlist(), &placement, &tech, &PowerGrid::virtex5(), &trojan);
+        apply_coupling(
+            &mut ann,
+            aes.netlist(),
+            &placement,
+            &tech,
+            &PowerGrid::virtex5(),
+            &trojan,
+        );
         let shifts: Vec<f64> = aes
             .subbytes_inputs()
             .iter()

@@ -33,8 +33,14 @@ pub enum TrojanError {
 impl fmt::Display for TrojanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TrojanError::NotEnoughTaps { requested, available } => {
-                write!(f, "trigger taps {requested} signals but only {available} exist")
+            TrojanError::NotEnoughTaps {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "trigger taps {requested} signals but only {available} exist"
+                )
             }
             TrojanError::InvalidTrigger { reason } => write!(f, "invalid trigger: {reason}"),
             TrojanError::NoFreeSites => write!(f, "no free sites available for trojan cells"),

@@ -188,12 +188,7 @@ pub fn insert(
 
     let new_cells: Vec<CellId> = (cells_before..nl.cell_count())
         .map(CellId::from_index)
-        .filter(|&c| {
-            matches!(
-                nl.cell(c).kind(),
-                CellKind::Lut(_) | CellKind::Dff
-            )
-        })
+        .filter(|&c| matches!(nl.cell(c).kind(), CellKind::Lut(_) | CellKind::Dff))
         .collect();
     let free_luts = placement.nearest_free_sites(SiteKind::Lut, target);
     let free_ffs = placement.nearest_free_sites(SiteKind::Ff, target);
@@ -330,10 +325,7 @@ fn mux_tree(
                 layer.push(*layer.last().expect("non-empty layer"));
             }
             let s = sel[sel_idx];
-            layer = layer
-                .chunks(2)
-                .map(|c| nl.mux2(s, c[0], c[1]))
-                .collect();
+            layer = layer.chunks(2).map(|c| nl.mux2(s, c[0], c[1])).collect();
             sel_idx += 1;
         }
     }
@@ -474,7 +466,7 @@ mod tests {
     }
 
     #[test]
-    fn mux_tree_selects_exactly(){
+    fn mux_tree_selects_exactly() {
         use htd_netlist::Netlist;
         let mut nl = Netlist::new("mux");
         let data: Vec<_> = (0..128).map(|i| nl.add_input(format!("d{i}"))).collect();
@@ -502,7 +494,10 @@ mod tests {
         let (mut aes, mut placement) = placed_aes();
         let spec = TrojanSpec {
             name: "HT-leak".into(),
-            trigger: Trigger::SequentialCounter { width: 4, target: 2 },
+            trigger: Trigger::SequentialCounter {
+                width: 4,
+                target: 2,
+            },
             payload: Payload::LeakKey,
         };
         let t = insert(&mut aes, &mut placement, &spec).unwrap();

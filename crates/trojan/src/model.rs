@@ -143,7 +143,11 @@ impl fmt::Display for TrojanSpec {
                 write!(f, "{} (sequential, {width}-bit counter)", self.name)
             }
             Trigger::StealthProbe { taps } => {
-                write!(f, "{} (stealth probe, {taps} taps, no switching)", self.name)
+                write!(
+                    f,
+                    "{} (stealth probe, {taps} taps, no switching)",
+                    self.name
+                )
             }
         }
     }

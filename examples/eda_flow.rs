@@ -35,8 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let die = lab.fabricate_die(0);
     let dev = ProgrammedDevice::new(&lab, &golden, &die);
     let sta = Sta::analyze(golden.aes().netlist(), dev.annotation())?;
-    let min_period =
-        sta.min_period_ps(golden.aes().netlist(), golden.aes().state_d(), dev.annotation());
+    let min_period = sta.min_period_ps(
+        golden.aes().netlist(),
+        golden.aes().state_d(),
+        dev.annotation(),
+    );
     println!(
         "static timing: min clock period {:.2} ns (fmax ≈ {:.1} MHz), hold slack {:.0} ps",
         min_period / 1_000.0,

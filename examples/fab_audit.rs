@@ -22,14 +22,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // paper's batch) and calibrate for a 5 % false-positive budget.
     println!("characterising golden EM population over 8 reference dies...");
     let reference_dies = lab.fabricate_batch(8);
-    let model =
-        characterize_em_golden(&lab, &golden, &reference_dies, SideChannel::Em, &pt, &key, 1);
+    let model = characterize_em_golden(
+        &lab,
+        &golden,
+        &reference_dies,
+        SideChannel::Em,
+        &pt,
+        &key,
+        1,
+    )?;
     println!(
         "golden metric: mean {:.0}, sigma {:.0}",
         model.gaussian.mean(),
         model.gaussian.std()
     );
-    let detector = EmDetector::with_false_positive_rate(model, 0.05);
+    let detector = EmDetector::with_false_positive_rate(model, 0.05)?;
     println!("decision threshold: {:.0}\n", detector.threshold());
 
     // A mixed shipment of unseen dies.
@@ -46,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let die = lab.fabricate_die(die_seed);
         for (label, design) in &designs {
             let dev = ProgrammedDevice::new(&lab, design, &die);
-            let trace = dev.acquire_em_trace(&pt, &key, die_seed * 17 + total as u64);
+            let trace = dev.acquire_em_trace(&pt, &key, die_seed * 17 + total as u64)?;
             let metric = detector.metric(&trace);
             let verdict = detector.is_infected(&trace);
             let truth = design.trojan().is_some();

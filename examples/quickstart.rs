@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         golden.aes().netlist().stats(),
         infected.trojan().unwrap().cells.len(),
         infected.trojan().unwrap().distinct_slices(),
-        infected.trojan().unwrap().fraction_of_design(golden.used_slices()) * 100.0,
+        infected
+            .trojan()
+            .unwrap()
+            .fraction_of_design(golden.used_slices())
+            * 100.0,
     );
 
     // 3. Program both bitstreams into the same virtual FPGA.
@@ -37,27 +41,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sanity: the dormant trojan does not change the cipher.
     let pt = [0x42u8; 16];
     let key = [0x0Fu8; 16];
-    assert_eq!(golden_dev.encrypt(&pt, &key)?, suspect_dev.encrypt(&pt, &key)?);
+    assert_eq!(
+        golden_dev.encrypt(&pt, &key)?,
+        suspect_dev.encrypt(&pt, &key)?
+    );
     println!("dormant trojan preserves AES function ✓");
 
     // 4. Delay analysis (Section III): characterise the golden model with
     //    clock-glitch sweeps, then compare the suspect.
     let campaign = DelayCampaign::random(10, 10, 0x5EED);
-    let detector = DelayDetector::new(characterize_golden(&golden_dev, campaign));
-    let evidence = detector.examine(&suspect_dev, 1);
+    let detector = DelayDetector::new(characterize_golden(&golden_dev, campaign)?);
+    let evidence = detector.examine(&suspect_dev, 1)?;
     println!(
         "delay analysis: {} bits shifted by more than {} ps (max {:.0} ps) → {}",
         evidence.flagged_bits,
         evidence.threshold_ps,
         evidence.max_diff_ps,
-        if evidence.infected { "HT DETECTED" } else { "clean" },
+        if evidence.infected {
+            "HT DETECTED"
+        } else {
+            "clean"
+        },
     );
 
     // 5. EM analysis (Section IV): two genuine averaged traces bound the
     //    setup noise; the suspect trace deviates far above it.
-    let g1 = golden_dev.acquire_em_trace(&pt, &key, 100);
-    let g2 = golden_dev.acquire_em_trace(&pt, &key, 200);
-    let suspect_trace = suspect_dev.acquire_em_trace(&pt, &key, 300);
+    let g1 = golden_dev.acquire_em_trace(&pt, &key, 100)?;
+    let g2 = golden_dev.acquire_em_trace(&pt, &key, 200)?;
+    let suspect_trace = suspect_dev.acquire_em_trace(&pt, &key, 300)?;
     let cmp = direct_compare(&g1, &g2, &suspect_trace);
     println!(
         "EM analysis: deviation {:.0} vs noise floor {:.0} (sample {}) → {}",

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // A short counter for the live-payload demo below.
         TrojanSpec {
             name: "HT-ticking".into(),
-            trigger: Trigger::SequentialCounter { width: 8, target: 4 },
+            trigger: Trigger::SequentialCounter {
+                width: 8,
+                target: 4,
+            },
             payload: Payload::DenialOfService,
         },
         // A stealth load-only probe (no switching at all).
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // A key-exfiltration payload (the ref. [11] attack class).
         TrojanSpec {
             name: "HT-exfil".into(),
-            trigger: Trigger::SequentialCounter { width: 8, target: 3 },
+            trigger: Trigger::SequentialCounter {
+                width: 8,
+                target: 3,
+            },
             payload: Payload::LeakKey,
         },
     ];
@@ -88,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fired = sim.simulator().get(trojan.payload_net);
         println!(
             "  encryption #{n}: payload {}",
-            if fired { "FIRED — denial of service!" } else { "dormant" }
+            if fired {
+                "FIRED — denial of service!"
+            } else {
+                "dormant"
+            }
         );
     }
     // Provoke the key-exfiltration trojan: after its 3rd encryption it
@@ -109,7 +119,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bits = String::new();
     for _ in 0..32 {
         sim.step_round();
-        bits.push(if sim.simulator().get(trojan.payload_net) { '1' } else { '0' });
+        bits.push(if sim.simulator().get(trojan.payload_net) {
+            '1'
+        } else {
+            '0'
+        });
     }
     println!("  first 32 leaked key-register bits: {bits}");
 

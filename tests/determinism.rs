@@ -16,8 +16,8 @@ fn delay_evidence_replays_exactly() {
     let dut = ProgrammedDevice::new(&lab, &infected, &die);
     let run = || {
         let campaign = DelayCampaign::random(4, 5, 0xDEAD);
-        let det = DelayDetector::new(characterize_golden(&gdev, campaign));
-        det.examine(&dut, 11).diff_ps
+        let det = DelayDetector::new(characterize_golden(&gdev, campaign).unwrap());
+        det.examine(&dut, 11).unwrap().diff_ps
     };
     assert_eq!(run(), run());
 }
@@ -50,8 +50,8 @@ fn different_seeds_give_different_noise() {
     let golden = Design::golden(&lab).unwrap();
     let die = lab.fabricate_die(0);
     let dev = ProgrammedDevice::new(&lab, &golden, &die);
-    let a = dev.acquire_em_trace(&[3u8; 16], &[4u8; 16], 1);
-    let b = dev.acquire_em_trace(&[3u8; 16], &[4u8; 16], 2);
+    let a = dev.acquire_em_trace(&[3u8; 16], &[4u8; 16], 1).unwrap();
+    let b = dev.acquire_em_trace(&[3u8; 16], &[4u8; 16], 2).unwrap();
     assert_ne!(a, b);
 }
 

@@ -2,9 +2,7 @@
 //! comparison, inter-die golden modelling, and classification with the
 //! sum-of-local-maxima metric.
 
-use htd_core::em_detect::{
-    characterize_em_golden, direct_compare, EmDetector, SideChannel,
-};
+use htd_core::em_detect::{characterize_em_golden, direct_compare, EmDetector, SideChannel};
 use htd_core::prelude::*;
 use htd_core::ProgrammedDevice;
 
@@ -21,9 +19,9 @@ fn same_die_direct_comparison_flags_the_trojan() {
     let die = lab.fabricate_die(3);
     let gdev = ProgrammedDevice::new(&lab, &golden, &die);
     let tdev = ProgrammedDevice::new(&lab, &infected, &die);
-    let g1 = gdev.acquire_em_trace(&PT, &KEY, 100);
-    let g2 = gdev.acquire_em_trace(&PT, &KEY, 200); // re-installed setup
-    let t = tdev.acquire_em_trace(&PT, &KEY, 300);
+    let g1 = gdev.acquire_em_trace(&PT, &KEY, 100).unwrap();
+    let g2 = gdev.acquire_em_trace(&PT, &KEY, 200).unwrap(); // re-installed setup
+    let t = tdev.acquire_em_trace(&PT, &KEY, 300).unwrap();
     let cmp = direct_compare(&g1, &g2, &t);
     assert!(
         cmp.infected,
@@ -31,7 +29,7 @@ fn same_die_direct_comparison_flags_the_trojan() {
         cmp.max_abs_diff, cmp.noise_floor
     );
     // And a third genuine capture is NOT flagged.
-    let g3 = gdev.acquire_em_trace(&PT, &KEY, 400);
+    let g3 = gdev.acquire_em_trace(&PT, &KEY, 400).unwrap();
     let cmp_clean = direct_compare(&g1, &g2, &g3);
     assert!(
         !cmp_clean.infected,
@@ -47,20 +45,22 @@ fn interdie_detector_classifies_large_trojan_reliably() {
     let infected = Design::infected(&lab, &TrojanSpec::ht3()).unwrap();
     let dies = lab.fabricate_batch(8); // the paper's batch size
     let model =
-        characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 500);
-    let det = EmDetector::with_false_positive_rate(model, 0.05);
+        characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 500).unwrap();
+    let det = EmDetector::with_false_positive_rate(model, 0.05).unwrap();
     // Fresh dies the model never saw.
     let mut detected = 0;
     let mut false_pos = 0;
     for seed in 100..108u64 {
         let die = lab.fabricate_die(seed);
-        let t_inf =
-            ProgrammedDevice::new(&lab, &infected, &die).acquire_em_trace(&PT, &KEY, seed);
+        let t_inf = ProgrammedDevice::new(&lab, &infected, &die)
+            .acquire_em_trace(&PT, &KEY, seed)
+            .unwrap();
         if det.is_infected(&t_inf) {
             detected += 1;
         }
-        let t_gold =
-            ProgrammedDevice::new(&lab, &golden, &die).acquire_em_trace(&PT, &KEY, seed + 50);
+        let t_gold = ProgrammedDevice::new(&lab, &golden, &die)
+            .acquire_em_trace(&PT, &KEY, seed + 50)
+            .unwrap();
         if det.is_infected(&t_gold) {
             false_pos += 1;
         }
@@ -77,14 +77,15 @@ fn metric_grows_with_trojan_size() {
     let golden = Design::golden(&lab).unwrap();
     let dies = lab.fabricate_batch(6);
     let model =
-        characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 900);
-    let det = EmDetector::with_false_positive_rate(model, 0.05);
+        characterize_em_golden(&lab, &golden, &dies, SideChannel::Em, &PT, &KEY, 900).unwrap();
+    let det = EmDetector::with_false_positive_rate(model, 0.05).unwrap();
     let probe_die = lab.fabricate_die(77);
     let mut metrics = Vec::new();
     for spec in TrojanSpec::size_sweep() {
         let infected = Design::infected(&lab, &spec).unwrap();
         let t = ProgrammedDevice::new(&lab, &infected, &probe_die)
-            .acquire_em_trace(&PT, &KEY, 901);
+            .acquire_em_trace(&PT, &KEY, 901)
+            .unwrap();
         metrics.push(det.metric(&t));
     }
     assert!(
@@ -115,20 +116,20 @@ fn tvla_ttest_flags_the_trojan_on_raw_traces() {
         Trace::new(t.samples().iter().map(|s| s / r).collect(), t.dt_ps())
     };
     let g_pop: Vec<_> = (0..30)
-        .map(|i| normalize(gdev.acquire_em_trace(&PT, &KEY, 10_000 + i)))
+        .map(|i| normalize(gdev.acquire_em_trace(&PT, &KEY, 10_000 + i).unwrap()))
         .collect();
     let t_pop: Vec<_> = (0..30)
-        .map(|i| normalize(tdev.acquire_em_trace(&PT, &KEY, 20_000 + i)))
+        .map(|i| normalize(tdev.acquire_em_trace(&PT, &KEY, 20_000 + i).unwrap()))
         .collect();
-    let cmp = htd_core::em_detect::ttest_compare(&g_pop, &t_pop);
+    let cmp = htd_core::em_detect::ttest_compare(&g_pop, &t_pop).unwrap();
     assert!(cmp.infected, "max |t| = {}", cmp.max_t);
     assert!(cmp.leaking_samples > 0);
 
     // Control: two genuine populations do not leak.
     let g_pop2: Vec<_> = (0..30)
-        .map(|i| normalize(gdev.acquire_em_trace(&PT, &KEY, 30_000 + i)))
+        .map(|i| normalize(gdev.acquire_em_trace(&PT, &KEY, 30_000 + i).unwrap()))
         .collect();
-    let clean = htd_core::em_detect::ttest_compare(&g_pop, &g_pop2);
+    let clean = htd_core::em_detect::ttest_compare(&g_pop, &g_pop2).unwrap();
     assert!(
         !clean.infected,
         "clean populations leaked: max |t| = {}",

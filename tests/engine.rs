@@ -23,12 +23,10 @@ fn delay_evidence_is_bit_identical_across_worker_counts() {
     let reference = {
         let gdev = ProgrammedDevice::new(&lab, &golden, &die);
         let dut = ProgrammedDevice::new(&lab, &infected, &die);
-        let det = DelayDetector::new(characterize_golden_with(
-            &Engine::serial(),
-            &gdev,
-            campaign.clone(),
-        ));
-        det.examine_with(&Engine::serial(), &dut, 7)
+        let det = DelayDetector::new(
+            characterize_golden_with(&Engine::serial(), &gdev, campaign.clone()).unwrap(),
+        );
+        det.examine_with(&Engine::serial(), &dut, 7).unwrap()
     };
 
     // Worker counts beyond the pair count and the machine's core count
@@ -37,8 +35,9 @@ fn delay_evidence_is_bit_identical_across_worker_counts() {
         let engine = Engine::with_workers(workers);
         let gdev = ProgrammedDevice::new(&lab, &golden, &die);
         let dut = ProgrammedDevice::new(&lab, &infected, &die);
-        let det = DelayDetector::new(characterize_golden_with(&engine, &gdev, campaign.clone()));
-        let evidence = det.examine_with(&engine, &dut, 7);
+        let det =
+            DelayDetector::new(characterize_golden_with(&engine, &gdev, campaign.clone()).unwrap());
+        let evidence = det.examine_with(&engine, &dut, 7).unwrap();
         assert_eq!(
             evidence.diff_ps, reference.diff_ps,
             "diff_ps diverged at {workers} workers"
@@ -91,11 +90,12 @@ fn settle_cache_reproduces_cold_simulation_exactly() {
 
     // Cold device: the first measurement simulates every settle.
     let cold_dev = ProgrammedDevice::new(&lab, &golden, &die);
-    let cold = measure_matrix_with(&Engine::serial(), &cold_dev, &campaign, &params, 5);
+    let cold = measure_matrix_with(&Engine::serial(), &cold_dev, &campaign, &params, 5).unwrap();
     assert_eq!(cold_dev.cache_stats().settle_hits, 0);
 
     // Same device again: all settles served from cache, same matrix.
-    let warm = measure_matrix_with(&Engine::with_workers(4), &cold_dev, &campaign, &params, 5);
+    let warm =
+        measure_matrix_with(&Engine::with_workers(4), &cold_dev, &campaign, &params, 5).unwrap();
     assert_eq!(warm, cold);
     let stats = cold_dev.cache_stats();
     assert_eq!(stats.settle_entries, campaign.pairs.len());
@@ -103,7 +103,8 @@ fn settle_cache_reproduces_cold_simulation_exactly() {
 
     // A fresh device (cold cache) still produces the identical matrix.
     let fresh_dev = ProgrammedDevice::new(&lab, &golden, &die);
-    let fresh = measure_matrix_with(&Engine::with_workers(3), &fresh_dev, &campaign, &params, 5);
+    let fresh =
+        measure_matrix_with(&Engine::with_workers(3), &fresh_dev, &campaign, &params, 5).unwrap();
     assert_eq!(fresh, cold);
 }
 
@@ -124,7 +125,7 @@ fn never_faulted_bits_are_distinct_from_last_step_onsets() {
         setup_ps: 180.0,
         noise_ps: 0.0,
     };
-    let matrix = measure_matrix_with(&Engine::serial(), &dev, &campaign, &wide, 0);
+    let matrix = measure_matrix_with(&Engine::serial(), &dev, &campaign, &wide, 0).unwrap();
     let sentinel = wide.never_onset_steps();
     assert_eq!(sentinel, 51.0);
     for row in &matrix.mean_onset_steps {

@@ -26,10 +26,7 @@ fn trojan_sizes_match_the_papers_percentages() {
     let expected = [0.005, 0.010, 0.017];
     for (spec, want) in TrojanSpec::size_sweep().into_iter().zip(expected) {
         let infected = Design::infected(&lab, &spec).unwrap();
-        let frac = infected
-            .trojan()
-            .unwrap()
-            .fraction_of_design(aes_slices);
+        let frac = infected.trojan().unwrap().fraction_of_design(aes_slices);
         assert!(
             (frac - want).abs() < want * 0.5,
             "{}: {frac:.4} vs paper {want}",
@@ -108,14 +105,10 @@ fn trojan_taps_are_subbytes_inputs() {
     }
     // Tapped nets gained the trigger's LUTs as sinks.
     let nl = infected.aes().netlist();
-    let trojan_cells: std::collections::HashSet<CellId> =
-        trojan.cells.iter().copied().collect();
+    let trojan_cells: std::collections::HashSet<CellId> = trojan.cells.iter().copied().collect();
     for &tap in &trojan.tapped_nets {
         assert!(
-            nl.net(tap)
-                .sinks()
-                .iter()
-                .any(|s| trojan_cells.contains(s)),
+            nl.net(tap).sinks().iter().any(|s| trojan_cells.contains(s)),
             "tap not actually connected"
         );
     }

@@ -431,24 +431,20 @@ mod tests {
         for _ in 0..200 {
             let s = Strategy::sample(&"[a-zA-Z0-9 _\\\\\"\\[\\]]{0,12}", &mut rng);
             assert!(s.chars().count() <= 12);
-            assert!(s
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric()
-                    || c == ' '
-                    || c == '_'
-                    || c == '\\'
-                    || c == '"'
-                    || c == '['
-                    || c == ']'));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
+                || c == ' '
+                || c == '_'
+                || c == '\\'
+                || c == '"'
+                || c == '['
+                || c == ']'));
         }
     }
 
     #[test]
     fn flat_map_sees_outer_value() {
         let mut rng = crate::TestRng::deterministic("flat", 3);
-        let strat = (1usize..4).prop_flat_map(|n| {
-            crate::collection::vec(Just(n), n..=n)
-        });
+        let strat = (1usize..4).prop_flat_map(|n| crate::collection::vec(Just(n), n..=n));
         for _ in 0..100 {
             let v = Strategy::sample(&strat, &mut rng);
             assert!(!v.is_empty() && v.len() < 4);
