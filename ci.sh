@@ -2,9 +2,11 @@
 # Tier-1 gate for the workspace, runnable locally and in CI:
 #   1. release build of every target,
 #   2. the full test suite,
-#   3. clippy with warnings denied,
-#   4. rustfmt check,
-#   5. rustdoc with warnings denied.
+#   3. every runnable example,
+#   4. an `htd` CLI smoke run (characterize -> score -> report -> diff),
+#   5. clippy with warnings denied,
+#   6. rustfmt check,
+#   7. rustdoc with warnings denied.
 # The build is fully offline: the three external dependencies (rand,
 # proptest, criterion) are vendored API shims under vendor/.
 set -eu
@@ -14,6 +16,23 @@ cargo build --release --all-targets
 
 echo "==> cargo test"
 cargo test -q
+
+for ex in quickstart delay_audit fab_audit trojan_zoo eda_flow; do
+    echo "==> cargo run --release --example $ex"
+    cargo run --release --example "$ex"
+done
+
+echo "==> htd CLI smoke"
+HTD_SMOKE_DIR="${TMPDIR:-/tmp}/htd-ci-smoke-$$"
+mkdir -p "$HTD_SMOKE_DIR"
+HTD=target/release/htd
+"$HTD" characterize --out "$HTD_SMOKE_DIR/golden.htd" \
+    --dies 6 --pairs 2 --reps 2 --seed 42 --channels em,delay
+"$HTD" score --golden "$HTD_SMOKE_DIR/golden.htd" --trojans ht2 \
+    --report "$HTD_SMOKE_DIR/report.htd"
+"$HTD" report "$HTD_SMOKE_DIR/report.htd" --csv >/dev/null
+"$HTD" diff "$HTD_SMOKE_DIR/report.htd" "$HTD_SMOKE_DIR/report.htd"
+rm -rf "$HTD_SMOKE_DIR"
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,456 @@
+//! `htd` — the detection pipeline as a command line.
+//!
+//! The binary splits the paper's experiment at its natural seam:
+//! `htd characterize` measures a golden population once and stores the
+//! result as a checksummed artifact; `htd score` loads that artifact and
+//! scores suspect designs against it — any number of times, in any
+//! process, with bit-identical results. `htd fuse`, `htd report` and
+//! `htd diff` operate purely on stored artifacts, no simulation at all.
+
+use std::process::ExitCode;
+
+use htd_core::channel::{Channel, ChannelSpec};
+use htd_core::em_detect::TraceMetric;
+use htd_core::fusion::{
+    characterize_campaign_with, fuse_scored_channels, score_design_with, ChannelResult,
+    MultiChannelReport, MultiChannelRow, ScoredChannel,
+};
+use htd_core::report::{multi_channel_table, pct, Table};
+use htd_core::{CampaignPlan, Engine, Error, Lab};
+use htd_stats::Gaussian;
+use htd_store::{ChannelFit, GoldenArtifact};
+use htd_trojan::TrojanSpec;
+
+const USAGE: &str = "\
+htd — hardware-trojan detection: characterize once, score many
+
+USAGE:
+  htd characterize --out FILE [--dies N] [--pairs N] [--reps N] [--seed N]
+                   [--channels em,delay,power] [--metric solm|max|sum|l2]
+                   [--pt HEX32] [--key HEX32] [--workers N] [--fits-dir DIR]
+      Measure a golden population and store it as a golden artifact.
+
+  htd score --golden FILE [--trojans ht1,ht2,...] [--report FILE]
+            [--csv FILE] [--kv FILE] [--scores-dir DIR] [--workers N]
+      Score suspect designs against a stored golden artifact.
+      Trojans: ht1 ht2 ht3 ht-comb ht-seq stealth sweep (= ht1,ht2,ht3).
+
+  htd fuse FILE FILE...
+      Fuse two or more stored per-channel score artifacts (z-score sum).
+
+  htd report FILE [--csv | --kv]
+      Render a stored report (aligned table, CSV, or key=value lines).
+
+  htd diff FILE FILE
+      Compare two stored reports. Exit 0 when identical, 1 when they
+      differ, 2 on error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("htd: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "characterize" => characterize(rest),
+        "score" => score(rest),
+        "fuse" => fuse(rest),
+        "report" => report(rest),
+        "diff" => diff(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}` (see `htd help`)").into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option parsing (hand-rolled: the container has no argument-parser crate).
+
+struct Opts {
+    positional: Vec<String>,
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String], valued: &[&str], boolean: &[&str]) -> Result<Opts, String> {
+        let mut opts = Opts {
+            positional: Vec::new(),
+            values: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if boolean.contains(&name) {
+                    opts.switches.push(name.to_string());
+                } else if valued.contains(&name) {
+                    let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    opts.values.push((name.to_string(), value.clone()));
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else {
+                opts.positional.push(arg.clone());
+            }
+        }
+        Ok(opts)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|n| n == name)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, token: &str) -> Result<T, String> {
+    token
+        .parse()
+        .map_err(|_| format!("--{name}: bad number `{token}`"))
+}
+
+fn parse_hex16(name: &str, token: &str) -> Result<[u8; 16], String> {
+    let err = || format!("--{name}: `{token}` must be 32 hex digits");
+    if token.len() != 32 || !token.is_ascii() {
+        return Err(err());
+    }
+    let mut block = [0u8; 16];
+    for (i, out) in block.iter_mut().enumerate() {
+        *out = u8::from_str_radix(&token[2 * i..2 * i + 2], 16).map_err(|_| err())?;
+    }
+    Ok(block)
+}
+
+fn engine_for(opts: &Opts) -> Result<Engine, String> {
+    match opts.get("workers") {
+        None => Ok(Engine::auto()),
+        Some(token) => {
+            let n: usize = parse_num("workers", token)?;
+            Ok(if n == 0 {
+                Engine::auto()
+            } else {
+                Engine::with_workers(n)
+            })
+        }
+    }
+}
+
+fn channel_specs(csv: &str, metric: TraceMetric) -> Result<Vec<ChannelSpec>, String> {
+    let mut specs = Vec::new();
+    for name in csv.split(',').filter(|s| !s.is_empty()) {
+        specs.push(match name {
+            "em" => ChannelSpec::Em(metric),
+            "power" => ChannelSpec::Power(metric),
+            "delay" => ChannelSpec::Delay,
+            other => return Err(format!("unknown channel `{other}` (em, power, delay)")),
+        });
+    }
+    if specs.is_empty() {
+        return Err("--channels selected no channels".to_string());
+    }
+    Ok(specs)
+}
+
+fn trojan_specs(csv: &str) -> Result<Vec<TrojanSpec>, String> {
+    let mut specs = Vec::new();
+    for name in csv.split(',').filter(|s| !s.is_empty()) {
+        match name.to_ascii_lowercase().as_str() {
+            "ht1" | "ht-1" => specs.push(TrojanSpec::ht1()),
+            "ht2" | "ht-2" => specs.push(TrojanSpec::ht2()),
+            "ht3" | "ht-3" => specs.push(TrojanSpec::ht3()),
+            "ht-comb" | "comb" => specs.push(TrojanSpec::ht_comb()),
+            "ht-seq" | "seq" => specs.push(TrojanSpec::ht_seq()),
+            "stealth" => specs.push(TrojanSpec::stealth()),
+            "sweep" => specs.extend(TrojanSpec::size_sweep()),
+            other => {
+                return Err(format!(
+                    "unknown trojan `{other}` (ht1, ht2, ht3, ht-comb, ht-seq, stealth, sweep)"
+                ))
+            }
+        }
+    }
+    if specs.is_empty() {
+        return Err("--trojans selected no trojans".to_string());
+    }
+    Ok(specs)
+}
+
+/// A filesystem-safe slug of a channel or trojan label.
+fn slug(label: &str) -> String {
+    let mut s: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    while s.contains("--") {
+        s = s.replace("--", "-");
+    }
+    s.trim_matches('-').to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+
+fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "out", "dies", "pairs", "reps", "seed", "channels", "metric", "pt", "key", "workers",
+            "fits-dir",
+        ],
+        &[],
+    )?;
+    let out = opts.require("out")?.to_string();
+    let dies: usize = parse_num("dies", opts.get("dies").unwrap_or("8"))?;
+    let pairs: usize = parse_num("pairs", opts.get("pairs").unwrap_or("10"))?;
+    let reps: usize = parse_num("reps", opts.get("reps").unwrap_or("3"))?;
+    let seed: u64 = parse_num("seed", opts.get("seed").unwrap_or("24301"))?;
+    let metric = opts.get("metric").unwrap_or("solm");
+    let metric = TraceMetric::from_token(metric)
+        .ok_or_else(|| format!("--metric: unknown metric `{metric}` (solm, max, sum, l2)"))?;
+    let specs = channel_specs(opts.get("channels").unwrap_or("em,delay"), metric)?;
+    let pt = parse_hex16("pt", opts.get("pt").unwrap_or(&"42".repeat(16)))?;
+    let key = parse_hex16("key", opts.get("key").unwrap_or(&"0f".repeat(16)))?;
+    let engine = engine_for(&opts)?;
+
+    let lab = Lab::paper();
+    let plan = CampaignPlan::with_random_pairs(dies, pairs, reps, pt, key, seed);
+    let channels: Vec<Box<dyn Channel>> = specs.iter().map(ChannelSpec::build).collect();
+    let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+    let charac = characterize_campaign_with(&engine, &lab, &plan, &refs)?;
+    let artifact = GoldenArtifact::new(specs, charac)?;
+
+    if let Some(dir) = opts.get("fits-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| Error::io(dir, e))?;
+        for state in &artifact.characterization().states {
+            let fit =
+                Gaussian::fit(&state.scores).map_err(|source| Error::DegeneratePopulation {
+                    channel: state.channel.clone(),
+                    samples: state.scores.len(),
+                    source,
+                })?;
+            let path = std::path::Path::new(dir).join(format!("{}.fit.htd", slug(&state.channel)));
+            htd_store::save(
+                &path,
+                &ChannelFit {
+                    channel: state.channel.clone(),
+                    fit,
+                },
+            )?;
+            println!("wrote {}", path.display());
+        }
+    }
+
+    htd_store::save(&out, &artifact)?;
+    let names: Vec<&str> = artifact
+        .characterization()
+        .states
+        .iter()
+        .map(|s| s.channel.as_str())
+        .collect();
+    println!(
+        "characterized {dies} golden dies over {} channel(s) [{}] → {out}",
+        names.len(),
+        names.join(", "),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "golden",
+            "trojans",
+            "report",
+            "csv",
+            "kv",
+            "scores-dir",
+            "workers",
+        ],
+        &[],
+    )?;
+    let golden_path = opts.require("golden")?;
+    let specs = trojan_specs(opts.get("trojans").unwrap_or("ht1,ht2,ht3"))?;
+    let engine = engine_for(&opts)?;
+
+    let artifact: GoldenArtifact = htd_store::load(golden_path)?;
+    let channels = artifact.build_channels();
+    let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+    let charac = artifact.characterization();
+    let lab = Lab::paper();
+
+    if let Some(dir) = opts.get("scores-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| Error::io(dir, e))?;
+    }
+
+    let mut rows = Vec::with_capacity(specs.len());
+    for (s, spec) in specs.iter().enumerate() {
+        let (size_fraction, scored) = score_design_with(&engine, &lab, charac, s, spec, &refs)?;
+        if let Some(dir) = opts.get("scores-dir") {
+            for set in &scored {
+                let path = std::path::Path::new(dir).join(format!(
+                    "{}.{}.scores.htd",
+                    slug(&spec.name),
+                    slug(&set.channel)
+                ));
+                htd_store::save(&path, set)?;
+                println!("wrote {}", path.display());
+            }
+        }
+        let (channel_results, fused) = if scored.len() >= 2 {
+            let (per_channel, fused) = fuse_scored_channels(&scored)?;
+            (per_channel, Some(fused))
+        } else {
+            let per_channel = scored
+                .iter()
+                .map(|set| ChannelResult::fit(set.channel.clone(), &set.golden, &set.infected))
+                .collect::<Result<Vec<_>, _>>()?;
+            (per_channel, None)
+        };
+        rows.push(MultiChannelRow {
+            name: spec.name.clone(),
+            size_fraction,
+            channels: channel_results,
+            fused,
+        });
+    }
+    let report = MultiChannelReport {
+        rows,
+        n_dies: charac.plan.n_dies,
+        channel_names: charac.states.iter().map(|s| s.channel.clone()).collect(),
+    };
+
+    let table = multi_channel_table(&report);
+    print!("{table}");
+    if let Some(path) = opts.get("csv") {
+        std::fs::write(path, table.to_csv()).map_err(|e| Error::io(path, e))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = opts.get("kv") {
+        std::fs::write(path, table.to_kv()).map_err(|e| Error::io(path, e))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = opts.get("report") {
+        htd_store::save(path, &report)?;
+        println!("wrote {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn fuse(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(args, &[], &[])?;
+    if opts.positional.len() < 2 {
+        return Err("fuse needs at least two score artifacts".into());
+    }
+    let sets = opts
+        .positional
+        .iter()
+        .map(htd_store::load::<ScoredChannel>)
+        .collect::<Result<Vec<_>, _>>()?;
+    let (per_channel, fused) = fuse_scored_channels(&sets)?;
+    let mut table = Table::new(&["channel", "µ", "σ", "FN rate", "FN emp", "FP emp"]);
+    for r in per_channel.iter().chain([&fused]) {
+        table.push_row(&[
+            r.channel.clone(),
+            format!("{:.3}", r.mu),
+            format!("{:.3}", r.sigma),
+            pct(r.analytic_fn_rate),
+            pct(r.empirical_fn_rate),
+            pct(r.empirical_fp_rate),
+        ]);
+    }
+    print!("{table}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn report(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(args, &[], &["csv", "kv"])?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("report needs exactly one report artifact".into());
+    };
+    let report: MultiChannelReport = htd_store::load(path)?;
+    let table = multi_channel_table(&report);
+    if opts.has("csv") {
+        print!("{}", table.to_csv());
+    } else if opts.has("kv") {
+        print!("{}", table.to_kv());
+    } else {
+        print!("{table}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn diff(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(args, &[], &[])?;
+    let [path_a, path_b] = opts.positional.as_slice() else {
+        return Err("diff needs exactly two report artifacts".into());
+    };
+    let a: MultiChannelReport = htd_store::load(path_a)?;
+    let b: MultiChannelReport = htd_store::load(path_b)?;
+    let differences = report_differences(&a, &b);
+    if differences.is_empty() {
+        println!("reports match");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for d in &differences {
+        println!("{d}");
+    }
+    Ok(ExitCode::from(1))
+}
+
+/// Human-readable differences between two reports; empty when identical.
+fn report_differences(a: &MultiChannelReport, b: &MultiChannelReport) -> Vec<String> {
+    let mut out = Vec::new();
+    if a.n_dies != b.n_dies {
+        out.push(format!("die count: {} vs {}", a.n_dies, b.n_dies));
+    }
+    if a.channel_names != b.channel_names {
+        out.push(format!(
+            "channels: [{}] vs [{}]",
+            a.channel_names.join(", "),
+            b.channel_names.join(", ")
+        ));
+    }
+    if a.rows.len() != b.rows.len() {
+        out.push(format!("row count: {} vs {}", a.rows.len(), b.rows.len()));
+    }
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        if ra.name != rb.name {
+            out.push(format!("row name: `{}` vs `{}`", ra.name, rb.name));
+        } else if ra != rb {
+            out.push(format!("row `{}` differs", ra.name));
+        }
+    }
+    out
+}

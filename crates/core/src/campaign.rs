@@ -14,7 +14,7 @@ use crate::delay_detect::DelayCampaign;
 
 /// One multi-channel measurement campaign: population size, stimulus,
 /// delay-sweep pairs and the seed hierarchy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignPlan {
     /// Dies in the population (the paper uses 8; the Monte-Carlo
     /// extensions use hundreds).

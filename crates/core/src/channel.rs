@@ -39,7 +39,7 @@ use crate::{Engine, ProgrammedDevice};
 
 /// Channel-specific measurement parameters established by
 /// [`Channel::calibrate`] and threaded through the later stages.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Calibration {
     /// The channel needs no calibration (trace channels).
     None,
@@ -62,7 +62,7 @@ impl Calibration {
 }
 
 /// One device's raw measurement, as produced by [`Channel::acquire`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Acquisition {
     /// A side-channel trace (EM or power chain).
     Trace(Trace),
@@ -96,7 +96,7 @@ impl Acquisition {
 
 /// A channel's golden-population reference, as produced by
 /// [`Channel::characterize_golden`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GoldenReference {
     /// The golden mean trace `E_n(G)` (Section V-A).
     MeanTrace(Trace),
@@ -409,6 +409,66 @@ pub fn trace_channel(chain: SideChannel, metric: TraceMetric) -> Box<dyn Channel
     }
 }
 
+/// A constructible description of one channel — the piece of channel
+/// configuration that can live in a stored artifact (or a CLI flag) and
+/// be rebuilt into a live [`Channel`] later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelSpec {
+    /// The near-field EM channel with its deviation metric.
+    Em(TraceMetric),
+    /// The global power baseline with its deviation metric.
+    Power(TraceMetric),
+    /// The clock-glitch delay channel.
+    Delay,
+}
+
+impl ChannelSpec {
+    /// The label the built channel will report ([`Channel::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChannelSpec::Em(_) => "EM",
+            ChannelSpec::Power(_) => "power",
+            ChannelSpec::Delay => "delay",
+        }
+    }
+
+    /// Builds the live channel this spec describes.
+    pub fn build(&self) -> Box<dyn Channel> {
+        match self {
+            ChannelSpec::Em(metric) => Box::new(EmChannel::new(*metric)),
+            ChannelSpec::Power(metric) => Box::new(PowerChannel::new(*metric)),
+            ChannelSpec::Delay => Box::new(DelayChannel),
+        }
+    }
+
+    /// The spec's stable serialization token (`"em <metric>"`,
+    /// `"power <metric>"`, `"delay"`), the inverse of
+    /// [`ChannelSpec::from_token`].
+    pub fn token(&self) -> String {
+        match self {
+            ChannelSpec::Em(m) => format!("em {}", m.token()),
+            ChannelSpec::Power(m) => format!("power {}", m.token()),
+            ChannelSpec::Delay => "delay".to_string(),
+        }
+    }
+
+    /// Parses a [`ChannelSpec::token`] string. Returns `None` on any
+    /// unknown kind, unknown metric, or trailing garbage.
+    pub fn from_token(token: &str) -> Option<Self> {
+        let mut words = token.split_whitespace();
+        let spec = match (words.next()?, words.next()) {
+            ("em", Some(m)) => ChannelSpec::Em(TraceMetric::from_token(m)?),
+            ("power", Some(m)) => ChannelSpec::Power(TraceMetric::from_token(m)?),
+            ("delay", None) => ChannelSpec::Delay,
+            _ => return None,
+        };
+        match words.next() {
+            Some(_) => None,
+            None => Some(spec),
+        }
+    }
+}
+
 /// Shared stage 3 of the trace channels: the golden mean trace.
 fn mean_trace_reference(
     channel: &'static str,
@@ -543,6 +603,25 @@ mod tests {
             trace_channel(SideChannel::Power, TraceMetric::SumOfLocalMaxima).name(),
             "power"
         );
+    }
+
+    #[test]
+    fn channel_spec_tokens_roundtrip() {
+        let specs = [
+            ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
+            ChannelSpec::Em(TraceMetric::L2Norm),
+            ChannelSpec::Power(TraceMetric::MaxPoint),
+            ChannelSpec::Power(TraceMetric::SumAll),
+            ChannelSpec::Delay,
+        ];
+        for spec in specs {
+            let token = spec.token();
+            assert_eq!(ChannelSpec::from_token(&token), Some(spec), "{token}");
+            assert_eq!(spec.build().name(), spec.name());
+        }
+        for bad in ["", "em", "em bogus", "delay extra", "laser solm"] {
+            assert_eq!(ChannelSpec::from_token(bad), None, "{bad}");
+        }
     }
 
     #[test]

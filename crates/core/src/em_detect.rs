@@ -58,6 +58,30 @@ impl TraceMetric {
             TraceMetric::L2Norm => deviation.iter().map(|d| d * d).sum::<f64>().sqrt(),
         }
     }
+
+    /// The metric's stable serialization token (used by the artifact
+    /// store and the `htd` CLI), the inverse of
+    /// [`TraceMetric::from_token`].
+    pub fn token(self) -> &'static str {
+        match self {
+            TraceMetric::SumOfLocalMaxima => "solm",
+            TraceMetric::MaxPoint => "max",
+            TraceMetric::SumAll => "sum",
+            TraceMetric::L2Norm => "l2",
+        }
+    }
+
+    /// Parses a [`TraceMetric::token`]. Returns `None` for unknown
+    /// tokens.
+    pub fn from_token(token: &str) -> Option<Self> {
+        match token {
+            "solm" => Some(TraceMetric::SumOfLocalMaxima),
+            "max" => Some(TraceMetric::MaxPoint),
+            "sum" => Some(TraceMetric::SumAll),
+            "l2" => Some(TraceMetric::L2Norm),
+            _ => None,
+        }
+    }
 }
 
 /// Result of the same-die direct comparison (Fig. 5).

@@ -81,8 +81,24 @@ pub enum Error {
     Fabric(FabricError),
     /// An underlying trojan insertion failed.
     Trojan(TrojanError),
-    /// An I/O failure (CSV export).
-    Io(std::io::Error),
+    /// An I/O failure on a named file (CSV export, artifact store).
+    Io {
+        /// Path of the file the operation failed on.
+        path: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// A stored artifact failed strict parsing (bad syntax, version or
+    /// checksum mismatch, truncated body).
+    Format {
+        /// Origin of the offending text (file path, or `"<memory>"`).
+        path: String,
+        /// 1-based line number of the first offending line (0 when the
+        /// failure is not attributable to a single line).
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -124,7 +140,14 @@ impl fmt::Display for Error {
             Error::Netlist(e) => write!(f, "netlist error: {e}"),
             Error::Fabric(e) => write!(f, "fabric error: {e}"),
             Error::Trojan(e) => write!(f, "trojan error: {e}"),
-            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Io { path, source } => write!(f, "{path}: I/O error: {source}"),
+            Error::Format { path, line, reason } => {
+                if *line == 0 {
+                    write!(f, "{path}: {reason}")
+                } else {
+                    write!(f, "{path}:{line}: {reason}")
+                }
+            }
         }
     }
 }
@@ -137,7 +160,7 @@ impl std::error::Error for Error {
             Error::Netlist(e) => Some(e),
             Error::Fabric(e) => Some(e),
             Error::Trojan(e) => Some(e),
-            Error::Io(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -167,9 +190,23 @@ impl From<TrojanError> for Error {
     }
 }
 
-impl From<std::io::Error> for Error {
-    fn from(e: std::io::Error) -> Self {
-        Error::Io(e)
+impl Error {
+    /// Wraps an I/O failure with the path it occurred on.
+    pub fn io(path: impl AsRef<std::path::Path>, source: std::io::Error) -> Self {
+        Error::Io {
+            path: path.as_ref().display().to_string(),
+            source,
+        }
+    }
+
+    /// A strict-parse failure at `line` (1-based; 0 for whole-file
+    /// failures) of the artifact at `path`.
+    pub fn format(path: impl Into<String>, line: usize, reason: impl Into<String>) -> Self {
+        Error::Format {
+            path: path.into(),
+            line,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -187,6 +224,22 @@ mod tests {
         assert!(msg.contains("12") && msg.contains('4'), "{msg}");
         let err = Error::NotEnoughDies { got: 1, need: 2 };
         assert!(err.to_string().contains("at least 2"), "{err}");
+    }
+
+    #[test]
+    fn io_and_format_variants_carry_file_context() {
+        let e = Error::io(
+            "/tmp/golden.htd",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("/tmp/golden.htd"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = Error::format("golden.htd", 7, "checksum mismatch");
+        assert_eq!(e.to_string(), "golden.htd:7: checksum mismatch");
+        // Whole-file failures omit the line number.
+        let e = Error::format("golden.htd", 0, "truncated artifact");
+        assert_eq!(e.to_string(), "golden.htd: truncated artifact");
     }
 
     #[test]

@@ -3,9 +3,23 @@
 //! impact of process variations on detection probability using **both**
 //! delay and EM measurements."*
 //!
-//! The generic runner, [`multi_channel_experiment`], drives any set of
-//! [`Channel`]s through their acquire → characterize_golden → score
-//! stages over one shared die population:
+//! The campaign is split into the two halves of the paper's methodology,
+//! so a trusted characterization can be produced **once** and amortised
+//! over many scoring runs (the `htd-store` crate persists it between
+//! processes):
+//!
+//! * [`characterize_campaign`] — run the golden population through every
+//!   channel's calibrate → acquire → characterize_golden → score stages
+//!   and fold the results into a durable [`GoldenCharacterization`].
+//! * [`score_campaign`] — score any set of suspect designs against a
+//!   (possibly reloaded) characterization, producing the same
+//!   [`MultiChannelReport`] as the one-shot experiment.
+//!
+//! [`multi_channel_experiment`] composes the two; both halves derive every
+//! seed from the [`CampaignPlan`] seed tree, so reports are bit-identical
+//! for every worker count *and* across the save/load boundary.
+//!
+//! Channels:
 //!
 //! * **EM channel** — the Section V sum-of-local-maxima metric.
 //! * **Delay channel** — an inter-die generalisation of Section III: the
@@ -28,10 +42,10 @@ use crate::error::Error;
 use crate::{Design, Engine, Lab, ProgrammedDevice};
 
 /// Per-channel population statistics for one trojan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelResult {
     /// Channel label (`"EM"`, `"delay"`, `"power"`, `"fused"`).
-    pub channel: &'static str,
+    pub channel: String,
     /// Metric offset µ between infected and golden populations.
     pub mu: f64,
     /// Pooled metric standard deviation.
@@ -53,16 +67,22 @@ impl ChannelResult {
     /// [`Error::DegeneratePopulation`] if either population has no spread
     /// (or too few samples) — e.g. constant metrics from a campaign with
     /// zero measurement noise.
-    pub fn fit(channel: &'static str, golden: &[f64], infected: &[f64]) -> Result<Self, Error> {
-        let degenerate = |samples: usize| {
+    pub fn fit(
+        channel: impl Into<String>,
+        golden: &[f64],
+        infected: &[f64],
+    ) -> Result<Self, Error> {
+        let channel = channel.into();
+        let degenerate = |channel: &str, samples: usize| {
+            let channel = channel.to_string();
             move |source| Error::DegeneratePopulation {
-                channel: channel.to_string(),
+                channel,
                 samples,
                 source,
             }
         };
-        let g = Gaussian::fit(golden).map_err(degenerate(golden.len()))?;
-        let t = Gaussian::fit(infected).map_err(degenerate(infected.len()))?;
+        let g = Gaussian::fit(golden).map_err(degenerate(&channel, golden.len()))?;
+        let t = Gaussian::fit(infected).map_err(degenerate(&channel, infected.len()))?;
         let mu = t.mean() - g.mean();
         let sigma = ((g.std() * g.std() + t.std() * t.std()) / 2.0).sqrt();
         let analytic = if mu > 0.0 {
@@ -84,7 +104,7 @@ impl ChannelResult {
 }
 
 /// One trojan's results across every channel of a multi-channel campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiChannelRow {
     /// Trojan name.
     pub name: String,
@@ -98,14 +118,14 @@ pub struct MultiChannelRow {
 }
 
 /// The result of a [`multi_channel_experiment`] campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiChannelReport {
     /// One row per trojan, in the order supplied.
     pub rows: Vec<MultiChannelRow>,
     /// Population size.
     pub n_dies: usize,
     /// The channel labels, in execution order.
-    pub channel_names: Vec<&'static str>,
+    pub channel_names: Vec<String>,
 }
 
 /// Results of the historical two-channel experiment for one trojan.
@@ -131,11 +151,46 @@ pub struct FusionReport {
     pub n_dies: usize,
 }
 
-/// One channel's golden-population state inside the runner.
-struct GoldenChannelState {
-    calibration: Calibration,
-    reference: GoldenReference,
-    scores: Vec<f64>,
+/// One channel's durable golden-population state: everything scoring
+/// needs once the golden devices have left the bench. Produced by
+/// [`characterize_campaign`]; persisted by `htd-store`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelState {
+    /// The channel's label ([`Channel::name`]).
+    pub channel: String,
+    /// Measurement parameters established on the golden population.
+    pub calibration: Calibration,
+    /// The golden-population reference (`E_n(G)` / mean onset matrix).
+    pub reference: GoldenReference,
+    /// Per-die golden scores against the reference (die order).
+    pub scores: Vec<f64>,
+}
+
+/// A trusted characterization of one golden population: the campaign it
+/// was measured under plus every channel's [`ChannelState`]. This is the
+/// paper's "golden model", in amortisable form — characterize once with
+/// [`characterize_campaign`], then score any number of suspect
+/// populations with [`score_campaign`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenCharacterization {
+    /// The campaign the golden population was measured under. Scoring
+    /// re-derives every suspect seed from this plan's seed tree.
+    pub plan: CampaignPlan,
+    /// Per-channel golden state, in channel execution order.
+    pub states: Vec<ChannelState>,
+}
+
+/// One channel's scored populations for a single suspect design: the
+/// golden per-die scores (from the characterization) next to the
+/// suspect's. This is the unit `htd fuse` consumes from disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredChannel {
+    /// The channel's label.
+    pub channel: String,
+    /// Per-die golden scores.
+    pub golden: Vec<f64>,
+    /// Per-die suspect scores.
+    pub infected: Vec<f64>,
 }
 
 /// Acquires and scores one design population for one channel. The fan is
@@ -177,41 +232,52 @@ fn fuse(golden_fits: &[Gaussian], per_channel_scores: &[Vec<f64>], n_dies: usize
         .collect()
 }
 
-/// Runs a [`CampaignPlan`] through every supplied [`Channel`] over one
-/// shared die population, with the default (auto-sized) [`Engine`].
+/// Fits the golden Gaussian of every channel state (the fusion
+/// normalisation).
+fn golden_fits(states: &[ChannelState]) -> Result<Vec<Gaussian>, Error> {
+    states
+        .iter()
+        .map(|state| {
+            Gaussian::fit(&state.scores).map_err(|source| Error::DegeneratePopulation {
+                channel: state.channel.clone(),
+                samples: state.scores.len(),
+                source,
+            })
+        })
+        .collect()
+}
+
+/// Characterizes the golden population of `plan` under every supplied
+/// channel, with the default (auto-sized) [`Engine`].
 ///
 /// # Errors
 ///
 /// [`Error::EmptyPopulation`] with no channels, [`Error::NotEnoughDies`]
-/// below two dies, [`Error::DegeneratePopulation`] when a metric
-/// population has no spread; design and simulation failures otherwise.
-pub fn multi_channel_experiment(
+/// below two dies; design and simulation failures otherwise.
+pub fn characterize_campaign(
     lab: &Lab,
     plan: &CampaignPlan,
-    specs: &[TrojanSpec],
     channels: &[&dyn Channel],
-) -> Result<MultiChannelReport, Error> {
-    multi_channel_experiment_with(&Engine::default(), lab, plan, specs, channels)
+) -> Result<GoldenCharacterization, Error> {
+    characterize_campaign_with(&Engine::default(), lab, plan, channels)
 }
 
-/// [`multi_channel_experiment`] on an explicit [`Engine`].
+/// [`characterize_campaign`] on an explicit [`Engine`].
 ///
-/// Each (design, die) device is programmed **once** and reused — with its
-/// simulation caches warm — across calibration, the golden references and
-/// every population scoring pass. All per-die fans use seeds from the
-/// plan's seed tree, so the report is bit-identical for every worker
-/// count and any channel subset reproduces the same per-channel numbers.
+/// Each golden (die) device is programmed **once** and reused — with its
+/// simulation caches warm — across calibration, reference building and
+/// golden scoring. All per-die fans use seeds from the plan's seed tree,
+/// so the characterization is bit-identical for every worker count.
 ///
 /// # Errors
 ///
-/// See [`multi_channel_experiment`].
-pub fn multi_channel_experiment_with(
+/// See [`characterize_campaign`].
+pub fn characterize_campaign_with(
     engine: &Engine,
     lab: &Lab,
     plan: &CampaignPlan,
-    specs: &[TrojanSpec],
     channels: &[&dyn Channel],
-) -> Result<MultiChannelReport, Error> {
+) -> Result<GoldenCharacterization, Error> {
     if channels.is_empty() {
         return Err(Error::EmptyPopulation {
             what: "channel list",
@@ -224,17 +290,11 @@ pub fn multi_channel_experiment_with(
         });
     }
     let golden = Design::golden(lab)?;
-    let golden_slices = golden.used_slices();
     let dies = lab.fabricate_batch(plan.n_dies);
-
-    // Program the golden design once per die; every later stage shares
-    // these devices and their caches.
     let golden_devs: Vec<ProgrammedDevice<'_>> =
         engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &golden, die));
 
-    // Golden pass, per channel: calibrate, acquire the population,
-    // characterize the reference, score the golden dies against it.
-    let mut golden_states: Vec<GoldenChannelState> = Vec::with_capacity(channels.len());
+    let mut states: Vec<ChannelState> = Vec::with_capacity(channels.len());
     for channel in channels {
         let calibration = channel.calibrate(engine, plan, &golden_devs)?;
         let acquisitions = engine
@@ -248,30 +308,194 @@ pub fn multi_channel_experiment_with(
             .iter()
             .map(|a| channel.score(a, &reference, &calibration))
             .collect::<Result<Vec<f64>, _>>()?;
-        golden_states.push(GoldenChannelState {
+        states.push(ChannelState {
+            channel: channel.name().to_string(),
             calibration,
             reference,
             scores,
         });
     }
+    Ok(GoldenCharacterization {
+        plan: plan.clone(),
+        states,
+    })
+}
+
+/// Checks that the supplied channels match the stored characterization
+/// one-to-one (same count, same names, same order).
+fn check_channels_match(
+    charac: &GoldenCharacterization,
+    channels: &[&dyn Channel],
+) -> Result<(), Error> {
+    if channels.len() != charac.states.len() {
+        return Err(Error::ChannelShapeMismatch {
+            channel: format!("{} stored channel state(s)", charac.states.len()),
+            expected: "one live channel per stored state",
+        });
+    }
+    for (channel, state) in channels.iter().zip(&charac.states) {
+        if channel.name() != state.channel {
+            return Err(Error::ChannelShapeMismatch {
+                channel: state.channel.clone(),
+                expected: "a live channel with the stored state's name",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Scores one suspect design's population against a characterization.
+///
+/// `spec_index` is the design's position in the campaign's suspect list:
+/// it selects the design's seed stream
+/// ([`CampaignPlan::spec_die_seed`]), so scoring design `s` alone
+/// reproduces exactly the scores it gets inside a batched
+/// [`score_campaign`] at position `s`.
+///
+/// # Errors
+///
+/// [`Error::ChannelShapeMismatch`] when `channels` does not match the
+/// stored states; design and simulation failures otherwise.
+pub fn score_design_with(
+    engine: &Engine,
+    lab: &Lab,
+    charac: &GoldenCharacterization,
+    spec_index: usize,
+    spec: &TrojanSpec,
+    channels: &[&dyn Channel],
+) -> Result<(f64, Vec<ScoredChannel>), Error> {
+    check_channels_match(charac, channels)?;
+    let plan = &charac.plan;
+    let golden = Design::golden(lab)?;
+    let golden_slices = golden.used_slices();
+    let dies = lab.fabricate_batch(plan.n_dies);
+    let infected = Design::infected(lab, spec)?;
+    let infected_devs: Vec<ProgrammedDevice<'_>> =
+        engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &infected, die));
+    let mut scored = Vec::with_capacity(channels.len());
+    for (channel, state) in channels.iter().zip(&charac.states) {
+        let infected_scores = score_population(
+            engine,
+            *channel,
+            &infected_devs,
+            plan,
+            &state.calibration,
+            &state.reference,
+            |j| plan.spec_die_seed(spec_index, j),
+        )?;
+        scored.push(ScoredChannel {
+            channel: state.channel.clone(),
+            golden: state.scores.clone(),
+            infected: infected_scores,
+        });
+    }
+    let size_fraction = infected
+        .trojan()
+        .map(|t| t.fraction_of_design(golden_slices))
+        .unwrap_or(0.0);
+    Ok((size_fraction, scored))
+}
+
+/// Fuses stored per-channel scored populations into per-channel
+/// [`ChannelResult`]s plus the fused (z-score sum) result — the math of
+/// `htd fuse`, usable on any mix of channels scored under the same
+/// campaign.
+///
+/// # Errors
+///
+/// [`Error::ChannelShapeMismatch`] below two channels or on mismatched
+/// population sizes; [`Error::DegeneratePopulation`] when a golden
+/// population has no spread.
+pub fn fuse_scored_channels(
+    sets: &[ScoredChannel],
+) -> Result<(Vec<ChannelResult>, ChannelResult), Error> {
+    let Some(first) = sets.first() else {
+        return Err(Error::EmptyPopulation {
+            what: "scored channel list",
+        });
+    };
+    if sets.len() < 2 {
+        return Err(Error::ChannelShapeMismatch {
+            channel: first.channel.clone(),
+            expected: "at least two channels to fuse",
+        });
+    }
+    let n_dies = first.golden.len();
+    for set in sets {
+        if set.golden.len() != n_dies || set.infected.len() != n_dies {
+            return Err(Error::ChannelShapeMismatch {
+                channel: set.channel.clone(),
+                expected: "equal population sizes across every fused channel",
+            });
+        }
+    }
+    let per_channel = sets
+        .iter()
+        .map(|set| ChannelResult::fit(set.channel.clone(), &set.golden, &set.infected))
+        .collect::<Result<Vec<_>, _>>()?;
+    let fits = sets
+        .iter()
+        .map(|set| {
+            Gaussian::fit(&set.golden).map_err(|source| Error::DegeneratePopulation {
+                channel: set.channel.clone(),
+                samples: set.golden.len(),
+                source,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let golden_scores: Vec<Vec<f64>> = sets.iter().map(|s| s.golden.clone()).collect();
+    let infected_scores: Vec<Vec<f64>> = sets.iter().map(|s| s.infected.clone()).collect();
+    let golden_fused = fuse(&fits, &golden_scores, n_dies);
+    let infected_fused = fuse(&fits, &infected_scores, n_dies);
+    let fused = ChannelResult::fit("fused", &golden_fused, &infected_fused)?;
+    Ok((per_channel, fused))
+}
+
+/// Scores suspect designs against a characterization, with the default
+/// (auto-sized) [`Engine`].
+///
+/// # Errors
+///
+/// See [`score_campaign_with`].
+pub fn score_campaign(
+    lab: &Lab,
+    charac: &GoldenCharacterization,
+    specs: &[TrojanSpec],
+    channels: &[&dyn Channel],
+) -> Result<MultiChannelReport, Error> {
+    score_campaign_with(&Engine::default(), lab, charac, specs, channels)
+}
+
+/// [`score_campaign`] on an explicit [`Engine`]: the second half of
+/// [`multi_channel_experiment`], runnable any number of times (and in any
+/// process) against the same characterization without re-measuring the
+/// golden population.
+///
+/// # Errors
+///
+/// [`Error::ChannelShapeMismatch`] when `channels` does not match the
+/// stored states; [`Error::DegeneratePopulation`] when a metric
+/// population has no spread; design and simulation failures otherwise.
+pub fn score_campaign_with(
+    engine: &Engine,
+    lab: &Lab,
+    charac: &GoldenCharacterization,
+    specs: &[TrojanSpec],
+    channels: &[&dyn Channel],
+) -> Result<MultiChannelReport, Error> {
+    check_channels_match(charac, channels)?;
+    let plan = &charac.plan;
+    let golden = Design::golden(lab)?;
+    let golden_slices = golden.used_slices();
+    let dies = lab.fabricate_batch(plan.n_dies);
 
     // Fusion normalisation: the golden fit of each channel. Only needed
     // (and only required to be non-degenerate) when there is something to
     // fuse.
-    let (golden_fits, golden_fused) = if channels.len() >= 2 {
-        let fits = channels
-            .iter()
-            .zip(&golden_states)
-            .map(|(channel, state)| {
-                Gaussian::fit(&state.scores).map_err(|source| Error::DegeneratePopulation {
-                    channel: channel.name().to_string(),
-                    samples: state.scores.len(),
-                    source,
-                })
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let per_channel: Vec<Vec<f64>> = golden_states.iter().map(|s| s.scores.clone()).collect();
-        let fused = fuse(&fits, &per_channel, plan.n_dies);
+    let (fits, golden_fused) = if channels.len() >= 2 {
+        let fits = golden_fits(&charac.states)?;
+        let golden_scores: Vec<Vec<f64>> = charac.states.iter().map(|s| s.scores.clone()).collect();
+        let fused = fuse(&fits, &golden_scores, plan.n_dies);
         (fits, Some(fused))
     } else {
         (Vec::new(), None)
@@ -283,7 +507,7 @@ pub fn multi_channel_experiment_with(
         let infected_devs: Vec<ProgrammedDevice<'_>> =
             engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &infected, die));
         let mut per_channel: Vec<Vec<f64>> = Vec::with_capacity(channels.len());
-        for (channel, state) in channels.iter().zip(&golden_states) {
+        for (channel, state) in channels.iter().zip(&charac.states) {
             per_channel.push(score_population(
                 engine,
                 *channel,
@@ -294,17 +518,15 @@ pub fn multi_channel_experiment_with(
                 |j| plan.spec_die_seed(s, j),
             )?);
         }
-        let channel_results = channels
+        let channel_results = charac
+            .states
             .iter()
-            .zip(&golden_states)
             .zip(&per_channel)
-            .map(|((channel, state), scores)| {
-                ChannelResult::fit(channel.name(), &state.scores, scores)
-            })
+            .map(|(state, scores)| ChannelResult::fit(state.channel.clone(), &state.scores, scores))
             .collect::<Result<Vec<_>, _>>()?;
         let fused = match &golden_fused {
             Some(golden_fused) => {
-                let infected_fused = fuse(&golden_fits, &per_channel, plan.n_dies);
+                let infected_fused = fuse(&fits, &per_channel, plan.n_dies);
                 Some(ChannelResult::fit("fused", golden_fused, &infected_fused)?)
             }
             None => None,
@@ -323,8 +545,47 @@ pub fn multi_channel_experiment_with(
     Ok(MultiChannelReport {
         rows,
         n_dies: plan.n_dies,
-        channel_names: channels.iter().map(|c| c.name()).collect(),
+        channel_names: charac.states.iter().map(|s| s.channel.clone()).collect(),
     })
+}
+
+/// Runs a [`CampaignPlan`] through every supplied [`Channel`] over one
+/// shared die population, with the default (auto-sized) [`Engine`].
+///
+/// # Errors
+///
+/// [`Error::EmptyPopulation`] with no channels, [`Error::NotEnoughDies`]
+/// below two dies, [`Error::DegeneratePopulation`] when a metric
+/// population has no spread; design and simulation failures otherwise.
+pub fn multi_channel_experiment(
+    lab: &Lab,
+    plan: &CampaignPlan,
+    specs: &[TrojanSpec],
+    channels: &[&dyn Channel],
+) -> Result<MultiChannelReport, Error> {
+    multi_channel_experiment_with(&Engine::default(), lab, plan, specs, channels)
+}
+
+/// [`multi_channel_experiment`] on an explicit [`Engine`]:
+/// [`characterize_campaign_with`] followed by [`score_campaign_with`].
+///
+/// All per-die fans use seeds from the plan's seed tree, so the report is
+/// bit-identical for every worker count, any channel subset reproduces
+/// the same per-channel numbers, and a characterization saved to disk and
+/// reloaded scores identically to this in-memory composition.
+///
+/// # Errors
+///
+/// See [`multi_channel_experiment`].
+pub fn multi_channel_experiment_with(
+    engine: &Engine,
+    lab: &Lab,
+    plan: &CampaignPlan,
+    specs: &[TrojanSpec],
+    channels: &[&dyn Channel],
+) -> Result<MultiChannelReport, Error> {
+    let charac = characterize_campaign_with(engine, lab, plan, channels)?;
+    score_campaign_with(engine, lab, &charac, specs, channels)
 }
 
 /// Runs the fused delay+EM experiment over `n_dies` dies.
@@ -511,6 +772,93 @@ mod tests {
         assert!(matches!(
             multi_channel_experiment(&lab, &tiny, &[], &[&em]),
             Err(Error::NotEnoughDies { got: 1, need: 2 })
+        ));
+    }
+
+    #[test]
+    fn scoring_rejects_mismatched_channel_sets() {
+        let charac = GoldenCharacterization {
+            plan: CampaignPlan::traces(2, [0u8; 16], [0u8; 16], 1),
+            states: vec![ChannelState {
+                channel: "EM".into(),
+                calibration: Calibration::None,
+                reference: GoldenReference::MeanTrace(htd_em::Trace::new(vec![0.0], 200.0)),
+                scores: vec![1.0, 2.0],
+            }],
+        };
+        let lab = Lab::paper();
+        let em = EmChannel::paper();
+        let delay = DelayChannel;
+        // Wrong count.
+        assert!(matches!(
+            score_campaign(&lab, &charac, &[], &[&em, &delay]),
+            Err(Error::ChannelShapeMismatch { .. })
+        ));
+        // Wrong name.
+        assert!(matches!(
+            score_campaign(&lab, &charac, &[], &[&delay]),
+            Err(Error::ChannelShapeMismatch { .. })
+        ));
+        // Matching channels, no suspects: an empty report.
+        let report = score_campaign(&lab, &charac, &[], &[&em]).unwrap();
+        assert!(report.rows.is_empty());
+        assert_eq!(report.channel_names, vec!["EM"]);
+    }
+
+    #[test]
+    fn fuse_scored_channels_matches_manual_z_scores() {
+        let a = ScoredChannel {
+            channel: "EM".into(),
+            golden: vec![1.0, 2.0, 3.0, 4.0],
+            infected: vec![5.0, 6.0, 7.0, 8.0],
+        };
+        let b = ScoredChannel {
+            channel: "delay".into(),
+            golden: vec![10.0, 20.0, 30.0, 40.0],
+            infected: vec![11.0, 21.0, 31.0, 41.0],
+        };
+        let (per_channel, fused) = fuse_scored_channels(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(per_channel.len(), 2);
+        assert_eq!(per_channel[0].channel, "EM");
+        assert_eq!(per_channel[1].channel, "delay");
+        assert_eq!(fused.channel, "fused");
+        // Manual fusion: z-scores against the golden fits.
+        let ga = Gaussian::fit(&a.golden).unwrap();
+        let gb = Gaussian::fit(&b.golden).unwrap();
+        let z = |x: f64, g: &Gaussian| (x - g.mean()) / g.std();
+        let golden_fused: Vec<f64> = (0..4)
+            .map(|j| z(a.golden[j], &ga) + z(b.golden[j], &gb))
+            .collect();
+        let infected_fused: Vec<f64> = (0..4)
+            .map(|j| z(a.infected[j], &ga) + z(b.infected[j], &gb))
+            .collect();
+        let manual = ChannelResult::fit("fused", &golden_fused, &infected_fused).unwrap();
+        assert_eq!(fused, manual);
+    }
+
+    #[test]
+    fn fuse_scored_channels_rejects_bad_shapes() {
+        let a = ScoredChannel {
+            channel: "EM".into(),
+            golden: vec![1.0, 2.0, 3.0],
+            infected: vec![4.0, 5.0, 6.0],
+        };
+        assert!(matches!(
+            fuse_scored_channels(&[]),
+            Err(Error::EmptyPopulation { .. })
+        ));
+        assert!(matches!(
+            fuse_scored_channels(std::slice::from_ref(&a)),
+            Err(Error::ChannelShapeMismatch { .. })
+        ));
+        let short = ScoredChannel {
+            channel: "delay".into(),
+            golden: vec![1.0, 2.0],
+            infected: vec![3.0, 4.0],
+        };
+        assert!(matches!(
+            fuse_scored_channels(&[a, short]),
+            Err(Error::ChannelShapeMismatch { .. })
         ));
     }
 }

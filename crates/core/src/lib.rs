@@ -82,10 +82,13 @@ pub use lab::Lab;
 
 /// Convenient re-exports of the whole suite's primary types.
 pub mod prelude {
-    pub use crate::channel::{Channel, DelayChannel, EmChannel, PowerChannel};
+    pub use crate::channel::{Channel, ChannelSpec, DelayChannel, EmChannel, PowerChannel};
     pub use crate::delay_detect::{DelayDetector, DelayEvidence, GoldenDelayModel};
     pub use crate::em_detect::{EmDetector, EmGoldenModel, FnRateReport};
-    pub use crate::fusion::{ChannelResult, MultiChannelReport, MultiChannelRow};
+    pub use crate::fusion::{
+        ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
+        ScoredChannel,
+    };
     pub use crate::Engine;
     pub use crate::{CampaignPlan, Design, Error, Lab, ProgrammedDevice};
     pub use htd_aes::AesNetlist;

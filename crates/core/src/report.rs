@@ -41,6 +41,78 @@ impl Table {
     pub fn row_count(&self) -> usize {
         self.rows.len()
     }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as RFC 4180-style CSV: cells containing commas,
+    /// quotes or newlines are quoted, with embedded quotes doubled.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&csv_cell(cell));
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as plain `key=value` lines, one block per row:
+    /// `row<i>.<header>=<value>`. Headers are sanitised to identifier
+    /// form (`µ` → `mu`, `σ` → `sigma`, other non-alphanumerics → `_`);
+    /// newlines in values are escaped as `\n`.
+    pub fn to_kv(&self) -> String {
+        let mut out = String::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, header) in self.headers.iter().enumerate() {
+                let value = row.get(j).map(String::as_str).unwrap_or("");
+                out.push_str(&format!(
+                    "row{i}.{}={}\n",
+                    kv_key(header),
+                    value.replace('\n', "\\n")
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Quotes one CSV cell if it contains a comma, quote or newline.
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Sanitises a header into a `key=value` key.
+fn kv_key(header: &str) -> String {
+    let mut key = String::new();
+    for c in header.chars() {
+        match c {
+            'µ' => key.push_str("mu"),
+            'σ' => key.push_str("sigma"),
+            c if c.is_ascii_alphanumeric() => key.push(c.to_ascii_lowercase()),
+            _ => key.push('_'),
+        }
+    }
+    key
 }
 
 impl fmt::Display for Table {
@@ -97,13 +169,14 @@ pub fn write_csv(
 ) -> Result<(), Error> {
     use std::io::Write as _;
     let path = path.as_ref();
+    let io = |e| Error::io(path, e);
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+        std::fs::create_dir_all(parent).map_err(io)?;
     }
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{}", headers.join(","))?;
+    let mut f = std::fs::File::create(path).map_err(io)?;
+    writeln!(f, "{}", headers.join(",")).map_err(io)?;
     for row in rows {
-        writeln!(f, "{}", row.join(","))?;
+        writeln!(f, "{}", row.join(",")).map_err(io)?;
     }
     Ok(())
 }
@@ -135,7 +208,7 @@ pub fn multi_channel_table(report: &MultiChannelReport) -> Table {
         for c in results {
             t.push_row(&[
                 row.name.clone(),
-                c.channel.to_string(),
+                c.channel.clone(),
                 format!("{:.3}", c.mu),
                 format!("{:.3}", c.sigma),
                 pct(c.analytic_fn_rate),
@@ -193,15 +266,65 @@ mod tests {
     }
 
     #[test]
+    fn csv_quotes_commas_quotes_and_newlines() {
+        let mut t = Table::new(&["name", "note"]);
+        t.push_row(&["a,b", "say \"hi\""]);
+        t.push_row(&["line1\nline2", "plain"]);
+        t.push_row(&["only one cell"]);
+        let csv = t.to_csv();
+        let mut lines = csv.split('\n');
+        assert_eq!(lines.next(), Some("name,note"));
+        assert_eq!(lines.next(), Some("\"a,b\",\"say \"\"hi\"\"\""));
+        // The embedded newline stays inside the quoted cell.
+        assert_eq!(lines.next(), Some("\"line1"));
+        assert_eq!(lines.next(), Some("line2\",plain"));
+        // Short rows emit only the cells they have.
+        assert_eq!(lines.next(), Some("only one cell"));
+    }
+
+    #[test]
+    fn kv_export_sanitises_headers_and_escapes_values() {
+        let mut t = Table::new(&["HT", "µ", "σ", "FN rate"]);
+        t.push_row(&["HT 1", "1.5", "0.5", "26%"]);
+        t.push_row(&["multi\nline", "2", "", ""]);
+        let kv = t.to_kv();
+        assert!(kv.contains("row0.ht=HT 1\n"), "{kv}");
+        assert!(kv.contains("row0.mu=1.5\n"), "{kv}");
+        assert!(kv.contains("row0.sigma=0.5\n"), "{kv}");
+        assert!(kv.contains("row0.fn_rate=26%\n"), "{kv}");
+        assert!(kv.contains("row1.ht=multi\\nline\n"), "{kv}");
+        // Missing trailing cells render as empty values, keeping every
+        // row's key set identical.
+        assert!(kv.contains("row1.sigma=\n"), "{kv}");
+    }
+
+    #[test]
+    fn csv_of_report_table_is_machine_readable() {
+        let report = MultiChannelReport {
+            rows: vec![crate::fusion::MultiChannelRow {
+                name: "HT, 2".into(),
+                size_fraction: 0.01,
+                channels: vec![channel_result("EM", 2.0)],
+                fused: None,
+            }],
+            n_dies: 6,
+            channel_names: vec!["EM".into()],
+        };
+        let csv = multi_channel_table(&report).to_csv();
+        assert!(csv.starts_with("HT,channel,µ,σ,FN rate,FN emp\n"), "{csv}");
+        assert!(csv.contains("\"HT, 2\",EM,"), "{csv}");
+    }
+
+    #[test]
     fn formatters() {
         assert_eq!(pct(0.05), "5.0%");
         assert_eq!(ps(123.4), "123 ps");
         assert_eq!(ps(1_234.0), "1.23 ns");
     }
 
-    fn channel_result(channel: &'static str, mu: f64) -> crate::fusion::ChannelResult {
+    fn channel_result(channel: &str, mu: f64) -> crate::fusion::ChannelResult {
         crate::fusion::ChannelResult {
-            channel,
+            channel: channel.to_string(),
             mu,
             sigma: 1.5,
             analytic_fn_rate: 0.26,
@@ -247,7 +370,7 @@ mod tests {
                 fused: Some(channel_result("fused", 4.0)),
             }],
             n_dies: 6,
-            channel_names: vec!["EM", "delay"],
+            channel_names: vec!["EM".into(), "delay".into()],
         };
         let t = multi_channel_table(&report);
         // Two channel rows + one fused row.

@@ -23,6 +23,16 @@ impl Trace {
         Trace { samples, dt_ps }
     }
 
+    /// Non-panicking constructor for strict deserializers: `None` unless
+    /// the sample period is strictly positive and finite and every
+    /// sample is finite.
+    pub fn try_new(samples: Vec<f64>, dt_ps: f64) -> Option<Self> {
+        if dt_ps <= 0.0 || !dt_ps.is_finite() || samples.iter().any(|s| !s.is_finite()) {
+            return None;
+        }
+        Some(Trace { samples, dt_ps })
+    }
+
     /// Sample values.
     pub fn samples(&self) -> &[f64] {
         &self.samples

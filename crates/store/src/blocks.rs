@@ -1,0 +1,323 @@
+//! Shared body blocks: the sub-grammars (campaign plan, calibration,
+//! trace/matrix payloads, f64 lists) that both the single-kind artifacts
+//! and the composite golden artifact embed, so every representation of a
+//! value is written and parsed by exactly one function.
+
+use htd_core::campaign::CampaignPlan;
+use htd_core::channel::{Acquisition, Calibration, GoldenReference};
+use htd_core::delay_detect::DelayMatrix;
+use htd_core::Error;
+use htd_em::Trace;
+use htd_timing::GlitchParams;
+
+use crate::format::{
+    fmt_block, fmt_f64, parse_block, parse_f64, parse_u64, parse_usize, BodyWriter, Parser,
+};
+
+/// Samples per `s` continuation line.
+const CHUNK: usize = 8;
+
+/// Writes a counted f64 list: `<keyword> <n>` then `s` lines of up to
+/// [`CHUNK`] values.
+pub fn write_f64_list(w: &mut BodyWriter, keyword: &str, values: &[f64]) {
+    w.line(format!("{keyword} {}", values.len()));
+    for chunk in values.chunks(CHUNK) {
+        let mut line = String::from("s");
+        for v in chunk {
+            line.push(' ');
+            line.push_str(&fmt_f64(*v));
+        }
+        w.line(line);
+    }
+}
+
+/// Parses a [`write_f64_list`] block.
+///
+/// # Errors
+///
+/// [`Error::Format`] on a wrong keyword, truncated list, wrong per-line
+/// counts, or non-finite values.
+pub fn parse_f64_list(p: &mut Parser<'_>, keyword: &str) -> Result<Vec<f64>, Error> {
+    let rest = p.keyword_line(keyword)?;
+    let n = parse_usize(rest.trim()).map_err(|e| p.error(e))?;
+    let lines_needed = n.div_ceil(CHUNK);
+    if lines_needed > p.remaining() {
+        return Err(p.error(format!(
+            "list of {n} values needs {lines_needed} sample lines but only {} remain",
+            p.remaining()
+        )));
+    }
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..lines_needed {
+        let rest = p.keyword_line("s")?;
+        let expected = CHUNK.min(n - values.len());
+        let mut got = 0usize;
+        for token in rest.split_whitespace() {
+            values.push(parse_f64(token).map_err(|e| p.error(e))?);
+            got += 1;
+        }
+        if got != expected {
+            return Err(p.error(format!(
+                "sample line holds {got} values, expected {expected}"
+            )));
+        }
+    }
+    Ok(values)
+}
+
+/// Writes a [`CampaignPlan`] block.
+pub fn write_plan(w: &mut BodyWriter, plan: &CampaignPlan) {
+    w.line(format!("dies {}", plan.n_dies));
+    w.line(format!(
+        "stimulus {} {}",
+        fmt_block(&plan.pt),
+        fmt_block(&plan.key)
+    ));
+    w.line(format!("repetitions {}", plan.repetitions));
+    w.line(format!("seeds {} {}", plan.seed, plan.spec_stride));
+    w.line(format!("pairs {}", plan.pairs.len()));
+    for (pt, key) in &plan.pairs {
+        w.line(format!("pair {} {}", fmt_block(pt), fmt_block(key)));
+    }
+}
+
+/// Parses a [`write_plan`] block.
+///
+/// # Errors
+///
+/// [`Error::Format`] on any grammar or value violation.
+pub fn parse_plan(p: &mut Parser<'_>) -> Result<CampaignPlan, Error> {
+    let n_dies = parse_usize(p.keyword_line("dies")?.trim()).map_err(|e| p.error(e))?;
+    let rest = p.keyword_line("stimulus")?;
+    let (pt_tok, key_tok) = rest
+        .split_once(' ')
+        .ok_or_else(|| p.error("stimulus needs plaintext and key"))?;
+    let pt = parse_block(pt_tok.trim()).map_err(|e| p.error(e))?;
+    let key = parse_block(key_tok.trim()).map_err(|e| p.error(e))?;
+    let repetitions = parse_usize(p.keyword_line("repetitions")?.trim()).map_err(|e| p.error(e))?;
+    let rest = p.keyword_line("seeds")?;
+    let (seed_tok, stride_tok) = rest
+        .split_once(' ')
+        .ok_or_else(|| p.error("seeds needs base and stride"))?;
+    let seed = parse_u64(seed_tok.trim()).map_err(|e| p.error(e))?;
+    let spec_stride = parse_u64(stride_tok.trim()).map_err(|e| p.error(e))?;
+    let n_pairs = parse_usize(p.keyword_line("pairs")?.trim()).map_err(|e| p.error(e))?;
+    if n_pairs > p.remaining() {
+        return Err(p.error(format!(
+            "plan declares {n_pairs} pairs but only {} lines remain",
+            p.remaining()
+        )));
+    }
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let rest = p.keyword_line("pair")?;
+        let (pt_tok, key_tok) = rest
+            .split_once(' ')
+            .ok_or_else(|| p.error("pair needs plaintext and key"))?;
+        pairs.push((
+            parse_block(pt_tok.trim()).map_err(|e| p.error(e))?,
+            parse_block(key_tok.trim()).map_err(|e| p.error(e))?,
+        ));
+    }
+    Ok(CampaignPlan {
+        n_dies,
+        pt,
+        key,
+        pairs,
+        repetitions,
+        seed,
+        spec_stride,
+    })
+}
+
+/// Writes a [`Calibration`] block.
+pub fn write_calibration(w: &mut BodyWriter, calibration: &Calibration) {
+    match calibration {
+        Calibration::None => w.line("calibration none"),
+        Calibration::Glitch(g) => w.line(format!(
+            "calibration glitch {} {} {} {} {}",
+            fmt_f64(g.start_period_ps),
+            fmt_f64(g.step_ps),
+            g.steps,
+            fmt_f64(g.setup_ps),
+            fmt_f64(g.noise_ps),
+        )),
+    }
+}
+
+/// Parses a [`write_calibration`] block, rejecting unphysical glitch
+/// parameters ([`GlitchParams::is_physical`]).
+///
+/// # Errors
+///
+/// [`Error::Format`] on any grammar or value violation.
+pub fn parse_calibration(p: &mut Parser<'_>) -> Result<Calibration, Error> {
+    let rest = p.keyword_line("calibration")?;
+    let mut words = rest.split_whitespace();
+    match words.next() {
+        Some("none") => {
+            if words.next().is_some() {
+                return Err(p.error("trailing tokens after `calibration none`"));
+            }
+            Ok(Calibration::None)
+        }
+        Some("glitch") => {
+            let mut float = |what: &str| -> Result<f64, Error> {
+                let token = words
+                    .next()
+                    .ok_or_else(|| p.error(format!("glitch calibration missing {what}")))?;
+                parse_f64(token).map_err(|e| p.error(e))
+            };
+            let start_period_ps = float("start period")?;
+            let step_ps = float("step")?;
+            let steps_tok = words
+                .next()
+                .ok_or_else(|| p.error("glitch calibration missing step count"))?;
+            let steps: u16 = steps_tok
+                .parse()
+                .map_err(|_| p.error(format!("bad step count `{steps_tok}`")))?;
+            let mut float = |what: &str| -> Result<f64, Error> {
+                let token = words
+                    .next()
+                    .ok_or_else(|| p.error(format!("glitch calibration missing {what}")))?;
+                parse_f64(token).map_err(|e| p.error(e))
+            };
+            let setup_ps = float("setup time")?;
+            let noise_ps = float("noise level")?;
+            if words.next().is_some() {
+                return Err(p.error("trailing tokens after glitch calibration"));
+            }
+            let params = GlitchParams {
+                start_period_ps,
+                step_ps,
+                steps,
+                setup_ps,
+                noise_ps,
+            };
+            if !params.is_physical() {
+                return Err(p.error("unphysical glitch calibration"));
+            }
+            Ok(Calibration::Glitch(params))
+        }
+        _ => Err(p.error("calibration must be `none` or `glitch`")),
+    }
+}
+
+/// A trace-or-matrix payload, the shared shape of [`Acquisition`] and
+/// [`GoldenReference`].
+pub enum Payload {
+    /// A sampled side-channel trace.
+    Trace(Trace),
+    /// A mean fault-onset matrix.
+    Matrix(DelayMatrix),
+}
+
+impl From<Acquisition> for Payload {
+    fn from(a: Acquisition) -> Self {
+        match a {
+            Acquisition::Trace(t) => Payload::Trace(t),
+            Acquisition::Matrix(m) => Payload::Matrix(m),
+        }
+    }
+}
+
+impl From<GoldenReference> for Payload {
+    fn from(r: GoldenReference) -> Self {
+        match r {
+            GoldenReference::MeanTrace(t) => Payload::Trace(t),
+            GoldenReference::MeanMatrix(m) => Payload::Matrix(m),
+        }
+    }
+}
+
+impl Payload {
+    /// This payload as an [`Acquisition`].
+    pub fn into_acquisition(self) -> Acquisition {
+        match self {
+            Payload::Trace(t) => Acquisition::Trace(t),
+            Payload::Matrix(m) => Acquisition::Matrix(m),
+        }
+    }
+
+    /// This payload as a [`GoldenReference`].
+    pub fn into_reference(self) -> GoldenReference {
+        match self {
+            Payload::Trace(t) => GoldenReference::MeanTrace(t),
+            Payload::Matrix(m) => GoldenReference::MeanMatrix(m),
+        }
+    }
+}
+
+/// Writes a trace-or-matrix payload block.
+pub fn write_payload(w: &mut BodyWriter, payload: &Payload) {
+    match payload {
+        Payload::Trace(t) => {
+            w.line(format!("trace {}", fmt_f64(t.dt_ps())));
+            write_f64_list(w, "samples", t.samples());
+        }
+        Payload::Matrix(m) => {
+            let bits = m.mean_onset_steps.first().map(Vec::len).unwrap_or(0);
+            w.line(format!("matrix {} {}", m.mean_onset_steps.len(), bits));
+            for row in &m.mean_onset_steps {
+                let mut line = String::from("m");
+                for v in row {
+                    line.push(' ');
+                    line.push_str(&fmt_f64(*v));
+                }
+                w.line(line);
+            }
+        }
+    }
+}
+
+/// Parses a [`write_payload`] block.
+///
+/// # Errors
+///
+/// [`Error::Format`] on any grammar violation, non-finite samples, a
+/// non-positive trace time base, or ragged matrix rows.
+pub fn parse_payload(p: &mut Parser<'_>) -> Result<Payload, Error> {
+    let line = p.next_line()?;
+    if let Some(rest) = line.strip_prefix("trace ") {
+        let dt_ps = parse_f64(rest.trim()).map_err(|e| p.error(e))?;
+        let samples = parse_f64_list(p, "samples")?;
+        let trace = Trace::try_new(samples, dt_ps)
+            .ok_or_else(|| p.error("trace needs a positive, finite time base"))?;
+        return Ok(Payload::Trace(trace));
+    }
+    if let Some(rest) = line.strip_prefix("matrix ") {
+        let (pairs_tok, bits_tok) = rest
+            .trim()
+            .split_once(' ')
+            .ok_or_else(|| p.error("matrix needs pair and bit counts"))?;
+        let n_pairs = parse_usize(pairs_tok).map_err(|e| p.error(e))?;
+        let bits = parse_usize(bits_tok).map_err(|e| p.error(e))?;
+        if n_pairs > p.remaining() {
+            return Err(p.error(format!(
+                "matrix declares {n_pairs} rows but only {} lines remain",
+                p.remaining()
+            )));
+        }
+        let mut rows = Vec::with_capacity(n_pairs);
+        for _ in 0..n_pairs {
+            let rest = p.keyword_line("m")?;
+            let row = rest
+                .split_whitespace()
+                .map(|t| parse_f64(t).map_err(|e| p.error(e)))
+                .collect::<Result<Vec<f64>, Error>>()?;
+            if row.len() != bits {
+                return Err(p.error(format!(
+                    "matrix row holds {} values, expected {bits}",
+                    row.len()
+                )));
+            }
+            rows.push(row);
+        }
+        return Ok(Payload::Matrix(DelayMatrix {
+            mean_onset_steps: rows,
+        }));
+    }
+    Err(p.error(format!(
+        "expected `trace` or `matrix` payload, found `{line}`"
+    )))
+}

@@ -1,0 +1,47 @@
+//! The artifact checksum: FNV-1a 64.
+//!
+//! The store needs a fast, dependency-free integrity check, not a
+//! cryptographic one — artifacts are trusted inputs whose failure mode is
+//! truncation or accidental corruption, and FNV-1a provably changes under
+//! any single-byte substitution (xor with a differing byte changes the
+//! state; multiplication by the odd FNV prime is a bijection mod 2⁶⁴, so
+//! the difference survives every later step).
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn single_byte_substitutions_always_change_the_hash() {
+        let base = b"htdstore 1 plan\ndies 6\n";
+        let h = fnv1a64(base);
+        for i in 0..base.len() {
+            let mut corrupt = base.to_vec();
+            corrupt[i] ^= 0x01;
+            assert_ne!(fnv1a64(&corrupt), h, "byte {i}");
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The [`Artifact`] trait and its implementation for every storable
+//! kind: campaign plans, calibrations, acquisitions, golden references,
+//! per-channel Gaussian fits, scored channels, rendered reports, and the
+//! composite golden characterization.
+
+use htd_core::campaign::CampaignPlan;
+use htd_core::channel::{Acquisition, Calibration, Channel, ChannelSpec, GoldenReference};
+use htd_core::fusion::{
+    ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
+    ScoredChannel,
+};
+use htd_core::Error;
+use htd_stats::Gaussian;
+
+use crate::blocks::{
+    parse_calibration, parse_f64_list, parse_payload, parse_plan, write_calibration,
+    write_f64_list, write_payload, write_plan,
+};
+use crate::format::{fmt_f64, parse_f64, parse_usize, quote, unquote, BodyWriter, Parser};
+
+/// A value with a durable text representation in the artifact store.
+///
+/// `write_body` and `parse_body` are exact inverses over the body lines;
+/// the framing (header, checksum trailer) is handled by the store's
+/// [`to_text`](crate::to_text) / [`from_text`](crate::from_text).
+pub trait Artifact: Sized {
+    /// The kind token written into the artifact header.
+    const KIND: &'static str;
+
+    /// Appends this value's body lines.
+    fn write_body(&self, w: &mut BodyWriter);
+
+    /// Parses a body written by [`Artifact::write_body`]. The caller
+    /// checks that the body is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Format`] on any grammar or value violation.
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error>;
+}
+
+impl Artifact for CampaignPlan {
+    const KIND: &'static str = "plan";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        write_plan(w, self);
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        parse_plan(p)
+    }
+}
+
+impl Artifact for Calibration {
+    const KIND: &'static str = "calibration";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        write_calibration(w, self);
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        parse_calibration(p)
+    }
+}
+
+impl Artifact for Acquisition {
+    const KIND: &'static str = "acquisition";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        write_payload(w, &self.clone().into());
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(parse_payload(p)?.into_acquisition())
+    }
+}
+
+impl Artifact for GoldenReference {
+    const KIND: &'static str = "reference";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        write_payload(w, &self.clone().into());
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(parse_payload(p)?.into_reference())
+    }
+}
+
+/// One channel's golden-population Gaussian fit, labelled so fits from
+/// several channels can live side by side on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelFit {
+    /// The channel's label.
+    pub channel: String,
+    /// The Gaussian fitted to the channel's golden scores.
+    pub fit: Gaussian,
+}
+
+impl Artifact for ChannelFit {
+    const KIND: &'static str = "fit";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        w.line(format!("channel {}", quote(&self.channel)));
+        w.line(format!(
+            "gaussian {} {}",
+            fmt_f64(self.fit.mean()),
+            fmt_f64(self.fit.std())
+        ));
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let channel = parse_channel_label(p)?;
+        let rest = p.keyword_line("gaussian")?;
+        let (mean_tok, std_tok) = rest
+            .split_once(' ')
+            .ok_or_else(|| p.error("gaussian needs mean and standard deviation"))?;
+        let mean = parse_f64(mean_tok.trim()).map_err(|e| p.error(e))?;
+        let std = parse_f64(std_tok.trim()).map_err(|e| p.error(e))?;
+        let fit =
+            Gaussian::new(mean, std).map_err(|e| p.error(format!("bad gaussian fit: {e}")))?;
+        Ok(ChannelFit { channel, fit })
+    }
+}
+
+impl Artifact for ScoredChannel {
+    const KIND: &'static str = "scores";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        w.line(format!("channel {}", quote(&self.channel)));
+        write_f64_list(w, "golden", &self.golden);
+        write_f64_list(w, "infected", &self.infected);
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let channel = parse_channel_label(p)?;
+        let golden = parse_f64_list(p, "golden")?;
+        let infected = parse_f64_list(p, "infected")?;
+        Ok(ScoredChannel {
+            channel,
+            golden,
+            infected,
+        })
+    }
+}
+
+impl Artifact for MultiChannelReport {
+    const KIND: &'static str = "report";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        w.line(format!("dies {}", self.n_dies));
+        w.line(format!("channels {}", self.channel_names.len()));
+        for name in &self.channel_names {
+            w.line(format!("channel {}", quote(name)));
+        }
+        w.line(format!("rows {}", self.rows.len()));
+        for row in &self.rows {
+            w.line(format!(
+                "row {} {} {} {}",
+                quote(&row.name),
+                fmt_f64(row.size_fraction),
+                row.channels.len(),
+                usize::from(row.fused.is_some()),
+            ));
+            for r in &row.channels {
+                write_result(w, "result", r);
+            }
+            if let Some(fused) = &row.fused {
+                write_result(w, "fused", fused);
+            }
+        }
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let n_dies = parse_usize(p.keyword_line("dies")?.trim()).map_err(|e| p.error(e))?;
+        let n_channels = parse_usize(p.keyword_line("channels")?.trim()).map_err(|e| p.error(e))?;
+        if n_channels > p.remaining() {
+            return Err(p.error(format!(
+                "report declares {n_channels} channels but only {} lines remain",
+                p.remaining()
+            )));
+        }
+        let mut channel_names = Vec::with_capacity(n_channels);
+        for _ in 0..n_channels {
+            channel_names.push(parse_channel_label(p)?);
+        }
+        let n_rows = parse_usize(p.keyword_line("rows")?.trim()).map_err(|e| p.error(e))?;
+        if n_rows > p.remaining() {
+            return Err(p.error(format!(
+                "report declares {n_rows} rows but only {} lines remain",
+                p.remaining()
+            )));
+        }
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let rest = p.keyword_line("row")?;
+            let (name, rest) =
+                unquote(rest).ok_or_else(|| p.error("row needs a quoted trojan name"))?;
+            let mut words = rest.split_whitespace();
+            let size_fraction = parse_f64(
+                words
+                    .next()
+                    .ok_or_else(|| p.error("row missing size fraction"))?,
+            )
+            .map_err(|e| p.error(e))?;
+            let n_results = parse_usize(
+                words
+                    .next()
+                    .ok_or_else(|| p.error("row missing result count"))?,
+            )
+            .map_err(|e| p.error(e))?;
+            let fused_flag = match words.next() {
+                Some("0") => false,
+                Some("1") => true,
+                _ => return Err(p.error("row fused flag must be 0 or 1")),
+            };
+            if words.next().is_some() {
+                return Err(p.error("trailing tokens after row header"));
+            }
+            if n_results > p.remaining() {
+                return Err(p.error(format!(
+                    "row declares {n_results} results but only {} lines remain",
+                    p.remaining()
+                )));
+            }
+            let mut channels = Vec::with_capacity(n_results);
+            for _ in 0..n_results {
+                channels.push(parse_result(p, "result")?);
+            }
+            let fused = fused_flag.then(|| parse_result(p, "fused")).transpose()?;
+            rows.push(MultiChannelRow {
+                name,
+                size_fraction,
+                channels,
+                fused,
+            });
+        }
+        Ok(MultiChannelReport {
+            rows,
+            n_dies,
+            channel_names,
+        })
+    }
+}
+
+/// The composite golden artifact: the channel construction recipes plus
+/// the full [`GoldenCharacterization`]. Loading one is everything `htd
+/// score` needs — no re-measurement, no out-of-band channel knowledge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenArtifact {
+    specs: Vec<ChannelSpec>,
+    charac: GoldenCharacterization,
+}
+
+impl GoldenArtifact {
+    /// Binds channel specs to a characterization they produced.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelShapeMismatch`] when the spec list does not match
+    /// the characterization's channel states (count or name order), or
+    /// when a state's golden-score count differs from the plan's die
+    /// count.
+    pub fn new(specs: Vec<ChannelSpec>, charac: GoldenCharacterization) -> Result<Self, Error> {
+        if specs.len() != charac.states.len() {
+            return Err(Error::ChannelShapeMismatch {
+                channel: format!("{} spec(s)", specs.len()),
+                expected: "one spec per characterized channel",
+            });
+        }
+        for (spec, state) in specs.iter().zip(&charac.states) {
+            if spec.name() != state.channel {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "spec order matching channel execution order",
+                });
+            }
+            if state.scores.len() != charac.plan.n_dies {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "one golden score per die",
+                });
+            }
+        }
+        Ok(GoldenArtifact { specs, charac })
+    }
+
+    /// The channel construction recipes, in execution order.
+    pub fn specs(&self) -> &[ChannelSpec] {
+        &self.specs
+    }
+
+    /// The stored characterization.
+    pub fn characterization(&self) -> &GoldenCharacterization {
+        &self.charac
+    }
+
+    /// Consumes the artifact into its characterization.
+    pub fn into_characterization(self) -> GoldenCharacterization {
+        self.charac
+    }
+
+    /// Rebuilds the live channels the stored specs describe, in order.
+    pub fn build_channels(&self) -> Vec<Box<dyn Channel>> {
+        self.specs.iter().map(ChannelSpec::build).collect()
+    }
+}
+
+impl Artifact for GoldenArtifact {
+    const KIND: &'static str = "golden";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        write_plan(w, &self.charac.plan);
+        w.line(format!("channels {}", self.specs.len()));
+        for (spec, state) in self.specs.iter().zip(&self.charac.states) {
+            w.line(format!("channel {}", spec.token()));
+            write_calibration(w, &state.calibration);
+            write_payload(w, &state.reference.clone().into());
+            write_f64_list(w, "scores", &state.scores);
+        }
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let plan = parse_plan(p)?;
+        let n_channels = parse_usize(p.keyword_line("channels")?.trim()).map_err(|e| p.error(e))?;
+        if n_channels > p.remaining() {
+            return Err(p.error(format!(
+                "golden artifact declares {n_channels} channels but only {} lines remain",
+                p.remaining()
+            )));
+        }
+        let mut specs = Vec::with_capacity(n_channels);
+        let mut states = Vec::with_capacity(n_channels);
+        for _ in 0..n_channels {
+            let token = p.keyword_line("channel")?;
+            let spec = ChannelSpec::from_token(token)
+                .ok_or_else(|| p.error(format!("unknown channel spec `{token}`")))?;
+            let calibration = parse_calibration(p)?;
+            let reference = parse_payload(p)?.into_reference();
+            let scores = parse_f64_list(p, "scores")?;
+            states.push(ChannelState {
+                channel: spec.name().to_string(),
+                calibration,
+                reference,
+                scores,
+            });
+            specs.push(spec);
+        }
+        GoldenArtifact::new(specs, GoldenCharacterization { plan, states })
+            .map_err(|e| p.error(format!("inconsistent golden artifact: {e}")))
+    }
+}
+
+/// Writes one [`ChannelResult`] line under `keyword`.
+fn write_result(w: &mut BodyWriter, keyword: &str, r: &ChannelResult) {
+    w.line(format!(
+        "{keyword} {} {} {} {} {} {}",
+        quote(&r.channel),
+        fmt_f64(r.mu),
+        fmt_f64(r.sigma),
+        fmt_f64(r.analytic_fn_rate),
+        fmt_f64(r.empirical_fn_rate),
+        fmt_f64(r.empirical_fp_rate),
+    ));
+}
+
+/// Parses a [`write_result`] line.
+fn parse_result(p: &mut Parser<'_>, keyword: &str) -> Result<ChannelResult, Error> {
+    let rest = p.keyword_line(keyword)?;
+    let (channel, rest) =
+        unquote(rest).ok_or_else(|| p.error(format!("{keyword} needs a quoted channel label")))?;
+    let mut values = [0.0f64; 5];
+    let mut words = rest.split_whitespace();
+    for v in &mut values {
+        let token = words
+            .next()
+            .ok_or_else(|| p.error(format!("{keyword} needs five statistics")))?;
+        *v = parse_f64(token).map_err(|e| p.error(e))?;
+    }
+    if words.next().is_some() {
+        return Err(p.error(format!("trailing tokens after {keyword} statistics")));
+    }
+    let [mu, sigma, analytic_fn_rate, empirical_fn_rate, empirical_fp_rate] = values;
+    Ok(ChannelResult {
+        channel,
+        mu,
+        sigma,
+        analytic_fn_rate,
+        empirical_fn_rate,
+        empirical_fp_rate,
+    })
+}
+
+/// Parses a `channel "<label>"` line.
+fn parse_channel_label(p: &mut Parser<'_>) -> Result<String, Error> {
+    let rest = p.keyword_line("channel")?;
+    let (label, tail) = unquote(rest).ok_or_else(|| p.error("channel needs a quoted label"))?;
+    if !tail.trim().is_empty() {
+        return Err(p.error("trailing tokens after channel label"));
+    }
+    Ok(label)
+}

@@ -1,0 +1,317 @@
+//! # htd-store — the durable artifact store
+//!
+//! A versioned, checksummed, line-oriented text format for every durable
+//! value in the detection pipeline: campaign plans, calibrations,
+//! acquisitions, golden references, per-channel Gaussian fits, scored
+//! channel populations, rendered multi-channel reports, and the composite
+//! golden characterization that lets `htd score` run against a population
+//! that was characterized once, possibly in another process, on another
+//! day.
+//!
+//! Every artifact is framed the same way:
+//!
+//! ```text
+//! htdstore 1 <kind>
+//! <kind-specific body lines>
+//! checksum fnv1a64 <16 hex digits>
+//! ```
+//!
+//! The checksum covers every byte before the trailer line, so truncation,
+//! bit flips and hand edits are all rejected before any body line is
+//! interpreted. Floats are written with Rust's shortest round-trip
+//! `Display`, so a load always reproduces bit-identical values — scoring
+//! against a loaded golden artifact equals scoring in-memory, exactly.
+//!
+//! Parsers are strict and total: every malformed input yields an
+//! [`Error::Format`] carrying the origin (path or `"<memory>"`) and the
+//! 1-based offending line; the store never panics on bad input.
+//!
+//! ```
+//! use htd_core::prelude::*;
+//! let plan = CampaignPlan::traces(6, [0u8; 16], [1u8; 16], 42);
+//! let text = htd_store::to_text(&plan);
+//! let back: CampaignPlan = htd_store::from_text(&text).unwrap();
+//! assert_eq!(back, plan);
+//! ```
+
+mod blocks;
+mod checksum;
+mod format;
+mod kinds;
+
+pub use checksum::fnv1a64;
+pub use format::{FORMAT_VERSION, IN_MEMORY, MAGIC};
+pub use kinds::{Artifact, ChannelFit, GoldenArtifact};
+
+use htd_core::Error;
+
+use format::{frame, unframe, BodyWriter};
+
+/// Renders an artifact to its full framed text.
+pub fn to_text<A: Artifact>(artifact: &A) -> String {
+    let mut w = BodyWriter::new();
+    artifact.write_body(&mut w);
+    frame(A::KIND, &w.finish())
+}
+
+/// Parses an artifact from framed text produced by [`to_text`], labelling
+/// any error with the in-memory origin.
+///
+/// # Errors
+///
+/// [`Error::Format`] on any framing, checksum, version, kind, grammar or
+/// value violation.
+pub fn from_text<A: Artifact>(text: &str) -> Result<A, Error> {
+    from_text_at(text, IN_MEMORY)
+}
+
+/// [`from_text`] with an explicit origin label for error messages.
+///
+/// # Errors
+///
+/// [`Error::Format`] on any framing, checksum, version, kind, grammar or
+/// value violation.
+pub fn from_text_at<A: Artifact>(text: &str, origin: &str) -> Result<A, Error> {
+    let mut p = unframe(text, origin, A::KIND)?;
+    let artifact = A::parse_body(&mut p)?;
+    p.finish()?;
+    Ok(artifact)
+}
+
+/// Writes an artifact to `path`.
+///
+/// # Errors
+///
+/// [`Error::Io`] carrying the path on any filesystem failure.
+pub fn save<A: Artifact>(path: impl AsRef<std::path::Path>, artifact: &A) -> Result<(), Error> {
+    let path = path.as_ref();
+    std::fs::write(path, to_text(artifact)).map_err(|e| Error::io(path, e))
+}
+
+/// Reads an artifact from `path`.
+///
+/// # Errors
+///
+/// [`Error::Io`] on filesystem failure; [`Error::Format`] (carrying the
+/// path and line) on any malformed content.
+pub fn load<A: Artifact>(path: impl AsRef<std::path::Path>) -> Result<A, Error> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    from_text_at(&text, &path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::campaign::CampaignPlan;
+    use htd_core::channel::{Acquisition, Calibration, ChannelSpec, GoldenReference};
+    use htd_core::delay_detect::DelayMatrix;
+    use htd_core::em_detect::TraceMetric;
+    use htd_core::fusion::{
+        ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
+        ScoredChannel,
+    };
+    use htd_em::Trace;
+    use htd_stats::Gaussian;
+    use htd_timing::GlitchParams;
+
+    fn sample_plan() -> CampaignPlan {
+        CampaignPlan::with_random_pairs(6, 2, 3, [0x13; 16], [0x7f; 16], 42)
+    }
+
+    fn sample_glitch() -> GlitchParams {
+        GlitchParams {
+            start_period_ps: 5200.0,
+            step_ps: 25.0,
+            steps: 96,
+            setup_ps: 180.0,
+            noise_ps: 12.5,
+        }
+    }
+
+    fn roundtrip<A: Artifact + PartialEq + std::fmt::Debug>(artifact: &A) {
+        let text = to_text(artifact);
+        let back: A = from_text(&text).unwrap();
+        assert_eq!(&back, artifact, "round-trip of {}:\n{text}", A::KIND);
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        roundtrip(&sample_plan());
+        roundtrip(&Calibration::None);
+        roundtrip(&Calibration::Glitch(sample_glitch()));
+        roundtrip(&Acquisition::Trace(Trace::new(
+            vec![0.25, -1.5, 1.0 / 3.0, 0.0],
+            125.0,
+        )));
+        roundtrip(&Acquisition::Matrix(DelayMatrix {
+            mean_onset_steps: vec![vec![4.5, 6.0], vec![5.25, 7.125]],
+        }));
+        roundtrip(&GoldenReference::MeanTrace(Trace::new(
+            vec![0.5; 17],
+            125.0,
+        )));
+        roundtrip(&GoldenReference::MeanMatrix(DelayMatrix {
+            mean_onset_steps: vec![vec![3.0; 4]; 2],
+        }));
+        roundtrip(&ChannelFit {
+            channel: "EM".to_string(),
+            fit: Gaussian::new(300261.7222222223, 1234.5).unwrap(),
+        });
+        roundtrip(&ScoredChannel {
+            channel: "delay".to_string(),
+            golden: (0..19).map(|i| f64::from(i) * 0.37).collect(),
+            infected: vec![8.5, 9.25, 10.0],
+        });
+    }
+
+    #[test]
+    fn report_roundtrips_including_quoting_edge_cases() {
+        let result = |channel: &str| ChannelResult {
+            channel: channel.to_string(),
+            mu: 12.5,
+            sigma: 1.0 / 3.0,
+            analytic_fn_rate: 1e-9,
+            empirical_fn_rate: 0.0,
+            empirical_fp_rate: 0.125,
+        };
+        let report = MultiChannelReport {
+            rows: vec![
+                MultiChannelRow {
+                    name: "ht with \"quotes\"\nand a newline".to_string(),
+                    size_fraction: 0.0123,
+                    channels: vec![result("EM"), result("delay")],
+                    fused: Some(result("fused")),
+                },
+                MultiChannelRow {
+                    name: "ht-seq".to_string(),
+                    size_fraction: 0.5,
+                    channels: vec![result("EM")],
+                    fused: None,
+                },
+            ],
+            n_dies: 20,
+            channel_names: vec!["EM".to_string(), "delay".to_string()],
+        };
+        roundtrip(&report);
+    }
+
+    #[test]
+    fn golden_artifact_roundtrips_and_rebuilds_channels() {
+        let plan = sample_plan();
+        let charac = GoldenCharacterization {
+            plan: plan.clone(),
+            states: vec![
+                ChannelState {
+                    channel: "EM".to_string(),
+                    calibration: Calibration::None,
+                    reference: GoldenReference::MeanTrace(Trace::new(vec![0.25; 9], 125.0)),
+                    scores: (0..plan.n_dies).map(|i| i as f64 * 1.5).collect(),
+                },
+                ChannelState {
+                    channel: "delay".to_string(),
+                    calibration: Calibration::Glitch(sample_glitch()),
+                    reference: GoldenReference::MeanMatrix(DelayMatrix {
+                        mean_onset_steps: vec![vec![4.0; 3]; 2],
+                    }),
+                    scores: (0..plan.n_dies).map(|i| 40.0 - i as f64).collect(),
+                },
+            ],
+        };
+        let artifact = GoldenArtifact::new(
+            vec![
+                ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
+                ChannelSpec::Delay,
+            ],
+            charac,
+        )
+        .unwrap();
+        roundtrip(&artifact);
+        let channels = artifact.build_channels();
+        assert_eq!(channels.len(), 2);
+        assert_eq!(channels[0].name(), "EM");
+        assert_eq!(channels[1].name(), "delay");
+    }
+
+    #[test]
+    fn golden_artifact_rejects_mismatched_specs() {
+        let plan = sample_plan();
+        let state = ChannelState {
+            channel: "EM".to_string(),
+            calibration: Calibration::None,
+            reference: GoldenReference::MeanTrace(Trace::new(vec![0.0; 4], 125.0)),
+            scores: vec![0.0; plan.n_dies],
+        };
+        let charac = GoldenCharacterization {
+            plan: plan.clone(),
+            states: vec![state.clone()],
+        };
+        // Wrong channel name for the spec.
+        assert!(GoldenArtifact::new(vec![ChannelSpec::Delay], charac.clone()).is_err());
+        // Wrong spec count.
+        assert!(GoldenArtifact::new(
+            vec![
+                ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
+                ChannelSpec::Delay
+            ],
+            charac,
+        )
+        .is_err());
+        // Score count disagreeing with the plan's die count.
+        let short = GoldenCharacterization {
+            plan,
+            states: vec![ChannelState {
+                scores: vec![0.0; 2],
+                ..state
+            }],
+        };
+        assert!(
+            GoldenArtifact::new(vec![ChannelSpec::Em(TraceMetric::SumOfLocalMaxima)], short)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn wrong_kind_and_tampering_are_rejected_with_context() {
+        let plan = sample_plan();
+        let text = to_text(&plan);
+        // Parsing a plan as a calibration names the kind mismatch.
+        let err = from_text::<Calibration>(&text).unwrap_err();
+        assert!(err.to_string().contains("expected `calibration`"), "{err}");
+        // A flipped digit fails the checksum before any body parsing.
+        let tampered = text.replacen("dies 6", "dies 8", 1);
+        let err = from_text::<CampaignPlan>(&tampered).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // Errors carry the origin label.
+        assert!(err.to_string().starts_with(IN_MEMORY), "{err}");
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let plan = sample_plan();
+        let text = to_text(&plan);
+        for cut in 0..text.len() {
+            assert!(
+                from_text::<CampaignPlan>(&text[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_through_the_filesystem() {
+        let dir = std::env::temp_dir().join("htd-store-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.htd");
+        let plan = sample_plan();
+        save(&path, &plan).unwrap();
+        let back: CampaignPlan = load(&path).unwrap();
+        assert_eq!(back, plan);
+        // Loading a missing file is an Io error carrying the path.
+        let missing = dir.join("does-not-exist.htd");
+        let err = load::<CampaignPlan>(&missing).unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err}");
+        assert!(err.to_string().contains("does-not-exist.htd"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

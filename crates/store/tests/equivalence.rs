@@ -1,0 +1,75 @@
+//! The store's headline guarantee (the PR's acceptance criterion):
+//! scoring a suspect population against a golden-reference artifact that
+//! went through disk — characterize → save → load → score — produces
+//! bit-identical per-die scores and FN rates to the all-in-memory
+//! `multi_channel_experiment` on the same `CampaignPlan`, at worker
+//! counts 1 and N.
+
+use htd_core::channel::{Channel, ChannelSpec};
+use htd_core::em_detect::TraceMetric;
+use htd_core::fusion::{
+    characterize_campaign_with, multi_channel_experiment_with, score_campaign_with,
+    score_design_with,
+};
+use htd_core::{CampaignPlan, Engine, Lab};
+use htd_store::GoldenArtifact;
+use htd_trojan::TrojanSpec;
+
+fn specs() -> Vec<ChannelSpec> {
+    vec![
+        ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
+        ChannelSpec::Delay,
+    ]
+}
+
+#[test]
+fn scoring_a_loaded_artifact_is_bit_identical_to_the_in_memory_experiment() {
+    let lab = Lab::paper();
+    let plan = CampaignPlan::with_random_pairs(6, 3, 2, [0x42; 16], [0x0f; 16], 0xA5A5);
+    let trojans = [TrojanSpec::ht1(), TrojanSpec::ht3()];
+    let channel_specs = specs();
+    let channels: Vec<Box<dyn Channel>> = channel_specs.iter().map(ChannelSpec::build).collect();
+    let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+
+    // The all-in-memory reference run.
+    let in_memory =
+        multi_channel_experiment_with(&Engine::serial(), &lab, &plan, &trojans, &refs).unwrap();
+
+    // Characterize once, round-trip the artifact through disk.
+    let charac = characterize_campaign_with(&Engine::serial(), &lab, &plan, &refs).unwrap();
+    let path = std::env::temp_dir().join(format!("htd-equivalence-{}.htd", std::process::id()));
+    htd_store::save(&path, &GoldenArtifact::new(channel_specs, charac).unwrap()).unwrap();
+    let loaded: GoldenArtifact = htd_store::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // The loaded artifact rebuilds its own channels.
+    let rebuilt = loaded.build_channels();
+    let rebuilt_refs: Vec<&dyn Channel> = rebuilt.iter().map(Box::as_ref).collect();
+    let charac = loaded.characterization();
+
+    // Stored golden state is bit-identical (per-die golden scores included).
+    for (state, name) in charac.states.iter().zip(["EM", "delay"]) {
+        assert_eq!(state.channel, name);
+        assert_eq!(state.scores.len(), plan.n_dies);
+    }
+
+    for workers in [1usize, 4] {
+        let engine = Engine::with_workers(workers);
+        let scored = score_campaign_with(&engine, &lab, charac, &trojans, &rebuilt_refs).unwrap();
+        // Full-report equality covers every µ, σ, analytic FN rate and
+        // empirical FN/FP rate of every channel and the fused rows.
+        assert_eq!(scored, in_memory, "workers = {workers}");
+
+        // Per-die suspect scores, not just fitted summaries.
+        for (s, spec) in trojans.iter().enumerate() {
+            let (_, sets) =
+                score_design_with(&engine, &lab, charac, s, spec, &rebuilt_refs).unwrap();
+            let (_, reference_sets) =
+                score_design_with(&Engine::serial(), &lab, charac, s, spec, &rebuilt_refs).unwrap();
+            for (a, b) in sets.iter().zip(&reference_sets) {
+                assert_eq!(a.golden, b.golden, "workers = {workers}");
+                assert_eq!(a.infected, b.infected, "workers = {workers}");
+            }
+        }
+    }
+}

@@ -45,6 +45,22 @@ impl GlitchParams {
         }
     }
 
+    /// Whether the parameters describe a realisable sweep: finite,
+    /// strictly positive start period and step, and a positive, finite
+    /// setup time and noise level (zero noise allowed). Strict
+    /// deserializers use this to reject corrupted calibration artifacts
+    /// before they reach the measurement code.
+    pub fn is_physical(&self) -> bool {
+        self.start_period_ps.is_finite()
+            && self.start_period_ps > 0.0
+            && self.step_ps.is_finite()
+            && self.step_ps > 0.0
+            && self.setup_ps.is_finite()
+            && self.setup_ps >= 0.0
+            && self.noise_ps.is_finite()
+            && self.noise_ps >= 0.0
+    }
+
     /// The glitch period applied at `step`.
     pub fn period_at(&self, step: u16) -> f64 {
         self.start_period_ps - self.step_ps * step as f64
