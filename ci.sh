@@ -32,6 +32,15 @@ HTD=target/release/htd
     --report "$HTD_SMOKE_DIR/report.htd"
 "$HTD" report "$HTD_SMOKE_DIR/report.htd" --csv >/dev/null
 "$HTD" diff "$HTD_SMOKE_DIR/report.htd" "$HTD_SMOKE_DIR/report.htd"
+
+echo "==> htd fault-injection smoke"
+# The same golden artifact scored under the committed fault plan must
+# reproduce the committed degraded report, byte for byte (`htd diff`
+# exits non-zero otherwise).
+"$HTD" score --golden "$HTD_SMOKE_DIR/golden.htd" --trojans ht2 \
+    --faults tests/fixtures/faultplan.htd --max-retries 2 --allow-degraded \
+    --report "$HTD_SMOKE_DIR/degraded.htd"
+"$HTD" diff "$HTD_SMOKE_DIR/degraded.htd" tests/fixtures/degraded_report.htd
 rm -rf "$HTD_SMOKE_DIR"
 
 echo "==> cargo clippy -- -D warnings"

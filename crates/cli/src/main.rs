@@ -12,11 +12,13 @@ use std::process::ExitCode;
 use htd_core::channel::{Channel, ChannelSpec};
 use htd_core::em_detect::TraceMetric;
 use htd_core::fusion::{
-    characterize_campaign_with, fuse_scored_channels, score_design_with, ChannelResult,
-    MultiChannelReport, MultiChannelRow, ScoredChannel,
+    characterize_campaign_faulted, fuse_scored_channels, score_campaign_faulted,
+    MultiChannelReport, ScoredChannel,
 };
-use htd_core::report::{multi_channel_table, pct, Table};
+use htd_core::report::{health_table, multi_channel_table, pct, Table};
+use htd_core::resilience::RetryPolicy;
 use htd_core::{CampaignPlan, Engine, Error, Lab};
+use htd_faults::FaultPlan;
 use htd_stats::Gaussian;
 use htd_store::{ChannelFit, GoldenArtifact};
 use htd_trojan::TrojanSpec;
@@ -28,12 +30,21 @@ USAGE:
   htd characterize --out FILE [--dies N] [--pairs N] [--reps N] [--seed N]
                    [--channels em,delay,power] [--metric solm|max|sum|l2]
                    [--pt HEX32] [--key HEX32] [--workers N] [--fits-dir DIR]
+                   [--faults FILE] [--max-retries N] [--allow-degraded]
       Measure a golden population and store it as a golden artifact.
 
   htd score --golden FILE [--trojans ht1,ht2,...] [--report FILE]
             [--csv FILE] [--kv FILE] [--scores-dir DIR] [--workers N]
+            [--faults FILE] [--max-retries N] [--allow-degraded]
+            [--max-drop-rate F]
       Score suspect designs against a stored golden artifact.
       Trojans: ht1 ht2 ht3 ht-comb ht-seq stealth sweep (= ht1,ht2,ht3).
+      --faults replays a stored fault plan; failed acquisitions retry up
+      to --max-retries times with fresh derived seeds. With
+      --allow-degraded, dies that stay faulted are dropped (and a
+      damaged golden artifact is salvaged instead of rejected); the
+      report then carries a per-channel health section. Exit 3 when any
+      channel's drop rate exceeds --max-drop-rate.
 
   htd fuse FILE FILE...
       Fuse two or more stored per-channel score artifacts (z-score sum).
@@ -200,6 +211,22 @@ fn trojan_specs(csv: &str) -> Result<Vec<TrojanSpec>, String> {
     Ok(specs)
 }
 
+/// The fault plan and retry policy shared by `characterize` and `score`:
+/// `--faults FILE` replays a stored plan (default: no faults),
+/// `--max-retries N` bounds per-die retries, `--allow-degraded` lets the
+/// campaign drop what stays faulted instead of erroring out.
+fn fault_opts(opts: &Opts) -> Result<(FaultPlan, RetryPolicy), Box<dyn std::error::Error>> {
+    let faults = match opts.get("faults") {
+        None => FaultPlan::none(),
+        Some(path) => htd_store::load(path)?,
+    };
+    let policy = RetryPolicy {
+        max_retries: parse_num("max-retries", opts.get("max-retries").unwrap_or("0"))?,
+        allow_degraded: opts.has("allow-degraded"),
+    };
+    Ok((faults, policy))
+}
+
 /// A filesystem-safe slug of a channel or trojan label.
 fn slug(label: &str) -> String {
     let mut s: String = label
@@ -225,10 +252,21 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
     let opts = Opts::parse(
         args,
         &[
-            "out", "dies", "pairs", "reps", "seed", "channels", "metric", "pt", "key", "workers",
+            "out",
+            "dies",
+            "pairs",
+            "reps",
+            "seed",
+            "channels",
+            "metric",
+            "pt",
+            "key",
+            "workers",
             "fits-dir",
+            "faults",
+            "max-retries",
         ],
-        &[],
+        &["allow-degraded"],
     )?;
     let out = opts.require("out")?.to_string();
     let dies: usize = parse_num("dies", opts.get("dies").unwrap_or("8"))?;
@@ -242,13 +280,36 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
     let pt = parse_hex16("pt", opts.get("pt").unwrap_or(&"42".repeat(16)))?;
     let key = parse_hex16("key", opts.get("key").unwrap_or(&"0f".repeat(16)))?;
     let engine = engine_for(&opts)?;
+    let (faults, policy) = fault_opts(&opts)?;
 
     let lab = Lab::paper();
     let plan = CampaignPlan::with_random_pairs(dies, pairs, reps, pt, key, seed);
     let channels: Vec<Box<dyn Channel>> = specs.iter().map(ChannelSpec::build).collect();
     let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
-    let charac = characterize_campaign_with(&engine, &lab, &plan, &refs)?;
-    let artifact = GoldenArtifact::new(specs, charac)?;
+    let charac = characterize_campaign_faulted(&engine, &lab, &plan, &refs, &faults, &policy)?;
+    for lost in &charac.lost {
+        eprintln!(
+            "htd: channel {} lost during characterization ({} calibration attempt(s))",
+            lost.channel, lost.attempted
+        );
+    }
+    // Lost channels drop out of `states` but keep their spot in `lost`;
+    // keep the spec list in lockstep with the surviving states.
+    let mut next_state = 0;
+    let surviving: Vec<ChannelSpec> = specs
+        .into_iter()
+        .filter(|spec| {
+            let keep = charac
+                .states
+                .get(next_state)
+                .is_some_and(|s| s.channel == spec.name());
+            if keep {
+                next_state += 1;
+            }
+            keep
+        })
+        .collect();
+    let artifact = GoldenArtifact::new(surviving, charac)?;
 
     if let Some(dir) = opts.get("fits-dir") {
         std::fs::create_dir_all(dir).map_err(|e| Error::io(dir, e))?;
@@ -297,62 +358,62 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "kv",
             "scores-dir",
             "workers",
+            "faults",
+            "max-retries",
+            "max-drop-rate",
         ],
-        &[],
+        &["allow-degraded"],
     )?;
     let golden_path = opts.require("golden")?;
     let specs = trojan_specs(opts.get("trojans").unwrap_or("ht1,ht2,ht3"))?;
     let engine = engine_for(&opts)?;
+    let (faults, policy) = fault_opts(&opts)?;
+    let max_drop_rate: f64 = parse_num("max-drop-rate", opts.get("max-drop-rate").unwrap_or("1"))?;
 
-    let artifact: GoldenArtifact = htd_store::load(golden_path)?;
+    // Under --allow-degraded a damaged golden artifact is salvaged: the
+    // surviving channel blocks are kept and the read is flagged, instead
+    // of the whole file being rejected for one bad line.
+    let artifact: GoldenArtifact = if policy.allow_degraded {
+        let salvaged = htd_store::load_salvage::<GoldenArtifact>(golden_path)?;
+        if salvaged.recovered {
+            eprintln!(
+                "htd: salvaged {golden_path} ({} damaged line(s) dropped)",
+                salvaged.dropped_lines
+            );
+        }
+        salvaged.artifact
+    } else {
+        htd_store::load(golden_path)?
+    };
     let channels = artifact.build_channels();
     let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
     let charac = artifact.characterization();
     let lab = Lab::paper();
 
+    let campaign = score_campaign_faulted(&engine, &lab, charac, &specs, &refs, &faults, &policy)?;
+    let report = &campaign.report;
+
     if let Some(dir) = opts.get("scores-dir") {
         std::fs::create_dir_all(dir).map_err(|e| Error::io(dir, e))?;
-    }
-
-    let mut rows = Vec::with_capacity(specs.len());
-    for (s, spec) in specs.iter().enumerate() {
-        let (size_fraction, scored) = score_design_with(&engine, &lab, charac, s, spec, &refs)?;
-        if let Some(dir) = opts.get("scores-dir") {
-            for set in &scored {
+        for design in &campaign.designs {
+            for set in &design.scored {
                 let path = std::path::Path::new(dir).join(format!(
                     "{}.{}.scores.htd",
-                    slug(&spec.name),
+                    slug(&design.name),
                     slug(&set.channel)
                 ));
                 htd_store::save(&path, set)?;
                 println!("wrote {}", path.display());
             }
         }
-        let (channel_results, fused) = if scored.len() >= 2 {
-            let (per_channel, fused) = fuse_scored_channels(&scored)?;
-            (per_channel, Some(fused))
-        } else {
-            let per_channel = scored
-                .iter()
-                .map(|set| ChannelResult::fit(set.channel.clone(), &set.golden, &set.infected))
-                .collect::<Result<Vec<_>, _>>()?;
-            (per_channel, None)
-        };
-        rows.push(MultiChannelRow {
-            name: spec.name.clone(),
-            size_fraction,
-            channels: channel_results,
-            fused,
-        });
     }
-    let report = MultiChannelReport {
-        rows,
-        n_dies: charac.plan.n_dies,
-        channel_names: charac.states.iter().map(|s| s.channel.clone()).collect(),
-    };
 
-    let table = multi_channel_table(&report);
+    let table = multi_channel_table(report);
     print!("{table}");
+    if !report.health.is_empty() {
+        println!("channel health:");
+        print!("{}", health_table(&report.health));
+    }
     if let Some(path) = opts.get("csv") {
         std::fs::write(path, table.to_csv()).map_err(|e| Error::io(path, e))?;
         println!("wrote {path}");
@@ -362,8 +423,19 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         println!("wrote {path}");
     }
     if let Some(path) = opts.get("report") {
-        htd_store::save(path, &report)?;
+        htd_store::save(path, report)?;
         println!("wrote {path}");
+    }
+    let worst = report
+        .health
+        .iter()
+        .map(htd_core::resilience::ChannelHealth::drop_rate)
+        .fold(0.0, f64::max);
+    if worst > max_drop_rate {
+        eprintln!(
+            "htd: worst channel drop rate {worst:.3} exceeds --max-drop-rate {max_drop_rate}"
+        );
+        return Ok(ExitCode::from(3));
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -407,6 +479,10 @@ fn report(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         print!("{}", table.to_kv());
     } else {
         print!("{table}");
+        if !report.health.is_empty() {
+            println!("channel health:");
+            print!("{}", health_table(&report.health));
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -444,6 +520,13 @@ fn report_differences(a: &MultiChannelReport, b: &MultiChannelReport) -> Vec<Str
     }
     if a.rows.len() != b.rows.len() {
         out.push(format!("row count: {} vs {}", a.rows.len(), b.rows.len()));
+    }
+    if a.health != b.health {
+        out.push(format!(
+            "health: {} vs {} record(s), or their counters differ",
+            a.health.len(),
+            b.health.len()
+        ));
     }
     for (ra, rb) in a.rows.iter().zip(&b.rows) {
         if ra.name != rb.name {

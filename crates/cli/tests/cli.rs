@@ -151,6 +151,159 @@ fn pipeline_roundtrips_and_matches_the_in_memory_experiment() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A private workdir per test, so concurrent tests never race on
+/// cleanup.
+fn labdir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htd-cli-test-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn error_paths_locate_the_fault_and_never_exit_zero() {
+    let dir = labdir("errors");
+
+    // Missing file: exit 2, message carries the path.
+    let out = htd(&dir, &["score", "--golden", "missing.htd"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("missing.htd"), "{stderr}");
+
+    // Wrong kind: a campaign plan is not a report, and the message says
+    // where (path:line) and why.
+    let plan = CampaignPlan::with_random_pairs(4, 2, 2, [0x42; 16], [0x0f; 16], 7);
+    htd_store::save(dir.join("plan.htd"), &plan).unwrap();
+    let out = htd(&dir, &["report", "plan.htd"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("plan.htd:1:"), "{stderr}");
+    assert!(stderr.contains("expected `report`"), "{stderr}");
+
+    // Corrupt trailer: flip one checksum digit. Exit 2, message carries
+    // the trailer's line number and names the checksum.
+    let text = std::fs::read_to_string(dir.join("plan.htd")).unwrap();
+    let mut corrupt = text.trim_end().to_string();
+    let last = corrupt.pop().unwrap();
+    corrupt.push(if last == '0' { '1' } else { '0' });
+    corrupt.push('\n');
+    let trailer_line = corrupt.lines().count();
+    std::fs::write(dir.join("corrupt.htd"), &corrupt).unwrap();
+    let out = htd(&dir, &["report", "corrupt.htd"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains(&format!("corrupt.htd:{trailer_line}:")),
+        "{stderr}"
+    );
+    assert!(stderr.contains("checksum mismatch"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_flags_retry_degrade_and_gate_on_drop_rate() {
+    let dir = labdir("faults");
+    expect_success(&htd(
+        &dir,
+        &[
+            "characterize",
+            "--out",
+            "golden.htd",
+            "--dies",
+            "6",
+            "--pairs",
+            "2",
+            "--reps",
+            "2",
+            "--seed",
+            "42",
+            "--channels",
+            "em,delay",
+        ],
+    ));
+    std::fs::copy(fixture("faultplan.htd"), dir.join("faultplan.htd")).unwrap();
+
+    // Strict (no retries, no degradation): an injected fault is fatal.
+    let out = htd(
+        &dir,
+        &[
+            "score",
+            "--golden",
+            "golden.htd",
+            "--trojans",
+            "ht2",
+            "--faults",
+            "faultplan.htd",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("htd:"));
+
+    // With retries and --allow-degraded the campaign completes, prints a
+    // health section, and stores exactly the committed degraded report.
+    let out = htd(
+        &dir,
+        &[
+            "score",
+            "--golden",
+            "golden.htd",
+            "--trojans",
+            "ht2",
+            "--faults",
+            "faultplan.htd",
+            "--max-retries",
+            "2",
+            "--allow-degraded",
+            "--report",
+            "degraded.htd",
+        ],
+    );
+    let stdout = expect_success(&out);
+    assert!(stdout.contains("channel health:"), "{stdout}");
+    let stored = std::fs::read_to_string(dir.join("degraded.htd")).unwrap();
+    let pinned = std::fs::read_to_string(fixture("degraded_report.htd")).unwrap();
+    assert_eq!(stored, pinned, "CLI degraded report drifted from fixture");
+    let out = htd(
+        &dir,
+        &[
+            "diff",
+            "degraded.htd",
+            fixture("degraded_report.htd").to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0));
+
+    // The drop-rate gate: with no retry budget some die stays dropped,
+    // and a zero tolerance turns completion into exit 3.
+    let out = htd(
+        &dir,
+        &[
+            "score",
+            "--golden",
+            "golden.htd",
+            "--trojans",
+            "ht2",
+            "--faults",
+            "faultplan.htd",
+            "--max-retries",
+            "0",
+            "--allow-degraded",
+            "--max-drop-rate",
+            "0",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-drop-rate"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_invocations_fail_with_usage_errors() {
     let dir = workdir();

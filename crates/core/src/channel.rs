@@ -29,10 +29,11 @@
 //! — is one more `impl Channel`.
 
 use htd_em::Trace;
+use htd_faults::{FaultPlan, RepHealth};
 use htd_timing::GlitchParams;
 
 use crate::campaign::CampaignPlan;
-use crate::delay_detect::{measure_matrix_with, DelayMatrix};
+use crate::delay_detect::{measure_matrix_faulted, measure_matrix_with, DelayMatrix};
 use crate::em_detect::{SideChannel, TraceMetric};
 use crate::error::Error;
 use crate::{Engine, ProgrammedDevice};
@@ -172,6 +173,40 @@ pub trait Channel: Sync {
         calibration: &Calibration,
         seed: u64,
     ) -> Result<Acquisition, Error>;
+
+    /// [`Channel::acquire`] under a [`FaultPlan`]: one acquisition
+    /// attempt whose internal repetitions may be quarantined. Returns
+    /// `Ok(None)` when injected repetition faults destroy the whole
+    /// attempt (a delay sweep losing every repetition of some pair) —
+    /// the caller re-acquires with a fresh [`htd_faults::retry_seed`].
+    /// `ctx` names the attempt (channel index, population tag, die
+    /// index, attempt number) so fault decisions stay index-pure.
+    ///
+    /// The default implementation is for channels without internal
+    /// repetitions: it delegates to [`Channel::acquire`] and reports a
+    /// fault-free [`RepHealth`]. Fed [`FaultPlan::none`], every
+    /// implementation must be bit-identical to [`Channel::acquire`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and calibration-shape failures.
+    #[allow(clippy::too_many_arguments)]
+    fn acquire_faulted(
+        &self,
+        engine: &Engine,
+        device: &ProgrammedDevice<'_>,
+        plan: &CampaignPlan,
+        calibration: &Calibration,
+        seed: u64,
+        faults: &FaultPlan,
+        ctx: &[u64; 4],
+    ) -> Result<Option<(Acquisition, RepHealth)>, Error> {
+        let _ = (faults, ctx);
+        Ok(Some((
+            self.acquire(engine, device, plan, calibration, seed)?,
+            RepHealth::default(),
+        )))
+    }
 
     /// Folds the golden acquisitions into the channel's population
     /// reference.
@@ -368,6 +403,24 @@ impl Channel for DelayChannel {
         Ok(Acquisition::Matrix(measure_matrix_with(
             engine, device, &campaign, params, seed,
         )?))
+    }
+
+    fn acquire_faulted(
+        &self,
+        engine: &Engine,
+        device: &ProgrammedDevice<'_>,
+        plan: &CampaignPlan,
+        calibration: &Calibration,
+        seed: u64,
+        faults: &FaultPlan,
+        ctx: &[u64; 4],
+    ) -> Result<Option<(Acquisition, RepHealth)>, Error> {
+        let params = calibration.glitch(self.name())?;
+        let campaign = plan.delay_campaign();
+        Ok(
+            measure_matrix_faulted(engine, device, &campaign, params, seed, faults, ctx)?
+                .map(|(matrix, reps)| (Acquisition::Matrix(matrix), reps)),
+        )
     }
 
     fn characterize_golden(

@@ -23,6 +23,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use htd_faults::{FaultPlan, FaultSite, RepHealth};
 use htd_timing::{GlitchParams, GlitchSweep};
 
 use crate::error::Error;
@@ -148,6 +149,46 @@ pub fn measure_matrix_with(
     params: &GlitchParams,
     noise_salt: u64,
 ) -> Result<DelayMatrix, Error> {
+    match measure_matrix_faulted(
+        engine,
+        device,
+        campaign,
+        params,
+        noise_salt,
+        &FaultPlan::none(),
+        &[0; 4],
+    )? {
+        // With the no-fault plan every repetition survives.
+        Some((matrix, _)) => Ok(matrix),
+        None => unreachable!("the no-fault plan drops no repetitions"),
+    }
+}
+
+/// [`measure_matrix_with`] under a [`FaultPlan`]: each (pair, repetition)
+/// cell may be quarantined at [`FaultSite::Rep`], and the per-pair mean
+/// is taken over the surviving repetitions only (in repetition order, so
+/// the reduction stays scheduling-independent). Returns `Ok(None)` when
+/// some pair loses *every* repetition — the whole acquisition attempt is
+/// unusable and the caller should re-acquire with a fresh seed.
+///
+/// `ctx` names the enclosing acquisition (channel, population, die,
+/// attempt); the pair and repetition indices are appended per cell, so
+/// the same plan quarantines the same cells at any worker count. Fed
+/// [`FaultPlan::none`], this is bit-identical to the historical
+/// fault-oblivious measurement.
+///
+/// # Errors
+///
+/// Propagates settle-time simulation failures.
+pub fn measure_matrix_faulted(
+    engine: &Engine,
+    device: &ProgrammedDevice<'_>,
+    campaign: &DelayCampaign,
+    params: &GlitchParams,
+    noise_salt: u64,
+    faults: &FaultPlan,
+    ctx: &[u64; 4],
+) -> Result<Option<(DelayMatrix, RepHealth)>, Error> {
     let sweep = GlitchSweep::new(*params);
     let saturation = params.never_onset_steps();
     let settles = engine
@@ -160,26 +201,44 @@ pub fn measure_matrix_with(
     let cells = engine.map_indexed(campaign.pairs.len() * reps, |cell| {
         let pair_idx = cell / reps;
         let rep = cell % reps;
+        if faults.fires(
+            FaultSite::Rep,
+            &[ctx[0], ctx[1], ctx[2], ctx[3], pair_idx as u64, rep as u64],
+        ) {
+            return None;
+        }
         let mut rng =
             StdRng::seed_from_u64(rep_noise_seed(campaign.seed, noise_salt, pair_idx, rep));
-        sweep
-            .fault_onsets(&settles[pair_idx], &mut rng)
-            .iter()
-            .map(|o| o.step().map(f64::from).unwrap_or(saturation))
-            .collect::<Vec<f64>>()
+        Some(
+            sweep
+                .fault_onsets(&settles[pair_idx], &mut rng)
+                .iter()
+                .map(|o| o.step().map(f64::from).unwrap_or(saturation))
+                .collect::<Vec<f64>>(),
+        )
     });
-    let mean_onset_steps = (0..campaign.pairs.len())
-        .map(|pair_idx| {
-            let mut acc = vec![0.0f64; cells[pair_idx * reps].len()];
-            for rep_row in &cells[pair_idx * reps..(pair_idx + 1) * reps] {
-                for (bit, v) in rep_row.iter().enumerate() {
-                    acc[bit] += v;
-                }
+    let mut health = RepHealth {
+        attempted: cells.len(),
+        dropped: 0,
+    };
+    let mut mean_onset_steps = Vec::with_capacity(campaign.pairs.len());
+    for pair_idx in 0..campaign.pairs.len() {
+        let rows = &cells[pair_idx * reps..(pair_idx + 1) * reps];
+        let survivors = rows.iter().filter(|r| r.is_some()).count();
+        health.dropped += reps - survivors;
+        if survivors == 0 {
+            return Ok(None);
+        }
+        let bits = settles[pair_idx].len();
+        let mut acc = vec![0.0f64; bits];
+        for rep_row in rows.iter().flatten() {
+            for (bit, v) in rep_row.iter().enumerate() {
+                acc[bit] += v;
             }
-            acc.iter().map(|a| a / reps as f64).collect()
-        })
-        .collect();
-    Ok(DelayMatrix { mean_onset_steps })
+        }
+        mean_onset_steps.push(acc.iter().map(|a| a / survivors as f64).collect());
+    }
+    Ok(Some((DelayMatrix { mean_onset_steps }, health)))
 }
 
 /// Characterises a golden device: establishes the sweep aim from the

@@ -19,7 +19,30 @@
 //! [`Engine::serial`] pins one worker — used internally when a fanned
 //! outer loop calls a fanned inner one, so pools never nest.
 
-use htd_par::{parallel_map, parallel_map_indexed, resolve_workers};
+use htd_par::{parallel_map, parallel_map_indexed, parallel_try_map_indexed, resolve_workers};
+
+use crate::error::Error;
+
+/// The outcome of one attempt inside [`Engine::map_retry`].
+#[derive(Debug)]
+pub enum Attempt<U> {
+    /// The attempt succeeded.
+    Ok(U),
+    /// The attempt hit a retryable fault; the engine re-invokes the
+    /// closure with the next attempt number (until the budget runs out).
+    Faulted,
+    /// The attempt hit a non-retryable failure; the whole map aborts.
+    Fatal(Error),
+}
+
+/// Per-item outcome of [`Engine::map_retry`].
+#[derive(Debug)]
+pub struct Retried<U> {
+    /// The successful value, or `None` when every attempt faulted.
+    pub value: Option<U>,
+    /// Attempts spent on this item (at least 1).
+    pub attempts: usize,
+}
 
 /// A worker-pool handle passed into the `*_with` measurement entry
 /// points. Cheap to copy; holds no threads (threads are scoped per
@@ -70,6 +93,51 @@ impl Engine {
     {
         parallel_map_indexed(self.workers, n, f)
     }
+
+    /// Order-preserving map over `0..n` with bounded per-item retry:
+    /// `f(index, attempt)` runs with `attempt` counting up from 0 until
+    /// it returns [`Attempt::Ok`] or `max_retries` extra attempts are
+    /// spent. An item that exhausts its budget yields
+    /// `Retried { value: None, .. }` — quarantine is the *caller's*
+    /// policy decision, not the engine's.
+    ///
+    /// Determinism: the retry loop runs entirely inside the item's own
+    /// task, so attempt numbers — like item indices — never depend on
+    /// scheduling. A fatal error aborts with the lowest-index failure at
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index [`Attempt::Fatal`] error, if any.
+    pub fn map_retry<U, F>(
+        &self,
+        n: usize,
+        max_retries: usize,
+        f: F,
+    ) -> Result<Vec<Retried<U>>, Error>
+    where
+        U: Send,
+        F: Fn(usize, usize) -> Attempt<U> + Sync,
+    {
+        parallel_try_map_indexed(self.workers, n, |i| {
+            for attempt in 0..=max_retries {
+                match f(i, attempt) {
+                    Attempt::Ok(value) => {
+                        return Ok(Retried {
+                            value: Some(value),
+                            attempts: attempt + 1,
+                        })
+                    }
+                    Attempt::Faulted => {}
+                    Attempt::Fatal(e) => return Err(e),
+                }
+            }
+            Ok(Retried {
+                value: None,
+                attempts: max_retries + 1,
+            })
+        })
+    }
 }
 
 impl Default for Engine {
@@ -97,6 +165,53 @@ mod tests {
     fn indexed_map_is_ordered() {
         let got = Engine::with_workers(4).map_indexed(37, |i| i * 2);
         assert_eq!(got, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_retry_spends_its_budget_and_reports_exhaustion() {
+        // Item i succeeds on attempt i (0-based): items beyond the
+        // budget come back empty with a full attempt count.
+        for workers in [1usize, 2, 8] {
+            let out = Engine::with_workers(workers)
+                .map_retry(6, 3, |i, attempt| {
+                    if attempt == i {
+                        Attempt::Ok(i * 10)
+                    } else {
+                        Attempt::Faulted
+                    }
+                })
+                .unwrap();
+            for (i, r) in out.iter().enumerate() {
+                if i <= 3 {
+                    assert_eq!(r.value, Some(i * 10), "workers = {workers}");
+                    assert_eq!(r.attempts, i + 1);
+                } else {
+                    assert_eq!(r.value, None, "workers = {workers}");
+                    assert_eq!(r.attempts, 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_retry_fatal_aborts_with_the_lowest_index() {
+        for workers in [1usize, 2, 8] {
+            let err = Engine::with_workers(workers)
+                .map_retry::<(), _>(50, 2, |i, _| {
+                    if i % 13 == 4 {
+                        Attempt::Fatal(crate::error::Error::EmptyPopulation {
+                            what: "fatal marker",
+                        })
+                    } else {
+                        Attempt::Faulted
+                    }
+                })
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("fatal marker"),
+                "workers = {workers}: {err}"
+            );
+        }
     }
 
     #[test]

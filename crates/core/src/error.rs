@@ -73,6 +73,34 @@ pub enum Error {
         /// The offending value.
         value: f64,
     },
+    /// A channel exhausted its acquisition retry budget on one die and
+    /// the campaign's policy does not allow degraded results.
+    AcquisitionExhausted {
+        /// Channel whose acquisition kept failing.
+        channel: String,
+        /// Die index the acquisition failed on.
+        die: usize,
+        /// Attempts spent (first try plus retries).
+        attempts: usize,
+    },
+    /// A channel's calibration failed to converge within the retry
+    /// budget and the campaign's policy does not allow degraded results.
+    CalibrationDiverged {
+        /// Channel whose calibration diverged.
+        channel: String,
+        /// Attempts spent (first try plus retries).
+        attempts: usize,
+    },
+    /// Degradation left a channel with too few dies to form a
+    /// population.
+    ChannelDegraded {
+        /// The degraded channel.
+        channel: String,
+        /// Dies that survived acquisition.
+        kept: usize,
+        /// Minimum dies the stage needs.
+        need: usize,
+    },
     /// An underlying statistics operation failed.
     Stats(StatsError),
     /// An underlying netlist operation failed.
@@ -136,6 +164,27 @@ impl fmt::Display for Error {
             Error::ProbabilityOutOfRange { value } => {
                 write!(f, "probability {value} outside (0, 1)")
             }
+            Error::AcquisitionExhausted {
+                channel,
+                die,
+                attempts,
+            } => write!(
+                f,
+                "{channel} channel acquisition on die {die} failed {attempts} \
+                 attempt(s); re-run with a retry budget or allow degraded results"
+            ),
+            Error::CalibrationDiverged { channel, attempts } => write!(
+                f,
+                "{channel} channel calibration diverged after {attempts} attempt(s)"
+            ),
+            Error::ChannelDegraded {
+                channel,
+                kept,
+                need,
+            } => write!(
+                f,
+                "{channel} channel degraded to {kept} usable die(s); needs {need}"
+            ),
             Error::Stats(e) => write!(f, "statistics error: {e}"),
             Error::Netlist(e) => write!(f, "netlist error: {e}"),
             Error::Fabric(e) => write!(f, "fabric error: {e}"),
@@ -240,6 +289,35 @@ mod tests {
         // Whole-file failures omit the line number.
         let e = Error::format("golden.htd", 0, "truncated artifact");
         assert_eq!(e.to_string(), "golden.htd: truncated artifact");
+    }
+
+    #[test]
+    fn degradation_variants_name_the_channel_and_budget() {
+        let e = Error::AcquisitionExhausted {
+            channel: "EM".into(),
+            die: 3,
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("EM") && msg.contains("die 3") && msg.contains('4'),
+            "{msg}"
+        );
+        let e = Error::CalibrationDiverged {
+            channel: "delay".into(),
+            attempts: 2,
+        };
+        assert!(e.to_string().contains("delay"), "{e}");
+        let e = Error::ChannelDegraded {
+            channel: "power".into(),
+            kept: 1,
+            need: 2,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("power") && msg.contains('1') && msg.contains('2'),
+            "{msg}"
+        );
     }
 
     #[test]

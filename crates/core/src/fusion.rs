@@ -32,14 +32,21 @@
 //!   z-scores; independent evidence adds, so the fused separation µ/σ is
 //!   at best the quadrature sum of the channels'.
 
+use htd_faults::{retry_seed, FaultPlan, FaultSite};
 use htd_stats::detection::{empirical_rates, equal_error_rate};
 use htd_stats::Gaussian;
 use htd_trojan::TrojanSpec;
 
 use crate::campaign::CampaignPlan;
 use crate::channel::{Acquisition, Calibration, Channel, DelayChannel, EmChannel, GoldenReference};
+use crate::engine::Attempt;
 use crate::error::Error;
+use crate::resilience::{ChannelHealth, RetryPolicy};
 use crate::{Design, Engine, Lab, ProgrammedDevice};
+
+/// Population tag of the golden characterization in fault-decision
+/// contexts; suspect design `s` uses `s + 1`.
+const POP_GOLDEN: u64 = 0;
 
 /// Per-channel population statistics for one trojan.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +133,11 @@ pub struct MultiChannelReport {
     pub n_dies: usize,
     /// The channel labels, in execution order.
     pub channel_names: Vec<String>,
+    /// Per-channel health of the campaign: present (one entry per
+    /// surviving channel, then one per lost channel) when the campaign
+    /// ran under an active [`FaultPlan`] or against a degraded
+    /// characterization; empty for a pristine campaign.
+    pub health: Vec<ChannelHealth>,
 }
 
 /// Results of the historical two-channel experiment for one trojan.
@@ -164,6 +176,34 @@ pub struct ChannelState {
     pub reference: GoldenReference,
     /// Per-die golden scores against the reference (die order).
     pub scores: Vec<f64>,
+    /// Die indices the scores cover, ascending. `0..n_dies` for a
+    /// fault-free characterization; a strict subset when dies were
+    /// quarantined under a degraded policy.
+    pub kept: Vec<usize>,
+    /// Acquisition health of the characterization run for this channel.
+    pub health: ChannelHealth,
+}
+
+impl ChannelState {
+    /// A fault-free channel state: `kept` covers every score index and
+    /// the health record is pristine.
+    pub fn pristine(
+        channel: impl Into<String>,
+        calibration: Calibration,
+        reference: GoldenReference,
+        scores: Vec<f64>,
+    ) -> Self {
+        let channel = channel.into();
+        let health = ChannelHealth::pristine(channel.clone(), scores.len());
+        ChannelState {
+            channel,
+            calibration,
+            reference,
+            kept: (0..scores.len()).collect(),
+            scores,
+            health,
+        }
+    }
 }
 
 /// A trusted characterization of one golden population: the campaign it
@@ -178,6 +218,11 @@ pub struct GoldenCharacterization {
     pub plan: CampaignPlan,
     /// Per-channel golden state, in channel execution order.
     pub states: Vec<ChannelState>,
+    /// Channels lost entirely during characterization (calibration
+    /// diverged, or too few dies survived), recorded so a degraded
+    /// characterization cannot pass for a complete one. Empty for a
+    /// fault-free run.
+    pub lost: Vec<ChannelHealth>,
 }
 
 /// One channel's scored populations for a single suspect design: the
@@ -191,6 +236,29 @@ pub struct ScoredChannel {
     pub golden: Vec<f64>,
     /// Per-die suspect scores.
     pub infected: Vec<f64>,
+}
+
+/// One suspect design's scored channel populations, as produced inside
+/// [`score_campaign_faulted`] (the per-design artifacts `htd score
+/// --scores-dir` persists).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredDesign {
+    /// The design's name.
+    pub name: String,
+    /// Trojan area as a fraction of the AES design.
+    pub size_fraction: f64,
+    /// One scored population per surviving channel, in channel order.
+    pub scored: Vec<ScoredChannel>,
+}
+
+/// The full outcome of a fault-aware scoring campaign: the rendered
+/// report plus the per-design scored populations it was reduced from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredCampaign {
+    /// The multi-channel report, including its health section.
+    pub report: MultiChannelReport,
+    /// Per-design scored channel populations.
+    pub designs: Vec<ScoredDesign>,
 }
 
 /// Acquires and scores one design population for one channel. The fan is
@@ -228,6 +296,41 @@ fn fuse(golden_fits: &[Gaussian], per_channel_scores: &[Vec<f64>], n_dies: usize
                 .zip(per_channel_scores)
                 .map(|(g, scores)| (scores[j] - g.mean()) / g.std())
                 .sum()
+        })
+        .collect()
+}
+
+/// [`fuse`] over partially-kept populations: each channel supplies
+/// `(kept die indices, scores)`, and a die contributes a fused value
+/// only when **every** channel kept it (a z-score sum with a missing
+/// addend would not be comparable). With identity masks this performs
+/// exactly the floating-point operations of [`fuse`], in the same
+/// order.
+fn fuse_masked(
+    golden_fits: &[Gaussian],
+    per_channel: &[(&[usize], &[f64])],
+    n_dies: usize,
+) -> Vec<f64> {
+    let dense: Vec<Vec<Option<f64>>> = per_channel
+        .iter()
+        .map(|(kept, scores)| {
+            let mut d = vec![None; n_dies];
+            for (k, &die) in kept.iter().enumerate() {
+                d[die] = Some(scores[k]);
+            }
+            d
+        })
+        .collect();
+    (0..n_dies)
+        .filter_map(|j| {
+            let mut sum = 0.0f64;
+            for (g, d) in golden_fits.iter().zip(&dense) {
+                match d[j] {
+                    Some(x) => sum += (x - g.mean()) / g.std(),
+                    None => return None,
+                }
+            }
+            Some(sum)
         })
         .collect()
 }
@@ -278,6 +381,128 @@ pub fn characterize_campaign_with(
     plan: &CampaignPlan,
     channels: &[&dyn Channel],
 ) -> Result<GoldenCharacterization, Error> {
+    characterize_campaign_faulted(
+        engine,
+        lab,
+        plan,
+        channels,
+        &FaultPlan::none(),
+        &RetryPolicy::strict(),
+    )
+}
+
+/// One channel's population acquisition under a fault plan: the kept die
+/// indices (ascending), their acquisitions, and the health ledger.
+struct PopulationAcquisition {
+    kept: Vec<usize>,
+    acquisitions: Vec<Acquisition>,
+    health: ChannelHealth,
+}
+
+/// Acquires one channel over a device population with retry and
+/// quarantine. Fault decisions and retry seeds derive from
+/// `(channel index, population tag, die index, attempt)` — indices,
+/// never scheduling — so the same plan quarantines the same dies at any
+/// worker count. Under [`FaultPlan::none`] and the strict policy this
+/// performs exactly the acquisitions of the historical fault-oblivious
+/// loop.
+#[allow(clippy::too_many_arguments)]
+fn acquire_population_faulted(
+    engine: &Engine,
+    channel: &dyn Channel,
+    channel_index: usize,
+    devs: &[ProgrammedDevice<'_>],
+    plan: &CampaignPlan,
+    calibration: &Calibration,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    pop: u64,
+    seed_of: impl Fn(usize) -> u64 + Sync,
+) -> Result<PopulationAcquisition, Error> {
+    let outcomes = engine.map_retry(devs.len(), policy.max_retries, |j, attempt| {
+        let ctx = [channel_index as u64, pop, j as u64, attempt as u64];
+        if faults.fires(FaultSite::Acquire, &ctx) {
+            return Attempt::Faulted;
+        }
+        let seed = retry_seed(seed_of(j), attempt);
+        match channel.acquire_faulted(
+            &Engine::serial(),
+            &devs[j],
+            plan,
+            calibration,
+            seed,
+            faults,
+            &ctx,
+        ) {
+            Ok(Some(value)) => Attempt::Ok(value),
+            Ok(None) => Attempt::Faulted,
+            Err(e) => Attempt::Fatal(e),
+        }
+    })?;
+    // Repetition counters stay zero under the none-plan so a fault-free
+    // run reports exactly the pristine health record.
+    let track_reps = !faults.is_none();
+    let mut health = ChannelHealth::pristine(channel.name(), 0);
+    let mut kept = Vec::with_capacity(devs.len());
+    let mut acquisitions = Vec::with_capacity(devs.len());
+    for (j, outcome) in outcomes.into_iter().enumerate() {
+        health.attempted += outcome.attempts;
+        health.retried += outcome.attempts - 1;
+        match outcome.value {
+            Some((acquisition, reps)) => {
+                if track_reps {
+                    health.reps_attempted += reps.attempted;
+                    health.reps_dropped += reps.dropped;
+                }
+                kept.push(j);
+                acquisitions.push(acquisition);
+            }
+            None => {
+                if !policy.allow_degraded {
+                    return Err(Error::AcquisitionExhausted {
+                        channel: channel.name().to_string(),
+                        die: j,
+                        attempts: outcome.attempts,
+                    });
+                }
+                health.dropped += 1;
+            }
+        }
+    }
+    Ok(PopulationAcquisition {
+        kept,
+        acquisitions,
+        health,
+    })
+}
+
+/// [`characterize_campaign_with`] under a [`FaultPlan`] and
+/// [`RetryPolicy`]: calibrations that diverge and acquisitions that fail
+/// are retried up to the budget with fresh index-derived seeds; with
+/// `allow_degraded`, exhausted dies are quarantined (recorded in the
+/// state's [`ChannelHealth`]) and exhausted calibrations lose the whole
+/// channel (recorded in [`GoldenCharacterization::lost`]).
+///
+/// Determinism: every fault decision and retry seed derives from the
+/// event's indices, so the same plans produce a bit-identical (possibly
+/// degraded) characterization at any worker count. Fed
+/// [`FaultPlan::none`] + [`RetryPolicy::strict`], this *is* the
+/// historical fault-oblivious characterization, bit for bit.
+///
+/// # Errors
+///
+/// [`Error::AcquisitionExhausted`] / [`Error::CalibrationDiverged`] when
+/// a budget runs out under the strict policy; [`Error::EmptyPopulation`]
+/// when every channel is lost; plus all of
+/// [`characterize_campaign`]'s errors.
+pub fn characterize_campaign_faulted(
+    engine: &Engine,
+    lab: &Lab,
+    plan: &CampaignPlan,
+    channels: &[&dyn Channel],
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<GoldenCharacterization, Error> {
     if channels.is_empty() {
         return Err(Error::EmptyPopulation {
             what: "channel list",
@@ -295,16 +520,61 @@ pub fn characterize_campaign_with(
         engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &golden, die));
 
     let mut states: Vec<ChannelState> = Vec::with_capacity(channels.len());
-    for channel in channels {
-        let calibration = channel.calibrate(engine, plan, &golden_devs)?;
-        let acquisitions = engine
-            .map(&golden_devs, |j, dev| {
-                channel.acquire(&Engine::serial(), dev, plan, &calibration, plan.die_seed(j))
-            })
-            .into_iter()
-            .collect::<Result<Vec<Acquisition>, _>>()?;
-        let reference = channel.characterize_golden(&acquisitions, &calibration)?;
-        let scores = acquisitions
+    let mut lost: Vec<ChannelHealth> = Vec::new();
+    for (c, channel) in channels.iter().enumerate() {
+        // Calibration, re-run on injected divergence.
+        let mut calibration = None;
+        let mut cal_attempts = 0usize;
+        for attempt in 0..=policy.max_retries {
+            cal_attempts = attempt + 1;
+            if faults.fires(FaultSite::Calibrate, &[c as u64, attempt as u64]) {
+                continue;
+            }
+            calibration = Some(channel.calibrate(engine, plan, &golden_devs)?);
+            break;
+        }
+        let Some(calibration) = calibration else {
+            if !policy.allow_degraded {
+                return Err(Error::CalibrationDiverged {
+                    channel: channel.name().to_string(),
+                    attempts: cal_attempts,
+                });
+            }
+            // For a lost channel the attempt counters record the
+            // calibration attempts that exhausted the budget.
+            let mut health = ChannelHealth::pristine(channel.name(), cal_attempts);
+            health.retried = cal_attempts - 1;
+            health.lost = true;
+            lost.push(health);
+            continue;
+        };
+        let population = acquire_population_faulted(
+            engine,
+            *channel,
+            c,
+            &golden_devs,
+            plan,
+            &calibration,
+            faults,
+            policy,
+            POP_GOLDEN,
+            |j| plan.die_seed(j),
+        )?;
+        let mut health = population.health;
+        // Calibration retries count as retries without changing the
+        // distinct-die population.
+        health.attempted += cal_attempts - 1;
+        health.retried += cal_attempts - 1;
+        if population.kept.len() < 2 {
+            // Only reachable under allow_degraded (otherwise the first
+            // exhausted die already aborted above).
+            health.lost = true;
+            lost.push(health);
+            continue;
+        }
+        let reference = channel.characterize_golden(&population.acquisitions, &calibration)?;
+        let scores = population
+            .acquisitions
             .iter()
             .map(|a| channel.score(a, &reference, &calibration))
             .collect::<Result<Vec<f64>, _>>()?;
@@ -313,11 +583,19 @@ pub fn characterize_campaign_with(
             calibration,
             reference,
             scores,
+            kept: population.kept,
+            health,
+        });
+    }
+    if states.is_empty() {
+        return Err(Error::EmptyPopulation {
+            what: "surviving channels",
         });
     }
     Ok(GoldenCharacterization {
         plan: plan.clone(),
         states,
+        lost,
     })
 }
 
@@ -483,6 +761,45 @@ pub fn score_campaign_with(
     specs: &[TrojanSpec],
     channels: &[&dyn Channel],
 ) -> Result<MultiChannelReport, Error> {
+    Ok(score_campaign_faulted(
+        engine,
+        lab,
+        charac,
+        specs,
+        channels,
+        &FaultPlan::none(),
+        &RetryPolicy::strict(),
+    )?
+    .report)
+}
+
+/// [`score_campaign_with`] under a [`FaultPlan`] and [`RetryPolicy`]:
+/// suspect acquisitions retry and quarantine exactly like
+/// [`characterize_campaign_faulted`]'s (suspect design `s` uses
+/// population tag `s + 1` in the fault-decision context), fusion runs
+/// over the dies kept by *every* channel, and the returned report
+/// carries a per-channel [`ChannelHealth`] section whenever the fault
+/// plan is active or the characterization is degraded.
+///
+/// Fed [`FaultPlan::none`] + [`RetryPolicy::strict`] on a pristine
+/// characterization, the report is bit-identical to the historical
+/// [`score_campaign_with`] and its health section is empty.
+///
+/// # Errors
+///
+/// [`Error::AcquisitionExhausted`] when a suspect die exhausts its
+/// budget under the strict policy; [`Error::ChannelDegraded`] when
+/// quarantine leaves a suspect population below two dies; plus all of
+/// [`score_campaign`]'s errors.
+pub fn score_campaign_faulted(
+    engine: &Engine,
+    lab: &Lab,
+    charac: &GoldenCharacterization,
+    specs: &[TrojanSpec],
+    channels: &[&dyn Channel],
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<ScoredCampaign, Error> {
     check_channels_match(charac, channels)?;
     let plan = &charac.plan;
     let golden = Design::golden(lab)?;
@@ -494,39 +811,78 @@ pub fn score_campaign_with(
     // fuse.
     let (fits, golden_fused) = if channels.len() >= 2 {
         let fits = golden_fits(&charac.states)?;
-        let golden_scores: Vec<Vec<f64>> = charac.states.iter().map(|s| s.scores.clone()).collect();
-        let fused = fuse(&fits, &golden_scores, plan.n_dies);
+        let masked: Vec<(&[usize], &[f64])> = charac
+            .states
+            .iter()
+            .map(|s| (s.kept.as_slice(), s.scores.as_slice()))
+            .collect();
+        let fused = fuse_masked(&fits, &masked, plan.n_dies);
         (fits, Some(fused))
     } else {
         (Vec::new(), None)
     };
 
+    // Scoring health accumulates per channel across every design.
+    let mut scoring_health: Vec<Option<ChannelHealth>> = vec![None; channels.len()];
     let mut rows = Vec::with_capacity(specs.len());
+    let mut designs = Vec::with_capacity(specs.len());
     for (s, spec) in specs.iter().enumerate() {
         let infected = Design::infected(lab, spec)?;
         let infected_devs: Vec<ProgrammedDevice<'_>> =
             engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &infected, die));
-        let mut per_channel: Vec<Vec<f64>> = Vec::with_capacity(channels.len());
-        for (channel, state) in channels.iter().zip(&charac.states) {
-            per_channel.push(score_population(
+        let mut per_channel: Vec<(Vec<usize>, Vec<f64>)> = Vec::with_capacity(channels.len());
+        let mut scored_sets = Vec::with_capacity(channels.len());
+        for (c, (channel, state)) in channels.iter().zip(&charac.states).enumerate() {
+            let population = acquire_population_faulted(
                 engine,
                 *channel,
+                c,
                 &infected_devs,
                 plan,
                 &state.calibration,
-                &state.reference,
+                faults,
+                policy,
+                (s as u64) + 1,
                 |j| plan.spec_die_seed(s, j),
-            )?);
+            )?;
+            if population.kept.len() < 2 {
+                return Err(Error::ChannelDegraded {
+                    channel: state.channel.clone(),
+                    kept: population.kept.len(),
+                    need: 2,
+                });
+            }
+            let scores = population
+                .acquisitions
+                .iter()
+                .map(|a| channel.score(a, &state.reference, &state.calibration))
+                .collect::<Result<Vec<f64>, _>>()?;
+            match &mut scoring_health[c] {
+                Some(acc) => acc.merge(&population.health),
+                slot => *slot = Some(population.health),
+            }
+            scored_sets.push(ScoredChannel {
+                channel: state.channel.clone(),
+                golden: state.scores.clone(),
+                infected: scores.clone(),
+            });
+            per_channel.push((population.kept, scores));
         }
         let channel_results = charac
             .states
             .iter()
             .zip(&per_channel)
-            .map(|(state, scores)| ChannelResult::fit(state.channel.clone(), &state.scores, scores))
+            .map(|(state, (_, scores))| {
+                ChannelResult::fit(state.channel.clone(), &state.scores, scores)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         let fused = match &golden_fused {
             Some(golden_fused) => {
-                let infected_fused = fuse(&fits, &per_channel, plan.n_dies);
+                let masked: Vec<(&[usize], &[f64])> = per_channel
+                    .iter()
+                    .map(|(kept, scores)| (kept.as_slice(), scores.as_slice()))
+                    .collect();
+                let infected_fused = fuse_masked(&fits, &masked, plan.n_dies);
                 Some(ChannelResult::fit("fused", golden_fused, &infected_fused)?)
             }
             None => None,
@@ -541,12 +897,39 @@ pub fn score_campaign_with(
             channels: channel_results,
             fused,
         });
+        designs.push(ScoredDesign {
+            name: spec.name.clone(),
+            size_fraction,
+            scored: scored_sets,
+        });
     }
-    Ok(MultiChannelReport {
+
+    // The health section appears whenever faults could have fired or the
+    // characterization already lost something; a pristine campaign keeps
+    // the historical (empty) shape.
+    let charac_degraded = !charac.lost.is_empty()
+        || charac
+            .states
+            .iter()
+            .any(|s| s.kept.len() != plan.n_dies || !s.health.is_pristine(plan.n_dies));
+    let mut health = Vec::new();
+    if !faults.is_none() || charac_degraded {
+        for (c, state) in charac.states.iter().enumerate() {
+            let mut h = state.health.clone();
+            if let Some(scoring) = &scoring_health[c] {
+                h.merge(scoring);
+            }
+            health.push(h);
+        }
+        health.extend(charac.lost.iter().cloned());
+    }
+    let report = MultiChannelReport {
         rows,
         n_dies: plan.n_dies,
         channel_names: charac.states.iter().map(|s| s.channel.clone()).collect(),
-    })
+        health,
+    };
+    Ok(ScoredCampaign { report, designs })
 }
 
 /// Runs a [`CampaignPlan`] through every supplied [`Channel`] over one
@@ -779,12 +1162,13 @@ mod tests {
     fn scoring_rejects_mismatched_channel_sets() {
         let charac = GoldenCharacterization {
             plan: CampaignPlan::traces(2, [0u8; 16], [0u8; 16], 1),
-            states: vec![ChannelState {
-                channel: "EM".into(),
-                calibration: Calibration::None,
-                reference: GoldenReference::MeanTrace(htd_em::Trace::new(vec![0.0], 200.0)),
-                scores: vec![1.0, 2.0],
-            }],
+            states: vec![ChannelState::pristine(
+                "EM",
+                Calibration::None,
+                GoldenReference::MeanTrace(htd_em::Trace::new(vec![0.0], 200.0)),
+                vec![1.0, 2.0],
+            )],
+            lost: vec![],
         };
         let lab = Lab::paper();
         let em = EmChannel::paper();

@@ -73,6 +73,7 @@ pub mod engine;
 pub mod error;
 pub mod fusion;
 pub mod report;
+pub mod resilience;
 
 pub use campaign::CampaignPlan;
 pub use design::{CacheStats, Design, ProgrammedDevice};
@@ -87,12 +88,14 @@ pub mod prelude {
     pub use crate::em_detect::{EmDetector, EmGoldenModel, FnRateReport};
     pub use crate::fusion::{
         ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
-        ScoredChannel,
+        ScoredCampaign, ScoredChannel, ScoredDesign,
     };
+    pub use crate::resilience::{ChannelHealth, RetryPolicy};
     pub use crate::Engine;
     pub use crate::{CampaignPlan, Design, Error, Lab, ProgrammedDevice};
     pub use htd_aes::AesNetlist;
     pub use htd_em::Trace;
     pub use htd_fabric::{Device, DeviceConfig, Technology, VariationModel};
+    pub use htd_faults::{FaultPlan, FaultSite};
     pub use htd_trojan::TrojanSpec;
 }

@@ -219,6 +219,40 @@ pub fn multi_channel_table(report: &MultiChannelReport) -> Table {
     t
 }
 
+/// Renders per-channel [`ChannelHealth`](crate::resilience::ChannelHealth)
+/// records as a table: one row per channel with attempt/retry/drop
+/// counters and a status column (`ok` / `degraded` / `lost`).
+pub fn health_table(health: &[crate::resilience::ChannelHealth]) -> Table {
+    let mut t = Table::new(&[
+        "channel",
+        "attempts",
+        "retried",
+        "dropped",
+        "reps",
+        "reps drop",
+        "status",
+    ]);
+    for h in health {
+        let status = if h.lost {
+            "lost"
+        } else if h.degraded() {
+            "degraded"
+        } else {
+            "ok"
+        };
+        t.push_row(&[
+            h.channel.clone(),
+            h.attempted.to_string(),
+            h.retried.to_string(),
+            h.dropped.to_string(),
+            h.reps_attempted.to_string(),
+            h.reps_dropped.to_string(),
+            status.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
@@ -309,6 +343,7 @@ mod tests {
             }],
             n_dies: 6,
             channel_names: vec!["EM".into()],
+            health: vec![],
         };
         let csv = multi_channel_table(&report).to_csv();
         assert!(csv.starts_with("HT,channel,µ,σ,FN rate,FN emp\n"), "{csv}");
@@ -371,6 +406,7 @@ mod tests {
             }],
             n_dies: 6,
             channel_names: vec!["EM".into(), "delay".into()],
+            health: vec![],
         };
         let t = multi_channel_table(&report);
         // Two channel rows + one fused row.
@@ -389,5 +425,26 @@ mod tests {
         let mut no_fused = report.clone();
         no_fused.rows[0].fused = None;
         assert_eq!(multi_channel_table(&no_fused).row_count(), 2);
+    }
+
+    #[test]
+    fn health_table_classifies_ok_degraded_and_lost() {
+        use crate::resilience::ChannelHealth;
+        let ok = ChannelHealth::pristine("EM", 6);
+        let mut degraded = ChannelHealth::pristine("delay", 6);
+        degraded.retried = 2;
+        degraded.dropped = 1;
+        degraded.reps_attempted = 24;
+        degraded.reps_dropped = 3;
+        let mut lost = ChannelHealth::pristine("power", 0);
+        lost.lost = true;
+        let t = health_table(&[ok, degraded, lost]);
+        assert_eq!(t.row_count(), 3);
+        let rows = t.rows();
+        assert_eq!(rows[0].last().unwrap(), "ok");
+        assert_eq!(rows[1].last().unwrap(), "degraded");
+        assert_eq!(rows[1][3], "1");
+        assert_eq!(rows[1][5], "3");
+        assert_eq!(rows[2].last().unwrap(), "lost");
     }
 }

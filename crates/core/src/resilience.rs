@@ -1,0 +1,181 @@
+//! Retry budgets and degradation accounting for campaigns under faults.
+//!
+//! A bench campaign loses measurements: a scope misses a trigger, a
+//! glitched sweep repetition is garbage, a calibration pass diverges.
+//! [`RetryPolicy`] bounds how hard the engine fights back (re-acquiring
+//! with fresh index-derived seeds) and whether a campaign may *degrade* —
+//! continue with fewer dies, fewer repetitions, or fewer channels — when
+//! the budget runs out. [`ChannelHealth`] is the audit trail: one record
+//! per channel, counting every attempt, retry and quarantine, carried
+//! through [`crate::fusion`], the report renderer and the artifact store
+//! so a degraded result can never masquerade as a pristine one.
+
+/// How a campaign responds to injected or real measurement failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Extra acquisition/calibration attempts allowed per event after
+    /// the first (0 = fail on the first fault).
+    pub max_retries: usize,
+    /// Whether the campaign may continue after an event exhausts its
+    /// retries: the die (or, for calibration, the whole channel) is
+    /// quarantined and the result marked degraded. When `false`, the
+    /// first exhausted budget aborts the campaign with a typed error.
+    pub allow_degraded: bool,
+}
+
+impl RetryPolicy {
+    /// The strict policy: no retries, no degradation (the historical
+    /// behaviour of the fault-oblivious pipeline).
+    pub fn strict() -> Self {
+        RetryPolicy::default()
+    }
+
+    /// A policy allowing `max_retries` re-acquisitions and degraded
+    /// completion.
+    pub fn degraded(max_retries: usize) -> Self {
+        RetryPolicy {
+            max_retries,
+            allow_degraded: true,
+        }
+    }
+}
+
+/// Per-channel health of a campaign: what was attempted, what had to be
+/// retried, and what was lost.
+///
+/// For a surviving channel, `attempted`/`retried` count acquisition
+/// events (calibration retries are folded into both, keeping
+/// [`ChannelHealth::population`] equal to the die count). For a channel
+/// recorded in a lost list, they count the calibration attempts that
+/// exhausted the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelHealth {
+    /// Channel name (`"EM"`, `"delay"`, …).
+    pub channel: String,
+    /// Total acquisition attempts, including retries.
+    pub attempted: usize,
+    /// Attempts beyond the first for any event (acquisition retries plus
+    /// calibration retries).
+    pub retried: usize,
+    /// Dies quarantined after exhausting the retry budget.
+    pub dropped: usize,
+    /// Sweep cells (pair × repetition) scheduled inside acquisitions
+    /// while a fault plan was active (0 for trace channels).
+    pub reps_attempted: usize,
+    /// Sweep cells dropped by repetition-level quarantine.
+    pub reps_dropped: usize,
+    /// Whether the whole channel was lost (calibration diverged, or too
+    /// few dies survived to form a population).
+    pub lost: bool,
+}
+
+impl ChannelHealth {
+    /// The health of a fault-free run over `population` dies: one
+    /// attempt per die, nothing retried, nothing dropped.
+    pub fn pristine(channel: impl Into<String>, population: usize) -> Self {
+        ChannelHealth {
+            channel: channel.into(),
+            attempted: population,
+            retried: 0,
+            dropped: 0,
+            reps_attempted: 0,
+            reps_dropped: 0,
+            lost: false,
+        }
+    }
+
+    /// `true` when this record is exactly what a fault-free run over
+    /// `population` dies would report.
+    pub fn is_pristine(&self, population: usize) -> bool {
+        self.attempted == population
+            && self.retried == 0
+            && self.dropped == 0
+            && self.reps_attempted == 0
+            && self.reps_dropped == 0
+            && !self.lost
+    }
+
+    /// Whether anything was lost (dies, repetitions or the channel).
+    pub fn degraded(&self) -> bool {
+        self.dropped > 0 || self.reps_dropped > 0 || self.lost
+    }
+
+    /// Distinct events attempted (attempts minus retries) — the die
+    /// count for a surviving channel.
+    pub fn population(&self) -> usize {
+        self.attempted.saturating_sub(self.retried)
+    }
+
+    /// Fraction of the population lost: quarantined dies over distinct
+    /// dies, or 1 for a lost channel.
+    pub fn drop_rate(&self) -> f64 {
+        if self.lost {
+            return 1.0;
+        }
+        let population = self.population();
+        if population == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / population as f64
+        }
+    }
+
+    /// Accumulates another record of the *same channel* (e.g. the
+    /// scoring passes on top of the characterization) into this one.
+    pub fn merge(&mut self, other: &ChannelHealth) {
+        self.attempted += other.attempted;
+        self.retried += other.retried;
+        self.dropped += other.dropped;
+        self.reps_attempted += other.reps_attempted;
+        self.reps_dropped += other.reps_dropped;
+        self.lost |= other.lost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_health_is_detectable_and_not_degraded() {
+        let h = ChannelHealth::pristine("EM", 8);
+        assert!(h.is_pristine(8));
+        assert!(!h.is_pristine(7));
+        assert!(!h.degraded());
+        assert_eq!(h.population(), 8);
+        assert_eq!(h.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_drop_rate_counts_distinct_dies() {
+        let mut h = ChannelHealth::pristine("delay", 8);
+        h.retried = 3;
+        h.attempted += 3;
+        h.dropped = 2;
+        assert_eq!(h.population(), 8);
+        assert!((h.drop_rate() - 0.25).abs() < 1e-12);
+        assert!(h.degraded());
+
+        let mut scoring = ChannelHealth::pristine("delay", 8);
+        scoring.reps_attempted = 40;
+        scoring.reps_dropped = 4;
+        h.merge(&scoring);
+        assert_eq!(h.attempted, 19);
+        assert_eq!(h.population(), 16);
+        assert_eq!(h.reps_dropped, 4);
+
+        let mut lost = ChannelHealth::pristine("delay", 0);
+        lost.lost = true;
+        assert_eq!(lost.drop_rate(), 1.0);
+        h.merge(&lost);
+        assert!(h.lost);
+    }
+
+    #[test]
+    fn policies() {
+        assert_eq!(RetryPolicy::strict(), RetryPolicy::default());
+        let p = RetryPolicy::degraded(3);
+        assert_eq!(p.max_retries, 3);
+        assert!(p.allow_degraded);
+    }
+}

@@ -116,6 +116,25 @@ where
         .collect()
 }
 
+/// Fallible form of [`parallel_map_indexed`]: applies `f` to every index
+/// and short-circuits the *collection* on error — every item still runs,
+/// but the returned error is always the one with the **lowest index**,
+/// independent of which worker hit it first. That keeps error reporting
+/// as deterministic as the success path: a campaign that fails under 8
+/// workers names the same offending item as under 1.
+///
+/// # Errors
+///
+/// The lowest-index `Err` produced by `f`, if any.
+pub fn parallel_try_map_indexed<U, E, F>(workers: usize, n: usize, f: F) -> Result<Vec<U>, E>
+where
+    U: Send,
+    E: Send,
+    F: Fn(usize) -> Result<U, E> + Sync,
+{
+    parallel_map_indexed(workers, n, f).into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +186,28 @@ mod tests {
     fn explicit_worker_request_is_honoured() {
         assert_eq!(resolve_workers(3), 3);
         assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn try_map_reports_the_lowest_index_error_at_any_worker_count() {
+        for workers in [1, 2, 8] {
+            let err =
+                parallel_try_map_indexed(
+                    workers,
+                    100,
+                    |i| {
+                        if i % 37 == 5 {
+                            Err(i)
+                        } else {
+                            Ok(i)
+                        }
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, 5, "workers = {workers}");
+        }
+        let ok: Result<Vec<usize>, usize> = parallel_try_map_indexed(4, 10, Ok);
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,9 +1,22 @@
 //! Property-based tests for the statistics crate.
 
 use htd_stats::detection::{empirical_rates, equal_error_rate, separation_for_rate};
+use htd_stats::ks::{ks_test, ks_test_normal};
 use htd_stats::peaks::{local_maxima, sum_of_local_maxima};
+use htd_stats::welch::welch_t_test;
 use htd_stats::{erf, erf_inv, erfc, Gaussian, Histogram};
 use proptest::prelude::*;
+
+/// A sample-set strategy with guaranteed spread (Welch needs variance):
+/// two fixed, distinct anchors are appended to every generated set, so
+/// no filtering is needed and every set has ≥ 6 samples.
+fn spread_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 4..20).prop_map(|mut xs| {
+        xs.push(-1.0);
+        xs.push(1.0);
+        xs
+    })
+}
 
 proptest! {
     /// erf is odd, bounded and monotone.
@@ -118,4 +131,103 @@ proptest! {
         prop_assert!((g1.mean() - (g0.mean() * scale + shift)).abs() < 1e-9);
         prop_assert!((g1.std() - g0.std() * scale).abs() < 1e-9);
     }
+
+    /// A set tested against itself carries no evidence: t = 0, p = 1.
+    #[test]
+    fn welch_of_a_set_against_itself_is_null(a in spread_samples()) {
+        let w = welch_t_test(&a, &a).unwrap();
+        prop_assert!(w.t.abs() < 1e-12, "t = {}", w.t);
+        prop_assert!((w.p_value - 1.0).abs() < 1e-12, "p = {}", w.p_value);
+    }
+
+    /// Swapping the sets flips the sign of t and nothing else.
+    #[test]
+    fn welch_is_antisymmetric(a in spread_samples(), b in spread_samples()) {
+        let ab = welch_t_test(&a, &b).unwrap();
+        let ba = welch_t_test(&b, &a).unwrap();
+        prop_assert!((ab.t + ba.t).abs() < 1e-10);
+        prop_assert!((ab.df - ba.df).abs() < 1e-9);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-10);
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+    }
+
+    /// t is invariant under a common affine transform of both sets.
+    #[test]
+    fn welch_is_affine_invariant(
+        a in spread_samples(),
+        b in spread_samples(),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let w0 = welch_t_test(&a, &b).unwrap();
+        let fa: Vec<f64> = a.iter().map(|x| x * scale + shift).collect();
+        let fb: Vec<f64> = b.iter().map(|x| x * scale + shift).collect();
+        let w1 = welch_t_test(&fa, &fb).unwrap();
+        prop_assert!((w0.t - w1.t).abs() < 1e-6 * (1.0 + w0.t.abs()), "{} vs {}", w0.t, w1.t);
+        prop_assert!((w0.df - w1.df).abs() < 1e-6 * (1.0 + w0.df));
+    }
+
+    /// The KS statistic is a sup of probability differences: in [0, 1],
+    /// with a valid p-value.
+    #[test]
+    fn ks_statistic_and_p_are_probabilities(xs in proptest::collection::vec(-10.0f64..10.0, 5..40)) {
+        let k = ks_test(&xs, |x| Gaussian::standard().cdf(x)).unwrap();
+        prop_assert!((0.0..=1.0).contains(&k.statistic), "D = {}", k.statistic);
+        prop_assert!((0.0..=1.0).contains(&k.p_value), "p = {}", k.p_value);
+    }
+
+    /// The fitted-normal KS check is invariant under affine maps of the
+    /// samples (the fit absorbs them).
+    #[test]
+    fn ks_normal_is_affine_invariant(
+        xs in spread_samples(),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let k0 = ks_test_normal(&xs).unwrap();
+        let mapped: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let k1 = ks_test_normal(&mapped).unwrap();
+        prop_assert!((k0.statistic - k1.statistic).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-computed reference vectors (exact closed forms, not regression pins).
+
+/// a = [1,2,3,4], b = [2,4,6,8]: var(a) = 5/3, var(b) = 20/3, so
+/// t = (2.5 − 5)/√(25/12) = −√3 and the Welch–Satterthwaite df is
+/// (25/12)² / ((5/12)²/3 + (20/12)²/3) = 75/17.
+#[test]
+fn welch_matches_the_hand_computed_vector() {
+    let w = welch_t_test(&[1.0, 2.0, 3.0, 4.0], &[2.0, 4.0, 6.0, 8.0]).unwrap();
+    assert!((w.t + 3.0f64.sqrt()).abs() < 1e-12, "t = {}", w.t);
+    assert!((w.df - 75.0 / 17.0).abs() < 1e-12, "df = {}", w.df);
+    assert!(w.p_value > 0.0 && w.p_value < 1.0);
+}
+
+/// Equally spaced mid-quantiles of U(0,1) sit D = 1/(2n) … here exactly
+/// 0.1 away from the uniform CDF at every step.
+#[test]
+fn ks_matches_the_hand_computed_vector() {
+    let k = ks_test(&[0.1, 0.3, 0.5, 0.7, 0.9], |x| x.clamp(0.0, 1.0)).unwrap();
+    assert!((k.statistic - 0.1).abs() < 1e-15, "D = {}", k.statistic);
+    assert_eq!(k.n, 5);
+}
+
+/// Gaussian::fit([1..5]) has mean 3 and sample std √2.5 exactly.
+#[test]
+fn gaussian_fit_matches_the_hand_computed_vector() {
+    let g = Gaussian::fit(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+    assert!((g.mean() - 3.0).abs() < 1e-15);
+    assert!((g.std() - 2.5f64.sqrt()).abs() < 1e-15);
+}
+
+/// Clearly separated populations must reject the null hypothesis.
+#[test]
+fn welch_rejects_separated_populations() {
+    let a: Vec<f64> = (0..12).map(|i| (i as f64 * 0.9).sin()).collect();
+    let b: Vec<f64> = a.iter().map(|x| x + 10.0).collect();
+    let w = welch_t_test(&a, &b).unwrap();
+    assert!(w.p_value < 1e-6, "p = {}", w.p_value);
+    assert!(w.t < 0.0, "second mean is larger, t must be negative");
 }

@@ -107,6 +107,16 @@ pub fn unframe<'a>(text: &'a str, origin: &'a str, kind: &str) -> Result<Parser<
     let Some((&header, body_lines)) = body_lines.split_first() else {
         return Err(Error::format(origin, 0, "artifact has no header line"));
     };
+    check_header(header, origin, kind)?;
+    Ok(Parser {
+        origin,
+        lines: body_lines.to_vec(),
+        pos: 0,
+    })
+}
+
+/// Validates a `htdstore <version> <kind>` header line.
+fn check_header(header: &str, origin: &str, kind: &str) -> Result<(), Error> {
     let mut words = header.split(' ');
     if words.next() != Some(MAGIC) {
         return Err(Error::format(origin, 1, format!("missing `{MAGIC}` magic")));
@@ -139,10 +149,72 @@ pub fn unframe<'a>(text: &'a str, origin: &'a str, kind: &str) -> Result<Parser<
             format!("artifact is `{actual_kind}`, expected `{kind}`"),
         ));
     }
-    Ok(Parser {
-        origin,
-        lines: body_lines.to_vec(),
-        pos: 0,
+    Ok(())
+}
+
+/// Parses a trailer line's declared checksum, if the line is a
+/// well-formed `checksum fnv1a64 <16 lowercase hex>` trailer.
+fn trailer_checksum(line: &str) -> Option<u64> {
+    let hex = line.strip_prefix("checksum fnv1a64 ")?;
+    (hex.len() == 16 && hex.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')))
+        .then(|| u64::from_str_radix(hex, 16).ok())
+        .flatten()
+}
+
+/// A best-effort unframing for the salvage path: the header, the body
+/// lines as a [`Parser`], and the trailer's declared checksum when a
+/// well-formed trailer is present.
+#[derive(Debug)]
+pub struct SalvageFrame<'a> {
+    /// The (validated) header line.
+    pub header: &'a str,
+    /// Cursor over the body lines.
+    pub parser: Parser<'a>,
+    /// The checksum the trailer declared, if the trailer survived.
+    pub declared: Option<u64>,
+}
+
+/// Unframes `text` for salvage: the header must be intact (there is
+/// nothing to salvage without knowing the kind and version), but the
+/// checksum trailer is *optional* — a corrupt or missing trailer, or a
+/// truncated final line, demotes the artifact to "recovered" instead of
+/// rejecting it. The checksum is **not** verified here; the caller
+/// re-verifies it over the lines it actually keeps.
+///
+/// # Errors
+///
+/// [`Error::Format`] when the artifact is empty or the header line is
+/// damaged.
+pub fn unframe_salvage<'a>(
+    text: &'a str,
+    origin: &'a str,
+    kind: &str,
+) -> Result<SalvageFrame<'a>, Error> {
+    // A missing trailing newline means the last line was cut mid-write;
+    // drop the partial fragment and salvage the complete lines.
+    let complete = match text.rfind('\n') {
+        Some(end) => &text[..end],
+        None if text.is_empty() => return Err(Error::format(origin, 0, "empty artifact")),
+        None => return Err(Error::format(origin, 1, "artifact has no complete lines")),
+    };
+    let mut lines: Vec<&str> = complete.split('\n').collect();
+    let header = lines.remove(0);
+    check_header(header, origin, kind)?;
+    let declared = match lines.last().copied().and_then(trailer_checksum) {
+        Some(sum) => {
+            lines.pop();
+            Some(sum)
+        }
+        None => None,
+    };
+    Ok(SalvageFrame {
+        header,
+        parser: Parser {
+            origin,
+            lines,
+            pos: 0,
+        },
+        declared,
     })
 }
 
@@ -206,6 +278,36 @@ impl<'a> Parser<'a> {
         line.strip_prefix(keyword)
             .and_then(|rest| rest.strip_prefix(' ').or(rest.is_empty().then_some("")))
             .ok_or_else(|| self.error(format!("expected `{keyword}` line, found `{line}`")))
+    }
+
+    /// All body lines (consumed or not), for checksum re-verification.
+    pub fn lines(&self) -> &[&'a str] {
+        &self.lines
+    }
+
+    /// The current cursor position (a 0-based body-line index), for
+    /// [`Parser::restore`] after a failed speculative parse.
+    pub fn save(&self) -> usize {
+        self.pos
+    }
+
+    /// Rewinds the cursor to a position from [`Parser::save`].
+    pub fn restore(&mut self, pos: usize) {
+        self.pos = pos.min(self.lines.len());
+    }
+
+    /// Consumes lines until the next line starts with `prefix` (or the
+    /// body ends), returning the 0-based indices of the skipped lines.
+    pub fn skip_to_prefix(&mut self, prefix: &str) -> Vec<usize> {
+        let mut skipped = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.starts_with(prefix) {
+                break;
+            }
+            skipped.push(self.pos);
+            self.pos += 1;
+        }
+        skipped
     }
 
     /// Asserts the whole body was consumed.

@@ -9,14 +9,18 @@ use htd_core::fusion::{
     ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
     ScoredChannel,
 };
+use htd_core::resilience::ChannelHealth;
 use htd_core::Error;
+use htd_faults::FaultPlan;
 use htd_stats::Gaussian;
 
 use crate::blocks::{
     parse_calibration, parse_f64_list, parse_payload, parse_plan, write_calibration,
     write_f64_list, write_payload, write_plan,
 };
-use crate::format::{fmt_f64, parse_f64, parse_usize, quote, unquote, BodyWriter, Parser};
+use crate::format::{
+    fmt_f64, parse_f64, parse_u64, parse_usize, quote, unquote, BodyWriter, Parser,
+};
 
 /// A value with a durable text representation in the artifact store.
 ///
@@ -37,6 +41,62 @@ pub trait Artifact: Sized {
     ///
     /// [`Error::Format`] on any grammar or value violation.
     fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error>;
+
+    /// Best-effort variant of [`Artifact::parse_body`] for the salvage
+    /// reader: recovers what it can from a damaged body, returning the
+    /// value plus the 0-based body-line indices it had to drop. The
+    /// default is fully strict — any damage fails the parse and nothing
+    /// is ever dropped; kinds with block-structured bodies override this
+    /// to skip corrupt blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Format`] when not even a partial value can be recovered.
+    fn parse_body_salvage(p: &mut Parser<'_>) -> Result<(Self, Vec<usize>), Error> {
+        Ok((Self::parse_body(p)?, Vec::new()))
+    }
+}
+
+impl Artifact for FaultPlan {
+    const KIND: &'static str = "faultplan";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        w.line(format!("seed {}", self.seed));
+        w.line(format!(
+            "rates {} {} {} {}",
+            fmt_f64(self.acquire_rate),
+            fmt_f64(self.rep_rate),
+            fmt_f64(self.calibrate_rate),
+            fmt_f64(self.store_rate),
+        ));
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let seed = parse_u64(p.keyword_line("seed")?.trim()).map_err(|e| p.error(e))?;
+        let rest = p.keyword_line("rates")?;
+        let mut rates = [0.0f64; 4];
+        let mut words = rest.split_whitespace();
+        for r in &mut rates {
+            let token = words.next().ok_or_else(|| {
+                p.error("rates needs acquire, rep, calibrate and store probabilities")
+            })?;
+            *r = parse_f64(token).map_err(|e| p.error(e))?;
+            if !(0.0..=1.0).contains(r) {
+                return Err(p.error(format!("rate {} outside [0, 1]", fmt_f64(*r))));
+            }
+        }
+        if words.next().is_some() {
+            return Err(p.error("trailing tokens after rates"));
+        }
+        let [acquire_rate, rep_rate, calibrate_rate, store_rate] = rates;
+        Ok(FaultPlan {
+            seed,
+            acquire_rate,
+            rep_rate,
+            calibrate_rate,
+            store_rate,
+        })
+    }
 }
 
 impl Artifact for CampaignPlan {
@@ -169,6 +229,14 @@ impl Artifact for MultiChannelReport {
                 write_result(w, "fused", fused);
             }
         }
+        // The health section only exists for degraded campaigns, so
+        // pristine reports keep their historical byte layout.
+        if !self.health.is_empty() {
+            w.line(format!("health {}", self.health.len()));
+            for h in &self.health {
+                write_health(w, h);
+            }
+        }
     }
 
     fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
@@ -235,10 +303,24 @@ impl Artifact for MultiChannelReport {
                 fused,
             });
         }
+        let mut health = Vec::new();
+        if p.peek().is_some_and(|l| l.starts_with("health ")) {
+            let n = parse_usize(p.keyword_line("health")?.trim()).map_err(|e| p.error(e))?;
+            if n > p.remaining() {
+                return Err(p.error(format!(
+                    "health declares {n} channels but only {} lines remain",
+                    p.remaining()
+                )));
+            }
+            for _ in 0..n {
+                health.push(parse_health(p)?);
+            }
+        }
         Ok(MultiChannelReport {
             rows,
             n_dies,
             channel_names,
+            health,
         })
     }
 }
@@ -258,9 +340,11 @@ impl GoldenArtifact {
     /// # Errors
     ///
     /// [`Error::ChannelShapeMismatch`] when the spec list does not match
-    /// the characterization's channel states (count or name order), or
-    /// when a state's golden-score count differs from the plan's die
-    /// count.
+    /// the characterization's channel states (count or name order), when
+    /// a state's golden-score count differs from its kept-die count,
+    /// when the kept dies are not a strictly ascending subset of the
+    /// plan's dies (at least two of them), or when a surviving state is
+    /// marked lost.
     pub fn new(specs: Vec<ChannelSpec>, charac: GoldenCharacterization) -> Result<Self, Error> {
         if specs.len() != charac.states.len() {
             return Err(Error::ChannelShapeMismatch {
@@ -275,10 +359,30 @@ impl GoldenArtifact {
                     expected: "spec order matching channel execution order",
                 });
             }
-            if state.scores.len() != charac.plan.n_dies {
+            if state.kept.len() != state.scores.len() {
                 return Err(Error::ChannelShapeMismatch {
                     channel: state.channel.clone(),
-                    expected: "one golden score per die",
+                    expected: "one golden score per kept die",
+                });
+            }
+            if state.kept.len() < 2 {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "at least two kept dies",
+                });
+            }
+            let ascending = state.kept.windows(2).all(|w| w[0] < w[1]);
+            let in_plan = state.kept.last().is_none_or(|&k| k < charac.plan.n_dies);
+            if !ascending || !in_plan {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "kept dies strictly ascending within the plan",
+                });
+            }
+            if state.health.lost {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "surviving states only (lost channels go in `lost`)",
                 });
             }
         }
@@ -317,6 +421,24 @@ impl Artifact for GoldenArtifact {
             write_calibration(w, &state.calibration);
             write_payload(w, &state.reference.clone().into());
             write_f64_list(w, "scores", &state.scores);
+            // Degradation markers are only written when present, keeping
+            // pristine artifacts on their historical byte layout.
+            if state.kept.iter().copied().ne(0..state.scores.len()) {
+                let mut line = format!("kept {}", state.kept.len());
+                for &k in &state.kept {
+                    line.push_str(&format!(" {k}"));
+                }
+                w.line(line);
+            }
+            if !state.health.is_pristine(state.scores.len()) {
+                write_health(w, &state.health);
+            }
+        }
+        if !self.charac.lost.is_empty() {
+            w.line(format!("lost {}", self.charac.lost.len()));
+            for h in &self.charac.lost {
+                write_health(w, h);
+            }
         }
     }
 
@@ -332,23 +454,168 @@ impl Artifact for GoldenArtifact {
         let mut specs = Vec::with_capacity(n_channels);
         let mut states = Vec::with_capacity(n_channels);
         for _ in 0..n_channels {
-            let token = p.keyword_line("channel")?;
-            let spec = ChannelSpec::from_token(token)
-                .ok_or_else(|| p.error(format!("unknown channel spec `{token}`")))?;
-            let calibration = parse_calibration(p)?;
-            let reference = parse_payload(p)?.into_reference();
-            let scores = parse_f64_list(p, "scores")?;
-            states.push(ChannelState {
-                channel: spec.name().to_string(),
-                calibration,
-                reference,
-                scores,
-            });
+            let (spec, state) = parse_channel_block(p)?;
+            states.push(state);
             specs.push(spec);
         }
-        GoldenArtifact::new(specs, GoldenCharacterization { plan, states })
+        let lost = parse_lost_section(p)?;
+        GoldenArtifact::new(specs, GoldenCharacterization { plan, states, lost })
             .map_err(|e| p.error(format!("inconsistent golden artifact: {e}")))
     }
+
+    /// Golden bodies are block-structured (one block per channel), so a
+    /// corrupt line costs only its own block: the reader rewinds to the
+    /// block boundary, drops it, and resyncs at the next `channel ` line.
+    fn parse_body_salvage(p: &mut Parser<'_>) -> Result<(Self, Vec<usize>), Error> {
+        let mut dropped = Vec::new();
+        let plan = parse_plan(p)?;
+        let n_channels = parse_usize(p.keyword_line("channels")?.trim()).map_err(|e| p.error(e))?;
+        let mut specs = Vec::new();
+        let mut states = Vec::new();
+        while specs.len() < n_channels {
+            match p.peek() {
+                None => break,
+                Some(l) if l.starts_with("lost ") => break,
+                Some(_) => {}
+            }
+            let mark = p.save();
+            match parse_channel_block(p) {
+                Ok((spec, state)) => {
+                    specs.push(spec);
+                    states.push(state);
+                }
+                Err(_) => {
+                    p.restore(mark);
+                    dropped.push(p.save());
+                    let _ = p.next_line();
+                    dropped.extend(p.skip_to_prefix("channel "));
+                }
+            }
+        }
+        let mark = p.save();
+        let lost = match parse_lost_section(p) {
+            Ok(lost) => lost,
+            Err(_) => {
+                p.restore(mark);
+                while p.peek().is_some() {
+                    dropped.push(p.save());
+                    let _ = p.next_line();
+                }
+                Vec::new()
+            }
+        };
+        if states.is_empty() {
+            return Err(p.error("no channel block survived salvage"));
+        }
+        let artifact = GoldenArtifact::new(specs, GoldenCharacterization { plan, states, lost })
+            .map_err(|e| p.error(format!("inconsistent golden artifact: {e}")))?;
+        Ok((artifact, dropped))
+    }
+}
+
+/// Parses one golden channel block: the spec token, calibration,
+/// reference payload, scores, and the optional degradation markers
+/// (`kept`, `channel-health`) whose absence reconstructs a pristine
+/// state exactly.
+fn parse_channel_block(p: &mut Parser<'_>) -> Result<(ChannelSpec, ChannelState), Error> {
+    let token = p.keyword_line("channel")?;
+    let spec = ChannelSpec::from_token(token)
+        .ok_or_else(|| p.error(format!("unknown channel spec `{token}`")))?;
+    let calibration = parse_calibration(p)?;
+    let reference = parse_payload(p)?.into_reference();
+    let scores = parse_f64_list(p, "scores")?;
+    let kept = if p.peek().is_some_and(|l| l.starts_with("kept ")) {
+        let rest = p.keyword_line("kept")?;
+        let mut words = rest.split_whitespace();
+        let n = parse_usize(words.next().ok_or_else(|| p.error("kept needs a count"))?)
+            .map_err(|e| p.error(e))?;
+        let kept: Vec<usize> = words
+            .map(parse_usize)
+            .collect::<Result<_, _>>()
+            .map_err(|e| p.error(e))?;
+        if kept.len() != n {
+            return Err(p.error(format!("kept declares {n} dies but lists {}", kept.len())));
+        }
+        kept
+    } else {
+        (0..scores.len()).collect()
+    };
+    let health = if p.peek().is_some_and(|l| l.starts_with("channel-health ")) {
+        parse_health(p)?
+    } else {
+        ChannelHealth::pristine(spec.name(), scores.len())
+    };
+    let state = ChannelState {
+        channel: spec.name().to_string(),
+        calibration,
+        reference,
+        scores,
+        kept,
+        health,
+    };
+    Ok((spec, state))
+}
+
+/// Parses the optional trailing `lost` section of a golden body.
+fn parse_lost_section(p: &mut Parser<'_>) -> Result<Vec<ChannelHealth>, Error> {
+    if !p.peek().is_some_and(|l| l.starts_with("lost ")) {
+        return Ok(Vec::new());
+    }
+    let n = parse_usize(p.keyword_line("lost")?.trim()).map_err(|e| p.error(e))?;
+    if n > p.remaining() {
+        return Err(p.error(format!(
+            "lost declares {n} channels but only {} lines remain",
+            p.remaining()
+        )));
+    }
+    (0..n).map(|_| parse_health(p)).collect()
+}
+
+/// Writes one [`ChannelHealth`] record as a `channel-health` line.
+fn write_health(w: &mut BodyWriter, h: &ChannelHealth) {
+    w.line(format!(
+        "channel-health {} {} {} {} {} {} {}",
+        quote(&h.channel),
+        h.attempted,
+        h.retried,
+        h.dropped,
+        h.reps_attempted,
+        h.reps_dropped,
+        usize::from(h.lost),
+    ));
+}
+
+/// Parses a [`write_health`] line.
+fn parse_health(p: &mut Parser<'_>) -> Result<ChannelHealth, Error> {
+    let rest = p.keyword_line("channel-health")?;
+    let (channel, rest) =
+        unquote(rest).ok_or_else(|| p.error("channel-health needs a quoted channel label"))?;
+    let mut values = [0usize; 5];
+    let mut words = rest.split_whitespace();
+    for v in &mut values {
+        let token = words
+            .next()
+            .ok_or_else(|| p.error("channel-health needs five counters and a lost flag"))?;
+        *v = parse_usize(token).map_err(|e| p.error(e))?;
+    }
+    let lost = match words.next() {
+        Some("0") => false,
+        Some("1") => true,
+        _ => return Err(p.error("channel-health lost flag must be 0 or 1")),
+    };
+    if words.next().is_some() {
+        return Err(p.error("trailing tokens after channel-health"));
+    }
+    let [attempted, retried, dropped, reps_attempted, reps_dropped] = values;
+    Ok(ChannelHealth {
+        channel,
+        attempted,
+        retried,
+        dropped,
+        reps_attempted,
+        reps_dropped,
+        lost,
+    })
 }
 
 /// Writes one [`ChannelResult`] line under `keyword`.

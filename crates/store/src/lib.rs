@@ -100,6 +100,93 @@ pub fn load<A: Artifact>(path: impl AsRef<std::path::Path>) -> Result<A, Error> 
     from_text_at(&text, &path.display().to_string())
 }
 
+/// An artifact read back by the salvage path, with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Salvaged<A> {
+    /// The recovered value.
+    pub artifact: A,
+    /// `false` only when **nothing** was dropped *and* the checksum
+    /// trailer re-verified over exactly the kept lines — i.e. the file is
+    /// pristine. Dropped lines, a missing or malformed trailer, and even
+    /// a parseable bit-flip that stales the checksum all set this flag,
+    /// so a salvaged artifact can never masquerade as a pristine one.
+    pub recovered: bool,
+    /// Number of body lines dropped to recover the value.
+    pub dropped_lines: usize,
+}
+
+/// Best-effort parse of a (possibly damaged) artifact: the header must
+/// be intact, but a corrupt or truncated body is recovered block by
+/// block where the kind supports it (see
+/// [`Artifact::parse_body_salvage`]), and the checksum trailer is
+/// re-verified over only the kept lines to decide pristine vs recovered.
+///
+/// # Errors
+///
+/// [`Error::Format`] when the header is damaged or not even a partial
+/// value survives.
+pub fn from_text_salvage<A: Artifact>(text: &str) -> Result<Salvaged<A>, Error> {
+    from_text_salvage_at(text, IN_MEMORY)
+}
+
+/// [`from_text_salvage`] with an explicit origin label for errors.
+///
+/// # Errors
+///
+/// [`Error::Format`] when the header is damaged or not even a partial
+/// value survives.
+pub fn from_text_salvage_at<A: Artifact>(text: &str, origin: &str) -> Result<Salvaged<A>, Error> {
+    let mut fr = format::unframe_salvage(text, origin, A::KIND)?;
+    let (artifact, mut dropped) = A::parse_body_salvage(&mut fr.parser)?;
+    // Whatever the kind's parser left unconsumed did not make it into
+    // the value: it counts as dropped, and poisons the checksum below.
+    while fr.parser.peek().is_some() {
+        dropped.push(fr.parser.save());
+        let _ = fr.parser.next_line();
+    }
+    dropped.sort_unstable();
+    dropped.dedup();
+    // Re-verify the trailer over exactly the lines that were kept. Only
+    // a file with every line kept *and* a matching checksum is pristine;
+    // in particular a bit-flip that still parses stales the checksum and
+    // is reported as recovered.
+    let recovered = match fr.declared {
+        None => true,
+        Some(declared) => {
+            let mut covered = String::with_capacity(text.len());
+            covered.push_str(fr.header);
+            covered.push('\n');
+            let mut next_dropped = dropped.iter().copied().peekable();
+            for (i, line) in fr.parser.lines().iter().enumerate() {
+                if next_dropped.peek() == Some(&i) {
+                    next_dropped.next();
+                    continue;
+                }
+                covered.push_str(line);
+                covered.push('\n');
+            }
+            fnv1a64(covered.as_bytes()) != declared
+        }
+    };
+    Ok(Salvaged {
+        artifact,
+        recovered,
+        dropped_lines: dropped.len(),
+    })
+}
+
+/// Reads an artifact from `path` through the salvage path.
+///
+/// # Errors
+///
+/// [`Error::Io`] on filesystem failure; [`Error::Format`] when the
+/// header is damaged or not even a partial value survives.
+pub fn load_salvage<A: Artifact>(path: impl AsRef<std::path::Path>) -> Result<Salvaged<A>, Error> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    from_text_salvage_at(&text, &path.display().to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,7 +198,9 @@ mod tests {
         ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
         ScoredChannel,
     };
+    use htd_core::resilience::ChannelHealth;
     use htd_em::Trace;
+    use htd_faults::FaultPlan;
     use htd_stats::Gaussian;
     use htd_timing::GlitchParams;
 
@@ -192,8 +281,36 @@ mod tests {
             ],
             n_dies: 20,
             channel_names: vec!["EM".to_string(), "delay".to_string()],
+            health: vec![],
         };
         roundtrip(&report);
+
+        // A degraded report carries its health section through the store.
+        let mut health = ChannelHealth::pristine("EM \"scope\"", 20);
+        health.retried = 3;
+        health.dropped = 2;
+        let mut lost = ChannelHealth::pristine("delay", 4);
+        lost.lost = true;
+        let degraded = MultiChannelReport {
+            health: vec![health, lost],
+            ..report
+        };
+        roundtrip(&degraded);
+    }
+
+    #[test]
+    fn fault_plans_roundtrip_and_reject_bad_rates() {
+        roundtrip(&FaultPlan::none());
+        roundtrip(&FaultPlan {
+            seed: u64::MAX,
+            acquire_rate: 0.2,
+            rep_rate: 1.0 / 3.0,
+            calibrate_rate: 0.0,
+            store_rate: 1.0,
+        });
+        let bad = frame("faultplan", "seed 0\nrates 0 1.5 0 0\n");
+        let err = from_text::<FaultPlan>(&bad).unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
     }
 
     #[test]
@@ -202,21 +319,22 @@ mod tests {
         let charac = GoldenCharacterization {
             plan: plan.clone(),
             states: vec![
-                ChannelState {
-                    channel: "EM".to_string(),
-                    calibration: Calibration::None,
-                    reference: GoldenReference::MeanTrace(Trace::new(vec![0.25; 9], 125.0)),
-                    scores: (0..plan.n_dies).map(|i| i as f64 * 1.5).collect(),
-                },
-                ChannelState {
-                    channel: "delay".to_string(),
-                    calibration: Calibration::Glitch(sample_glitch()),
-                    reference: GoldenReference::MeanMatrix(DelayMatrix {
+                ChannelState::pristine(
+                    "EM",
+                    Calibration::None,
+                    GoldenReference::MeanTrace(Trace::new(vec![0.25; 9], 125.0)),
+                    (0..plan.n_dies).map(|i| i as f64 * 1.5).collect(),
+                ),
+                ChannelState::pristine(
+                    "delay",
+                    Calibration::Glitch(sample_glitch()),
+                    GoldenReference::MeanMatrix(DelayMatrix {
                         mean_onset_steps: vec![vec![4.0; 3]; 2],
                     }),
-                    scores: (0..plan.n_dies).map(|i| 40.0 - i as f64).collect(),
-                },
+                    (0..plan.n_dies).map(|i| 40.0 - i as f64).collect(),
+                ),
             ],
+            lost: vec![],
         };
         let artifact = GoldenArtifact::new(
             vec![
@@ -236,15 +354,16 @@ mod tests {
     #[test]
     fn golden_artifact_rejects_mismatched_specs() {
         let plan = sample_plan();
-        let state = ChannelState {
-            channel: "EM".to_string(),
-            calibration: Calibration::None,
-            reference: GoldenReference::MeanTrace(Trace::new(vec![0.0; 4], 125.0)),
-            scores: vec![0.0; plan.n_dies],
-        };
+        let state = ChannelState::pristine(
+            "EM",
+            Calibration::None,
+            GoldenReference::MeanTrace(Trace::new(vec![0.0; 4], 125.0)),
+            vec![0.0; plan.n_dies],
+        );
         let charac = GoldenCharacterization {
             plan: plan.clone(),
             states: vec![state.clone()],
+            lost: vec![],
         };
         // Wrong channel name for the spec.
         assert!(GoldenArtifact::new(vec![ChannelSpec::Delay], charac.clone()).is_err());
@@ -257,13 +376,14 @@ mod tests {
             charac,
         )
         .is_err());
-        // Score count disagreeing with the plan's die count.
+        // Score count disagreeing with the kept-die count.
         let short = GoldenCharacterization {
             plan,
             states: vec![ChannelState {
                 scores: vec![0.0; 2],
                 ..state
             }],
+            lost: vec![],
         };
         assert!(
             GoldenArtifact::new(vec![ChannelSpec::Em(TraceMetric::SumOfLocalMaxima)], short)

@@ -22,6 +22,7 @@ use htd_core::fusion::{
     ScoredChannel,
 };
 use htd_em::Trace;
+use htd_faults::FaultPlan;
 use htd_stats::Gaussian;
 use htd_store::{Artifact, ChannelFit, GoldenArtifact};
 use htd_timing::GlitchParams;
@@ -75,6 +76,7 @@ fn report() -> MultiChannelReport {
         }],
         n_dies: 4,
         channel_names: vec!["EM".to_string(), "delay".to_string()],
+        health: vec![],
     }
 }
 
@@ -87,22 +89,33 @@ fn golden() -> GoldenArtifact {
         GoldenCharacterization {
             plan: plan(),
             states: vec![
-                ChannelState {
-                    channel: "EM".to_string(),
-                    calibration: Calibration::None,
-                    reference: GoldenReference::MeanTrace(trace()),
-                    scores: vec![1.0, 2.5, -3.0, 0.125],
-                },
-                ChannelState {
-                    channel: "delay".to_string(),
-                    calibration: Calibration::Glitch(glitch()),
-                    reference: GoldenReference::MeanMatrix(matrix()),
-                    scores: vec![40.0, 41.5, 39.0, 40.25],
-                },
+                ChannelState::pristine(
+                    "EM",
+                    Calibration::None,
+                    GoldenReference::MeanTrace(trace()),
+                    vec![1.0, 2.5, -3.0, 0.125],
+                ),
+                ChannelState::pristine(
+                    "delay",
+                    Calibration::Glitch(glitch()),
+                    GoldenReference::MeanMatrix(matrix()),
+                    vec![40.0, 41.5, 39.0, 40.25],
+                ),
             ],
+            lost: vec![],
         },
     )
     .unwrap()
+}
+
+fn faultplan() -> FaultPlan {
+    FaultPlan {
+        seed: 7,
+        acquire_rate: 0.2,
+        rep_rate: 0.1,
+        calibrate_rate: 0.0,
+        store_rate: 0.0,
+    }
 }
 
 fn check<A: Artifact + PartialEq + std::fmt::Debug>(value: &A) {
@@ -146,6 +159,7 @@ fn stored_fixtures_are_stable() {
     });
     check(&report());
     check(&golden());
+    check(&faultplan());
 }
 
 /// Rewrites every fixture from the current format. Run only after a
@@ -181,4 +195,5 @@ fn regenerate() {
     );
     write(&dir, &report());
     write(&dir, &golden());
+    write(&dir, &faultplan());
 }

@@ -11,7 +11,9 @@ use htd_core::fusion::{
     ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
     ScoredChannel,
 };
+use htd_core::resilience::ChannelHealth;
 use htd_em::Trace;
+use htd_faults::FaultPlan;
 use htd_stats::Gaussian;
 use htd_store::{from_text, to_text, ChannelFit, GoldenArtifact};
 use htd_timing::GlitchParams;
@@ -117,6 +119,49 @@ fn result_strategy() -> impl Strategy<Value = ChannelResult> {
         })
 }
 
+fn health_strategy() -> impl Strategy<Value = ChannelHealth> {
+    (
+        label(),
+        (
+            0usize..100,
+            0usize..100,
+            0usize..100,
+            0usize..1000,
+            0usize..1000,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(channel, (attempted, retried, dropped, reps_attempted, reps_dropped), lost)| {
+                ChannelHealth {
+                    channel,
+                    attempted,
+                    retried,
+                    dropped,
+                    reps_attempted,
+                    reps_dropped,
+                    lost,
+                }
+            },
+        )
+}
+
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+    )
+        .prop_map(
+            |(seed, (acquire_rate, rep_rate, calibrate_rate, store_rate))| FaultPlan {
+                seed,
+                acquire_rate,
+                rep_rate,
+                calibrate_rate,
+                store_rate,
+            },
+        )
+}
+
 fn report_strategy() -> impl Strategy<Value = MultiChannelReport> {
     let row = (
         (label(), 0.0f64..1.0),
@@ -135,11 +180,13 @@ fn report_strategy() -> impl Strategy<Value = MultiChannelReport> {
         proptest::collection::vec(row, 0..3),
         2usize..20,
         proptest::collection::vec(label(), 0..3),
+        proptest::collection::vec(health_strategy(), 0..3),
     )
-        .prop_map(|(rows, n_dies, channel_names)| MultiChannelReport {
+        .prop_map(|(rows, n_dies, channel_names, health)| MultiChannelReport {
             rows,
             n_dies,
             channel_names,
+            health,
         })
 }
 
@@ -154,14 +201,17 @@ fn golden_strategy() -> impl Strategy<Value = GoldenArtifact> {
                     trace_strategy(),
                     matrix_strategy(),
                     proptest::collection::vec(finite(), n..n + 1),
+                    proptest::collection::vec(any::<bool>(), n..n + 1),
                 ),
                 1..4,
             ),
+            proptest::collection::vec(health_strategy(), 0..2),
         )
-            .prop_map(|(plan, chans)| {
+            .prop_map(|(plan, chans, mut lost)| {
+                let n = plan.n_dies;
                 let mut specs = Vec::new();
                 let mut states = Vec::new();
-                for ((sel, calibration), trace, matrix, scores) in chans {
+                for ((sel, calibration), trace, matrix, scores, mask) in chans {
                     let spec = match sel {
                         0 => ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
                         1 => ChannelSpec::Power(TraceMetric::MaxPoint),
@@ -172,15 +222,31 @@ fn golden_strategy() -> impl Strategy<Value = GoldenArtifact> {
                     } else {
                         GoldenReference::MeanTrace(trace)
                     };
+                    // Drop a random subset of dies (keeping at least two)
+                    // so degraded kept/health markers round-trip too.
+                    let kept: Vec<usize> = (0..n).filter(|&j| mask[j]).collect();
+                    let (kept, scores) = if kept.len() < 2 {
+                        ((0..n).collect::<Vec<_>>(), scores)
+                    } else {
+                        let scores = kept.iter().map(|&j| scores[j]).collect();
+                        (kept, scores)
+                    };
+                    let mut health = ChannelHealth::pristine(spec.name(), n);
+                    health.dropped = n - kept.len();
                     states.push(ChannelState {
                         channel: spec.name().to_string(),
                         calibration,
                         reference,
                         scores,
+                        kept,
+                        health,
                     });
                     specs.push(spec);
                 }
-                GoldenArtifact::new(specs, GoldenCharacterization { plan, states })
+                for h in &mut lost {
+                    h.lost = true;
+                }
+                GoldenArtifact::new(specs, GoldenCharacterization { plan, states, lost })
                     .expect("strategy builds consistent artifacts")
             })
     })
@@ -250,6 +316,11 @@ proptest! {
         assert_roundtrip!(GoldenArtifact, artifact);
     }
 
+    #[test]
+    fn fault_plans_roundtrip(plan in fault_plan_strategy()) {
+        assert_roundtrip!(FaultPlan, plan);
+    }
+
     /// Random truncations of arbitrary golden artifacts always error.
     #[test]
     fn truncated_golden_artifacts_error(artifact in golden_strategy(), cut in any::<u64>()) {
@@ -276,33 +347,37 @@ proptest! {
 fn sample_golden() -> GoldenArtifact {
     let plan = CampaignPlan::with_random_pairs(4, 2, 2, [0x42; 16], [0x0f; 16], 7);
     let states = vec![
-        ChannelState {
-            channel: "EM".to_string(),
-            calibration: Calibration::None,
-            reference: GoldenReference::MeanTrace(Trace::new(vec![0.5, -1.25, 1.0 / 3.0], 125.0)),
-            scores: vec![1.0, 2.5, -3.0, 0.125],
-        },
-        ChannelState {
-            channel: "delay".to_string(),
-            calibration: Calibration::Glitch(GlitchParams {
+        ChannelState::pristine(
+            "EM",
+            Calibration::None,
+            GoldenReference::MeanTrace(Trace::new(vec![0.5, -1.25, 1.0 / 3.0], 125.0)),
+            vec![1.0, 2.5, -3.0, 0.125],
+        ),
+        ChannelState::pristine(
+            "delay",
+            Calibration::Glitch(GlitchParams {
                 start_period_ps: 5200.0,
                 step_ps: 25.0,
                 steps: 96,
                 setup_ps: 180.0,
                 noise_ps: 12.5,
             }),
-            reference: GoldenReference::MeanMatrix(DelayMatrix {
+            GoldenReference::MeanMatrix(DelayMatrix {
                 mean_onset_steps: vec![vec![4.5, 6.0], vec![5.25, 7.125]],
             }),
-            scores: vec![40.0, 41.5, 39.0, 40.25],
-        },
+            vec![40.0, 41.5, 39.0, 40.25],
+        ),
     ];
     GoldenArtifact::new(
         vec![
             ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
             ChannelSpec::Delay,
         ],
-        GoldenCharacterization { plan, states },
+        GoldenCharacterization {
+            plan,
+            states,
+            lost: vec![],
+        },
     )
     .unwrap()
 }
