@@ -41,6 +41,22 @@ echo "==> htd fault-injection smoke"
     --faults tests/fixtures/faultplan.htd --max-retries 2 --allow-degraded \
     --report "$HTD_SMOKE_DIR/degraded.htd"
 "$HTD" diff "$HTD_SMOKE_DIR/degraded.htd" tests/fixtures/degraded_report.htd
+
+echo "==> htd metrics smoke (BENCH_pipeline.json)"
+# The paper-headline campaign with --metrics. The manifest's counter
+# section is deterministic (worker-invariant), so it is diffed against
+# the committed fixture; timings are observational and never compared.
+# `report --metrics` parses both files strictly, so any schema drift in
+# the writer fails here before the diff even runs.
+"$HTD" characterize --out "$HTD_SMOKE_DIR/headline.htd" \
+    --dies 8 --pairs 2 --reps 2 --seed 2015 --channels em,delay
+"$HTD" score --golden "$HTD_SMOKE_DIR/headline.htd" --trojans sweep \
+    --metrics BENCH_pipeline.json >/dev/null
+"$HTD" report --metrics BENCH_pipeline.json --counters \
+    >"$HTD_SMOKE_DIR/bench.counters"
+"$HTD" report --metrics tests/fixtures/run_manifest.json --counters \
+    >"$HTD_SMOKE_DIR/pinned.counters"
+diff "$HTD_SMOKE_DIR/bench.counters" "$HTD_SMOKE_DIR/pinned.counters"
 rm -rf "$HTD_SMOKE_DIR"
 
 echo "==> cargo clippy -- -D warnings"

@@ -16,9 +16,10 @@ use htd_core::fusion::{
     MultiChannelReport, ScoredChannel,
 };
 use htd_core::report::{health_table, multi_channel_table, pct, Table};
-use htd_core::resilience::RetryPolicy;
+use htd_core::resilience::{ChannelHealth, RetryPolicy};
 use htd_core::{CampaignPlan, Engine, Error, Lab};
 use htd_faults::FaultPlan;
+use htd_obs::{HealthRecord, Json, Obs, RunManifest, ToolInfo};
 use htd_stats::Gaussian;
 use htd_store::{ChannelFit, GoldenArtifact};
 use htd_trojan::TrojanSpec;
@@ -31,12 +32,13 @@ USAGE:
                    [--channels em,delay,power] [--metric solm|max|sum|l2]
                    [--pt HEX32] [--key HEX32] [--workers N] [--fits-dir DIR]
                    [--faults FILE] [--max-retries N] [--allow-degraded]
+                   [--metrics FILE]
       Measure a golden population and store it as a golden artifact.
 
   htd score --golden FILE [--trojans ht1,ht2,...] [--report FILE]
             [--csv FILE] [--kv FILE] [--scores-dir DIR] [--workers N]
             [--faults FILE] [--max-retries N] [--allow-degraded]
-            [--max-drop-rate F]
+            [--max-drop-rate F] [--metrics FILE]
       Score suspect designs against a stored golden artifact.
       Trojans: ht1 ht2 ht3 ht-comb ht-seq stealth sweep (= ht1,ht2,ht3).
       --faults replays a stored fault plan; failed acquisitions retry up
@@ -45,16 +47,31 @@ USAGE:
       damaged golden artifact is salvaged instead of rejected); the
       report then carries a per-channel health section. Exit 3 when any
       channel's drop rate exceeds --max-drop-rate.
+      --metrics FILE writes a machine-readable run manifest (JSON):
+      per-stage timings, event counters, pool occupancy and health.
+      Counters are bit-identical at any --workers value; timings are
+      observational and never enter checksummed artifacts.
 
   htd fuse FILE FILE...
       Fuse two or more stored per-channel score artifacts (z-score sum).
 
   htd report FILE [--csv | --kv]
-      Render a stored report (aligned table, CSV, or key=value lines).
+  htd report --metrics FILE [--counters]
+      Render a stored report (aligned table, CSV, or key=value lines),
+      or a run manifest written by --metrics (--counters prints only the
+      deterministic counter section, one `name value` per line).
 
   htd diff FILE FILE
-      Compare two stored reports. Exit 0 when identical, 1 when they
-      differ, 2 on error.
+      Compare two stored reports.
+
+  htd version [--json]
+      Print binary version, store format version and enabled features.
+
+EXIT CODES:
+  0  success (for diff: the reports match)
+  1  diff: the reports differ
+  2  error (bad usage, malformed artifact, I/O or campaign failure)
+  3  score: a channel's drop rate exceeded --max-drop-rate
 ";
 
 fn main() -> ExitCode {
@@ -79,6 +96,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "fuse" => fuse(rest),
         "report" => report(rest),
         "diff" => diff(rest),
+        "version" | "--version" | "-V" => version(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -215,10 +233,13 @@ fn trojan_specs(csv: &str) -> Result<Vec<TrojanSpec>, String> {
 /// `--faults FILE` replays a stored plan (default: no faults),
 /// `--max-retries N` bounds per-die retries, `--allow-degraded` lets the
 /// campaign drop what stays faulted instead of erroring out.
-fn fault_opts(opts: &Opts) -> Result<(FaultPlan, RetryPolicy), Box<dyn std::error::Error>> {
+fn fault_opts(
+    opts: &Opts,
+    obs: &Obs,
+) -> Result<(FaultPlan, RetryPolicy), Box<dyn std::error::Error>> {
     let faults = match opts.get("faults") {
         None => FaultPlan::none(),
-        Some(path) => htd_store::load(path)?,
+        Some(path) => htd_store::load_with(path, obs)?,
     };
     let policy = RetryPolicy {
         max_retries: parse_num("max-retries", opts.get("max-retries").unwrap_or("0"))?,
@@ -246,6 +267,111 @@ fn slug(label: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Run manifests (--metrics).
+
+/// Provenance stamped into manifests and `htd version`.
+fn tool_info() -> ToolInfo {
+    ToolInfo {
+        name: "htd".to_string(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        format_version: u64::from(htd_store::FORMAT_VERSION),
+        features: ["delay", "em", "power", "faults", "metrics", "salvage"]
+            .iter()
+            .map(|f| f.to_string())
+            .collect(),
+    }
+}
+
+/// The tool section as standalone JSON (`htd version --json`).
+fn tool_info_json(info: &ToolInfo) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(info.name.clone())),
+        ("version".to_string(), Json::Str(info.version.clone())),
+        (
+            "format_version".to_string(),
+            Json::UInt(info.format_version),
+        ),
+        (
+            "features".to_string(),
+            Json::Arr(info.features.iter().map(|f| Json::Str(f.clone())).collect()),
+        ),
+    ])
+}
+
+/// The observability handle for a run: recording when `--metrics` was
+/// given (with the manifest's output path), disabled otherwise.
+fn metrics_obs(opts: &Opts) -> (Obs, Option<String>) {
+    match opts.get("metrics") {
+        Some(path) => (Obs::recording(), Some(path.to_string())),
+        None => (Obs::noop(), None),
+    }
+}
+
+/// Digest of the campaign plan's store text: ties a manifest to the
+/// exact campaign it measured.
+fn plan_digest(plan: &CampaignPlan) -> String {
+    let text = htd_store::to_text(plan);
+    format!("fnv1a64:{:016x}", htd_store::fnv1a64(text.as_bytes()))
+}
+
+/// Mirrors the pipeline's health ledger into the manifest's (core-free)
+/// record type.
+fn health_records(health: &[ChannelHealth]) -> Vec<HealthRecord> {
+    health
+        .iter()
+        .map(|h| HealthRecord {
+            channel: h.channel.clone(),
+            attempted: h.attempted as u64,
+            retried: h.retried as u64,
+            dropped: h.dropped as u64,
+            reps_attempted: h.reps_attempted as u64,
+            reps_dropped: h.reps_dropped as u64,
+            lost: h.lost,
+        })
+        .collect()
+}
+
+/// The inverse of [`health_records`], for rendering a manifest's health
+/// section through the existing [`health_table`].
+fn health_from_records(records: &[HealthRecord]) -> Vec<ChannelHealth> {
+    records
+        .iter()
+        .map(|r| ChannelHealth {
+            channel: r.channel.clone(),
+            attempted: r.attempted as usize,
+            retried: r.retried as usize,
+            dropped: r.dropped as usize,
+            reps_attempted: r.reps_attempted as usize,
+            reps_dropped: r.reps_dropped as usize,
+            lost: r.lost,
+        })
+        .collect()
+}
+
+/// Writes the run manifest for a completed `characterize`/`score` run.
+fn write_manifest(
+    path: &str,
+    command: &str,
+    engine: &Engine,
+    plan: &CampaignPlan,
+    obs: &Obs,
+    health: &[ChannelHealth],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let snapshot = obs.snapshot().unwrap_or_default();
+    let manifest = RunManifest::new(
+        tool_info(),
+        command,
+        engine.workers(),
+        &plan_digest(plan),
+        &snapshot,
+        health_records(health),
+    );
+    std::fs::write(path, manifest.to_pretty()).map_err(|e| Error::io(path, e))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Subcommands.
 
 fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -265,6 +391,7 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
             "fits-dir",
             "faults",
             "max-retries",
+            "metrics",
         ],
         &["allow-degraded"],
     )?;
@@ -279,8 +406,9 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
     let specs = channel_specs(opts.get("channels").unwrap_or("em,delay"), metric)?;
     let pt = parse_hex16("pt", opts.get("pt").unwrap_or(&"42".repeat(16)))?;
     let key = parse_hex16("key", opts.get("key").unwrap_or(&"0f".repeat(16)))?;
-    let engine = engine_for(&opts)?;
-    let (faults, policy) = fault_opts(&opts)?;
+    let (obs, metrics_path) = metrics_obs(&opts);
+    let engine = engine_for(&opts)?.with_obs(obs.clone());
+    let (faults, policy) = fault_opts(&opts, &obs)?;
 
     let lab = Lab::paper();
     let plan = CampaignPlan::with_random_pairs(dies, pairs, reps, pt, key, seed);
@@ -321,18 +449,19 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
                     source,
                 })?;
             let path = std::path::Path::new(dir).join(format!("{}.fit.htd", slug(&state.channel)));
-            htd_store::save(
+            htd_store::save_with(
                 &path,
                 &ChannelFit {
                     channel: state.channel.clone(),
                     fit,
                 },
+                &obs,
             )?;
             println!("wrote {}", path.display());
         }
     }
 
-    htd_store::save(&out, &artifact)?;
+    htd_store::save_with(&out, &artifact, &obs)?;
     let names: Vec<&str> = artifact
         .characterization()
         .states
@@ -344,6 +473,16 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
         names.len(),
         names.join(", "),
     );
+    if let Some(path) = metrics_path {
+        let charac = artifact.characterization();
+        let health: Vec<ChannelHealth> = charac
+            .states
+            .iter()
+            .map(|s| s.health.clone())
+            .chain(charac.lost.iter().cloned())
+            .collect();
+        write_manifest(&path, "characterize", &engine, &charac.plan, &obs, &health)?;
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -361,20 +500,22 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "faults",
             "max-retries",
             "max-drop-rate",
+            "metrics",
         ],
         &["allow-degraded"],
     )?;
     let golden_path = opts.require("golden")?;
     let specs = trojan_specs(opts.get("trojans").unwrap_or("ht1,ht2,ht3"))?;
-    let engine = engine_for(&opts)?;
-    let (faults, policy) = fault_opts(&opts)?;
+    let (obs, metrics_path) = metrics_obs(&opts);
+    let engine = engine_for(&opts)?.with_obs(obs.clone());
+    let (faults, policy) = fault_opts(&opts, &obs)?;
     let max_drop_rate: f64 = parse_num("max-drop-rate", opts.get("max-drop-rate").unwrap_or("1"))?;
 
     // Under --allow-degraded a damaged golden artifact is salvaged: the
     // surviving channel blocks are kept and the read is flagged, instead
     // of the whole file being rejected for one bad line.
     let artifact: GoldenArtifact = if policy.allow_degraded {
-        let salvaged = htd_store::load_salvage::<GoldenArtifact>(golden_path)?;
+        let salvaged = htd_store::load_salvage_with::<GoldenArtifact>(golden_path, &obs)?;
         if salvaged.recovered {
             eprintln!(
                 "htd: salvaged {golden_path} ({} damaged line(s) dropped)",
@@ -383,7 +524,7 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
         salvaged.artifact
     } else {
-        htd_store::load(golden_path)?
+        htd_store::load_with(golden_path, &obs)?
     };
     let channels = artifact.build_channels();
     let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
@@ -402,7 +543,7 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     slug(&design.name),
                     slug(&set.channel)
                 ));
-                htd_store::save(&path, set)?;
+                htd_store::save_with(&path, set, &obs)?;
                 println!("wrote {}", path.display());
             }
         }
@@ -423,8 +564,11 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         println!("wrote {path}");
     }
     if let Some(path) = opts.get("report") {
-        htd_store::save(path, report)?;
+        htd_store::save_with(path, report, &obs)?;
         println!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        write_manifest(path, "score", &engine, &charac.plan, &obs, &report.health)?;
     }
     let worst = report
         .health
@@ -467,7 +611,13 @@ fn fuse(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn report(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let opts = Opts::parse(args, &[], &["csv", "kv"])?;
+    let opts = Opts::parse(args, &["metrics"], &["csv", "kv", "counters"])?;
+    if let Some(path) = opts.get("metrics") {
+        if !opts.positional.is_empty() {
+            return Err("report --metrics takes no report artifact".into());
+        }
+        return report_metrics(path, opts.has("counters"));
+    }
     let [path] = opts.positional.as_slice() else {
         return Err("report needs exactly one report artifact".into());
     };
@@ -483,6 +633,80 @@ fn report(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             println!("channel health:");
             print!("{}", health_table(&report.health));
         }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders a run manifest: the full human tables, or (with
+/// `--counters`) just the deterministic counter section as `name value`
+/// lines — the form CI diffs across worker counts and machines.
+fn report_metrics(path: &str, counters_only: bool) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    let manifest = RunManifest::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if counters_only {
+        print!("{}", manifest.counters_text());
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!(
+        "run: {} {} (store format {}), command `{}`, {} worker(s)",
+        manifest.tool.name,
+        manifest.tool.version,
+        manifest.tool.format_version,
+        manifest.command,
+        manifest.workers
+    );
+    println!("plan: {}", manifest.plan_digest);
+
+    let mut counters = Table::new(&["counter", "value"]);
+    for (name, value) in &manifest.counters {
+        counters.push_row(&[name.clone(), value.to_string()]);
+    }
+    println!("counters (deterministic):");
+    print!("{counters}");
+
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut timings = Table::new(&["stage", "count", "total ms", "mean ms", "max ms"]);
+    for t in &manifest.timings {
+        timings.push_row(&[
+            t.stage.clone(),
+            t.count.to_string(),
+            ms(t.total_ns),
+            ms(t.mean_ns),
+            ms(t.max_ns),
+        ]);
+    }
+    println!("timings (observational):");
+    print!("{timings}");
+
+    if !manifest.occupancy.is_empty() {
+        let mut occ = Table::new(&["workers", "items per slot"]);
+        for o in &manifest.occupancy {
+            let items: Vec<String> = o.items.iter().map(u64::to_string).collect();
+            occ.push_row(&[o.workers.to_string(), items.join(" ")]);
+        }
+        println!("occupancy (observational):");
+        print!("{occ}");
+    }
+
+    if !manifest.health.is_empty() {
+        println!("channel health:");
+        print!("{}", health_table(&health_from_records(&manifest.health)));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn version(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(args, &[], &["json"])?;
+    let info = tool_info();
+    if opts.has("json") {
+        print!("{}", tool_info_json(&info).to_pretty());
+    } else {
+        println!(
+            "htd {} (store format {}, features: {})",
+            info.version,
+            info.format_version,
+            info.features.join(", ")
+        );
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -205,6 +205,7 @@ pub fn measure_matrix_faulted(
             FaultSite::Rep,
             &[ctx[0], ctx[1], ctx[2], ctx[3], pair_idx as u64, rep as u64],
         ) {
+            engine.obs().incr("faults.rep.fired");
             return None;
         }
         let mut rng =

@@ -11,6 +11,7 @@ use htd_aes::structural::AesSim;
 use htd_aes::AesNetlist;
 use htd_em::{collect_activity, CurrentEvent, Trace};
 use htd_fabric::{DieVariation, Placement};
+use htd_obs::Obs;
 use htd_timing::{DelayAnnotation, EventSimulator, Sta};
 use htd_trojan::{apply_coupling, insert, InsertedTrojan, TrojanSpec};
 
@@ -103,10 +104,18 @@ pub struct CacheStats {
     pub settle_entries: usize,
     /// Settle-time lookups answered from cache.
     pub settle_hits: u64,
+    /// Settle-time lookups that had to simulate.
+    pub settle_misses: u64,
     /// Distinct (plaintext, key) pairs with cached switching activity.
     pub activity_entries: usize,
     /// Activity lookups answered from cache.
     pub activity_hits: u64,
+    /// Activity lookups that had to simulate.
+    pub activity_misses: u64,
+    /// Cache lock acquisitions that recovered from a poisoned mutex.
+    /// Non-zero means a worker panicked while holding a cache lock and
+    /// the campaign silently continued on the (still valid) data.
+    pub poisoned: u64,
 }
 
 /// A [`Design`] programmed onto one fabricated die: delays annotated with
@@ -130,12 +139,24 @@ pub struct ProgrammedDevice<'a> {
     settle_cache: Mutex<HashMap<PairKey, Arc<Vec<Option<f64>>>>>,
     activity_cache: Mutex<HashMap<PairKey, Arc<Vec<CurrentEvent>>>>,
     settle_hits: AtomicU64,
+    settle_misses: AtomicU64,
     activity_hits: AtomicU64,
+    activity_misses: AtomicU64,
+    cache_poisoned: AtomicU64,
+    obs: Obs,
 }
 
 impl<'a> ProgrammedDevice<'a> {
     /// Programs `design` onto `die`.
     pub fn new(lab: &'a Lab, design: &'a Design, die: &'a DieVariation) -> Self {
+        Self::with_obs(lab, design, die, Obs::noop())
+    }
+
+    /// [`Self::new`] with an observability handle: cache hits/misses and
+    /// poisoned-lock recoveries are mirrored into `obs` counters
+    /// (`cache.settle.hit`, `cache.activity.miss`, `cache.poisoned`, …)
+    /// so they surface in run manifests.
+    pub fn with_obs(lab: &'a Lab, design: &'a Design, die: &'a DieVariation, obs: Obs) -> Self {
         let mut annotation =
             DelayAnnotation::annotate(design.aes.netlist(), &design.placement, &lab.tech, die);
         if let Some(trojan) = &design.trojan {
@@ -156,8 +177,24 @@ impl<'a> ProgrammedDevice<'a> {
             settle_cache: Mutex::new(HashMap::new()),
             activity_cache: Mutex::new(HashMap::new()),
             settle_hits: AtomicU64::new(0),
+            settle_misses: AtomicU64::new(0),
             activity_hits: AtomicU64::new(0),
+            activity_misses: AtomicU64::new(0),
+            cache_poisoned: AtomicU64::new(0),
+            obs,
         }
+    }
+
+    /// Locks one of the device's cache mutexes, counting poisoned-lock
+    /// recoveries: a recovery is safe (the memoised values are pure, see
+    /// [`lock_unpoisoned`]) but means a worker panicked mid-campaign, so
+    /// it must show up in manifests rather than pass silently.
+    fn lock_cache<'m, T>(&self, mutex: &'m Mutex<T>) -> MutexGuard<'m, T> {
+        if mutex.is_poisoned() {
+            self.cache_poisoned.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr("cache.poisoned");
+        }
+        lock_unpoisoned(mutex)
     }
 
     /// The design loaded on this device.
@@ -233,15 +270,18 @@ impl<'a> ProgrammedDevice<'a> {
         key: &[u8; 16],
     ) -> Result<Arc<Vec<Option<f64>>>, Error> {
         let key_pair: PairKey = (*pt, *key);
-        if let Some(hit) = lock_unpoisoned(&self.settle_cache).get(&key_pair) {
+        if let Some(hit) = self.lock_cache(&self.settle_cache).get(&key_pair) {
             self.settle_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr("cache.settle.hit");
             return Ok(Arc::clone(hit));
         }
+        self.settle_misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr("cache.settle.miss");
         // Simulate outside the lock; a concurrent duplicate computation of
         // the same pure function is benign and both arrive at the same
         // value.
         let settles = Arc::new(self.round10_settle_times(pt, key)?);
-        lock_unpoisoned(&self.settle_cache)
+        self.lock_cache(&self.settle_cache)
             .entry(key_pair)
             .or_insert_with(|| Arc::clone(&settles));
         Ok(settles)
@@ -311,12 +351,15 @@ impl<'a> ProgrammedDevice<'a> {
         key: &[u8; 16],
     ) -> Result<Arc<Vec<CurrentEvent>>, Error> {
         let key_pair: PairKey = (*pt, *key);
-        if let Some(hit) = lock_unpoisoned(&self.activity_cache).get(&key_pair) {
+        if let Some(hit) = self.lock_cache(&self.activity_cache).get(&key_pair) {
             self.activity_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr("cache.activity.hit");
             return Ok(Arc::clone(hit));
         }
+        self.activity_misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr("cache.activity.miss");
         let events = Arc::new(self.timed_encryption_activity(pt, key)?);
-        lock_unpoisoned(&self.activity_cache)
+        self.lock_cache(&self.activity_cache)
             .entry(key_pair)
             .or_insert_with(|| Arc::clone(&events));
         Ok(events)
@@ -327,8 +370,11 @@ impl<'a> ProgrammedDevice<'a> {
         CacheStats {
             settle_entries: lock_unpoisoned(&self.settle_cache).len(),
             settle_hits: self.settle_hits.load(Ordering::Relaxed),
+            settle_misses: self.settle_misses.load(Ordering::Relaxed),
             activity_entries: lock_unpoisoned(&self.activity_cache).len(),
             activity_hits: self.activity_hits.load(Ordering::Relaxed),
+            activity_misses: self.activity_misses.load(Ordering::Relaxed),
+            poisoned: self.cache_poisoned.load(Ordering::Relaxed),
         }
     }
 
@@ -522,6 +568,41 @@ mod tests {
         assert_eq!(lock_unpoisoned(&cache).get(&1), Some(&10));
         lock_unpoisoned(&cache).insert(2, 20);
         assert_eq!(lock_unpoisoned(&cache).len(), 2);
+    }
+
+    #[test]
+    fn poisoned_recoveries_are_counted_and_reported() {
+        let lab = lab();
+        let golden = Design::golden(&lab).unwrap();
+        let die = lab.fabricate_die(4);
+        let obs = Obs::recording();
+        let dev = ProgrammedDevice::with_obs(&lab, &golden, &die, obs.clone());
+        let pt = [0x6Bu8; 16];
+        let key = [0x0Du8; 16];
+        dev.round10_settle_times_cached(&pt, &key).unwrap();
+        assert_eq!(dev.cache_stats().poisoned, 0);
+
+        // Poison the settle cache the way a panicking worker would.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = dev.settle_cache.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(dev.settle_cache.is_poisoned());
+
+        // The lookup still answers from the recovered cache, and every
+        // recovering lock acquisition is counted (once for this hit).
+        let again = dev.round10_settle_times_cached(&pt, &key).unwrap();
+        assert!(!again.is_empty());
+        let stats = dev.cache_stats();
+        assert_eq!(stats.poisoned, 1);
+        assert_eq!(stats.settle_hits, 1);
+        assert_eq!(stats.settle_misses, 1);
+
+        let counters: std::collections::BTreeMap<String, u64> =
+            obs.snapshot().unwrap().counters.into_iter().collect();
+        assert_eq!(counters.get("cache.poisoned"), Some(&1));
+        assert_eq!(counters.get("cache.settle.hit"), Some(&1));
+        assert_eq!(counters.get("cache.settle.miss"), Some(&1));
     }
 
     #[test]

@@ -18,8 +18,19 @@
 //! variable if set, else the machine's available parallelism).
 //! [`Engine::serial`] pins one worker — used internally when a fanned
 //! outer loop calls a fanned inner one, so pools never nest.
+//!
+//! # Observability
+//!
+//! An engine carries an [`Obs`] handle (disabled by default). Every fan
+//! records `engine.fans` / `engine.tasks` counters — pure functions of
+//! the campaign shape, bit-identical at any worker count — plus
+//! observational per-slot occupancy. Attach a recording handle with
+//! [`Engine::with_obs`]; inner serial engines inherit it via
+//! [`Engine::serial_like`] so campaign instrumentation survives the
+//! outer/inner pool split.
 
-use htd_par::{parallel_map, parallel_map_indexed, parallel_try_map_indexed, resolve_workers};
+use htd_obs::Obs;
+use htd_par::{parallel_map_indexed_stats, parallel_try_map_indexed_stats, resolve_workers};
 
 use crate::error::Error;
 
@@ -45,27 +56,61 @@ pub struct Retried<U> {
 }
 
 /// A worker-pool handle passed into the `*_with` measurement entry
-/// points. Cheap to copy; holds no threads (threads are scoped per
+/// points. Cheap to clone; holds no threads (threads are scoped per
 /// call).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Engine {
     workers: usize,
+    obs: Obs,
 }
 
 impl Engine {
     /// An engine that runs everything on the calling thread.
     pub fn serial() -> Self {
-        Engine { workers: 1 }
+        Engine {
+            workers: 1,
+            obs: Obs::noop(),
+        }
     }
 
     /// An engine that auto-sizes its pool (see [`htd_par::resolve_workers`]).
     pub fn auto() -> Self {
-        Engine { workers: 0 }
+        Engine {
+            workers: 0,
+            obs: Obs::noop(),
+        }
     }
 
     /// An engine with an explicit worker count (`0` = auto).
     pub fn with_workers(workers: usize) -> Self {
-        Engine { workers }
+        Engine {
+            workers,
+            obs: Obs::noop(),
+        }
+    }
+
+    /// This engine with the given observability handle attached.
+    /// Recording never changes what the engine computes — only what it
+    /// reports.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The engine's observability handle (disabled unless one was
+    /// attached).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A one-worker engine sharing this engine's observability handle —
+    /// the inner engine for nested fans, so instrumentation survives the
+    /// outer/inner pool split without nesting pools.
+    pub fn serial_like(&self) -> Engine {
+        Engine {
+            workers: 1,
+            obs: self.obs.clone(),
+        }
     }
 
     /// The resolved worker count this engine will use.
@@ -82,7 +127,7 @@ impl Engine {
         U: Send,
         F: Fn(usize, &'s T) -> U + Sync,
     {
-        parallel_map(self.workers, items, f)
+        self.map_indexed(items.len(), |i| f(i, &items[i]))
     }
 
     /// Order-preserving map over `0..n`; `f` gets the index.
@@ -91,7 +136,10 @@ impl Engine {
         U: Send,
         F: Fn(usize) -> U + Sync,
     {
-        parallel_map_indexed(self.workers, n, f)
+        let (out, stats) = parallel_map_indexed_stats(self.workers, n, f);
+        self.obs
+            .record_fan(n as u64, stats.workers as u64, &stats.per_worker);
+        out
     }
 
     /// Order-preserving map over `0..n` with bounded per-item retry:
@@ -119,7 +167,7 @@ impl Engine {
         U: Send,
         F: Fn(usize, usize) -> Attempt<U> + Sync,
     {
-        parallel_try_map_indexed(self.workers, n, |i| {
+        let (result, stats) = parallel_try_map_indexed_stats(self.workers, n, |i| {
             for attempt in 0..=max_retries {
                 match f(i, attempt) {
                     Attempt::Ok(value) => {
@@ -136,14 +184,10 @@ impl Engine {
                 value: None,
                 attempts: max_retries + 1,
             })
-        })
-    }
-}
-
-impl Default for Engine {
-    /// Auto-sized, same as [`Engine::auto`].
-    fn default() -> Self {
-        Engine::auto()
+        });
+        self.obs
+            .record_fan(n as u64, stats.workers as u64, &stats.per_worker);
+        result
     }
 }
 
@@ -219,5 +263,35 @@ mod tests {
         assert_eq!(Engine::serial().workers(), 1);
         assert_eq!(Engine::with_workers(6).workers(), 6);
         assert!(Engine::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn fan_counters_are_worker_invariant() {
+        let count_at = |workers: usize| {
+            let obs = Obs::recording();
+            let engine = Engine::with_workers(workers).with_obs(obs.clone());
+            let _ = engine.map_indexed(24, |i| i);
+            let _ = engine.map(&[1u8, 2, 3], |_, &x| x);
+            let _ = engine.map_retry::<usize, _>(5, 1, |i, _| Attempt::Ok(i));
+            obs.snapshot().unwrap().counters
+        };
+        let want = count_at(1);
+        assert!(want.contains(&("engine.fans".to_string(), 3)));
+        assert!(want.contains(&("engine.tasks".to_string(), 32)));
+        for workers in [2, 8] {
+            assert_eq!(count_at(workers), want, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn serial_like_shares_the_obs_handle() {
+        let obs = Obs::recording();
+        let engine = Engine::with_workers(4).with_obs(obs.clone());
+        let inner = engine.serial_like();
+        assert_eq!(inner.workers(), 1);
+        assert!(inner.obs().enabled());
+        let _ = inner.map_indexed(2, |i| i);
+        let counters = obs.snapshot().unwrap().counters;
+        assert!(counters.contains(&("engine.fans".to_string(), 1)));
     }
 }

@@ -274,9 +274,10 @@ fn score_population(
     reference: &GoldenReference,
     seed_of: impl Fn(usize) -> u64 + Sync,
 ) -> Result<Vec<f64>, Error> {
+    let _span = engine.obs().span(&format!("acquire.{}", channel.name()));
     let acquisitions = engine
         .map(devs, |j, dev| {
-            channel.acquire(&Engine::serial(), dev, plan, calibration, seed_of(j))
+            channel.acquire(&engine.serial_like(), dev, plan, calibration, seed_of(j))
         })
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
@@ -419,14 +420,16 @@ fn acquire_population_faulted(
     pop: u64,
     seed_of: impl Fn(usize) -> u64 + Sync,
 ) -> Result<PopulationAcquisition, Error> {
+    let _span = engine.obs().span(&format!("acquire.{}", channel.name()));
     let outcomes = engine.map_retry(devs.len(), policy.max_retries, |j, attempt| {
         let ctx = [channel_index as u64, pop, j as u64, attempt as u64];
         if faults.fires(FaultSite::Acquire, &ctx) {
+            engine.obs().incr("faults.acquire.fired");
             return Attempt::Faulted;
         }
         let seed = retry_seed(seed_of(j), attempt);
         match channel.acquire_faulted(
-            &Engine::serial(),
+            &engine.serial_like(),
             &devs[j],
             plan,
             calibration,
@@ -469,6 +472,9 @@ fn acquire_population_faulted(
             }
         }
     }
+    // Retry totals are index-pure (see above), so this counter is as
+    // worker-invariant as the health ledger it mirrors.
+    engine.obs().add("retry.acquire", health.retried as u64);
     Ok(PopulationAcquisition {
         kept,
         acquisitions,
@@ -514,10 +520,15 @@ pub fn characterize_campaign_faulted(
             need: 2,
         });
     }
+    let _span = engine.obs().span("characterize");
     let golden = Design::golden(lab)?;
     let dies = lab.fabricate_batch(plan.n_dies);
-    let golden_devs: Vec<ProgrammedDevice<'_>> =
-        engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &golden, die));
+    let golden_devs: Vec<ProgrammedDevice<'_>> = {
+        let _span = engine.obs().span("program");
+        engine.map(&dies, |_, die| {
+            ProgrammedDevice::with_obs(lab, &golden, die, engine.obs().clone())
+        })
+    };
 
     let mut states: Vec<ChannelState> = Vec::with_capacity(channels.len());
     let mut lost: Vec<ChannelHealth> = Vec::new();
@@ -525,13 +536,20 @@ pub fn characterize_campaign_faulted(
         // Calibration, re-run on injected divergence.
         let mut calibration = None;
         let mut cal_attempts = 0usize;
-        for attempt in 0..=policy.max_retries {
-            cal_attempts = attempt + 1;
-            if faults.fires(FaultSite::Calibrate, &[c as u64, attempt as u64]) {
-                continue;
+        {
+            let _span = engine.obs().span(&format!("calibrate.{}", channel.name()));
+            for attempt in 0..=policy.max_retries {
+                cal_attempts = attempt + 1;
+                if faults.fires(FaultSite::Calibrate, &[c as u64, attempt as u64]) {
+                    engine.obs().incr("faults.calibrate.fired");
+                    continue;
+                }
+                calibration = Some(channel.calibrate(engine, plan, &golden_devs)?);
+                break;
             }
-            calibration = Some(channel.calibrate(engine, plan, &golden_devs)?);
-            break;
+            engine
+                .obs()
+                .add("retry.calibrate", (cal_attempts - 1) as u64);
         }
         let Some(calibration) = calibration else {
             if !policy.allow_degraded {
@@ -643,13 +661,18 @@ pub fn score_design_with(
     channels: &[&dyn Channel],
 ) -> Result<(f64, Vec<ScoredChannel>), Error> {
     check_channels_match(charac, channels)?;
+    let _span = engine.obs().span("score");
     let plan = &charac.plan;
     let golden = Design::golden(lab)?;
     let golden_slices = golden.used_slices();
     let dies = lab.fabricate_batch(plan.n_dies);
     let infected = Design::infected(lab, spec)?;
-    let infected_devs: Vec<ProgrammedDevice<'_>> =
-        engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &infected, die));
+    let infected_devs: Vec<ProgrammedDevice<'_>> = {
+        let _span = engine.obs().span("program");
+        engine.map(&dies, |_, die| {
+            ProgrammedDevice::with_obs(lab, &infected, die, engine.obs().clone())
+        })
+    };
     let mut scored = Vec::with_capacity(channels.len());
     for (channel, state) in channels.iter().zip(&charac.states) {
         let infected_scores = score_population(
@@ -801,6 +824,7 @@ pub fn score_campaign_faulted(
     policy: &RetryPolicy,
 ) -> Result<ScoredCampaign, Error> {
     check_channels_match(charac, channels)?;
+    let _span = engine.obs().span("score");
     let plan = &charac.plan;
     let golden = Design::golden(lab)?;
     let golden_slices = golden.used_slices();
@@ -810,6 +834,7 @@ pub fn score_campaign_faulted(
     // (and only required to be non-degenerate) when there is something to
     // fuse.
     let (fits, golden_fused) = if channels.len() >= 2 {
+        let _span = engine.obs().span("fuse");
         let fits = golden_fits(&charac.states)?;
         let masked: Vec<(&[usize], &[f64])> = charac
             .states
@@ -828,8 +853,12 @@ pub fn score_campaign_faulted(
     let mut designs = Vec::with_capacity(specs.len());
     for (s, spec) in specs.iter().enumerate() {
         let infected = Design::infected(lab, spec)?;
-        let infected_devs: Vec<ProgrammedDevice<'_>> =
-            engine.map(&dies, |_, die| ProgrammedDevice::new(lab, &infected, die));
+        let infected_devs: Vec<ProgrammedDevice<'_>> = {
+            let _span = engine.obs().span("program");
+            engine.map(&dies, |_, die| {
+                ProgrammedDevice::with_obs(lab, &infected, die, engine.obs().clone())
+            })
+        };
         let mut per_channel: Vec<(Vec<usize>, Vec<f64>)> = Vec::with_capacity(channels.len());
         let mut scored_sets = Vec::with_capacity(channels.len());
         for (c, (channel, state)) in channels.iter().zip(&charac.states).enumerate() {
@@ -878,6 +907,7 @@ pub fn score_campaign_faulted(
             .collect::<Result<Vec<_>, _>>()?;
         let fused = match &golden_fused {
             Some(golden_fused) => {
+                let _span = engine.obs().span("fuse");
                 let masked: Vec<(&[usize], &[f64])> = per_channel
                     .iter()
                     .map(|(kept, scores)| (kept.as_slice(), scores.as_slice()))

@@ -1,0 +1,543 @@
+//! # htd-obs — observability for the measurement pipeline
+//!
+//! Lightweight spans, counters and histograms threaded through the
+//! engine, the channels and the artifact store, with one hard rule: the
+//! **no-op default costs nothing on the hot path** and recording changes
+//! no measured value. An [`Obs`] handle is either disabled (the default —
+//! every call returns immediately without formatting, hashing or
+//! locking) or carries an [`Arc<Recorder>`] that aggregates:
+//!
+//! * **counters** — monotonically increasing event counts (span entries,
+//!   cache hits/misses, fault fires, retries, store bytes). Counter
+//!   values are *deterministic*: in the campaign pipeline they are pure
+//!   functions of the plan, bit-identical at any worker count.
+//! * **timings** — per-stage wall-clock aggregates keyed by span name
+//!   (and optional detail such as the die index). Durations are
+//!   *observational only*: they vary run to run and must never enter
+//!   checksummed artifacts or seed derivations.
+//! * **occupancy** — per-worker item counts reported by the `htd-par`
+//!   pool. Scheduling-dependent, hence observational like durations.
+//!
+//! The split is load-bearing: [`RunManifest`]'s `counters` section is
+//! diffable across machines and worker counts, while `timings` and
+//! `occupancy` describe one particular run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod manifest;
+
+pub use json::Json;
+pub use manifest::{HealthRecord, Occupancy, RunManifest, StageTiming, ToolInfo, MANIFEST_VERSION};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// A saturating atomic event counter.
+///
+/// Additions that would overflow clamp at [`u64::MAX`] instead of
+/// wrapping, so a runaway counter can never masquerade as a small one.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`, saturating at [`u64::MAX`].
+    pub fn add(&self, n: u64) {
+        // `fetch_update` with a total function never returns `Err`.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// Adds one, saturating at [`u64::MAX`].
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: bucket 0 holds zeros, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`, with the top bucket
+/// absorbing everything from `2^63` up.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-shape log2 histogram of `u64` samples (duration nanoseconds,
+/// byte counts). The bucket layout is static, so merging and comparing
+/// histograms never depends on the data that filled them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into: 0 for 0, else
+    /// `1 + floor(log2(value))`.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The smallest value landing in bucket `index` (0 for bucket 0,
+    /// `2^(index-1)` otherwise).
+    ///
+    /// # Panics
+    ///
+    /// If `index >= HISTOGRAM_BUCKETS`.
+    pub fn bucket_floor(index: usize) -> u64 {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket {index} out of range");
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Records one sample, saturating the bucket and total counts.
+    pub fn record(&mut self, value: u64) {
+        let i = Self::bucket_index(value);
+        self.counts[i] = self.counts[i].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// The count in bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// If `index >= HISTOGRAM_BUCKETS`.
+    pub fn count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All bucket counts, lowest bucket first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Wall-clock aggregate of one span key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TimingAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+    hist: Histogram,
+}
+
+impl TimingAgg {
+    fn new() -> Self {
+        TimingAgg {
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+            hist: Histogram::new(),
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.count = self.count.saturating_add(1);
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.hist.record(ns);
+    }
+}
+
+/// The recorder's aggregation state, behind one mutex. Counters live in
+/// a sorted map so snapshots (and manifests built from them) render in a
+/// deterministic order without a sort pass.
+#[derive(Debug, Default)]
+struct RecorderState {
+    counters: BTreeMap<String, u64>,
+    timings: BTreeMap<String, TimingAgg>,
+    occupancy: BTreeMap<u64, Vec<u64>>,
+}
+
+/// The recording sink behind an enabled [`Obs`] handle.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    state: Mutex<RecorderState>,
+}
+
+/// Locks the recorder state, recovering from poisoning: the state holds
+/// only monotone aggregates, so the data behind a poisoned lock is still
+/// a valid (partial) record of the run.
+fn lock_state(recorder: &Recorder) -> MutexGuard<'_, RecorderState> {
+    recorder
+        .state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Recorder {
+    fn add(&self, name: &str, n: u64) {
+        let mut state = lock_state(self);
+        match state.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(n),
+            None => {
+                state.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    fn record_duration(&self, key: &str, ns: u64) {
+        let mut state = lock_state(self);
+        match state.timings.get_mut(key) {
+            Some(agg) => agg.record(ns),
+            None => {
+                let mut agg = TimingAgg::new();
+                agg.record(ns);
+                state.timings.insert(key.to_string(), agg);
+            }
+        }
+    }
+
+    fn record_occupancy(&self, workers: u64, per_worker: &[u64]) {
+        let mut state = lock_state(self);
+        let slots = state.occupancy.entry(workers).or_default();
+        if slots.len() < per_worker.len() {
+            slots.resize(per_worker.len(), 0);
+        }
+        for (slot, &n) in slots.iter_mut().zip(per_worker) {
+            *slot = slot.saturating_add(n);
+        }
+    }
+}
+
+/// One counter's snapshot: `(name, value)`.
+pub type CounterSnapshot = (String, u64);
+
+/// One span key's wall-clock snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingSnapshot {
+    /// The span key (`<stage>` or `<stage>/<detail>`).
+    pub key: String,
+    /// Completed span count.
+    pub count: u64,
+    /// Summed wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Largest single span in nanoseconds.
+    pub max_ns: u64,
+    /// Log2 distribution of span durations.
+    pub hist: Histogram,
+}
+
+/// One worker-count's occupancy snapshot: items completed per pool slot,
+/// summed over every fan that resolved to that worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// The resolved worker count of the fans aggregated here.
+    pub workers: u64,
+    /// Items completed by each worker slot.
+    pub per_worker: Vec<u64>,
+}
+
+/// A point-in-time copy of everything a [`Recorder`] aggregated, in
+/// deterministic (sorted) order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Deterministic event counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Observational wall-clock aggregates, sorted by key.
+    pub timings: Vec<TimingSnapshot>,
+    /// Observational pool occupancy, sorted by worker count.
+    pub occupancy: Vec<OccupancySnapshot>,
+}
+
+/// A cheap-to-clone observability handle: either disabled (the default;
+/// every operation is a branch on `None` and nothing else) or recording
+/// into a shared [`Recorder`].
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl Obs {
+    /// The disabled handle: records nothing, costs (almost) nothing.
+    pub fn noop() -> Self {
+        Obs { recorder: None }
+    }
+
+    /// A fresh recording handle with its own [`Recorder`].
+    pub fn recording() -> Self {
+        Obs {
+            recorder: Some(Arc::new(Recorder::default())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Adds `n` to the counter `name`. No-op when disabled.
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.add(name, n);
+        }
+    }
+
+    /// Adds one to the counter `name`. No-op when disabled.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Opens a span named `name`: the counter `span.<name>` is bumped
+    /// immediately (deterministic), and the span's wall-clock is
+    /// recorded under the timing key `name` when the guard drops
+    /// (observational). Disabled handles return an inert guard.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_keys(name, None)
+    }
+
+    /// [`Obs::span`] with a run-specific detail suffix: the entry
+    /// counter stays `span.<name>` (so counter sections never grow with
+    /// the population), while the wall-clock lands under
+    /// `name/detail` — e.g. per-die acquire timings.
+    pub fn span_detailed(&self, name: &str, detail: &str) -> Span {
+        self.span_keys(name, Some(detail))
+    }
+
+    fn span_keys(&self, name: &str, detail: Option<&str>) -> Span {
+        match &self.recorder {
+            None => Span { active: None },
+            Some(rec) => {
+                rec.add(&format!("span.{name}"), 1);
+                let timing_key = match detail {
+                    None => name.to_string(),
+                    Some(detail) => format!("{name}/{detail}"),
+                };
+                Span {
+                    active: Some(ActiveSpan {
+                        recorder: Arc::clone(rec),
+                        timing_key,
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Records one pool fan: `fans`/`tasks` counters (deterministic —
+    /// the fan structure is a pure function of the campaign) plus the
+    /// per-slot occupancy (observational — scheduling decides which slot
+    /// ran what).
+    pub fn record_fan(&self, tasks: u64, workers: u64, per_worker: &[u64]) {
+        if let Some(rec) = &self.recorder {
+            rec.add("engine.fans", 1);
+            rec.add("engine.tasks", tasks);
+            rec.record_occupancy(workers, per_worker);
+        }
+    }
+
+    /// Takes a deterministic snapshot of the recorder, or `None` when
+    /// disabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        let rec = self.recorder.as_ref()?;
+        let state = lock_state(rec);
+        Some(MetricsSnapshot {
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            timings: state
+                .timings
+                .iter()
+                .map(|(k, agg)| TimingSnapshot {
+                    key: k.clone(),
+                    count: agg.count,
+                    total_ns: agg.total_ns,
+                    max_ns: agg.max_ns,
+                    hist: agg.hist.clone(),
+                })
+                .collect(),
+            occupancy: state
+                .occupancy
+                .iter()
+                .map(|(workers, slots)| OccupancySnapshot {
+                    workers: *workers,
+                    per_worker: slots.clone(),
+                })
+                .collect(),
+        })
+    }
+}
+
+/// The live half of an enabled span guard.
+#[derive(Debug)]
+struct ActiveSpan {
+    recorder: Arc<Recorder>,
+    timing_key: String,
+    start: Instant,
+}
+
+/// An RAII span guard from [`Obs::span`]: entry was counted at creation;
+/// dropping it records the elapsed wall-clock.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let ns = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            active.recorder.record_duration(&active.timing_key, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        c.add(12345);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(64), 1u64 << 63);
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(11), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn noop_handle_records_nothing() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        obs.incr("x");
+        let _span = obs.span("stage");
+        drop(_span);
+        obs.record_fan(10, 4, &[3, 3, 2, 2]);
+        assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn spans_count_deterministically_and_time_observationally() {
+        let obs = Obs::recording();
+        for die in 0..3 {
+            let _s = obs.span_detailed("acquire.EM", &format!("die{die}"));
+        }
+        {
+            let _s = obs.span("fuse");
+        }
+        let snap = obs.snapshot().unwrap();
+        let counters: std::collections::BTreeMap<_, _> = snap.counters.into_iter().collect();
+        assert_eq!(counters.get("span.acquire.EM"), Some(&3));
+        assert_eq!(counters.get("span.fuse"), Some(&1));
+        // Timings carry the per-die detail keys; counters do not.
+        let keys: Vec<&str> = snap.timings.iter().map(|t| t.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "acquire.EM/die0",
+                "acquire.EM/die1",
+                "acquire.EM/die2",
+                "fuse"
+            ]
+        );
+        for t in &snap.timings {
+            assert_eq!(t.count, 1);
+            assert_eq!(t.hist.total(), 1);
+            assert!(t.max_ns <= t.total_ns);
+        }
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let obs = Obs::recording();
+        let clone = obs.clone();
+        obs.add("a", 2);
+        clone.add("a", 3);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counters, vec![("a".to_string(), 5)]);
+    }
+
+    #[test]
+    fn occupancy_accumulates_per_worker_count() {
+        let obs = Obs::recording();
+        obs.record_fan(5, 2, &[3, 2]);
+        obs.record_fan(7, 2, &[4, 3]);
+        obs.record_fan(4, 4, &[1, 1, 1, 1]);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.occupancy.len(), 2);
+        assert_eq!(snap.occupancy[0].workers, 2);
+        assert_eq!(snap.occupancy[0].per_worker, vec![7, 5]);
+        assert_eq!(snap.occupancy[1].workers, 4);
+        let counters: std::collections::BTreeMap<_, _> = snap.counters.into_iter().collect();
+        assert_eq!(counters.get("engine.fans"), Some(&3));
+        assert_eq!(counters.get("engine.tasks"), Some(&16));
+    }
+
+    #[test]
+    fn snapshot_order_is_sorted_and_stable() {
+        let obs = Obs::recording();
+        obs.incr("zebra");
+        obs.incr("alpha");
+        obs.incr("mid");
+        let names: Vec<String> = obs
+            .snapshot()
+            .unwrap()
+            .counters
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["alpha", "mid", "zebra"]);
+    }
+}

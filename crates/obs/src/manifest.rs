@@ -1,0 +1,511 @@
+//! The machine-readable run manifest written by `htd --metrics`.
+//!
+//! A [`RunManifest`] has one deterministic section — `counters`, a
+//! sorted name → u64 map that is bit-identical across worker counts and
+//! machines for a fixed campaign — and several observational sections
+//! (`timings`, `occupancy`) that describe one particular run. CI diffs
+//! only the counter section; the parser is strict (unknown or missing
+//! keys are errors) so any schema drift fails loudly instead of being
+//! silently ignored.
+
+use crate::json::{Json, JsonError};
+use crate::MetricsSnapshot;
+
+/// Version of the manifest schema itself. Bump only with a migration
+/// note in DESIGN.md; the strict parser rejects other versions.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Provenance of the binary that produced a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolInfo {
+    /// Binary name (`htd`).
+    pub name: String,
+    /// Crate version of the binary.
+    pub version: String,
+    /// `htd-store` artifact format version the binary reads/writes.
+    pub format_version: u64,
+    /// Enabled feature/capability tokens (sorted).
+    pub features: Vec<String>,
+}
+
+/// Wall-clock aggregate of one span key. Observational: no field here
+/// is deterministic across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Span key (`<stage>` or `<stage>/<detail>`).
+    pub stage: String,
+    /// Completed span count for this key.
+    pub count: u64,
+    /// Summed wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// `total_ns / count` (0 when count is 0).
+    pub mean_ns: u64,
+    /// Largest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Items completed per pool slot for one resolved worker count.
+/// Observational: scheduling decides which slot ran what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Occupancy {
+    /// The resolved worker count of the fans aggregated here.
+    pub workers: u64,
+    /// Items completed by each worker slot.
+    pub items: Vec<u64>,
+}
+
+/// Per-channel campaign health, mirrored from the pipeline's
+/// `ChannelHealth` (htd-obs is a leaf crate and cannot depend on
+/// htd-core, so the record is re-declared here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthRecord {
+    /// Channel name.
+    pub channel: String,
+    /// Die acquisitions attempted.
+    pub attempted: u64,
+    /// Die acquisitions that needed at least one retry.
+    pub retried: u64,
+    /// Dies dropped after exhausting retries.
+    pub dropped: u64,
+    /// Measurement repetitions attempted.
+    pub reps_attempted: u64,
+    /// Measurement repetitions dropped by rep-level faults.
+    pub reps_dropped: u64,
+    /// Whether the whole channel was lost (calibration diverged).
+    pub lost: bool,
+}
+
+/// A machine-readable record of one `htd` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Schema version ([`MANIFEST_VERSION`]).
+    pub manifest_version: u64,
+    /// Provenance of the producing binary.
+    pub tool: ToolInfo,
+    /// The subcommand that produced this manifest (e.g. `score`).
+    pub command: String,
+    /// Resolved worker count of the run's engine.
+    pub workers: u64,
+    /// `fnv1a64:<16 hex>` digest of the campaign plan's store text, or
+    /// empty when no plan was involved.
+    pub plan_digest: String,
+    /// Deterministic event counters, sorted by name. The only section
+    /// CI diffs across runs.
+    pub counters: Vec<(String, u64)>,
+    /// Observational per-stage wall-clock, sorted by stage key.
+    pub timings: Vec<StageTiming>,
+    /// Observational pool occupancy, sorted by worker count.
+    pub occupancy: Vec<Occupancy>,
+    /// Per-channel campaign health (deterministic, like counters).
+    pub health: Vec<HealthRecord>,
+}
+
+impl RunManifest {
+    /// Assembles a manifest from a recorder snapshot plus run context.
+    pub fn new(
+        tool: ToolInfo,
+        command: &str,
+        workers: usize,
+        plan_digest: &str,
+        snapshot: &MetricsSnapshot,
+        health: Vec<HealthRecord>,
+    ) -> RunManifest {
+        RunManifest {
+            manifest_version: MANIFEST_VERSION,
+            tool,
+            command: command.to_string(),
+            workers: workers as u64,
+            plan_digest: plan_digest.to_string(),
+            counters: snapshot.counters.clone(),
+            timings: snapshot
+                .timings
+                .iter()
+                .map(|t| StageTiming {
+                    stage: t.key.clone(),
+                    count: t.count,
+                    total_ns: t.total_ns,
+                    mean_ns: t.total_ns.checked_div(t.count).unwrap_or(0),
+                    max_ns: t.max_ns,
+                })
+                .collect(),
+            occupancy: snapshot
+                .occupancy
+                .iter()
+                .map(|o| Occupancy {
+                    workers: o.workers,
+                    items: o.per_worker.clone(),
+                })
+                .collect(),
+            health,
+        }
+    }
+
+    /// The deterministic counter section as `name value` lines —
+    /// the text CI diffs against the committed fixture.
+    pub fn counters_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the manifest as deterministic pretty JSON.
+    pub fn to_pretty(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Builds the manifest's JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("manifest_version".into(), Json::UInt(self.manifest_version)),
+            (
+                "tool".into(),
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(self.tool.name.clone())),
+                    ("version".into(), Json::Str(self.tool.version.clone())),
+                    (
+                        "format_version".into(),
+                        Json::UInt(self.tool.format_version),
+                    ),
+                    (
+                        "features".into(),
+                        Json::Arr(
+                            self.tool
+                                .features
+                                .iter()
+                                .map(|f| Json::Str(f.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("command".into(), Json::Str(self.command.clone())),
+            ("workers".into(), Json::UInt(self.workers)),
+            ("plan_digest".into(), Json::Str(self.plan_digest.clone())),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(name, value)| (name.clone(), Json::UInt(*value)))
+                        .collect(),
+                ),
+            ),
+            (
+                "timings".into(),
+                Json::Arr(
+                    self.timings
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("stage".into(), Json::Str(t.stage.clone())),
+                                ("count".into(), Json::UInt(t.count)),
+                                ("total_ns".into(), Json::UInt(t.total_ns)),
+                                ("mean_ns".into(), Json::UInt(t.mean_ns)),
+                                ("max_ns".into(), Json::UInt(t.max_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "occupancy".into(),
+                Json::Arr(
+                    self.occupancy
+                        .iter()
+                        .map(|o| {
+                            Json::Obj(vec![
+                                ("workers".into(), Json::UInt(o.workers)),
+                                (
+                                    "items".into(),
+                                    Json::Arr(o.items.iter().map(|&n| Json::UInt(n)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "health".into(),
+                Json::Arr(
+                    self.health
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("channel".into(), Json::Str(h.channel.clone())),
+                                ("attempted".into(), Json::UInt(h.attempted)),
+                                ("retried".into(), Json::UInt(h.retried)),
+                                ("dropped".into(), Json::UInt(h.dropped)),
+                                ("reps_attempted".into(), Json::UInt(h.reps_attempted)),
+                                ("reps_dropped".into(), Json::UInt(h.reps_dropped)),
+                                ("lost".into(), Json::Bool(h.lost)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses manifest text, strictly: unknown keys, missing keys and
+    /// unexpected versions are all errors ("fails on schema drift").
+    pub fn parse(text: &str) -> Result<RunManifest, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// Strictly decodes a manifest from a JSON tree.
+    pub fn from_json(json: &Json) -> Result<RunManifest, JsonError> {
+        let mut top = Fields::new("manifest", json)?;
+        let manifest_version = top.take("manifest_version")?.as_u64("manifest_version")?;
+        if manifest_version != MANIFEST_VERSION {
+            return Err(JsonError::schema(format!(
+                "unsupported manifest_version {manifest_version} (expected {MANIFEST_VERSION})"
+            )));
+        }
+
+        let tool_json = top.take("tool")?;
+        let mut tool = Fields::new("tool", &tool_json)?;
+        let tool = ToolInfo {
+            name: tool.take("name")?.as_str("tool.name")?.to_string(),
+            version: tool.take("version")?.as_str("tool.version")?.to_string(),
+            format_version: tool.take("format_version")?.as_u64("tool.format_version")?,
+            features: {
+                let features = tool.take("features")?;
+                let items = features.as_arr("tool.features")?;
+                let parsed: Result<Vec<String>, JsonError> = items
+                    .iter()
+                    .map(|f| f.as_str("tool.features[]").map(str::to_string))
+                    .collect();
+                tool.finish()?;
+                parsed?
+            },
+        };
+
+        let command = top.take("command")?.as_str("command")?.to_string();
+        let workers = top.take("workers")?.as_u64("workers")?;
+        let plan_digest = top.take("plan_digest")?.as_str("plan_digest")?.to_string();
+
+        let counters_json = top.take("counters")?;
+        let counters: Result<Vec<(String, u64)>, JsonError> = counters_json
+            .as_obj("counters")?
+            .iter()
+            .map(|(name, value)| Ok((name.clone(), value.as_u64(name)?)))
+            .collect();
+        let counters = counters?;
+
+        let timings_json = top.take("timings")?;
+        let timings: Result<Vec<StageTiming>, JsonError> = timings_json
+            .as_arr("timings")?
+            .iter()
+            .map(|entry| {
+                let mut f = Fields::new("timings[]", entry)?;
+                let t = StageTiming {
+                    stage: f.take("stage")?.as_str("timings[].stage")?.to_string(),
+                    count: f.take("count")?.as_u64("timings[].count")?,
+                    total_ns: f.take("total_ns")?.as_u64("timings[].total_ns")?,
+                    mean_ns: f.take("mean_ns")?.as_u64("timings[].mean_ns")?,
+                    max_ns: f.take("max_ns")?.as_u64("timings[].max_ns")?,
+                };
+                f.finish()?;
+                Ok(t)
+            })
+            .collect();
+        let timings = timings?;
+
+        let occupancy_json = top.take("occupancy")?;
+        let occupancy: Result<Vec<Occupancy>, JsonError> = occupancy_json
+            .as_arr("occupancy")?
+            .iter()
+            .map(|entry| {
+                let mut f = Fields::new("occupancy[]", entry)?;
+                let workers = f.take("workers")?.as_u64("occupancy[].workers")?;
+                let items_json = f.take("items")?;
+                let items: Result<Vec<u64>, JsonError> = items_json
+                    .as_arr("occupancy[].items")?
+                    .iter()
+                    .map(|n| n.as_u64("occupancy[].items[]"))
+                    .collect();
+                f.finish()?;
+                Ok(Occupancy {
+                    workers,
+                    items: items?,
+                })
+            })
+            .collect();
+        let occupancy = occupancy?;
+
+        let health_json = top.take("health")?;
+        let health: Result<Vec<HealthRecord>, JsonError> = health_json
+            .as_arr("health")?
+            .iter()
+            .map(|entry| {
+                let mut f = Fields::new("health[]", entry)?;
+                let h = HealthRecord {
+                    channel: f.take("channel")?.as_str("health[].channel")?.to_string(),
+                    attempted: f.take("attempted")?.as_u64("health[].attempted")?,
+                    retried: f.take("retried")?.as_u64("health[].retried")?,
+                    dropped: f.take("dropped")?.as_u64("health[].dropped")?,
+                    reps_attempted: f
+                        .take("reps_attempted")?
+                        .as_u64("health[].reps_attempted")?,
+                    reps_dropped: f.take("reps_dropped")?.as_u64("health[].reps_dropped")?,
+                    lost: f.take("lost")?.as_bool("health[].lost")?,
+                };
+                f.finish()?;
+                Ok(h)
+            })
+            .collect();
+        let health = health?;
+
+        top.finish()?;
+        Ok(RunManifest {
+            manifest_version,
+            tool,
+            command,
+            workers,
+            plan_digest,
+            counters,
+            timings,
+            occupancy,
+            health,
+        })
+    }
+}
+
+/// Strict object-field cursor: every field must be taken exactly once,
+/// and leftovers are schema errors.
+struct Fields {
+    what: &'static str,
+    fields: Vec<(String, Json)>,
+}
+
+impl Fields {
+    fn new(what: &'static str, json: &Json) -> Result<Fields, JsonError> {
+        Ok(Fields {
+            what,
+            fields: json.as_obj(what)?.to_vec(),
+        })
+    }
+
+    fn take(&mut self, key: &str) -> Result<Json, JsonError> {
+        match self.fields.iter().position(|(k, _)| k == key) {
+            Some(i) => Ok(self.fields.remove(i).1),
+            None => Err(JsonError::schema(format!(
+                "{}: missing key \"{key}\"",
+                self.what
+            ))),
+        }
+    }
+
+    fn finish(self) -> Result<(), JsonError> {
+        if let Some((key, _)) = self.fields.first() {
+            return Err(JsonError::schema(format!(
+                "{}: unknown key \"{key}\"",
+                self.what
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample() -> RunManifest {
+        let obs = Obs::recording();
+        obs.add("cache.settle.hit", 40);
+        obs.add("cache.settle.miss", 8);
+        obs.incr("span.score");
+        obs.record_fan(8, 2, &[5, 3]);
+        {
+            let _s = obs.span("score");
+        }
+        RunManifest::new(
+            ToolInfo {
+                name: "htd".into(),
+                version: "0.1.0".into(),
+                format_version: 1,
+                features: vec!["delay".into(), "em".into()],
+            },
+            "score",
+            2,
+            "fnv1a64:00deadbeef001122",
+            &obs.snapshot().unwrap(),
+            vec![HealthRecord {
+                channel: "EM".into(),
+                attempted: 8,
+                retried: 1,
+                dropped: 0,
+                reps_attempted: 24,
+                reps_dropped: 0,
+                lost: false,
+            }],
+        )
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let text = m.to_pretty();
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_pretty(), text);
+    }
+
+    #[test]
+    fn counters_text_is_sorted_name_value_lines() {
+        let m = sample();
+        let text = m.counters_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"cache.settle.hit 40"));
+        assert!(lines.contains(&"engine.tasks 8"));
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn unknown_key_is_schema_drift() {
+        let m = sample();
+        let text = m.to_pretty();
+        let drifted = text.replacen("\"command\"", "\"commandx\"", 1);
+        let err = RunManifest::parse(&drifted).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("missing key") || msg.contains("unknown key"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn wrong_manifest_version_is_rejected() {
+        let m = sample();
+        let text = m
+            .to_pretty()
+            .replacen("\"manifest_version\": 1", "\"manifest_version\": 2", 1);
+        assert!(RunManifest::parse(&text)
+            .unwrap_err()
+            .to_string()
+            .contains("unsupported manifest_version"));
+    }
+
+    #[test]
+    fn timing_counts_never_leak_into_counters_text() {
+        let m = sample();
+        assert!(!m.counters_text().contains("_ns"));
+        // The deterministic section carries only counter names.
+        for (name, _) in &m.counters {
+            assert!(
+                name.starts_with("cache.")
+                    || name.starts_with("span.")
+                    || name.starts_with("engine.")
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the observability primitives.
+
+use htd_obs::{Counter, Histogram, Json, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value lands in exactly the bucket whose floor bounds it:
+    /// `floor(idx) <= v` and, below the saturating top bucket,
+    /// `v < 2 * floor(idx)`.
+    #[test]
+    fn histogram_bucket_bounds(v in any::<u64>()) {
+        let idx = Histogram::bucket_index(v);
+        prop_assert!(idx < HISTOGRAM_BUCKETS);
+        let floor = Histogram::bucket_floor(idx);
+        prop_assert!(floor <= v, "floor {floor} > value {v}");
+        if idx + 1 < HISTOGRAM_BUCKETS {
+            prop_assert!(v < Histogram::bucket_floor(idx + 1));
+        }
+    }
+
+    /// Bucket assignment is monotone in the value.
+    #[test]
+    fn histogram_bucket_monotone(a in any::<u64>(), b in any::<u64>()) {
+        if a <= b {
+            prop_assert!(Histogram::bucket_index(a) <= Histogram::bucket_index(b));
+        }
+    }
+
+    /// Recording n values yields total n and bucket counts summing to n.
+    #[test]
+    fn histogram_conserves_samples(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let sum: u64 = h.counts().iter().sum();
+        prop_assert_eq!(sum, values.len() as u64);
+    }
+
+    /// Counter additions saturate at u64::MAX instead of wrapping, and
+    /// below the ceiling behave like plain addition.
+    #[test]
+    fn counter_saturates(start in any::<u64>(), n in any::<u64>()) {
+        let c = Counter::new();
+        c.add(start);
+        c.add(n);
+        prop_assert_eq!(c.get(), start.saturating_add(n));
+    }
+
+    /// incr from an arbitrary start never wraps to a smaller value.
+    #[test]
+    fn counter_incr_monotone(start in any::<u64>()) {
+        let c = Counter::new();
+        c.add(start);
+        let before = c.get();
+        c.incr();
+        prop_assert!(c.get() >= before);
+    }
+
+    /// JSON strings survive a render/parse round trip for arbitrary
+    /// content, including control characters and non-ASCII.
+    #[test]
+    fn json_string_round_trip(s in ".*") {
+        let v = Json::Str(s.clone());
+        let parsed = Json::parse(&v.to_pretty()).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    /// u64 counters survive a JSON round trip exactly (never via f64).
+    #[test]
+    fn json_u64_round_trip(n in any::<u64>()) {
+        let v = Json::UInt(n);
+        prop_assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+    }
+}

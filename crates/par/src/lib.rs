@@ -61,6 +61,20 @@ where
     parallel_map_indexed(workers, items.len(), |i| f(i, &items[i]))
 }
 
+/// How one fan's items were distributed over pool slots.
+///
+/// The *shape* (`workers`, `per_worker.len()`, the sum of `per_worker`)
+/// is deterministic, but which slot claimed which item is pure
+/// scheduling — treat the per-slot counts as observational data for
+/// occupancy dashboards, never as campaign results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// The resolved worker count this fan ran with.
+    pub workers: usize,
+    /// Items completed by each worker slot (sums to the fan's `n`).
+    pub per_worker: Vec<u64>,
+}
+
 /// Applies `f` to every index in `0..n`, returning results in index
 /// order, using up to `workers` threads (`0` = auto).
 ///
@@ -71,9 +85,26 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    parallel_map_indexed_stats(workers, n, f).0
+}
+
+/// [`parallel_map_indexed`] that also reports how the fan was scheduled.
+///
+/// The result `Vec` is bit-identical to the plain form; the extra
+/// [`PoolStats`] is observational (see its docs).
+pub fn parallel_map_indexed_stats<U, F>(workers: usize, n: usize, f: F) -> (Vec<U>, PoolStats)
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
     let workers = resolve_workers(workers).min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let out: Vec<U> = (0..n).map(f).collect();
+        let stats = PoolStats {
+            workers: 1,
+            per_worker: vec![n as u64],
+        };
+        return (out, stats);
     }
 
     let next = AtomicUsize::new(0);
@@ -102,6 +133,8 @@ where
             .collect()
     });
 
+    let per_worker: Vec<u64> = batches.iter().map(|b| b.len() as u64).collect();
+
     // Merge the batches back into input order. Every index appears
     // exactly once across all batches.
     let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
@@ -111,9 +144,17 @@ where
             out[i] = Some(value);
         }
     }
-    out.into_iter()
+    let out = out
+        .into_iter()
         .map(|slot| slot.expect("every index produced exactly once"))
-        .collect()
+        .collect();
+    (
+        out,
+        PoolStats {
+            workers,
+            per_worker,
+        },
+    )
 }
 
 /// Fallible form of [`parallel_map_indexed`]: applies `f` to every index
@@ -133,6 +174,28 @@ where
     F: Fn(usize) -> Result<U, E> + Sync,
 {
     parallel_map_indexed(workers, n, f).into_iter().collect()
+}
+
+/// [`parallel_try_map_indexed`] that also reports how the fan was
+/// scheduled. The [`PoolStats`] covers every item (all of them run even
+/// when some fail), so occupancy accounting stays complete on the error
+/// path.
+///
+/// # Errors
+///
+/// The lowest-index `Err` produced by `f`, if any.
+pub fn parallel_try_map_indexed_stats<U, E, F>(
+    workers: usize,
+    n: usize,
+    f: F,
+) -> (Result<Vec<U>, E>, PoolStats)
+where
+    U: Send,
+    E: Send,
+    F: Fn(usize) -> Result<U, E> + Sync,
+{
+    let (results, stats) = parallel_map_indexed_stats(workers, n, f);
+    (results.into_iter().collect(), stats)
 }
 
 #[cfg(test)]
@@ -208,6 +271,27 @@ mod tests {
         }
         let ok: Result<Vec<usize>, usize> = parallel_try_map_indexed(4, 10, Ok);
         assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_stats_account_for_every_item() {
+        for (workers, n) in [(1, 10), (4, 100), (8, 3), (3, 0)] {
+            let (out, stats) = parallel_map_indexed_stats(workers, n, |i| i);
+            assert_eq!(out, (0..n).collect::<Vec<_>>());
+            assert!(stats.workers >= 1);
+            assert_eq!(stats.per_worker.len(), stats.workers);
+            let total: u64 = stats.per_worker.iter().sum();
+            assert_eq!(total, n as u64, "workers = {workers}, n = {n}");
+        }
+    }
+
+    #[test]
+    fn try_map_stats_cover_failed_fans_too() {
+        let (result, stats) =
+            parallel_try_map_indexed_stats(4, 50, |i| if i == 9 { Err(i) } else { Ok(i) });
+        assert_eq!(result.unwrap_err(), 9);
+        let total: u64 = stats.per_worker.iter().sum();
+        assert_eq!(total, 50);
     }
 
     #[test]

@@ -84,8 +84,28 @@ pub fn from_text_at<A: Artifact>(text: &str, origin: &str) -> Result<A, Error> {
 ///
 /// [`Error::Io`] carrying the path on any filesystem failure.
 pub fn save<A: Artifact>(path: impl AsRef<std::path::Path>, artifact: &A) -> Result<(), Error> {
+    save_with(path, artifact, &htd_obs::Obs::noop())
+}
+
+/// [`save`] with store-I/O observability: records a `store.write` span
+/// plus `store.write.files` / `store.write.bytes` counters. The written
+/// bytes are the artifact's deterministic store text, so the byte
+/// counter is as reproducible as the artifact itself.
+///
+/// # Errors
+///
+/// [`Error::Io`] carrying the path on any filesystem failure.
+pub fn save_with<A: Artifact>(
+    path: impl AsRef<std::path::Path>,
+    artifact: &A,
+    obs: &htd_obs::Obs,
+) -> Result<(), Error> {
+    let _span = obs.span("store.write");
     let path = path.as_ref();
-    std::fs::write(path, to_text(artifact)).map_err(|e| Error::io(path, e))
+    let text = to_text(artifact);
+    obs.incr("store.write.files");
+    obs.add("store.write.bytes", text.len() as u64);
+    std::fs::write(path, text).map_err(|e| Error::io(path, e))
 }
 
 /// Reads an artifact from `path`.
@@ -95,8 +115,25 @@ pub fn save<A: Artifact>(path: impl AsRef<std::path::Path>, artifact: &A) -> Res
 /// [`Error::Io`] on filesystem failure; [`Error::Format`] (carrying the
 /// path and line) on any malformed content.
 pub fn load<A: Artifact>(path: impl AsRef<std::path::Path>) -> Result<A, Error> {
+    load_with(path, &htd_obs::Obs::noop())
+}
+
+/// [`load`] with store-I/O observability: records a `store.read` span
+/// plus `store.read.files` / `store.read.bytes` counters.
+///
+/// # Errors
+///
+/// [`Error::Io`] on filesystem failure; [`Error::Format`] (carrying the
+/// path and line) on any malformed content.
+pub fn load_with<A: Artifact>(
+    path: impl AsRef<std::path::Path>,
+    obs: &htd_obs::Obs,
+) -> Result<A, Error> {
+    let _span = obs.span("store.read");
     let path = path.as_ref();
     let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    obs.incr("store.read.files");
+    obs.add("store.read.bytes", text.len() as u64);
     from_text_at(&text, &path.display().to_string())
 }
 
@@ -182,9 +219,31 @@ pub fn from_text_salvage_at<A: Artifact>(text: &str, origin: &str) -> Result<Sal
 /// [`Error::Io`] on filesystem failure; [`Error::Format`] when the
 /// header is damaged or not even a partial value survives.
 pub fn load_salvage<A: Artifact>(path: impl AsRef<std::path::Path>) -> Result<Salvaged<A>, Error> {
+    load_salvage_with(path, &htd_obs::Obs::noop())
+}
+
+/// [`load_salvage`] with store-I/O observability: counts like
+/// [`load_with`], plus `store.read.salvaged` when the file was not
+/// pristine.
+///
+/// # Errors
+///
+/// [`Error::Io`] on filesystem failure; [`Error::Format`] when the
+/// header is damaged or not even a partial value survives.
+pub fn load_salvage_with<A: Artifact>(
+    path: impl AsRef<std::path::Path>,
+    obs: &htd_obs::Obs,
+) -> Result<Salvaged<A>, Error> {
+    let _span = obs.span("store.read");
     let path = path.as_ref();
     let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
-    from_text_salvage_at(&text, &path.display().to_string())
+    obs.incr("store.read.files");
+    obs.add("store.read.bytes", text.len() as u64);
+    let salvaged = from_text_salvage_at(&text, &path.display().to_string())?;
+    if salvaged.recovered {
+        obs.incr("store.read.salvaged");
+    }
+    Ok(salvaged)
 }
 
 #[cfg(test)]

@@ -1,0 +1,330 @@
+//! Observability end-to-end tests: the counter section of a
+//! [`RunManifest`] is bit-identical at any worker count (counts are
+//! deterministic; durations are observational and never compared), the
+//! checked-in manifest fixture pins the schema and counter taxonomy the
+//! `htd` CLI produces, and enabling `--metrics` never perturbs the
+//! checksummed artifacts themselves.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use htd_core::campaign::CampaignPlan;
+use htd_core::channel::{Channel, ChannelSpec};
+use htd_core::em_detect::TraceMetric;
+use htd_core::fusion::{characterize_campaign_faulted, score_campaign_faulted};
+use htd_core::resilience::RetryPolicy;
+use htd_core::{Engine, Lab};
+use htd_faults::FaultPlan;
+use htd_obs::{Json, Obs, RunManifest, MANIFEST_VERSION};
+use htd_trojan::TrojanSpec;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+/// The campaign of the paper-headline CI smoke: `htd characterize
+/// --dies 8 --pairs 2 --reps 2 --seed 2015 --channels em,delay`.
+fn cli_characterize_args(out: &Path, workers: usize) -> Vec<String> {
+    [
+        "characterize",
+        "--out",
+        &out.display().to_string(),
+        "--dies",
+        "8",
+        "--pairs",
+        "2",
+        "--reps",
+        "2",
+        "--seed",
+        "2015",
+        "--channels",
+        "em,delay",
+        "--workers",
+        &workers.to_string(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect()
+}
+
+fn run_htd(args: &[String]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_htd"))
+        .args(args)
+        .output()
+        .expect("htd spawns");
+    assert!(
+        out.status.success(),
+        "htd {:?} failed:\n{}{}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+fn htd_stdout(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_htd"))
+        .args(args)
+        .output()
+        .expect("htd spawns");
+    assert!(
+        out.status.success(),
+        "htd {:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// A fresh scratch directory per (test, worker-count) pair so parallel
+/// tests never collide.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htd-obs-{}-{}", std::process::id(), tag));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Library-level counter determinism: the same faulted campaign on 1, 2,
+/// and 8 workers yields bit-identical counter snapshots, and the report
+/// itself is unchanged by the recording observer.
+#[test]
+fn library_counters_are_worker_invariant() {
+    let plan = CampaignPlan::with_random_pairs(4, 2, 2, [0x42; 16], [0x0f; 16], 42);
+    let specs = [
+        ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
+        ChannelSpec::Delay,
+    ];
+    let faults = FaultPlan {
+        seed: 7,
+        acquire_rate: 0.2,
+        rep_rate: 0.1,
+        calibrate_rate: 0.0,
+        store_rate: 0.0,
+    };
+    let policy = RetryPolicy::degraded(2);
+    let campaign = |engine: &Engine| {
+        let lab = Lab::paper();
+        let channels: Vec<Box<dyn Channel>> = specs.iter().map(ChannelSpec::build).collect();
+        let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+        let charac = characterize_campaign_faulted(engine, &lab, &plan, &refs, &faults, &policy)
+            .expect("characterize completes");
+        let scored = score_campaign_faulted(
+            engine,
+            &lab,
+            &charac,
+            &[TrojanSpec::ht2()],
+            &refs,
+            &faults,
+            &policy,
+        )
+        .expect("score completes");
+        htd_store::to_text(&scored.report)
+    };
+
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let engine = Engine::with_workers(workers).with_obs(Obs::recording());
+        let report = campaign(&engine);
+        let snapshot = engine.obs().snapshot().expect("recording obs snapshots");
+        runs.push((workers, report, snapshot.counters));
+    }
+    let (_, report1, counters1) = &runs[0];
+    for (workers, report, counters) in &runs[1..] {
+        assert_eq!(counters1, counters, "counters differ at {workers} workers");
+        assert_eq!(report1, report, "report differs at {workers} workers");
+    }
+
+    // The run is non-trivial: fan/task accounting, spans, cache traffic
+    // and retry bookkeeping all registered.
+    let get = |name: &str| {
+        counters1
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing counter {name:?} in {counters1:?}"))
+            .1
+    };
+    assert!(get("engine.fans") > 0);
+    assert!(get("engine.tasks") > get("engine.fans"));
+    assert_eq!(get("span.characterize"), 1);
+    assert_eq!(get("span.score"), 1);
+    assert!(get("cache.settle.miss") > 0);
+    assert!(
+        get("retry.acquire") + get("faults.rep.fired") > 0,
+        "the fault plan fired somewhere: {counters1:?}"
+    );
+
+    // A noop observer produces the identical report: observation is free
+    // of semantic effect.
+    assert_eq!(&campaign(&Engine::with_workers(2)), report1);
+}
+
+/// CLI-level determinism and artifact neutrality: `--metrics` manifests
+/// from 1, 2, and 8 workers carry bit-identical counter sections, the
+/// golden artifact is byte-identical across worker counts and with
+/// metrics disabled, and `htd report --metrics --counters` prints
+/// exactly the manifest's counter text.
+#[test]
+fn cli_manifest_counters_are_bit_identical_across_worker_counts() {
+    let mut manifests = Vec::new();
+    let mut goldens = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let dir = scratch(&format!("w{workers}"));
+        let golden = dir.join("golden.htd");
+        let metrics = dir.join("manifest.json");
+        run_htd(&cli_characterize_args(&golden, workers));
+        run_htd(&[
+            "score".into(),
+            "--golden".into(),
+            golden.display().to_string(),
+            "--trojans".into(),
+            "sweep".into(),
+            "--workers".into(),
+            workers.to_string(),
+            "--metrics".into(),
+            metrics.display().to_string(),
+        ]);
+        let text = std::fs::read_to_string(&metrics).expect("manifest written");
+        let manifest = RunManifest::parse(&text).expect("manifest parses strictly");
+        assert_eq!(manifest.workers as usize, workers);
+        assert_eq!(manifest.command, "score");
+
+        // `htd report --metrics FILE --counters` is the CI diff surface;
+        // it must reproduce the manifest's counter text byte for byte.
+        let printed = htd_stdout(&[
+            "report",
+            "--metrics",
+            &metrics.display().to_string(),
+            "--counters",
+        ]);
+        assert_eq!(printed, manifest.counters_text());
+
+        manifests.push((workers, manifest));
+        goldens.push(std::fs::read(&golden).expect("golden readable"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let (_, first) = &manifests[0];
+    for (workers, manifest) in &manifests[1..] {
+        assert_eq!(
+            first.counters_text(),
+            manifest.counters_text(),
+            "counter section differs at {workers} workers"
+        );
+        assert_eq!(first.plan_digest, manifest.plan_digest);
+    }
+    assert!(goldens.iter().all(|g| g == &goldens[0]));
+
+    // Observation never perturbs the artifact: characterizing the same
+    // campaign *with* --metrics yields the same golden bytes.
+    let dir = scratch("with-metrics");
+    let golden = dir.join("golden.htd");
+    let mut args = cli_characterize_args(&golden, 2);
+    args.push("--metrics".into());
+    args.push(dir.join("charac.json").display().to_string());
+    run_htd(&args);
+    assert_eq!(
+        std::fs::read(&golden).expect("golden readable"),
+        goldens[0],
+        "--metrics changed the golden artifact bytes"
+    );
+    let charac = RunManifest::parse(
+        &std::fs::read_to_string(dir.join("charac.json")).expect("manifest written"),
+    )
+    .expect("characterize manifest parses");
+    assert_eq!(charac.command, "characterize");
+    assert!(!charac.health.is_empty(), "characterize reports health");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Schema/taxonomy stability: the committed fixture's counter section
+    // matches a fresh run of the same campaign bit for bit.
+    let pinned = std::fs::read_to_string(fixture_dir().join("run_manifest.json"))
+        .expect("missing tests/fixtures/run_manifest.json; run the regenerate test below");
+    let pinned = RunManifest::parse(&pinned).expect("fixture parses strictly");
+    assert_eq!(
+        pinned.counters_text(),
+        first.counters_text(),
+        "counter taxonomy drifted from tests/fixtures/run_manifest.json"
+    );
+    assert_eq!(pinned.plan_digest, first.plan_digest);
+}
+
+/// The committed manifest fixture is a valid, current-version manifest
+/// with the documented top-level shape. This parses strictly — any
+/// added, removed, or renamed field in the writer shows up here (and in
+/// CI) as a hard error.
+#[test]
+fn the_run_manifest_fixture_pins_the_schema() {
+    let path = fixture_dir().join("run_manifest.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e})", path.display()));
+    let manifest = RunManifest::parse(&text).expect("fixture parses strictly");
+    assert_eq!(manifest.manifest_version, MANIFEST_VERSION);
+    assert_eq!(manifest.tool.name, "htd");
+    assert!(!manifest.tool.features.is_empty());
+    assert!(manifest.plan_digest.starts_with("fnv1a64:"));
+    assert!(!manifest.counters.is_empty());
+    // Counter keys are sorted and unique — the property the CI diff
+    // relies on.
+    let keys: Vec<&str> = manifest.counters.iter().map(|(k, _)| k.as_str()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(keys, sorted);
+    // Durations never leak into the deterministic section.
+    assert!(!manifest.counters_text().contains("_ns"));
+}
+
+/// `htd version --json` is machine-readable and carries the fields the
+/// manifest's tool section promises.
+#[test]
+fn version_json_is_machine_readable() {
+    let text = htd_stdout(&["version", "--json"]);
+    let json = Json::parse(&text).expect("version emits valid JSON");
+    let obj = json.as_obj("version").expect("top-level object");
+    let field = |name: &str| {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing field {name:?}"))
+            .1
+            .clone()
+    };
+    assert_eq!(field("name").as_str("name").unwrap(), "htd");
+    assert_eq!(
+        field("version").as_str("version").unwrap(),
+        env!("CARGO_PKG_VERSION")
+    );
+    assert!(field("format_version").as_u64("format_version").unwrap() >= 1);
+    let features = field("features");
+    let features = features.as_arr("features").unwrap();
+    assert!(features
+        .iter()
+        .any(|f| f.as_str("feature").unwrap() == "metrics"));
+}
+
+/// Rewrites `tests/fixtures/run_manifest.json` from the current CLI.
+/// Run only after a deliberate change to the counter taxonomy or the
+/// manifest schema:
+///
+/// ```sh
+/// cargo test -p htd-cli --test observability -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "regenerates the checked-in run manifest fixture"]
+fn regenerate_run_manifest() {
+    let dir = scratch("regen");
+    let golden = dir.join("golden.htd");
+    let metrics = fixture_dir().join("run_manifest.json");
+    run_htd(&cli_characterize_args(&golden, 2));
+    run_htd(&[
+        "score".into(),
+        "--golden".into(),
+        golden.display().to_string(),
+        "--trojans".into(),
+        "sweep".into(),
+        "--workers".into(),
+        "2".to_string(),
+        "--metrics".into(),
+        metrics.display().to_string(),
+    ]);
+    std::fs::remove_dir_all(&dir).ok();
+    println!("wrote {}", metrics.display());
+}
