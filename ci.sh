@@ -24,6 +24,9 @@ done
 
 echo "==> htd CLI smoke"
 HTD_SMOKE_DIR="${TMPDIR:-/tmp}/htd-ci-smoke-$$"
+# Clean the scratch directory however the script exits — a failing smoke
+# step used to leak it (the rm -rf only ran on the success path).
+trap 'rm -rf "$HTD_SMOKE_DIR"' EXIT
 mkdir -p "$HTD_SMOKE_DIR"
 HTD=target/release/htd
 "$HTD" characterize --out "$HTD_SMOKE_DIR/golden.htd" \
@@ -57,7 +60,15 @@ echo "==> htd metrics smoke (BENCH_pipeline.json)"
 "$HTD" report --metrics tests/fixtures/run_manifest.json --counters \
     >"$HTD_SMOKE_DIR/pinned.counters"
 diff "$HTD_SMOKE_DIR/bench.counters" "$HTD_SMOKE_DIR/pinned.counters"
-rm -rf "$HTD_SMOKE_DIR"
+
+echo "==> criterion quick benches (BENCH_acquire.json)"
+# The per-stage acquisition benches in quick mode: 3 samples each, with
+# the shim's JSON emission producing a second BENCH trajectory next to
+# BENCH_pipeline.json. Numbers are observational (never diffed); the run
+# itself gates that every bench still executes.
+HTD_BENCH_SAMPLES=3 HTD_BENCH_JSON="$PWD/BENCH_acquire.json" \
+    cargo bench -p htd-bench --bench acquire_kernels
+test -s BENCH_acquire.json
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings

@@ -1,7 +1,23 @@
 //! Switching activity → current events.
+//!
+//! Two representations coexist:
+//!
+//! * [`CurrentEvent`] / [`collect_activity`] — the original AoS form, one
+//!   struct per toggle. Kept as the reference semantics and the public
+//!   container other crates consume.
+//! * [`ActivityTable`] / [`EventBatch`] — the hot-path SoA form. The
+//!   table precomputes, per net, everything about a toggle's charge
+//!   injection that does not depend on *when* it toggles (charge × local
+//!   process variation, die position); a batch is then just two flat
+//!   `(time, charge·weight)` arrays the acquisition kernels stream over.
+//!
+//! Both produce bit-identical charges: the table stores the same
+//! `base_charge × current_factor` product `collect_activity` computes per
+//! toggle, and weighting multiplies it by the same per-position coupling
+//! factor in the same order.
 
 use htd_fabric::{DieVariation, Placement, Technology};
-use htd_netlist::{CellKind, Netlist};
+use htd_netlist::{CellKind, NetId, Netlist};
 use htd_timing::TimedRun;
 
 /// One charge injection into the power/EM environment: a cell toggled.
@@ -56,6 +72,179 @@ pub fn collect_activity(
     events
 }
 
+/// Per-net emission profile of one (netlist, placement, die) triple: the
+/// time-independent part of [`collect_activity`], precomputed once so the
+/// per-toggle work collapses to two array lookups.
+///
+/// Nets that emit nothing (undriven, driven by a non-LUT/DFF cell, or
+/// unplaced drivers) carry a NaN charge sentinel and are skipped.
+#[derive(Debug, Clone)]
+pub struct ActivityTable {
+    /// Per net: injected charge per toggle (`base × current_factor`), NaN
+    /// for non-emitting nets.
+    charge: Vec<f64>,
+    /// Per net: die position of the driver's slice center.
+    position: Vec<(f64, f64)>,
+}
+
+impl ActivityTable {
+    /// Precomputes the per-net charges and positions (same skip rules and
+    /// same arithmetic as [`collect_activity`]).
+    pub fn build(
+        netlist: &Netlist,
+        placement: &Placement,
+        die: &DieVariation,
+        tech: &Technology,
+    ) -> Self {
+        let n = netlist.net_count();
+        let mut charge = vec![f64::NAN; n];
+        let mut position = vec![(0.0, 0.0); n];
+        for i in 0..n {
+            let net = NetId::from_index(i);
+            let Some(driver) = netlist.net(net).driver() else {
+                continue;
+            };
+            let base_charge = match netlist.cell(driver).kind() {
+                CellKind::Lut(_) => tech.lut_toggle_charge,
+                CellKind::Dff => tech.dff_toggle_charge,
+                _ => continue,
+            };
+            let Some(site) = placement.site_of(driver) else {
+                continue;
+            };
+            charge[i] = base_charge * die.current_factor(site.slice);
+            position[i] = site.slice.center();
+        }
+        ActivityTable { charge, position }
+    }
+
+    /// Whether toggles of net index `i` inject charge.
+    pub fn emits(&self, i: usize) -> bool {
+        !self.charge[i].is_nan()
+    }
+
+    /// Per-net unweighted charges (NaN = non-emitting).
+    pub fn charges(&self) -> &[f64] {
+        &self.charge
+    }
+
+    /// Per-net driver positions (meaningless where [`Self::emits`] is false).
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.position
+    }
+
+    /// Per-net `charge × weight(position)` array for one acquisition
+    /// chain (e.g. probe coupling, or `|_| 1.0` for the power baseline).
+    /// Non-emitting nets stay NaN.
+    pub fn weighted_charges(&self, weight: impl Fn((f64, f64)) -> f64) -> Vec<f64> {
+        self.charge
+            .iter()
+            .zip(&self.position)
+            .map(|(&c, &p)| if c.is_nan() { f64::NAN } else { c * weight(p) })
+            .collect()
+    }
+
+    /// Appends `(absolute time, driver-net index)` rows for every emitting
+    /// toggle of one timed cycle — the chain-independent half of a batch
+    /// collection (pair with a [`Self::weighted_charges`] array per chain).
+    pub fn extend_indexed(
+        &self,
+        run: &TimedRun,
+        cycle_start_ps: f64,
+        times_ps: &mut Vec<f64>,
+        nets: &mut Vec<u32>,
+    ) {
+        times_ps.reserve(run.toggles.len());
+        nets.reserve(run.toggles.len());
+        for toggle in &run.toggles {
+            let i = toggle.net.index();
+            if self.emits(i) {
+                times_ps.push(cycle_start_ps + toggle.time_ps);
+                nets.push(i as u32);
+            }
+        }
+    }
+
+    /// Reconstructs the AoS [`CurrentEvent`] form from indexed rows —
+    /// bit-identical to what [`collect_activity`] would have produced for
+    /// the same toggles.
+    pub fn append_events(&self, times_ps: &[f64], nets: &[u32], out: &mut Vec<CurrentEvent>) {
+        out.reserve(times_ps.len());
+        for (&t, &n) in times_ps.iter().zip(nets) {
+            out.push(CurrentEvent {
+                time_ps: t,
+                charge: self.charge[n as usize],
+                position: self.position[n as usize],
+            });
+        }
+    }
+}
+
+/// A flat SoA event stream for one acquisition chain: times and
+/// already-weighted charges, ready for [`crate::bin_events`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventBatch {
+    times_ps: Vec<f64>,
+    charges: Vec<f64>,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits an AoS event slice into `(time, charge·weight)` arrays,
+    /// applying the chain's per-position weight (the same multiply, in
+    /// the same order, as the scalar reference).
+    pub fn from_events(events: &[CurrentEvent], weight: impl Fn(&CurrentEvent) -> f64) -> Self {
+        let mut batch = EventBatch {
+            times_ps: Vec::with_capacity(events.len()),
+            charges: Vec::with_capacity(events.len()),
+        };
+        for e in events {
+            batch.times_ps.push(e.time_ps);
+            batch.charges.push(e.charge * weight(e));
+        }
+        batch
+    }
+
+    /// Builds a batch from indexed rows and a per-net weighted-charge
+    /// array (see [`ActivityTable::extend_indexed`]).
+    pub fn from_indexed(times_ps: &[f64], nets: &[u32], weighted: &[f64]) -> Self {
+        EventBatch {
+            times_ps: times_ps.to_vec(),
+            charges: nets.iter().map(|&n| weighted[n as usize]).collect(),
+        }
+    }
+
+    /// Appends one weighted event.
+    pub fn push(&mut self, time_ps: f64, weighted_charge: f64) {
+        self.times_ps.push(time_ps);
+        self.charges.push(weighted_charge);
+    }
+
+    /// Event times, ps.
+    pub fn times_ps(&self) -> &[f64] {
+        &self.times_ps
+    }
+
+    /// Weighted charges, one per time.
+    pub fn charges(&self) -> &[f64] {
+        &self.charges
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.times_ps.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.times_ps.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +287,44 @@ mod tests {
         for e in &events {
             assert!(e.time_ps >= 1_000.0);
         }
+    }
+
+    #[test]
+    fn activity_table_reproduces_collect_activity_bit_for_bit() {
+        let nl = toy();
+        let device = Device::new(DeviceConfig::new(8, 8));
+        let placement = Placement::place(&nl, &device).unwrap();
+        let die = DieVariation::generate(&VariationModel::nm65(), &device, 3);
+        let tech = Technology::virtex5();
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 300.0, 80.0);
+        let run = {
+            let mut fsim = nl.simulator().unwrap();
+            fsim.set(nl.input_nets()[0], true);
+            fsim.settle();
+            let mut esim = EventSimulator::from_snapshot(&nl, fsim.snapshot());
+            esim.clock_cycle(&ann)
+        };
+        let want = collect_activity(&run, 1_000.0, &nl, &placement, &die, &tech);
+
+        let table = ActivityTable::build(&nl, &placement, &die, &tech);
+        let (mut times, mut nets) = (Vec::new(), Vec::new());
+        table.extend_indexed(&run, 1_000.0, &mut times, &mut nets);
+        let mut got = Vec::new();
+        table.append_events(&times, &nets, &mut got);
+        assert_eq!(got.len(), want.len());
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.time_ps.to_bits(), b.time_ps.to_bits());
+            assert_eq!(a.charge.to_bits(), b.charge.to_bits());
+            assert_eq!(a.position, b.position);
+        }
+
+        // The weighted SoA batch carries the same products as weighting
+        // the AoS events per toggle.
+        let weight = |p: (f64, f64)| 1.0 / (1.0 + p.0 * p.0 + p.1 * p.1);
+        let weighted = table.weighted_charges(weight);
+        let batch = EventBatch::from_indexed(&times, &nets, &weighted);
+        let direct = EventBatch::from_events(&want, |e| weight(e.position));
+        assert_eq!(batch, direct);
     }
 
     #[test]

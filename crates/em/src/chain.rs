@@ -1,10 +1,19 @@
 //! The acquisition chain: amplifier, oscilloscope, averaging.
+//!
+//! The digitiser back-end is split into three batched kernels over flat
+//! buffers — [`bin_events`] (charge impulses onto the scope time base),
+//! [`convolve_kernel`] (dense causal convolution with the front-end
+//! response) and [`read_out`] (installation gain, averaged noise,
+//! quantisation) — so callers can cache the noise-free intermediate and
+//! pay only the read-out per repetition. [`acquire_with_reference`] keeps
+//! the original scalar per-event pipeline as the semantic reference; the
+//! test suite pins the batched path against it bit for bit.
 
 use rand::RngCore;
 
 use htd_fabric::variation::standard_normal;
 
-use crate::{CurrentEvent, Probe, Trace};
+use crate::{CurrentEvent, EventBatch, Probe, Trace};
 
 /// Oscilloscope front-end parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +60,162 @@ impl AcquisitionParams {
             averages: 1_000,
         }
     }
+
+    /// Trace length in samples at a `dt_ps` sample period.
+    pub fn n_samples(&self, dt_ps: f64) -> usize {
+        ((self.clock_period_ps * self.n_cycles as f64) / dt_ps).ceil() as usize
+    }
+}
+
+/// Accounting from binning one event stream: nothing is ever silently
+/// discarded. `dropped` counts events whose time is NaN, negative, or
+/// past the acquisition window — before this accounting, a negative or
+/// NaN time saturated `as usize` to bin 0 and smeared out-of-window
+/// charge into the first sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinStats {
+    /// Events accumulated into the impulse train.
+    pub binned: u64,
+    /// Events outside the acquisition window (or with non-finite times).
+    pub dropped: u64,
+}
+
+impl BinStats {
+    /// Component-wise sum (for accumulating per-cycle or per-chain stats).
+    pub fn merge(self, other: BinStats) -> BinStats {
+        BinStats {
+            binned: self.binned + other.binned,
+            dropped: self.dropped + other.dropped,
+        }
+    }
+}
+
+/// Bins already-weighted charge impulses onto the scope time base:
+/// `impulses` is cleared, resized to `n_samples` and accumulated in event
+/// order (determinism: f64 accumulation order is part of the contract).
+///
+/// Events before the window, past it, or with NaN times are counted in
+/// [`BinStats::dropped`] and skipped — never smeared into bin 0.
+///
+/// Internally the bin indices are computed chunk-at-a-time so the
+/// divide/floor pass autovectorizes; the scatter-accumulate stays scalar
+/// and in event order, so the result is bit-identical to the obvious
+/// one-pass loop.
+pub fn bin_events(
+    times_ps: &[f64],
+    charges: &[f64],
+    dt_ps: f64,
+    n_samples: usize,
+    impulses: &mut Vec<f64>,
+) -> BinStats {
+    impulses.clear();
+    impulses.resize(n_samples, 0.0);
+    let mut stats = BinStats::default();
+    const CHUNK: usize = 64;
+    let mut bins = [0.0f64; CHUNK];
+    let mut start = 0usize;
+    while start < times_ps.len() {
+        let m = CHUNK.min(times_ps.len() - start);
+        for (b, &t) in bins[..m].iter_mut().zip(&times_ps[start..start + m]) {
+            *b = (t / dt_ps).floor();
+        }
+        for (&bin, &c) in bins[..m].iter().zip(&charges[start..start + m]) {
+            if bin >= 0.0 && (bin as usize) < n_samples {
+                impulses[bin as usize] += c;
+                stats.binned += 1;
+            } else {
+                stats.dropped += 1;
+            }
+        }
+        start += m;
+    }
+    stats
+}
+
+/// [`bin_events`] fused with the per-net weight gather: bins indexed
+/// activity rows (`times_ps[i]` toggles net `nets[i]`) directly against a
+/// per-net weighted-charge table, skipping the intermediate
+/// [`crate::EventBatch`] materialisation. The accumulated value per event
+/// is the *same* precomputed f64 the batch would have copied, added in
+/// the same event order, so the result is bit-identical to
+/// `bin_events(&EventBatch::from_indexed(..))` — pinned in `tests`.
+pub fn bin_events_indexed(
+    times_ps: &[f64],
+    nets: &[u32],
+    weighted: &[f64],
+    dt_ps: f64,
+    n_samples: usize,
+    impulses: &mut Vec<f64>,
+) -> BinStats {
+    impulses.clear();
+    impulses.resize(n_samples, 0.0);
+    let mut stats = BinStats::default();
+    const CHUNK: usize = 64;
+    let mut bins = [0.0f64; CHUNK];
+    let mut start = 0usize;
+    while start < times_ps.len() {
+        let m = CHUNK.min(times_ps.len() - start);
+        for (b, &t) in bins[..m].iter_mut().zip(&times_ps[start..start + m]) {
+            *b = (t / dt_ps).floor();
+        }
+        for (&bin, &net) in bins[..m].iter().zip(&nets[start..start + m]) {
+            if bin >= 0.0 && (bin as usize) < n_samples {
+                impulses[bin as usize] += weighted[net as usize];
+                stats.binned += 1;
+            } else {
+                stats.dropped += 1;
+            }
+        }
+        start += m;
+    }
+    stats
+}
+
+/// Causal convolution of the binned impulse train with the front-end
+/// impulse response, over dense slices that autovectorize. `signal` is
+/// cleared and resized to the impulse length. Zero bins are skipped —
+/// bit-safe because the accumulator can never be `-0.0` (IEEE addition
+/// only yields `-0.0` from two negative zeros, and the accumulator
+/// starts at `+0.0`).
+pub fn convolve_kernel(impulses: &[f64], kernel: &[f64], signal: &mut Vec<f64>) {
+    let n = impulses.len();
+    signal.clear();
+    signal.resize(n, 0.0);
+    for (i, &imp) in impulses.iter().enumerate() {
+        if imp == 0.0 {
+            continue;
+        }
+        let m = kernel.len().min(n - i);
+        for (s, &h) in signal[i..i + m].iter_mut().zip(&kernel[..m]) {
+            *s += imp * h;
+        }
+    }
+}
+
+/// The per-repetition read-out of a noise-free convolved signal: one
+/// installation-gain draw, then per-sample averaged scope noise and ADC
+/// quantisation. This is the only stage that consumes the RNG, so a
+/// cached `clean` signal replayed through `read_out` is bit-identical to
+/// a full acquisition with the same RNG state.
+pub fn read_out<R: RngCore + ?Sized>(
+    clean: &[f64],
+    scope: &Scope,
+    gain: f64,
+    setup_gain_jitter: f64,
+    averages: usize,
+    rng: &mut R,
+) -> Trace {
+    let install_gain = gain * (1.0 + setup_gain_jitter * standard_normal(rng));
+    let noise_std = scope.noise_std / (averages.max(1) as f64).sqrt();
+    let q = scope.quantization_step;
+    let samples = clean
+        .iter()
+        .map(|&s| {
+            let v = s * install_gain + noise_std * standard_normal(rng);
+            (v / q).round() * q
+        })
+        .collect();
+    Trace::new(samples, scope.sample_period_ps)
 }
 
 /// The complete EM measurement chain.
@@ -91,25 +256,52 @@ impl EmSetup {
         params: &AcquisitionParams,
         rng: &mut R,
     ) -> Trace {
+        let batch = EventBatch::from_events(events, |e| self.probe.coupling(e.position));
         let kernel = self.probe.impulse_response(self.scope.sample_period_ps);
-        let weight = |e: &CurrentEvent| self.probe.coupling(e.position);
-        acquire_with(
-            events,
-            params,
+        self.acquire_batch(&batch, &kernel, params, rng).0
+    }
+
+    /// The batched acquisition: a pre-weighted SoA event stream and a
+    /// pre-sampled probe kernel in, one averaged trace plus binning
+    /// accounting out. Callers that acquire repeatedly should cache the
+    /// kernel ([`Probe::impulse_response`]) and the batch.
+    pub fn acquire_batch<R: RngCore + ?Sized>(
+        &self,
+        batch: &EventBatch,
+        kernel: &[f64],
+        params: &AcquisitionParams,
+        rng: &mut R,
+    ) -> (Trace, BinStats) {
+        let dt = self.scope.sample_period_ps;
+        let mut impulses = Vec::new();
+        let mut clean = Vec::new();
+        let stats = bin_events(
+            batch.times_ps(),
+            batch.charges(),
+            dt,
+            params.n_samples(dt),
+            &mut impulses,
+        );
+        convolve_kernel(&impulses, kernel, &mut clean);
+        let trace = read_out(
+            &clean,
             &self.scope,
             self.gain,
             self.setup_gain_jitter,
-            &kernel,
-            weight,
+            params.averages,
             rng,
-        )
+        );
+        (trace, stats)
     }
 }
 
-/// Shared digitiser back-end: bin events, convolve, amplify, add noise,
-/// quantise. Used by both the EM chain and the power baseline.
+/// The original scalar digitiser back-end, retained as the semantic
+/// reference for the batched kernels: per-event sparse bin + convolve,
+/// then the noise/quantise pass. The batched path ([`bin_events`] →
+/// [`convolve_kernel`] → [`read_out`]) must stay bit-for-bit identical to
+/// this function — `tests` and the property suite pin that equality.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn acquire_with<R: RngCore + ?Sized>(
+pub fn acquire_with_reference<R: RngCore + ?Sized>(
     events: &[CurrentEvent],
     params: &AcquisitionParams,
     scope: &Scope,
@@ -118,15 +310,20 @@ pub(crate) fn acquire_with<R: RngCore + ?Sized>(
     kernel: &[f64],
     weight: impl Fn(&CurrentEvent) -> f64,
     rng: &mut R,
-) -> Trace {
+) -> (Trace, BinStats) {
     let dt = scope.sample_period_ps;
-    let n = ((params.clock_period_ps * params.n_cycles as f64) / dt).ceil() as usize;
-    // Bin the charge impulses.
+    let n = params.n_samples(dt);
+    // Bin the charge impulses, skipping (and counting) anything outside
+    // the window — a negative or NaN time must not smear into bin 0.
+    let mut stats = BinStats::default();
     let mut impulses = vec![0.0f64; n];
     for e in events {
-        let bin = (e.time_ps / dt).floor() as usize;
-        if bin < n {
-            impulses[bin] += e.charge * weight(e);
+        let bin = (e.time_ps / dt).floor();
+        if bin >= 0.0 && (bin as usize) < n {
+            impulses[bin as usize] += e.charge * weight(e);
+            stats.binned += 1;
+        } else {
+            stats.dropped += 1;
         }
     }
     // Convolve with the front-end impulse response.
@@ -152,7 +349,7 @@ pub(crate) fn acquire_with<R: RngCore + ?Sized>(
             (v / q).round() * q
         })
         .collect();
-    Trace::new(samples, dt)
+    (Trace::new(samples, dt), stats)
 }
 
 #[cfg(test)]
@@ -176,6 +373,36 @@ mod tests {
             clock_period_ps: 10_000.0,
             n_cycles: 4,
             averages: 1_000,
+        }
+    }
+
+    #[test]
+    fn indexed_binning_matches_batch_binning_bit_exactly() {
+        // Mixed stream: in-window times, a negative time, a NaN time and
+        // a past-the-window time, across enough events to exercise the
+        // chunked path. The fused kernel must reproduce the
+        // materialise-then-bin result to the bit, including drop stats.
+        let weighted = [0.25, 1.5, -0.75, 3.125];
+        let mut times = Vec::new();
+        let mut nets = Vec::new();
+        for i in 0..300usize {
+            times.push(match i % 50 {
+                7 => -12.0,
+                23 => f64::NAN,
+                41 => 1.0e9,
+                _ => i as f64 * 131.0,
+            });
+            nets.push((i % weighted.len()) as u32);
+        }
+        let batch = crate::EventBatch::from_indexed(&times, &nets, &weighted);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let sa = bin_events(batch.times_ps(), batch.charges(), 200.0, 200, &mut a);
+        let sb = bin_events_indexed(&times, &nets, &weighted, 200.0, 200, &mut b);
+        assert_eq!(sa, sb);
+        assert!(sb.dropped > 0, "mixed stream must exercise drops");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 
@@ -262,6 +489,106 @@ mod tests {
         let t = setup.acquire(&burst(0.0, 50, 1.0), &params(), &mut rng);
         for &s in t.samples() {
             assert_eq!(s % 8.0, 0.0, "sample {s} not on the ADC grid");
+        }
+    }
+
+    #[test]
+    fn out_of_window_events_are_dropped_not_smeared() {
+        // Regression: a negative or NaN time used to saturate
+        // `(t / dt).floor() as usize` to bin 0, smearing charge into the
+        // first sample. Such events must now be skipped and counted.
+        let setup = EmSetup::bench((10.0, 10.0));
+        let p = params();
+        let valid = burst(500.0, 5, 10.0);
+        let mut polluted = valid.clone();
+        for t in [-1.0, -40_000.0, f64::NAN, 1.0e9] {
+            polluted.push(CurrentEvent {
+                time_ps: t,
+                charge: 1_000.0,
+                position: (10.0, 10.0),
+            });
+        }
+        let kernel = setup.probe.impulse_response(setup.scope.sample_period_ps);
+        let weight = |e: &CurrentEvent| setup.probe.coupling(e.position);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (clean_trace, clean_stats) = acquire_with_reference(
+            &valid,
+            &p,
+            &setup.scope,
+            setup.gain,
+            setup.setup_gain_jitter,
+            &kernel,
+            weight,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let (polluted_trace, polluted_stats) = acquire_with_reference(
+            &polluted,
+            &p,
+            &setup.scope,
+            setup.gain,
+            setup.setup_gain_jitter,
+            &kernel,
+            weight,
+            &mut rng,
+        );
+        assert_eq!(
+            clean_stats,
+            BinStats {
+                binned: 5,
+                dropped: 0
+            }
+        );
+        assert_eq!(
+            polluted_stats,
+            BinStats {
+                binned: 5,
+                dropped: 4
+            }
+        );
+        assert_eq!(clean_trace, polluted_trace, "dropped events leaked charge");
+
+        // The batched kernel agrees on both counts.
+        let batch = EventBatch::from_events(&polluted, weight);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (batched_trace, batched_stats) = setup.acquire_batch(&batch, &kernel, &p, &mut rng);
+        assert_eq!(batched_stats, polluted_stats);
+        assert_eq!(batched_trace, clean_trace);
+    }
+
+    #[test]
+    fn read_out_replays_identically_from_a_cached_clean_signal() {
+        // The three-stage split exists so reps can reuse the clean signal:
+        // bin+convolve once, read_out per rep — bit-identical to a full
+        // acquisition at the same RNG state.
+        let setup = EmSetup::bench((10.0, 10.0));
+        let p = params();
+        let events = burst(2_000.0, 30, 5.0);
+        let kernel = setup.probe.impulse_response(setup.scope.sample_period_ps);
+        let batch = EventBatch::from_events(&events, |e| setup.probe.coupling(e.position));
+        let mut impulses = Vec::new();
+        let mut clean = Vec::new();
+        bin_events(
+            batch.times_ps(),
+            batch.charges(),
+            setup.scope.sample_period_ps,
+            p.n_samples(setup.scope.sample_period_ps),
+            &mut impulses,
+        );
+        convolve_kernel(&impulses, &kernel, &mut clean);
+        for seed in [0u64, 1, 99] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let full = setup.acquire(&events, &p, &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let replay = read_out(
+                &clean,
+                &setup.scope,
+                setup.gain,
+                setup.setup_gain_jitter,
+                p.averages,
+                &mut rng,
+            );
+            assert_eq!(full, replay, "seed {seed}");
         }
     }
 

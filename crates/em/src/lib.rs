@@ -34,8 +34,11 @@ mod probe;
 pub mod scan;
 mod trace;
 
-pub use activity::{collect_activity, CurrentEvent};
-pub use chain::{AcquisitionParams, EmSetup, Scope};
+pub use activity::{collect_activity, ActivityTable, CurrentEvent, EventBatch};
+pub use chain::{
+    acquire_with_reference, bin_events, bin_events_indexed, convolve_kernel, read_out,
+    AcquisitionParams, BinStats, EmSetup, Scope,
+};
 pub use power::PowerSetup;
 pub use probe::Probe;
 pub use trace::Trace;

@@ -125,9 +125,13 @@ impl Trace {
 
     fn check_compatible(&self, other: &Trace) {
         assert_eq!(self.samples.len(), other.samples.len(), "length mismatch");
+        // Exact-or-relative: an absolute tolerance would reject equal
+        // periods that differ by float rounding at large magnitudes and
+        // accept genuinely different ones near zero.
+        let (a, b) = (self.dt_ps, other.dt_ps);
         assert!(
-            (self.dt_ps - other.dt_ps).abs() < 1e-9,
-            "time-base mismatch"
+            a == b || (a - b).abs() <= 1e-12 * a.abs().max(b.abs()),
+            "time-base mismatch ({a} ps vs {b} ps)"
         );
     }
 }
@@ -201,5 +205,36 @@ mod tests {
     #[should_panic(expected = "sample period must be positive")]
     fn zero_dt_rejected() {
         Trace::new(vec![], 0.0);
+    }
+
+    #[test]
+    fn large_dt_rounding_is_compatible() {
+        // 10^9 ps periods that differ by a few ULPs (e.g. accumulated
+        // through different float paths) are the same time base. The old
+        // absolute 1e-9 tolerance rejected these.
+        let dt = 1.0e9;
+        let dt_rounded = dt * (1.0 + 4.0 * f64::EPSILON);
+        assert!(dt != dt_rounded && (dt - dt_rounded).abs() > 1e-9);
+        let a = Trace::new(vec![1.0, 2.0], dt);
+        let b = Trace::new(vec![3.0, 4.0], dt_rounded);
+        assert_eq!((&a - &b).samples(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-base mismatch")]
+    fn tiny_but_different_dts_are_incompatible() {
+        // 1 fs vs 2 fs is a 2× rate mismatch; the old absolute tolerance
+        // silently accepted it.
+        let a = Trace::new(vec![1.0], 1.0e-3);
+        let b = Trace::new(vec![1.0], 2.0e-3);
+        let _ = a.abs_diff(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-base mismatch")]
+    fn clearly_different_dts_are_incompatible() {
+        let a = Trace::new(vec![1.0], 200.0);
+        let b = Trace::new(vec![1.0], 200.1);
+        let _ = a.abs_diff(&b);
     }
 }

@@ -134,6 +134,99 @@ proptest! {
     }
 }
 
+/// The batched SoA kernels are pinned bit-for-bit against the retained
+/// scalar reference across random event streams (including negative, NaN
+/// and past-window times), acquisition params and quantisation steps.
+mod kernel_pinning {
+    use super::*;
+    use htd_em::{acquire_with_reference, EventBatch};
+
+    /// Event streams that exercise every binning edge: in-window,
+    /// negative, far-future, and NaN times, with signed charges.
+    fn adversarial_events() -> impl Strategy<Value = Vec<CurrentEvent>> {
+        proptest::collection::vec(
+            (
+                -50_000.0f64..200_000.0,
+                -20.0f64..50.0,
+                0.0f64..20.0,
+                0u8..16,
+            )
+                .prop_map(|(t, q, x, nan)| CurrentEvent {
+                    // ~1 in 16 events carries a NaN time.
+                    time_ps: if nan == 0 { f64::NAN } else { t },
+                    charge: q,
+                    position: (x, 20.0 - x),
+                }),
+            0..60,
+        )
+    }
+
+    proptest! {
+        /// EM chain: batched == reference, bit for bit, trace and stats.
+        #[test]
+        fn em_batched_matches_reference(
+            events in adversarial_events(),
+            noise in 0.0f64..100.0,
+            jitter in 0.0f64..0.01,
+            quant in 0.5f64..8.0,
+            averages in 1usize..1000,
+            seed in any::<u64>(),
+        ) {
+            let mut setup = EmSetup::bench((10.0, 10.0));
+            setup.scope.noise_std = noise;
+            setup.setup_gain_jitter = jitter;
+            setup.scope.quantization_step = quant;
+            let p = AcquisitionParams { clock_period_ps: 20_000.0, n_cycles: 3, averages };
+            let kernel = setup.probe.impulse_response(setup.scope.sample_period_ps);
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (want, want_stats) = acquire_with_reference(
+                &events, &p, &setup.scope, setup.gain, setup.setup_gain_jitter,
+                &kernel, |e| setup.probe.coupling(e.position), &mut rng,
+            );
+            let batch = EventBatch::from_events(&events, |e| setup.probe.coupling(e.position));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (got, got_stats) = setup.acquire_batch(&batch, &kernel, &p, &mut rng);
+
+            prop_assert_eq!(got_stats, want_stats);
+            prop_assert_eq!(
+                got_stats.binned + got_stats.dropped,
+                events.len() as u64
+            );
+            prop_assert_eq!(got.len(), want.len());
+            for (i, (a, b)) in want.samples().iter().zip(got.samples()).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "sample {} differs: {} vs {}", i, a, b);
+            }
+        }
+
+        /// Power chain: batched == reference, bit for bit.
+        #[test]
+        fn power_batched_matches_reference(
+            events in adversarial_events(),
+            averages in 1usize..100,
+            seed in any::<u64>(),
+        ) {
+            let setup = PowerSetup::bench();
+            let p = AcquisitionParams { clock_period_ps: 20_000.0, n_cycles: 3, averages };
+            let kernel = setup.impulse_response(setup.scope.sample_period_ps);
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (want, want_stats) = acquire_with_reference(
+                &events, &p, &setup.scope, setup.gain, setup.setup_gain_jitter,
+                &kernel, |_| 1.0, &mut rng,
+            );
+            let batch = EventBatch::from_events(&events, |_| 1.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (got, got_stats) = setup.acquire_batch(&batch, &kernel, &p, &mut rng);
+
+            prop_assert_eq!(got_stats, want_stats);
+            for (a, b) in want.samples().iter().zip(got.samples()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
+
 /// Cartography scan invariants on arbitrary event sets.
 mod scan_props {
     use super::*;

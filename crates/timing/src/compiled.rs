@@ -1,0 +1,739 @@
+//! Compiled timed simulation: the hot-path twin of [`EventSimulator`].
+//!
+//! [`EventSimulator`](crate::EventSimulator) walks the netlist object graph
+//! on every event — driver lookups, cell-kind matches, re-reading every
+//! input of every sink LUT. That is the right reference semantics, but it
+//! is also the inner loop of every EM/power acquisition (13 cycles × ~86 k
+//! events per trace), so this module flattens one `(netlist, annotation)`
+//! pair into [`CompiledTiming`] — CSR sink lists with the per-sink delays
+//! pre-added — and replays cycles over it with
+//! [`CompiledSimulator::clock_cycle`].
+//!
+//! # Determinism contract
+//!
+//! The compiled replay is **bit-for-bit identical** to
+//! [`EventSimulator::clock_cycle`](crate::EventSimulator::clock_cycle):
+//! same toggle stream (times, nets, values, order), same
+//! `last_transition_ps`, same `settle_ps`, down to the f64 bit pattern.
+//! Three things make that hold:
+//!
+//! * **Arithmetic association is preserved.** Event times are computed as
+//!   `(t + cell_delay) + net_delay` — the same two-add order as the
+//!   reference — with both delays read from the same annotation.
+//! * **Tie order is preserved.** Events are ordered by
+//!   `(time, sequence number)` exactly like the reference heap. Skipping
+//!   provably-redundant pushes (see below) renumbers later events but
+//!   never reorders surviving ones, because sequence numbers are assigned
+//!   in push order in both implementations.
+//! * **Only no-op events are elided.** The reference drops an event at pop
+//!   time when the net already carries the scheduled value. Deliveries to
+//!   any net are causal (each LUT has one fixed `cell + output-net`
+//!   latency), so the value a net will hold when an event pops is exactly
+//!   the value of the *last scheduled* event for that net — which the
+//!   simulator tracks in `scheduled`. An event whose value equals it would
+//!   be filtered at pop time in the reference; not pushing it at all
+//!   yields the same toggle stream.
+//!
+//! The event queue is a calendar of time buckets of width
+//! `min_sink_latency / 16` (a sixteenth of the smallest
+//! `cell + output-net` delay in the design — any width at most the
+//! minimum latency works). An event scheduled while draining bucket `b`
+//! lands at `t + latency ≥ t + 16·width`, i.e. in a strictly later bucket — except
+//! when float rounding of the bucket index says otherwise, in which case
+//! the event goes through a (nearly always empty) overflow heap that is
+//! merged during the drain. Each bucket is sorted once; events carry a
+//! precomputed `u64` key that maps `f64::total_cmp` order onto `u64`
+//! ordering, so the sort comparator never touches a float. The narrow
+//! width keeps buckets small (a handful of events, not hundreds), which
+//! keeps those sorts out of the profile.
+//!
+//! `tests` pin compiled-vs-reference equality on every toy topology of the
+//! reference test suite; `htd-core` pins it again on the full AES design.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use htd_netlist::{CellKind, NetId, Netlist};
+
+use crate::eventsim::{TimedRun, Toggle};
+use crate::DelayAnnotation;
+
+/// A compact scheduled event: the toggling net and its new value are
+/// packed into one word, and `seq` reproduces the reference tie order.
+/// The event time is stored as its [`time_key`] image rather than an
+/// `f64`, so every comparison — bucket sorts and the overflow heap — is
+/// a raw `u64` compare instead of a float transform per operand.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    /// `time_key(time_ps)` — same ordering as `f64::total_cmp`.
+    key: u64,
+    seq: u32,
+    /// `net_index << 1 | new_value`.
+    net_val: u32,
+}
+
+impl Event {
+    fn time_ps(self) -> f64 {
+        time_from_key(self.key)
+    }
+
+    fn net(self) -> usize {
+        (self.net_val >> 1) as usize
+    }
+
+    fn value(self) -> bool {
+        self.net_val & 1 == 1
+    }
+}
+
+/// Maps an f64 to a `u64` key with the same ordering as `f64::total_cmp`.
+#[inline]
+fn time_key(t: f64) -> u64 {
+    let bits = t.to_bits() as i64;
+    (((bits >> 63) as u64 >> 1) | 1 << 63) ^ bits as u64
+}
+
+/// Inverse of [`time_key`]: recovers the exact f64 bit pattern.
+#[inline]
+fn time_from_key(key: u64) -> f64 {
+    let bits = if key & 1 << 63 != 0 {
+        key ^ 1 << 63
+    } else {
+        !key
+    };
+    f64::from_bits(bits)
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// One flip-flop capture edge: `q` takes `d`'s sampled value, visible to
+/// `q`'s sinks at `q_arrival_ps` (= `clk2q + net_delay(q)`).
+#[derive(Debug, Clone, Copy)]
+struct DffEdge {
+    d: u32,
+    q: u32,
+    q_arrival_ps: f64,
+}
+
+/// One LUT sink of a net, packed so a delivery touches a single
+/// sequential stream instead of five parallel arrays (CSR ranges are
+/// 2–4 entries, so split arrays cost one cache line *each* per range).
+#[derive(Debug, Clone, Copy)]
+struct SinkRec {
+    cell: u32,
+    out_net: u32,
+    pin: u8,
+    cell_delay_ps: f64,
+    out_delay_ps: f64,
+}
+
+/// A netlist and one delay annotation flattened for event replay: per-net
+/// CSR lists of LUT sinks with their delays pre-fetched, per-cell LUT
+/// truth tables, and the flip-flop capture list.
+///
+/// Compiling is cheap (~0.2 ms for the AES design) and pays for itself
+/// within a single clock cycle; `htd-core` compiles once per programmed
+/// device and replays every acquisition against it.
+#[derive(Debug, Clone)]
+pub struct CompiledTiming {
+    n_nets: usize,
+    n_cells: usize,
+    /// CSR offsets: LUT sinks of net `n` are `sinks[sink_start[n]..sink_start[n + 1]]`.
+    sink_start: Vec<u32>,
+    sinks: Vec<SinkRec>,
+    /// Raw truth-table bits per cell (0 for non-LUTs).
+    lut_mask: Vec<u64>,
+    /// CSR of LUT input nets, used to seed the per-cell input rows.
+    lut_cells: Vec<u32>,
+    lut_in_start: Vec<u32>,
+    lut_in_net: Vec<u32>,
+    dffs: Vec<DffEdge>,
+    /// Per-net routed delay (for primary-input events).
+    net_delay_ps: Vec<f64>,
+    /// Smallest `cell + output-net` latency; the calendar bucket width
+    /// is a fixed fraction of it.
+    min_sink_latency_ps: f64,
+}
+
+impl CompiledTiming {
+    /// Flattens `netlist` with `delays` into replayable form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist exceeds the compact-event encoding
+    /// (2³¹ nets) — far beyond any design this workspace elaborates.
+    pub fn compile(netlist: &Netlist, delays: &DelayAnnotation) -> Self {
+        let n_nets = netlist.net_count();
+        let n_cells = netlist.cell_count();
+        assert!(n_nets < (1 << 31), "netlist too large for compact events");
+        let mut sink_start = vec![0u32; n_nets + 1];
+        let mut lut_mask = vec![0u64; n_cells];
+        let mut dffs = Vec::new();
+        for (id, cell) in netlist.cells() {
+            match cell.kind() {
+                CellKind::Lut(mask) => {
+                    lut_mask[id.index()] = mask.raw();
+                    for &inp in cell.inputs() {
+                        sink_start[inp.index() + 1] += 1;
+                    }
+                }
+                CellKind::Dff => {
+                    let d = cell.inputs()[0];
+                    let q = cell.output().expect("dff drives q");
+                    dffs.push(DffEdge {
+                        d: d.index() as u32,
+                        q: q.index() as u32,
+                        q_arrival_ps: delays.clk2q_ps() + delays.net_delay_ps(q),
+                    });
+                }
+                _ => {}
+            }
+        }
+        for i in 0..n_nets {
+            sink_start[i + 1] += sink_start[i];
+        }
+        let total = sink_start[n_nets] as usize;
+        let mut sinks = vec![
+            SinkRec {
+                cell: 0,
+                out_net: 0,
+                pin: 0,
+                cell_delay_ps: 0.0,
+                out_delay_ps: 0.0,
+            };
+            total
+        ];
+        let mut cursor: Vec<u32> = sink_start[..n_nets].to_vec();
+        let mut lut_cells = Vec::new();
+        let mut lut_in_start = vec![0u32];
+        let mut lut_in_net = Vec::new();
+        for (id, cell) in netlist.cells() {
+            if let CellKind::Lut(_) = cell.kind() {
+                let out = cell.output().expect("lut drives a net");
+                lut_cells.push(id.index() as u32);
+                for (pin, &inp) in cell.inputs().iter().enumerate() {
+                    let slot = cursor[inp.index()] as usize;
+                    cursor[inp.index()] += 1;
+                    sinks[slot] = SinkRec {
+                        cell: id.index() as u32,
+                        out_net: out.index() as u32,
+                        pin: pin as u8,
+                        cell_delay_ps: delays.cell_delay_ps(id),
+                        out_delay_ps: delays.net_delay_ps(out),
+                    };
+                    lut_in_net.push(inp.index() as u32);
+                }
+                lut_in_start.push(lut_in_net.len() as u32);
+            }
+        }
+        let min_sink_latency_ps = sinks
+            .iter()
+            .map(|s| s.cell_delay_ps + s.out_delay_ps)
+            .fold(f64::INFINITY, f64::min);
+        CompiledTiming {
+            n_nets,
+            n_cells,
+            sink_start,
+            sinks,
+            lut_mask,
+            lut_cells,
+            lut_in_start,
+            lut_in_net,
+            dffs,
+            net_delay_ps: (0..n_nets)
+                .map(|i| delays.net_delay_ps(NetId::from_index(i)))
+                .collect(),
+            min_sink_latency_ps,
+        }
+    }
+
+    /// Net count of the compiled netlist.
+    pub fn net_count(&self) -> usize {
+        self.n_nets
+    }
+}
+
+/// Mutable per-cell state colocated with the (immutable) truth table:
+/// one cache line serves both the input-row update and the LUT eval.
+#[derive(Debug, Clone, Copy)]
+struct CellState {
+    /// Current LUT input row, updated incrementally per delivery.
+    row: u64,
+    /// The cell's truth-table bits (copied from the compiled tables).
+    mask: u64,
+}
+
+/// Event-driven replay over a [`CompiledTiming`], bit-identical to
+/// [`EventSimulator`](crate::EventSimulator) (see the module docs for the
+/// argument). Scratch buffers (buckets, per-cell input rows, scheduled
+/// values) persist across cycles, so steady-state cycles allocate only
+/// the returned [`TimedRun`].
+#[derive(Debug, Clone)]
+pub struct CompiledSimulator<'a> {
+    ct: &'a CompiledTiming,
+    values: Vec<bool>,
+    /// Per-cell LUT state (input row + truth table).
+    cells: Vec<CellState>,
+    /// Last scheduled value per net this cycle (the pop-time filter of the
+    /// reference, applied at push time — see module docs).
+    scheduled: Vec<bool>,
+    pending_inputs: Vec<(NetId, bool)>,
+    buckets: Vec<Vec<Event>>,
+    drain: Vec<Event>,
+    overflow: BinaryHeap<std::cmp::Reverse<Event>>,
+    /// Toggle count of the previous cycle — the capacity hint that keeps
+    /// steady-state cycles from re-growing the toggle vector.
+    toggle_hint: usize,
+}
+
+impl<'a> CompiledSimulator<'a> {
+    /// Starts from a settled snapshot of net values
+    /// ([`htd_netlist::Simulator::snapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not match the compiled net count.
+    pub fn from_snapshot(ct: &'a CompiledTiming, values: Vec<bool>) -> Self {
+        assert_eq!(values.len(), ct.n_nets, "snapshot size mismatch");
+        let mut cells = vec![CellState { row: 0, mask: 0 }; ct.n_cells];
+        for (c, &mask) in ct.lut_mask.iter().enumerate() {
+            cells[c].mask = mask;
+        }
+        for (i, &c) in ct.lut_cells.iter().enumerate() {
+            let lo = ct.lut_in_start[i] as usize;
+            let hi = ct.lut_in_start[i + 1] as usize;
+            let mut row = 0u64;
+            for (pin, &inp) in ct.lut_in_net[lo..hi].iter().enumerate() {
+                row |= (values[inp as usize] as u64) << pin;
+            }
+            cells[c as usize].row = row;
+        }
+        CompiledSimulator {
+            ct,
+            scheduled: values.clone(),
+            values,
+            cells,
+            pending_inputs: Vec::new(),
+            buckets: Vec::new(),
+            drain: Vec::new(),
+            overflow: BinaryHeap::new(),
+            toggle_hint: 0,
+        }
+    }
+
+    /// Queues a primary-input change for the next clock cycle (same
+    /// semantics as [`EventSimulator::set_input`](crate::EventSimulator::set_input)).
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        self.pending_inputs.push((net, value));
+    }
+
+    /// Current (sink-visible) value of a net.
+    pub fn get(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Runs one clock cycle and returns the timing record, bit-identical
+    /// to the reference simulator's. State persists into the next cycle.
+    pub fn clock_cycle(&mut self) -> TimedRun {
+        let n_nets = self.ct.n_nets;
+        let mut last_transition = vec![f64::NEG_INFINITY; n_nets];
+        let mut toggles: Vec<Toggle> = Vec::with_capacity(self.toggle_hint + 64);
+        let settle = self.cycle_core(|time_ps, net, new_value| {
+            last_transition[net.index()] = time_ps;
+            toggles.push(Toggle {
+                time_ps,
+                net,
+                new_value,
+            });
+        });
+        self.toggle_hint = toggles.len();
+        TimedRun {
+            last_transition_ps: last_transition,
+            toggles,
+            settle_ps: settle,
+        }
+    }
+
+    /// Runs one clock cycle, streaming every toggle to `visit` (time in
+    /// ps, net, new value) in delivery order — the same order and bit
+    /// patterns as the [`Self::clock_cycle`] record — and returns the
+    /// cycle's settle time. Skips materialising the `TimedRun` (a
+    /// per-net vector plus a toggle vector per cycle), which is the
+    /// difference between this and `clock_cycle` on the activity hot
+    /// path where the caller only filters and re-buffers the toggles.
+    pub fn clock_cycle_visit(&mut self, visit: impl FnMut(f64, NetId, bool)) -> f64 {
+        self.cycle_core(visit)
+    }
+
+    /// The event replay shared by [`Self::clock_cycle`] and
+    /// [`Self::clock_cycle_visit`]. Calls `visit` once per delivered
+    /// toggle, in delivery (= reference) order; returns `settle_ps`.
+    fn cycle_core(&mut self, mut visit: impl FnMut(f64, NetId, bool)) -> f64 {
+        let ct = self.ct;
+        let mut seq = 0u32;
+        // Bucket width is a sixteenth of the smallest sink latency: any
+        // width ≤ that latency keeps the "new events land in a strictly
+        // later bucket" invariant, and narrower buckets mean the per-bucket
+        // sorts run on a couple dozen events instead of hundreds (the
+        // sorts dominate the replay otherwise; 1/16 measured best on the
+        // AES design against 1/4, 1/8 and 1/32). Degenerate widths (no LUT sinks,
+        // or a zero-latency annotation) fall back to inv_w = 0: everything
+        // lands in bucket 0 and drains through the overflow heap, i.e.
+        // plain heap order.
+        let inv_w = if ct.min_sink_latency_ps.is_finite() && ct.min_sink_latency_ps > 0.0 {
+            16.0 / ct.min_sink_latency_ps
+        } else {
+            0.0
+        };
+        self.scheduled.copy_from_slice(&self.values);
+
+        let push_initial = |buckets: &mut Vec<Vec<Event>>, time_ps: f64, ev: Event| {
+            let b = (time_ps * inv_w) as usize;
+            if b >= buckets.len() {
+                buckets.resize_with(b + 1, Vec::new);
+            }
+            buckets[b].push(ev);
+        };
+        // Flip-flop captures first, then primary inputs — the reference
+        // push (and therefore tie) order.
+        for &DffEdge { d, q, q_arrival_ps } in &ct.dffs {
+            let d_val = self.values[d as usize];
+            if d_val != self.values[q as usize] {
+                push_initial(
+                    &mut self.buckets,
+                    q_arrival_ps,
+                    Event {
+                        key: time_key(q_arrival_ps),
+                        seq,
+                        net_val: q << 1 | d_val as u32,
+                    },
+                );
+                self.scheduled[q as usize] = d_val;
+                seq += 1;
+            }
+        }
+        for (net, value) in self.pending_inputs.drain(..) {
+            if value != self.scheduled[net.index()] {
+                let t = ct.net_delay_ps[net.index()];
+                push_initial(
+                    &mut self.buckets,
+                    t,
+                    Event {
+                        key: time_key(t),
+                        seq,
+                        net_val: (net.index() as u32) << 1 | value as u32,
+                    },
+                );
+                self.scheduled[net.index()] = value;
+                seq += 1;
+            }
+        }
+
+        let mut settle = 0.0f64;
+        let mut guard = 0usize;
+        let mut b = 0usize;
+        while b < self.buckets.len() || !self.overflow.is_empty() {
+            if b < self.buckets.len() {
+                std::mem::swap(&mut self.drain, &mut self.buckets[b]);
+                // Buckets are tiny (a couple dozen events) and arrive in
+                // `seq` order, so a plain insertion sort beats the
+                // general-purpose sorter: ties (equal keys) never shift
+                // because `seq` is already ascending, preserving the
+                // reference (time, seq) order.
+                let drain = &mut self.drain[..];
+                for i in 1..drain.len() {
+                    let e = drain[i];
+                    let mut j = i;
+                    while j > 0 && drain[j - 1].key > e.key {
+                        drain[j] = drain[j - 1];
+                        j -= 1;
+                    }
+                    drain[j] = e;
+                }
+            }
+            let mut di = 0usize;
+            loop {
+                // Merge the sorted bucket with the overflow heap. The heap
+                // is almost always empty — it only holds events whose
+                // bucket index rounded down to the one being drained — so
+                // the common case is a single predictable branch straight
+                // into the sorted bucket slice.
+                let ev = if self.overflow.is_empty() {
+                    match self.drain.get(di) {
+                        Some(&d) => {
+                            di += 1;
+                            d
+                        }
+                        None => break,
+                    }
+                } else {
+                    match (self.drain.get(di), self.overflow.peek()) {
+                        (None, None) => break,
+                        (Some(&d), None) => {
+                            di += 1;
+                            d
+                        }
+                        (None, Some(&std::cmp::Reverse(o))) => {
+                            if (o.time_ps() * inv_w) as usize > b {
+                                break;
+                            }
+                            self.overflow.pop();
+                            o
+                        }
+                        (Some(&d), Some(&std::cmp::Reverse(o))) => {
+                            if o < d {
+                                self.overflow.pop();
+                                o
+                            } else {
+                                di += 1;
+                                d
+                            }
+                        }
+                    }
+                };
+                guard += 1;
+                assert!(
+                    guard < 50_000_000,
+                    "event budget exceeded — combinational oscillation?"
+                );
+                let net = ev.net();
+                let value = ev.value();
+                let ev_time = ev.time_ps();
+                debug_assert_ne!(self.values[net], value, "push-time filter missed a no-op");
+                // Events arrive in non-decreasing time order, matching the
+                // reference's post-sort stream.
+                debug_assert!(ev_time >= settle || settle == 0.0);
+                self.values[net] = value;
+                settle = settle.max(ev_time);
+                visit(ev_time, NetId::from_index(net), value);
+                let lo = ct.sink_start[net] as usize;
+                let hi = ct.sink_start[net + 1] as usize;
+                for rec in &ct.sinks[lo..hi] {
+                    let cell = &mut self.cells[rec.cell as usize];
+                    let row = (cell.row & !(1u64 << rec.pin)) | ((value as u64) << rec.pin);
+                    cell.row = row;
+                    let out = rec.out_net as usize;
+                    let out_val = (cell.mask >> row) & 1 == 1;
+                    if out_val == self.scheduled[out] {
+                        continue;
+                    }
+                    self.scheduled[out] = out_val;
+                    // Same two-add association as the reference.
+                    let t = (ev_time + rec.cell_delay_ps) + rec.out_delay_ps;
+                    let evn = Event {
+                        key: time_key(t),
+                        seq,
+                        net_val: (out as u32) << 1 | out_val as u32,
+                    };
+                    seq += 1;
+                    let nb = (t * inv_w) as usize;
+                    if nb <= b {
+                        self.overflow.push(std::cmp::Reverse(evn));
+                    } else {
+                        if nb >= self.buckets.len() {
+                            self.buckets.resize_with(nb + 1, Vec::new);
+                        }
+                        self.buckets[nb].push(evn);
+                    }
+                }
+            }
+            self.drain.clear();
+            b += 1;
+        }
+        settle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventSimulator;
+
+    /// Runs `cycles` clock cycles on both simulators from the same settled
+    /// snapshot (with optional queued input changes before cycle 0) and
+    /// asserts bit-identical `TimedRun`s.
+    fn assert_bit_identical(
+        nl: &Netlist,
+        ann: &DelayAnnotation,
+        snapshot: Vec<bool>,
+        inputs: &[(NetId, bool)],
+        cycles: usize,
+    ) {
+        let mut reference = EventSimulator::from_snapshot(nl, snapshot.clone());
+        let ct = CompiledTiming::compile(nl, ann);
+        let mut compiled = CompiledSimulator::from_snapshot(&ct, snapshot);
+        for &(net, value) in inputs {
+            reference.set_input(net, value);
+            compiled.set_input(net, value);
+        }
+        for cycle in 0..cycles {
+            let r = reference.clock_cycle(ann);
+            let c = compiled.clock_cycle();
+            assert_eq!(
+                r.toggles.len(),
+                c.toggles.len(),
+                "cycle {cycle}: toggle count"
+            );
+            for (i, (a, b)) in r.toggles.iter().zip(&c.toggles).enumerate() {
+                assert_eq!(
+                    a.time_ps.to_bits(),
+                    b.time_ps.to_bits(),
+                    "cycle {cycle} #{i}"
+                );
+                assert_eq!(a.net, b.net, "cycle {cycle} toggle {i}: net");
+                assert_eq!(a.new_value, b.new_value, "cycle {cycle} toggle {i}");
+            }
+            assert_eq!(
+                r.settle_ps.to_bits(),
+                c.settle_ps.to_bits(),
+                "cycle {cycle}"
+            );
+            let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&r.last_transition_ps),
+                bits(&c.last_transition_ps),
+                "cycle {cycle}: last transitions"
+            );
+        }
+        // Final net state agrees too.
+        for i in 0..nl.net_count() {
+            let net = NetId::from_index(i);
+            assert_eq!(reference.get(net), compiled.get(net), "net {net:?}");
+        }
+    }
+
+    fn settled(nl: &Netlist, set: &[(NetId, bool)]) -> Vec<bool> {
+        let mut fsim = nl.simulator().unwrap();
+        for &(n, v) in set {
+            fsim.set(n, v);
+        }
+        fsim.settle();
+        fsim.snapshot()
+    }
+
+    #[test]
+    fn matches_reference_on_chain() {
+        let mut nl = Netlist::new("chain");
+        let d = nl.add_input("d");
+        let q = nl.add_dff(d, "r").unwrap();
+        let a = nl.not_gate(q);
+        let b = nl.not_gate(a);
+        nl.add_output("b", b).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 300.0, 80.0);
+        let snap = settled(&nl, &[(d, true)]);
+        assert_bit_identical(&nl, &ann, snap, &[], 3);
+    }
+
+    #[test]
+    fn matches_reference_on_hazard_glitch() {
+        let mut nl = Netlist::new("hazard");
+        let d = nl.add_input("d");
+        let q = nl.add_dff(d, "r").unwrap();
+        let slow = nl.buf_gate(q);
+        let y = nl.xor2(q, slow);
+        nl.add_output("y", y).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 300.0, 80.0);
+        let snap = settled(&nl, &[(d, true)]);
+        assert_bit_identical(&nl, &ann, snap, &[], 3);
+    }
+
+    #[test]
+    fn matches_reference_on_reconvergent_race() {
+        let mut nl = Netlist::new("race");
+        let d = nl.add_input("d");
+        let q = nl.add_dff(d, "r").unwrap();
+        let slow_branch = nl.buf_gate(q);
+        let fast_branch = nl.not_gate(q);
+        let y = nl.and2(slow_branch, fast_branch);
+        nl.add_output("y", y).unwrap();
+        let mut ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 300.0, 80.0);
+        ann.add_net_delay_ps(slow_branch, 5_000.0);
+        let snap = settled(&nl, &[(d, true)]);
+        assert_bit_identical(&nl, &ann, snap, &[], 3);
+    }
+
+    #[test]
+    fn matches_reference_with_input_events_and_state() {
+        // Toggle flip-flop plus a primary-input change on the first cycle.
+        let mut nl = Netlist::new("t");
+        let (dff, q) = nl.add_dff_uninit("r");
+        let nq = nl.not_gate(q);
+        nl.connect_dff_d(dff, nq).unwrap();
+        let en = nl.add_input("en");
+        let y = nl.and2(q, en);
+        nl.add_output("y", y).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 300.0, 80.0);
+        let snap = settled(&nl, &[]);
+        assert_bit_identical(&nl, &ann, snap, &[(en, true)], 5);
+    }
+
+    #[test]
+    fn redundant_input_event_is_a_no_op_in_both() {
+        // Setting an input to its current value must not toggle anything in
+        // either implementation (the reference filters it at pop time, the
+        // compiled path at push time).
+        let mut nl = Netlist::new("noop");
+        let a = nl.add_input("a");
+        let y = nl.not_gate(a);
+        nl.add_output("y", y).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 100.0, 50.0, 300.0, 80.0);
+        let snap = settled(&nl, &[]);
+        assert_bit_identical(&nl, &ann, snap, &[(a, false)], 2);
+    }
+
+    #[test]
+    fn zero_latency_annotation_degenerates_to_heap_order() {
+        // All-zero delays force inv_w = 0 (every event in bucket 0, drained
+        // via the overflow heap) and still match the reference bit for bit.
+        let mut nl = Netlist::new("zero");
+        let d = nl.add_input("d");
+        let q = nl.add_dff(d, "r").unwrap();
+        let a = nl.not_gate(q);
+        let b = nl.xor2(a, q);
+        nl.add_output("b", b).unwrap();
+        let ann = DelayAnnotation::uniform(&nl, 0.0, 0.0, 0.0, 0.0);
+        let snap = settled(&nl, &[(d, true)]);
+        assert_bit_identical(&nl, &ann, snap, &[], 2);
+    }
+
+    #[test]
+    fn time_key_orders_like_total_cmp() {
+        let samples = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            350.0,
+            350.0000000001,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                assert_eq!(time_key(x).cmp(&time_key(y)), x.total_cmp(&y), "{x} vs {y}");
+            }
+            // The stored-key representation must round-trip exactly.
+            assert_eq!(time_from_key(time_key(x)).to_bits(), x.to_bits(), "{x}");
+        }
+        let nan = f64::NAN;
+        assert_eq!(time_from_key(time_key(nan)).to_bits(), nan.to_bits());
+    }
+}

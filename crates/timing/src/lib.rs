@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 mod annotate;
+mod compiled;
 mod eventsim;
 mod glitch;
 mod sta;
 
 pub use annotate::DelayAnnotation;
+pub use compiled::{CompiledSimulator, CompiledTiming};
 pub use eventsim::{EventSimulator, TimedRun, Toggle};
 pub use glitch::{FaultOnset, GlitchParams, GlitchSweep};
 pub use sta::{CriticalPath, Sta};

@@ -147,6 +147,12 @@ fn library_counters_are_worker_invariant() {
     assert_eq!(get("span.characterize"), 1);
     assert_eq!(get("span.score"), 1);
     assert!(get("cache.settle.miss") > 0);
+    // Event-binning accounting: every activity miss feeds the binning
+    // kernel exactly once per (pair, chain), so the counters are
+    // worker-invariant (checked above) and non-trivial; nothing in this
+    // campaign's activity lies outside the acquisition window.
+    assert!(get("acquire.events.binned") > 0);
+    assert_eq!(get("acquire.events.dropped"), 0);
     assert!(
         get("retry.acquire") + get("faults.rep.fired") > 0,
         "the fault plan fired somewhere: {counters1:?}"

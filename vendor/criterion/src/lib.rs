@@ -7,9 +7,17 @@
 //! this shim. It runs each benchmark for a fixed number of timed samples
 //! and prints mean / fastest wall-clock per iteration — enough to compare
 //! runs by eye, with none of criterion's statistics or HTML reports.
+//!
+//! Two environment variables hook the shim into CI trajectories:
+//!
+//! - `HTD_BENCH_SAMPLES=n` overrides every benchmark's sample count
+//!   (including explicit `sample_size(..)` calls) — CI's quick mode.
+//! - `HTD_BENCH_JSON=path` makes `criterion_main!` write all collected
+//!   results as a JSON document at process exit.
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimiser from deleting a benchmarked computation.
@@ -17,22 +25,56 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// One finished benchmark, as accumulated in the process-wide registry.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (the `bench_function` name).
+    pub id: String,
+    /// Mean wall-clock per iteration, ns.
+    pub mean_ns: u128,
+    /// Fastest sample, ns.
+    pub fastest_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Every result reported in this process, in execution order.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
 /// The benchmark driver handed to `criterion_group!` targets.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    pinned_by_env: bool,
 }
 
 impl Criterion {
-    /// A driver with the default sample count (10 timed samples).
+    /// A driver with the default sample count (10 timed samples), unless
+    /// `HTD_BENCH_SAMPLES` pins a count for the whole process.
     #[allow(clippy::should_implement_trait)]
     pub fn default() -> Self {
-        Criterion { sample_size: 10 }
+        match std::env::var("HTD_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            Some(n) => Criterion {
+                sample_size: n.max(1),
+                pinned_by_env: true,
+            },
+            None => Criterion {
+                sample_size: 10,
+                pinned_by_env: false,
+            },
+        }
     }
 
-    /// Sets how many timed samples each benchmark collects.
+    /// Sets how many timed samples each benchmark collects. Ignored when
+    /// `HTD_BENCH_SAMPLES` is set: the environment wins so CI can run
+    /// every bench in quick mode without editing the bench sources.
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(1);
+        if !self.pinned_by_env {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -85,6 +127,61 @@ impl Bencher {
             fastest,
             self.samples.len()
         );
+        lock_results().push(BenchResult {
+            id: id.to_string(),
+            mean_ns: mean.as_nanos(),
+            fastest_ns: fastest.as_nanos(),
+            samples: self.samples.len(),
+        });
+    }
+}
+
+fn lock_results() -> std::sync::MutexGuard<'static, Vec<BenchResult>> {
+    RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Serialises `results` as the JSON document CI trajectories diff:
+/// `{"benches": [{"id": ..., "mean_ns": ..., "fastest_ns": ...,
+/// "samples": ...}, ...]}`. Ids contain only identifier-ish characters
+/// in this workspace, but quotes/backslashes are escaped anyway.
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"mean_ns\": {}, \"fastest_ns\": {}, \"samples\": {}}}{}\n",
+            r.mean_ns,
+            r.fastest_ns,
+            r.samples,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes every collected result to `path` as JSON (see
+/// [`results_to_json`]).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a bench trajectory that
+/// silently loses its output is worse than a failed run.
+pub fn write_results_json(path: &str) {
+    let json = results_to_json(&lock_results());
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| panic!("criterion shim: cannot write {path}: {e}"));
+}
+
+/// Called by `criterion_main!` after all groups ran: honours
+/// `HTD_BENCH_JSON` if set and non-empty, otherwise does nothing.
+pub fn write_json_if_requested() {
+    if let Ok(path) = std::env::var("HTD_BENCH_JSON") {
+        if !path.is_empty() {
+            write_results_json(&path);
+        }
     }
 }
 
@@ -109,12 +206,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the given groups.
+/// Emits `main` running the given groups, then writing the JSON results
+/// file when `HTD_BENCH_JSON` requests one.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }
@@ -149,5 +248,48 @@ mod tests {
         });
         // 1 warm-up + 5 samples, possibly re-entered; at least 6 calls.
         assert!(ran >= 6);
+    }
+
+    #[test]
+    fn results_land_in_the_registry() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("registry_probe", |b| b.iter(|| black_box(40 + 2)));
+        let results = lock_results();
+        let r = results
+            .iter()
+            .rev()
+            .find(|r| r.id == "registry_probe")
+            .expect("bench recorded");
+        assert_eq!(r.samples, 2);
+        assert!(r.mean_ns >= r.fastest_ns || r.mean_ns == 0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let json = results_to_json(&[
+            BenchResult {
+                id: "a\"b".into(),
+                mean_ns: 10,
+                fastest_ns: 7,
+                samples: 3,
+            },
+            BenchResult {
+                id: "plain".into(),
+                mean_ns: 20,
+                fastest_ns: 20,
+                samples: 1,
+            },
+        ]);
+        assert!(json.starts_with("{\n  \"benches\": [\n"));
+        assert!(json
+            .contains("\"id\": \"a\\\"b\", \"mean_ns\": 10, \"fastest_ns\": 7, \"samples\": 3},"));
+        assert!(json
+            .contains("\"id\": \"plain\", \"mean_ns\": 20, \"fastest_ns\": 20, \"samples\": 1}\n"));
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn empty_registry_serialises_to_an_empty_list() {
+        assert_eq!(results_to_json(&[]), "{\n  \"benches\": [\n  ]\n}\n");
     }
 }
