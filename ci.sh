@@ -61,6 +61,13 @@ echo "==> htd metrics smoke (BENCH_pipeline.json)"
     >"$HTD_SMOKE_DIR/pinned.counters"
 diff "$HTD_SMOKE_DIR/bench.counters" "$HTD_SMOKE_DIR/pinned.counters"
 
+echo "==> htd zoo smoke"
+# A tiny trigger-size x channel sweep; the heat-map CSV is deterministic
+# (worker-invariant), so it is diffed against the committed fixture.
+"$HTD" zoo --sizes 4,8 --kinds comb,fsm --dies 3 --pairs 2 --reps 2 \
+    --seed 42 --channels em,delay --csv "$HTD_SMOKE_DIR/zoo.csv" >/dev/null
+diff "$HTD_SMOKE_DIR/zoo.csv" tests/fixtures/zoo_smoke.csv
+
 echo "==> criterion quick benches (BENCH_acquire.json)"
 # The per-stage acquisition benches in quick mode: 3 samples each, with
 # the shim's JSON emission producing a second BENCH trajectory next to
@@ -71,6 +78,10 @@ HTD_BENCH_SAMPLES=3 HTD_BENCH_JSON="$PWD/BENCH_acquire.json" \
 test -s BENCH_acquire.json
 
 echo "==> cargo clippy -- -D warnings"
+# The pass framework and trojan zoo are linted explicitly first (fast,
+# focused diagnostics on the crates this tier refactors), then the whole
+# workspace with every target.
+cargo clippy -p htd-netlist -p htd-trojan -- -D warnings
 cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"

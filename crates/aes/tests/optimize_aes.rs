@@ -57,3 +57,38 @@ fn optimized_aes_still_encrypts_correctly() {
         .expect("128-bit ciphertext");
     assert_eq!(got, want);
 }
+
+/// Migration equivalence on the full AES structural netlist: the canned
+/// pass pipeline behind `optimize()` must reproduce the frozen
+/// pre-framework optimizer byte for byte — serialised netlist plus the
+/// complete cell and net remaps.
+#[test]
+fn optimize_pipeline_is_bit_identical_to_reference_on_aes() {
+    let aes = AesNetlist::generate().expect("generates");
+    let original = aes.netlist();
+    let reference = original.optimize_reference().expect("reference optimizes");
+    let pipeline = original.optimize().expect("pipeline optimizes");
+    assert_eq!(
+        reference.netlist.to_text(),
+        pipeline.netlist.to_text(),
+        "serialised netlists diverge"
+    );
+    assert_eq!(reference.cell_map, pipeline.cell_map, "cell remaps diverge");
+    assert_eq!(reference.net_map, pipeline.net_map, "net remaps diverge");
+}
+
+/// The structural lint pipeline must pass the real AES netlist clean —
+/// it gates every generated (trojaned) variant, so a false positive
+/// here would reject all of them.
+#[test]
+fn aes_netlist_lints_clean() {
+    let aes = AesNetlist::generate().expect("generates");
+    let report = htd_netlist::PassManager::lints()
+        .run(aes.netlist())
+        .expect("lints run");
+    assert!(
+        report.diagnostics.is_clean(),
+        "AES lints dirty: {:?}",
+        report.diagnostics.lints()
+    );
+}

@@ -13,7 +13,7 @@ use htd_core::channel::{Channel, ChannelSpec};
 use htd_core::em_detect::TraceMetric;
 use htd_core::fusion::{
     characterize_campaign_faulted, fuse_scored_channels, score_campaign_faulted,
-    MultiChannelReport, ScoredChannel,
+    GoldenCharacterization, MultiChannelReport, ScoredChannel,
 };
 use htd_core::report::{health_table, multi_channel_table, pct, Table};
 use htd_core::resilience::{ChannelHealth, RetryPolicy};
@@ -22,7 +22,7 @@ use htd_faults::FaultPlan;
 use htd_obs::{HealthRecord, Json, Obs, RunManifest, ToolInfo};
 use htd_stats::Gaussian;
 use htd_store::{ChannelFit, GoldenArtifact};
-use htd_trojan::TrojanSpec;
+use htd_trojan::{Payload, PlacementStrategy, Trigger, TrojanSpec, ZooConfig, ZooTrigger};
 
 const USAGE: &str = "\
 htd — hardware-trojan detection: characterize once, score many
@@ -51,6 +51,19 @@ USAGE:
       per-stage timings, event counters, pool occupancy and health.
       Counters are bit-identical at any --workers value; timings are
       observational and never enter checksummed artifacts.
+
+  htd zoo [--golden FILE] [--sizes 8,16,32] [--kinds comb,ctr,fsm]
+          [--placement near-taps|corner|spread] [--dies N] [--pairs N]
+          [--reps N] [--seed N] [--channels em,delay,power]
+          [--metric solm|max|sum|l2] [--workers N] [--csv FILE]
+          [--metrics FILE]
+      Sweep a parametric trojan zoo (trigger kind × trigger size) against
+      a golden population and print a detection-rate heat map (per
+      channel, plus the fused column when several channels ran). Sizes
+      are tap counts for comb/fsm triggers and counter widths for ctr.
+      Reuses a stored golden artifact with --golden, otherwise
+      characterizes in-process with the given campaign parameters. The
+      heat map and CSV are bit-identical at any --workers value.
 
   htd fuse FILE FILE...
       Fuse two or more stored per-channel score artifacts (z-score sum).
@@ -93,6 +106,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match cmd.as_str() {
         "characterize" => characterize(rest),
         "score" => score(rest),
+        "zoo" => zoo(rest),
         "fuse" => fuse(rest),
         "report" => report(rest),
         "diff" => diff(rest),
@@ -275,10 +289,12 @@ fn tool_info() -> ToolInfo {
         name: "htd".to_string(),
         version: env!("CARGO_PKG_VERSION").to_string(),
         format_version: u64::from(htd_store::FORMAT_VERSION),
-        features: ["delay", "em", "power", "faults", "metrics", "salvage"]
-            .iter()
-            .map(|f| f.to_string())
-            .collect(),
+        features: [
+            "delay", "em", "power", "faults", "metrics", "salvage", "zoo",
+        ]
+        .iter()
+        .map(|f| f.to_string())
+        .collect(),
     }
 }
 
@@ -580,6 +596,167 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "htd: worst channel drop rate {worst:.3} exceeds --max-drop-rate {max_drop_rate}"
         );
         return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Trigger size of a zoo spec for the heat map's `size` column: tap
+/// count for comparator/state-machine/stealth triggers, counter width
+/// for the sequential counter.
+fn trigger_size(spec: &TrojanSpec) -> usize {
+    match spec.trigger {
+        Trigger::CombinationalAllOnes { taps }
+        | Trigger::StealthProbe { taps }
+        | Trigger::StateMachine { taps, .. } => taps,
+        Trigger::SequentialCounter { width, .. } => width,
+    }
+}
+
+fn zoo(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "golden",
+            "sizes",
+            "kinds",
+            "placement",
+            "dies",
+            "pairs",
+            "reps",
+            "seed",
+            "channels",
+            "metric",
+            "workers",
+            "csv",
+            "metrics",
+        ],
+        &[],
+    )?;
+    let sizes = opts
+        .get("sizes")
+        .unwrap_or("8,16,32")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_num::<usize>("sizes", s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let kinds = opts
+        .get("kinds")
+        .unwrap_or("comb,ctr,fsm")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|tag| {
+            ZooTrigger::from_tag(tag)
+                .ok_or_else(|| format!("--kinds: unknown trigger kind `{tag}` (comb, ctr, fsm)"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let placement = match opts.get("placement").unwrap_or("near-taps") {
+        "near-taps" | "near" => PlacementStrategy::NearTaps,
+        "corner" => PlacementStrategy::Corner,
+        "spread" => PlacementStrategy::Spread,
+        other => {
+            return Err(format!(
+                "--placement: unknown strategy `{other}` (near-taps, corner, spread)"
+            )
+            .into())
+        }
+    };
+    let cfg = ZooConfig {
+        sizes,
+        kinds,
+        payload: Payload::default(),
+        placement,
+    };
+    let specs = cfg.generate()?;
+
+    let (obs, metrics_path) = metrics_obs(&opts);
+    let engine = engine_for(&opts)?.with_obs(obs.clone());
+    let lab = Lab::paper();
+    let faults = FaultPlan::none();
+    let policy = RetryPolicy {
+        max_retries: 0,
+        allow_degraded: false,
+    };
+
+    // Golden side: a stored artifact, or a fresh in-process campaign.
+    let stored: Option<GoldenArtifact> = match opts.get("golden") {
+        Some(path) => Some(htd_store::load_with(path, &obs)?),
+        None => None,
+    };
+    let (channels, fresh): (Vec<Box<dyn Channel>>, Option<GoldenCharacterization>) = match &stored {
+        Some(artifact) => (artifact.build_channels(), None),
+        None => {
+            let dies: usize = parse_num("dies", opts.get("dies").unwrap_or("6"))?;
+            let pairs: usize = parse_num("pairs", opts.get("pairs").unwrap_or("2"))?;
+            let reps: usize = parse_num("reps", opts.get("reps").unwrap_or("2"))?;
+            let seed: u64 = parse_num("seed", opts.get("seed").unwrap_or("24301"))?;
+            let metric = opts.get("metric").unwrap_or("solm");
+            let metric = TraceMetric::from_token(metric).ok_or_else(|| {
+                format!("--metric: unknown metric `{metric}` (solm, max, sum, l2)")
+            })?;
+            let specs_ch = channel_specs(opts.get("channels").unwrap_or("em,delay"), metric)?;
+            let channels: Vec<Box<dyn Channel>> = specs_ch.iter().map(ChannelSpec::build).collect();
+            let pt = parse_hex16("pt", &"42".repeat(16))?;
+            let key = parse_hex16("key", &"0f".repeat(16))?;
+            let plan = CampaignPlan::with_random_pairs(dies, pairs, reps, pt, key, seed);
+            let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+            let charac =
+                characterize_campaign_faulted(&engine, &lab, &plan, &refs, &faults, &policy)?;
+            (channels, Some(charac))
+        }
+    };
+    let charac: &GoldenCharacterization = stored
+        .as_ref()
+        .map(GoldenArtifact::characterization)
+        .or(fresh.as_ref())
+        .expect("either a stored or a fresh characterization exists");
+
+    // Per-zoo-point counters, recorded once on the main thread so they
+    // are worker-invariant by construction.
+    obs.add("zoo.points", specs.len() as u64);
+    for &kind in &cfg.kinds {
+        obs.add(&format!("zoo.kind.{}", kind.tag()), cfg.sizes.len() as u64);
+    }
+
+    let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+    let campaign = score_campaign_faulted(&engine, &lab, charac, &specs, &refs, &faults, &policy)?;
+    let report = &campaign.report;
+
+    // Heat map: one row per zoo point, one detection-rate column per
+    // channel (plus the fused column when several channels ran).
+    let mut header: Vec<String> = vec!["trojan".into(), "size".into()];
+    header.extend(report.channel_names.iter().cloned());
+    let has_fused = report.rows.iter().any(|r| r.fused.is_some());
+    if has_fused {
+        header.push("fused".into());
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for (spec, row) in specs.iter().zip(&report.rows) {
+        let mut cells = vec![row.name.clone(), trigger_size(spec).to_string()];
+        for c in &row.channels {
+            cells.push(pct(1.0 - c.analytic_fn_rate));
+        }
+        if has_fused {
+            cells.push(
+                row.fused
+                    .as_ref()
+                    .map(|c| pct(1.0 - c.analytic_fn_rate))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.push_row(&cells);
+    }
+    println!(
+        "zoo: {} point(s), detection rate (1 − analytic FN rate, Eq. 5) per channel:",
+        specs.len()
+    );
+    print!("{table}");
+    if let Some(path) = opts.get("csv") {
+        std::fs::write(path, table.to_csv()).map_err(|e| Error::io(path, e))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        write_manifest(path, "zoo", &engine, &charac.plan, &obs, &report.health)?;
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -60,11 +60,44 @@ impl Design {
     ///
     /// # Errors
     ///
-    /// Propagates generation, placement or insertion failures.
+    /// Propagates generation, placement or insertion failures, and
+    /// rejects trojaned netlists that fail the structural lint gate.
     pub fn infected(lab: &Lab, spec: &TrojanSpec) -> Result<Self, Error> {
+        Self::infected_with_obs(lab, spec, &Obs::noop())
+    }
+
+    /// [`Self::infected`] with an observability handle.
+    ///
+    /// Every trojaned netlist is validated by the structural lint
+    /// pipeline ([`htd_netlist::PassManager::lints`]) before use; the
+    /// per-pass diagnostics counters (`pass.<name>.{runs,cells_removed,
+    /// nets_removed,lints}`) are mirrored into `obs`. The gate runs once
+    /// per design on the calling thread, so the counters are
+    /// worker-invariant by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LintFailed`] when the lints find anything, plus the
+    /// failures of [`Self::infected`].
+    pub fn infected_with_obs(lab: &Lab, spec: &TrojanSpec, obs: &Obs) -> Result<Self, Error> {
         let mut aes = AesNetlist::generate()?;
         let mut placement = Placement::place(aes.netlist(), &lab.device)?;
         let trojan = insert(&mut aes, &mut placement, spec)?;
+        let report = htd_netlist::PassManager::lints().run(aes.netlist())?;
+        for (name, value) in report.diagnostics.counters() {
+            obs.add(&name, value);
+        }
+        if !report.diagnostics.is_clean() {
+            return Err(Error::LintFailed {
+                design: spec.name.clone(),
+                lints: report
+                    .diagnostics
+                    .lints()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect(),
+            });
+        }
         Ok(Design {
             aes,
             placement,

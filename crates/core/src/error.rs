@@ -101,6 +101,14 @@ pub enum Error {
         /// Minimum dies the stage needs.
         need: usize,
     },
+    /// A generated (trojaned) netlist failed the structural lint gate
+    /// that every zoo/campaign design must pass before characterization.
+    LintFailed {
+        /// Name of the design the lints ran on.
+        design: String,
+        /// Findings, each formatted as `pass: message`.
+        lints: Vec<String>,
+    },
     /// An underlying statistics operation failed.
     Stats(StatsError),
     /// An underlying netlist operation failed.
@@ -185,6 +193,17 @@ impl fmt::Display for Error {
                 f,
                 "{channel} channel degraded to {kept} usable die(s); needs {need}"
             ),
+            Error::LintFailed { design, lints } => {
+                write!(
+                    f,
+                    "design `{design}` failed {} structural lint(s)",
+                    lints.len()
+                )?;
+                if let Some(first) = lints.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
             Error::Stats(e) => write!(f, "statistics error: {e}"),
             Error::Netlist(e) => write!(f, "netlist error: {e}"),
             Error::Fabric(e) => write!(f, "fabric error: {e}"),

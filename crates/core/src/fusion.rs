@@ -666,7 +666,7 @@ pub fn score_design_with(
     let golden = Design::golden(lab)?;
     let golden_slices = golden.used_slices();
     let dies = lab.fabricate_batch(plan.n_dies);
-    let infected = Design::infected(lab, spec)?;
+    let infected = Design::infected_with_obs(lab, spec, engine.obs())?;
     let infected_devs: Vec<ProgrammedDevice<'_>> = {
         let _span = engine.obs().span("program");
         engine.map(&dies, |_, die| {
@@ -852,7 +852,7 @@ pub fn score_campaign_faulted(
     let mut rows = Vec::with_capacity(specs.len());
     let mut designs = Vec::with_capacity(specs.len());
     for (s, spec) in specs.iter().enumerate() {
-        let infected = Design::infected(lab, spec)?;
+        let infected = Design::infected_with_obs(lab, spec, engine.obs())?;
         let infected_devs: Vec<ProgrammedDevice<'_>> = {
             let _span = engine.obs().span("program");
             engine.map(&dies, |_, die| {

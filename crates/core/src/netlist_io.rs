@@ -1,0 +1,45 @@
+//! Netlist file I/O with path-and-line error context.
+//!
+//! Thin wrappers over the `htd-netlist` text serdes that attach the file
+//! path (and the 1-based offending line, where known) to every failure,
+//! so campaign tooling reports `path:line: reason` instead of a bare
+//! parse error.
+
+use std::fs;
+use std::path::Path;
+
+use htd_netlist::serdes::ParseError;
+use htd_netlist::Netlist;
+
+use crate::error::Error;
+
+/// Writes `netlist` to `path` in the canonical `htdnet` text format.
+///
+/// # Errors
+///
+/// [`Error::Io`] carrying the path on any filesystem failure.
+pub fn save_netlist(path: impl AsRef<Path>, netlist: &Netlist) -> Result<(), Error> {
+    let path = path.as_ref();
+    fs::write(path, netlist.to_text()).map_err(|e| Error::io(path, e))
+}
+
+/// Reads an `htdnet` text file back into a [`Netlist`].
+///
+/// # Errors
+///
+/// [`Error::Io`] carrying the path on filesystem failures and
+/// [`Error::Format`] with `path`, 1-based `line` and a reason on parse
+/// failures (a bad header is attributed to line 1).
+pub fn load_netlist(path: impl AsRef<Path>) -> Result<Netlist, Error> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    let label = path.display().to_string();
+    Netlist::from_text(&text).map_err(|e| match e {
+        ParseError::BadHeader => Error::format(label, 1, "missing or malformed `htdnet` header"),
+        ParseError::BadLine { line, reason } => Error::format(label, line, reason),
+        ParseError::NonCanonicalIds { line } => {
+            Error::format(label, line, "ids must appear densely in creation order")
+        }
+        other => Error::format(label, 0, other.to_string()),
+    })
+}

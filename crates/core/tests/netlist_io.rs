@@ -1,0 +1,83 @@
+//! File round-trips for zoo-generated trojaned netlists, plus the
+//! corrupt-file error paths (`Error::Format` with `path:line` context).
+
+use std::path::PathBuf;
+
+use htd_core::{load_netlist, save_netlist, Design, Error, Lab};
+use htd_trojan::ZooConfig;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("htd-netlist-io-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn zoo_netlists_round_trip_through_files() {
+    let lab = Lab::paper();
+    let cfg = ZooConfig {
+        sizes: vec![8],
+        ..ZooConfig::default()
+    };
+    for spec in cfg.generate().expect("valid zoo grid") {
+        let design = Design::infected(&lab, &spec).expect("inserts");
+        let nl = design.aes().netlist();
+        let path = temp_path(&format!("{}.htdnet", spec.name));
+        save_netlist(&path, nl).expect("saves");
+        let back = load_netlist(&path).expect("loads");
+        assert_eq!(
+            back.to_text(),
+            nl.to_text(),
+            "{}: round-trip not identical",
+            spec.name
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn corrupt_line_reports_path_and_line() {
+    let mut nl = htd_netlist::Netlist::new("tiny");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let x = nl.and2(a, b);
+    nl.add_output("x", x).expect("adds output");
+
+    let mut lines: Vec<String> = nl.to_text().lines().map(str::to_owned).collect();
+    assert!(lines.len() > 3, "serialised netlist too short to corrupt");
+    lines[2] = "garbage that is not a record".into();
+    let path = temp_path("corrupt.htdnet");
+    std::fs::write(&path, lines.join("\n")).expect("writes corrupt file");
+
+    let err = load_netlist(&path).expect_err("corrupt file must not parse");
+    match &err {
+        Error::Format { path: p, line, .. } => {
+            assert!(p.ends_with("corrupt.htdnet"), "path missing: {p}");
+            assert_eq!(*line, 3, "wrong line attribution");
+        }
+        other => panic!("expected Error::Format, got {other:?}"),
+    }
+    assert!(
+        err.to_string().contains("corrupt.htdnet:3:"),
+        "display lacks path:line: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_header_is_attributed_to_line_one() {
+    let path = temp_path("noheader.htdnet");
+    std::fs::write(&path, "not a netlist at all\n").expect("writes bogus file");
+    let err = load_netlist(&path).expect_err("bogus header must not parse");
+    assert!(
+        matches!(&err, Error::Format { line: 1, .. }),
+        "expected line-1 Format error, got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_reports_io_with_path() {
+    let path = temp_path("does-not-exist.htdnet");
+    let err = load_netlist(&path).expect_err("missing file must fail");
+    assert!(matches!(&err, Error::Io { .. }), "got {err:?}");
+    assert!(err.to_string().contains("does-not-exist.htdnet"), "{err}");
+}

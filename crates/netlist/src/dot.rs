@@ -2,15 +2,41 @@
 
 use std::fmt::Write as _;
 
-use crate::{CellKind, Netlist};
+use crate::{CellId, CellKind, NetId, Netlist};
+
+/// Escapes a string for use inside a DOT double-quoted string: `"` and
+/// `\` are backslash-escaped, newlines become `\n`. Generated names
+/// (e.g. trojan cells like `ht_fsm[0]`) pass through structurally but
+/// must never be able to break out of the quoted label.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
 
 impl Netlist {
     /// Renders the netlist as a Graphviz `digraph` (cells as nodes, nets as
     /// edges labelled with the net name). Intended for debugging small
     /// circuits; the AES netlist renders but is not human-readable.
     pub fn to_dot(&self) -> String {
+        self.to_dot_marked(&[], &[])
+    }
+
+    /// Like [`to_dot`](Self::to_dot), but renders `marked_cells` and
+    /// `marked_nets` — typically the cells and nets an inserted trojan
+    /// added or taps — in a distinct style (red, filled/bold) so the
+    /// foreign logic stands out against the host circuit.
+    pub fn to_dot_marked(&self, marked_cells: &[CellId], marked_nets: &[NetId]) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(self.name()));
         let _ = writeln!(out, "  rankdir=LR;");
         for (id, cell) in self.cells() {
             let shape = match cell.kind() {
@@ -20,17 +46,31 @@ impl Netlist {
                 CellKind::Const(_) => "circle",
                 CellKind::Lut(_) => "ellipse",
             };
+            let style = if marked_cells.contains(&id) {
+                ", style=filled, fillcolor=\"#ffb0b0\", color=red"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
-                "  {id} [label=\"{} ({})\", shape={shape}];",
-                cell.name(),
+                "  {id} [label=\"{} ({})\", shape={shape}{style}];",
+                escape(cell.name()),
                 cell.kind()
             );
         }
-        for (_, net) in self.nets() {
+        for (id, net) in self.nets() {
+            let style = if marked_nets.contains(&id) {
+                ", color=red, penwidth=2"
+            } else {
+                ""
+            };
             if let Some(driver) = net.driver() {
                 for &sink in net.sinks() {
-                    let _ = writeln!(out, "  {driver} -> {sink} [label=\"{}\"];", net.name());
+                    let _ = writeln!(
+                        out,
+                        "  {driver} -> {sink} [label=\"{}\"{style}];",
+                        escape(net.name())
+                    );
                 }
             }
         }
@@ -54,5 +94,50 @@ mod tests {
         assert!(dot.contains("invtriangle"));
         assert!(dot.contains("->"));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn generated_names_are_escaped_in_labels() {
+        let mut nl = Netlist::new("quo\"te");
+        let a = nl.add_input("in\"put\\1");
+        let x = nl.not_gate(a);
+        nl.add_output("out", x).unwrap();
+        let dot = nl.to_dot();
+        assert!(dot.contains("digraph \"quo\\\"te\""));
+        assert!(dot.contains("in\\\"put\\\\1"));
+        // Every label stays inside its quotes: no line may contain an
+        // unescaped quote that terminates the string early.
+        for line in dot.lines().filter(|l| l.contains("label=")) {
+            let tail = line.split("label=\"").nth(1).unwrap();
+            let mut escaped = false;
+            let mut closes = 0;
+            for c in tail.chars() {
+                match c {
+                    '\\' if !escaped => escaped = true,
+                    '"' if !escaped => closes += 1,
+                    _ => escaped = false,
+                }
+            }
+            assert_eq!(closes, 1, "label quote broke out early: {line}");
+        }
+    }
+
+    #[test]
+    fn marked_cells_and_nets_get_the_trojan_style() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.and2(a, b);
+        nl.add_output("x", x).unwrap();
+        let trojan_cell = nl
+            .cells()
+            .find(|(_, c)| matches!(c.kind(), crate::CellKind::Lut(_)))
+            .map(|(id, _)| id)
+            .expect("lut cell exists");
+        let dot = nl.to_dot_marked(&[trojan_cell], &[x]);
+        assert!(dot.contains("fillcolor=\"#ffb0b0\""));
+        assert!(dot.contains("penwidth=2"));
+        // Unmarked rendering carries no trojan styling at all.
+        assert!(!nl.to_dot().contains("fillcolor"));
     }
 }

@@ -57,6 +57,7 @@ mod id;
 mod net;
 mod netlist;
 pub mod opt;
+pub mod passes;
 pub mod serdes;
 mod sim;
 mod stats;
@@ -67,6 +68,8 @@ pub use error::NetlistError;
 pub use id::{CellId, NetId};
 pub use net::Net;
 pub use netlist::Netlist;
+pub use opt::Optimized;
+pub use passes::{Diagnostics, Lint, Pass, PassManager, PassOutcome, PassReport, PassStats};
 pub use sim::Simulator;
 pub use stats::NetlistStats;
 pub use topo::{CombCycle, FaninCone, Levelization};

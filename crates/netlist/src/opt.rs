@@ -1,17 +1,23 @@
-//! Netlist optimization passes: constant folding, dead-cell elimination
-//! and buffer sweeping.
+//! Netlist optimization: constant folding, dead-cell elimination and
+//! buffer sweeping, implemented on top of the composable pass framework
+//! in [`passes`](crate::passes).
 //!
 //! Because [`Netlist`] ids are stable-by-construction (cells are never
 //! removed in place), optimization builds a *new* netlist and returns the
 //! old→new mapping, like a real EDA flow emitting a fresh database after
 //! each pass.
 //!
-//! The passes are used by the suite's tests as an equivalence-checking
-//! exercise bed, and are available to downstream users who build their own
-//! target circuits with the builder API (hand-built logic often contains
-//! constants and dead cones).
+//! [`Netlist::optimize`] is a thin wrapper over the canned pipeline
+//! ([`PassManager::standard`](crate::passes::PassManager::standard)) and
+//! is pinned **bit-identical** to the historical monolithic optimizer: a
+//! frozen copy of that implementation survives as the hidden
+//! `optimize_reference` oracle, and migration-equivalence tests compare
+//! the two byte for byte (serialised netlist and both id maps) on the
+//! full AES netlist and a property-based corpus.
 
 use crate::cell::{CellKind, LutMask};
+use crate::passes::kernel::{self, RewriteOptions};
+use crate::passes::PassManager;
 use crate::{CellId, NetId, Netlist, NetlistError};
 
 /// Result of an optimization pass: the new netlist plus id mappings.
@@ -42,6 +48,10 @@ impl Netlist {
     /// Runs constant folding + buffer sweeping + dead-cell elimination
     /// **until fixpoint** and returns the rebuilt netlist.
     ///
+    /// This is the canned pass pipeline
+    /// ([`PassManager::standard`](crate::passes::PassManager::standard)),
+    /// pinned bit-identical to the historical monolithic optimizer.
+    ///
     /// Guarantees:
     /// * ports and flip-flops are always preserved (sequential state and
     ///   the external interface are never optimized away);
@@ -53,12 +63,30 @@ impl Netlist {
     /// Propagates [`NetlistError`] from reconstruction (which indicates an
     /// internal bug, not a user error).
     pub fn optimize(&self) -> Result<Optimized, NetlistError> {
-        let mut acc = self.optimize_once()?;
+        Ok(PassManager::standard().run(self)?.optimized)
+    }
+
+    /// One optimization pass (see [`Netlist::optimize`], which iterates
+    /// this to fixpoint): the fused rewrite kernel with every
+    /// transformation enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from reconstruction.
+    pub fn optimize_once(&self) -> Result<Optimized, NetlistError> {
+        kernel::rewrite(self, &RewriteOptions::FULL)
+    }
+
+    /// Frozen copy of the pre-pass-framework `optimize`, kept verbatim as
+    /// the migration-equivalence oracle. Not part of the public API.
+    #[doc(hidden)]
+    pub fn optimize_reference(&self) -> Result<Optimized, NetlistError> {
+        let mut acc = self.optimize_once_reference()?;
         // Constants discovered *during* a rebuild only reach their readers
         // on the next pass; iterate until the size stabilises.
         for _ in 0..32 {
             let before = acc.netlist.stats();
-            let next = acc.netlist.optimize_once()?;
+            let next = acc.netlist.optimize_once_reference()?;
             let after = next.netlist.stats();
             acc = Optimized {
                 cell_map: acc
@@ -80,20 +108,17 @@ impl Netlist {
         Ok(acc)
     }
 
-    /// One optimization pass (see [`Netlist::optimize`], which iterates
-    /// this to fixpoint).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`NetlistError`] from reconstruction.
-    pub fn optimize_once(&self) -> Result<Optimized, NetlistError> {
+    /// Frozen copy of the pre-pass-framework `optimize_once` (see
+    /// [`Netlist::optimize_reference`]). Not part of the public API.
+    #[doc(hidden)]
+    pub fn optimize_once_reference(&self) -> Result<Optimized, NetlistError> {
         // --- Analysis on the original ids -------------------------------
         // 1. Constant analysis: a net is Known(v) if driven by a constant
         //    or by a LUT whose inputs are all known / whose mask ignores
         //    the unknown ones.
-        let known = self.constant_analysis();
+        let known = self.constant_analysis_reference();
         // 2. Liveness: walk back from ports and flip-flop D pins.
-        let live = self.liveness(&known);
+        let live = self.liveness_reference(&known);
 
         // --- Rebuild -----------------------------------------------------
         let mut out = Netlist::new(self.name().to_string());
@@ -281,8 +306,9 @@ impl Netlist {
     }
 
     /// Per-net constant analysis: `Some(v)` if the net provably always
-    /// carries `v` regardless of inputs and state.
-    fn constant_analysis(&self) -> Vec<Option<bool>> {
+    /// carries `v` regardless of inputs and state (frozen reference
+    /// copy).
+    fn constant_analysis_reference(&self) -> Vec<Option<bool>> {
         let mut known: Vec<Option<bool>> = vec![None; self.net_count()];
         for (_, cell) in self.cells() {
             if let CellKind::Const(v) = cell.kind() {
@@ -297,7 +323,6 @@ impl Netlist {
             let CellKind::Lut(mask) = cell.kind() else {
                 continue;
             };
-            let width = cell.inputs().len();
             // Enumerate the mask restricted to unknown pins; constant iff
             // the output is identical for every assignment.
             let unknown_pins: Vec<usize> = cell
@@ -313,7 +338,6 @@ impl Netlist {
                     base_row |= (v as u64) << pin;
                 }
             }
-            let _ = width;
             let n_assign = 1u64 << unknown_pins.len();
             let first = mask.eval_row(base_row | spread(0, &unknown_pins));
             let constant =
@@ -326,8 +350,9 @@ impl Netlist {
     }
 
     /// Liveness: a LUT is live if its output transitively reaches an
-    /// output port or a flip-flop `D` pin through non-constant logic.
-    fn liveness(&self, known: &[Option<bool>]) -> Vec<bool> {
+    /// output port or a flip-flop `D` pin through non-constant logic
+    /// (frozen reference copy).
+    fn liveness_reference(&self, known: &[Option<bool>]) -> Vec<bool> {
         let mut live = vec![false; self.cell_count()];
         let mut stack: Vec<NetId> = Vec::new();
         for (_, cell) in self.cells() {
@@ -515,5 +540,40 @@ mod tests {
             sim.clock();
         }
         assert_eq!(seq, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn pass_pipeline_matches_the_frozen_reference() {
+        // The migration-equivalence pin, on a netlist exercising every
+        // transformation at once. The heavyweight versions of this test
+        // (full AES + proptest corpus) live in the aes crate and
+        // tests/props.rs.
+        let mut nl = Netlist::new("mix");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.const_net(true);
+        let (dff, q) = nl.add_dff_uninit("state");
+        let gated = nl.and2(a, t); // folds to a
+        let buf = nl.buf_gate(gated); // sweeps
+        let x1 = nl.xor2(buf, b);
+        let x2 = nl.xor2(b, buf); // CSE duplicate
+        let d = nl.xor2(x1, q);
+        nl.connect_dff_d(dff, d).unwrap();
+        let dead = nl.and2(x2, q); // dead cone
+        let _dead2 = nl.or2(dead, a);
+        nl.add_output("x", x2).unwrap();
+        nl.add_output("q", q).unwrap();
+
+        let reference = nl.optimize_reference().unwrap();
+        let pipeline = nl.optimize().unwrap();
+        assert_eq!(reference.netlist.to_text(), pipeline.netlist.to_text());
+        assert_eq!(reference.cell_map, pipeline.cell_map);
+        assert_eq!(reference.net_map, pipeline.net_map);
+
+        let once_ref = nl.optimize_once_reference().unwrap();
+        let once = nl.optimize_once().unwrap();
+        assert_eq!(once_ref.netlist.to_text(), once.netlist.to_text());
+        assert_eq!(once_ref.cell_map, once.cell_map);
+        assert_eq!(once_ref.net_map, once.net_map);
     }
 }

@@ -1,0 +1,384 @@
+//! The shared rewrite kernel behind every structural optimization pass.
+//!
+//! All rewrite passes are projections of one algorithm: analyse the
+//! netlist on its original ids, then rebuild a fresh netlist emitting
+//! only what survives. [`RewriteOptions`] selects which transformations
+//! the rebuild applies; with every option enabled the kernel executes
+//! the exact statement sequence of the legacy monolithic optimizer, which
+//! is what pins [`Netlist::optimize`](crate::Netlist::optimize) (the
+//! canned pipeline) bit-identical to its historical output.
+
+use crate::cell::{CellKind, LutMask};
+use crate::opt::Optimized;
+use crate::{CellId, NetId, Netlist, NetlistError};
+
+/// Which constant information the rebuild may exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConstantMode {
+    /// Constants are preserved as cells and never folded into logic.
+    Off,
+    /// Only literal constant cells fold into their immediate readers
+    /// (one level, no transitive dataflow).
+    Local,
+    /// Full forward dataflow: any net provably constant over every
+    /// input/state assignment folds.
+    Full,
+}
+
+/// Transformation selection for [`rewrite`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RewriteOptions {
+    /// Constant folding depth.
+    pub constants: ConstantMode,
+    /// Drop LUTs whose output never reaches a port or flip-flop D pin.
+    pub eliminate_dead: bool,
+    /// Alias 1-input identity LUTs to their source net.
+    pub sweep_buffers: bool,
+    /// Drop input pins the (restricted) function does not depend on.
+    pub drop_ignored_pins: bool,
+    /// Group equal-signal pins, canonicalise input order and merge
+    /// duplicate functions (CSE).
+    pub merge_duplicates: bool,
+}
+
+impl RewriteOptions {
+    /// Every transformation enabled: the legacy `optimize_once` algorithm.
+    pub(crate) const FULL: RewriteOptions = RewriteOptions {
+        constants: ConstantMode::Full,
+        eliminate_dead: true,
+        sweep_buffers: true,
+        drop_ignored_pins: true,
+        merge_duplicates: true,
+    };
+}
+
+/// One analysis + rebuild sweep under the given options.
+///
+/// With [`RewriteOptions::FULL`] this is the legacy `optimize_once`,
+/// statement for statement; narrower option sets skip transformations
+/// but keep the same emission order, so every projection stays
+/// deterministic.
+pub(crate) fn rewrite(nl: &Netlist, opts: &RewriteOptions) -> Result<Optimized, NetlistError> {
+    // `fold` gates whether constant values may be folded into LUT masks;
+    // when off, constant cells must be materialised up front so LUT
+    // inputs can reference their nets.
+    let fold = opts.constants != ConstantMode::Off;
+    let known = match opts.constants {
+        ConstantMode::Full => constant_analysis(nl),
+        _ => const_cells_only(nl),
+    };
+    let live = if opts.eliminate_dead {
+        liveness(nl, &known)
+    } else {
+        vec![true; nl.cell_count()]
+    };
+
+    let mut out = Netlist::new(nl.name().to_string());
+    let mut cell_map: Vec<Option<CellId>> = vec![None; nl.cell_count()];
+    let mut net_map: Vec<Option<NetId>> = vec![None; nl.net_count()];
+
+    // Pass 1: ports, flip-flops (uninit) and — only when folding is off —
+    // constant cells. When folding is on, constants are created on demand
+    // during LUT emission, preserving the legacy net-id assignment order.
+    for (id, cell) in nl.cells() {
+        match cell.kind() {
+            CellKind::Input => {
+                let new_net = out.add_input(cell.name().to_string());
+                let old_net = cell.output().expect("input drives a net");
+                net_map[old_net.index()] = Some(new_net);
+                cell_map[id.index()] = Some(out.net(new_net).driver().expect("input just created"));
+            }
+            CellKind::Dff => {
+                let (new_cell, new_q) = out.add_dff_uninit(cell.name().to_string());
+                let old_q = cell.output().expect("dff drives q");
+                net_map[old_q.index()] = Some(new_q);
+                cell_map[id.index()] = Some(new_cell);
+            }
+            CellKind::Const(v) if !fold => {
+                let old_net = cell.output().expect("const drives a net");
+                net_map[old_net.index()] = Some(out.const_net(v));
+            }
+            _ => {}
+        }
+    }
+
+    // LUTs are emitted in topological order, so non-constant inputs are
+    // already mapped when requested.
+    // Common-subexpression table: canonicalised (mask, inputs) → net.
+    let mut cse: std::collections::HashMap<(u64, Vec<NetId>), NetId> =
+        std::collections::HashMap::new();
+    let levels = nl.levelize()?;
+    for &cell_id in levels.order() {
+        let cell = nl.cell(cell_id);
+        let CellKind::Lut(mask) = cell.kind() else {
+            continue;
+        };
+        let out_net = cell.output().expect("lut drives a net");
+        if let Some(v) = known[out_net.index()] {
+            // Constant-folded away: route users to the constant net (even
+            // if the cone is otherwise dead — ports may observe the
+            // constant). Unreachable when folding is off: `known` then
+            // only covers constant-cell outputs, which LUTs never drive.
+            net_map[out_net.index()] = Some(out.const_net(v));
+            continue;
+        }
+        if !live[cell_id.index()] {
+            continue; // dead logic
+        }
+        // Restrict the function to the known input values, then drop the
+        // unknown pins the *restricted* function ignores (a pin can look
+        // live in the full mask only through rows the known constants
+        // rule out — judging on the restriction makes one pass a
+        // fixpoint).
+        let mut base_row = 0u64;
+        if fold {
+            for (pin, &inp) in cell.inputs().iter().enumerate() {
+                if let Some(v) = known[inp.index()] {
+                    base_row |= (v as u64) << pin;
+                }
+            }
+        }
+        // Group the unknown pins by their *mapped* source net: pins tied
+        // to the same signal (directly, or through swept buffers) always
+        // carry equal values, so the function is analysed over distinct
+        // signals, not raw pins. Without `merge_duplicates` every pin
+        // keeps its own group (conservative but correct).
+        let mut groups: Vec<(NetId, Vec<usize>)> = Vec::new();
+        for (pin, &inp) in cell.inputs().iter().enumerate() {
+            if fold && known[inp.index()].is_some() {
+                continue;
+            }
+            // An unmapped input means its driver was proven dead, which
+            // liveness only allows when this pin cannot affect the output
+            // in any row — safe to treat as constant 0.
+            let Some(mapped) = net_map[inp.index()] else {
+                continue;
+            };
+            let merged = opts
+                .merge_duplicates
+                .then(|| groups.iter_mut().find(|(n, _)| *n == mapped))
+                .flatten();
+            match merged {
+                Some((_, pins)) => pins.push(pin),
+                None => groups.push((mapped, vec![pin])),
+            }
+        }
+        let restricted = LutMask::from_fn(groups.len(), |row| {
+            let mut full_row = base_row;
+            for (g, (_, pins)) in groups.iter().enumerate() {
+                if (row >> g) & 1 == 1 {
+                    for &pin in pins {
+                        full_row |= 1 << pin;
+                    }
+                }
+            }
+            mask.eval_row(full_row)
+        });
+        let kept: Vec<usize> = if opts.drop_ignored_pins {
+            (0..groups.len())
+                .filter(|&i| restricted.depends_on(groups.len(), i))
+                .collect()
+        } else {
+            (0..groups.len()).collect()
+        };
+        if kept.is_empty() {
+            // Constant over the reachable input space (constant analysis
+            // should have caught this, but stay defensive).
+            let v = restricted.eval_row(0);
+            net_map[out_net.index()] = Some(out.const_net(v));
+            continue;
+        }
+        let folded_mask =
+            LutMask::from_fn(kept.len(), |row| restricted.eval_row(spread(row, &kept)));
+        // `groups` already carries new-netlist ids.
+        let new_inputs: Vec<NetId> = kept.iter().map(|&i| groups[i].0).collect();
+        // Buffer sweep: a 1-input identity LUT forwards its input.
+        if opts.sweep_buffers && new_inputs.len() == 1 && folded_mask.raw() == 0b10 {
+            net_map[out_net.index()] = Some(new_inputs[0]);
+            continue;
+        }
+        // Canonicalise: sort inputs by net id, permuting the mask rows to
+        // match, so commutative duplicates collide in CSE.
+        let (sorted_inputs, canon_mask) = if opts.merge_duplicates {
+            let mut order: Vec<usize> = (0..new_inputs.len()).collect();
+            order.sort_by_key(|&i| new_inputs[i]);
+            let sorted_inputs: Vec<NetId> = order.iter().map(|&i| new_inputs[i]).collect();
+            let canon_mask = LutMask::from_fn(sorted_inputs.len(), |row| {
+                // row indexes the sorted pins; rebuild the original row.
+                let mut orig = 0u64;
+                for (new_pin, &old_pin) in order.iter().enumerate() {
+                    orig |= ((row >> new_pin) & 1) << old_pin;
+                }
+                folded_mask.eval_row(orig)
+            });
+            (sorted_inputs, canon_mask)
+        } else {
+            (new_inputs, folded_mask)
+        };
+        // Common-subexpression elimination: an identical function of
+        // identical signals already exists → reuse its net.
+        if opts.merge_duplicates {
+            let key = (canon_mask.raw(), sorted_inputs.clone());
+            if let Some(&existing) = cse.get(&key) {
+                net_map[out_net.index()] = Some(existing);
+                continue;
+            }
+            let new_net = out.add_lut_named(&sorted_inputs, canon_mask, cell.name().to_string())?;
+            cse.insert(key, new_net);
+            net_map[out_net.index()] = Some(new_net);
+            cell_map[cell_id.index()] = out.net(new_net).driver();
+        } else {
+            let new_net = out.add_lut_named(&sorted_inputs, canon_mask, cell.name().to_string())?;
+            net_map[out_net.index()] = Some(new_net);
+            cell_map[cell_id.index()] = out.net(new_net).driver();
+        }
+    }
+
+    // Map constant-driver nets that anything might still reference.
+    for (id, cell) in nl.cells() {
+        if let CellKind::Const(v) = cell.kind() {
+            let old_net = cell.output().expect("const drives a net");
+            if net_map[old_net.index()].is_none() {
+                net_map[old_net.index()] = Some(out.const_net(v));
+            }
+            cell_map[id.index()] = out.net(net_map[old_net.index()].unwrap()).driver();
+        }
+    }
+
+    // Pass 2: connect flip-flop D pins and output ports.
+    for (id, cell) in nl.cells() {
+        match cell.kind() {
+            CellKind::Dff => {
+                let d_old = cell.inputs()[0];
+                let d_new = match net_map[d_old.index()] {
+                    Some(n) => n,
+                    None => {
+                        // D was driven by dead-but-known logic.
+                        let v = known[d_old.index()].unwrap_or(false);
+                        out.const_net(v)
+                    }
+                };
+                let new_cell = cell_map[id.index()].expect("dff preserved");
+                out.connect_dff_d(new_cell, d_new)?;
+            }
+            CellKind::Output => {
+                let src_old = cell.inputs()[0];
+                let src_new = match net_map[src_old.index()] {
+                    Some(n) => n,
+                    None => {
+                        let v = known[src_old.index()].unwrap_or(false);
+                        out.const_net(v)
+                    }
+                };
+                let new_cell = out.add_output(cell.name().to_string(), src_new)?;
+                cell_map[id.index()] = Some(new_cell);
+            }
+            _ => {}
+        }
+    }
+
+    Ok(Optimized {
+        netlist: out,
+        cell_map,
+        net_map,
+    })
+}
+
+/// Per-net constant analysis: `Some(v)` if the net provably always
+/// carries `v` regardless of inputs and state.
+pub(crate) fn constant_analysis(nl: &Netlist) -> Vec<Option<bool>> {
+    let mut known = const_cells_only(nl);
+    let Ok(levels) = nl.levelize() else {
+        return known;
+    };
+    for &cell_id in levels.order() {
+        let cell = nl.cell(cell_id);
+        let CellKind::Lut(mask) = cell.kind() else {
+            continue;
+        };
+        // Enumerate the mask restricted to unknown pins; constant iff the
+        // output is identical for every assignment.
+        let unknown_pins: Vec<usize> = cell
+            .inputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| known[n.index()].is_none())
+            .map(|(p, _)| p)
+            .collect();
+        let mut base_row = 0u64;
+        for (pin, &inp) in cell.inputs().iter().enumerate() {
+            if let Some(v) = known[inp.index()] {
+                base_row |= (v as u64) << pin;
+            }
+        }
+        let n_assign = 1u64 << unknown_pins.len();
+        let first = mask.eval_row(base_row | spread(0, &unknown_pins));
+        let constant =
+            (1..n_assign).all(|a| mask.eval_row(base_row | spread(a, &unknown_pins)) == first);
+        if constant {
+            known[cell.output().expect("lut drives a net").index()] = Some(first);
+        }
+    }
+    known
+}
+
+/// The trivial constant map: only literal constant cells are known.
+pub(crate) fn const_cells_only(nl: &Netlist) -> Vec<Option<bool>> {
+    let mut known: Vec<Option<bool>> = vec![None; nl.net_count()];
+    for (_, cell) in nl.cells() {
+        if let CellKind::Const(v) = cell.kind() {
+            known[cell.output().expect("const drives a net").index()] = Some(v);
+        }
+    }
+    known
+}
+
+/// Liveness: a LUT is live if its output transitively reaches an output
+/// port or a flip-flop `D` pin through non-constant logic.
+pub(crate) fn liveness(nl: &Netlist, known: &[Option<bool>]) -> Vec<bool> {
+    let mut live = vec![false; nl.cell_count()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for (_, cell) in nl.cells() {
+        match cell.kind() {
+            CellKind::Output | CellKind::Dff => {
+                if let Some(&d) = cell.inputs().first() {
+                    stack.push(d);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut seen_net = vec![false; nl.net_count()];
+    while let Some(net) = stack.pop() {
+        if seen_net[net.index()] {
+            continue;
+        }
+        seen_net[net.index()] = true;
+        if known[net.index()].is_some() {
+            continue; // constant nets need no driver logic
+        }
+        let Some(driver) = nl.net(net).driver() else {
+            continue;
+        };
+        let cell = nl.cell(driver);
+        if let CellKind::Lut(mask) = cell.kind() {
+            live[driver.index()] = true;
+            let width = cell.inputs().len();
+            for (pin, &inp) in cell.inputs().iter().enumerate() {
+                if mask.depends_on(width, pin) {
+                    stack.push(inp);
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Spreads the low bits of `value` onto the given pin positions.
+pub(crate) fn spread(value: u64, pins: &[usize]) -> u64 {
+    let mut row = 0u64;
+    for (i, &pin) in pins.iter().enumerate() {
+        row |= ((value >> i) & 1) << pin;
+    }
+    row
+}

@@ -1,0 +1,194 @@
+//! Structural lint passes.
+//!
+//! Lint passes never rewrite: they scan the netlist, report findings
+//! through [`Diagnostics::lint`] and return [`PassOutcome::Clean`].
+//! They gate generated netlists (every trojan-zoo instance is linted
+//! before a campaign uses it) and double as the sanity layer for
+//! hand-built designs.
+
+use super::{Diagnostics, Pass, PassOutcome};
+use crate::{CellKind, Netlist, NetlistError};
+
+/// Unconnected-pin check: flip-flops whose `D` pin was never connected
+/// (this single-implicit-clock IR's analog of an unconnected
+/// clock/reset) and nets that are read but have no driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckUnconnected;
+
+impl Pass for CheckUnconnected {
+    fn name(&self) -> &'static str {
+        "check_unconnected"
+    }
+
+    fn run(&self, netlist: &Netlist, diags: &mut Diagnostics) -> Result<PassOutcome, NetlistError> {
+        diags.record_run(self.name());
+        for (id, cell) in netlist.cells() {
+            if matches!(cell.kind(), CellKind::Dff) && cell.inputs().is_empty() {
+                diags.lint(
+                    self.name(),
+                    format!("flip-flop {id} `{}` has an unconnected D pin", cell.name()),
+                );
+            }
+        }
+        for (id, net) in netlist.nets() {
+            if net.driver().is_none() && !net.sinks().is_empty() {
+                diags.lint(
+                    self.name(),
+                    format!(
+                        "net {id} `{}` is read by {} sink(s) but has no driver",
+                        net.name(),
+                        net.sinks().len()
+                    ),
+                );
+            }
+        }
+        Ok(PassOutcome::Clean)
+    }
+}
+
+/// Combinational-loop check: reports (instead of erroring on) cycles in
+/// the combinational part of the netlist.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckCombLoops;
+
+impl Pass for CheckCombLoops {
+    fn name(&self) -> &'static str {
+        "check_comb_loops"
+    }
+
+    fn run(&self, netlist: &Netlist, diags: &mut Diagnostics) -> Result<PassOutcome, NetlistError> {
+        diags.record_run(self.name());
+        if let Err(e) = netlist.levelize() {
+            diags.lint(self.name(), e.to_string());
+        }
+        Ok(PassOutcome::Clean)
+    }
+}
+
+/// Fanout-cap check: reports nets whose sink count exceeds a cap. High
+/// fanout is not an error in this IR, but runaway fanout in a generated
+/// netlist usually means a broken generator (e.g. a trigger tapping far
+/// more nets than specified).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckFanout {
+    cap: usize,
+}
+
+impl CheckFanout {
+    /// The default cap, chosen comfortably above the AES structural
+    /// netlist's worst net (the global `load` enable) so real designs
+    /// lint clean.
+    pub const DEFAULT_CAP: usize = 1024;
+
+    /// A check with a custom fanout cap.
+    pub fn with_cap(cap: usize) -> Self {
+        CheckFanout { cap }
+    }
+}
+
+impl Default for CheckFanout {
+    fn default() -> Self {
+        CheckFanout {
+            cap: Self::DEFAULT_CAP,
+        }
+    }
+}
+
+impl Pass for CheckFanout {
+    fn name(&self) -> &'static str {
+        "check_fanout"
+    }
+
+    fn run(&self, netlist: &Netlist, diags: &mut Diagnostics) -> Result<PassOutcome, NetlistError> {
+        diags.record_run(self.name());
+        for (id, net) in netlist.nets() {
+            let fanout = net.fanout();
+            if fanout > self.cap {
+                diags.lint(
+                    self.name(),
+                    format!(
+                        "net {id} `{}` fans out to {fanout} sinks (cap {})",
+                        net.name(),
+                        self.cap
+                    ),
+                );
+            }
+        }
+        Ok(PassOutcome::Clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::PassManager;
+    use super::*;
+    use crate::cell::LutMask;
+
+    #[test]
+    fn open_dff_and_floating_net_are_linted() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let (_ff, _q) = nl.add_dff_uninit("open"); // D never connected
+        let float = nl.add_net("floating");
+        let mask = LutMask::from_fn(2, |r| r & 1 == 1);
+        let y = nl.add_lut(&[a, float], mask).unwrap();
+        nl.add_output("y", y).unwrap();
+        let report = PassManager::lints().run(&nl).unwrap();
+        let msgs: Vec<String> = report
+            .diagnostics
+            .lints()
+            .iter()
+            .map(|l| l.to_string())
+            .collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("unconnected D")),
+            "missing open-DFF lint in {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("no driver")),
+            "missing floating-net lint in {msgs:?}"
+        );
+        assert!(!report.diagnostics.is_clean());
+    }
+
+    #[test]
+    fn comb_loop_is_linted_not_fatal() {
+        let mut nl = Netlist::new("loop");
+        let fwd = nl.add_net("fwd");
+        let mask = LutMask::from_fn(1, |r| r & 1 == 0);
+        let back = nl.add_lut(&[fwd], mask).unwrap();
+        // Close the cycle: a second inverter drives `fwd` from `back`.
+        nl.add_lut_to(fwd, &[back], mask, "close".into()).unwrap();
+        nl.add_output("o", back).unwrap();
+        assert!(nl.levelize().is_err(), "test needs a real cycle");
+        let report = PassManager::new()
+            .with_pass(CheckCombLoops)
+            .run(&nl)
+            .unwrap();
+        assert_eq!(report.diagnostics.lints().len(), 1);
+        assert!(report.diagnostics.lints()[0]
+            .message
+            .contains("combinational cycle"));
+    }
+
+    #[test]
+    fn fanout_cap_is_enforced() {
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        for i in 0..5 {
+            let x = nl.not_gate(a);
+            nl.add_output(format!("o{i}"), x).unwrap();
+        }
+        let report = PassManager::new()
+            .with_pass(CheckFanout::with_cap(3))
+            .run(&nl)
+            .unwrap();
+        assert_eq!(report.diagnostics.lints().len(), 1);
+        assert!(report.diagnostics.lints()[0].message.contains("cap 3"));
+        let clean = PassManager::new()
+            .with_pass(CheckFanout::with_cap(100))
+            .run(&nl)
+            .unwrap();
+        assert!(clean.diagnostics.is_clean());
+    }
+}

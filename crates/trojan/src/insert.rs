@@ -7,10 +7,10 @@
 //! precisely the attack model of an untrusted foundry editing a GDS.
 
 use htd_aes::AesNetlist;
-use htd_fabric::{Placement, SiteKind, SliceCoord};
+use htd_fabric::{Placement, Site, SiteKind, SliceCoord};
 use htd_netlist::{CellId, CellKind, LutMask, NetId};
 
-use crate::{Payload, Trigger, TrojanError, TrojanSpec};
+use crate::{Payload, PlacementStrategy, Trigger, TrojanError, TrojanSpec};
 
 /// Record of an inserted trojan: its cells, taps and geometry.
 #[derive(Debug, Clone)]
@@ -146,6 +146,30 @@ pub fn insert(
             };
             (tapped, trigger)
         }
+        Trigger::StateMachine { taps, states } => {
+            if taps == 0 {
+                return Err(TrojanError::InvalidTrigger {
+                    reason: "state-machine trigger needs at least one tap",
+                });
+            }
+            if states == 0 || states > 31 {
+                return Err(TrojanError::InvalidTrigger {
+                    reason: "state-machine depth must be 1..=31",
+                });
+            }
+            let available = aes.subbytes_inputs().len();
+            if taps > available {
+                return Err(TrojanError::NotEnoughTaps {
+                    requested: taps,
+                    available,
+                });
+            }
+            let tapped: Vec<NetId> = aes.subbytes_inputs()[..taps].to_vec();
+            let nl = aes.netlist_mut();
+            let matched = nl.and_many(&tapped);
+            let trigger = build_sequence_trigger(nl, matched, states)?;
+            (tapped, trigger)
+        }
     };
 
     // Payload. The paper never activates its payloads, and leaving the
@@ -182,16 +206,33 @@ pub fn insert(
         .iter()
         .filter_map(|&n| nl.net(n).driver())
         .collect();
-    let target = placement
+    let centroid = placement
         .centroid(&tap_drivers)
         .unwrap_or(SliceCoord::new(0, 0));
+    let target = match spec.placement {
+        PlacementStrategy::NearTaps | PlacementStrategy::Spread => centroid,
+        PlacementStrategy::Corner => SliceCoord::new(0, 0),
+    };
 
     let new_cells: Vec<CellId> = (cells_before..nl.cell_count())
         .map(CellId::from_index)
         .filter(|&c| matches!(nl.cell(c).kind(), CellKind::Lut(_) | CellKind::Dff))
         .collect();
-    let free_luts = placement.nearest_free_sites(SiteKind::Lut, target);
-    let free_ffs = placement.nearest_free_sites(SiteKind::Ff, target);
+    let lut_count = new_cells
+        .iter()
+        .filter(|&&c| matches!(nl.cell(c).kind(), CellKind::Lut(_)))
+        .count();
+    let ff_count = new_cells.len() - lut_count;
+    let free_luts = pick_sites(
+        placement.nearest_free_sites(SiteKind::Lut, target),
+        lut_count,
+        spec.placement,
+    );
+    let free_ffs = pick_sites(
+        placement.nearest_free_sites(SiteKind::Ff, target),
+        ff_count,
+        spec.placement,
+    );
     let (mut next_lut, mut next_ff) = (0usize, 0usize);
     let mut slices = Vec::with_capacity(new_cells.len());
     for &cell in &new_cells {
@@ -221,6 +262,63 @@ pub fn insert(
         selector_nets,
         slices,
     })
+}
+
+/// Chooses the sites to fill from a distance-ordered free-site list.
+///
+/// [`PlacementStrategy::NearTaps`] and [`PlacementStrategy::Corner`] pack
+/// into the closest sites (the ordering already encodes the strategy via
+/// the search origin); [`PlacementStrategy::Spread`] strides through the
+/// list so consecutive cells land spaced apart.
+fn pick_sites(free: Vec<Site>, needed: usize, strategy: PlacementStrategy) -> Vec<Site> {
+    match strategy {
+        PlacementStrategy::NearTaps | PlacementStrategy::Corner => free,
+        PlacementStrategy::Spread => {
+            if needed == 0 {
+                return free;
+            }
+            let stride = (free.len() / needed).max(1);
+            free.iter().step_by(stride).copied().collect()
+        }
+    }
+}
+
+/// Builds the sequence-detector state machine behind
+/// [`Trigger::StateMachine`]: a saturating consecutive-match counter that
+/// increments while `matched` is high (holding at `states`) and resets to
+/// zero on any mismatch. Returns the comparator net `state == states`.
+///
+/// With `states ≤ 31` the counter needs at most five bits, so every
+/// next-state bit fits one LUT6 over `[q₀..q_{w−1}, matched]`.
+fn build_sequence_trigger(
+    nl: &mut htd_netlist::Netlist,
+    matched: NetId,
+    states: usize,
+) -> Result<NetId, TrojanError> {
+    let width = (usize::BITS - states.leading_zeros()) as usize;
+    let mut cells = Vec::with_capacity(width);
+    let mut qs = Vec::with_capacity(width);
+    for i in 0..width {
+        let (c, q) = nl.add_dff_uninit(format!("ht_fsm[{i}]"));
+        cells.push(c);
+        qs.push(q);
+    }
+    for (i, &cell) in cells.iter().enumerate() {
+        let mut inputs = qs.clone();
+        inputs.push(matched);
+        let mask = LutMask::from_fn(inputs.len(), move |r| {
+            let matched = (r >> width) & 1 == 1;
+            if !matched {
+                return false; // any mismatch resets the count
+            }
+            let state = (r & ((1u64 << width) - 1)) as usize;
+            let next = (state + 1).min(states);
+            (next >> i) & 1 == 1
+        });
+        let d = nl.add_lut_named(&inputs, mask, format!("ht_fsm_next[{i}]"))?;
+        nl.connect_dff_d(cell, d)?;
+    }
+    Ok(nl.eq_const(&qs, states as u64))
 }
 
 /// Builds an `enable`-gated up-counter of `width` bits plus an equality
@@ -448,6 +546,7 @@ mod tests {
                 target: 3,
             },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         };
         let t = insert(&mut aes, &mut placement, &spec).unwrap();
         let mut sim = AesSim::new(&aes).unwrap();
@@ -499,6 +598,7 @@ mod tests {
                 target: 2,
             },
             payload: Payload::LeakKey,
+            placement: PlacementStrategy::NearTaps,
         };
         let t = insert(&mut aes, &mut placement, &spec).unwrap();
         assert_eq!(t.selector_nets.len(), 7);
@@ -531,6 +631,7 @@ mod tests {
             name: "x".into(),
             trigger: Trigger::CombinationalAllOnes { taps: 999 },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         };
         assert!(matches!(
             insert(&mut aes, &mut placement, &too_many),
@@ -540,6 +641,7 @@ mod tests {
             name: "x".into(),
             trigger: Trigger::CombinationalAllOnes { taps: 0 },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         };
         assert!(matches!(
             insert(&mut aes, &mut placement, &zero),
@@ -552,11 +654,78 @@ mod tests {
                 target: 100,
             },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         };
         assert!(matches!(
             insert(&mut aes, &mut placement, &bad_target),
             Err(TrojanError::InvalidTrigger { .. })
         ));
+    }
+
+    #[test]
+    fn state_machine_trigger_needs_a_saturated_match_count() {
+        let (mut aes, mut placement) = placed_aes();
+        let spec = TrojanSpec {
+            name: "HT-fsm-test".into(),
+            trigger: Trigger::StateMachine { taps: 8, states: 3 },
+            payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
+        };
+        let t = insert(&mut aes, &mut placement, &spec).unwrap();
+        let mut sim = aes.netlist().simulator().unwrap();
+        let n_dffs = aes.netlist().dff_cells().count();
+        // Taps all-ones on the first eight state bits, FSM at state 0: the
+        // match signal is high but the count has not saturated.
+        let mut regs = vec![false; n_dffs];
+        for r in regs.iter_mut().take(8) {
+            *r = true;
+        }
+        sim.load_registers(&regs);
+        assert!(!sim.get(t.trigger_net), "must not fire before saturation");
+        // The two FSM flip-flops are the last DFFs added; encode the
+        // saturated state (3 = 0b11) directly.
+        regs[n_dffs - 2] = true;
+        regs[n_dffs - 1] = true;
+        sim.load_registers(&regs);
+        assert!(sim.get(t.trigger_net), "fires once the count saturates");
+        // A single low tap is a mismatch: one clock must reset the state.
+        regs[3] = false;
+        sim.load_registers(&regs);
+        sim.clock();
+        assert!(!sim.get(t.trigger_net), "mismatch must reset the counter");
+    }
+
+    #[test]
+    fn placement_strategies_change_the_geometry() {
+        let origin = SliceCoord::new(0, 0);
+        let mean_to = |slices: &[SliceCoord], c: SliceCoord| -> f64 {
+            slices.iter().map(|s| c.euclidean(*s)).sum::<f64>() / slices.len() as f64
+        };
+        let run = |strategy: PlacementStrategy| {
+            let (mut aes, mut placement) = placed_aes();
+            let spec = TrojanSpec {
+                placement: strategy,
+                ..TrojanSpec::ht1()
+            };
+            insert(&mut aes, &mut placement, &spec).unwrap()
+        };
+        let near = run(PlacementStrategy::NearTaps);
+        let corner = run(PlacementStrategy::Corner);
+        let spread = run(PlacementStrategy::Spread);
+        // Corner fills the nearest free sites from the origin, so no other
+        // strategy can sit closer to it on the same golden placement.
+        assert!(
+            mean_to(&corner.slices, origin) <= mean_to(&near.slices, origin),
+            "corner cells not closer to the origin than near-taps cells"
+        );
+        // Spread strides through the free list, so the same cell count
+        // lands on at least as many distinct slices.
+        assert!(
+            spread.distinct_slices() >= near.distinct_slices(),
+            "spread did not spread: {} < {}",
+            spread.distinct_slices(),
+            near.distinct_slices()
+        );
     }
 
     #[test]

@@ -42,8 +42,10 @@ mod coupling;
 mod error;
 mod insert;
 mod model;
+mod zoo;
 
 pub use coupling::apply_coupling;
 pub use error::TrojanError;
 pub use insert::{insert, InsertedTrojan};
-pub use model::{Payload, Trigger, TrojanSpec};
+pub use model::{Payload, PlacementStrategy, Trigger, TrojanSpec};
+pub use zoo::{ZooConfig, ZooTrigger, ZOO_FSM_STATES};

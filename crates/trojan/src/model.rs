@@ -32,6 +32,41 @@ pub enum Trigger {
         /// Number of SubBytes input bits tapped.
         taps: usize,
     },
+    /// A sequence-detector state machine (zoo extension): fires only
+    /// after the `taps` monitored SubBytes inputs have been
+    /// simultaneously '1' for `states` *consecutive* clock cycles — a
+    /// saturating match counter that resets on any mismatch. Rarer than
+    /// the combinational trigger on the same taps by roughly the match
+    /// probability raised to the `states` power.
+    StateMachine {
+        /// Number of SubBytes input bits monitored.
+        taps: usize,
+        /// Consecutive matching cycles required to fire (1..=31; the
+        /// state counter plus the match signal must fit one LUT6).
+        states: usize,
+    },
+}
+
+/// Where the inserted trojan cells go on the fabric grid. The strategy
+/// trades detectability axes: clustering near the taps maximises
+/// timing/EM overlap with the victim cone, while spreading or banishing
+/// the cells to a corner dilutes the local signature (at the cost of
+/// longer tap routes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Fill the nearest free sites around the centroid of the tapped
+    /// nets' drivers (the paper's FPGA-Editor procedure; the historical
+    /// default).
+    #[default]
+    NearTaps,
+    /// Fill the nearest free sites from the fabric origin (0, 0),
+    /// regardless of where the taps are — maximum distance from the
+    /// victim cone on typical placements.
+    Corner,
+    /// Stride through the free sites around the tap centroid so the
+    /// cells land spaced apart instead of packed — dilutes the local
+    /// coupling signature while keeping routes bounded.
+    Spread,
 }
 
 /// What the trojan does when triggered. The paper's trojans deny service;
@@ -61,6 +96,8 @@ pub struct TrojanSpec {
     pub trigger: Trigger,
     /// Payload definition.
     pub payload: Payload,
+    /// Fabric-grid placement strategy for the inserted cells.
+    pub placement: PlacementStrategy,
 }
 
 impl TrojanSpec {
@@ -71,6 +108,7 @@ impl TrojanSpec {
             name: "HT-comb".into(),
             trigger: Trigger::CombinationalAllOnes { taps: 32 },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         }
     }
 
@@ -86,6 +124,7 @@ impl TrojanSpec {
                 target: 0xDEAD_BEEF,
             },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         }
     }
 
@@ -95,6 +134,7 @@ impl TrojanSpec {
             name: "HT 1".into(),
             trigger: Trigger::CombinationalAllOnes { taps: 32 },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         }
     }
 
@@ -104,6 +144,7 @@ impl TrojanSpec {
             name: "HT 2".into(),
             trigger: Trigger::CombinationalAllOnes { taps: 64 },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         }
     }
 
@@ -113,6 +154,7 @@ impl TrojanSpec {
             name: "HT 3".into(),
             trigger: Trigger::CombinationalAllOnes { taps: 128 },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         }
     }
 
@@ -129,6 +171,7 @@ impl TrojanSpec {
             name: "HT-stealth".into(),
             trigger: Trigger::StealthProbe { taps: 32 },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         }
     }
 }
@@ -146,6 +189,13 @@ impl fmt::Display for TrojanSpec {
                 write!(
                     f,
                     "{} (stealth probe, {taps} taps, no switching)",
+                    self.name
+                )
+            }
+            Trigger::StateMachine { taps, states } => {
+                write!(
+                    f,
+                    "{} (state machine, {taps} taps × {states} cycles)",
                     self.name
                 )
             }

@@ -1,0 +1,208 @@
+//! Parametric trojan zoo: deterministic families of [`TrojanSpec`]s for
+//! the `htd zoo` detection-rate sweep.
+//!
+//! The zoo spans the paper's size axis (HT 1/2/3 are the same
+//! combinational trigger at 32/64/128 taps) and adds the two other
+//! trigger families of this crate — the encryption counter and the
+//! consecutive-match state machine — so a single sweep produces a
+//! trigger-kind × trigger-size grid. Generation is pure and
+//! deterministic: the same [`ZooConfig`] always yields the same specs in
+//! the same order, which is what lets `htd zoo` pin its output fixture
+//! and stay worker-invariant.
+
+use crate::{Payload, PlacementStrategy, Trigger, TrojanError, TrojanSpec};
+
+/// Consecutive matching cycles required by zoo state-machine triggers.
+///
+/// Fixed rather than swept: it multiplies trigger rarity without changing
+/// the footprint much, so sweeping it would mostly duplicate rows.
+pub const ZOO_FSM_STATES: usize = 4;
+
+/// The trigger families the zoo can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZooTrigger {
+    /// Combinational all-ones comparator over the tapped SubBytes bits
+    /// (the paper's HT 1/2/3 family); size = tap count.
+    Comparator,
+    /// Per-encryption counter with an equality comparator (the paper's
+    /// sequential trojan); size = counter width in bits (1..=64).
+    Counter,
+    /// Sequence-detector state machine over the tapped bits, firing after
+    /// [`ZOO_FSM_STATES`] consecutive all-ones cycles; size = tap count.
+    StateMachine,
+}
+
+impl ZooTrigger {
+    /// Every family, in the fixed sweep order.
+    pub const ALL: [ZooTrigger; 3] = [
+        ZooTrigger::Comparator,
+        ZooTrigger::Counter,
+        ZooTrigger::StateMachine,
+    ];
+
+    /// Short tag used in generated spec names and report rows.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ZooTrigger::Comparator => "comb",
+            ZooTrigger::Counter => "ctr",
+            ZooTrigger::StateMachine => "fsm",
+        }
+    }
+
+    /// Parses a [`tag`](Self::tag) back into a family.
+    pub fn from_tag(tag: &str) -> Option<ZooTrigger> {
+        ZooTrigger::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+/// A zoo sweep definition: trigger sizes × trigger families, sharing one
+/// payload and one placement strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZooConfig {
+    /// Trigger sizes to sweep: tap counts for [`ZooTrigger::Comparator`]
+    /// and [`ZooTrigger::StateMachine`], counter widths for
+    /// [`ZooTrigger::Counter`].
+    pub sizes: Vec<usize>,
+    /// Trigger families to sweep.
+    pub kinds: Vec<ZooTrigger>,
+    /// Payload shared by every generated spec.
+    pub payload: Payload,
+    /// Placement strategy shared by every generated spec.
+    pub placement: PlacementStrategy,
+}
+
+impl Default for ZooConfig {
+    /// A small three-sizes × three-families grid that fits every family's
+    /// validity range.
+    fn default() -> Self {
+        ZooConfig {
+            sizes: vec![8, 16, 32],
+            kinds: ZooTrigger::ALL.to_vec(),
+            payload: Payload::default(),
+            placement: PlacementStrategy::default(),
+        }
+    }
+}
+
+impl ZooConfig {
+    /// Generates the full size × family grid, sizes outer and families
+    /// inner, in the order both appear in the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrojanError::InvalidTrigger`] if any size is zero or a
+    /// counter width exceeds 64; no partial grid is returned.
+    pub fn generate(&self) -> Result<Vec<TrojanSpec>, TrojanError> {
+        let mut specs = Vec::with_capacity(self.sizes.len() * self.kinds.len());
+        for &size in &self.sizes {
+            for &kind in &self.kinds {
+                specs.push(self.spec(kind, size)?);
+            }
+        }
+        Ok(specs)
+    }
+
+    /// Builds the spec for one grid point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrojanError::InvalidTrigger`] for a zero size or a
+    /// counter width above 64.
+    pub fn spec(&self, kind: ZooTrigger, size: usize) -> Result<TrojanSpec, TrojanError> {
+        if size == 0 {
+            return Err(TrojanError::InvalidTrigger {
+                reason: "zoo trigger size must be positive",
+            });
+        }
+        let trigger = match kind {
+            ZooTrigger::Comparator => Trigger::CombinationalAllOnes { taps: size },
+            ZooTrigger::Counter => {
+                if size > 64 {
+                    return Err(TrojanError::InvalidTrigger {
+                        reason: "zoo counter width must be 1..=64",
+                    });
+                }
+                // All-ones target: representable at every width and never
+                // reached in any detection experiment.
+                Trigger::SequentialCounter {
+                    width: size,
+                    target: u64::MAX >> (64 - size),
+                }
+            }
+            ZooTrigger::StateMachine => Trigger::StateMachine {
+                taps: size,
+                states: ZOO_FSM_STATES,
+            },
+        };
+        Ok(TrojanSpec {
+            name: format!("zoo-{}-{}", kind.tag(), size),
+            trigger,
+            payload: self.payload,
+            placement: self.placement,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_ordered() {
+        let cfg = ZooConfig::default();
+        let a = cfg.generate().unwrap();
+        let b = cfg.generate().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 9);
+        let names: Vec<&str> = a.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names[..3], ["zoo-comb-8", "zoo-ctr-8", "zoo-fsm-8"]);
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "spec names must be unique");
+    }
+
+    #[test]
+    fn invalid_grid_points_are_rejected_whole() {
+        let cfg = ZooConfig {
+            sizes: vec![8, 0],
+            ..ZooConfig::default()
+        };
+        assert!(matches!(
+            cfg.generate(),
+            Err(TrojanError::InvalidTrigger { .. })
+        ));
+        let cfg = ZooConfig {
+            sizes: vec![128],
+            kinds: vec![ZooTrigger::Counter],
+            ..ZooConfig::default()
+        };
+        assert!(matches!(
+            cfg.generate(),
+            Err(TrojanError::InvalidTrigger { .. })
+        ));
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for kind in ZooTrigger::ALL {
+            assert_eq!(ZooTrigger::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(ZooTrigger::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn counter_targets_fit_their_width() {
+        let cfg = ZooConfig::default();
+        for width in [1usize, 8, 63, 64] {
+            match cfg.spec(ZooTrigger::Counter, width).unwrap().trigger {
+                Trigger::SequentialCounter { target, .. } => {
+                    if width < 64 {
+                        assert!(target < 1u64 << width);
+                    }
+                }
+                other => panic!("unexpected trigger {other:?}"),
+            }
+        }
+    }
+}

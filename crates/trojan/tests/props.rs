@@ -5,7 +5,7 @@ use std::sync::OnceLock;
 use htd_aes::structural::AesSim;
 use htd_aes::AesNetlist;
 use htd_fabric::{Device, DeviceConfig, Placement};
-use htd_trojan::{insert, Payload, Trigger, TrojanSpec};
+use htd_trojan::{insert, Payload, PlacementStrategy, Trigger, TrojanSpec};
 use proptest::prelude::*;
 
 fn template() -> &'static (AesNetlist, Placement) {
@@ -33,6 +33,7 @@ proptest! {
             name: format!("ht-{taps}"),
             trigger: Trigger::CombinationalAllOnes { taps },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         };
         let trojan = insert(&mut aes, &mut placement, &spec).unwrap();
         prop_assert_eq!(trojan.tapped_nets.len(), taps);
@@ -57,6 +58,7 @@ proptest! {
             name: "t".into(),
             trigger: Trigger::CombinationalAllOnes { taps },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         };
         let trojan = insert(&mut aes, &mut placement, &spec).unwrap();
         let mut sim = aes.netlist().simulator().unwrap();
@@ -86,6 +88,7 @@ proptest! {
                 name: "t".into(),
                 trigger: Trigger::CombinationalAllOnes { taps },
                 payload: Payload::DenialOfService,
+                placement: PlacementStrategy::NearTaps,
             };
             insert(&mut aes, &mut placement, &spec).unwrap().cells.len()
         };
@@ -103,6 +106,7 @@ proptest! {
             name: "s".into(),
             trigger: Trigger::StealthProbe { taps },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         };
         let trojan = insert(&mut aes, &mut placement, &spec).unwrap();
         let mut sim = AesSim::new(&aes).unwrap();

@@ -9,7 +9,7 @@
 use htd_core::prelude::*;
 use htd_core::report::{pct, ps, Table};
 use htd_core::ProgrammedDevice;
-use htd_trojan::{Payload, Trigger};
+use htd_trojan::{Payload, PlacementStrategy, Trigger};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lab = Lab::paper();
@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name: "HT-nano".into(),
             trigger: Trigger::CombinationalAllOnes { taps: 8 },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         },
         // A short counter for the live-payload demo below.
         TrojanSpec {
@@ -37,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 target: 4,
             },
             payload: Payload::DenialOfService,
+            placement: PlacementStrategy::NearTaps,
         },
         // A stealth load-only probe (no switching at all).
         TrojanSpec::stealth(),
@@ -48,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 target: 3,
             },
             payload: Payload::LeakKey,
+            placement: PlacementStrategy::NearTaps,
         },
     ];
 

@@ -153,6 +153,16 @@ fn library_counters_are_worker_invariant() {
     // campaign's activity lies outside the acquisition window.
     assert!(get("acquire.events.binned") > 0);
     assert_eq!(get("acquire.events.dropped"), 0);
+    // The lint gate on the single scored trojan design ran each check
+    // pass exactly once, found nothing, and removed nothing — and those
+    // counters are worker-invariant because the gate runs on the calling
+    // thread (checked by the cross-run equality above).
+    for pass in ["check_unconnected", "check_comb_loops", "check_fanout"] {
+        assert_eq!(get(&format!("pass.{pass}.runs")), 1, "pass {pass} runs");
+        assert_eq!(get(&format!("pass.{pass}.lints")), 0, "pass {pass} lints");
+        assert_eq!(get(&format!("pass.{pass}.cells_removed")), 0);
+        assert_eq!(get(&format!("pass.{pass}.nets_removed")), 0);
+    }
     assert!(
         get("retry.acquire") + get("faults.rep.fired") > 0,
         "the fault plan fired somewhere: {counters1:?}"
