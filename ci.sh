@@ -68,6 +68,35 @@ echo "==> htd zoo smoke"
     --seed 42 --channels em,delay --csv "$HTD_SMOKE_DIR/zoo.csv" >/dev/null
 diff "$HTD_SMOKE_DIR/zoo.csv" tests/fixtures/zoo_smoke.csv
 
+echo "==> htd serve smoke (BENCH_serve.json)"
+# A real scoring server on an ephemeral port. Two gates: the response
+# `htd bench --dump` captures must be byte-identical to the pinned
+# offline report (served == offline, the subsystem's core claim), and a
+# short load run must leave BENCH_serve.json as the CI throughput
+# artifact. The trap kill is a fallback for mid-smoke failures; the
+# success path shuts the server down over the protocol and waits.
+"$HTD" characterize --out "$HTD_SMOKE_DIR/serve-golden.htd" \
+    --dies 3 --pairs 2 --reps 2 --seed 42 --channels em,delay
+"$HTD" serve --addr 127.0.0.1:0 >"$HTD_SMOKE_DIR/serve.log" 2>&1 &
+HTD_SERVE_PID=$!
+trap 'kill "$HTD_SERVE_PID" 2>/dev/null; rm -rf "$HTD_SMOKE_DIR"' EXIT
+HTD_SERVE_ADDR=
+for _ in $(seq 1 100); do
+    HTD_SERVE_ADDR=$(sed -n 's/^serving on //p' "$HTD_SMOKE_DIR/serve.log")
+    [ -n "$HTD_SERVE_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$HTD_SERVE_ADDR" ] || { cat "$HTD_SMOKE_DIR/serve.log"; exit 1; }
+"$HTD" bench --serve --addr "$HTD_SERVE_ADDR" \
+    --golden "$HTD_SMOKE_DIR/serve-golden.htd" --suspects ht1 \
+    --requests 1 --clients 1 --dump "$HTD_SMOKE_DIR/served.htd" >/dev/null
+diff "$HTD_SMOKE_DIR/served.htd" tests/fixtures/serve_response.htd
+"$HTD" bench --serve --addr "$HTD_SERVE_ADDR" \
+    --golden "$HTD_SMOKE_DIR/serve-golden.htd" --suspects ht1,ht2,ht-seq \
+    --requests 300 --clients 4 --json BENCH_serve.json --shutdown
+wait "$HTD_SERVE_PID"
+test -s BENCH_serve.json
+
 echo "==> criterion quick benches (BENCH_acquire.json)"
 # The per-stage acquisition benches in quick mode: 3 samples each, with
 # the shim's JSON emission producing a second BENCH trajectory next to
@@ -81,7 +110,7 @@ echo "==> cargo clippy -- -D warnings"
 # The pass framework and trojan zoo are linted explicitly first (fast,
 # focused diagnostics on the crates this tier refactors), then the whole
 # workspace with every target.
-cargo clippy -p htd-netlist -p htd-trojan -- -D warnings
+cargo clippy -p htd-netlist -p htd-trojan -p htd-serve -- -D warnings
 cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"

@@ -6,6 +6,8 @@
 //! scores suspect designs against it — any number of times, in any
 //! process, with bit-identical results. `htd fuse`, `htd report` and
 //! `htd diff` operate purely on stored artifacts, no simulation at all.
+//! `htd serve` exposes the scoring half as a long-lived TCP service
+//! (batched, cached, observable), and `htd bench --serve` load-tests it.
 
 use std::process::ExitCode;
 
@@ -20,6 +22,7 @@ use htd_core::resilience::{ChannelHealth, RetryPolicy};
 use htd_core::{CampaignPlan, Engine, Error, Lab};
 use htd_faults::FaultPlan;
 use htd_obs::{HealthRecord, Json, Obs, RunManifest, ToolInfo};
+use htd_serve::{ManifestConfig, ServeConfig};
 use htd_stats::Gaussian;
 use htd_store::{ChannelFit, GoldenArtifact};
 use htd_trojan::{Payload, PlacementStrategy, Trigger, TrojanSpec, ZooConfig, ZooTrigger};
@@ -74,8 +77,36 @@ USAGE:
       or a run manifest written by --metrics (--counters prints only the
       deterministic counter section, one `name value` per line).
 
+  htd serve [--addr HOST:PORT] [--queue-depth N] [--cache-bytes N]
+            [--result-cache N] [--workers N] [--faults FILE]
+            [--max-retries N] [--allow-degraded] [--metrics FILE]
+            [--metrics-every N]
+      Serve scoring over TCP (see DESIGN.md §serve for the protocol).
+      Clients name a stored golden artifact by server-side path and a
+      suspect token; responses embed the byte-identical report `htd
+      score` writes offline, at any --workers value. Requests batch by
+      golden plan digest; parsed goldens stay hot in an LRU bounded by
+      --cache-bytes, finished reports memoize in a --result-cache entry
+      LRU (0 disables). Past --queue-depth waiting requests, new ones
+      are shed with an explicit `busy` response. Prints `serving on
+      HOST:PORT` once bound (port 0 picks a free port) and runs until a
+      client sends `shutdown`. --metrics rewrites a run manifest every
+      --metrics-every scored requests (and once at shutdown).
+
+  htd bench --serve --golden FILE[,FILE...] [--addr A[,A...]]
+            [--suspects ht1,ht2,...] [--requests N] [--clients N]
+            [--json FILE] [--dump FILE] [--shutdown]
+      Drive one or more serve instances and report throughput plus
+      latency percentiles. With several --addr instances, requests
+      shard by plan-digest modulus. --dump saves the first response's
+      embedded report (for fixture diffing), --json writes the
+      measurements, --shutdown stops every instance afterwards.
+
   htd diff FILE FILE
-      Compare two stored reports.
+      Compare two stored artifacts of the same kind. Golden artifacts
+      diff by campaign plan digest (printed for both sides — the serve
+      cache/shard key); reports print content digests and then diff
+      row by row.
 
   htd version [--json]
       Print binary version, store format version and enabled features.
@@ -107,6 +138,8 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "characterize" => characterize(rest),
         "score" => score(rest),
         "zoo" => zoo(rest),
+        "serve" => serve(rest),
+        "bench" => bench(rest),
         "fuse" => fuse(rest),
         "report" => report(rest),
         "diff" => diff(rest),
@@ -222,19 +255,14 @@ fn channel_specs(csv: &str, metric: TraceMetric) -> Result<Vec<ChannelSpec>, Str
 fn trojan_specs(csv: &str) -> Result<Vec<TrojanSpec>, String> {
     let mut specs = Vec::new();
     for name in csv.split(',').filter(|s| !s.is_empty()) {
-        match name.to_ascii_lowercase().as_str() {
-            "ht1" | "ht-1" => specs.push(TrojanSpec::ht1()),
-            "ht2" | "ht-2" => specs.push(TrojanSpec::ht2()),
-            "ht3" | "ht-3" => specs.push(TrojanSpec::ht3()),
-            "ht-comb" | "comb" => specs.push(TrojanSpec::ht_comb()),
-            "ht-seq" | "seq" => specs.push(TrojanSpec::ht_seq()),
-            "stealth" => specs.push(TrojanSpec::stealth()),
-            "sweep" => specs.extend(TrojanSpec::size_sweep()),
-            other => {
-                return Err(format!(
-                    "unknown trojan `{other}` (ht1, ht2, ht3, ht-comb, ht-seq, stealth, sweep)"
-                ))
-            }
+        if name.eq_ignore_ascii_case("sweep") {
+            specs.extend(TrojanSpec::size_sweep());
+        } else if let Some(spec) = TrojanSpec::from_token(name) {
+            specs.push(spec);
+        } else {
+            return Err(format!(
+                "unknown trojan `{name}` (ht1, ht2, ht3, ht-comb, ht-seq, stealth, sweep)"
+            ));
         }
     }
     if specs.is_empty() {
@@ -290,7 +318,7 @@ fn tool_info() -> ToolInfo {
         version: env!("CARGO_PKG_VERSION").to_string(),
         format_version: u64::from(htd_store::FORMAT_VERSION),
         features: [
-            "delay", "em", "power", "faults", "metrics", "salvage", "zoo",
+            "delay", "em", "power", "faults", "metrics", "salvage", "serve", "zoo",
         ]
         .iter()
         .map(|f| f.to_string())
@@ -321,13 +349,6 @@ fn metrics_obs(opts: &Opts) -> (Obs, Option<String>) {
         Some(path) => (Obs::recording(), Some(path.to_string())),
         None => (Obs::noop(), None),
     }
-}
-
-/// Digest of the campaign plan's store text: ties a manifest to the
-/// exact campaign it measured.
-fn plan_digest(plan: &CampaignPlan) -> String {
-    let text = htd_store::to_text(plan);
-    format!("fnv1a64:{:016x}", htd_store::fnv1a64(text.as_bytes()))
 }
 
 /// Mirrors the pipeline's health ledger into the manifest's (core-free)
@@ -378,7 +399,7 @@ fn write_manifest(
         tool_info(),
         command,
         engine.workers(),
-        &plan_digest(plan),
+        &htd_store::plan_digest_hex(plan),
         &snapshot,
         health_records(health),
     );
@@ -761,6 +782,297 @@ fn zoo(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "addr",
+            "queue-depth",
+            "cache-bytes",
+            "result-cache",
+            "workers",
+            "faults",
+            "max-retries",
+            "metrics",
+            "metrics-every",
+        ],
+        &["allow-degraded"],
+    )?;
+    let (obs, metrics_path) = metrics_obs(&opts);
+    let (faults, policy) = fault_opts(&opts, &obs)?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        queue_depth: parse_num(
+            "queue-depth",
+            opts.get("queue-depth")
+                .unwrap_or(&defaults.queue_depth.to_string()),
+        )?,
+        cache_bytes: parse_num(
+            "cache-bytes",
+            opts.get("cache-bytes")
+                .unwrap_or(&defaults.cache_bytes.to_string()),
+        )?,
+        result_cache: parse_num(
+            "result-cache",
+            opts.get("result-cache")
+                .unwrap_or(&defaults.result_cache.to_string()),
+        )?,
+        workers: parse_num("workers", opts.get("workers").unwrap_or("0"))?,
+        faults,
+        policy,
+        manifest: metrics_path
+            .map(|path| -> Result<ManifestConfig, String> {
+                Ok(ManifestConfig {
+                    path: path.into(),
+                    every: parse_num("metrics-every", opts.get("metrics-every").unwrap_or("256"))?,
+                    tool: tool_info(),
+                })
+            })
+            .transpose()?,
+    };
+    let report = htd_serve::serve(config, &obs, |addr| {
+        // Flushed before blocking: the line is the startup handshake
+        // scripts and tests poll for (port 0 resolves here).
+        println!("serving on {addr}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+    })?;
+    println!(
+        "served {} request(s) in {} batch(es): {} ok, {} error, {} busy",
+        report.requests,
+        report.batches,
+        report.responses_ok,
+        report.responses_error,
+        report.responses_busy
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One benched request's routing: which shard, which golden path, which
+/// suspect token.
+struct BenchPlan {
+    shard: usize,
+    golden: String,
+    suspect: String,
+}
+
+fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "addr", "golden", "suspects", "requests", "clients", "json", "dump",
+        ],
+        &["serve", "shutdown"],
+    )?;
+    if !opts.has("serve") {
+        return Err("bench currently has one mode: --serve (see `htd help`)".into());
+    }
+    let addrs: Vec<String> = opts
+        .get("addr")
+        .unwrap_or("127.0.0.1:7140")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if addrs.is_empty() {
+        return Err("--addr selected no instances".into());
+    }
+    let goldens: Vec<String> = opts
+        .require("golden")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if goldens.is_empty() {
+        return Err("--golden selected no artifacts".into());
+    }
+    let suspects: Vec<String> = opts
+        .get("suspects")
+        .unwrap_or("ht1,ht2,ht3")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if suspects.is_empty() {
+        return Err("--suspects selected no suspects".into());
+    }
+    let requests: usize = parse_num("requests", opts.get("requests").unwrap_or("100"))?;
+    let clients: usize = parse_num::<usize>("clients", opts.get("clients").unwrap_or("4"))?.max(1);
+
+    // Shard routing needs each golden's plan digest; load every named
+    // artifact once, client-side, and pin its shard by digest modulus —
+    // the same key the server groups batches by, so one golden's
+    // requests always land where its caches are warm.
+    let shard_of: Vec<(String, usize, String)> = goldens
+        .iter()
+        .map(|path| -> Result<_, Error> {
+            let artifact: GoldenArtifact = htd_store::load(path)?;
+            let digest = htd_store::plan_digest(&artifact.characterization().plan);
+            Ok((
+                path.clone(),
+                (digest % addrs.len() as u64) as usize,
+                format!("fnv1a64:{digest:016x}"),
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    for (path, shard, digest) in &shard_of {
+        println!(
+            "golden {path} (plan {digest}) → shard {shard} [{}]",
+            addrs[*shard]
+        );
+    }
+
+    // Deterministic request mix: golden and suspect both rotate.
+    let mix: Vec<BenchPlan> = (0..requests)
+        .map(|i| {
+            let (path, shard, _) = &shard_of[i % shard_of.len()];
+            BenchPlan {
+                shard: *shard,
+                golden: path.clone(),
+                suspect: suspects[i % suspects.len()].clone(),
+            }
+        })
+        .collect();
+
+    if let Some(path) = opts.get("dump") {
+        let (golden_path, shard, _) = &shard_of[0];
+        let mut client = htd_serve::Client::connect(addrs[*shard].as_str())?;
+        let response = client.call(&htd_serve::Request::Score {
+            golden: golden_path.clone(),
+            suspect: suspects[0].clone(),
+        })?;
+        let htd_serve::Response::Score { report, .. } = response else {
+            return Err(format!("dump request failed: {response:?}").into());
+        };
+        std::fs::write(path, report).map_err(|e| Error::io(path, e))?;
+        println!("wrote {path}");
+    }
+
+    // Fan the mix across client threads round-robin; each thread opens
+    // its own connection per shard and retries shed requests.
+    let started = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let work: Vec<(usize, String, String)> = mix
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % clients == c)
+            .map(|(_, p)| (p.shard, p.golden.clone(), p.suspect.clone()))
+            .collect();
+        let addrs = addrs.clone();
+        handles.push(std::thread::spawn(move || -> Result<_, String> {
+            let mut conns: Vec<Option<htd_serve::Client>> =
+                (0..addrs.len()).map(|_| None).collect();
+            let mut latencies_ns: Vec<u64> = Vec::with_capacity(work.len());
+            let (mut ok, mut errors, mut busy) = (0u64, 0u64, 0u64);
+            for (shard, golden, suspect) in work {
+                let conn = match &mut conns[shard] {
+                    Some(conn) => conn,
+                    slot => slot.insert(
+                        htd_serve::Client::connect(addrs[shard].as_str())
+                            .map_err(|e| format!("{}: {e}", addrs[shard]))?,
+                    ),
+                };
+                let request = htd_serve::Request::Score { golden, suspect };
+                let t0 = std::time::Instant::now();
+                loop {
+                    match conn.call(&request).map_err(|e| e.to_string())? {
+                        htd_serve::Response::Score { .. } => {
+                            ok += 1;
+                            break;
+                        }
+                        htd_serve::Response::Busy { .. } => {
+                            busy += 1;
+                            std::thread::yield_now();
+                        }
+                        htd_serve::Response::Error { .. } => {
+                            errors += 1;
+                            break;
+                        }
+                        htd_serve::Response::Done => {
+                            return Err("server answered a score with a bare ok".into())
+                        }
+                    }
+                }
+                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            Ok((latencies_ns, ok, errors, busy))
+        }));
+    }
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests);
+    let (mut ok, mut errors, mut busy) = (0u64, 0u64, 0u64);
+    for handle in handles {
+        let (lat, o, e, b) = handle.join().expect("bench client panicked")?;
+        latencies_ns.extend(lat);
+        ok += o;
+        errors += e;
+        busy += b;
+    }
+    let elapsed = started.elapsed();
+
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_ns.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
+        latencies_ns[rank]
+    };
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let per_sec = if elapsed.as_secs_f64() > 0.0 {
+        ok as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    println!(
+        "bench --serve: {requests} request(s), {clients} client(s), {} shard(s)",
+        addrs.len()
+    );
+    println!(
+        "  {ok} ok, {errors} error, {busy} busy retries in {:.3} s → {per_sec:.0} scores/sec",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  latency p50 {:.3} ms, p99 {:.3} ms",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6
+    );
+
+    if let Some(path) = opts.get("json") {
+        let json = Json::Obj(vec![
+            ("bench".to_string(), Json::Str("serve".to_string())),
+            ("requests".to_string(), Json::UInt(requests as u64)),
+            ("clients".to_string(), Json::UInt(clients as u64)),
+            ("shards".to_string(), Json::UInt(addrs.len() as u64)),
+            ("ok".to_string(), Json::UInt(ok)),
+            ("errors".to_string(), Json::UInt(errors)),
+            ("busy_retries".to_string(), Json::UInt(busy)),
+            (
+                "elapsed_ms".to_string(),
+                Json::Float(elapsed.as_secs_f64() * 1e3),
+            ),
+            ("scores_per_sec".to_string(), Json::Float(per_sec)),
+            ("p50_ms".to_string(), Json::Float(p50 as f64 / 1e6)),
+            ("p99_ms".to_string(), Json::Float(p99 as f64 / 1e6)),
+        ]);
+        std::fs::write(path, json.to_pretty()).map_err(|e| Error::io(path, e))?;
+        println!("wrote {path}");
+    }
+
+    if opts.has("shutdown") {
+        for addr in &addrs {
+            let mut client = htd_serve::Client::connect(addr.as_str())?;
+            client.call(&htd_serve::Request::Shutdown)?;
+        }
+        println!("sent shutdown to {} instance(s)", addrs.len());
+    }
+    if errors > 0 {
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn fuse(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let opts = Opts::parse(args, &[], &[])?;
     if opts.positional.len() < 2 {
@@ -888,13 +1200,69 @@ fn version(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// The artifact kind declared on a store file's header line, if the
+/// header is even shaped like one. Full validation happens at load.
+fn sniff_kind(text: &str) -> Option<&str> {
+    let header = text.lines().next()?;
+    let mut words = header.split(' ');
+    (words.next() == Some(htd_store::MAGIC))
+        .then(|| words.nth(1))
+        .flatten()
+}
+
 fn diff(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let opts = Opts::parse(args, &[], &[])?;
     let [path_a, path_b] = opts.positional.as_slice() else {
-        return Err("diff needs exactly two report artifacts".into());
+        return Err("diff needs exactly two artifacts".into());
     };
-    let a: MultiChannelReport = htd_store::load(path_a)?;
-    let b: MultiChannelReport = htd_store::load(path_b)?;
+    let text_a = std::fs::read_to_string(path_a).map_err(|e| Error::io(path_a, e))?;
+    let text_b = std::fs::read_to_string(path_b).map_err(|e| Error::io(path_b, e))?;
+    let (kind_a, kind_b) = (sniff_kind(&text_a), sniff_kind(&text_b));
+    if kind_a != kind_b {
+        return Err(format!(
+            "cannot diff a `{}` against a `{}`",
+            kind_a.unwrap_or("?"),
+            kind_b.unwrap_or("?")
+        )
+        .into());
+    }
+
+    // Golden artifacts diff by identity of their campaign plan — the
+    // digest printed here is the serve cache/shard key, so two goldens
+    // with the same line are interchangeable to a scoring server.
+    if kind_a == Some("golden") {
+        let a: GoldenArtifact = htd_store::from_text_at(&text_a, path_a)?;
+        let b: GoldenArtifact = htd_store::from_text_at(&text_b, path_b)?;
+        println!(
+            "plan {path_a}: {}",
+            htd_store::plan_digest_hex(&a.characterization().plan)
+        );
+        println!(
+            "plan {path_b}: {}",
+            htd_store::plan_digest_hex(&b.characterization().plan)
+        );
+        if a == b {
+            println!("artifacts match");
+            return Ok(ExitCode::SUCCESS);
+        }
+        if a.characterization().plan != b.characterization().plan {
+            println!("campaign plans differ");
+        } else {
+            println!("same plan, different characterizations");
+        }
+        return Ok(ExitCode::from(1));
+    }
+
+    let a: MultiChannelReport = htd_store::from_text_at(&text_a, path_a)?;
+    let b: MultiChannelReport = htd_store::from_text_at(&text_b, path_b)?;
+    println!(
+        "content {path_a}: fnv1a64:{:016x}",
+        htd_store::fnv1a64(text_a.as_bytes())
+    );
+    println!(
+        "content {path_b}: fnv1a64:{:016x}",
+        htd_store::fnv1a64(text_b.as_bytes())
+    );
     let differences = report_differences(&a, &b);
     if differences.is_empty() {
         println!("reports match");

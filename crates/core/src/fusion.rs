@@ -43,6 +43,7 @@ use crate::engine::Attempt;
 use crate::error::Error;
 use crate::resilience::{ChannelHealth, RetryPolicy};
 use crate::{Design, Engine, Lab, ProgrammedDevice};
+use htd_fabric::DieVariation;
 
 /// Population tag of the golden characterization in fault-decision
 /// contexts; suspect design `s` uses `s + 1`.
@@ -825,43 +826,154 @@ pub fn score_campaign_faulted(
 ) -> Result<ScoredCampaign, Error> {
     check_channels_match(charac, channels)?;
     let _span = engine.obs().span("score");
-    let plan = &charac.plan;
-    let golden = Design::golden(lab)?;
-    let golden_slices = golden.used_slices();
-    let dies = lab.fabricate_batch(plan.n_dies);
-
-    // Fusion normalisation: the golden fit of each channel. Only needed
-    // (and only required to be non-degenerate) when there is something to
-    // fuse.
-    let (fits, golden_fused) = if channels.len() >= 2 {
-        let _span = engine.obs().span("fuse");
-        let fits = golden_fits(&charac.states)?;
-        let masked: Vec<(&[usize], &[f64])> = charac
-            .states
-            .iter()
-            .map(|s| (s.kept.as_slice(), s.scores.as_slice()))
-            .collect();
-        let fused = fuse_masked(&fits, &masked, plan.n_dies);
-        (fits, Some(fused))
-    } else {
-        (Vec::new(), None)
-    };
+    let session = ScoringSession::new(engine, lab, charac, channels)?;
 
     // Scoring health accumulates per channel across every design.
     let mut scoring_health: Vec<Option<ChannelHealth>> = vec![None; channels.len()];
     let mut rows = Vec::with_capacity(specs.len());
     let mut designs = Vec::with_capacity(specs.len());
     for (s, spec) in specs.iter().enumerate() {
-        let infected = Design::infected_with_obs(lab, spec, engine.obs())?;
+        let scored = session.score_spec_at(s, spec, faults, policy)?;
+        for (c, h) in scored.health.iter().enumerate() {
+            match &mut scoring_health[c] {
+                Some(acc) => acc.merge(h),
+                slot => *slot = Some(h.clone()),
+            }
+        }
+        rows.push(scored.row);
+        designs.push(scored.design);
+    }
+
+    let report = MultiChannelReport {
+        rows,
+        n_dies: charac.plan.n_dies,
+        channel_names: charac.states.iter().map(|s| s.channel.clone()).collect(),
+        health: health_section(charac, &scoring_health, faults),
+    };
+    Ok(ScoredCampaign { report, designs })
+}
+
+/// The amortized half of suspect scoring: everything that depends only
+/// on the characterization, not on any particular suspect — the golden
+/// design's slice count, the fabricated die population and (for
+/// multi-channel campaigns) the golden fusion fits.
+///
+/// [`score_campaign_faulted`] builds one session per campaign; `htd
+/// serve` builds one per plan-digest batch so this setup is paid once
+/// per batch instead of once per request. Scoring through a session *is*
+/// the batched campaign path, so a suspect scored alone at `index` is
+/// bit-identical to the same suspect inside any batch at position
+/// `index`, at any worker count.
+pub struct ScoringSession<'a> {
+    engine: &'a Engine,
+    lab: &'a Lab,
+    charac: &'a GoldenCharacterization,
+    channels: &'a [&'a dyn Channel],
+    golden_slices: usize,
+    dies: Vec<DieVariation>,
+    fits: Vec<Gaussian>,
+    golden_fused: Option<Vec<f64>>,
+}
+
+/// One suspect design scored through a [`ScoringSession`]: the report
+/// row, the stored per-channel populations, and the per-channel scoring
+/// health (one record per surviving channel, in characterization order)
+/// for the caller's campaign ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecScore {
+    /// The suspect's report row (per-channel results plus fused).
+    pub row: MultiChannelRow,
+    /// The raw scored populations behind the row.
+    pub design: ScoredDesign,
+    /// Scoring health per channel, aligned with the stored states.
+    pub health: Vec<ChannelHealth>,
+}
+
+impl<'a> ScoringSession<'a> {
+    /// Prepares the shared scoring state for `charac`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelShapeMismatch`] when `channels` does not match
+    /// the stored states; [`Error::DegeneratePopulation`] when a golden
+    /// population has no spread (multi-channel only); design failures
+    /// otherwise.
+    pub fn new(
+        engine: &'a Engine,
+        lab: &'a Lab,
+        charac: &'a GoldenCharacterization,
+        channels: &'a [&'a dyn Channel],
+    ) -> Result<Self, Error> {
+        check_channels_match(charac, channels)?;
+        let plan = &charac.plan;
+        let golden = Design::golden(lab)?;
+        let golden_slices = golden.used_slices();
+        let dies = lab.fabricate_batch(plan.n_dies);
+
+        // Fusion normalisation: the golden fit of each channel. Only
+        // needed (and only required to be non-degenerate) when there is
+        // something to fuse.
+        let (fits, golden_fused) = if channels.len() >= 2 {
+            let _span = engine.obs().span("fuse");
+            let fits = golden_fits(&charac.states)?;
+            let masked: Vec<(&[usize], &[f64])> = charac
+                .states
+                .iter()
+                .map(|s| (s.kept.as_slice(), s.scores.as_slice()))
+                .collect();
+            let fused = fuse_masked(&fits, &masked, plan.n_dies);
+            (fits, Some(fused))
+        } else {
+            (Vec::new(), None)
+        };
+        Ok(ScoringSession {
+            engine,
+            lab,
+            charac,
+            channels,
+            golden_slices,
+            dies,
+            fits,
+            golden_fused,
+        })
+    }
+
+    /// The characterization this session scores against.
+    pub fn characterization(&self) -> &GoldenCharacterization {
+        self.charac
+    }
+
+    /// Scores one suspect at campaign position `index`: the index picks
+    /// the design's seed stream ([`CampaignPlan::spec_die_seed`]) and
+    /// fault-population tag, so a standalone score at `index` equals the
+    /// same spec inside a batched campaign at that position.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AcquisitionExhausted`] when a suspect die exhausts its
+    /// budget under the strict policy; [`Error::ChannelDegraded`] when
+    /// quarantine leaves a population below two dies; design and
+    /// simulation failures otherwise.
+    pub fn score_spec_at(
+        &self,
+        index: usize,
+        spec: &TrojanSpec,
+        faults: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Result<SpecScore, Error> {
+        let engine = self.engine;
+        let plan = &self.charac.plan;
+        let infected = Design::infected_with_obs(self.lab, spec, engine.obs())?;
         let infected_devs: Vec<ProgrammedDevice<'_>> = {
             let _span = engine.obs().span("program");
-            engine.map(&dies, |_, die| {
-                ProgrammedDevice::with_obs(lab, &infected, die, engine.obs().clone())
+            engine.map(&self.dies, |_, die| {
+                ProgrammedDevice::with_obs(self.lab, &infected, die, engine.obs().clone())
             })
         };
-        let mut per_channel: Vec<(Vec<usize>, Vec<f64>)> = Vec::with_capacity(channels.len());
-        let mut scored_sets = Vec::with_capacity(channels.len());
-        for (c, (channel, state)) in channels.iter().zip(&charac.states).enumerate() {
+        let mut per_channel: Vec<(Vec<usize>, Vec<f64>)> = Vec::with_capacity(self.channels.len());
+        let mut scored_sets = Vec::with_capacity(self.channels.len());
+        let mut health = Vec::with_capacity(self.channels.len());
+        for (c, (channel, state)) in self.channels.iter().zip(&self.charac.states).enumerate() {
             let population = acquire_population_faulted(
                 engine,
                 *channel,
@@ -871,8 +983,8 @@ pub fn score_campaign_faulted(
                 &state.calibration,
                 faults,
                 policy,
-                (s as u64) + 1,
-                |j| plan.spec_die_seed(s, j),
+                (index as u64) + 1,
+                |j| plan.spec_die_seed(index, j),
             )?;
             if population.kept.len() < 2 {
                 return Err(Error::ChannelDegraded {
@@ -886,10 +998,7 @@ pub fn score_campaign_faulted(
                 .iter()
                 .map(|a| channel.score(a, &state.reference, &state.calibration))
                 .collect::<Result<Vec<f64>, _>>()?;
-            match &mut scoring_health[c] {
-                Some(acc) => acc.merge(&population.health),
-                slot => *slot = Some(population.health),
-            }
+            health.push(population.health);
             scored_sets.push(ScoredChannel {
                 channel: state.channel.clone(),
                 golden: state.scores.clone(),
@@ -897,7 +1006,8 @@ pub fn score_campaign_faulted(
             });
             per_channel.push((population.kept, scores));
         }
-        let channel_results = charac
+        let channel_results = self
+            .charac
             .states
             .iter()
             .zip(&per_channel)
@@ -905,38 +1015,68 @@ pub fn score_campaign_faulted(
                 ChannelResult::fit(state.channel.clone(), &state.scores, scores)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let fused = match &golden_fused {
+        let fused = match &self.golden_fused {
             Some(golden_fused) => {
                 let _span = engine.obs().span("fuse");
                 let masked: Vec<(&[usize], &[f64])> = per_channel
                     .iter()
                     .map(|(kept, scores)| (kept.as_slice(), scores.as_slice()))
                     .collect();
-                let infected_fused = fuse_masked(&fits, &masked, plan.n_dies);
+                let infected_fused = fuse_masked(&self.fits, &masked, plan.n_dies);
                 Some(ChannelResult::fit("fused", golden_fused, &infected_fused)?)
             }
             None => None,
         };
         let size_fraction = infected
             .trojan()
-            .map(|t| t.fraction_of_design(golden_slices))
+            .map(|t| t.fraction_of_design(self.golden_slices))
             .unwrap_or(0.0);
-        rows.push(MultiChannelRow {
-            name: spec.name.clone(),
-            size_fraction,
-            channels: channel_results,
-            fused,
-        });
-        designs.push(ScoredDesign {
-            name: spec.name.clone(),
-            size_fraction,
-            scored: scored_sets,
-        });
+        engine.obs().incr("score.designs");
+        Ok(SpecScore {
+            row: MultiChannelRow {
+                name: spec.name.clone(),
+                size_fraction,
+                channels: channel_results,
+                fused,
+            },
+            design: ScoredDesign {
+                name: spec.name.clone(),
+                size_fraction,
+                scored: scored_sets,
+            },
+            health,
+        })
     }
 
-    // The health section appears whenever faults could have fired or the
-    // characterization already lost something; a pristine campaign keeps
-    // the historical (empty) shape.
+    /// Assembles the one-row [`MultiChannelReport`] of a single suspect
+    /// scored through this session — exactly the report `htd score`
+    /// writes for the same (artifact, suspect) pair, which is what lets
+    /// the serve path promise byte-identical responses.
+    pub fn single_report(&self, score: &SpecScore, faults: &FaultPlan) -> MultiChannelReport {
+        let scoring: Vec<Option<ChannelHealth>> = score.health.iter().cloned().map(Some).collect();
+        MultiChannelReport {
+            rows: vec![score.row.clone()],
+            n_dies: self.charac.plan.n_dies,
+            channel_names: self
+                .charac
+                .states
+                .iter()
+                .map(|s| s.channel.clone())
+                .collect(),
+            health: health_section(self.charac, &scoring, faults),
+        }
+    }
+}
+
+/// The health section of a report scored against `charac`: it appears
+/// whenever faults could have fired or the characterization already lost
+/// something, so a pristine campaign keeps the historical (empty) shape.
+fn health_section(
+    charac: &GoldenCharacterization,
+    scoring_health: &[Option<ChannelHealth>],
+    faults: &FaultPlan,
+) -> Vec<ChannelHealth> {
+    let plan = &charac.plan;
     let charac_degraded = !charac.lost.is_empty()
         || charac
             .states
@@ -946,20 +1086,14 @@ pub fn score_campaign_faulted(
     if !faults.is_none() || charac_degraded {
         for (c, state) in charac.states.iter().enumerate() {
             let mut h = state.health.clone();
-            if let Some(scoring) = &scoring_health[c] {
+            if let Some(scoring) = scoring_health.get(c).and_then(Option::as_ref) {
                 h.merge(scoring);
             }
             health.push(h);
         }
         health.extend(charac.lost.iter().cloned());
     }
-    let report = MultiChannelReport {
-        rows,
-        n_dies: plan.n_dies,
-        channel_names: charac.states.iter().map(|s| s.channel.clone()).collect(),
-        health,
-    };
-    Ok(ScoredCampaign { report, designs })
+    health
 }
 
 /// Runs a [`CampaignPlan`] through every supplied [`Channel`] over one

@@ -90,7 +90,7 @@ pub mod prelude {
     pub use crate::em_detect::{EmDetector, EmGoldenModel, FnRateReport};
     pub use crate::fusion::{
         ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
-        ScoredCampaign, ScoredChannel, ScoredDesign,
+        ScoredCampaign, ScoredChannel, ScoredDesign, ScoringSession, SpecScore,
     };
     pub use crate::resilience::{ChannelHealth, RetryPolicy};
     pub use crate::Engine;

@@ -349,6 +349,18 @@ impl Obs {
         }
     }
 
+    /// Records `value` into the observational distribution `name`: the
+    /// same count/total/max/log2-histogram aggregate spans use, but fed
+    /// a raw magnitude instead of nanoseconds — e.g. queue depths
+    /// sampled at drain time, batch sizes, occupancy. The aggregate
+    /// lands in the manifest's timings (observational) section and never
+    /// in the deterministic counters. No-op when disabled.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record_duration(name, value);
+        }
+    }
+
     /// Records one pool fan: `fans`/`tasks` counters (deterministic —
     /// the fan structure is a pure function of the campaign) plus the
     /// per-slot occupancy (observational — scheduling decides which slot

@@ -1,0 +1,111 @@
+//! A minimal blocking client for the serve protocol: one socket, one
+//! in-flight request at a time. `htd bench --serve` drives many of
+//! these concurrently; the e2e tests use it as the reference peer.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, ProtocolError, Request, Response};
+
+/// Everything a [`Client`] call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed under us.
+    Io(std::io::Error),
+    /// The server sent bytes that do not parse as a response frame.
+    Protocol(ProtocolError),
+    /// The server closed the connection before answering.
+    ServerClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(e) => write!(f, "malformed response: {e}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            ClientError::ServerClosed => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One blocking connection to a serve instance.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure, [`ClientError::Protocol`]
+    /// on an unparseable response, [`ClientError::ServerClosed`] when
+    /// the connection drops before the response arrives.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(request.to_text().as_bytes())?;
+        self.writer.flush()?;
+        let frame = read_frame(&mut self.reader)?.ok_or(ClientError::ServerClosed)?;
+        Ok(Response::parse(&frame)?)
+    }
+
+    /// Sends raw bytes down the socket, bypassing the request grammar —
+    /// the malformed-input e2e tests poke the server with this.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response frame without sending anything first (pairs
+    /// with [`Client::send_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::call`].
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        let frame = read_frame(&mut self.reader)?.ok_or(ClientError::ServerClosed)?;
+        Ok(Response::parse(&frame)?)
+    }
+}

@@ -1,0 +1,507 @@
+//! The line-oriented serve protocol: the htd-store framing discipline
+//! (versioned header, strict never-panic parse, FNV-1a checksum trailer)
+//! applied to requests and responses on a socket.
+//!
+//! Every frame looks like an artifact:
+//!
+//! ```text
+//! htdserve 1 <verb>
+//! <verb-specific body lines>
+//! checksum fnv1a64 <16 lowercase hex digits>
+//! ```
+//!
+//! Request verbs: `score` (body: `golden "<path>"`, `suspect <token>`),
+//! `ping` and `shutdown` (empty bodies). Response verbs: `ok` (empty for
+//! ping/shutdown; for a score, `plan fnv1a64:<digest>`, `suspect
+//! <token>`, `report <n>` and then `n` embedded report lines), `busy`
+//! (body: `depth <n>` — the queue shed this request), and `error` (body:
+//! `reason "<text>"` — this request failed, the server lives on).
+//!
+//! Embedded report lines are prefixed with `|` so the frame reader's
+//! trailer scan can never mistake the *report's* own checksum trailer
+//! for the frame's. Stripped of that prefix, the embedded lines are
+//! byte-for-byte the store text `htd score --report` writes, so a client
+//! can save them to disk and feed them straight to `htd report`/`htd
+//! diff`.
+//!
+//! Parsing is strict and total: every malformed frame yields a
+//! [`ProtocolError`] carrying the 1-based offending line; the protocol
+//! layer never panics on bad input. The checksum covers every byte
+//! before the trailer line, exactly like the store format.
+
+use std::io::{BufRead, Read};
+
+use htd_store::{fnv1a64, quote, unquote};
+
+/// Leading token of every frame's first line.
+pub const MAGIC: &str = "htdserve";
+
+/// Protocol version written and accepted by this build. Bump on any
+/// incompatible grammar change; peers reject every other version.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single frame's size. A request is a handful of
+/// lines and a response embeds at most one report, so anything past
+/// this is a framing bug or abuse, not data.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Prefix shielding embedded report lines from the trailer scan.
+const EMBED_PREFIX: char = '|';
+
+/// A malformed frame: the 1-based offending line and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// 1-based line of the violation (0 when the frame as a whole is
+    /// unusable, e.g. missing its trailing newline).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ProtocolError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Score one suspect against the golden artifact at a server-side
+    /// path. The suspect token vocabulary is
+    /// [`htd_trojan::TrojanSpec::from_token`]'s.
+    Score {
+        /// Server-side path of the golden artifact.
+        golden: String,
+        /// Suspect token (`ht1`, `ht2`, `ht-seq`, …).
+        suspect: String,
+    },
+    /// Liveness probe; answered with an empty `ok`.
+    Ping,
+    /// Ask the server to stop accepting and drain its queue.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A scored suspect: the plan digest (the serve cache / shard key),
+    /// the echoed suspect token, and the embedded one-row report — the
+    /// exact store text `htd score --report` writes for the same
+    /// (artifact, suspect) pair.
+    Score {
+        /// `fnv1a64:<16 hex>` digest of the golden artifact's plan.
+        plan: String,
+        /// The request's suspect token, echoed.
+        suspect: String,
+        /// Full store text of the one-row report (trailing newline
+        /// included).
+        report: String,
+    },
+    /// Empty `ok` (answer to ping and shutdown).
+    Done,
+    /// The bounded queue was full; the request was shed, not queued.
+    Busy {
+        /// The server's configured queue depth.
+        depth: u64,
+    },
+    /// This request failed (malformed frame, unknown suspect, unloadable
+    /// artifact, degraded-beyond-repair acquisition, …). The connection
+    /// and the server both live on.
+    Error {
+        /// Human-readable failure description.
+        reason: String,
+    },
+}
+
+/// Frames a body under a verb: header line, body, checksum trailer.
+fn frame(verb: &str, body: &str) -> String {
+    let mut text = format!("{MAGIC} {PROTOCOL_VERSION} {verb}\n{body}");
+    let sum = fnv1a64(text.as_bytes());
+    text.push_str(&format!("checksum fnv1a64 {sum:016x}\n"));
+    text
+}
+
+/// Verifies framing (trailing newline, checksum trailer, header
+/// magic/version) and returns the verb plus the body lines.
+fn unframe(text: &str) -> Result<(&str, Vec<&str>), ProtocolError> {
+    if !text.ends_with('\n') {
+        return Err(ProtocolError::new(
+            0,
+            "truncated frame: missing trailing newline",
+        ));
+    }
+    let lines: Vec<&str> = text[..text.len() - 1].split('\n').collect();
+    let last_lineno = lines.len();
+    let Some((&trailer, head)) = lines.split_last() else {
+        return Err(ProtocolError::new(0, "empty frame"));
+    };
+    let declared = trailer
+        .strip_prefix("checksum fnv1a64 ")
+        .ok_or_else(|| ProtocolError::new(last_lineno, "missing `checksum fnv1a64` trailer"))?;
+    // Lowercase-only, like the store: a case flip in the (uncovered)
+    // trailer line must not go unnoticed.
+    let declared = (declared.len() == 16
+        && declared
+            .bytes()
+            .all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')))
+    .then(|| u64::from_str_radix(declared, 16).ok())
+    .flatten()
+    .ok_or_else(|| ProtocolError::new(last_lineno, "checksum must be 16 lowercase hex digits"))?;
+    let covered = &text[..text.len() - trailer.len() - 1];
+    let actual = fnv1a64(covered.as_bytes());
+    if actual != declared {
+        return Err(ProtocolError::new(
+            last_lineno,
+            format!(
+                "checksum mismatch: frame hashes to {actual:016x}, trailer says {declared:016x}"
+            ),
+        ));
+    }
+    let Some((&header, body)) = head.split_first() else {
+        return Err(ProtocolError::new(0, "frame has no header line"));
+    };
+    let mut words = header.split(' ');
+    if words.next() != Some(MAGIC) {
+        return Err(ProtocolError::new(
+            1,
+            format!("header must start `{MAGIC}`"),
+        ));
+    }
+    match words.next().and_then(|v| v.parse::<u32>().ok()) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(other) => {
+            return Err(ProtocolError::new(
+                1,
+                format!(
+                    "unsupported protocol version {other} (this build speaks {PROTOCOL_VERSION})"
+                ),
+            ))
+        }
+        None => return Err(ProtocolError::new(1, "header carries no protocol version")),
+    }
+    let verb = words
+        .next()
+        .ok_or_else(|| ProtocolError::new(1, "header carries no verb"))?;
+    if words.next().is_some() {
+        return Err(ProtocolError::new(1, "trailing tokens after the verb"));
+    }
+    Ok((verb, body.to_vec()))
+}
+
+/// A `key value-rest` body line split at the first space; errors when the
+/// key does not match.
+fn keyed<'a>(lines: &[&'a str], at: usize, key: &str) -> Result<&'a str, ProtocolError> {
+    let lineno = at + 2; // header is line 1, body starts at line 2
+    let line = lines
+        .get(at)
+        .ok_or_else(|| ProtocolError::new(lineno, format!("missing `{key}` line")))?;
+    line.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| ProtocolError::new(lineno, format!("expected `{key} <value>`")))
+}
+
+/// Rejects trailing body lines a verb does not define.
+fn no_more(lines: &[&str], from: usize) -> Result<(), ProtocolError> {
+    if lines.len() > from {
+        return Err(ProtocolError::new(
+            from + 2,
+            format!("unexpected body line {:?}", lines[from]),
+        ));
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Renders this request as a framed wire text.
+    pub fn to_text(&self) -> String {
+        match self {
+            Request::Score { golden, suspect } => frame(
+                "score",
+                &format!("golden {}\nsuspect {suspect}\n", quote(golden)),
+            ),
+            Request::Ping => frame("ping", ""),
+            Request::Shutdown => frame("shutdown", ""),
+        }
+    }
+
+    /// Parses a framed request.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on any framing, checksum, version, verb or
+    /// grammar violation.
+    pub fn parse(text: &str) -> Result<Request, ProtocolError> {
+        let (verb, body) = unframe(text)?;
+        match verb {
+            "score" => {
+                let golden = keyed(&body, 0, "golden")?;
+                let (golden, rest) = unquote(golden)
+                    .ok_or_else(|| ProtocolError::new(2, "expected `golden \"<path>\"`"))?;
+                if !rest.is_empty() {
+                    return Err(ProtocolError::new(2, "trailing tokens after the path"));
+                }
+                let suspect = keyed(&body, 1, "suspect")?;
+                if suspect.is_empty() || suspect.contains(' ') {
+                    return Err(ProtocolError::new(3, "suspect must be a single token"));
+                }
+                no_more(&body, 2)?;
+                Ok(Request::Score {
+                    golden,
+                    suspect: suspect.to_string(),
+                })
+            }
+            "ping" => {
+                no_more(&body, 0)?;
+                Ok(Request::Ping)
+            }
+            "shutdown" => {
+                no_more(&body, 0)?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(ProtocolError::new(
+                1,
+                format!("unknown request verb `{other}` (score, ping, shutdown)"),
+            )),
+        }
+    }
+}
+
+impl Response {
+    /// Renders this response as a framed wire text.
+    pub fn to_text(&self) -> String {
+        match self {
+            Response::Score {
+                plan,
+                suspect,
+                report,
+            } => {
+                let lines: Vec<&str> = report.trim_end_matches('\n').split('\n').collect();
+                let mut body = format!("plan {plan}\nsuspect {suspect}\nreport {}\n", lines.len());
+                for line in lines {
+                    body.push(EMBED_PREFIX);
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                frame("ok", &body)
+            }
+            Response::Done => frame("ok", ""),
+            Response::Busy { depth } => frame("busy", &format!("depth {depth}\n")),
+            Response::Error { reason } => frame("error", &format!("reason {}\n", quote(reason))),
+        }
+    }
+
+    /// Parses a framed response.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on any framing, checksum, version, verb or
+    /// grammar violation.
+    pub fn parse(text: &str) -> Result<Response, ProtocolError> {
+        let (verb, body) = unframe(text)?;
+        match verb {
+            "ok" if body.is_empty() => Ok(Response::Done),
+            "ok" => {
+                let plan = keyed(&body, 0, "plan")?;
+                if plan.strip_prefix("fnv1a64:").is_none_or(|hex| {
+                    hex.len() != 16 || !hex.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+                }) {
+                    return Err(ProtocolError::new(2, "expected `plan fnv1a64:<16 hex>`"));
+                }
+                let suspect = keyed(&body, 1, "suspect")?;
+                let count: usize = keyed(&body, 2, "report")?
+                    .parse()
+                    .map_err(|_| ProtocolError::new(4, "expected `report <line count>`"))?;
+                if body.len() != 3 + count {
+                    return Err(ProtocolError::new(
+                        4,
+                        format!(
+                            "report declares {count} line(s) but the body carries {}",
+                            body.len().saturating_sub(3)
+                        ),
+                    ));
+                }
+                let mut report = String::new();
+                for (i, line) in body[3..].iter().enumerate() {
+                    let line = line.strip_prefix(EMBED_PREFIX).ok_or_else(|| {
+                        ProtocolError::new(i + 5, "embedded report lines must start with `|`")
+                    })?;
+                    report.push_str(line);
+                    report.push('\n');
+                }
+                Ok(Response::Score {
+                    plan: plan.to_string(),
+                    suspect: suspect.to_string(),
+                    report,
+                })
+            }
+            "busy" => {
+                let depth = keyed(&body, 0, "depth")?
+                    .parse()
+                    .map_err(|_| ProtocolError::new(2, "expected `depth <n>`"))?;
+                no_more(&body, 1)?;
+                Ok(Response::Busy { depth })
+            }
+            "error" => {
+                let reason = keyed(&body, 0, "reason")?;
+                let (reason, rest) = unquote(reason)
+                    .ok_or_else(|| ProtocolError::new(2, "expected `reason \"<text>\"`"))?;
+                if !rest.is_empty() {
+                    return Err(ProtocolError::new(2, "trailing tokens after the reason"));
+                }
+                no_more(&body, 1)?;
+                Ok(Response::Error { reason })
+            }
+            other => Err(ProtocolError::new(
+                1,
+                format!("unknown response verb `{other}` (ok, busy, error)"),
+            )),
+        }
+    }
+}
+
+/// Reads one frame off a buffered stream: lines up to and including the
+/// first line that opens with `checksum ` (embedded report lines are
+/// `|`-prefixed, so a report's own trailer never terminates the frame
+/// early). Returns `Ok(None)` on a clean end-of-stream at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// I/O errors from the stream; `UnexpectedEof` when the stream ends
+/// mid-frame; `InvalidData` when a frame exceeds [`MAX_FRAME_BYTES`].
+pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Option<String>> {
+    let mut text = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bound the read so a hostile peer cannot balloon one "line".
+        let n = reader
+            .by_ref()
+            .take((MAX_FRAME_BYTES + 1) as u64)
+            .read_line(&mut line)?;
+        if n == 0 {
+            return if text.is_empty() {
+                Ok(None)
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            };
+        }
+        text.push_str(&line);
+        if text.len() > MAX_FRAME_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame exceeds the protocol size bound",
+            ));
+        }
+        if line.starts_with("checksum ") && line.ends_with('\n') {
+            return Ok(Some(text));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: &Request) {
+        let text = request.to_text();
+        assert_eq!(&Request::parse(&text).unwrap(), request, "{text}");
+    }
+
+    fn roundtrip_response(response: &Response) {
+        let text = response.to_text();
+        assert_eq!(&Response::parse(&text).unwrap(), response, "{text}");
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        roundtrip_request(&Request::Score {
+            golden: "goldens/aes with space.htd".into(),
+            suspect: "ht2".into(),
+        });
+        roundtrip_request(&Request::Ping);
+        roundtrip_request(&Request::Shutdown);
+        roundtrip_response(&Response::Done);
+        roundtrip_response(&Response::Busy { depth: 64 });
+        roundtrip_response(&Response::Error {
+            reason: "quoted \"reason\"\nwith a newline".into(),
+        });
+        // The embedded report carries its own checksum trailer; the
+        // `|` prefix keeps it from terminating the outer frame.
+        roundtrip_response(&Response::Score {
+            plan: "fnv1a64:56beaff94e0d743d".into(),
+            suspect: "ht2".into(),
+            report: "htdstore 1 report\nrows 0\nchecksum fnv1a64 0123456789abcdef\n".into(),
+        });
+    }
+
+    #[test]
+    fn embedded_report_does_not_break_frame_reading() {
+        let response = Response::Score {
+            plan: "fnv1a64:0000000000000000".into(),
+            suspect: "ht1".into(),
+            report: "htdstore 1 report\nchecksum fnv1a64 0123456789abcdef\n".into(),
+        };
+        let wire = response.to_text();
+        let mut reader = std::io::BufReader::new(wire.as_bytes());
+        let frame = read_frame(&mut reader).unwrap().expect("one frame");
+        assert_eq!(frame, wire);
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_error_without_panicking() {
+        let valid = Request::Ping.to_text();
+        for (case, text) in [
+            ("no trailing newline", valid.trim_end().to_string()),
+            ("empty", String::new()),
+            ("no trailer", "htdserve 1 ping\n".to_string()),
+            (
+                "bad checksum",
+                valid.replace(
+                    &valid[valid.len() - 17..valid.len() - 1],
+                    "0000000000000000",
+                ),
+            ),
+            ("uppercase checksum", valid.to_ascii_uppercase()),
+            ("wrong magic", valid.replace(MAGIC, "htdstore")),
+            ("future version", valid.replace("htdserve 1", "htdserve 2")),
+        ] {
+            let err = Request::parse(&text);
+            assert!(err.is_err(), "{case}: {text:?} parsed");
+        }
+        // An unknown verb and a bad body still carry a line number.
+        let unknown = frame("install-malware", "");
+        let err = Request::parse(&unknown).unwrap_err();
+        assert_eq!(err.line, 1);
+        let bad_body = frame("score", "golden unquoted\nsuspect ht2\n");
+        let err = Request::parse(&bad_body).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut wire = String::from("htdserve 1 score\n");
+        while wire.len() <= MAX_FRAME_BYTES {
+            wire.push_str("golden \"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\"\n");
+        }
+        let mut reader = std::io::BufReader::new(wire.as_bytes());
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -40,12 +40,27 @@ mod format;
 mod kinds;
 
 pub use checksum::fnv1a64;
-pub use format::{FORMAT_VERSION, IN_MEMORY, MAGIC};
+pub use format::{quote, unquote, FORMAT_VERSION, IN_MEMORY, MAGIC};
 pub use kinds::{Artifact, ChannelFit, GoldenArtifact};
 
-use htd_core::Error;
+use htd_core::{CampaignPlan, Error};
 
 use format::{frame, unframe, BodyWriter};
+
+/// FNV-1a digest of a campaign plan's store text: the canonical identity
+/// of a campaign across the pipeline. Run manifests stamp it, the serve
+/// cache keys golden artifacts by it, and the shard router partitions
+/// suspects with it (`plan_digest(plan) % shards`), so every consumer
+/// shares this one implementation.
+pub fn plan_digest(plan: &CampaignPlan) -> u64 {
+    fnv1a64(to_text(plan).as_bytes())
+}
+
+/// [`plan_digest`] rendered in the form manifests and the serve protocol
+/// print: `fnv1a64:<16 lowercase hex digits>`.
+pub fn plan_digest_hex(plan: &CampaignPlan) -> String {
+    format!("fnv1a64:{:016x}", plan_digest(plan))
+}
 
 /// Renders an artifact to its full framed text.
 pub fn to_text<A: Artifact>(artifact: &A) -> String {
@@ -311,6 +326,19 @@ mod tests {
             golden: (0..19).map(|i| f64::from(i) * 0.37).collect(),
             infected: vec![8.5, 9.25, 10.0],
         });
+    }
+
+    /// The plan digest is pinned to a literal value: serve cache keys,
+    /// shard assignment (`digest % shards`) and manifest provenance all
+    /// depend on it never drifting across releases. A change here is a
+    /// cache/shard-invalidation event and must be deliberate.
+    #[test]
+    fn plan_digest_is_pinned() {
+        let plan = CampaignPlan::with_random_pairs(6, 2, 3, [0x13; 16], [0x7f; 16], 42);
+        let digest = plan_digest(&plan);
+        assert_eq!(digest, fnv1a64(to_text(&plan).as_bytes()));
+        assert_eq!(digest, 0x56beaff94e0d743d);
+        assert_eq!(plan_digest_hex(&plan), "fnv1a64:56beaff94e0d743d");
     }
 
     #[test]

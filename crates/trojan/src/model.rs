@@ -164,6 +164,24 @@ impl TrojanSpec {
         vec![Self::ht1(), Self::ht2(), Self::ht3()]
     }
 
+    /// Resolves a single suspect token to its spec — the vocabulary the
+    /// `htd` CLI and the serve protocol share (`ht1`, `ht2`, `ht3`,
+    /// `ht-comb`/`comb`, `ht-seq`/`seq`, `stealth`, case-insensitive).
+    /// Multi-spec tokens like `sweep` are a CLI-level convenience and
+    /// deliberately not accepted here: a serve request names exactly one
+    /// suspect.
+    pub fn from_token(token: &str) -> Option<Self> {
+        match token.to_ascii_lowercase().as_str() {
+            "ht1" | "ht-1" => Some(Self::ht1()),
+            "ht2" | "ht-2" => Some(Self::ht2()),
+            "ht3" | "ht-3" => Some(Self::ht3()),
+            "ht-comb" | "comb" => Some(Self::ht_comb()),
+            "ht-seq" | "seq" => Some(Self::ht_seq()),
+            "stealth" => Some(Self::stealth()),
+            _ => None,
+        }
+    }
+
     /// A stealth load-only probe on 32 SubBytes inputs (extension; see
     /// [`Trigger::StealthProbe`]).
     pub fn stealth() -> Self {

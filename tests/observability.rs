@@ -263,6 +263,101 @@ fn cli_manifest_counters_are_bit_identical_across_worker_counts() {
     assert_eq!(pinned.plan_digest, first.plan_digest);
 }
 
+/// Serve-level counter determinism: the manifest a shutdown `htd serve`
+/// writes carries a bit-identical counter section at 1, 2, and 8
+/// workers for the same sequential request stream — the scheduler
+/// thread owns every cache and counter, so worker count only changes
+/// durations, never counts.
+#[test]
+fn serve_manifest_counters_are_worker_invariant() {
+    use htd_serve::{Client, Request, Response};
+    use std::process::Stdio;
+
+    let dir = scratch("serve-invariance");
+    let golden = dir.join("golden.htd");
+    run_htd(&cli_characterize_args(&golden, 2));
+    let golden = golden.display().to_string();
+
+    let mut manifests = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let metrics = dir.join(format!("serve-w{workers}.json"));
+        let mut child = Command::new(env!("CARGO_BIN_EXE_htd"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers"])
+            .arg(workers.to_string())
+            .arg("--metrics")
+            .arg(&metrics)
+            .args(["--metrics-every", "1000"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("htd serve spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = std::io::BufRead::lines(std::io::BufReader::new(stdout));
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve exited before binding")
+                .expect("readable stdout");
+            if let Some(addr) = line.strip_prefix("serving on ") {
+                break addr.to_string();
+            }
+        };
+        std::thread::spawn(move || for _ in lines {});
+
+        let mut client = Client::connect(addr.as_str()).expect("client connects");
+        // Sequential stream: one golden miss then hits, one result-cache
+        // conversion on the repeated ht2.
+        for suspect in ["ht2", "ht2", "ht-seq"] {
+            let response = client
+                .call(&Request::Score {
+                    golden: golden.clone(),
+                    suspect: suspect.into(),
+                })
+                .expect("score answered");
+            assert!(
+                matches!(response, Response::Score { .. }),
+                "{workers} workers: {response:?}"
+            );
+        }
+        assert_eq!(
+            client.call(&Request::Shutdown).expect("shutdown"),
+            Response::Done
+        );
+        assert!(child.wait().expect("serve exits").success());
+
+        let manifest =
+            RunManifest::parse(&std::fs::read_to_string(&metrics).expect("manifest written"))
+                .expect("serve manifest parses strictly");
+        assert_eq!(manifest.command, "serve");
+        assert_eq!(manifest.workers as usize, workers);
+        manifests.push((workers, manifest));
+    }
+
+    let (_, first) = &manifests[0];
+    for (workers, manifest) in &manifests[1..] {
+        assert_eq!(
+            first.counters_text(),
+            manifest.counters_text(),
+            "serve counter section differs at {workers} workers"
+        );
+        assert_eq!(first.plan_digest, manifest.plan_digest);
+    }
+    let get = |name: &str| {
+        first
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing counter {name:?}"))
+            .1
+    };
+    assert_eq!(get("serve.requests"), 3);
+    assert_eq!(get("serve.batches"), 3);
+    assert_eq!(get("store.cache.miss"), 1);
+    assert_eq!(get("store.cache.hit"), 2);
+    assert_eq!(get("serve.cache.result.miss"), 2);
+    assert_eq!(get("serve.cache.result.hit"), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The committed manifest fixture is a valid, current-version manifest
 /// with the documented top-level shape. This parses strictly — any
 /// added, removed, or renamed field in the writer shows up here (and in

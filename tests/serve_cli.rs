@@ -1,0 +1,344 @@
+//! End-to-end tests of `htd serve`: a real server on a real socket,
+//! driven through the library client. The load-bearing claims: served
+//! responses embed the byte-identical report the offline `htd score`
+//! path writes — at 1, 2 and 8 workers, with the result cache disabled
+//! so every request really scores — and every failure mode (malformed
+//! frame, queue overflow, faulted acquisition) degrades exactly one
+//! response while the server lives on.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use htd_obs::RunManifest;
+use htd_serve::{Client, Request, Response};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htd-serve-{}-{}", std::process::id(), tag));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn htd(args: &[&str]) -> std::process::Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_htd"))
+        .args(args)
+        .output()
+        .expect("htd spawns");
+    assert!(
+        out.status.success(),
+        "htd {args:?} failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+/// The small pinned campaign every serve test scores against (matching
+/// the CI smoke in `ci.sh`).
+fn characterize(dir: &Path) -> String {
+    let golden = dir.join("golden.htd").display().to_string();
+    htd(&[
+        "characterize",
+        "--out",
+        &golden,
+        "--dies",
+        "3",
+        "--pairs",
+        "2",
+        "--reps",
+        "2",
+        "--seed",
+        "42",
+        "--channels",
+        "em,delay",
+    ]);
+    golden
+}
+
+/// A serve instance on an ephemeral port: spawns `htd serve <extra>`,
+/// blocks until the startup line names the bound address.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_htd"))
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("htd serve spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve exited before binding")
+                .expect("readable stdout");
+            if let Some(addr) = line.strip_prefix("serving on ") {
+                break addr.to_string();
+            }
+        };
+        // Keep draining stdout in the background so the closing summary
+        // cannot block the child on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Server { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr.as_str()).expect("client connects")
+    }
+
+    /// Sends `shutdown` and waits for a clean exit.
+    fn shutdown(mut self) {
+        let mut client = self.client();
+        assert_eq!(
+            client.call(&Request::Shutdown).expect("shutdown answered"),
+            Response::Done
+        );
+        let status = self.child.wait().expect("serve exits");
+        assert!(status.success(), "serve exited with {status}");
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Belt and braces for assertion failures mid-test: never leave
+        // a server behind.
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+fn score(client: &mut Client, golden: &str, suspect: &str) -> Response {
+    client
+        .call(&Request::Score {
+            golden: golden.to_string(),
+            suspect: suspect.to_string(),
+        })
+        .expect("score answered")
+}
+
+#[test]
+fn served_scores_are_bit_identical_to_offline_at_any_worker_count() {
+    let dir = scratch("identity");
+    let golden = characterize(&dir);
+
+    // The offline truth: one report per suspect via `htd score`.
+    let mut offline = Vec::new();
+    for suspect in ["ht1", "ht-seq"] {
+        let path = dir.join(format!("offline-{suspect}.htd"));
+        htd(&[
+            "score",
+            "--golden",
+            &golden,
+            "--trojans",
+            suspect,
+            "--report",
+            &path.display().to_string(),
+        ]);
+        offline.push((
+            suspect,
+            std::fs::read_to_string(&path).expect("offline report"),
+        ));
+    }
+
+    for workers in ["1", "2", "8"] {
+        // --result-cache 0: every request must really score, so worker
+        // invariance is exercised, not memoized away.
+        let server = Server::spawn(&["--workers", workers, "--result-cache", "0"]);
+        let mut client = server.client();
+        // Twice per suspect: rescoring the same request must also agree.
+        for _round in 0..2 {
+            for (suspect, expected) in &offline {
+                let response = score(&mut client, &golden, suspect);
+                let Response::Score {
+                    report,
+                    plan,
+                    suspect: echoed,
+                } = response
+                else {
+                    panic!("expected a score at {workers} workers, got {response:?}");
+                };
+                assert_eq!(&echoed, suspect);
+                assert!(plan.starts_with("fnv1a64:"), "bad plan digest {plan}");
+                assert_eq!(
+                    &report, expected,
+                    "served {suspect} differs from offline at {workers} workers"
+                );
+            }
+        }
+        server.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_requests_get_error_responses_not_a_dead_server() {
+    let server = Server::spawn(&[]);
+    let mut client = server.client();
+    for (case, raw) in [
+        (
+            "bad checksum",
+            "htdserve 1 ping\nchecksum fnv1a64 0000000000000000\n".to_string(),
+        ),
+        ("unknown verb", frame_of("htdserve 1 explode\n")),
+        (
+            "bad score body",
+            frame_of("htdserve 1 score\ngolden unquoted path\nsuspect ht2\n"),
+        ),
+        ("wrong magic", frame_of("htdstore 1 ping\n")),
+        ("future version", frame_of("htdserve 99 ping\n")),
+    ] {
+        client.send_raw(raw.as_bytes()).expect("raw frame sent");
+        let response = client.read_response().expect("server answered");
+        assert!(
+            matches!(&response, Response::Error { reason } if reason.contains("malformed")),
+            "{case}: {response:?}"
+        );
+    }
+    // An unknown suspect token fails at resolution, same connection.
+    let response = score(&mut client, "/nonexistent.htd", "ht2");
+    assert!(matches!(response, Response::Error { .. }), "{response:?}");
+    // The server is still fully alive.
+    assert_eq!(client.call(&Request::Ping).expect("ping"), Response::Done);
+    server.shutdown();
+}
+
+/// Appends a valid checksum trailer to `body` so only the *content* is
+/// malformed, never the framing (a bad trailer is its own test case).
+fn frame_of(body: &str) -> String {
+    format!(
+        "{body}checksum fnv1a64 {:016x}\n",
+        htd_store::fnv1a64(body.as_bytes())
+    )
+}
+
+#[test]
+fn overflowing_the_queue_sheds_busy_responses() {
+    let dir = scratch("busy");
+    let golden = characterize(&dir);
+    let server = Server::spawn(&[
+        "--queue-depth",
+        "1",
+        "--workers",
+        "1",
+        "--result-cache",
+        "0",
+    ]);
+
+    // 12 clients race one queue slot while the scheduler is busy with a
+    // cold (hundreds of ms) score: most must be shed with `busy`.
+    let mut handles = Vec::new();
+    for _ in 0..12 {
+        let addr = server.addr.clone();
+        let golden = golden.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr.as_str()).expect("client connects");
+            score(&mut client, &golden, "ht1")
+        }));
+    }
+    let (mut ok, mut busy) = (0, 0);
+    for handle in handles {
+        match handle.join().expect("client thread") {
+            Response::Score { .. } => ok += 1,
+            Response::Busy { depth } => {
+                assert_eq!(depth, 1, "busy must echo the configured depth");
+                busy += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(ok + busy, 12);
+    assert!(ok >= 1, "at least one request must be served");
+    assert!(busy >= 1, "a depth-1 queue under 12 clients must shed");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faulted_acquisitions_degrade_one_response_not_the_process() {
+    let dir = scratch("faults");
+    let golden = characterize(&dir);
+    // Every acquisition attempt fails: under the strict policy each
+    // score request exhausts its budget and errors.
+    let faults = htd_faults::FaultPlan {
+        seed: 7,
+        acquire_rate: 1.0,
+        rep_rate: 0.0,
+        calibrate_rate: 0.0,
+        store_rate: 0.0,
+    };
+    let fault_path = dir.join("faults.htd").display().to_string();
+    std::fs::write(&fault_path, htd_store::to_text(&faults)).expect("fault plan written");
+
+    let server = Server::spawn(&["--faults", &fault_path, "--result-cache", "0"]);
+    let mut client = server.client();
+    for _ in 0..2 {
+        let response = score(&mut client, &golden, "ht1");
+        assert!(
+            matches!(&response, Response::Error { .. }),
+            "fully faulted acquisition must degrade the response: {response:?}"
+        );
+    }
+    // The process survived two faulted campaigns.
+    assert_eq!(client.call(&Request::Ping).expect("ping"), Response::Done);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_writes_a_final_manifest_with_the_serve_counters() {
+    let dir = scratch("manifest");
+    let golden = characterize(&dir);
+    let manifest_path = dir.join("manifest.json");
+    let server = Server::spawn(&[
+        "--metrics",
+        &manifest_path.display().to_string(),
+        // Larger than the request count: only the shutdown write fires.
+        "--metrics-every",
+        "1000",
+    ]);
+    let mut client = server.client();
+    for suspect in ["ht2", "ht2", "ht-seq"] {
+        let response = score(&mut client, &golden, suspect);
+        assert!(matches!(response, Response::Score { .. }), "{response:?}");
+    }
+    server.shutdown();
+
+    let manifest =
+        RunManifest::parse(&std::fs::read_to_string(&manifest_path).expect("manifest written"))
+            .expect("manifest parses strictly");
+    assert_eq!(manifest.command, "serve");
+    assert!(
+        manifest.plan_digest.starts_with("fnv1a64:"),
+        "manifest carries the last plan digest: {}",
+        manifest.plan_digest
+    );
+    let get = |name: &str| {
+        manifest
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing counter {name:?}"))
+            .1
+    };
+    assert_eq!(get("serve.requests"), 3);
+    assert_eq!(get("serve.responses.ok"), 3);
+    assert_eq!(get("serve.batches"), 3, "sequential requests batch alone");
+    // One golden, requested three times: one store miss, two hits.
+    assert_eq!(get("store.cache.miss"), 1);
+    assert_eq!(get("store.cache.hit"), 2);
+    // ht2 repeats, so the result cache converts the second request.
+    assert_eq!(get("serve.cache.result.miss"), 2);
+    assert_eq!(get("serve.cache.result.hit"), 1);
+    assert_eq!(
+        get("serve.manifest.writes"),
+        1,
+        "only the final write fired"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
