@@ -85,7 +85,7 @@ USAGE:
       Clients name a stored golden artifact by server-side path and a
       suspect token; responses embed the byte-identical report `htd
       score` writes offline, at any --workers value. Requests batch by
-      golden plan digest; parsed goldens stay hot in an LRU bounded by
+      golden content digest; parsed goldens stay hot in an LRU bounded by
       --cache-bytes, finished reports memoize in a --result-cache entry
       LRU (0 disables). Past --queue-depth waiting requests, new ones
       are shed with an explicit `busy` response. Prints `serving on
@@ -105,7 +105,7 @@ USAGE:
   htd diff FILE FILE
       Compare two stored artifacts of the same kind. Golden artifacts
       diff by campaign plan digest (printed for both sides — the serve
-      cache/shard key); reports print content digests and then diff
+      wire/shard key); reports print content digests and then diff
       row by row.
 
   htd version [--json]
@@ -1228,8 +1228,10 @@ fn diff(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
 
     // Golden artifacts diff by identity of their campaign plan — the
-    // digest printed here is the serve cache/shard key, so two goldens
-    // with the same line are interchangeable to a scoring server.
+    // digest printed here is the serve wire/shard key, so two goldens
+    // with the same line land on the same scoring instance (the serve
+    // caches themselves key by artifact content, which the row diff
+    // below distinguishes).
     if kind_a == Some("golden") {
         let a: GoldenArtifact = htd_store::from_text_at(&text_a, path_a)?;
         let b: GoldenArtifact = htd_store::from_text_at(&text_b, path_b)?;

@@ -1,20 +1,28 @@
 //! The two caches behind the serve scheduler.
 //!
 //! [`GoldenCache`] holds parsed [`GoldenArtifact`]s keyed by the FNV-1a
-//! digest of their campaign plan (the same value `htd_store::plan_digest`
-//! computes and the manifest records), with a path→digest side index so
-//! repeat requests for the same file skip the filesystem entirely. It is
-//! an LRU bounded by total artifact *bytes* — goldens vary wildly in
-//! size with die count, so an entry-count cap would bound nothing.
+//! digest of the artifact's *full file text* — not of its plan. Two
+//! goldens characterized from the same plan but through different
+//! channels carry the same plan digest yet score differently, so
+//! keying by plan would let one silently answer for the other; the
+//! content digest makes byte-distinct artifacts distinct cache
+//! entries. The plan digest (the value `htd_store::plan_digest`
+//! computes, the manifest records and the shard router hashes) rides
+//! along on each entry as the wire identity. A path→content-digest
+//! side index lets repeat requests for the same file skip the
+//! filesystem entirely; its entries are pruned when the artifact they
+//! point at is evicted. The LRU is bounded by total artifact *bytes* —
+//! goldens vary wildly in size with die count, so an entry-count cap
+//! would bound nothing.
 //!
-//! [`ResultCache`] memoizes rendered report texts by `(plan digest,
-//! suspect token)`. Scoring is a pure function of that pair — every
-//! seed derives from the plan, every fault tag from the suspect's fixed
-//! position 0 — so serving a cached response is *bit-identical* to
-//! rescoring, and the warm-path throughput of `htd bench --serve` is
-//! really this map's lookup cost. It is bounded by entry count and a
-//! cap of zero disables it outright (the bit-identity e2e tests do this
-//! to force real scoring).
+//! [`ResultCache`] memoizes rendered report texts by `(content digest,
+//! suspect token)`. Scoring is a pure function of that pair — the
+//! artifact text fixes the plan (hence every seed), the channel states,
+//! and the suspect's fault tag at its fixed position 0 — so serving a
+//! cached response is *bit-identical* to rescoring, and the warm-path
+//! throughput of `htd bench --serve` is really this map's lookup cost.
+//! It is bounded by entry count and a cap of zero disables it outright
+//! (the bit-identity e2e tests do this to force real scoring).
 //!
 //! Neither cache locks: both live inside the single scheduler thread,
 //! which also makes every `store.cache.*` / `serve.cache.result.*`
@@ -26,13 +34,18 @@ use std::sync::Arc;
 
 use htd_core::Error;
 use htd_obs::Obs;
-use htd_store::{from_text_at, plan_digest, GoldenArtifact};
+use htd_store::{fnv1a64, from_text_at, plan_digest, GoldenArtifact};
 
-/// A parsed golden artifact plus the identity the cache and the wire
-/// protocol speak: its plan digest.
+/// A parsed golden artifact plus its two identities: the content
+/// digest the caches key by, and the plan digest the wire protocol and
+/// shard router speak.
 #[derive(Debug)]
 pub struct CachedGolden {
-    /// FNV-1a digest of the plan's store text (the cache/shard key).
+    /// FNV-1a digest of the artifact's full file text (the cache key).
+    /// Byte-distinct artifacts — including two characterized from the
+    /// same plan through different channels — never share this value.
+    pub content_digest: u64,
+    /// FNV-1a digest of the plan's store text (the wire/shard key).
     pub digest: u64,
     /// `fnv1a64:<16 hex>` rendering of [`digest`](Self::digest), as
     /// responses and manifests print it.
@@ -49,14 +62,15 @@ struct Slot {
     last_use: u64,
 }
 
-/// Byte-bounded LRU of parsed golden artifacts, digest-keyed.
+/// Byte-bounded LRU of parsed golden artifacts, content-digest-keyed.
 pub struct GoldenCache {
     cap_bytes: usize,
     total_bytes: usize,
     tick: u64,
     entries: HashMap<u64, Slot>,
-    /// Which digest a given path last parsed to. An entry here is only
-    /// a hint: it must still resolve through `entries` to count as hot.
+    /// Which content digest a given path last parsed to. An entry here
+    /// is only a hint: it must still resolve through `entries` to count
+    /// as hot, and it is dropped when that entry is evicted.
     paths: HashMap<PathBuf, u64>,
 }
 
@@ -100,8 +114,8 @@ impl GoldenCache {
     /// when it is not a well-formed golden artifact.
     pub fn get(&mut self, path: &Path, obs: &Obs) -> Result<Arc<CachedGolden>, Error> {
         self.tick += 1;
-        if let Some(&digest) = self.paths.get(path) {
-            if let Some(slot) = self.entries.get_mut(&digest) {
+        if let Some(&content) = self.paths.get(path) {
+            if let Some(slot) = self.entries.get_mut(&content) {
                 slot.last_use = self.tick;
                 obs.incr("store.cache.hit");
                 return Ok(Arc::clone(&slot.golden));
@@ -110,19 +124,21 @@ impl GoldenCache {
         obs.incr("store.cache.miss");
         let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
         let artifact: GoldenArtifact = from_text_at(&text, &path.display().to_string())?;
+        let content_digest = fnv1a64(text.as_bytes());
         let digest = plan_digest(&artifact.characterization().plan);
         let golden = Arc::new(CachedGolden {
+            content_digest,
             digest,
             digest_hex: format!("fnv1a64:{digest:016x}"),
             artifact,
             bytes: text.len(),
         });
-        self.paths.insert(path.to_path_buf(), digest);
-        // Two paths can hold byte-distinct files with the same plan
-        // (different channel states); last write wins, and the byte
-        // ledger must shed the displaced entry's size.
+        self.paths.insert(path.to_path_buf(), content_digest);
+        // Two paths can hold byte-identical files; the displaced entry
+        // is the same text, but the byte ledger must still shed its
+        // size before counting the replacement's.
         if let Some(old) = self.entries.insert(
-            digest,
+            content_digest,
             Slot {
                 golden: Arc::clone(&golden),
                 last_use: self.tick,
@@ -135,12 +151,13 @@ impl GoldenCache {
             let coldest = self
                 .entries
                 .iter()
-                .filter(|(&d, _)| d != digest)
+                .filter(|(&d, _)| d != content_digest)
                 .min_by_key(|(_, slot)| slot.last_use)
                 .map(|(&d, _)| d)
                 .expect("len > 1 leaves at least one other entry");
             let evicted = self.entries.remove(&coldest).expect("key came from iter");
             self.total_bytes -= evicted.golden.bytes;
+            self.paths.retain(|_, &mut d| d != coldest);
             obs.incr("store.cache.evict");
         }
         Ok(golden)
@@ -148,7 +165,7 @@ impl GoldenCache {
 }
 
 /// Entry-bounded LRU memoizing rendered report texts by
-/// `(plan digest, suspect token)`.
+/// `(content digest, suspect token)`.
 pub struct ResultCache {
     cap: usize,
     tick: u64,
@@ -238,8 +255,10 @@ mod tests {
     }
 
     /// A valid single-channel golden artifact written to `dir`; `seed`
-    /// varies the plan, so distinct seeds yield distinct digests.
-    fn write_golden(dir: &Path, name: &str, seed: u8) -> PathBuf {
+    /// varies the plan (so distinct seeds yield distinct plan digests)
+    /// while `level` varies only the channel state — same plan,
+    /// byte-distinct file.
+    fn write_golden_at(dir: &Path, name: &str, seed: u8, level: f64) -> PathBuf {
         use htd_core::channel::{Calibration, ChannelSpec, GoldenReference};
         use htd_core::em_detect::TraceMetric;
         use htd_core::prelude::{ChannelState, GoldenCharacterization, Trace};
@@ -247,7 +266,7 @@ mod tests {
         let state = ChannelState::pristine(
             "EM",
             Calibration::None,
-            GoldenReference::MeanTrace(Trace::new(vec![0.25; 9], 125.0)),
+            GoldenReference::MeanTrace(Trace::new(vec![level; 9], 125.0)),
             (0..plan.n_dies).map(|i| i as f64 * 1.5).collect(),
         );
         let artifact = GoldenArtifact::new(
@@ -262,6 +281,10 @@ mod tests {
         let path = dir.join(name);
         std::fs::write(&path, htd_store::to_text(&artifact)).unwrap();
         path
+    }
+
+    fn write_golden(dir: &Path, name: &str, seed: u8) -> PathBuf {
+        write_golden_at(dir, name, seed, 0.25)
     }
 
     #[test]
@@ -289,6 +312,38 @@ mod tests {
         // The evicted artifact reloads as a miss, not an error.
         cache.get(&a, &obs).unwrap();
         assert_eq!(counter(&obs, "store.cache.miss"), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn same_plan_different_channels_are_distinct_entries() {
+        let dir = std::env::temp_dir().join(format!("htd-serve-collide-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Same seed → same plan digest; different level → different file
+        // bytes. Keying by plan digest would make B silently answer for A.
+        let a = write_golden_at(&dir, "a.htd", 1, 0.25);
+        let b = write_golden_at(&dir, "b.htd", 1, 0.75);
+        let obs = Obs::recording();
+        let mut cache = GoldenCache::new(1 << 20);
+
+        let first = cache.get(&a, &obs).unwrap();
+        let second = cache.get(&b, &obs).unwrap();
+        assert_eq!(first.digest, second.digest, "plans are identical");
+        assert_ne!(first.content_digest, second.content_digest);
+        assert_eq!(cache.len(), 2, "both artifacts stay resident");
+
+        // Each path keeps resolving to its own artifact text.
+        let text_a = std::fs::read_to_string(&a).unwrap();
+        let text_b = std::fs::read_to_string(&b).unwrap();
+        assert_eq!(
+            cache.get(&a, &obs).unwrap().content_digest,
+            htd_store::fnv1a64(text_a.as_bytes())
+        );
+        assert_eq!(
+            cache.get(&b, &obs).unwrap().content_digest,
+            htd_store::fnv1a64(text_b.as_bytes())
+        );
+        assert_eq!(counter(&obs, "store.cache.hit"), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -34,9 +34,12 @@
 //! configured depth they shed with an explicit `busy` response — the
 //! client retries, nothing queues unboundedly). A single scheduler
 //! thread drains the queue in batches, groups requests by the FNV-1a
-//! digest of their golden's campaign plan, and scores each group
-//! through one `ScoringSession`, paying device programming and golden
-//! setup once per batch. Every suspect scores at campaign position 0
+//! digest of their golden's artifact text (a refinement of the
+//! plan-digest grouping the shard router uses: same-plan goldens with
+//! different channel data never share a session), and scores each
+//! group through one `ScoringSession`, paying device programming and
+//! golden setup once per batch. Every suspect scores at campaign
+//! position 0
 //! through the offline scorer's exact code path, so responses are
 //! bit-identical to `htd score` at any worker count and under any
 //! request interleaving.
@@ -45,11 +48,14 @@
 //!
 //! Two scheduler-owned caches (see [`cache`]): a byte-bounded LRU of
 //! parsed golden artifacts (`store.cache.{hit,miss,evict}`) and an
-//! entry-bounded memo of rendered reports keyed by (plan digest,
+//! entry-bounded memo of rendered reports keyed by (content digest,
 //! suspect) — sound because scoring is a pure function of that pair
-//! (`serve.cache.result.{hit,miss}`). Both live on one thread, so the
-//! counters are deterministic for sequential workloads at any worker
-//! count.
+//! (`serve.cache.result.{hit,miss}`). Both key by the FNV-1a digest of
+//! the artifact's full file text, never by its plan digest alone: two
+//! goldens characterized from one plan through different channels score
+//! differently and must never answer for each other. Both live on one
+//! thread, so the counters are deterministic for sequential workloads
+//! at any worker count.
 //!
 //! # Failure isolation
 //!

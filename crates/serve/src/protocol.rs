@@ -96,7 +96,7 @@ pub enum Request {
 /// A server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
-    /// A scored suspect: the plan digest (the serve cache / shard key),
+    /// A scored suspect: the plan digest (the serve wire/shard key),
     /// the echoed suspect token, and the embedded one-row report — the
     /// exact store text `htd score --report` writes for the same
     /// (artifact, suspect) pair.

@@ -10,10 +10,12 @@
 //!   with `busy` when the queue is at depth;
 //! - the **scheduler thread** owns everything stateful (the lab, the
 //!   engine, both caches) and drains the queue in batches: each wake
-//!   takes every queued request, groups them by golden plan digest, and
-//!   scores each group through one [`ScoringSession`] so device
-//!   programming and golden setup are paid once per batch instead of
-//!   once per request.
+//!   takes every queued request, groups them by golden content digest
+//!   (which refines the plan-digest grouping the shard router uses —
+//!   same-plan goldens with different channel data never share a
+//!   session), and scores each group through one [`ScoringSession`] so
+//!   device programming and golden setup are paid once per batch
+//!   instead of once per request.
 //!
 //! Correctness invariant: every suspect is scored at campaign position
 //! 0 through the exact code path of the offline campaign scorer, so a
@@ -21,13 +23,17 @@
 //! for the same (artifact, suspect) pair — at any worker count, under
 //! any request interleaving, whatever batches the queue happens to
 //! form. Caching preserves this for free because scoring is a pure
-//! function of (plan digest, suspect token).
+//! function of (artifact content, suspect token) and both caches key
+//! by the artifact's content digest.
 //!
 //! Failure isolation mirrors the offline pipeline's resilience story: a
 //! faulted acquisition, an unknown suspect or an unloadable artifact
 //! degrades exactly one response into `error`; the connection, the
 //! scheduler and the process all live on. Only binding the socket or
-//! failing to write a requested manifest is fatal.
+//! failing to write a requested manifest is fatal — and even then the
+//! scheduler's exit path answers every still-queued request with
+//! `error` and wakes the accept loop, so no handler blocks forever and
+//! [`serve`] returns the error promptly.
 
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
@@ -165,7 +171,28 @@ pub fn serve(
         let shared = Arc::clone(&shared);
         let obs = obs.clone();
         let config = config.clone();
-        std::thread::spawn(move || scheduler_loop(&config, &obs, &shared))
+        std::thread::spawn(move || {
+            let result = scheduler_loop(&config, &obs, &shared);
+            // However the scheduler ended — clean shutdown or a fatal
+            // manifest error — no handler may be left blocked on a
+            // reply that will never come, and the accept loop must
+            // observe the flag instead of blocking in `accept` until
+            // the next client happens to connect.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let stranded: Vec<Job> = {
+                let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+                queue.drain(..).collect()
+            };
+            for job in stranded {
+                shared.handler_errors.fetch_add(1, Ordering::SeqCst);
+                obs.incr("serve.responses.error");
+                let _ = job.reply.send(Response::Error {
+                    reason: "server shutting down".to_string(),
+                });
+            }
+            drop(TcpStream::connect(local));
+            result
+        })
     };
 
     for stream in listener.incoming() {
@@ -232,6 +259,7 @@ fn handle_connection(stream: TcpStream, local: SocketAddr, shared: &Shared, obs:
                         // us); the peer still deserves an answer.
                         Err(_) => {
                             shared.handler_errors.fetch_add(1, Ordering::SeqCst);
+                            obs.incr("serve.responses.error");
                             Response::Error {
                                 reason: "server shutting down".to_string(),
                             }
@@ -242,6 +270,7 @@ fn handle_connection(stream: TcpStream, local: SocketAddr, shared: &Shared, obs:
                     },
                     Enqueued::ShuttingDown => {
                         shared.handler_errors.fetch_add(1, Ordering::SeqCst);
+                        obs.incr("serve.responses.error");
                         Response::Error {
                             reason: "server shutting down".to_string(),
                         }
@@ -348,7 +377,7 @@ fn scheduler_loop(config: &ServeConfig, obs: &Obs, shared: &Shared) -> Result<Se
     Ok(report)
 }
 
-/// Scores one drained batch: resolve, group by plan digest, one
+/// Scores one drained batch: resolve, group by content digest, one
 /// [`ScoringSession`] per group, memoized responses where the result
 /// cache already knows the answer.
 #[allow(clippy::too_many_arguments)]
@@ -405,21 +434,24 @@ fn score_batch(
         });
     }
 
-    // Group by plan digest in first-seen order: one session's setup is
-    // then shared by every request for that golden.
+    // Group by content digest in first-seen order: one session's setup
+    // is then shared by every request for that golden. The key must be
+    // content, not plan — two goldens with the same plan but different
+    // channel data score differently and may not share a session or a
+    // memo entry.
     let mut group_order: Vec<u64> = Vec::new();
     let mut groups: std::collections::HashMap<u64, Vec<Resolved>> =
         std::collections::HashMap::new();
     for job in resolved {
-        let digest = job.golden.digest;
-        if !groups.contains_key(&digest) {
-            group_order.push(digest);
+        let content = job.golden.content_digest;
+        if !groups.contains_key(&content) {
+            group_order.push(content);
         }
-        groups.entry(digest).or_default().push(job);
+        groups.entry(content).or_default().push(job);
     }
 
-    for digest in group_order {
-        let group = groups.remove(&digest).expect("grouped above");
+    for content in group_order {
+        let group = groups.remove(&content).expect("grouped above");
         let golden = Arc::clone(&group[0].golden);
         *last_digest_hex = golden.digest_hex.clone();
 
@@ -427,7 +459,7 @@ fn score_batch(
         // session.
         let mut misses: Vec<Resolved> = Vec::new();
         for job in group {
-            match results.get(digest, &job.suspect, obs) {
+            match results.get(content, &job.suspect, obs) {
                 Some(cached) => respond_score(report, obs, &job, &golden.digest_hex, cached),
                 None => misses.push(job),
             }
@@ -460,7 +492,7 @@ fn score_batch(
             match session.score_spec_at(0, &job.spec, &config.faults, &config.policy) {
                 Ok(score) => {
                     let text = htd_store::to_text(&session.single_report(&score, &config.faults));
-                    results.put(digest, &job.suspect, text.clone());
+                    results.put(content, &job.suspect, text.clone());
                     respond_score(report, obs, &job, &golden.digest_hex, text);
                 }
                 Err(err) => respond_error(report, obs, &job.reply, &err.to_string()),

@@ -328,10 +328,10 @@ mod tests {
         });
     }
 
-    /// The plan digest is pinned to a literal value: serve cache keys,
-    /// shard assignment (`digest % shards`) and manifest provenance all
-    /// depend on it never drifting across releases. A change here is a
-    /// cache/shard-invalidation event and must be deliberate.
+    /// The plan digest is pinned to a literal value: the serve wire
+    /// identity, shard assignment (`digest % shards`) and manifest
+    /// provenance all depend on it never drifting across releases. A
+    /// change here is a shard-invalidation event and must be deliberate.
     #[test]
     fn plan_digest_is_pinned() {
         let plan = CampaignPlan::with_random_pairs(6, 2, 3, [0x13; 16], [0x7f; 16], 42);

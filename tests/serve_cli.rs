@@ -177,6 +177,115 @@ fn served_scores_are_bit_identical_to_offline_at_any_worker_count() {
 }
 
 #[test]
+fn same_plan_different_channels_never_share_a_cached_score() {
+    let dir = scratch("collide");
+    // Identical dies/pairs/reps/seed — identical campaign plan, hence
+    // identical plan digest — but different channels, so the artifacts
+    // are byte-distinct and score differently. A cache keyed by plan
+    // digest alone would serve whichever loaded last for both paths.
+    let mut goldens = Vec::new();
+    for channels in ["em", "delay"] {
+        let golden = dir
+            .join(format!("golden-{channels}.htd"))
+            .display()
+            .to_string();
+        htd(&[
+            "characterize",
+            "--out",
+            &golden,
+            "--dies",
+            "3",
+            "--pairs",
+            "2",
+            "--reps",
+            "2",
+            "--seed",
+            "42",
+            "--channels",
+            channels,
+        ]);
+        let offline = dir.join(format!("offline-{channels}.htd"));
+        htd(&[
+            "score",
+            "--golden",
+            &golden,
+            "--trojans",
+            "ht1",
+            "--report",
+            &offline.display().to_string(),
+        ]);
+        goldens.push((
+            golden,
+            std::fs::read_to_string(&offline).expect("offline report"),
+        ));
+    }
+    assert_ne!(
+        goldens[0].1, goldens[1].1,
+        "the two channels must produce different reports for the test to bite"
+    );
+
+    let server = Server::spawn(&[]);
+    let mut client = server.client();
+    // Interleave, twice: the second round is served from the caches
+    // both goldens now occupy, and each path must still get its own
+    // report — byte-identical to its own offline run.
+    for _round in 0..2 {
+        for (golden, expected) in &goldens {
+            let response = score(&mut client, golden, "ht1");
+            let Response::Score { report, .. } = response else {
+                panic!("expected a score for {golden}, got {response:?}");
+            };
+            assert_eq!(
+                &report, expected,
+                "served report for {golden} differs from its own offline run"
+            );
+        }
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_fatal_manifest_error_stops_the_server_instead_of_stranding_clients() {
+    let dir = scratch("fatal");
+    let golden = characterize(&dir);
+    // The manifest path's parent directory does not exist, and
+    // --metrics-every 1 makes the very first scored batch try (and
+    // fail) to write it: the scheduler exits with the error.
+    let manifest = dir.join("missing-dir").join("manifest.json");
+    let server = Server::spawn(&[
+        "--metrics",
+        &manifest.display().to_string(),
+        "--metrics-every",
+        "1",
+    ]);
+    let mut client = server.client();
+    // The batch answers before the manifest write, so this request is
+    // still served.
+    let response = score(&mut client, &golden, "ht1");
+    assert!(matches!(response, Response::Score { .. }), "{response:?}");
+
+    // The scheduler's exit must unblock the accept loop and end the
+    // process promptly — no shutdown request, no lingering clients.
+    let mut server = server;
+    let status = 'wait: {
+        for _ in 0..100 {
+            if let Some(status) = server.child.try_wait().expect("child pollable") {
+                break 'wait status;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        panic!("server still running 10s after the fatal manifest error");
+    };
+    assert_eq!(
+        status.code(),
+        Some(2),
+        "a fatal serve error must exit with the CLI's error status"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn malformed_requests_get_error_responses_not_a_dead_server() {
     let server = Server::spawn(&[]);
     let mut client = server.client();
