@@ -68,6 +68,26 @@ echo "==> htd zoo smoke"
     --seed 42 --channels em,delay --csv "$HTD_SMOKE_DIR/zoo.csv" >/dev/null
 diff "$HTD_SMOKE_DIR/zoo.csv" tests/fixtures/zoo_smoke.csv
 
+echo "==> htd scoring-modes smoke (held-out FN rate)"
+# Learned mode: train a classifier on the zoo grid with the whole
+# counter-trigger family held out, then score the paper's sequential
+# counter trojan (ht-seq, unseen family) through the model. The learned
+# row's FN rate is deterministic, so the CSV is diffed against the
+# committed fixture.
+"$HTD" train --out "$HTD_SMOKE_DIR/model.htd" --sizes 8,16 --kinds comb,ctr,fsm \
+    --holdout ctr --dies 6 --pairs 2 --reps 2 --seed 42 --iterations 50
+"$HTD" score --golden "$HTD_SMOKE_DIR/golden.htd" --model "$HTD_SMOKE_DIR/model.htd" \
+    --trojans ht-seq --report "$HTD_SMOKE_DIR/learned.htd"
+"$HTD" report "$HTD_SMOKE_DIR/learned.htd" --csv >"$HTD_SMOKE_DIR/learned.csv"
+diff "$HTD_SMOKE_DIR/learned.csv" tests/fixtures/learned_smoke.csv
+# Reference-free mode: characterize without a golden reference and score
+# through the same offline path the serve tests pin byte-for-byte.
+"$HTD" characterize --out "$HTD_SMOKE_DIR/reffree.htd" --mode reference-free \
+    --dies 4 --pairs 2 --reps 2 --seed 42 --channels em,delay
+"$HTD" score --golden "$HTD_SMOKE_DIR/reffree.htd" --trojans ht2 \
+    --report "$HTD_SMOKE_DIR/reffree-report.htd"
+"$HTD" report "$HTD_SMOKE_DIR/reffree-report.htd" --csv >/dev/null
+
 echo "==> htd serve smoke (BENCH_serve.json)"
 # A real scoring server on an ephemeral port. Two gates: the response
 # `htd bench --dump` captures must be byte-identical to the pinned
@@ -107,10 +127,10 @@ HTD_BENCH_SAMPLES=3 HTD_BENCH_JSON="$PWD/BENCH_acquire.json" \
 test -s BENCH_acquire.json
 
 echo "==> cargo clippy -- -D warnings"
-# The pass framework and trojan zoo are linted explicitly first (fast,
-# focused diagnostics on the crates this tier refactors), then the whole
-# workspace with every target.
-cargo clippy -p htd-netlist -p htd-trojan -p htd-serve -- -D warnings
+# The crates this tier touches are linted explicitly first (fast,
+# focused diagnostics), then the whole workspace with every target.
+cargo clippy -p htd-netlist -p htd-trojan -p htd-serve \
+    -p htd-core -p htd-stats -p htd-store -p htd-cli -- -D warnings
 cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"

@@ -14,35 +14,53 @@ use std::process::ExitCode;
 use htd_core::channel::{Channel, ChannelSpec};
 use htd_core::em_detect::TraceMetric;
 use htd_core::fusion::{
-    characterize_campaign_faulted, fuse_scored_channels, score_campaign_faulted,
-    GoldenCharacterization, MultiChannelReport, ScoredChannel,
+    characterize_campaign_faulted, fuse_scored_channels, masked_feature_rows,
+    score_campaign_faulted, score_campaign_faulted_with_model, GoldenCharacterization,
+    MultiChannelReport, ScoredCampaign, ScoredChannel,
 };
+use htd_core::reffree::{characterize_reffree_faulted, score_reffree_campaign};
 use htd_core::report::{health_table, multi_channel_table, pct, Table};
 use htd_core::resilience::{ChannelHealth, RetryPolicy};
 use htd_core::{CampaignPlan, Engine, Error, Lab};
 use htd_faults::FaultPlan;
 use htd_obs::{HealthRecord, Json, Obs, RunManifest, ToolInfo};
 use htd_serve::{ManifestConfig, ServeConfig};
+use htd_stats::logistic::{train as train_logistic, TrainConfig};
 use htd_stats::Gaussian;
-use htd_store::{ChannelFit, GoldenArtifact};
+use htd_store::{
+    sniff_kind, Artifact as _, ChannelFit, ClassifierModel, GoldenArtifact, ReferenceFreeArtifact,
+};
 use htd_trojan::{Payload, PlacementStrategy, Trigger, TrojanSpec, ZooConfig, ZooTrigger};
 
 const USAGE: &str = "\
 htd — hardware-trojan detection: characterize once, score many
 
 USAGE:
-  htd characterize --out FILE [--dies N] [--pairs N] [--reps N] [--seed N]
+  htd characterize --out FILE [--mode golden|reference-free|learned]
+                   [--dies N] [--pairs N] [--reps N] [--seed N]
                    [--channels em,delay,power] [--metric solm|max|sum|l2]
                    [--pt HEX32] [--key HEX32] [--workers N] [--fits-dir DIR]
                    [--faults FILE] [--max-retries N] [--allow-degraded]
-                   [--metrics FILE]
+                   [--model FILE] [--metrics FILE]
       Measure a golden population and store it as a golden artifact.
+      --mode reference-free needs no golden netlist trust anchor: every
+      die is scored against its own symmetric path pairs and its
+      neighbouring dies (leave-one-out), and the artifact stores the
+      self-score baseline instead of a golden reference (kind `reffree`,
+      at least 3 dies). --mode learned writes the usual golden artifact
+      but checks an optional --model classifier against the channel set,
+      for pipelines that score with `htd score --model`.
 
   htd score --golden FILE [--trojans ht1,ht2,...] [--report FILE]
-            [--csv FILE] [--kv FILE] [--scores-dir DIR] [--workers N]
-            [--faults FILE] [--max-retries N] [--allow-degraded]
-            [--max-drop-rate F] [--metrics FILE]
-      Score suspect designs against a stored golden artifact.
+            [--model FILE] [--csv FILE] [--kv FILE] [--scores-dir DIR]
+            [--workers N] [--faults FILE] [--max-retries N]
+            [--allow-degraded] [--max-drop-rate F] [--metrics FILE]
+      Score suspect designs against a stored golden artifact. The
+      artifact's kind picks the mode: a `golden` artifact scores against
+      the stored reference, a `reffree` artifact scores each suspect die
+      against its neighbours and compares with the stored self-score
+      baseline. --model FILE replaces the analytic fused column with a
+      trained logistic classifier (see `htd train`).
       Trojans: ht1 ht2 ht3 ht-comb ht-seq stealth sweep (= ht1,ht2,ht3).
       --faults replays a stored fault plan; failed acquisitions retry up
       to --max-retries times with fresh derived seeds. With
@@ -67,6 +85,21 @@ USAGE:
       Reuses a stored golden artifact with --golden, otherwise
       characterizes in-process with the given campaign parameters. The
       heat map and CSV are bit-identical at any --workers value.
+
+  htd train --out FILE [--golden FILE] [--sizes 8,16,32]
+            [--kinds comb,ctr,fsm] [--holdout comb|ctr|fsm]
+            [--placement near-taps|corner|spread] [--dies N] [--pairs N]
+            [--reps N] [--seed N] [--channels em,delay,power]
+            [--metric solm|max|sum|l2] [--iterations N] [--rate F]
+            [--train-seed N] [--workers N] [--metrics FILE]
+      Train a logistic classifier over per-channel detection scores and
+      store it as a `classifier` artifact for `htd score --model`. The
+      labelled set is built in-process: golden dies (label 0) plus every
+      die of a zoo-generated trojan grid (label 1). --holdout keeps one
+      trigger family out of training so the classifier is evaluated on
+      trojans it never saw. Training is deterministic: fixed-iteration
+      gradient descent seeded by --train-seed, invariant to sample
+      order and --workers.
 
   htd fuse FILE FILE...
       Fuse two or more stored per-channel score artifacts (z-score sum).
@@ -137,6 +170,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match cmd.as_str() {
         "characterize" => characterize(rest),
         "score" => score(rest),
+        "train" => train(rest),
         "zoo" => zoo(rest),
         "serve" => serve(rest),
         "bench" => bench(rest),
@@ -318,7 +352,8 @@ fn tool_info() -> ToolInfo {
         version: env!("CARGO_PKG_VERSION").to_string(),
         format_version: u64::from(htd_store::FORMAT_VERSION),
         features: [
-            "delay", "em", "power", "faults", "metrics", "salvage", "serve", "zoo",
+            "delay", "em", "power", "faults", "metrics", "reffree", "salvage", "serve", "train",
+            "zoo",
         ]
         .iter()
         .map(|f| f.to_string())
@@ -416,6 +451,8 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
         args,
         &[
             "out",
+            "mode",
+            "model",
             "dies",
             "pairs",
             "reps",
@@ -433,6 +470,12 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
         &["allow-degraded"],
     )?;
     let out = opts.require("out")?.to_string();
+    let mode = opts.get("mode").unwrap_or("golden");
+    if !matches!(mode, "golden" | "learned" | "reference-free" | "reffree") {
+        return Err(
+            format!("--mode: unknown mode `{mode}` (golden, reference-free, learned)").into(),
+        );
+    }
     let dies: usize = parse_num("dies", opts.get("dies").unwrap_or("8"))?;
     let pairs: usize = parse_num("pairs", opts.get("pairs").unwrap_or("10"))?;
     let reps: usize = parse_num("reps", opts.get("reps").unwrap_or("3"))?;
@@ -451,6 +494,71 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
     let plan = CampaignPlan::with_random_pairs(dies, pairs, reps, pt, key, seed);
     let channels: Vec<Box<dyn Channel>> = specs.iter().map(ChannelSpec::build).collect();
     let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+
+    if matches!(mode, "reference-free" | "reffree") {
+        let charac = characterize_reffree_faulted(&engine, &lab, &plan, &refs, &faults, &policy)?;
+        for lost in &charac.lost {
+            eprintln!(
+                "htd: channel {} lost during characterization ({} calibration attempt(s))",
+                lost.channel, lost.attempted
+            );
+        }
+        let mut next_state = 0;
+        let surviving: Vec<ChannelSpec> = specs
+            .into_iter()
+            .filter(|spec| {
+                let keep = charac
+                    .states
+                    .get(next_state)
+                    .is_some_and(|s| s.channel == spec.name());
+                if keep {
+                    next_state += 1;
+                }
+                keep
+            })
+            .collect();
+        let artifact = ReferenceFreeArtifact::new(surviving, charac)?;
+        if let Some(dir) = opts.get("fits-dir") {
+            std::fs::create_dir_all(dir).map_err(|e| Error::io(dir, e))?;
+            for state in &artifact.characterization().states {
+                let path =
+                    std::path::Path::new(dir).join(format!("{}.fit.htd", slug(&state.channel)));
+                htd_store::save_with(
+                    &path,
+                    &ChannelFit {
+                        channel: state.channel.clone(),
+                        fit: Gaussian::new(state.fit.mean, state.fit.std)?,
+                    },
+                    &obs,
+                )?;
+                println!("wrote {}", path.display());
+            }
+        }
+        htd_store::save_with(&out, &artifact, &obs)?;
+        let names: Vec<&str> = artifact
+            .characterization()
+            .states
+            .iter()
+            .map(|s| s.channel.as_str())
+            .collect();
+        println!(
+            "characterized {dies} dies reference-free over {} channel(s) [{}] → {out}",
+            names.len(),
+            names.join(", "),
+        );
+        if let Some(path) = metrics_path {
+            let charac = artifact.characterization();
+            let health: Vec<ChannelHealth> = charac
+                .states
+                .iter()
+                .map(|s| s.health.clone())
+                .chain(charac.lost.iter().cloned())
+                .collect();
+            write_manifest(&path, "characterize", &engine, &charac.plan, &obs, &health)?;
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let charac = characterize_campaign_faulted(&engine, &lab, &plan, &refs, &faults, &policy)?;
     for lost in &charac.lost {
         eprintln!(
@@ -475,6 +583,33 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
         })
         .collect();
     let artifact = GoldenArtifact::new(surviving, charac)?;
+
+    // `--mode learned` ships the same golden artifact; the classifier is
+    // applied at scoring time, so all there is to pin down here is that
+    // a named model actually matches this campaign's channel set.
+    if let Some(path) = opts.get("model") {
+        let model: ClassifierModel = htd_store::load_with(path, &obs)?;
+        let names: Vec<&str> = artifact
+            .characterization()
+            .states
+            .iter()
+            .map(|s| s.channel.as_str())
+            .collect();
+        if model
+            .features
+            .iter()
+            .map(String::as_str)
+            .ne(names.iter().copied())
+        {
+            return Err(format!(
+                "--model {path}: classifier features [{}] do not match the channel set [{}]",
+                model.features.join(", "),
+                names.join(", ")
+            )
+            .into());
+        }
+        println!("model {path} matches channel set [{}]", names.join(", "));
+    }
 
     if let Some(dir) = opts.get("fits-dir") {
         std::fs::create_dir_all(dir).map_err(|e| Error::io(dir, e))?;
@@ -528,6 +663,7 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         args,
         &[
             "golden",
+            "model",
             "trojans",
             "report",
             "csv",
@@ -548,27 +684,80 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let (faults, policy) = fault_opts(&opts, &obs)?;
     let max_drop_rate: f64 = parse_num("max-drop-rate", opts.get("max-drop-rate").unwrap_or("1"))?;
 
-    // Under --allow-degraded a damaged golden artifact is salvaged: the
-    // surviving channel blocks are kept and the read is flagged, instead
-    // of the whole file being rejected for one bad line.
-    let artifact: GoldenArtifact = if policy.allow_degraded {
-        let salvaged = htd_store::load_salvage_with::<GoldenArtifact>(golden_path, &obs)?;
-        if salvaged.recovered {
-            eprintln!(
-                "htd: salvaged {golden_path} ({} damaged line(s) dropped)",
-                salvaged.dropped_lines
-            );
-        }
-        salvaged.artifact
-    } else {
-        htd_store::load_with(golden_path, &obs)?
+    let model: Option<ClassifierModel> = match opts.get("model") {
+        None => None,
+        Some(path) => Some(htd_store::load_with(path, &obs)?),
     };
-    let channels = artifact.build_channels();
-    let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
-    let charac = artifact.characterization();
     let lab = Lab::paper();
 
-    let campaign = score_campaign_faulted(&engine, &lab, charac, &specs, &refs, &faults, &policy)?;
+    // The artifact's kind picks the scoring mode. The sniff uses a plain
+    // (uncounted) read so the golden-path store.read counters stay
+    // byte-identical with earlier releases; the counted load below is
+    // the authoritative parse.
+    let sniffed = std::fs::read_to_string(golden_path).map_err(|e| Error::io(golden_path, e))?;
+    let (campaign, plan): (ScoredCampaign, CampaignPlan) =
+        if sniff_kind(&sniffed) == Some(ReferenceFreeArtifact::KIND) {
+            let artifact: ReferenceFreeArtifact = if policy.allow_degraded {
+                let salvaged =
+                    htd_store::load_salvage_with::<ReferenceFreeArtifact>(golden_path, &obs)?;
+                if salvaged.recovered {
+                    eprintln!(
+                        "htd: salvaged {golden_path} ({} damaged line(s) dropped)",
+                        salvaged.dropped_lines
+                    );
+                }
+                salvaged.artifact
+            } else {
+                htd_store::load_with(golden_path, &obs)?
+            };
+            let channels = artifact.build_channels();
+            let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+            let charac = artifact.characterization();
+            let plan = charac.plan.clone();
+            let campaign = score_reffree_campaign(
+                &engine,
+                &lab,
+                charac,
+                &specs,
+                &refs,
+                &faults,
+                &policy,
+                model.as_ref(),
+            )?;
+            (campaign, plan)
+        } else {
+            // Under --allow-degraded a damaged golden artifact is
+            // salvaged: the surviving channel blocks are kept and the
+            // read is flagged, instead of the whole file being rejected
+            // for one bad line.
+            let artifact: GoldenArtifact = if policy.allow_degraded {
+                let salvaged = htd_store::load_salvage_with::<GoldenArtifact>(golden_path, &obs)?;
+                if salvaged.recovered {
+                    eprintln!(
+                        "htd: salvaged {golden_path} ({} damaged line(s) dropped)",
+                        salvaged.dropped_lines
+                    );
+                }
+                salvaged.artifact
+            } else {
+                htd_store::load_with(golden_path, &obs)?
+            };
+            let channels = artifact.build_channels();
+            let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+            let charac = artifact.characterization();
+            let plan = charac.plan.clone();
+            let campaign = score_campaign_faulted_with_model(
+                &engine,
+                &lab,
+                charac,
+                &specs,
+                &refs,
+                &faults,
+                &policy,
+                model.as_ref(),
+            )?;
+            (campaign, plan)
+        };
     let report = &campaign.report;
 
     if let Some(dir) = opts.get("scores-dir") {
@@ -605,7 +794,7 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         println!("wrote {path}");
     }
     if let Some(path) = &metrics_path {
-        write_manifest(path, "score", &engine, &charac.plan, &obs, &report.health)?;
+        write_manifest(path, "score", &engine, &plan, &obs, &report.health)?;
     }
     let worst = report
         .health
@@ -617,6 +806,170 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "htd: worst channel drop rate {worst:.3} exceeds --max-drop-rate {max_drop_rate}"
         );
         return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn train(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "out",
+            "golden",
+            "sizes",
+            "kinds",
+            "holdout",
+            "placement",
+            "dies",
+            "pairs",
+            "reps",
+            "seed",
+            "channels",
+            "metric",
+            "iterations",
+            "rate",
+            "train-seed",
+            "workers",
+            "metrics",
+        ],
+        &[],
+    )?;
+    let out = opts.require("out")?.to_string();
+    let cfg = zoo_config(&opts)?;
+    let (train_specs, held_out) = match opts.get("holdout") {
+        None => (cfg.generate()?, Vec::new()),
+        Some(tag) => {
+            let kind = ZooTrigger::from_tag(tag).ok_or_else(|| {
+                format!("--holdout: unknown trigger kind `{tag}` (comb, ctr, fsm)")
+            })?;
+            cfg.split_holdout(kind)?
+        }
+    };
+    if train_specs.is_empty() {
+        return Err("--holdout left no training trojans".into());
+    }
+
+    let (obs, metrics_path) = metrics_obs(&opts);
+    let engine = engine_for(&opts)?.with_obs(obs.clone());
+    let lab = Lab::paper();
+    // Training campaigns run fault-free and strict: every die survives,
+    // so golden and infected feature rows line up one-to-one with dies.
+    let faults = FaultPlan::none();
+    let policy = RetryPolicy {
+        max_retries: 0,
+        allow_degraded: false,
+    };
+
+    // Golden side: a stored artifact, or a fresh in-process campaign
+    // (same defaults as `htd zoo`).
+    let stored: Option<GoldenArtifact> = match opts.get("golden") {
+        Some(path) => Some(htd_store::load_with(path, &obs)?),
+        None => None,
+    };
+    let (channels, fresh): (Vec<Box<dyn Channel>>, Option<GoldenCharacterization>) = match &stored {
+        Some(artifact) => (artifact.build_channels(), None),
+        None => {
+            let dies: usize = parse_num("dies", opts.get("dies").unwrap_or("6"))?;
+            let pairs: usize = parse_num("pairs", opts.get("pairs").unwrap_or("2"))?;
+            let reps: usize = parse_num("reps", opts.get("reps").unwrap_or("2"))?;
+            let seed: u64 = parse_num("seed", opts.get("seed").unwrap_or("24301"))?;
+            let metric = opts.get("metric").unwrap_or("solm");
+            let metric = TraceMetric::from_token(metric).ok_or_else(|| {
+                format!("--metric: unknown metric `{metric}` (solm, max, sum, l2)")
+            })?;
+            let specs_ch = channel_specs(opts.get("channels").unwrap_or("em,delay"), metric)?;
+            let channels: Vec<Box<dyn Channel>> = specs_ch.iter().map(ChannelSpec::build).collect();
+            let pt = parse_hex16("pt", &"42".repeat(16))?;
+            let key = parse_hex16("key", &"0f".repeat(16))?;
+            let plan = CampaignPlan::with_random_pairs(dies, pairs, reps, pt, key, seed);
+            let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+            let charac =
+                characterize_campaign_faulted(&engine, &lab, &plan, &refs, &faults, &policy)?;
+            (channels, Some(charac))
+        }
+    };
+    let charac: &GoldenCharacterization = stored
+        .as_ref()
+        .map(GoldenArtifact::characterization)
+        .or(fresh.as_ref())
+        .expect("either a stored or a fresh characterization exists");
+
+    let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+    let campaign =
+        score_campaign_faulted(&engine, &lab, charac, &train_specs, &refs, &faults, &policy)?;
+
+    // Labelled samples: one feature row per die — golden dies label 0,
+    // every die of every training trojan label 1. The trainer itself
+    // canonicalises sample order, so assembly order is free.
+    let n_dies = charac.plan.n_dies;
+    let features: Vec<String> = charac.states.iter().map(|s| s.channel.clone()).collect();
+    let mut samples: Vec<(Vec<f64>, bool)> = Vec::new();
+    let golden_masked: Vec<(&[usize], &[f64])> = charac
+        .states
+        .iter()
+        .map(|s| (s.kept.as_slice(), s.scores.as_slice()))
+        .collect();
+    for row in masked_feature_rows(&golden_masked, n_dies) {
+        samples.push((row, false));
+    }
+    for design in &campaign.designs {
+        let kept: Vec<Vec<usize>> = design
+            .scored
+            .iter()
+            .map(|set| (0..set.infected.len()).collect())
+            .collect();
+        let masked: Vec<(&[usize], &[f64])> = design
+            .scored
+            .iter()
+            .zip(&kept)
+            .map(|(set, k)| (k.as_slice(), set.infected.as_slice()))
+            .collect();
+        for row in masked_feature_rows(&masked, n_dies) {
+            samples.push((row, true));
+        }
+    }
+
+    let defaults = TrainConfig::default();
+    let config = TrainConfig {
+        seed: parse_num("train-seed", opts.get("train-seed").unwrap_or("2015"))?,
+        iterations: parse_num(
+            "iterations",
+            opts.get("iterations")
+                .unwrap_or(&defaults.iterations.to_string()),
+        )?,
+        rate: parse_num(
+            "rate",
+            opts.get("rate").unwrap_or(&defaults.rate.to_string()),
+        )?,
+    };
+    // Recorded once on the main thread, so worker-invariant by
+    // construction.
+    obs.add("train.designs", campaign.designs.len() as u64);
+    obs.add("train.samples", samples.len() as u64);
+    obs.add("train.iterations", config.iterations as u64);
+
+    let model = train_logistic(&features, &samples, &config)?;
+    htd_store::save_with(&out, &model, &obs)?;
+    println!(
+        "trained classifier on {} sample(s) over {} design(s), {} feature(s) [{}] → {out}",
+        samples.len(),
+        campaign.designs.len(),
+        features.len(),
+        features.join(", "),
+    );
+    if !held_out.is_empty() {
+        let names: Vec<&str> = held_out.iter().map(|s| s.name.as_str()).collect();
+        println!("held out: {}", names.join(", "));
+    }
+    if let Some(path) = &metrics_path {
+        write_manifest(
+            path,
+            "train",
+            &engine,
+            &charac.plan,
+            &obs,
+            &campaign.report.health,
+        )?;
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -633,26 +986,9 @@ fn trigger_size(spec: &TrojanSpec) -> usize {
     }
 }
 
-fn zoo(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let opts = Opts::parse(
-        args,
-        &[
-            "golden",
-            "sizes",
-            "kinds",
-            "placement",
-            "dies",
-            "pairs",
-            "reps",
-            "seed",
-            "channels",
-            "metric",
-            "workers",
-            "csv",
-            "metrics",
-        ],
-        &[],
-    )?;
+/// The zoo grid shared by `htd zoo` and `htd train`: `--sizes`,
+/// `--kinds` and `--placement` with the same defaults in both commands.
+fn zoo_config(opts: &Opts) -> Result<ZooConfig, Box<dyn std::error::Error>> {
     let sizes = opts
         .get("sizes")
         .unwrap_or("8,16,32")
@@ -681,12 +1017,35 @@ fn zoo(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             .into())
         }
     };
-    let cfg = ZooConfig {
+    Ok(ZooConfig {
         sizes,
         kinds,
         payload: Payload::default(),
         placement,
-    };
+    })
+}
+
+fn zoo(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "golden",
+            "sizes",
+            "kinds",
+            "placement",
+            "dies",
+            "pairs",
+            "reps",
+            "seed",
+            "channels",
+            "metric",
+            "workers",
+            "csv",
+            "metrics",
+        ],
+        &[],
+    )?;
+    let cfg = zoo_config(&opts)?;
     let specs = cfg.generate()?;
 
     let (obs, metrics_path) = metrics_obs(&opts);
@@ -941,6 +1300,7 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         let response = client.call(&htd_serve::Request::Score {
             golden: golden_path.clone(),
             suspect: suspects[0].clone(),
+            model: None,
         })?;
         let htd_serve::Response::Score { report, .. } = response else {
             return Err(format!("dump request failed: {response:?}").into());
@@ -974,7 +1334,11 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                             .map_err(|e| format!("{}: {e}", addrs[shard]))?,
                     ),
                 };
-                let request = htd_serve::Request::Score { golden, suspect };
+                let request = htd_serve::Request::Score {
+                    golden,
+                    suspect,
+                    model: None,
+                };
                 let t0 = std::time::Instant::now();
                 loop {
                     match conn.call(&request).map_err(|e| e.to_string())? {
@@ -1198,16 +1562,6 @@ fn version(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         );
     }
     Ok(ExitCode::SUCCESS)
-}
-
-/// The artifact kind declared on a store file's header line, if the
-/// header is even shaped like one. Full validation happens at load.
-fn sniff_kind(text: &str) -> Option<&str> {
-    let header = text.lines().next()?;
-    let mut words = header.split(' ');
-    (words.next() == Some(htd_store::MAGIC))
-        .then(|| words.nth(1))
-        .flatten()
 }
 
 fn diff(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {

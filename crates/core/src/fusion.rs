@@ -34,6 +34,7 @@
 
 use htd_faults::{retry_seed, FaultPlan, FaultSite};
 use htd_stats::detection::{empirical_rates, equal_error_rate};
+use htd_stats::logistic::LogisticModel;
 use htd_stats::Gaussian;
 use htd_trojan::TrojanSpec;
 
@@ -47,7 +48,7 @@ use htd_fabric::DieVariation;
 
 /// Population tag of the golden characterization in fault-decision
 /// contexts; suspect design `s` uses `s + 1`.
-const POP_GOLDEN: u64 = 0;
+pub(crate) const POP_GOLDEN: u64 = 0;
 
 /// Per-channel population statistics for one trojan.
 #[derive(Debug, Clone, PartialEq)]
@@ -308,7 +309,7 @@ fn fuse(golden_fits: &[Gaussian], per_channel_scores: &[Vec<f64>], n_dies: usize
 /// addend would not be comparable). With identity masks this performs
 /// exactly the floating-point operations of [`fuse`], in the same
 /// order.
-fn fuse_masked(
+pub(crate) fn fuse_masked(
     golden_fits: &[Gaussian],
     per_channel: &[(&[usize], &[f64])],
     n_dies: usize,
@@ -335,6 +336,95 @@ fn fuse_masked(
             Some(sum)
         })
         .collect()
+}
+
+/// Gathers the per-die feature rows of a population over partially-kept
+/// channels: row `x` holds one value per channel, and a die contributes
+/// a row only when **every** channel kept it (the learned classifier's
+/// analogue of `fuse_masked`'s masking rule). Rows come out in die
+/// order, so downstream reductions are presentation-order stable.
+pub fn masked_feature_rows(per_channel: &[(&[usize], &[f64])], n_dies: usize) -> Vec<Vec<f64>> {
+    let dense: Vec<Vec<Option<f64>>> = per_channel
+        .iter()
+        .map(|(kept, scores)| {
+            let mut d = vec![None; n_dies];
+            for (k, &die) in kept.iter().enumerate() {
+                d[die] = Some(scores[k]);
+            }
+            d
+        })
+        .collect();
+    (0..n_dies)
+        .filter_map(|j| dense.iter().map(|d| d[j]).collect::<Option<Vec<f64>>>())
+        .collect()
+}
+
+/// Checks a classifier's feature labels against the campaign's channel
+/// names (count, names, order).
+pub(crate) fn check_model_features<'n>(
+    model: &LogisticModel,
+    names: impl ExactSizeIterator<Item = &'n str>,
+) -> Result<(), Error> {
+    let mismatch = || Error::ChannelShapeMismatch {
+        channel: model.features.join("+"),
+        expected: "classifier features matching the channel set",
+    };
+    if model.features.len() != names.len() {
+        return Err(mismatch());
+    }
+    for (feature, name) in model.features.iter().zip(names) {
+        if feature != name {
+            return Err(mismatch());
+        }
+    }
+    Ok(())
+}
+
+/// The learned analogue of the fused channel: per-die classifier logits
+/// over the dies kept by every channel, reduced exactly like any other
+/// metric population. The empirical rates are taken at logit `0` — the
+/// classifier's trained 0.5-probability boundary — instead of the
+/// two-Gaussian midpoint, which is precisely how the learned mode
+/// replaces the erf threshold.
+pub(crate) fn learned_result(
+    model: &LogisticModel,
+    golden: &[(&[usize], &[f64])],
+    suspect: &[(&[usize], &[f64])],
+    n_dies: usize,
+) -> Result<ChannelResult, Error> {
+    let logits = |per_channel: &[(&[usize], &[f64])]| -> Result<Vec<f64>, Error> {
+        masked_feature_rows(per_channel, n_dies)
+            .iter()
+            .map(|row| model.logit(row).map_err(Error::from))
+            .collect()
+    };
+    let golden_logits = logits(golden)?;
+    let suspect_logits = logits(suspect)?;
+    let degenerate = |samples: usize| {
+        move |source| Error::DegeneratePopulation {
+            channel: "learned".to_string(),
+            samples,
+            source,
+        }
+    };
+    let g = Gaussian::fit(&golden_logits).map_err(degenerate(golden_logits.len()))?;
+    let t = Gaussian::fit(&suspect_logits).map_err(degenerate(suspect_logits.len()))?;
+    let mu = t.mean() - g.mean();
+    let sigma = ((g.std() * g.std() + t.std() * t.std()) / 2.0).sqrt();
+    let analytic = if mu > 0.0 {
+        equal_error_rate(mu, sigma)
+    } else {
+        0.5
+    };
+    let (fp, fnr) = empirical_rates(&golden_logits, &suspect_logits, 0.0);
+    Ok(ChannelResult {
+        channel: "learned".to_string(),
+        mu,
+        sigma,
+        analytic_fn_rate: analytic,
+        empirical_fn_rate: fnr,
+        empirical_fp_rate: fp,
+    })
 }
 
 /// Fits the golden Gaussian of every channel state (the fusion
@@ -395,10 +485,10 @@ pub fn characterize_campaign_with(
 
 /// One channel's population acquisition under a fault plan: the kept die
 /// indices (ascending), their acquisitions, and the health ledger.
-struct PopulationAcquisition {
-    kept: Vec<usize>,
-    acquisitions: Vec<Acquisition>,
-    health: ChannelHealth,
+pub(crate) struct PopulationAcquisition {
+    pub(crate) kept: Vec<usize>,
+    pub(crate) acquisitions: Vec<Acquisition>,
+    pub(crate) health: ChannelHealth,
 }
 
 /// Acquires one channel over a device population with retry and
@@ -409,7 +499,7 @@ struct PopulationAcquisition {
 /// performs exactly the acquisitions of the historical fault-oblivious
 /// loop.
 #[allow(clippy::too_many_arguments)]
-fn acquire_population_faulted(
+pub(crate) fn acquire_population_faulted(
     engine: &Engine,
     channel: &dyn Channel,
     channel_index: usize,
@@ -824,9 +914,36 @@ pub fn score_campaign_faulted(
     faults: &FaultPlan,
     policy: &RetryPolicy,
 ) -> Result<ScoredCampaign, Error> {
+    score_campaign_faulted_with_model(engine, lab, charac, specs, channels, faults, policy, None)
+}
+
+/// [`score_campaign_faulted`] with an optional trained classifier: when
+/// `model` is `Some`, every row's fused slot carries the `learned`
+/// channel (see [`ScoringSession::with_model`]) instead of the z-score
+/// sum. `None` is bit-identical to [`score_campaign_faulted`].
+///
+/// # Errors
+///
+/// [`Error::ChannelShapeMismatch`] when the model's features do not
+/// match the channel set; plus all of [`score_campaign_faulted`]'s
+/// errors.
+#[allow(clippy::too_many_arguments)]
+pub fn score_campaign_faulted_with_model(
+    engine: &Engine,
+    lab: &Lab,
+    charac: &GoldenCharacterization,
+    specs: &[TrojanSpec],
+    channels: &[&dyn Channel],
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    model: Option<&LogisticModel>,
+) -> Result<ScoredCampaign, Error> {
     check_channels_match(charac, channels)?;
     let _span = engine.obs().span("score");
-    let session = ScoringSession::new(engine, lab, charac, channels)?;
+    let mut session = ScoringSession::new(engine, lab, charac, channels)?;
+    if let Some(model) = model {
+        session = session.with_model(model)?;
+    }
 
     // Scoring health accumulates per channel across every design.
     let mut scoring_health: Vec<Option<ChannelHealth>> = vec![None; channels.len()];
@@ -873,6 +990,7 @@ pub struct ScoringSession<'a> {
     dies: Vec<DieVariation>,
     fits: Vec<Gaussian>,
     golden_fused: Option<Vec<f64>>,
+    model: Option<&'a LogisticModel>,
 }
 
 /// One suspect design scored through a [`ScoringSession`]: the report
@@ -935,12 +1053,29 @@ impl<'a> ScoringSession<'a> {
             dies,
             fits,
             golden_fused,
+            model: None,
         })
     }
 
     /// The characterization this session scores against.
     pub fn characterization(&self) -> &GoldenCharacterization {
         self.charac
+    }
+
+    /// Attaches a trained classifier: every subsequent score replaces
+    /// the z-score-sum fused channel with the `learned` channel (per-die
+    /// classifier logits, empirical rates at the trained logit-0
+    /// boundary). Works for any channel count, including one.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelShapeMismatch`] when the model's feature labels
+    /// do not match the characterization's channels (count, names,
+    /// order).
+    pub fn with_model(mut self, model: &'a LogisticModel) -> Result<Self, Error> {
+        check_model_features(model, self.charac.states.iter().map(|s| s.channel.as_str()))?;
+        self.model = Some(model);
+        Ok(self)
     }
 
     /// Scores one suspect at campaign position `index`: the index picks
@@ -1015,17 +1150,33 @@ impl<'a> ScoringSession<'a> {
                 ChannelResult::fit(state.channel.clone(), &state.scores, scores)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let fused = match &self.golden_fused {
-            Some(golden_fused) => {
-                let _span = engine.obs().span("fuse");
-                let masked: Vec<(&[usize], &[f64])> = per_channel
-                    .iter()
-                    .map(|(kept, scores)| (kept.as_slice(), scores.as_slice()))
-                    .collect();
-                let infected_fused = fuse_masked(&self.fits, &masked, plan.n_dies);
-                Some(ChannelResult::fit("fused", golden_fused, &infected_fused)?)
+        let suspect_masked: Vec<(&[usize], &[f64])> = per_channel
+            .iter()
+            .map(|(kept, scores)| (kept.as_slice(), scores.as_slice()))
+            .collect();
+        let fused = if let Some(model) = self.model {
+            let _span = engine.obs().span("fuse");
+            let golden_masked: Vec<(&[usize], &[f64])> = self
+                .charac
+                .states
+                .iter()
+                .map(|s| (s.kept.as_slice(), s.scores.as_slice()))
+                .collect();
+            Some(learned_result(
+                model,
+                &golden_masked,
+                &suspect_masked,
+                plan.n_dies,
+            )?)
+        } else {
+            match &self.golden_fused {
+                Some(golden_fused) => {
+                    let _span = engine.obs().span("fuse");
+                    let infected_fused = fuse_masked(&self.fits, &suspect_masked, plan.n_dies);
+                    Some(ChannelResult::fit("fused", golden_fused, &infected_fused)?)
+                }
+                None => None,
             }
-            None => None,
         };
         let size_fraction = infected
             .trojan()

@@ -73,6 +73,7 @@ pub mod engine;
 pub mod error;
 pub mod fusion;
 pub mod netlist_io;
+pub mod reffree;
 pub mod report;
 pub mod resilience;
 
@@ -89,8 +90,12 @@ pub mod prelude {
     pub use crate::delay_detect::{DelayDetector, DelayEvidence, GoldenDelayModel};
     pub use crate::em_detect::{EmDetector, EmGoldenModel, FnRateReport};
     pub use crate::fusion::{
-        ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
-        ScoredCampaign, ScoredChannel, ScoredDesign, ScoringSession, SpecScore,
+        masked_feature_rows, ChannelResult, ChannelState, GoldenCharacterization,
+        MultiChannelReport, MultiChannelRow, ScoredCampaign, ScoredChannel, ScoredDesign,
+        ScoringSession, SpecScore,
+    };
+    pub use crate::reffree::{
+        ReferenceFreeCharacterization, ReferenceFreeFit, ReferenceFreeSession, ReferenceFreeState,
     };
     pub use crate::resilience::{ChannelHealth, RetryPolicy};
     pub use crate::Engine;

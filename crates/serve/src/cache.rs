@@ -1,7 +1,9 @@
 //! The two caches behind the serve scheduler.
 //!
-//! [`GoldenCache`] holds parsed [`GoldenArtifact`]s keyed by the FNV-1a
-//! digest of the artifact's *full file text* — not of its plan. Two
+//! [`GoldenCache`] holds parsed [`ScorableArtifact`]s — stored golden
+//! references and reference-free self-score baselines alike — keyed by
+//! the FNV-1a digest of the artifact's *full file text* — not of its
+//! plan. Two
 //! goldens characterized from the same plan but through different
 //! channels carry the same plan digest yet score differently, so
 //! keying by plan would let one silently answer for the other; the
@@ -34,7 +36,7 @@ use std::sync::Arc;
 
 use htd_core::Error;
 use htd_obs::Obs;
-use htd_store::{fnv1a64, from_text_at, plan_digest, GoldenArtifact};
+use htd_store::{fnv1a64, plan_digest, ScorableArtifact};
 
 /// A parsed golden artifact plus its two identities: the content
 /// digest the caches key by, and the plan digest the wire protocol and
@@ -50,8 +52,10 @@ pub struct CachedGolden {
     /// `fnv1a64:<16 hex>` rendering of [`digest`](Self::digest), as
     /// responses and manifests print it.
     pub digest_hex: String,
-    /// The parsed artifact.
-    pub artifact: GoldenArtifact,
+    /// The parsed artifact — a stored golden reference or a
+    /// reference-free self-score baseline; the scheduler picks the
+    /// matching scoring session per batch.
+    pub artifact: ScorableArtifact,
     /// Size of the artifact's file text, the unit the LRU budget counts.
     pub bytes: usize,
 }
@@ -123,9 +127,9 @@ impl GoldenCache {
         }
         obs.incr("store.cache.miss");
         let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
-        let artifact: GoldenArtifact = from_text_at(&text, &path.display().to_string())?;
+        let artifact = ScorableArtifact::from_text_at(&text, &path.display().to_string())?;
         let content_digest = fnv1a64(text.as_bytes());
-        let digest = plan_digest(&artifact.characterization().plan);
+        let digest = plan_digest(artifact.plan());
         let golden = Arc::new(CachedGolden {
             content_digest,
             digest,
@@ -244,6 +248,7 @@ impl ResultCache {
 mod tests {
     use super::*;
     use htd_core::CampaignPlan;
+    use htd_store::GoldenArtifact;
 
     fn counter(obs: &Obs, name: &str) -> u64 {
         obs.snapshot()

@@ -119,6 +119,7 @@ mod tests {
             .call(&Request::Score {
                 golden: "/nonexistent/golden.htd".into(),
                 suspect: "ht2".into(),
+                model: None,
             })
             .unwrap();
         assert!(
@@ -154,6 +155,7 @@ mod tests {
             .call(&Request::Score {
                 golden: env!("CARGO_MANIFEST_DIR").to_string() + "/Cargo.toml",
                 suspect: "ht2".into(),
+                model: None,
             })
             .unwrap();
         assert!(matches!(response, Response::Error { .. }), "{response:?}");

@@ -86,6 +86,12 @@ pub enum Request {
         golden: String,
         /// Suspect token (`ht1`, `ht2`, `ht-seq`, …).
         suspect: String,
+        /// Server-side path of an optional `classifier` artifact; when
+        /// present the fused column is the trained logistic model's
+        /// verdict, exactly as `htd score --model` computes offline.
+        /// Absent on the wire when `None`, so pre-classifier clients
+        /// and servers interoperate unchanged.
+        model: Option<String>,
     },
     /// Liveness probe; answered with an empty `ok`.
     Ping,
@@ -227,10 +233,17 @@ impl Request {
     /// Renders this request as a framed wire text.
     pub fn to_text(&self) -> String {
         match self {
-            Request::Score { golden, suspect } => frame(
-                "score",
-                &format!("golden {}\nsuspect {suspect}\n", quote(golden)),
-            ),
+            Request::Score {
+                golden,
+                suspect,
+                model,
+            } => {
+                let mut body = format!("golden {}\nsuspect {suspect}\n", quote(golden));
+                if let Some(model) = model {
+                    body.push_str(&format!("model {}\n", quote(model)));
+                }
+                frame("score", &body)
+            }
             Request::Ping => frame("ping", ""),
             Request::Shutdown => frame("shutdown", ""),
         }
@@ -256,10 +269,25 @@ impl Request {
                 if suspect.is_empty() || suspect.contains(' ') {
                     return Err(ProtocolError::new(3, "suspect must be a single token"));
                 }
-                no_more(&body, 2)?;
+                // Optional trailing `model "<path>"` line: absent frames
+                // are exactly the pre-classifier wire format.
+                let model = match body.get(2) {
+                    None => None,
+                    Some(_) => {
+                        let model = keyed(&body, 2, "model")?;
+                        let (model, rest) = unquote(model)
+                            .ok_or_else(|| ProtocolError::new(4, "expected `model \"<path>\"`"))?;
+                        if !rest.is_empty() {
+                            return Err(ProtocolError::new(4, "trailing tokens after the path"));
+                        }
+                        no_more(&body, 3)?;
+                        Some(model)
+                    }
+                };
                 Ok(Request::Score {
                     golden,
                     suspect: suspect.to_string(),
+                    model,
                 })
             }
             "ping" => {
@@ -433,6 +461,12 @@ mod tests {
         roundtrip_request(&Request::Score {
             golden: "goldens/aes with space.htd".into(),
             suspect: "ht2".into(),
+            model: None,
+        });
+        roundtrip_request(&Request::Score {
+            golden: "goldens/aes.htd".into(),
+            suspect: "ht2".into(),
+            model: Some("models/learned with space.htd".into()),
         });
         roundtrip_request(&Request::Ping);
         roundtrip_request(&Request::Shutdown);
@@ -448,6 +482,23 @@ mod tests {
             suspect: "ht2".into(),
             report: "htdstore 1 report\nrows 0\nchecksum fnv1a64 0123456789abcdef\n".into(),
         });
+    }
+
+    #[test]
+    fn model_line_is_optional_on_the_wire() {
+        // A model-less request is byte-identical to the pre-classifier
+        // wire format: no `model` line at all.
+        let plain = Request::Score {
+            golden: "g.htd".into(),
+            suspect: "ht1".into(),
+            model: None,
+        }
+        .to_text();
+        assert!(!plain.contains("\nmodel "), "{plain:?}");
+        // A present-but-malformed model line is rejected with its line.
+        let bad = frame("score", "golden \"g\"\nsuspect ht1\nmodel unquoted\n");
+        let err = Request::parse(&bad).unwrap_err();
+        assert_eq!(err.line, 4);
     }
 
     #[test]

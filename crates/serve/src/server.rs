@@ -43,10 +43,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 
-use htd_core::prelude::{Channel, RetryPolicy, ScoringSession};
+use htd_core::prelude::{Channel, ReferenceFreeSession, RetryPolicy, ScoringSession};
 use htd_core::{Engine, Error, Lab};
 use htd_faults::FaultPlan;
 use htd_obs::{Obs, RunManifest, ToolInfo};
+use htd_store::{ClassifierModel, ScorableArtifact};
 use htd_trojan::TrojanSpec;
 
 use crate::cache::{GoldenCache, ResultCache};
@@ -121,6 +122,7 @@ pub struct ServeReport {
 struct Job {
     golden: String,
     suspect: String,
+    model: Option<String>,
     reply: mpsc::Sender<Response>,
 }
 
@@ -251,8 +253,12 @@ fn handle_connection(stream: TcpStream, local: SocketAddr, shared: &Shared, obs:
                 drop(TcpStream::connect(local));
                 return;
             }
-            Ok(Request::Score { golden, suspect }) => {
-                match enqueue(shared, golden, suspect, obs) {
+            Ok(Request::Score {
+                golden,
+                suspect,
+                model,
+            }) => {
+                match enqueue(shared, golden, suspect, model, obs) {
                     Enqueued::Queued(wait) => match wait.recv() {
                         Ok(response) => response,
                         // The scheduler is gone (shutdown drained past
@@ -298,7 +304,13 @@ enum Enqueued {
 }
 
 /// Queues one score request under the depth bound, or says why not.
-fn enqueue(shared: &Shared, golden: String, suspect: String, obs: &Obs) -> Enqueued {
+fn enqueue(
+    shared: &Shared,
+    golden: String,
+    suspect: String,
+    model: Option<String>,
+    obs: &Obs,
+) -> Enqueued {
     let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
     if shared.shutdown.load(Ordering::SeqCst) {
         return Enqueued::ShuttingDown;
@@ -312,6 +324,7 @@ fn enqueue(shared: &Shared, golden: String, suspect: String, obs: &Obs) -> Enque
     queue.push_back(Job {
         golden,
         suspect,
+        model,
         reply,
     });
     drop(queue);
@@ -406,6 +419,7 @@ fn score_batch(
         golden: Arc<crate::cache::CachedGolden>,
         spec: TrojanSpec,
         suspect: String,
+        model: Option<String>,
         reply: mpsc::Sender<Response>,
     }
     let mut resolved: Vec<Resolved> = Vec::with_capacity(batch.len());
@@ -430,36 +444,79 @@ fn score_batch(
             golden,
             spec,
             suspect: job.suspect,
+            model: job.model,
             reply: job.reply,
         });
     }
 
-    // Group by content digest in first-seen order: one session's setup
-    // is then shared by every request for that golden. The key must be
-    // content, not plan — two goldens with the same plan but different
-    // channel data score differently and may not share a session or a
-    // memo entry.
-    let mut group_order: Vec<u64> = Vec::new();
-    let mut groups: std::collections::HashMap<u64, Vec<Resolved>> =
+    // Group by (content digest, model path) in first-seen order: one
+    // session's setup is then shared by every request for that golden.
+    // The key must be content, not plan — two goldens with the same
+    // plan but different channel data score differently and may not
+    // share a session or a memo entry. The model path joins the key
+    // because a session carries at most one classifier.
+    type GroupKey = (u64, Option<String>);
+    let mut group_order: Vec<GroupKey> = Vec::new();
+    let mut groups: std::collections::HashMap<GroupKey, Vec<Resolved>> =
         std::collections::HashMap::new();
     for job in resolved {
-        let content = job.golden.content_digest;
-        if !groups.contains_key(&content) {
-            group_order.push(content);
+        let key = (job.golden.content_digest, job.model.clone());
+        if !groups.contains_key(&key) {
+            group_order.push(key.clone());
         }
-        groups.entry(content).or_default().push(job);
+        groups.entry(key).or_default().push(job);
     }
 
-    for content in group_order {
-        let group = groups.remove(&content).expect("grouped above");
+    // A scoring session over either artifact kind; both score at a
+    // campaign position and render the identical one-row report.
+    enum Session<'a> {
+        Golden(ScoringSession<'a>),
+        RefFree(ReferenceFreeSession<'a>),
+    }
+
+    for key in group_order {
+        let group = groups.remove(&key).expect("grouped above");
+        let (content, model_path) = key;
         let golden = Arc::clone(&group[0].golden);
         *last_digest_hex = golden.digest_hex.clone();
+
+        // Parse the group's classifier (if any) before the memo lookup:
+        // the memo key is salted with the model's *content* digest, so
+        // two models at the same path never alias a cached report, and
+        // republishing a model invalidates naturally. A malformed or
+        // unreadable model answers every request of the group with
+        // `error` — the connection and the server live on.
+        let model: Option<(ClassifierModel, u64)> = match &model_path {
+            None => None,
+            Some(path) => {
+                let parsed = std::fs::read_to_string(path)
+                    .map_err(|e| Error::io(path, e))
+                    .and_then(|text| {
+                        let model: ClassifierModel = htd_store::from_text_at(&text, path)?;
+                        Ok((model, htd_store::fnv1a64(text.as_bytes())))
+                    });
+                match parsed {
+                    Ok(pair) => Some(pair),
+                    Err(err) => {
+                        let reason = err.to_string();
+                        for job in &group {
+                            respond_error(report, obs, &job.reply, &reason);
+                        }
+                        continue;
+                    }
+                }
+            }
+        };
+        let memo_key = |suspect: &str| match &model {
+            None => suspect.to_string(),
+            Some((_, fnv)) => format!("{suspect}+{fnv:016x}"),
+        };
 
         // Serve memoized answers first; only the misses pay for a
         // session.
         let mut misses: Vec<Resolved> = Vec::new();
         for job in group {
-            match results.get(content, &job.suspect, obs) {
+            match results.get(content, &memo_key(&job.suspect), obs) {
                 Some(cached) => respond_score(report, obs, &job, &golden.digest_hex, cached),
                 None => misses.push(job),
             }
@@ -470,12 +527,25 @@ fn score_batch(
 
         let channels = golden.artifact.build_channels();
         let channel_refs: Vec<&dyn Channel> = channels.iter().map(AsRef::as_ref).collect();
-        let session = match ScoringSession::new(
-            engine,
-            lab,
-            golden.artifact.characterization(),
-            &channel_refs,
-        ) {
+        let built: Result<Session<'_>, Error> = match &golden.artifact {
+            ScorableArtifact::Golden(artifact) => {
+                ScoringSession::new(engine, lab, artifact.characterization(), &channel_refs)
+                    .and_then(|s| match &model {
+                        Some((m, _)) => s.with_model(m),
+                        None => Ok(s),
+                    })
+                    .map(Session::Golden)
+            }
+            ScorableArtifact::ReferenceFree(artifact) => {
+                ReferenceFreeSession::new(engine, lab, artifact.characterization(), &channel_refs)
+                    .and_then(|s| match &model {
+                        Some((m, _)) => s.with_model(m),
+                        None => Ok(s),
+                    })
+                    .map(Session::RefFree)
+            }
+        };
+        let session = match built {
             Ok(session) => session,
             Err(err) => {
                 let reason = err.to_string();
@@ -489,10 +559,17 @@ fn score_batch(
             let _span = obs.span("serve.request");
             // Position 0 pins the seed stream and fault tag to the
             // offline single-suspect path: bit-identity by construction.
-            match session.score_spec_at(0, &job.spec, &config.faults, &config.policy) {
-                Ok(score) => {
-                    let text = htd_store::to_text(&session.single_report(&score, &config.faults));
-                    results.put(content, &job.suspect, text.clone());
+            let outcome = match &session {
+                Session::Golden(s) => s
+                    .score_spec_at(0, &job.spec, &config.faults, &config.policy)
+                    .map(|score| htd_store::to_text(&s.single_report(&score, &config.faults))),
+                Session::RefFree(s) => s
+                    .score_spec_at(0, &job.spec, &config.faults, &config.policy)
+                    .map(|score| htd_store::to_text(&s.single_report(&score, &config.faults))),
+            };
+            match outcome {
+                Ok(text) => {
+                    results.put(content, &memo_key(&job.suspect), text.clone());
                     respond_score(report, obs, &job, &golden.digest_hex, text);
                 }
                 Err(err) => respond_error(report, obs, &job.reply, &err.to_string()),

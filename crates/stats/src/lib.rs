@@ -17,6 +17,9 @@
 //!   assessment, provided as a baseline metric).
 //! * [`ks`] — one-sample Kolmogorov–Smirnov goodness of fit, used to check
 //!   the Fig. 7 Gaussian-population assumption on measured metrics.
+//! * [`logistic`] — a seeded, presentation-order-invariant
+//!   logistic-regression trainer: the learning-assisted scorer that can
+//!   replace the fixed erf threshold (LASCA, arXiv:2001.06476).
 //! * [`Histogram`] — fixed-bin histograms for report rendering.
 //!
 //! # Example
@@ -41,6 +44,7 @@ mod erf;
 mod gaussian;
 mod histogram;
 pub mod ks;
+pub mod logistic;
 pub mod peaks;
 pub mod welch;
 

@@ -1,0 +1,391 @@
+//! A dependency-free, seeded logistic-regression trainer over
+//! per-channel detection statistics — the LASCA-style (arXiv:2001.06476)
+//! learning-assisted scorer that replaces the paper's fixed erf
+//! threshold with a small trained classifier.
+//!
+//! Determinism is the design constraint, not an afterthought:
+//!
+//! * **Fixed-iteration full-batch gradient descent.** No stochastic
+//!   mini-batches, no early stopping on a float comparison — the same
+//!   seed and samples always perform the same floating-point operations.
+//! * **Sorted-index accumulation.** Every reduction over the training
+//!   set (feature means, variances, gradients) runs in one canonical
+//!   sample order derived from the sample *values* (label, then feature
+//!   bits under `total_cmp`), never from presentation order. Shuffling
+//!   the training set is a no-op, bit for bit.
+//! * **Seeded initial weights.** The initial weight vector comes from a
+//!   splitmix64 stream over [`TrainConfig::seed`], so two trainers with
+//!   the same seed are bit-identical and different seeds genuinely
+//!   explore different starts.
+//!
+//! The trained [`LogisticModel`] standardizes features with the means
+//! and standard deviations frozen at training time, so its decision
+//! boundary (`logit == 0`, probability `0.5`) is portable across
+//! campaigns measured in the same units.
+
+use crate::StatsError;
+
+/// A trained logistic-regression classifier over named features.
+///
+/// The decision function is
+/// `logit(x) = bias + Σ_k w_k · (x_k − mean_k) / std_k`;
+/// `logit > 0` means "more likely infected than golden" at the trained
+/// 0.5-probability boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    /// Feature labels, in weight order (the channel names of the
+    /// campaign the model was trained on).
+    pub features: Vec<String>,
+    /// Intercept term.
+    pub bias: f64,
+    /// One weight per feature, over standardized inputs.
+    pub weights: Vec<f64>,
+    /// Per-feature training means (the standardization offsets).
+    pub means: Vec<f64>,
+    /// Per-feature training standard deviations (the standardization
+    /// scales; always positive).
+    pub stds: Vec<f64>,
+    /// Seed the initial weights were drawn from.
+    pub seed: u64,
+    /// Gradient-descent iterations performed.
+    pub iterations: usize,
+    /// Gradient-descent learning rate.
+    pub rate: f64,
+}
+
+impl LogisticModel {
+    /// The decision statistic for one feature vector: the standardized
+    /// linear score whose sign is the trained decision (positive means
+    /// infected).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NotEnoughSamples`] when `x` does not supply one
+    /// value per trained feature.
+    pub fn logit(&self, x: &[f64]) -> Result<f64, StatsError> {
+        if x.len() != self.weights.len() {
+            return Err(StatsError::NotEnoughSamples {
+                got: x.len(),
+                need: self.weights.len(),
+            });
+        }
+        let mut z = self.bias;
+        for (k, &v) in x.iter().enumerate() {
+            z += self.weights[k] * (v - self.means[k]) / self.stds[k];
+        }
+        Ok(z)
+    }
+
+    /// The predicted probability that `x` comes from an infected
+    /// population: `σ(logit(x))`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NotEnoughSamples`] when `x` does not supply one
+    /// value per trained feature.
+    pub fn probability(&self, x: &[f64]) -> Result<f64, StatsError> {
+        Ok(sigmoid(self.logit(x)?))
+    }
+}
+
+/// Hyper-parameters of [`train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Seed of the splitmix64 stream the initial weights are drawn from.
+    pub seed: u64,
+    /// Full-batch gradient-descent iterations (fixed, never adaptive).
+    pub iterations: usize,
+    /// Learning rate; must be positive and finite.
+    pub rate: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            seed: 2015,
+            iterations: 200,
+            rate: 0.5,
+        }
+    }
+}
+
+/// One training sample: a feature vector plus its label (`true` =
+/// infected population, `false` = golden population).
+pub type Sample = (Vec<f64>, bool);
+
+/// Trains a [`LogisticModel`] by deterministic full-batch gradient
+/// descent over standardized features.
+///
+/// The result depends only on the sample *multiset*, the feature labels
+/// and the config — never on presentation order (every accumulation runs
+/// in a canonical value-derived order) and never on the clock or the
+/// platform's thread scheduler.
+///
+/// # Errors
+///
+/// [`StatsError::NotEnoughSamples`] when `features` is empty, a sample's
+/// arity disagrees with `features`, or either class is absent;
+/// [`StatsError::NonPositiveScale`] when the learning rate is not a
+/// positive finite number.
+pub fn train(
+    features: &[String],
+    samples: &[Sample],
+    config: &TrainConfig,
+) -> Result<LogisticModel, StatsError> {
+    let d = features.len();
+    if d == 0 {
+        return Err(StatsError::NotEnoughSamples { got: 0, need: 1 });
+    }
+    if !(config.rate.is_finite() && config.rate > 0.0) {
+        return Err(StatsError::NonPositiveScale { value: config.rate });
+    }
+    for (x, _) in samples {
+        if x.len() != d {
+            return Err(StatsError::NotEnoughSamples {
+                got: x.len(),
+                need: d,
+            });
+        }
+    }
+    let infected = samples.iter().filter(|(_, y)| *y).count();
+    let golden = samples.len() - infected;
+    if infected == 0 || golden == 0 {
+        return Err(StatsError::NotEnoughSamples {
+            got: infected.min(golden),
+            need: 1,
+        });
+    }
+
+    // Canonical accumulation order: by label, then by feature values
+    // under the IEEE total order. Ties are bitwise-identical samples, so
+    // any ordering among them sums identically — presentation order can
+    // never leak into a reduction.
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (xa, ya) = &samples[a];
+        let (xb, yb) = &samples[b];
+        ya.cmp(yb).then_with(|| {
+            for (va, vb) in xa.iter().zip(xb) {
+                let c = va.total_cmp(vb);
+                if c != core::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            core::cmp::Ordering::Equal
+        })
+    });
+    let n = samples.len() as f64;
+
+    // Standardization statistics, accumulated in canonical order.
+    let mut means = vec![0.0f64; d];
+    for &i in &order {
+        for (k, &v) in samples[i].0.iter().enumerate() {
+            means[k] += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut vars = vec![0.0f64; d];
+    for &i in &order {
+        for (k, &v) in samples[i].0.iter().enumerate() {
+            let delta = v - means[k];
+            vars[k] += delta * delta;
+        }
+    }
+    // A constant feature carries no information; unit scale keeps its
+    // standardized value finite (zero) instead of poisoning the model.
+    let stds: Vec<f64> = vars
+        .iter()
+        .map(|&v| {
+            let s = (v / n).sqrt();
+            if s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let standardized: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|(x, _)| {
+            x.iter()
+                .enumerate()
+                .map(|(k, &v)| (v - means[k]) / stds[k])
+                .collect()
+        })
+        .collect();
+
+    // Seeded small initial weights: deterministic per seed, and distinct
+    // seeds genuinely start from distinct points.
+    let mut state = config.seed;
+    let mut weights: Vec<f64> = (0..d)
+        .map(|_| (unit_f64(&mut state) - 0.5) * 0.01)
+        .collect();
+    let mut bias = (unit_f64(&mut state) - 0.5) * 0.01;
+
+    for _ in 0..config.iterations {
+        let mut grad_b = 0.0f64;
+        let mut grad_w = vec![0.0f64; d];
+        for &i in &order {
+            let (_, y) = samples[i];
+            let xs = &standardized[i];
+            let mut z = bias;
+            for (k, &v) in xs.iter().enumerate() {
+                z += weights[k] * v;
+            }
+            let err = sigmoid(z) - f64::from(u8::from(y));
+            grad_b += err;
+            for (k, &v) in xs.iter().enumerate() {
+                grad_w[k] += err * v;
+            }
+        }
+        bias -= config.rate * grad_b / n;
+        for (w, g) in weights.iter_mut().zip(&grad_w) {
+            *w -= config.rate * g / n;
+        }
+    }
+
+    Ok(LogisticModel {
+        features: features.to_vec(),
+        bias,
+        weights,
+        means,
+        stds,
+        seed: config.seed,
+        iterations: config.iterations,
+        rate: config.rate,
+    })
+}
+
+/// Numerically stable logistic function.
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// One splitmix64 step mapped to a uniform value in `[0, 1)`.
+fn unit_f64(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features() -> Vec<String> {
+        vec!["EM".to_string(), "delay".to_string()]
+    }
+
+    fn separable_samples() -> Vec<Sample> {
+        let mut samples = Vec::new();
+        for i in 0..8 {
+            let t = f64::from(i) * 0.25;
+            samples.push((vec![1.0 + t, 10.0 - t], false));
+            samples.push((vec![4.0 + t, 14.0 + t], true));
+        }
+        samples
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let model = train(&features(), &separable_samples(), &TrainConfig::default()).unwrap();
+        for (x, y) in separable_samples() {
+            let p = model.probability(&x).unwrap();
+            assert_eq!(p > 0.5, y, "sample {x:?} scored {p}");
+        }
+        // The boundary logit is exactly the probability-0.5 threshold.
+        assert!(model.logit(&[4.0, 14.0]).unwrap() > 0.0);
+        assert!(model.logit(&[1.0, 10.0]).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn training_is_presentation_order_invariant() {
+        let samples = separable_samples();
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        let mut rotated = samples.clone();
+        rotated.rotate_left(5);
+        let a = train(&features(), &samples, &TrainConfig::default()).unwrap();
+        let b = train(&features(), &reversed, &TrainConfig::default()).unwrap();
+        let c = train(&features(), &rotated, &TrainConfig::default()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+        assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+    }
+
+    #[test]
+    fn seeds_matter_and_are_reproducible() {
+        let samples = separable_samples();
+        let cfg = |seed| TrainConfig {
+            seed,
+            ..TrainConfig::default()
+        };
+        let a1 = train(&features(), &samples, &cfg(1)).unwrap();
+        let a2 = train(&features(), &samples, &cfg(1)).unwrap();
+        let b = train(&features(), &samples, &cfg(2)).unwrap();
+        assert_eq!(a1, a2);
+        assert_ne!(a1.weights, b.weights, "distinct seeds start differently");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let samples = separable_samples();
+        assert!(matches!(
+            train(&[], &samples, &TrainConfig::default()),
+            Err(StatsError::NotEnoughSamples { .. })
+        ));
+        assert!(matches!(
+            train(&features(), &[(vec![1.0], false)], &TrainConfig::default()),
+            Err(StatsError::NotEnoughSamples { .. })
+        ));
+        let one_class: Vec<Sample> = samples.iter().filter(|(_, y)| *y).cloned().collect();
+        assert!(matches!(
+            train(&features(), &one_class, &TrainConfig::default()),
+            Err(StatsError::NotEnoughSamples { .. })
+        ));
+        let bad_rate = TrainConfig {
+            rate: 0.0,
+            ..TrainConfig::default()
+        };
+        assert!(matches!(
+            train(&features(), &samples, &bad_rate),
+            Err(StatsError::NonPositiveScale { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_features_standardize_to_unit_scale() {
+        let features = vec!["EM".to_string()];
+        let samples = vec![
+            (vec![2.0], false),
+            (vec![2.0], false),
+            (vec![2.0], true),
+            (vec![2.0], true),
+        ];
+        let model = train(&features, &samples, &TrainConfig::default()).unwrap();
+        assert_eq!(model.stds, vec![1.0]);
+        assert!(model.logit(&[2.0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn logit_checks_arity() {
+        let model = train(&features(), &separable_samples(), &TrainConfig::default()).unwrap();
+        assert!(matches!(
+            model.logit(&[1.0]),
+            Err(StatsError::NotEnoughSamples { got: 1, need: 2 })
+        ));
+    }
+}

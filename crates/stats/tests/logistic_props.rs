@@ -1,0 +1,162 @@
+//! Property-based tests for the seeded logistic-regression trainer: the
+//! determinism contract (`train` is a pure function of the sample
+//! *multiset*, the feature labels and the config) must hold bit for bit
+//! over arbitrary inputs, not just the hand-picked unit-test vectors.
+
+use htd_stats::logistic::{train, Sample, TrainConfig};
+use htd_stats::StatsError;
+use proptest::prelude::*;
+
+fn feature_names(d: usize) -> Vec<String> {
+    (0..d).map(|k| format!("ch{k}")).collect()
+}
+
+/// Training sets with both classes guaranteed present: two anchor
+/// samples (one per label) are appended to whatever the generator
+/// produces, so no filtering is needed.
+fn sample_set(d: usize) -> impl Strategy<Value = Vec<Sample>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(-100.0f64..100.0, d..=d),
+            any::<bool>(),
+        ),
+        0..16,
+    )
+    .prop_map(move |mut samples| {
+        samples.push((vec![-1.0; d], false));
+        samples.push((vec![1.0; d], true));
+        samples
+    })
+}
+
+/// Seeded Fisher–Yates permutation (splitmix64 stream), so the shuffled
+/// presentation order is reproducible per test case.
+fn shuffle(samples: &[Sample], mut state: u64) -> Vec<Sample> {
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut out = samples.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    /// The same seed, samples and config always produce the same model,
+    /// compared on the raw IEEE bits of every learned parameter.
+    #[test]
+    fn training_is_bit_identical_for_a_fixed_seed(
+        d in 1usize..4,
+        seed in any::<u64>(),
+        iterations in 1usize..50,
+    ) {
+        let config = TrainConfig { seed, iterations, rate: 0.5 };
+        let samples = vec![
+            (vec![-2.0; d], false),
+            (vec![-1.0; d], false),
+            (vec![1.0; d], true),
+            (vec![2.0; d], true),
+        ];
+        let a = train(&feature_names(d), &samples, &config).unwrap();
+        let b = train(&feature_names(d), &samples, &config).unwrap();
+        prop_assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            prop_assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+        for (ma, mb) in a.means.iter().zip(&b.means) {
+            prop_assert_eq!(ma.to_bits(), mb.to_bits());
+        }
+        for (sa, sb) in a.stds.iter().zip(&b.stds) {
+            prop_assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        prop_assert_eq!(a, b);
+    }
+
+    /// Shuffling the training set is a bitwise no-op: every reduction
+    /// runs in the canonical value-derived order, never in presentation
+    /// order. The permutation is drawn from its own seed, independent of
+    /// the sample values.
+    #[test]
+    fn training_is_presentation_order_invariant(
+        samples in sample_set(2),
+        perm_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let config = TrainConfig { seed, iterations: 25, rate: 0.5 };
+        let shuffled = shuffle(&samples, perm_seed);
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        let a = train(&feature_names(2), &samples, &config).unwrap();
+        let b = train(&feature_names(2), &shuffled, &config).unwrap();
+        let c = train(&feature_names(2), &reversed, &config).unwrap();
+        prop_assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            prop_assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// Duplicating the whole training set leaves the standardization
+    /// statistics unchanged (they are multiset means over a doubled
+    /// multiset), so the fitted boundary stays put up to float noise.
+    #[test]
+    fn doubling_the_multiset_preserves_standardization(
+        samples in sample_set(2),
+        seed in any::<u64>(),
+    ) {
+        let config = TrainConfig { seed, iterations: 10, rate: 0.5 };
+        let mut doubled = samples.clone();
+        doubled.extend(samples.iter().cloned());
+        let a = train(&feature_names(2), &samples, &config).unwrap();
+        let b = train(&feature_names(2), &doubled, &config).unwrap();
+        for (ma, mb) in a.means.iter().zip(&b.means) {
+            prop_assert!((ma - mb).abs() <= 1e-9 * (1.0 + ma.abs()), "{ma} vs {mb}");
+        }
+        for (sa, sb) in a.stds.iter().zip(&b.stds) {
+            prop_assert!((sa - sb).abs() <= 1e-9 * (1.0 + sa.abs()), "{sa} vs {sb}");
+        }
+    }
+
+    /// The trained model's outputs are always finite, and probability is
+    /// the sigmoid of the logit, for any in-arity query point.
+    #[test]
+    fn logits_and_probabilities_are_finite_and_consistent(
+        samples in sample_set(3),
+        query in proptest::collection::vec(-1.0e6f64..1.0e6, 3..=3),
+        seed in any::<u64>(),
+    ) {
+        let model = train(
+            &feature_names(3),
+            &samples,
+            &TrainConfig { seed, iterations: 25, rate: 0.5 },
+        ).unwrap();
+        let z = model.logit(&query).unwrap();
+        let p = model.probability(&query).unwrap();
+        prop_assert!(z.is_finite(), "logit {z}");
+        prop_assert!((0.0..=1.0).contains(&p), "probability {p}");
+        prop_assert_eq!((z > 0.0), (p > 0.5));
+    }
+
+    /// One-class training sets are rejected no matter how large.
+    #[test]
+    fn one_class_sets_are_rejected(
+        n in 1usize..20,
+        label in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let samples: Vec<Sample> = (0..n).map(|i| (vec![i as f64], label)).collect();
+        let result = train(
+            &feature_names(1),
+            &samples,
+            &TrainConfig { seed, ..TrainConfig::default() },
+        );
+        prop_assert!(matches!(result, Err(StatsError::NotEnoughSamples { .. })));
+    }
+}

@@ -9,9 +9,11 @@ use htd_core::fusion::{
     ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
     ScoredChannel,
 };
+use htd_core::reffree::{ReferenceFreeCharacterization, ReferenceFreeFit, ReferenceFreeState};
 use htd_core::resilience::ChannelHealth;
 use htd_core::Error;
 use htd_faults::FaultPlan;
+use htd_stats::logistic::LogisticModel;
 use htd_stats::Gaussian;
 
 use crate::blocks::{
@@ -656,6 +658,435 @@ fn parse_result(p: &mut Parser<'_>, keyword: &str) -> Result<ChannelResult, Erro
         empirical_fn_rate,
         empirical_fp_rate,
     })
+}
+
+impl Artifact for LogisticModel {
+    const KIND: &'static str = "classifier";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        w.line(format!("channels {}", self.features.len()));
+        for (((name, weight), mean), std) in self
+            .features
+            .iter()
+            .zip(&self.weights)
+            .zip(&self.means)
+            .zip(&self.stds)
+        {
+            w.line(format!(
+                "channel {} {} {} {}",
+                quote(name),
+                fmt_f64(*weight),
+                fmt_f64(*mean),
+                fmt_f64(*std),
+            ));
+        }
+        w.line(format!("bias {}", fmt_f64(self.bias)));
+        w.line(format!(
+            "trained {} {} {}",
+            self.seed,
+            self.iterations,
+            fmt_f64(self.rate),
+        ));
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let n = parse_usize(p.keyword_line("channels")?.trim()).map_err(|e| p.error(e))?;
+        if n == 0 {
+            return Err(p.error("classifier needs at least one feature channel"));
+        }
+        if n > p.remaining() {
+            return Err(p.error(format!(
+                "classifier declares {n} channels but only {} lines remain",
+                p.remaining()
+            )));
+        }
+        let mut model = LogisticModel {
+            features: Vec::with_capacity(n),
+            bias: 0.0,
+            weights: Vec::with_capacity(n),
+            means: Vec::with_capacity(n),
+            stds: Vec::with_capacity(n),
+            seed: 0,
+            iterations: 0,
+            rate: 0.0,
+        };
+        for _ in 0..n {
+            push_classifier_feature(p, &mut model)?;
+        }
+        parse_classifier_trailer(p, &mut model)?;
+        Ok(model)
+    }
+
+    /// Classifier bodies are one line per feature, so a corrupt feature
+    /// line costs only itself: the reader drops it and resyncs on the
+    /// next line, then parses the `bias`/`trained` trailer strictly.
+    fn parse_body_salvage(p: &mut Parser<'_>) -> Result<(Self, Vec<usize>), Error> {
+        let mut dropped = Vec::new();
+        let n = parse_usize(p.keyword_line("channels")?.trim()).map_err(|e| p.error(e))?;
+        let mut model = LogisticModel {
+            features: Vec::new(),
+            bias: 0.0,
+            weights: Vec::new(),
+            means: Vec::new(),
+            stds: Vec::new(),
+            seed: 0,
+            iterations: 0,
+            rate: 0.0,
+        };
+        while model.features.len() < n {
+            match p.peek() {
+                None => break,
+                Some(l) if l.starts_with("bias ") => break,
+                Some(_) => {}
+            }
+            let mark = p.save();
+            if push_classifier_feature(p, &mut model).is_err() {
+                p.restore(mark);
+                dropped.push(p.save());
+                let _ = p.next_line();
+            }
+        }
+        if model.features.is_empty() {
+            return Err(p.error("no classifier feature survived salvage"));
+        }
+        parse_classifier_trailer(p, &mut model)?;
+        Ok((model, dropped))
+    }
+}
+
+/// Parses one `channel "<name>" <weight> <mean> <std>` classifier
+/// feature line into `model`.
+fn push_classifier_feature(p: &mut Parser<'_>, model: &mut LogisticModel) -> Result<(), Error> {
+    let rest = p.keyword_line("channel")?;
+    let (name, rest) =
+        unquote(rest).ok_or_else(|| p.error("classifier channel needs a quoted name"))?;
+    let mut values = [0.0f64; 3];
+    let mut words = rest.split_whitespace();
+    for v in &mut values {
+        let token = words
+            .next()
+            .ok_or_else(|| p.error("classifier channel needs weight, mean and std"))?;
+        *v = parse_f64(token).map_err(|e| p.error(e))?;
+    }
+    if words.next().is_some() {
+        return Err(p.error("trailing tokens after classifier channel"));
+    }
+    let [weight, mean, std] = values;
+    if std <= 0.0 {
+        return Err(p.error(format!(
+            "classifier std must be positive, got {}",
+            fmt_f64(std)
+        )));
+    }
+    model.features.push(name);
+    model.weights.push(weight);
+    model.means.push(mean);
+    model.stds.push(std);
+    Ok(())
+}
+
+/// Parses the strict `bias` + `trained` trailer of a classifier body.
+fn parse_classifier_trailer(p: &mut Parser<'_>, model: &mut LogisticModel) -> Result<(), Error> {
+    model.bias = parse_f64(p.keyword_line("bias")?.trim()).map_err(|e| p.error(e))?;
+    let rest = p.keyword_line("trained")?;
+    let mut words = rest.split_whitespace();
+    model.seed = parse_u64(
+        words
+            .next()
+            .ok_or_else(|| p.error("trained needs seed, iterations and rate"))?,
+    )
+    .map_err(|e| p.error(e))?;
+    model.iterations = parse_usize(
+        words
+            .next()
+            .ok_or_else(|| p.error("trained needs seed, iterations and rate"))?,
+    )
+    .map_err(|e| p.error(e))?;
+    model.rate = parse_f64(
+        words
+            .next()
+            .ok_or_else(|| p.error("trained needs seed, iterations and rate"))?,
+    )
+    .map_err(|e| p.error(e))?;
+    if words.next().is_some() {
+        return Err(p.error("trailing tokens after trained parameters"));
+    }
+    if model.rate <= 0.0 {
+        return Err(p.error(format!(
+            "training rate must be positive, got {}",
+            fmt_f64(model.rate)
+        )));
+    }
+    Ok(())
+}
+
+/// The composite reference-free artifact: the channel recipes plus the
+/// full [`ReferenceFreeCharacterization`]. Loading one is everything
+/// `htd score` needs to score a suspect lot without any golden
+/// reference — per channel only the calibration, the baseline
+/// self-scores and their fit travel; no reference payload exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceFreeArtifact {
+    specs: Vec<ChannelSpec>,
+    charac: ReferenceFreeCharacterization,
+}
+
+impl ReferenceFreeArtifact {
+    /// Binds channel specs to a reference-free characterization they
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelShapeMismatch`] when the spec list does not match
+    /// the characterization's states (count or name order), when a
+    /// state's self-score count differs from its kept-die count or its
+    /// fit's die count, when the kept dies are not a strictly ascending
+    /// subset of the plan's dies (at least two of them), when a fit's
+    /// spread is not positive, or when a surviving state is marked lost.
+    pub fn new(
+        specs: Vec<ChannelSpec>,
+        charac: ReferenceFreeCharacterization,
+    ) -> Result<Self, Error> {
+        if specs.len() != charac.states.len() {
+            return Err(Error::ChannelShapeMismatch {
+                channel: format!("{} spec(s)", specs.len()),
+                expected: "one spec per characterized channel",
+            });
+        }
+        for (spec, state) in specs.iter().zip(&charac.states) {
+            if spec.name() != state.channel {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "spec order matching channel execution order",
+                });
+            }
+            if state.kept.len() != state.self_scores.len()
+                || state.fit.n_dies != state.self_scores.len()
+            {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "one self-score per kept die, matching the fit",
+                });
+            }
+            if state.kept.len() < 2 {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "at least two kept dies",
+                });
+            }
+            let ascending = state.kept.windows(2).all(|w| w[0] < w[1]);
+            let in_plan = state.kept.last().is_none_or(|&k| k < charac.plan.n_dies);
+            if !ascending || !in_plan {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "kept dies strictly ascending within the plan",
+                });
+            }
+            if !(state.fit.std > 0.0 && state.fit.std.is_finite() && state.fit.mean.is_finite()) {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "a finite baseline fit with positive spread",
+                });
+            }
+            if state.health.lost {
+                return Err(Error::ChannelShapeMismatch {
+                    channel: state.channel.clone(),
+                    expected: "surviving states only (lost channels go in `lost`)",
+                });
+            }
+        }
+        Ok(ReferenceFreeArtifact { specs, charac })
+    }
+
+    /// The channel construction recipes, in execution order.
+    pub fn specs(&self) -> &[ChannelSpec] {
+        &self.specs
+    }
+
+    /// The stored characterization.
+    pub fn characterization(&self) -> &ReferenceFreeCharacterization {
+        &self.charac
+    }
+
+    /// Consumes the artifact into its characterization.
+    pub fn into_characterization(self) -> ReferenceFreeCharacterization {
+        self.charac
+    }
+
+    /// Rebuilds the live channels the stored specs describe, in order.
+    pub fn build_channels(&self) -> Vec<Box<dyn Channel>> {
+        self.specs.iter().map(ChannelSpec::build).collect()
+    }
+}
+
+impl Artifact for ReferenceFreeArtifact {
+    const KIND: &'static str = "reffree";
+
+    fn write_body(&self, w: &mut BodyWriter) {
+        write_plan(w, &self.charac.plan);
+        w.line(format!("channels {}", self.specs.len()));
+        for (spec, state) in self.specs.iter().zip(&self.charac.states) {
+            w.line(format!("channel {}", spec.token()));
+            write_calibration(w, &state.calibration);
+            w.line(format!(
+                "reffree-fit {} {} {}",
+                fmt_f64(state.fit.mean),
+                fmt_f64(state.fit.std),
+                state.fit.n_dies,
+            ));
+            write_f64_list(w, "scores", &state.self_scores);
+            if state.kept.iter().copied().ne(0..state.self_scores.len()) {
+                let mut line = format!("kept {}", state.kept.len());
+                for &k in &state.kept {
+                    line.push_str(&format!(" {k}"));
+                }
+                w.line(line);
+            }
+            if !state.health.is_pristine(state.self_scores.len()) {
+                write_health(w, &state.health);
+            }
+        }
+        if !self.charac.lost.is_empty() {
+            w.line(format!("lost {}", self.charac.lost.len()));
+            for h in &self.charac.lost {
+                write_health(w, h);
+            }
+        }
+    }
+
+    fn parse_body(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let plan = parse_plan(p)?;
+        let n_channels = parse_usize(p.keyword_line("channels")?.trim()).map_err(|e| p.error(e))?;
+        if n_channels > p.remaining() {
+            return Err(p.error(format!(
+                "reference-free artifact declares {n_channels} channels but only {} lines remain",
+                p.remaining()
+            )));
+        }
+        let mut specs = Vec::with_capacity(n_channels);
+        let mut states = Vec::with_capacity(n_channels);
+        for _ in 0..n_channels {
+            let (spec, state) = parse_reffree_block(p)?;
+            states.push(state);
+            specs.push(spec);
+        }
+        let lost = parse_lost_section(p)?;
+        ReferenceFreeArtifact::new(specs, ReferenceFreeCharacterization { plan, states, lost })
+            .map_err(|e| p.error(format!("inconsistent reference-free artifact: {e}")))
+    }
+
+    /// Reference-free bodies share the golden artifact's block structure
+    /// (one block per channel), so salvage drops a corrupt block and
+    /// resyncs at the next `channel ` line.
+    fn parse_body_salvage(p: &mut Parser<'_>) -> Result<(Self, Vec<usize>), Error> {
+        let mut dropped = Vec::new();
+        let plan = parse_plan(p)?;
+        let n_channels = parse_usize(p.keyword_line("channels")?.trim()).map_err(|e| p.error(e))?;
+        let mut specs = Vec::new();
+        let mut states = Vec::new();
+        while specs.len() < n_channels {
+            match p.peek() {
+                None => break,
+                Some(l) if l.starts_with("lost ") => break,
+                Some(_) => {}
+            }
+            let mark = p.save();
+            match parse_reffree_block(p) {
+                Ok((spec, state)) => {
+                    specs.push(spec);
+                    states.push(state);
+                }
+                Err(_) => {
+                    p.restore(mark);
+                    dropped.push(p.save());
+                    let _ = p.next_line();
+                    dropped.extend(p.skip_to_prefix("channel "));
+                }
+            }
+        }
+        let mark = p.save();
+        let lost = match parse_lost_section(p) {
+            Ok(lost) => lost,
+            Err(_) => {
+                p.restore(mark);
+                while p.peek().is_some() {
+                    dropped.push(p.save());
+                    let _ = p.next_line();
+                }
+                Vec::new()
+            }
+        };
+        if states.is_empty() {
+            return Err(p.error("no channel block survived salvage"));
+        }
+        let artifact =
+            ReferenceFreeArtifact::new(specs, ReferenceFreeCharacterization { plan, states, lost })
+                .map_err(|e| p.error(format!("inconsistent reference-free artifact: {e}")))?;
+        Ok((artifact, dropped))
+    }
+}
+
+/// Parses one reference-free channel block: the spec token, calibration,
+/// baseline fit, self-scores, and the optional degradation markers.
+fn parse_reffree_block(p: &mut Parser<'_>) -> Result<(ChannelSpec, ReferenceFreeState), Error> {
+    let token = p.keyword_line("channel")?;
+    let spec = ChannelSpec::from_token(token)
+        .ok_or_else(|| p.error(format!("unknown channel spec `{token}`")))?;
+    let calibration = parse_calibration(p)?;
+    let rest = p.keyword_line("reffree-fit")?;
+    let mut words = rest.split_whitespace();
+    let mean = parse_f64(
+        words
+            .next()
+            .ok_or_else(|| p.error("reffree-fit needs mean, std and die count"))?,
+    )
+    .map_err(|e| p.error(e))?;
+    let std = parse_f64(
+        words
+            .next()
+            .ok_or_else(|| p.error("reffree-fit needs mean, std and die count"))?,
+    )
+    .map_err(|e| p.error(e))?;
+    let n_dies = parse_usize(
+        words
+            .next()
+            .ok_or_else(|| p.error("reffree-fit needs mean, std and die count"))?,
+    )
+    .map_err(|e| p.error(e))?;
+    if words.next().is_some() {
+        return Err(p.error("trailing tokens after reffree-fit"));
+    }
+    let self_scores = parse_f64_list(p, "scores")?;
+    let kept = if p.peek().is_some_and(|l| l.starts_with("kept ")) {
+        let rest = p.keyword_line("kept")?;
+        let mut words = rest.split_whitespace();
+        let n = parse_usize(words.next().ok_or_else(|| p.error("kept needs a count"))?)
+            .map_err(|e| p.error(e))?;
+        let kept: Vec<usize> = words
+            .map(parse_usize)
+            .collect::<Result<_, _>>()
+            .map_err(|e| p.error(e))?;
+        if kept.len() != n {
+            return Err(p.error(format!("kept declares {n} dies but lists {}", kept.len())));
+        }
+        kept
+    } else {
+        (0..self_scores.len()).collect()
+    };
+    let health = if p.peek().is_some_and(|l| l.starts_with("channel-health ")) {
+        parse_health(p)?
+    } else {
+        ChannelHealth::pristine(spec.name(), self_scores.len())
+    };
+    let state = ReferenceFreeState {
+        channel: spec.name().to_string(),
+        calibration,
+        self_scores,
+        fit: ReferenceFreeFit { mean, std, n_dies },
+        kept,
+        health,
+    };
+    Ok((spec, state))
 }
 
 /// Parses a `channel "<label>"` line.

@@ -41,11 +41,76 @@ mod kinds;
 
 pub use checksum::fnv1a64;
 pub use format::{quote, unquote, FORMAT_VERSION, IN_MEMORY, MAGIC};
-pub use kinds::{Artifact, ChannelFit, GoldenArtifact};
+pub use kinds::{Artifact, ChannelFit, GoldenArtifact, ReferenceFreeArtifact};
 
+/// The `classifier` artifact: a trained logistic-regression model,
+/// re-exported under its store-facing name so consumers (CLI, serve) can
+/// speak about it without depending on `htd-stats` directly.
+pub use htd_stats::logistic::LogisticModel as ClassifierModel;
+
+use htd_core::channel::Channel;
 use htd_core::{CampaignPlan, Error};
 
 use format::{frame, unframe, BodyWriter};
+
+/// The artifact kind declared on a store file's header line, if the
+/// header is even shaped like one. This is a *sniff*, not a validation —
+/// full framing and checksum checks happen at load; use it only to
+/// decide which loader to dispatch to.
+pub fn sniff_kind(text: &str) -> Option<&str> {
+    let header = text.lines().next()?;
+    let mut words = header.split(' ');
+    (words.next() == Some(MAGIC))
+        .then(|| words.nth(1))
+        .flatten()
+}
+
+/// Either artifact kind `htd score` / `htd serve` can score a suspect
+/// against: the golden characterization or its reference-free
+/// counterpart. Dispatch is by the header's kind token, so one loader
+/// serves both modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScorableArtifact {
+    /// A `golden` artifact (golden-reference mode).
+    Golden(GoldenArtifact),
+    /// A `reffree` artifact (reference-free mode).
+    ReferenceFree(ReferenceFreeArtifact),
+}
+
+impl ScorableArtifact {
+    /// Parses whichever scorable kind `text` declares, labelling errors
+    /// with `origin`. Unknown kinds fall through to the golden parser so
+    /// its kind mismatch carries the diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Format`] on any framing, checksum, grammar or value
+    /// violation of the declared kind.
+    pub fn from_text_at(text: &str, origin: &str) -> Result<Self, Error> {
+        match sniff_kind(text) {
+            Some(ReferenceFreeArtifact::KIND) => {
+                Ok(ScorableArtifact::ReferenceFree(from_text_at(text, origin)?))
+            }
+            _ => Ok(ScorableArtifact::Golden(from_text_at(text, origin)?)),
+        }
+    }
+
+    /// The campaign plan behind either kind.
+    pub fn plan(&self) -> &CampaignPlan {
+        match self {
+            ScorableArtifact::Golden(a) => &a.characterization().plan,
+            ScorableArtifact::ReferenceFree(a) => &a.characterization().plan,
+        }
+    }
+
+    /// Rebuilds the live channels the stored specs describe, in order.
+    pub fn build_channels(&self) -> Vec<Box<dyn Channel>> {
+        match self {
+            ScorableArtifact::Golden(a) => a.build_channels(),
+            ScorableArtifact::ReferenceFree(a) => a.build_channels(),
+        }
+    }
+}
 
 /// FNV-1a digest of a campaign plan's store text: the canonical identity
 /// of a campaign across the pipeline. Run manifests stamp it, the serve

@@ -21,10 +21,12 @@ use htd_core::fusion::{
     ChannelResult, ChannelState, GoldenCharacterization, MultiChannelReport, MultiChannelRow,
     ScoredChannel,
 };
+use htd_core::reffree::{ReferenceFreeCharacterization, ReferenceFreeFit, ReferenceFreeState};
+use htd_core::resilience::ChannelHealth;
 use htd_em::Trace;
 use htd_faults::FaultPlan;
 use htd_stats::Gaussian;
-use htd_store::{Artifact, ChannelFit, GoldenArtifact};
+use htd_store::{Artifact, ChannelFit, ClassifierModel, GoldenArtifact, ReferenceFreeArtifact};
 use htd_timing::GlitchParams;
 
 fn fixture_dir() -> PathBuf {
@@ -108,6 +110,64 @@ fn golden() -> GoldenArtifact {
     .unwrap()
 }
 
+fn classifier() -> ClassifierModel {
+    ClassifierModel {
+        features: vec!["EM".to_string(), "delay".to_string()],
+        bias: -0.125,
+        weights: vec![1.5, -2.25],
+        means: vec![300261.7222222223, 40.5],
+        stds: vec![1234.5, 1.0 / 3.0],
+        seed: 2015,
+        iterations: 200,
+        rate: 0.5,
+    }
+}
+
+fn reffree() -> ReferenceFreeArtifact {
+    let states = vec![
+        ReferenceFreeState {
+            channel: "EM".to_string(),
+            calibration: Calibration::None,
+            self_scores: vec![1.0, 2.5, -3.0, 0.125],
+            fit: ReferenceFreeFit {
+                mean: 0.15625,
+                std: 2.0078,
+                n_dies: 4,
+            },
+            kept: vec![0, 1, 2, 3],
+            health: ChannelHealth::pristine("EM", 4),
+        },
+        ReferenceFreeState {
+            channel: "delay".to_string(),
+            calibration: Calibration::Glitch(glitch()),
+            self_scores: vec![40.0, 39.0, 40.25],
+            fit: ReferenceFreeFit {
+                mean: 39.75,
+                std: 0.5401,
+                n_dies: 3,
+            },
+            kept: vec![0, 2, 3],
+            health: {
+                let mut h = ChannelHealth::pristine("delay", 4);
+                h.dropped = 1;
+                h
+            },
+        },
+    ];
+    ReferenceFreeArtifact::new(
+        vec![
+            ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
+            ChannelSpec::Delay,
+        ],
+        ReferenceFreeCharacterization {
+            plan: plan(),
+            states,
+            lost: vec![],
+        },
+    )
+    .unwrap()
+}
+
 fn faultplan() -> FaultPlan {
     FaultPlan {
         seed: 7,
@@ -160,6 +220,8 @@ fn stored_fixtures_are_stable() {
     check(&report());
     check(&golden());
     check(&faultplan());
+    check(&classifier());
+    check(&reffree());
 }
 
 /// Rewrites every fixture from the current format. Run only after a
@@ -196,4 +258,6 @@ fn regenerate() {
     write(&dir, &report());
     write(&dir, &golden());
     write(&dir, &faultplan());
+    write(&dir, &classifier());
+    write(&dir, &reffree());
 }

@@ -102,6 +102,37 @@ impl ZooConfig {
         Ok(specs)
     }
 
+    /// Splits the grid into a training set and a held-out set by trigger
+    /// family: every spec of the `holdout` family lands in the second
+    /// list, everything else in the first, both in [`generate`] order.
+    /// This is the labelled-set split `htd train` uses so the learned
+    /// classifier is always evaluated on a trigger family it never saw.
+    ///
+    /// [`generate`]: Self::generate
+    ///
+    /// # Errors
+    ///
+    /// Same as [`generate`](Self::generate): the whole grid must be
+    /// valid; no partial split is returned.
+    pub fn split_holdout(
+        &self,
+        holdout: ZooTrigger,
+    ) -> Result<(Vec<TrojanSpec>, Vec<TrojanSpec>), TrojanError> {
+        let mut train = Vec::new();
+        let mut held_out = Vec::new();
+        for &size in &self.sizes {
+            for &kind in &self.kinds {
+                let spec = self.spec(kind, size)?;
+                if kind == holdout {
+                    held_out.push(spec);
+                } else {
+                    train.push(spec);
+                }
+            }
+        }
+        Ok((train, held_out))
+    }
+
     /// Builds the spec for one grid point.
     ///
     /// # Errors
@@ -181,6 +212,31 @@ mod tests {
             cfg.generate(),
             Err(TrojanError::InvalidTrigger { .. })
         ));
+    }
+
+    #[test]
+    fn holdout_split_partitions_the_grid_in_order() {
+        let cfg = ZooConfig::default();
+        let all = cfg.generate().unwrap();
+        let (train, held_out) = cfg.split_holdout(ZooTrigger::Counter).unwrap();
+        assert_eq!(train.len() + held_out.len(), all.len());
+        assert!(train.iter().all(|s| !s.name.contains("-ctr-")));
+        assert!(held_out.iter().all(|s| s.name.contains("-ctr-")));
+        // Both halves preserve generation order.
+        let mut merged: Vec<&TrojanSpec> = Vec::new();
+        let (mut t, mut h) = (train.iter(), held_out.iter());
+        let (mut tn, mut hn) = (t.next(), h.next());
+        for spec in &all {
+            if tn.is_some_and(|s| s == spec) {
+                merged.push(tn.unwrap());
+                tn = t.next();
+            } else {
+                assert_eq!(hn.unwrap(), spec);
+                merged.push(hn.unwrap());
+                hn = h.next();
+            }
+        }
+        assert_eq!(merged.len(), all.len());
     }
 
     #[test]

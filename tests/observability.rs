@@ -173,6 +173,190 @@ fn library_counters_are_worker_invariant() {
     assert_eq!(&campaign(&Engine::with_workers(2)), report1);
 }
 
+/// Reference-free mode is worker-invariant too: the same faulted
+/// reference-free campaign at 1, 2, and 8 workers yields bit-identical
+/// artifact text, report text, and counter snapshots — including the
+/// mode's own `score.reffree.*` counters.
+#[test]
+fn reffree_counters_are_worker_invariant() {
+    use htd_core::reffree::{characterize_reffree_faulted, score_reffree_campaign};
+    use htd_store::ReferenceFreeArtifact;
+
+    let plan = CampaignPlan::with_random_pairs(4, 2, 2, [0x42; 16], [0x0f; 16], 42);
+    let specs = [
+        ChannelSpec::Em(TraceMetric::SumOfLocalMaxima),
+        ChannelSpec::Delay,
+    ];
+    let faults = FaultPlan {
+        seed: 7,
+        acquire_rate: 0.2,
+        rep_rate: 0.1,
+        calibrate_rate: 0.0,
+        store_rate: 0.0,
+    };
+    let policy = RetryPolicy::degraded(2);
+    let campaign = |engine: &Engine| {
+        let lab = Lab::paper();
+        let channels: Vec<Box<dyn Channel>> = specs.iter().map(ChannelSpec::build).collect();
+        let refs: Vec<&dyn Channel> = channels.iter().map(Box::as_ref).collect();
+        let charac = characterize_reffree_faulted(engine, &lab, &plan, &refs, &faults, &policy)
+            .expect("reference-free characterize completes");
+        // Lockstep filter, exactly as the CLI stores it: one spec per
+        // surviving state, in execution order.
+        let surviving: Vec<ChannelSpec> = specs
+            .iter()
+            .filter(|s| charac.states.iter().any(|st| st.channel == s.name()))
+            .cloned()
+            .collect();
+        let artifact = ReferenceFreeArtifact::new(surviving, charac)
+            .expect("surviving states form a consistent artifact");
+        let scored = score_reffree_campaign(
+            engine,
+            &lab,
+            artifact.characterization(),
+            &[TrojanSpec::ht2()],
+            &refs,
+            &faults,
+            &policy,
+            None,
+        )
+        .expect("reference-free score completes");
+        (
+            htd_store::to_text(&artifact),
+            htd_store::to_text(&scored.report),
+        )
+    };
+
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let engine = Engine::with_workers(workers).with_obs(Obs::recording());
+        let (artifact, report) = campaign(&engine);
+        let snapshot = engine.obs().snapshot().expect("recording obs snapshots");
+        runs.push((workers, artifact, report, snapshot.counters));
+    }
+    let (_, artifact1, report1, counters1) = &runs[0];
+    for (workers, artifact, report, counters) in &runs[1..] {
+        assert_eq!(counters1, counters, "counters differ at {workers} workers");
+        assert_eq!(artifact1, artifact, "artifact differs at {workers} workers");
+        assert_eq!(report1, report, "report differs at {workers} workers");
+    }
+
+    let get = |name: &str| {
+        counters1
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing counter {name:?} in {counters1:?}"))
+            .1
+    };
+    assert_eq!(get("span.characterize"), 1);
+    assert_eq!(get("span.score"), 1);
+    assert!(get("score.reffree.selfscores") > 0, "LOO scores registered");
+    assert_eq!(get("score.reffree.designs"), 1);
+    assert_eq!(get("score.designs"), 1);
+}
+
+/// CLI-level learned-mode determinism: `htd train` writes byte-identical
+/// classifier models (and bit-identical `train.*` counter sections) at
+/// 1, 2, and 8 workers, and `htd score --model` reports are
+/// byte-identical across worker counts.
+#[test]
+fn cli_train_and_learned_scores_are_worker_invariant() {
+    let mut models = Vec::new();
+    let mut manifests = Vec::new();
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let dir = scratch(&format!("train-w{workers}"));
+        let model = dir.join("model.htd");
+        let metrics = dir.join("train.json");
+        run_htd(&[
+            "train".into(),
+            "--out".into(),
+            model.display().to_string(),
+            "--sizes".into(),
+            "8".into(),
+            "--kinds".into(),
+            "comb,ctr".into(),
+            "--holdout".into(),
+            "ctr".into(),
+            "--dies".into(),
+            "4".into(),
+            "--seed".into(),
+            "2015".into(),
+            "--iterations".into(),
+            "50".into(),
+            "--workers".into(),
+            workers.to_string(),
+            "--metrics".into(),
+            metrics.display().to_string(),
+        ]);
+        let manifest =
+            RunManifest::parse(&std::fs::read_to_string(&metrics).expect("manifest written"))
+                .expect("train manifest parses strictly");
+        assert_eq!(manifest.command, "train");
+        assert_eq!(manifest.workers as usize, workers);
+
+        // A learned score against a fresh golden of the same channel
+        // set, reported to a file for byte comparison.
+        let golden = dir.join("golden.htd");
+        run_htd(&cli_characterize_args(&golden, workers));
+        let report = dir.join("report.htd");
+        run_htd(&[
+            "score".into(),
+            "--golden".into(),
+            golden.display().to_string(),
+            "--model".into(),
+            model.display().to_string(),
+            "--trojans".into(),
+            "ht1".into(),
+            "--report".into(),
+            report.display().to_string(),
+            "--workers".into(),
+            workers.to_string(),
+        ]);
+
+        models.push(std::fs::read(&model).expect("model readable"));
+        reports.push(std::fs::read(&report).expect("report readable"));
+        manifests.push((workers, manifest));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    assert!(
+        models.iter().all(|m| m == &models[0]),
+        "trained model bytes differ across worker counts"
+    );
+    assert!(
+        reports.iter().all(|r| r == &reports[0]),
+        "learned report bytes differ across worker counts"
+    );
+    let (_, first) = &manifests[0];
+    for (workers, manifest) in &manifests[1..] {
+        assert_eq!(
+            first.counters_text(),
+            manifest.counters_text(),
+            "train counter section differs at {workers} workers"
+        );
+    }
+    let get = |name: &str| {
+        first
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing counter {name:?}"))
+            .1
+    };
+    // One comb trojan trains (ctr held out); 4 golden + 4 infected dies.
+    assert_eq!(get("train.designs"), 1);
+    assert_eq!(get("train.samples"), 8);
+    assert_eq!(get("train.iterations"), 50);
+
+    // The learned report really carries the classifier channel.
+    let report = String::from_utf8(reports[0].clone()).expect("utf-8 report");
+    assert!(
+        report.contains("learned"),
+        "no learned row in report:\n{report}"
+    );
+}
+
 /// CLI-level determinism and artifact neutrality: `--metrics` manifests
 /// from 1, 2, and 8 workers carry bit-identical counter sections, the
 /// golden artifact is byte-identical across worker counts and with
@@ -311,6 +495,7 @@ fn serve_manifest_counters_are_worker_invariant() {
                 .call(&Request::Score {
                     golden: golden.clone(),
                     suspect: suspect.into(),
+                    model: None,
                 })
                 .expect("score answered");
             assert!(

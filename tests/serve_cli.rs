@@ -118,6 +118,7 @@ fn score(client: &mut Client, golden: &str, suspect: &str) -> Response {
         .call(&Request::Score {
             golden: golden.to_string(),
             suspect: suspect.to_string(),
+            model: None,
         })
         .expect("score answered")
 }
@@ -173,6 +174,172 @@ fn served_scores_are_bit_identical_to_offline_at_any_worker_count() {
         }
         server.shutdown();
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A reference-free golden serves exactly like it scores offline: the
+/// server sniffs the artifact kind, runs the reference-free session,
+/// and the embedded report is byte-identical to `htd score --report` —
+/// at 1, 2 and 8 workers.
+#[test]
+fn served_reference_free_scores_are_bit_identical_to_offline() {
+    let dir = scratch("reffree");
+    let golden = dir.join("reffree.htd").display().to_string();
+    htd(&[
+        "characterize",
+        "--out",
+        &golden,
+        "--mode",
+        "reference-free",
+        "--dies",
+        "4",
+        "--pairs",
+        "2",
+        "--reps",
+        "2",
+        "--seed",
+        "42",
+        "--channels",
+        "em,delay",
+    ]);
+
+    let mut offline = Vec::new();
+    for suspect in ["ht1", "ht2"] {
+        let path = dir.join(format!("offline-{suspect}.htd"));
+        htd(&[
+            "score",
+            "--golden",
+            &golden,
+            "--trojans",
+            suspect,
+            "--report",
+            &path.display().to_string(),
+        ]);
+        offline.push((
+            suspect,
+            std::fs::read_to_string(&path).expect("offline report"),
+        ));
+    }
+
+    for workers in ["1", "2", "8"] {
+        let server = Server::spawn(&["--workers", workers, "--result-cache", "0"]);
+        let mut client = server.client();
+        for _round in 0..2 {
+            for (suspect, expected) in &offline {
+                let response = score(&mut client, &golden, suspect);
+                let Response::Score { report, .. } = response else {
+                    panic!("expected a score at {workers} workers, got {response:?}");
+                };
+                assert_eq!(
+                    &report, expected,
+                    "served reference-free {suspect} differs from offline at {workers} workers"
+                );
+            }
+        }
+        server.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Learned-mode serving: a request carrying a `model` scores through
+/// the classifier byte-identically to offline `htd score --model`, a
+/// malformed or missing model file degrades exactly those responses
+/// into `error` (never the connection), and model-less requests on the
+/// same golden are unaffected.
+#[test]
+fn served_model_scores_match_offline_and_bad_models_degrade_gracefully() {
+    let dir = scratch("model");
+    let golden = characterize(&dir);
+    let model = dir.join("model.htd").display().to_string();
+    htd(&[
+        "train",
+        "--out",
+        &model,
+        "--sizes",
+        "8",
+        "--kinds",
+        "comb",
+        "--dies",
+        "4",
+        "--iterations",
+        "50",
+    ]);
+
+    let offline_learned = dir.join("offline-learned.htd");
+    htd(&[
+        "score",
+        "--golden",
+        &golden,
+        "--model",
+        &model,
+        "--trojans",
+        "ht1",
+        "--report",
+        &offline_learned.display().to_string(),
+    ]);
+    let offline_learned = std::fs::read_to_string(&offline_learned).expect("offline report");
+    let offline_plain = dir.join("offline-plain.htd");
+    htd(&[
+        "score",
+        "--golden",
+        &golden,
+        "--trojans",
+        "ht1",
+        "--report",
+        &offline_plain.display().to_string(),
+    ]);
+    let offline_plain = std::fs::read_to_string(&offline_plain).expect("offline report");
+
+    // A well-framed store file that is *not* a classifier.
+    let not_a_model = dir.join("not-a-model.htd").display().to_string();
+    std::fs::copy(&golden, &not_a_model).expect("copy golden");
+
+    let server = Server::spawn(&[]);
+    let mut client = server.client();
+    let score_with = |client: &mut Client, model: Option<String>| {
+        client
+            .call(&Request::Score {
+                golden: golden.clone(),
+                suspect: "ht1".to_string(),
+                model,
+            })
+            .expect("score answered")
+    };
+
+    // Interleaved model/no-model rounds: the result cache must never
+    // serve a learned report for a plain request or vice versa.
+    for _round in 0..2 {
+        let response = score_with(&mut client, Some(model.clone()));
+        let Response::Score { report, .. } = response else {
+            panic!("expected a learned score, got {response:?}");
+        };
+        assert_eq!(report, offline_learned, "served learned report differs");
+
+        let response = score_with(&mut client, None);
+        let Response::Score { report, .. } = response else {
+            panic!("expected a plain score, got {response:?}");
+        };
+        assert_eq!(report, offline_plain, "served plain report differs");
+    }
+
+    // A nonexistent model path degrades the response, not the server.
+    let response = score_with(
+        &mut client,
+        Some(dir.join("missing.htd").display().to_string()),
+    );
+    assert!(matches!(&response, Response::Error { .. }), "{response:?}");
+
+    // A malformed classifier upload (valid store file, wrong kind) is
+    // answered with `error` on a live connection — never a dropped
+    // socket.
+    let response = score_with(&mut client, Some(not_a_model));
+    assert!(matches!(&response, Response::Error { .. }), "{response:?}");
+    assert_eq!(client.call(&Request::Ping).expect("ping"), Response::Done);
+
+    // And the connection still scores normally afterwards.
+    let response = score_with(&mut client, Some(model));
+    assert!(matches!(response, Response::Score { .. }), "{response:?}");
+    server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
 
