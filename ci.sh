@@ -45,21 +45,28 @@ echo "==> htd fault-injection smoke"
     --report "$HTD_SMOKE_DIR/degraded.htd"
 "$HTD" diff "$HTD_SMOKE_DIR/degraded.htd" tests/fixtures/degraded_report.htd
 
-echo "==> htd metrics smoke (BENCH_pipeline.json)"
-# The paper-headline campaign with --metrics. The manifest's counter
-# section is deterministic (worker-invariant), so it is diffed against
-# the committed fixture; timings are observational and never compared.
-# `report --metrics` parses both files strictly, so any schema drift in
-# the writer fails here before the diff even runs.
+echo "==> htd metrics smoke (BENCH_pipeline.json, TRACE_pipeline.json)"
+# The paper-headline campaign with --metrics and --trace. The manifest's
+# counter section is deterministic (worker-invariant), so it is diffed
+# against the committed fixture; timings are observational and never
+# compared. `report --metrics` parses both files strictly, so any schema
+# drift in the writer fails here before the diff even runs. The trace
+# export stays in the workspace as a CI artifact (open it in
+# chrome://tracing); its presence gates that tracing still exports.
 "$HTD" characterize --out "$HTD_SMOKE_DIR/headline.htd" \
     --dies 8 --pairs 2 --reps 2 --seed 2015 --channels em,delay
 "$HTD" score --golden "$HTD_SMOKE_DIR/headline.htd" --trojans sweep \
-    --metrics BENCH_pipeline.json >/dev/null
+    --metrics BENCH_pipeline.json --trace TRACE_pipeline.json >/dev/null
+test -s TRACE_pipeline.json
 "$HTD" report --metrics BENCH_pipeline.json --counters \
     >"$HTD_SMOKE_DIR/bench.counters"
 "$HTD" report --metrics tests/fixtures/run_manifest.json --counters \
     >"$HTD_SMOKE_DIR/pinned.counters"
 diff "$HTD_SMOKE_DIR/bench.counters" "$HTD_SMOKE_DIR/pinned.counters"
+# The structural gate over the full manifest: counters, plan digest and
+# command must match the committed baseline exactly (exit 4 otherwise);
+# timings pass ungated — they are machine noise in CI.
+"$HTD" bench diff tests/fixtures/bench_baseline_pipeline.json BENCH_pipeline.json
 
 echo "==> htd zoo smoke"
 # A tiny trigger-size x channel sweep; the heat-map CSV is deterministic
@@ -116,6 +123,10 @@ diff "$HTD_SMOKE_DIR/served.htd" tests/fixtures/serve_response.htd
     --requests 300 --clients 4 --json BENCH_serve.json --shutdown
 wait "$HTD_SERVE_PID"
 test -s BENCH_serve.json
+# Same structural gate for the serve load: the request mix and outcome
+# counts (300 ok, 0 errors) must match the committed baseline; the
+# throughput and latency fields only gate when a --gate band is given.
+"$HTD" bench diff tests/fixtures/bench_baseline_serve.json BENCH_serve.json
 
 echo "==> criterion quick benches (BENCH_acquire.json)"
 # The per-stage acquisition benches in quick mode: 3 samples each, with
@@ -129,7 +140,7 @@ test -s BENCH_acquire.json
 echo "==> cargo clippy -- -D warnings"
 # The crates this tier touches are linted explicitly first (fast,
 # focused diagnostics), then the whole workspace with every target.
-cargo clippy -p htd-netlist -p htd-trojan -p htd-serve \
+cargo clippy -p htd-netlist -p htd-trojan -p htd-serve -p htd-obs \
     -p htd-core -p htd-stats -p htd-store -p htd-cli -- -D warnings
 cargo clippy --all-targets -- -D warnings
 

@@ -41,7 +41,7 @@ USAGE:
                    [--channels em,delay,power] [--metric solm|max|sum|l2]
                    [--pt HEX32] [--key HEX32] [--workers N] [--fits-dir DIR]
                    [--faults FILE] [--max-retries N] [--allow-degraded]
-                   [--model FILE] [--metrics FILE]
+                   [--model FILE] [--metrics FILE] [--trace FILE]
       Measure a golden population and store it as a golden artifact.
       --mode reference-free needs no golden netlist trust anchor: every
       die is scored against its own symmetric path pairs and its
@@ -55,6 +55,7 @@ USAGE:
             [--model FILE] [--csv FILE] [--kv FILE] [--scores-dir DIR]
             [--workers N] [--faults FILE] [--max-retries N]
             [--allow-degraded] [--max-drop-rate F] [--metrics FILE]
+            [--trace FILE]
       Score suspect designs against a stored golden artifact. The
       artifact's kind picks the mode: a `golden` artifact scores against
       the stored reference, a `reffree` artifact scores each suspect die
@@ -72,6 +73,9 @@ USAGE:
       per-stage timings, event counters, pool occupancy and health.
       Counters are bit-identical at any --workers value; timings are
       observational and never enter checksummed artifacts.
+      --trace FILE additionally exports the run's span tree as Chrome
+      trace-event JSON (open in chrome://tracing or Perfetto). Tracing
+      never changes counters or stored artifacts.
 
   htd zoo [--golden FILE] [--sizes 8,16,32] [--kinds comb,ctr,fsm]
           [--placement near-taps|corner|spread] [--dies N] [--pairs N]
@@ -113,7 +117,7 @@ USAGE:
   htd serve [--addr HOST:PORT] [--queue-depth N] [--cache-bytes N]
             [--result-cache N] [--workers N] [--faults FILE]
             [--max-retries N] [--allow-degraded] [--metrics FILE]
-            [--metrics-every N]
+            [--metrics-every N] [--trace FILE]
       Serve scoring over TCP (see DESIGN.md §serve for the protocol).
       Clients name a stored golden artifact by server-side path and a
       suspect token; responses embed the byte-identical report `htd
@@ -124,7 +128,18 @@ USAGE:
       are shed with an explicit `busy` response. Prints `serving on
       HOST:PORT` once bound (port 0 picks a free port) and runs until a
       client sends `shutdown`. --metrics rewrites a run manifest every
-      --metrics-every scored requests (and once at shutdown).
+      --metrics-every scored requests (and once at shutdown). --trace
+      exports the span tree of the whole serve run as Chrome trace-event
+      JSON at shutdown; every request's spans (accept → queue → batch →
+      score → respond) are tagged with its request id — the one the
+      client sent on the wire, or a server-assigned `srv-N`.
+
+  htd top --addr HOST:PORT [--interval-ms N] [--iterations K] [--plain]
+      Poll a running serve instance's `stats` verb into a refreshing
+      live table: uptime, queue depth, workers, request/batch counters
+      and cache hit rates. --iterations K stops after K polls (0 = until
+      the server goes away); --plain prints one `name value` block per
+      poll with no screen control, for scripts and tests.
 
   htd bench --serve --golden FILE[,FILE...] [--addr A[,A...]]
             [--suspects ht1,ht2,...] [--requests N] [--clients N]
@@ -134,6 +149,18 @@ USAGE:
       shard by plan-digest modulus. --dump saves the first response's
       embedded report (for fixture diffing), --json writes the
       measurements, --shutdown stops every instance afterwards.
+      Latency percentiles come from the shared log2 histogram
+      (bucket-granular upper bounds, the same derivation --metrics
+      manifests use).
+
+  htd bench diff OLD NEW [--gate PCT]
+      Structurally compare two run manifests (--metrics output) or two
+      bench measurement files (bench --json output). Deterministic
+      fields — counters, plan digest, command, request mix — must be
+      identical; observational timings are ignored unless --gate PCT
+      sets a noise band (new may exceed old by at most PCT percent).
+      Exit 4 on any regression, 0 when within tolerance. CI diffs the
+      committed baselines under tests/fixtures/ this way.
 
   htd diff FILE FILE
       Compare two stored artifacts of the same kind. Golden artifacts
@@ -149,6 +176,7 @@ EXIT CODES:
   1  diff: the reports differ
   2  error (bad usage, malformed artifact, I/O or campaign failure)
   3  score: a channel's drop rate exceeded --max-drop-rate
+  4  bench diff: a counter or gated timing regressed
 ";
 
 fn main() -> ExitCode {
@@ -174,6 +202,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "zoo" => zoo(rest),
         "serve" => serve(rest),
         "bench" => bench(rest),
+        "top" => top(rest),
         "fuse" => fuse(rest),
         "report" => report(rest),
         "diff" => diff(rest),
@@ -352,8 +381,8 @@ fn tool_info() -> ToolInfo {
         version: env!("CARGO_PKG_VERSION").to_string(),
         format_version: u64::from(htd_store::FORMAT_VERSION),
         features: [
-            "delay", "em", "power", "faults", "metrics", "reffree", "salvage", "serve", "train",
-            "zoo",
+            "delay", "em", "power", "faults", "metrics", "reffree", "salvage", "serve", "top",
+            "trace", "train", "zoo",
         ]
         .iter()
         .map(|f| f.to_string())
@@ -377,13 +406,31 @@ fn tool_info_json(info: &ToolInfo) -> Json {
     ])
 }
 
-/// The observability handle for a run: recording when `--metrics` was
-/// given (with the manifest's output path), disabled otherwise.
-fn metrics_obs(opts: &Opts) -> (Obs, Option<String>) {
-    match opts.get("metrics") {
-        Some(path) => (Obs::recording(), Some(path.to_string())),
-        None => (Obs::noop(), None),
-    }
+/// The observability handle for a run plus the output paths it feeds:
+/// tracing when `--trace` was given (a tracing recorder also serves
+/// `--metrics`), recording when only `--metrics` was, disabled
+/// otherwise. Returns `(obs, metrics_path, trace_path)`.
+fn metrics_obs(opts: &Opts) -> (Obs, Option<String>, Option<String>) {
+    let metrics = opts.get("metrics").map(str::to_string);
+    let trace = opts.get("trace").map(str::to_string);
+    let obs = if trace.is_some() {
+        Obs::recording_traced()
+    } else if metrics.is_some() {
+        Obs::recording()
+    } else {
+        Obs::noop()
+    };
+    (obs, metrics, trace)
+}
+
+/// Writes the Chrome trace-event export of a completed run (`--trace`).
+fn write_trace(path: &str, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
+    let json = obs
+        .trace_json()
+        .ok_or("--trace: the run's recorder was not tracing")?;
+    std::fs::write(path, json).map_err(|e| Error::io(path, e))?;
+    println!("wrote {path}");
+    Ok(())
 }
 
 /// Mirrors the pipeline's health ledger into the manifest's (core-free)
@@ -466,6 +513,7 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
             "faults",
             "max-retries",
             "metrics",
+            "trace",
         ],
         &["allow-degraded"],
     )?;
@@ -486,7 +534,7 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
     let specs = channel_specs(opts.get("channels").unwrap_or("em,delay"), metric)?;
     let pt = parse_hex16("pt", opts.get("pt").unwrap_or(&"42".repeat(16)))?;
     let key = parse_hex16("key", opts.get("key").unwrap_or(&"0f".repeat(16)))?;
-    let (obs, metrics_path) = metrics_obs(&opts);
+    let (obs, metrics_path, trace_path) = metrics_obs(&opts);
     let engine = engine_for(&opts)?.with_obs(obs.clone());
     let (faults, policy) = fault_opts(&opts, &obs)?;
 
@@ -555,6 +603,9 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
                 .chain(charac.lost.iter().cloned())
                 .collect();
             write_manifest(&path, "characterize", &engine, &charac.plan, &obs, &health)?;
+        }
+        if let Some(path) = &trace_path {
+            write_trace(path, &obs)?;
         }
         return Ok(ExitCode::SUCCESS);
     }
@@ -655,6 +706,9 @@ fn characterize(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>>
             .collect();
         write_manifest(&path, "characterize", &engine, &charac.plan, &obs, &health)?;
     }
+    if let Some(path) = &trace_path {
+        write_trace(path, &obs)?;
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -674,12 +728,13 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "max-retries",
             "max-drop-rate",
             "metrics",
+            "trace",
         ],
         &["allow-degraded"],
     )?;
     let golden_path = opts.require("golden")?;
     let specs = trojan_specs(opts.get("trojans").unwrap_or("ht1,ht2,ht3"))?;
-    let (obs, metrics_path) = metrics_obs(&opts);
+    let (obs, metrics_path, trace_path) = metrics_obs(&opts);
     let engine = engine_for(&opts)?.with_obs(obs.clone());
     let (faults, policy) = fault_opts(&opts, &obs)?;
     let max_drop_rate: f64 = parse_num("max-drop-rate", opts.get("max-drop-rate").unwrap_or("1"))?;
@@ -796,6 +851,9 @@ fn score(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(path) = &metrics_path {
         write_manifest(path, "score", &engine, &plan, &obs, &report.health)?;
     }
+    if let Some(path) = &trace_path {
+        write_trace(path, &obs)?;
+    }
     let worst = report
         .health
         .iter()
@@ -849,7 +907,7 @@ fn train(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         return Err("--holdout left no training trojans".into());
     }
 
-    let (obs, metrics_path) = metrics_obs(&opts);
+    let (obs, metrics_path, _) = metrics_obs(&opts);
     let engine = engine_for(&opts)?.with_obs(obs.clone());
     let lab = Lab::paper();
     // Training campaigns run fault-free and strict: every die survives,
@@ -1048,7 +1106,7 @@ fn zoo(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let cfg = zoo_config(&opts)?;
     let specs = cfg.generate()?;
 
-    let (obs, metrics_path) = metrics_obs(&opts);
+    let (obs, metrics_path, _) = metrics_obs(&opts);
     let engine = engine_for(&opts)?.with_obs(obs.clone());
     let lab = Lab::paper();
     let faults = FaultPlan::none();
@@ -1154,10 +1212,11 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "max-retries",
             "metrics",
             "metrics-every",
+            "trace",
         ],
         &["allow-degraded"],
     )?;
-    let (obs, metrics_path) = metrics_obs(&opts);
+    let (obs, metrics_path, trace_path) = metrics_obs(&opts);
     let (faults, policy) = fault_opts(&opts, &obs)?;
     let defaults = ServeConfig::default();
     let config = ServeConfig {
@@ -1180,6 +1239,7 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         workers: parse_num("workers", opts.get("workers").unwrap_or("0"))?,
         faults,
         policy,
+        tool: tool_info(),
         manifest: metrics_path
             .map(|path| -> Result<ManifestConfig, String> {
                 Ok(ManifestConfig {
@@ -1205,6 +1265,9 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         report.responses_error,
         report.responses_busy
     );
+    if let Some(path) = &trace_path {
+        write_trace(path, &obs)?;
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -1217,6 +1280,9 @@ struct BenchPlan {
 }
 
 fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    if args.first().map(String::as_str) == Some("diff") {
+        return bench_diff(&args[1..]);
+    }
     let opts = Opts::parse(
         args,
         &[
@@ -1225,7 +1291,7 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         &["serve", "shutdown"],
     )?;
     if !opts.has("serve") {
-        return Err("bench currently has one mode: --serve (see `htd help`)".into());
+        return Err("bench has two modes: --serve and diff (see `htd help`)".into());
     }
     let addrs: Vec<String> = opts
         .get("addr")
@@ -1301,6 +1367,7 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             golden: golden_path.clone(),
             suspect: suspects[0].clone(),
             model: None,
+            request: None,
         })?;
         let htd_serve::Response::Score { report, .. } = response else {
             return Err(format!("dump request failed: {response:?}").into());
@@ -1338,6 +1405,7 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     golden,
                     suspect,
                     model: None,
+                    request: None,
                 };
                 let t0 = std::time::Instant::now();
                 loop {
@@ -1357,6 +1425,9 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                         htd_serve::Response::Done => {
                             return Err("server answered a score with a bare ok".into())
                         }
+                        htd_serve::Response::Stats { .. } => {
+                            return Err("server answered a score with stats".into())
+                        }
                     }
                 }
                 latencies_ns.push(t0.elapsed().as_nanos() as u64);
@@ -1375,15 +1446,14 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
     let elapsed = started.elapsed();
 
-    latencies_ns.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies_ns.is_empty() {
-            return 0;
-        }
-        let rank = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
-        latencies_ns[rank]
-    };
-    let (p50, p99) = (pct(0.50), pct(0.99));
+    // Percentiles come from the shared log2 histogram — the same
+    // bucket-granular derivation `--metrics` manifests use — so bench
+    // numbers and manifest timings are directly comparable.
+    let mut hist = htd_obs::Histogram::new();
+    for &ns in &latencies_ns {
+        hist.record(ns);
+    }
+    let (p50, p99) = (hist.percentile(0.50), hist.percentile(0.99));
     let per_sec = if elapsed.as_secs_f64() > 0.0 {
         ok as f64 / elapsed.as_secs_f64()
     } else {
@@ -1435,6 +1505,266 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Finds a counter by name in a manifest; absent counters read 0 (a
+/// counter that never fired is never serialized).
+fn counter(run: &RunManifest, name: &str) -> u64 {
+    run.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// `hits / (hits + misses)` as a percent string, `-` before any lookup.
+fn hit_rate(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        return "-".to_string();
+    }
+    format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+}
+
+fn top(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(args, &["addr", "interval-ms", "iterations"], &["plain"])?;
+    let addr = opts.require("addr")?;
+    let interval_ms: u64 = parse_num("interval-ms", opts.get("interval-ms").unwrap_or("1000"))?;
+    let iterations: u64 = parse_num("iterations", opts.get("iterations").unwrap_or("0"))?;
+    let plain = opts.has("plain");
+    let mut client = htd_serve::Client::connect(addr)?;
+    let mut polled = 0u64;
+    loop {
+        let response = client.call(&htd_serve::Request::Stats)?;
+        let htd_serve::Response::Stats {
+            uptime_ns,
+            queue,
+            manifest,
+        } = response
+        else {
+            return Err(format!("{addr}: expected a stats response, got {response:?}").into());
+        };
+        let run =
+            RunManifest::parse(&manifest).map_err(|e| format!("{addr}: stats manifest: {e}"))?;
+        polled += 1;
+        if plain {
+            println!("uptime_ns {uptime_ns}");
+            println!("queue {queue}");
+            println!("workers {}", run.workers);
+            print!("{}", run.counters_text());
+            println!();
+        } else {
+            // Home the cursor and clear to the end instead of wiping
+            // the whole screen: no flicker at refresh rates.
+            print!("\x1b[H\x1b[J");
+            println!(
+                "htd top — {addr} ({} {}, poll {polled})",
+                run.tool.name, run.tool.version
+            );
+            println!(
+                "uptime {:.1} s   queue {queue}   workers {}",
+                uptime_ns as f64 / 1e9,
+                run.workers
+            );
+            println!(
+                "requests {} in {} batch(es): {} ok, {} error, {} busy",
+                counter(&run, "serve.requests"),
+                counter(&run, "serve.batches"),
+                counter(&run, "serve.responses.ok"),
+                counter(&run, "serve.responses.error"),
+                counter(&run, "serve.responses.busy"),
+            );
+            println!(
+                "golden cache {} hit   result cache {} hit   stats polls {}",
+                hit_rate(
+                    counter(&run, "store.cache.hit"),
+                    counter(&run, "store.cache.miss")
+                ),
+                hit_rate(
+                    counter(&run, "serve.cache.result.hit"),
+                    counter(&run, "serve.cache.result.miss")
+                ),
+                counter(&run, "serve.stats.requests"),
+            );
+        }
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        if iterations != 0 && polled >= iterations {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// bench diff (the perf-regression gate).
+
+/// A file `bench diff` understands: a `--metrics` run manifest or a
+/// `bench --json` measurement file, sniffed by top-level key.
+enum BenchFile {
+    Manifest(Box<RunManifest>),
+    Bench(Vec<(String, Json)>),
+}
+
+fn load_bench_file(path: &str) -> Result<BenchFile, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Json::Obj(fields) = &json else {
+        return Err(format!("{path}: expected a JSON object").into());
+    };
+    if fields.iter().any(|(k, _)| k == "manifest_version") {
+        let manifest = RunManifest::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(BenchFile::Manifest(Box::new(manifest)));
+    }
+    if fields.iter().any(|(k, _)| k == "bench") {
+        let Json::Obj(fields) = json else {
+            unreachable!("matched above")
+        };
+        return Ok(BenchFile::Bench(fields));
+    }
+    Err(format!("{path}: neither a run manifest nor a bench measurement file").into())
+}
+
+/// The numeric value of a JSON field, whichever way the writer kept it.
+fn json_num(value: &Json) -> Option<f64> {
+    match value {
+        Json::UInt(n) => Some(*n as f64),
+        Json::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Deterministic sections must be identical; timings only bound by the
+/// `--gate` noise band. Every regression is one human-readable line.
+fn diff_manifests(old: &RunManifest, new: &RunManifest, gate: Option<f64>) -> Vec<String> {
+    let mut out = Vec::new();
+    if old.manifest_version != new.manifest_version {
+        out.push(format!(
+            "manifest_version: {} vs {}",
+            old.manifest_version, new.manifest_version
+        ));
+    }
+    if old.command != new.command {
+        out.push(format!("command: `{}` vs `{}`", old.command, new.command));
+    }
+    if old.plan_digest != new.plan_digest {
+        out.push(format!(
+            "plan digest: {} vs {}",
+            old.plan_digest, new.plan_digest
+        ));
+    }
+    // Counters are the deterministic contract: the name set and every
+    // value must match exactly. (tool/workers/timings/occupancy are
+    // observational or provenance and never gate by themselves.)
+    for (name, old_value) in &old.counters {
+        match new.counters.iter().find(|(n, _)| n == name) {
+            None => out.push(format!("counter {name} disappeared (was {old_value})")),
+            Some((_, new_value)) if new_value != old_value => {
+                out.push(format!("counter {name}: {old_value} vs {new_value}"));
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, new_value) in &new.counters {
+        if !old.counters.iter().any(|(n, _)| n == name) {
+            out.push(format!("counter {name} appeared ({new_value})"));
+        }
+    }
+    if old.health != new.health {
+        out.push(format!(
+            "health: {} vs {} record(s), or their counts differ",
+            old.health.len(),
+            new.health.len()
+        ));
+    }
+    if let Some(pct) = gate {
+        let band = 1.0 + pct / 100.0;
+        for t in &old.timings {
+            let Some(n) = new.timings.iter().find(|n| n.stage == t.stage) else {
+                continue; // vanished stages already show as counter drift
+            };
+            let bound = t.mean_ns as f64 * band;
+            if n.mean_ns as f64 > bound {
+                out.push(format!(
+                    "timing {}: mean {} ns vs {} ns (> {pct}% over baseline)",
+                    t.stage, t.mean_ns, n.mean_ns
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Bench measurement files: the request mix and outcome counts are
+/// deterministic; throughput and latency only gate with `--gate`.
+fn diff_bench_json(
+    old: &[(String, Json)],
+    new: &[(String, Json)],
+    gate: Option<f64>,
+) -> Vec<String> {
+    let field = |fields: &[(String, Json)], name: &str| -> Option<Json> {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    };
+    let mut out = Vec::new();
+    for name in ["bench", "requests", "clients", "shards", "ok", "errors"] {
+        let (a, b) = (field(old, name), field(new, name));
+        if a != b {
+            out.push(format!("{name}: {a:?} vs {b:?}"));
+        }
+    }
+    if let Some(pct) = gate {
+        let band = 1.0 + pct / 100.0;
+        // Larger-is-worse latencies bound above, throughput below.
+        for name in ["elapsed_ms", "p50_ms", "p99_ms"] {
+            if let (Some(a), Some(b)) = (
+                field(old, name).as_ref().and_then(json_num),
+                field(new, name).as_ref().and_then(json_num),
+            ) {
+                if b > a * band {
+                    out.push(format!("{name}: {a:.3} vs {b:.3} (> {pct}% over baseline)"));
+                }
+            }
+        }
+        if let (Some(a), Some(b)) = (
+            field(old, "scores_per_sec").as_ref().and_then(json_num),
+            field(new, "scores_per_sec").as_ref().and_then(json_num),
+        ) {
+            if b < a / band {
+                out.push(format!(
+                    "scores_per_sec: {a:.0} vs {b:.0} (> {pct}% under baseline)"
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn bench_diff(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = Opts::parse(args, &["gate"], &[])?;
+    let [old_path, new_path] = opts.positional.as_slice() else {
+        return Err("bench diff needs exactly two files (OLD NEW)".into());
+    };
+    let gate: Option<f64> = opts.get("gate").map(|t| parse_num("gate", t)).transpose()?;
+    if gate.is_some_and(|pct| !pct.is_finite() || pct < 0.0) {
+        return Err("--gate: the noise band must be a non-negative percentage".into());
+    }
+    let regressions = match (load_bench_file(old_path)?, load_bench_file(new_path)?) {
+        (BenchFile::Manifest(old), BenchFile::Manifest(new)) => diff_manifests(&old, &new, gate),
+        (BenchFile::Bench(old), BenchFile::Bench(new)) => diff_bench_json(&old, &new, gate),
+        _ => return Err("cannot diff a run manifest against a bench measurement file".into()),
+    };
+    if regressions.is_empty() {
+        println!("bench diff: {old_path} vs {new_path}: no regression");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for r in &regressions {
+        println!("regression: {r}");
+    }
+    println!("bench diff: {} regression(s)", regressions.len());
+    Ok(ExitCode::from(4))
 }
 
 fn fuse(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {

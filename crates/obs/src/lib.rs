@@ -27,6 +27,7 @@
 
 mod json;
 mod manifest;
+mod trace;
 
 pub use json::Json;
 pub use manifest::{HealthRecord, Occupancy, RunManifest, StageTiming, ToolInfo, MANIFEST_VERSION};
@@ -139,6 +140,35 @@ impl Histogram {
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`), resolved to
+    /// bucket granularity: the inclusive upper bound of the bucket
+    /// holding the sample of rank `ceil(q · total)` — 0 for the zero
+    /// bucket, `2^i − 1` for bucket `i`, [`u64::MAX`] for the top
+    /// bucket. An empty histogram reports 0. This is the one shared
+    /// p50/p99 derivation; callers must not re-derive percentiles from
+    /// raw bucket counts.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // `total` is a count of real samples, far below 2^53.
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cumulative = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(count);
+            if cumulative >= rank {
+                return match index {
+                    0 => 0,
+                    64 => u64::MAX,
+                    i => (1u64 << i) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
 }
 
 impl Default for Histogram {
@@ -188,6 +218,9 @@ struct RecorderState {
 #[derive(Debug, Default)]
 pub struct Recorder {
     state: Mutex<RecorderState>,
+    /// Span-tree collection ([`Obs::recording_traced`]); `None` for
+    /// plain recording handles, which then skip every tracing branch.
+    trace: Option<Mutex<trace::TraceState>>,
 }
 
 /// Locks the recorder state, recovering from poisoning: the state holds
@@ -201,13 +234,28 @@ fn lock_state(recorder: &Recorder) -> MutexGuard<'_, RecorderState> {
 }
 
 impl Recorder {
+    fn traced() -> Self {
+        Recorder {
+            state: Mutex::default(),
+            trace: Some(Mutex::new(trace::TraceState::new())),
+        }
+    }
+
     fn add(&self, name: &str, n: u64) {
-        let mut state = lock_state(self);
-        match state.counters.get_mut(name) {
-            Some(v) => *v = v.saturating_add(n),
-            None => {
-                state.counters.insert(name.to_string(), n);
+        {
+            let mut state = lock_state(self);
+            match state.counters.get_mut(name) {
+                Some(v) => *v = v.saturating_add(n),
+                None => {
+                    state.counters.insert(name.to_string(), n);
+                }
             }
+        }
+        // Attribution copies the increment into the open span's delta
+        // set; the counter totals above are the source of truth and are
+        // identical with tracing on or off.
+        if self.trace.is_some() {
+            self.trace_attribute(name, n);
         }
     }
 
@@ -296,9 +344,28 @@ impl Obs {
         }
     }
 
+    /// A recording handle that additionally collects the span tree for
+    /// Chrome trace-event export ([`Obs::trace_json`]). Counters,
+    /// timings and occupancy behave exactly as under
+    /// [`Obs::recording`] — tracing adds parallel state, it never
+    /// reroutes or adds a counter.
+    pub fn recording_traced() -> Self {
+        Obs {
+            recorder: Some(Arc::new(Recorder::traced())),
+        }
+    }
+
     /// Whether this handle records anything.
     pub fn enabled(&self) -> bool {
         self.recorder.is_some()
+    }
+
+    /// Whether this handle collects a span tree
+    /// ([`Obs::recording_traced`]).
+    pub fn tracing(&self) -> bool {
+        self.recorder
+            .as_ref()
+            .is_some_and(|rec| rec.trace.is_some())
     }
 
     /// Adds `n` to the counter `name`. No-op when disabled.
@@ -318,7 +385,7 @@ impl Obs {
     /// recorded under the timing key `name` when the guard drops
     /// (observational). Disabled handles return an inert guard.
     pub fn span(&self, name: &str) -> Span {
-        self.span_keys(name, None)
+        self.span_keys(name, None, &[])
     }
 
     /// [`Obs::span`] with a run-specific detail suffix: the entry
@@ -326,27 +393,75 @@ impl Obs {
     /// the population), while the wall-clock lands under
     /// `name/detail` — e.g. per-die acquire timings.
     pub fn span_detailed(&self, name: &str, detail: &str) -> Span {
-        self.span_keys(name, Some(detail))
+        self.span_keys(name, Some(detail), &[])
     }
 
-    fn span_keys(&self, name: &str, detail: Option<&str>) -> Span {
+    /// [`Obs::span`] with key/value tags attached to the span's trace
+    /// event — a request id, a batch size. Tags are trace-only:
+    /// counters and timings are exactly [`Obs::span`]'s, and without
+    /// tracing the tags vanish for free.
+    pub fn span_tagged(&self, name: &str, args: &[(&str, &str)]) -> Span {
+        self.span_keys(name, None, args)
+    }
+
+    fn span_keys(&self, name: &str, detail: Option<&str>, args: &[(&str, &str)]) -> Span {
         match &self.recorder {
             None => Span { active: None },
             Some(rec) => {
+                // The entry counter bumps before the trace span opens,
+                // so it attributes to the *parent* span — the child's
+                // delta set holds what happened strictly inside it.
                 rec.add(&format!("span.{name}"), 1);
                 let timing_key = match detail {
                     None => name.to_string(),
                     Some(detail) => format!("{name}/{detail}"),
                 };
+                let trace_id = rec.trace_open(&timing_key, args);
                 Span {
                     active: Some(ActiveSpan {
                         recorder: Arc::clone(rec),
+                        name: name.to_string(),
                         timing_key,
+                        trace_id,
                         start: Instant::now(),
                     }),
                 }
             }
         }
+    }
+
+    /// Nanoseconds since this handle's trace epoch, for timestamping
+    /// [`Obs::trace_async`] intervals. Returns 0 when not tracing.
+    pub fn now_ns(&self) -> u64 {
+        match &self.recorder {
+            Some(rec) => rec.trace_now_ns(),
+            None => 0,
+        }
+    }
+
+    /// Records a non-nesting interval (e.g. one request's wait in a
+    /// queue, begun on one thread and ended on another) into the trace
+    /// as a Chrome async `b`/`e` pair correlated by `id`. Timestamps
+    /// come from [`Obs::now_ns`]. No-op unless tracing.
+    pub fn trace_async(
+        &self,
+        name: &str,
+        id: &str,
+        start_ns: u64,
+        end_ns: u64,
+        args: &[(&str, &str)],
+    ) {
+        if let Some(rec) = &self.recorder {
+            rec.trace_async(name, id, start_ns, end_ns, args);
+        }
+    }
+
+    /// Exports the collected span tree as Chrome trace-event JSON — a
+    /// deterministic rendering (sorted events, insertion-ordered keys)
+    /// that `chrome://tracing` and Perfetto open directly. `None`
+    /// unless tracing.
+    pub fn trace_json(&self) -> Option<String> {
+        self.recorder.as_ref()?.trace_json()
     }
 
     /// Records `value` into the observational distribution `name`: the
@@ -411,12 +526,17 @@ impl Obs {
 #[derive(Debug)]
 struct ActiveSpan {
     recorder: Arc<Recorder>,
+    name: String,
     timing_key: String,
+    trace_id: Option<u64>,
     start: Instant,
 }
 
 /// An RAII span guard from [`Obs::span`]: entry was counted at creation;
-/// dropping it records the elapsed wall-clock.
+/// dropping it records the elapsed wall-clock — unless the thread is
+/// unwinding, in which case the aborted span is *counted* (under
+/// `span.<name>.aborted`) but its truncated wall-clock never pollutes
+/// the timing aggregates.
 #[derive(Debug)]
 #[must_use = "dropping the guard immediately records a zero-length span"]
 pub struct Span {
@@ -426,8 +546,20 @@ pub struct Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
-            let ns = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            active.recorder.record_duration(&active.timing_key, ns);
+            let aborted = std::thread::panicking();
+            if let Some(id) = active.trace_id {
+                // Close the trace span first: the aborted counter below
+                // then attributes to the parent, not the dead span.
+                active.recorder.trace_close(id, aborted);
+            }
+            if aborted {
+                active
+                    .recorder
+                    .add(&format!("span.{}.aborted", active.name), 1);
+            } else {
+                let ns = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                active.recorder.record_duration(&active.timing_key, ns);
+            }
         }
     }
 }
@@ -535,6 +667,158 @@ mod tests {
         let counters: std::collections::BTreeMap<_, _> = snap.counters.into_iter().collect();
         assert_eq!(counters.get("engine.fans"), Some(&3));
         assert_eq!(counters.get("engine.tasks"), Some(&16));
+    }
+
+    #[test]
+    fn percentile_reports_bucket_upper_bounds() {
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(0.5), 0);
+        assert_eq!(empty.percentile(0.99), 0);
+
+        let mut h = Histogram::new();
+        // 10 samples: 5 zeros, 4 in bucket 3 ([4, 8)), 1 in bucket 11.
+        for _ in 0..5 {
+            h.record(0);
+        }
+        for _ in 0..4 {
+            h.record(5);
+        }
+        h.record(1024);
+        assert_eq!(h.percentile(0.0), 0, "rank clamps to the first sample");
+        assert_eq!(h.percentile(0.5), 0, "rank 5 is still in the zero bucket");
+        assert_eq!(h.percentile(0.6), 7, "rank 6 lands in [4, 8)");
+        assert_eq!(h.percentile(0.9), 7);
+        assert_eq!(h.percentile(0.99), 2047, "rank 10 is the 1024 sample");
+        assert_eq!(h.percentile(1.0), 2047);
+        assert_eq!(h.percentile(2.0), 2047, "q clamps to 1");
+
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.percentile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn panicking_span_counts_aborted_instead_of_timing() {
+        let obs = Obs::recording();
+        let clone = obs.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _span = clone.span("score");
+            panic!("mid-span failure");
+        });
+        assert!(result.is_err());
+        {
+            let _span = obs.span("score");
+        }
+        let snap = obs.snapshot().unwrap();
+        let counters: std::collections::BTreeMap<_, _> = snap.counters.into_iter().collect();
+        assert_eq!(counters.get("span.score"), Some(&2), "both entries counted");
+        assert_eq!(counters.get("span.score.aborted"), Some(&1));
+        // Only the clean span produced a timing sample.
+        let timing = snap.timings.iter().find(|t| t.key == "score").unwrap();
+        assert_eq!(timing.count, 1);
+    }
+
+    #[test]
+    fn traced_handle_builds_a_span_tree_with_counter_deltas() {
+        let obs = Obs::recording_traced();
+        assert!(obs.tracing() && obs.enabled());
+        {
+            let _outer = obs.span("campaign");
+            obs.add("work.outer", 2);
+            {
+                let _inner = obs.span_tagged("score", &[("request", "req-7")]);
+                obs.incr("work.inner");
+            }
+            {
+                let _inner = obs.span("score");
+            }
+        }
+        let json = obs.trace_json().unwrap();
+        let doc = Json::parse(&json).unwrap();
+        let Json::Obj(top) = &doc else {
+            panic!("trace must be an object")
+        };
+        let events = top
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| match v {
+                Json::Arr(items) => items,
+                other => panic!("traceEvents must be an array, got {other:?}"),
+            })
+            .unwrap();
+        assert_eq!(events.len(), 3, "{json}");
+        // The rendering is deterministic enough to assert on directly.
+        assert!(json.contains("\"name\": \"campaign\""), "{json}");
+        assert!(json.contains("\"request\": \"req-7\""), "{json}");
+        assert!(json.contains("\"counter.work.inner\": 1"), "{json}");
+        // The outer span holds its own increments plus the entry
+        // counters of its children (bumped before each child opens).
+        assert!(json.contains("\"counter.work.outer\": 2"), "{json}");
+        assert!(json.contains("\"counter.span.score\": 2"), "{json}");
+        assert!(json.contains("\"parent\""), "{json}");
+
+        // Counter totals are bit-identical to an untraced run's.
+        let untraced = Obs::recording();
+        {
+            let _outer = untraced.span("campaign");
+            untraced.add("work.outer", 2);
+            {
+                let _inner = untraced.span_tagged("score", &[("request", "req-7")]);
+                untraced.incr("work.inner");
+            }
+            {
+                let _inner = untraced.span("score");
+            }
+        }
+        assert_eq!(
+            obs.snapshot().unwrap().counters,
+            untraced.snapshot().unwrap().counters
+        );
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_across_serial_runs() {
+        let ids = |obs: &Obs| {
+            {
+                let _outer = obs.span("campaign");
+                let _inner = obs.span("score");
+            }
+            let json = obs.trace_json().unwrap();
+            let mut spans: Vec<String> = Vec::new();
+            let mut rest = json.as_str();
+            while let Some(at) = rest.find("\"span\": \"") {
+                let tail = &rest[at + 9..];
+                spans.push(tail[..16].to_string());
+                rest = &tail[16..];
+            }
+            spans.sort();
+            spans
+        };
+        let first = Obs::recording_traced();
+        let second = Obs::recording_traced();
+        let a = ids(&first);
+        let b = ids(&second);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn async_intervals_render_as_begin_end_pairs() {
+        let obs = Obs::recording_traced();
+        let start = obs.now_ns();
+        let end = obs.now_ns().max(start + 1);
+        obs.trace_async("queue.wait", "req-3", start, end, &[("depth", "2")]);
+        let json = obs.trace_json().unwrap();
+        assert!(json.contains("\"ph\": \"b\""), "{json}");
+        assert!(json.contains("\"ph\": \"e\""), "{json}");
+        assert!(json.contains("\"id\": \"req-3\""), "{json}");
+        assert!(json.contains("\"depth\": \"2\""), "{json}");
+        // Plain handles: tracing surface is inert, not an error.
+        let plain = Obs::recording();
+        assert_eq!(plain.now_ns(), 0);
+        plain.trace_async("queue.wait", "x", 0, 1, &[]);
+        assert!(plain.trace_json().is_none());
+        assert!(Obs::noop().trace_json().is_none());
     }
 
     #[test]

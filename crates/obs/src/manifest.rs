@@ -7,6 +7,15 @@
 //! only the counter section; the parser is strict (unknown or missing
 //! keys are errors) so any schema drift fails loudly instead of being
 //! silently ignored.
+//!
+//! **The additive rule**: strictness applies to the *schema* — the
+//! top-level keys, the shape of each section — never to the counter
+//! *names*. The `counters` object is an open name → u64 map, so a
+//! newer build that counts something new produces manifests every
+//! older reader still parses (and `htd bench diff` then reports the
+//! name-set difference as a regression instead of choking on it).
+//! Forward compatibility lives in the names; a changed shape still
+//! requires a [`MANIFEST_VERSION`] bump.
 
 use crate::json::{Json, JsonError};
 use crate::MetricsSnapshot;
@@ -481,6 +490,34 @@ mod tests {
             msg.contains("missing key") || msg.contains("unknown key"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn unknown_counter_names_parse_under_the_additive_rule() {
+        // A v1 manifest from a newer build that counts something this
+        // build has never heard of must still parse: counter names are
+        // an open vocabulary, only the schema shape is strict.
+        let m = sample();
+        let text = m.to_pretty().replacen(
+            "\"cache.settle.hit\": 40",
+            "\"aaa.counter.from.the.future\": 7,\n    \"cache.settle.hit\": 40",
+            1,
+        );
+        let back = RunManifest::parse(&text).expect("additive counters must parse");
+        assert!(back
+            .counters
+            .iter()
+            .any(|(name, value)| name == "aaa.counter.from.the.future" && *value == 7));
+        assert_eq!(back.counters.len(), m.counters.len() + 1);
+
+        // The openness is values too: any u64 is fine — but a counter
+        // whose value is not a u64 is malformed, not "additive".
+        let bad = m.to_pretty().replacen(
+            "\"cache.settle.hit\": 40",
+            "\"cache.settle.hit\": \"40\"",
+            1,
+        );
+        assert!(RunManifest::parse(&bad).is_err());
     }
 
     #[test]

@@ -28,6 +28,15 @@
 //! they are byte-identical to what `htd score --report` writes for the
 //! same (artifact, suspect) pair. See [`protocol`] for the grammar.
 //!
+//! A score request may carry a `request "<id>"` line: the id tags
+//! every span the server opens for that request (visible in `--trace`
+//! exports) and is echoed on the response. Requests without one get a
+//! server-assigned id for the server's own trace and an unchanged
+//! response — the pre-tracing wire format both ways. A `stats` request
+//! is answered inline by its handler with the live run manifest, the
+//! queue depth and the uptime, without touching the scoring queue;
+//! `htd top` polls it into a refreshing table.
+//!
 //! # Scheduling
 //!
 //! Handlers enqueue score requests onto a bounded queue (past the
@@ -120,6 +129,7 @@ mod tests {
                 golden: "/nonexistent/golden.htd".into(),
                 suspect: "ht2".into(),
                 model: None,
+                request: None,
             })
             .unwrap();
         assert!(
@@ -146,6 +156,44 @@ mod tests {
     }
 
     #[test]
+    fn stats_serves_the_live_manifest_inline() {
+        let (addr, handle) = boot(ServeConfig::default(), Obs::recording());
+        let mut client = Client::connect(addr).unwrap();
+        let response = client.call(&Request::Stats).unwrap();
+        let Response::Stats {
+            uptime_ns: _,
+            queue,
+            manifest,
+        } = response
+        else {
+            panic!("expected stats, got {response:?}");
+        };
+        assert_eq!(queue, 0);
+        let run = htd_obs::RunManifest::parse(&manifest).expect("wire manifest parses strictly");
+        assert_eq!(run.command, "serve");
+        assert_eq!(run.plan_digest, "fnv1a64:0000000000000000");
+        assert!(
+            run.counters
+                .iter()
+                .any(|(name, value)| name == "serve.stats.requests" && *value == 1),
+            "{manifest}"
+        );
+        // A second poll sees the first one's counter: the manifest is
+        // live, not a boot-time snapshot.
+        let Response::Stats { manifest, .. } = client.call(&Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        let run = htd_obs::RunManifest::parse(&manifest).unwrap();
+        assert!(run
+            .counters
+            .iter()
+            .any(|(name, value)| name == "serve.stats.requests" && *value == 2));
+        client.call(&Request::Shutdown).unwrap();
+        let report = handle.join().unwrap().unwrap();
+        assert_eq!(report.requests, 0, "stats never reaches the queue");
+    }
+
+    #[test]
     fn unknown_suspects_degrade_one_response() {
         let (addr, handle) = boot(ServeConfig::default(), Obs::recording());
         let mut client = Client::connect(addr).unwrap();
@@ -156,6 +204,7 @@ mod tests {
                 golden: env!("CARGO_MANIFEST_DIR").to_string() + "/Cargo.toml",
                 suspect: "ht2".into(),
                 model: None,
+                request: None,
             })
             .unwrap();
         assert!(matches!(response, Response::Error { .. }), "{response:?}");

@@ -10,12 +10,23 @@
 //! checksum fnv1a64 <16 lowercase hex digits>
 //! ```
 //!
-//! Request verbs: `score` (body: `golden "<path>"`, `suspect <token>`),
-//! `ping` and `shutdown` (empty bodies). Response verbs: `ok` (empty for
-//! ping/shutdown; for a score, `plan fnv1a64:<digest>`, `suspect
-//! <token>`, `report <n>` and then `n` embedded report lines), `busy`
-//! (body: `depth <n>` — the queue shed this request), and `error` (body:
-//! `reason "<text>"` — this request failed, the server lives on).
+//! Request verbs: `score` (body: `golden "<path>"`, `suspect <token>`,
+//! then optional `model "<path>"` and `request "<id>"` lines in that
+//! order), `ping`, `stats` and `shutdown` (empty bodies). Response
+//! verbs: `ok` (empty for ping/shutdown; for a score, `plan
+//! fnv1a64:<digest>`, `suspect <token>`, an optional echoed `request
+//! "<id>"`, `report <n>` and then `n` embedded report lines), `stats`
+//! (body: `uptime_ns <n>`, `queue <n>`, `manifest <n>` and then `n`
+//! embedded lines of the live run-manifest JSON), `busy` (body: `depth
+//! <n>` — the queue shed this request), and `error` (body: `reason
+//! "<text>"` — this request failed, the server lives on).
+//!
+//! The optional lines follow the wire-compatibility discipline the
+//! `model` line set: absent when unset, so a peer that predates them
+//! emits and accepts byte-identical frames. In particular a response
+//! carries a `request` line only when the *request* carried one — a
+//! server-assigned id tags the server's own trace, it never surprises
+//! an old client on the wire.
 //!
 //! Embedded report lines are prefixed with `|` so the frame reader's
 //! trailer scan can never mistake the *report's* own checksum trailer
@@ -92,9 +103,18 @@ pub enum Request {
         /// Absent on the wire when `None`, so pre-classifier clients
         /// and servers interoperate unchanged.
         model: Option<String>,
+        /// Client-chosen request id, attached to every span the server
+        /// opens for this request and echoed on the response. Absent on
+        /// the wire when `None` (the pre-tracing format); the server
+        /// then assigns its own id for its trace and echoes nothing.
+        request: Option<String>,
     },
     /// Liveness probe; answered with an empty `ok`.
     Ping,
+    /// Ask for the server's live introspection snapshot; answered with
+    /// [`Response::Stats`] inline by the handler — it never touches the
+    /// scoring queue.
+    Stats,
     /// Ask the server to stop accepting and drain its queue.
     Shutdown,
 }
@@ -111,12 +131,26 @@ pub enum Response {
         plan: String,
         /// The request's suspect token, echoed.
         suspect: String,
+        /// The request id, echoed — `Some` exactly when the request
+        /// carried one, so pre-tracing peers see unchanged bytes.
+        request: Option<String>,
         /// Full store text of the one-row report (trailing newline
         /// included).
         report: String,
     },
     /// Empty `ok` (answer to ping and shutdown).
     Done,
+    /// The live introspection snapshot ([`Request::Stats`]).
+    Stats {
+        /// Nanoseconds this server has been up.
+        uptime_ns: u64,
+        /// Score requests waiting in the queue right now.
+        queue: u64,
+        /// The live [`htd_obs::RunManifest`] pretty JSON (trailing
+        /// newline included) — counters, timings, cache hit rates,
+        /// exactly what a `--manifest` snapshot would write.
+        manifest: String,
+    },
     /// The bounded queue was full; the request was shed, not queued.
     Busy {
         /// The server's configured queue depth.
@@ -218,6 +252,68 @@ fn keyed<'a>(lines: &[&'a str], at: usize, key: &str) -> Result<&'a str, Protoco
         .ok_or_else(|| ProtocolError::new(lineno, format!("expected `{key} <value>`")))
 }
 
+/// Parses a `request "<id>"` body line at `at`: a quoted, non-empty id
+/// of at most 128 bytes (it rides into span tags and trace args, so an
+/// unbounded id is abuse, not data).
+fn parse_request_id(lines: &[&str], at: usize) -> Result<String, ProtocolError> {
+    let lineno = at + 2;
+    let value = keyed(lines, at, "request")?;
+    let (request, rest) =
+        unquote(value).ok_or_else(|| ProtocolError::new(lineno, "expected `request \"<id>\"`"))?;
+    if !rest.is_empty() {
+        return Err(ProtocolError::new(lineno, "trailing tokens after the id"));
+    }
+    if request.is_empty() || request.len() > 128 {
+        return Err(ProtocolError::new(
+            lineno,
+            "request id must be 1..=128 bytes",
+        ));
+    }
+    Ok(request)
+}
+
+/// Appends `text`'s lines to `body`, each shielded by [`EMBED_PREFIX`],
+/// under a `<key> <line count>` header line.
+fn embed(body: &mut String, key: &str, text: &str) {
+    let lines: Vec<&str> = text.trim_end_matches('\n').split('\n').collect();
+    body.push_str(&format!("{key} {}\n", lines.len()));
+    for line in lines {
+        body.push(EMBED_PREFIX);
+        body.push_str(line);
+        body.push('\n');
+    }
+}
+
+/// Parses a `<key> <n>` header at `at` plus its `n` embedded lines,
+/// returning the reassembled text (trailing newline included).
+fn unembed(lines: &[&str], at: usize, key: &str) -> Result<String, ProtocolError> {
+    let lineno = at + 2;
+    let count: usize = keyed(lines, at, key)?
+        .parse()
+        .map_err(|_| ProtocolError::new(lineno, format!("expected `{key} <line count>`")))?;
+    if lines.len() != at + 1 + count {
+        return Err(ProtocolError::new(
+            lineno,
+            format!(
+                "{key} declares {count} line(s) but the body carries {}",
+                lines.len().saturating_sub(at + 1)
+            ),
+        ));
+    }
+    let mut text = String::new();
+    for (i, line) in lines[at + 1..].iter().enumerate() {
+        let line = line.strip_prefix(EMBED_PREFIX).ok_or_else(|| {
+            ProtocolError::new(
+                at + i + 3,
+                format!("embedded {key} lines must start with `{EMBED_PREFIX}`"),
+            )
+        })?;
+        text.push_str(line);
+        text.push('\n');
+    }
+    Ok(text)
+}
+
 /// Rejects trailing body lines a verb does not define.
 fn no_more(lines: &[&str], from: usize) -> Result<(), ProtocolError> {
     if lines.len() > from {
@@ -237,14 +333,19 @@ impl Request {
                 golden,
                 suspect,
                 model,
+                request,
             } => {
                 let mut body = format!("golden {}\nsuspect {suspect}\n", quote(golden));
                 if let Some(model) = model {
                     body.push_str(&format!("model {}\n", quote(model)));
                 }
+                if let Some(request) = request {
+                    body.push_str(&format!("request {}\n", quote(request)));
+                }
                 frame("score", &body)
             }
             Request::Ping => frame("ping", ""),
+            Request::Stats => frame("stats", ""),
             Request::Shutdown => frame("shutdown", ""),
         }
     }
@@ -269,30 +370,50 @@ impl Request {
                 if suspect.is_empty() || suspect.contains(' ') {
                     return Err(ProtocolError::new(3, "suspect must be a single token"));
                 }
-                // Optional trailing `model "<path>"` line: absent frames
-                // are exactly the pre-classifier wire format.
-                let model = match body.get(2) {
-                    None => None,
-                    Some(_) => {
-                        let model = keyed(&body, 2, "model")?;
-                        let (model, rest) = unquote(model)
-                            .ok_or_else(|| ProtocolError::new(4, "expected `model \"<path>\"`"))?;
+                // Optional `model "<path>"` then `request "<id>"` lines,
+                // in that order: frames without them are exactly the
+                // older wire formats.
+                let mut at = 2;
+                let model = match body.get(at) {
+                    Some(line) if line.starts_with("model ") || *line == "model" => {
+                        let model = keyed(&body, at, "model")?;
+                        let (model, rest) = unquote(model).ok_or_else(|| {
+                            ProtocolError::new(at + 2, "expected `model \"<path>\"`")
+                        })?;
                         if !rest.is_empty() {
-                            return Err(ProtocolError::new(4, "trailing tokens after the path"));
+                            return Err(ProtocolError::new(
+                                at + 2,
+                                "trailing tokens after the path",
+                            ));
                         }
-                        no_more(&body, 3)?;
+                        at += 1;
                         Some(model)
                     }
+                    _ => None,
                 };
+                let request = match body.get(at) {
+                    Some(line) if line.starts_with("request ") || *line == "request" => {
+                        let request = parse_request_id(&body, at)?;
+                        at += 1;
+                        Some(request)
+                    }
+                    _ => None,
+                };
+                no_more(&body, at)?;
                 Ok(Request::Score {
                     golden,
                     suspect: suspect.to_string(),
                     model,
+                    request,
                 })
             }
             "ping" => {
                 no_more(&body, 0)?;
                 Ok(Request::Ping)
+            }
+            "stats" => {
+                no_more(&body, 0)?;
+                Ok(Request::Stats)
             }
             "shutdown" => {
                 no_more(&body, 0)?;
@@ -300,7 +421,7 @@ impl Request {
             }
             other => Err(ProtocolError::new(
                 1,
-                format!("unknown request verb `{other}` (score, ping, shutdown)"),
+                format!("unknown request verb `{other}` (score, ping, stats, shutdown)"),
             )),
         }
     }
@@ -313,18 +434,26 @@ impl Response {
             Response::Score {
                 plan,
                 suspect,
+                request,
                 report,
             } => {
-                let lines: Vec<&str> = report.trim_end_matches('\n').split('\n').collect();
-                let mut body = format!("plan {plan}\nsuspect {suspect}\nreport {}\n", lines.len());
-                for line in lines {
-                    body.push(EMBED_PREFIX);
-                    body.push_str(line);
-                    body.push('\n');
+                let mut body = format!("plan {plan}\nsuspect {suspect}\n");
+                if let Some(request) = request {
+                    body.push_str(&format!("request {}\n", quote(request)));
                 }
+                embed(&mut body, "report", report);
                 frame("ok", &body)
             }
             Response::Done => frame("ok", ""),
+            Response::Stats {
+                uptime_ns,
+                queue,
+                manifest,
+            } => {
+                let mut body = format!("uptime_ns {uptime_ns}\nqueue {queue}\n");
+                embed(&mut body, "manifest", manifest);
+                frame("stats", &body)
+            }
             Response::Busy { depth } => frame("busy", &format!("depth {depth}\n")),
             Response::Error { reason } => frame("error", &format!("reason {}\n", quote(reason))),
         }
@@ -348,30 +477,37 @@ impl Response {
                     return Err(ProtocolError::new(2, "expected `plan fnv1a64:<16 hex>`"));
                 }
                 let suspect = keyed(&body, 1, "suspect")?;
-                let count: usize = keyed(&body, 2, "report")?
-                    .parse()
-                    .map_err(|_| ProtocolError::new(4, "expected `report <line count>`"))?;
-                if body.len() != 3 + count {
-                    return Err(ProtocolError::new(
-                        4,
-                        format!(
-                            "report declares {count} line(s) but the body carries {}",
-                            body.len().saturating_sub(3)
-                        ),
-                    ));
-                }
-                let mut report = String::new();
-                for (i, line) in body[3..].iter().enumerate() {
-                    let line = line.strip_prefix(EMBED_PREFIX).ok_or_else(|| {
-                        ProtocolError::new(i + 5, "embedded report lines must start with `|`")
-                    })?;
-                    report.push_str(line);
-                    report.push('\n');
-                }
+                // Optional echoed `request "<id>"` line before the
+                // report, present exactly when the request carried one.
+                let mut at = 2;
+                let request = match body.get(at) {
+                    Some(line) if line.starts_with("request ") || *line == "request" => {
+                        let request = parse_request_id(&body, at)?;
+                        at += 1;
+                        Some(request)
+                    }
+                    _ => None,
+                };
+                let report = unembed(&body, at, "report")?;
                 Ok(Response::Score {
                     plan: plan.to_string(),
                     suspect: suspect.to_string(),
+                    request,
                     report,
+                })
+            }
+            "stats" => {
+                let uptime_ns: u64 = keyed(&body, 0, "uptime_ns")?
+                    .parse()
+                    .map_err(|_| ProtocolError::new(2, "expected `uptime_ns <n>`"))?;
+                let queue: u64 = keyed(&body, 1, "queue")?
+                    .parse()
+                    .map_err(|_| ProtocolError::new(3, "expected `queue <n>`"))?;
+                let manifest = unembed(&body, 2, "manifest")?;
+                Ok(Response::Stats {
+                    uptime_ns,
+                    queue,
+                    manifest,
                 })
             }
             "busy" => {
@@ -393,7 +529,7 @@ impl Response {
             }
             other => Err(ProtocolError::new(
                 1,
-                format!("unknown response verb `{other}` (ok, busy, error)"),
+                format!("unknown response verb `{other}` (ok, stats, busy, error)"),
             )),
         }
     }
@@ -462,13 +598,28 @@ mod tests {
             golden: "goldens/aes with space.htd".into(),
             suspect: "ht2".into(),
             model: None,
+            request: None,
         });
         roundtrip_request(&Request::Score {
             golden: "goldens/aes.htd".into(),
             suspect: "ht2".into(),
             model: Some("models/learned with space.htd".into()),
+            request: None,
+        });
+        roundtrip_request(&Request::Score {
+            golden: "goldens/aes.htd".into(),
+            suspect: "ht2".into(),
+            model: None,
+            request: Some("req with \"quotes\"".into()),
+        });
+        roundtrip_request(&Request::Score {
+            golden: "goldens/aes.htd".into(),
+            suspect: "ht2".into(),
+            model: Some("models/learned.htd".into()),
+            request: Some("client-7".into()),
         });
         roundtrip_request(&Request::Ping);
+        roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Shutdown);
         roundtrip_response(&Response::Done);
         roundtrip_response(&Response::Busy { depth: 64 });
@@ -480,7 +631,21 @@ mod tests {
         roundtrip_response(&Response::Score {
             plan: "fnv1a64:56beaff94e0d743d".into(),
             suspect: "ht2".into(),
+            request: None,
             report: "htdstore 1 report\nrows 0\nchecksum fnv1a64 0123456789abcdef\n".into(),
+        });
+        roundtrip_response(&Response::Score {
+            plan: "fnv1a64:56beaff94e0d743d".into(),
+            suspect: "ht2".into(),
+            request: Some("client-7".into()),
+            report: "htdstore 1 report\nrows 0\nchecksum fnv1a64 0123456789abcdef\n".into(),
+        });
+        // The embedded manifest is JSON with `"..."` lines; the same
+        // prefix discipline shields it.
+        roundtrip_response(&Response::Stats {
+            uptime_ns: 123_456_789,
+            queue: 3,
+            manifest: "{\n  \"manifest_version\": 1\n}\n".into(),
         });
     }
 
@@ -492,9 +657,11 @@ mod tests {
             golden: "g.htd".into(),
             suspect: "ht1".into(),
             model: None,
+            request: None,
         }
         .to_text();
         assert!(!plain.contains("\nmodel "), "{plain:?}");
+        assert!(!plain.contains("\nrequest "), "{plain:?}");
         // A present-but-malformed model line is rejected with its line.
         let bad = frame("score", "golden \"g\"\nsuspect ht1\nmodel unquoted\n");
         let err = Request::parse(&bad).unwrap_err();
@@ -502,10 +669,66 @@ mod tests {
     }
 
     #[test]
+    fn request_id_lines_are_optional_and_ordered() {
+        // An id-less response is byte-identical to the pre-tracing wire
+        // format: no `request` line at all.
+        let plain = Response::Score {
+            plan: "fnv1a64:0000000000000000".into(),
+            suspect: "ht1".into(),
+            request: None,
+            report: "row\n".into(),
+        }
+        .to_text();
+        assert!(!plain.contains("\nrequest "), "{plain:?}");
+
+        // `request` must follow `model`, not precede it: the grammar
+        // has one canonical rendering per request.
+        let swapped = frame(
+            "score",
+            "golden \"g\"\nsuspect ht1\nrequest \"r-1\"\nmodel \"m\"\n",
+        );
+        assert!(Request::parse(&swapped).is_err());
+
+        // Ill-formed ids are rejected with their line, never accepted.
+        for body in [
+            "golden \"g\"\nsuspect ht1\nrequest unquoted\n",
+            "golden \"g\"\nsuspect ht1\nrequest \"\"\n",
+            &format!(
+                "golden \"g\"\nsuspect ht1\nrequest \"{}\"\n",
+                "x".repeat(129)
+            ),
+        ] {
+            let err = Request::parse(&frame("score", body)).unwrap_err();
+            assert_eq!(err.line, 4, "{body:?}");
+        }
+
+        // Duplicated optional lines do not parse.
+        let doubled = frame(
+            "score",
+            "golden \"g\"\nsuspect ht1\nrequest \"a\"\nrequest \"b\"\n",
+        );
+        assert!(Request::parse(&doubled).is_err());
+    }
+
+    #[test]
+    fn stats_frames_are_strict() {
+        // Body lines on the request are rejected.
+        let bad = frame("stats", "surprise\n");
+        assert!(Request::parse(&bad).is_err());
+        // A stats response with a lying line count is rejected.
+        let lying = frame("stats", "uptime_ns 1\nqueue 0\nmanifest 2\n|{}\n");
+        assert!(Response::parse(&lying).is_err());
+        // Embedded lines missing the shield prefix are rejected.
+        let unshielded = frame("stats", "uptime_ns 1\nqueue 0\nmanifest 1\n{}\n");
+        assert!(Response::parse(&unshielded).is_err());
+    }
+
+    #[test]
     fn embedded_report_does_not_break_frame_reading() {
         let response = Response::Score {
             plan: "fnv1a64:0000000000000000".into(),
             suspect: "ht1".into(),
+            request: None,
             report: "htdstore 1 report\nchecksum fnv1a64 0123456789abcdef\n".into(),
         };
         let wire = response.to_text();

@@ -42,6 +42,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use htd_core::prelude::{Channel, ReferenceFreeSession, RetryPolicy, ScoringSession};
 use htd_core::{Engine, Error, Lab};
@@ -85,6 +86,10 @@ pub struct ServeConfig {
     pub policy: RetryPolicy,
     /// Periodic run-manifest snapshots, when wanted.
     pub manifest: Option<ManifestConfig>,
+    /// Provenance stamped into the manifests the `stats` verb serves
+    /// over the wire (and nothing else — `--manifest` snapshots use
+    /// [`ManifestConfig::tool`]).
+    pub tool: ToolInfo,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +103,12 @@ impl Default for ServeConfig {
             faults: FaultPlan::none(),
             policy: RetryPolicy::strict(),
             manifest: None,
+            tool: ToolInfo {
+                name: "htd-serve".to_string(),
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                format_version: u64::from(htd_store::FORMAT_VERSION),
+                features: vec![],
+            },
         }
     }
 }
@@ -123,6 +134,16 @@ struct Job {
     golden: String,
     suspect: String,
     model: Option<String>,
+    /// The request id — client-supplied or server-assigned — tagged
+    /// onto every span this request touches.
+    request: String,
+    /// Whether the client supplied the id (then, and only then, the
+    /// response echoes it: server-assigned ids never surprise an old
+    /// client on the wire).
+    echo: bool,
+    /// Trace timestamp at enqueue ([`Obs::now_ns`]; 0 when untraced) —
+    /// the queue wait becomes an async trace interval at dequeue.
+    enqueued_ns: u64,
     reply: mpsc::Sender<Response>,
 }
 
@@ -137,6 +158,24 @@ struct Shared {
     /// `error` responses sent directly by handlers (malformed frames,
     /// post-shutdown requests).
     handler_errors: AtomicU64,
+    /// Server-assigned request ids (`srv-1`, `srv-2`, …) for requests
+    /// that carry none of their own.
+    next_request_id: AtomicU64,
+    /// Introspection context the `stats` verb serves inline.
+    stats: StatsContext,
+}
+
+/// What a handler needs to answer `stats` without consulting the
+/// scheduler: static provenance plus two scheduler-maintained cells.
+struct StatsContext {
+    started: Instant,
+    tool: ToolInfo,
+    /// Resolved engine worker count, written once by the scheduler.
+    workers: AtomicU64,
+    /// `fnv1a64:<16 hex>` digest of the last golden scored, mirrored
+    /// from the scheduler so the wire manifest matches a `--manifest`
+    /// snapshot field for field.
+    plan_digest: Mutex<String>,
 }
 
 /// Runs a scoring server on `config.addr` until a client sends
@@ -167,6 +206,13 @@ pub fn serve(
         queue_depth: config.queue_depth.max(1),
         shed: AtomicU64::new(0),
         handler_errors: AtomicU64::new(0),
+        next_request_id: AtomicU64::new(0),
+        stats: StatsContext {
+            started: Instant::now(),
+            tool: config.tool.clone(),
+            workers: AtomicU64::new(0),
+            plan_digest: Mutex::new(String::new()),
+        },
     });
 
     let scheduler = {
@@ -240,6 +286,7 @@ fn handle_connection(stream: TcpStream, local: SocketAddr, shared: &Shared, obs:
         };
         let response = match Request::parse(&frame) {
             Ok(Request::Ping) => Response::Done,
+            Ok(Request::Stats) => stats_response(shared, obs),
             Ok(Request::Shutdown) => {
                 // Answer BEFORE starting the teardown: once the flag is
                 // up, the accept loop can unwind and the process exit
@@ -257,8 +304,22 @@ fn handle_connection(stream: TcpStream, local: SocketAddr, shared: &Shared, obs:
                 golden,
                 suspect,
                 model,
+                request,
             }) => {
-                match enqueue(shared, golden, suspect, model, obs) {
+                // A client-supplied id is echoed on the response; a
+                // server-assigned one only tags the server's own trace.
+                let echo = request.is_some();
+                let request = request.unwrap_or_else(|| {
+                    format!(
+                        "srv-{}",
+                        shared.next_request_id.fetch_add(1, Ordering::SeqCst) + 1
+                    )
+                });
+                let admitted = {
+                    let _span = obs.span_tagged("serve.accept", &[("request", &request)]);
+                    enqueue(shared, golden, suspect, model, request.clone(), echo, obs)
+                };
+                let response = match admitted {
                     Enqueued::Queued(wait) => match wait.recv() {
                         Ok(response) => response,
                         // The scheduler is gone (shutdown drained past
@@ -281,7 +342,12 @@ fn handle_connection(stream: TcpStream, local: SocketAddr, shared: &Shared, obs:
                             reason: "server shutting down".to_string(),
                         }
                     }
+                };
+                let _span = obs.span_tagged("serve.respond", &[("request", &request)]);
+                if send(&mut writer, &response).is_err() {
+                    return;
                 }
+                continue;
             }
             Err(err) => {
                 shared.handler_errors.fetch_add(1, Ordering::SeqCst);
@@ -297,6 +363,45 @@ fn handle_connection(stream: TcpStream, local: SocketAddr, shared: &Shared, obs:
     }
 }
 
+/// Builds the live introspection snapshot a `stats` request is answered
+/// with, entirely from the handler thread: a recorder snapshot, the
+/// queue length and the scheduler-maintained stats cells — scoring is
+/// never disturbed.
+fn stats_response(shared: &Shared, obs: &Obs) -> Response {
+    obs.incr("serve.stats.requests");
+    let queue = {
+        let queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        queue.len() as u64
+    };
+    let snapshot = obs.snapshot().unwrap_or_default();
+    let digest = {
+        let digest = shared
+            .stats
+            .plan_digest
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if digest.is_empty() {
+            "fnv1a64:0000000000000000".to_string()
+        } else {
+            digest.clone()
+        }
+    };
+    let run = RunManifest::new(
+        shared.stats.tool.clone(),
+        "serve",
+        usize::try_from(shared.stats.workers.load(Ordering::SeqCst)).unwrap_or(usize::MAX),
+        &digest,
+        &snapshot,
+        vec![],
+    );
+    let uptime = shared.stats.started.elapsed();
+    Response::Stats {
+        uptime_ns: u64::try_from(uptime.as_nanos()).unwrap_or(u64::MAX),
+        queue,
+        manifest: run.to_pretty(),
+    }
+}
+
 enum Enqueued {
     Queued(mpsc::Receiver<Response>),
     Shed,
@@ -309,6 +414,8 @@ fn enqueue(
     golden: String,
     suspect: String,
     model: Option<String>,
+    request: String,
+    echo: bool,
     obs: &Obs,
 ) -> Enqueued {
     let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
@@ -325,8 +432,15 @@ fn enqueue(
         golden,
         suspect,
         model,
+        request,
+        echo,
+        enqueued_ns: obs.now_ns(),
         reply,
     });
+    // The histogram sees the depth from both sides — each enqueue here
+    // and each drain in the scheduler — so it reflects build-up *and*
+    // drain behaviour, not just batch sizes.
+    obs.observe("serve.queue.depth", queue.len() as u64);
     drop(queue);
     shared.wake.notify_all();
     Enqueued::Queued(wait)
@@ -347,6 +461,10 @@ fn scheduler_loop(config: &ServeConfig, obs: &Obs, shared: &Shared) -> Result<Se
         Engine::with_workers(config.workers)
     }
     .with_obs(obs.clone());
+    shared
+        .stats
+        .workers
+        .store(engine.workers() as u64, Ordering::SeqCst);
     let mut goldens = GoldenCache::new(config.cache_bytes);
     let mut results = ResultCache::new(config.result_cache);
     let mut report = ServeReport::default();
@@ -366,6 +484,21 @@ fn scheduler_loop(config: &ServeConfig, obs: &Obs, shared: &Shared) -> Result<Se
             break;
         }
         obs.observe("serve.queue.depth", batch.len() as u64);
+        if obs.tracing() {
+            // Each request's wait in the queue spans two threads, so it
+            // cannot nest in any one thread's span stack: record it as
+            // an async interval correlated by the request id.
+            let dequeued_ns = obs.now_ns();
+            for job in &batch {
+                obs.trace_async(
+                    "serve.queue",
+                    &job.request,
+                    job.enqueued_ns,
+                    dequeued_ns,
+                    &[("request", &job.request)],
+                );
+            }
+        }
         score_batch(
             batch,
             config,
@@ -377,6 +510,17 @@ fn scheduler_loop(config: &ServeConfig, obs: &Obs, shared: &Shared) -> Result<Se
             &mut manifest_due,
             &mut last_digest_hex,
         );
+        {
+            // Mirror the digest for the handlers' `stats` responses.
+            let mut digest = shared
+                .stats
+                .plan_digest
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if *digest != last_digest_hex {
+                digest.clone_from(&last_digest_hex);
+            }
+        }
         if let Some(manifest) = &config.manifest {
             if manifest_due >= manifest.every.max(1) {
                 manifest_due = 0;
@@ -420,6 +564,8 @@ fn score_batch(
         spec: TrojanSpec,
         suspect: String,
         model: Option<String>,
+        request: String,
+        echo: bool,
         reply: mpsc::Sender<Response>,
     }
     let mut resolved: Vec<Resolved> = Vec::with_capacity(batch.len());
@@ -445,6 +591,8 @@ fn score_batch(
             spec,
             suspect: job.suspect,
             model: job.model,
+            request: job.request,
+            echo: job.echo,
             reply: job.reply,
         });
     }
@@ -556,7 +704,7 @@ fn score_batch(
             }
         };
         for job in misses {
-            let _span = obs.span("serve.request");
+            let _span = obs.span_tagged("serve.request", &[("request", &job.request)]);
             // Position 0 pins the seed stream and fault tag to the
             // offline single-suspect path: bit-identity by construction.
             let outcome = match &session {
@@ -590,6 +738,7 @@ fn score_batch(
         let _ = job.reply.send(Response::Score {
             plan: plan.to_string(),
             suspect: job.suspect.clone(),
+            request: job.echo.then(|| job.request.clone()),
             report: text,
         });
     }

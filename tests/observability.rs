@@ -496,6 +496,7 @@ fn serve_manifest_counters_are_worker_invariant() {
                     golden: golden.clone(),
                     suspect: suspect.into(),
                     model: None,
+                    request: None,
                 })
                 .expect("score answered");
             assert!(
@@ -623,4 +624,140 @@ fn regenerate_run_manifest() {
     ]);
     std::fs::remove_dir_all(&dir).ok();
     println!("wrote {}", metrics.display());
+}
+
+/// `--trace` is purely additive: the exported flamegraph JSON is a
+/// well-formed span tree (parent links, counter deltas), while the
+/// stored artifact and the deterministic counter section stay
+/// byte-identical to an untraced run of the same campaign.
+#[test]
+fn trace_export_perturbs_neither_artifacts_nor_counters() {
+    let dir = scratch("trace");
+    let (plain, traced) = (dir.join("plain.htd"), dir.join("traced.htd"));
+    let (plain_m, traced_m) = (dir.join("plain.json"), dir.join("traced.json"));
+    let trace = dir.join("trace.json");
+
+    let mut args = cli_characterize_args(&plain, 2);
+    args.extend(["--metrics".into(), plain_m.display().to_string()]);
+    run_htd(&args);
+    let mut args = cli_characterize_args(&traced, 2);
+    args.extend([
+        "--metrics".into(),
+        traced_m.display().to_string(),
+        "--trace".into(),
+        trace.display().to_string(),
+    ]);
+    run_htd(&args);
+
+    let artifact = std::fs::read(&plain).expect("plain artifact");
+    assert_eq!(
+        artifact,
+        std::fs::read(&traced).expect("traced artifact"),
+        "--trace changed the stored artifact"
+    );
+    let counters = |path: &Path| {
+        RunManifest::parse(&std::fs::read_to_string(path).expect("manifest"))
+            .expect("manifest parses")
+            .counters_text()
+    };
+    assert_eq!(
+        counters(&plain_m),
+        counters(&traced_m),
+        "--trace changed the counter section"
+    );
+
+    // The export is a Chrome trace-event document whose spans form a
+    // tree: one root `characterize` span, every parent link resolving
+    // to another span in the document, and the root's counter deltas
+    // carrying the per-span attribution.
+    let doc = Json::parse(&std::fs::read_to_string(&trace).expect("trace written"))
+        .expect("trace is valid JSON");
+    let Json::Obj(top) = &doc else {
+        panic!("trace top level must be an object")
+    };
+    let field = |fields: &[(String, Json)], name: &str| -> Option<Json> {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    };
+    assert_eq!(field(top, "displayTimeUnit"), Some(Json::Str("ns".into())));
+    let Some(Json::Arr(events)) = field(top, "traceEvents") else {
+        panic!("traceEvents must be an array")
+    };
+    assert!(!events.is_empty(), "an empty trace explains nothing");
+    let mut ids = Vec::new();
+    let mut parents = Vec::new();
+    let mut names = Vec::new();
+    for event in &events {
+        let Json::Obj(event) = event else {
+            panic!("every trace event is an object")
+        };
+        let name = field(event, "name").expect("every event is named");
+        names.push(name.as_str("name").unwrap().to_string());
+        // Only complete (`ph: X`) span events carry the tree linkage;
+        // async halves correlate by string id instead.
+        let Some(Json::Obj(args)) = field(event, "args") else {
+            continue;
+        };
+        if let Some(span) = field(&args, "span") {
+            ids.push(span.as_str("span").unwrap().to_string());
+        }
+        if let Some(parent) = field(&args, "parent") {
+            parents.push(parent.as_str("parent").unwrap().to_string());
+        }
+    }
+    assert!(
+        names.iter().any(|n| n == "characterize"),
+        "no root span in {names:?}"
+    );
+    assert!(!parents.is_empty(), "no parent links: the tree is flat");
+    for parent in &parents {
+        assert!(
+            ids.contains(parent),
+            "parent {parent} resolves to no span in the document"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Rerunning the same campaign reproduces the same span ids: the trace
+/// tree is addressable across runs (diffable, linkable from CI logs).
+#[test]
+fn trace_span_ids_are_deterministic_across_reruns() {
+    let dir = scratch("trace-determinism");
+    let mut ids = Vec::new();
+    for round in 0..2 {
+        let out = dir.join(format!("golden-{round}.htd"));
+        let trace = dir.join(format!("trace-{round}.json"));
+        let mut args = cli_characterize_args(&out, 1);
+        args.extend(["--trace".into(), trace.display().to_string()]);
+        run_htd(&args);
+        let text = std::fs::read_to_string(&trace).expect("trace written");
+        let mut spans: Vec<String> = text
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("\"span\": "))
+            .map(|s| s.trim_end_matches(',').to_string())
+            .collect();
+        spans.sort();
+        ids.push(spans);
+    }
+    assert_eq!(ids[0], ids[1], "span ids drifted between identical runs");
+    assert!(!ids[0].is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The malformed-manifest fixture pins the strict reader's failure
+/// mode: unknown counter *names* are fine (the additive rule), but an
+/// unknown top-level *field* is a schema error, loudly rejected.
+#[test]
+fn the_malformed_manifest_fixture_is_rejected() {
+    let path = fixture_dir().join("run_manifest_malformed.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e})", path.display()));
+    let error = RunManifest::parse(&text).expect_err("a malformed schema must not parse");
+    assert!(
+        error.to_string().contains("unknown key"),
+        "the error must name the schema violation, got: {error}"
+    );
 }

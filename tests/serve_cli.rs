@@ -119,6 +119,7 @@ fn score(client: &mut Client, golden: &str, suspect: &str) -> Response {
             golden: golden.to_string(),
             suspect: suspect.to_string(),
             model: None,
+            request: None,
         })
         .expect("score answered")
 }
@@ -160,11 +161,13 @@ fn served_scores_are_bit_identical_to_offline_at_any_worker_count() {
                     report,
                     plan,
                     suspect: echoed,
+                    request,
                 } = response
                 else {
                     panic!("expected a score at {workers} workers, got {response:?}");
                 };
                 assert_eq!(&echoed, suspect);
+                assert_eq!(request, None, "id-less requests get id-less responses");
                 assert!(plan.starts_with("fnv1a64:"), "bad plan digest {plan}");
                 assert_eq!(
                     &report, expected,
@@ -302,6 +305,7 @@ fn served_model_scores_match_offline_and_bad_models_degrade_gracefully() {
                 golden: golden.clone(),
                 suspect: "ht1".to_string(),
                 model,
+                request: None,
             })
             .expect("score answered")
     };
@@ -616,5 +620,221 @@ fn shutdown_writes_a_final_manifest_with_the_serve_counters() {
         1,
         "only the final write fired"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tentpole claim end to end: a served request's exported trace
+/// carries the full span chain — accept, queue wait, batch, the scored
+/// request, respond — every piece tagged with the id the client put on
+/// the wire, and the response echoes that id back.
+#[test]
+fn traced_serve_tags_the_whole_request_chain_with_the_wire_id() {
+    let dir = scratch("trace");
+    let golden = characterize(&dir);
+    let trace = dir.join("trace.json").display().to_string();
+    let server = Server::spawn(&["--trace", &trace]);
+
+    let mut client = server.client();
+    let response = client
+        .call(&Request::Score {
+            golden: golden.clone(),
+            suspect: "ht2".to_string(),
+            model: None,
+            request: Some("req-e2e-7".to_string()),
+        })
+        .expect("score answered");
+    let Response::Score { request, .. } = response else {
+        panic!("expected a score, got {response:?}");
+    };
+    assert_eq!(
+        request.as_deref(),
+        Some("req-e2e-7"),
+        "the wire id must be echoed on the response"
+    );
+    // An id-less request on the same connection stays id-less on the
+    // wire even though the server tags its own trace spans.
+    let response = score(&mut client, &golden, "ht1");
+    let Response::Score { request, .. } = response else {
+        panic!("expected a score, got {response:?}");
+    };
+    assert_eq!(request, None);
+    server.shutdown();
+
+    let text = std::fs::read_to_string(&trace).expect("trace written at shutdown");
+    let doc = htd_obs::Json::parse(&text).expect("trace is valid JSON");
+    let htd_obs::Json::Obj(top) = &doc else {
+        panic!("trace top level must be an object")
+    };
+    let htd_obs::Json::Arr(events) = &top
+        .iter()
+        .find(|(n, _)| n == "traceEvents")
+        .expect("traceEvents present")
+        .1
+    else {
+        panic!("traceEvents must be an array")
+    };
+    // Collect (event name, request tag) for every event carrying one.
+    let mut tagged = Vec::new();
+    let mut names = Vec::new();
+    for event in events {
+        let htd_obs::Json::Obj(event) = event else {
+            panic!("every trace event is an object")
+        };
+        let get = |name: &str| {
+            event
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        let name = get("name")
+            .expect("named event")
+            .as_str("name")
+            .unwrap()
+            .to_string();
+        names.push(name.clone());
+        if let Some(htd_obs::Json::Obj(args)) = get("args") {
+            if let Some((_, htd_obs::Json::Str(id))) = args.iter().find(|(n, _)| n == "request") {
+                tagged.push((name, id.clone()));
+            }
+        }
+    }
+    for stage in [
+        "serve.accept",
+        "serve.queue",
+        "serve.request",
+        "serve.respond",
+    ] {
+        assert!(
+            tagged
+                .iter()
+                .any(|(name, id)| name == stage && id == "req-e2e-7"),
+            "stage {stage} is not tagged with the wire id in {tagged:?}"
+        );
+        // The id-less request got a server-assigned srv-N tag: the
+        // server's own trace is complete either way.
+        assert!(
+            tagged
+                .iter()
+                .any(|(name, id)| name == stage && id.starts_with("srv-")),
+            "stage {stage} has no server-assigned tag in {tagged:?}"
+        );
+    }
+    assert!(
+        names.iter().any(|n| n == "serve.batch"),
+        "the batch span is missing from {names:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `htd top --plain` polls the live `stats` verb: each block carries
+/// uptime, queue depth and the full counter section, and consecutive
+/// polls see each other (the manifest is live, not a boot snapshot).
+#[test]
+fn top_polls_live_stats_in_plain_mode() {
+    let dir = scratch("top");
+    let metrics = dir.join("metrics.json").display().to_string();
+    // --metrics turns the recorder on; a bare server would answer stats
+    // with an empty (but well-formed) counter section.
+    let server = Server::spawn(&["--metrics", &metrics]);
+    let out = Command::new(env!("CARGO_BIN_EXE_htd"))
+        .args([
+            "top",
+            "--addr",
+            &server.addr,
+            "--iterations",
+            "2",
+            "--interval-ms",
+            "10",
+            "--plain",
+        ])
+        .output()
+        .expect("htd top runs");
+    assert!(
+        out.status.success(),
+        "htd top failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("uptime_ns "), "{stdout}");
+    assert!(stdout.contains("queue 0"), "{stdout}");
+    assert!(
+        stdout.contains("serve.stats.requests 1") && stdout.contains("serve.stats.requests 2"),
+        "two polls must observe each other in the live counters:\n{stdout}"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The perf-regression gate: self-diff of a run manifest is clean (exit
+/// 0), a single counter drift exits 4, and the bench-JSON flavour gates
+/// the deterministic request mix the same way.
+#[test]
+fn bench_diff_exits_4_on_regression_and_0_on_self_diff() {
+    let dir = scratch("bench-diff");
+    let golden = characterize(&dir);
+    let manifest = dir.join("manifest.json").display().to_string();
+    htd(&[
+        "score",
+        "--golden",
+        &golden,
+        "--trojans",
+        "ht2",
+        "--metrics",
+        &manifest,
+    ]);
+
+    let diff = |old: &str, new: &str| {
+        Command::new(env!("CARGO_BIN_EXE_htd"))
+            .args(["bench", "diff", old, new])
+            .output()
+            .expect("bench diff runs")
+    };
+    let out = diff(&manifest, &manifest);
+    assert_eq!(out.status.code(), Some(0), "self-diff must be clean");
+
+    // Inject a counter regression: the gate must name it and exit 4.
+    let mut parsed =
+        RunManifest::parse(&std::fs::read_to_string(&manifest).expect("manifest")).unwrap();
+    let (name, value) = parsed.counters[0].clone();
+    parsed.counters[0].1 = value + 1;
+    let regressed = dir.join("regressed.json");
+    std::fs::write(&regressed, parsed.to_pretty()).expect("regressed manifest");
+    let out = diff(&manifest, &regressed.display().to_string());
+    assert_eq!(out.status.code(), Some(4), "a counter drift must exit 4");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&name),
+        "the regression report must name the counter {name:?}:\n{stdout}"
+    );
+
+    // Bench-JSON flavour: identical measurements are clean, a changed
+    // outcome count (one request turned error) is a regression even
+    // though every latency field differs wildly.
+    let bench_old = dir.join("bench-old.json");
+    let bench_new = dir.join("bench-new.json");
+    std::fs::write(
+        &bench_old,
+        r#"{"bench": "serve", "requests": 300, "clients": 4, "shards": 1,
+            "ok": 300, "errors": 0, "busy_retries": 12,
+            "elapsed_ms": 901.2, "scores_per_sec": 333.0,
+            "p50_ms": 8.1, "p99_ms": 31.9}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &bench_new,
+        r#"{"bench": "serve", "requests": 300, "clients": 4, "shards": 1,
+            "ok": 299, "errors": 1, "busy_retries": 77,
+            "elapsed_ms": 450.0, "scores_per_sec": 660.0,
+            "p50_ms": 4.0, "p99_ms": 16.0}"#,
+    )
+    .unwrap();
+    let (old, new) = (
+        bench_old.display().to_string(),
+        bench_new.display().to_string(),
+    );
+    assert_eq!(diff(&old, &old).status.code(), Some(0));
+    assert_eq!(diff(&old, &new).status.code(), Some(4));
+    // Mixing the two file kinds is a usage error, not a regression.
+    assert_eq!(diff(&manifest, &old).status.code(), Some(2));
     std::fs::remove_dir_all(&dir).ok();
 }
